@@ -1,0 +1,63 @@
+"""Ablation — distributed skyline generation (the paper's future work).
+
+Section 7 names "distributed Skyline data generation" as an extension;
+``repro.distributed`` implements it. This bench scales T2 discovery across
+1/2/4/8 simulated shared-nothing workers under a fixed global budget and
+reports skyline quality, communication volume, and the simulated parallel
+speedup. Expected shape: near-linear speedup (workers search disjoint
+frontier partitions), quality within the ε-guarantee of the single-node
+front, message volume far below the number of valuated states.
+"""
+
+from _harness import bench_task, print_table
+from repro.distributed import DistributedMODis
+
+EPSILON = 0.15
+BUDGET = 64
+MAX_LEVEL = 4
+WORKERS = (1, 2, 4, 8)
+
+
+def test_ablation_distributed_workers(benchmark):
+    task = bench_task("T2")
+
+    def run():
+        rows = {}
+        for n_workers in WORKERS:
+            runner = DistributedMODis(
+                lambda: task.build_config(estimator="mogb", n_bootstrap=16),
+                n_workers=n_workers,
+                epsilon=EPSILON,
+                budget=BUDGET,
+                max_level=MAX_LEVEL,
+            )
+            result = runner.run(verify=True)
+            best = result.best_by(task.primary)
+            raw = task.evaluate(task.space.materialize(best.bits))
+            rows[f"{n_workers} worker(s)"] = {
+                "f1": raw["f1"],
+                "skyline": len(result),
+                "valuated": runner.report.total_valuated,
+                "messages": runner.report.n_messages,
+                "par_seconds": round(runner.report.parallel_seconds, 2),
+                "speedup": runner.report.speedup,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: distributed MODis on T2 (fixed global budget)", rows
+    )
+    # communication stays far below computation
+    for row in rows.values():
+        assert row["messages"] < row["valuated"]
+        assert row["skyline"] >= 1
+    # parallelism pays: 4 workers beat the single node's makespan
+    assert rows["4 worker(s)"]["speedup"] > 1.5
+    # quality holds within the ε-slack of the single-node front
+    single_f1 = rows["1 worker(s)"]["f1"]
+    for name, row in rows.items():
+        assert (1.0 - row["f1"]) <= (1.0 + EPSILON) * (1.0 - single_f1) + 0.05
+    benchmark.extra_info.update(
+        {name: row["speedup"] for name, row in rows.items()}
+    )

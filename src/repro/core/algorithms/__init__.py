@@ -1,0 +1,34 @@
+"""The MODis algorithm family (Section 5) plus the §5.4 comparators."""
+
+from .apx import ApxMODis
+from .base import AlgorithmReport, DiscoveryResult, SkylineAlgorithm, SkylineEntry
+from .bimodis import BiMODis, NOBiMODis
+from .divmodis import DivMODis
+from .exact import ExactMODis
+from .nsga2 import NSGAIIMODis
+from .rl import RLMODis
+
+ALGORITHMS = {
+    "apx": ApxMODis,
+    "bimodis": BiMODis,
+    "nobimodis": NOBiMODis,
+    "divmodis": DivMODis,
+    "exact": ExactMODis,
+    "nsga2": NSGAIIMODis,
+    "rl": RLMODis,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmReport",
+    "ApxMODis",
+    "BiMODis",
+    "DiscoveryResult",
+    "DivMODis",
+    "ExactMODis",
+    "NOBiMODis",
+    "NSGAIIMODis",
+    "RLMODis",
+    "SkylineAlgorithm",
+    "SkylineEntry",
+]

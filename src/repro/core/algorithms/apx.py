@@ -1,0 +1,58 @@
+"""ApxMODis — the (N, ε)-approximation by "reduce-from-universal" (Alg. 1).
+
+Starts from the universal state ``s_U`` (all bitmap entries active — the
+outer join of all sources) and explores level-wise, spawning children by
+flipping one active entry off (a Reduct) per OpGen. Every spawned state is
+valuated and offered to the UPareto ε-grid; the search stops when N states
+are valuated, maxl levels are exhausted, or no new state can be generated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..state import State
+from .base import SkylineAlgorithm
+
+
+class ApxMODis(SkylineAlgorithm):
+    """Algorithm 1 of the paper."""
+
+    name = "ApxMODis"
+
+    def _search(self) -> None:
+        space = self.config.space
+        start = State(bits=space.universal_bits, level=0, via="s_U")
+        self.graph.add_state(start)
+        self._valuate(start)
+        self.grid.update(start)
+        queue: deque[State] = deque([start])
+        visited: set[int] = {start.bits}
+        while queue:
+            if self.budget_exhausted:
+                self.report.terminated_by = "budget"
+                break
+            parent = queue.popleft()
+            if parent.level >= self.max_level:
+                continue
+            self.report.n_levels = max(self.report.n_levels, parent.level + 1)
+            for child_bits, op in self.transducer.spawn(parent.bits, "forward"):
+                if child_bits in visited:
+                    continue
+                visited.add(child_bits)
+                child = State(
+                    bits=child_bits,
+                    level=parent.level + 1,
+                    via=op,
+                    parent_bits=parent.bits,
+                )
+                self.graph.add_state(child)
+                self.graph.add_transition(parent.bits, child_bits, op)
+                self.report.n_spawned += 1
+                self._valuate(child)
+                self.grid.update(child)
+                queue.append(child)
+                if self.budget_exhausted:
+                    break
+        else:
+            self.report.terminated_by = "exhausted"

@@ -1,0 +1,244 @@
+"""Shared machinery for the MODis algorithms.
+
+Defines the result types every algorithm returns and the
+:class:`SkylineAlgorithm` base class: budget accounting (the paper's N),
+level bookkeeping (maxl), valuation through the configured estimator, the
+UPareto ε-grid, and running-graph recording.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ...exceptions import SearchError
+from ..config import Configuration
+from ..dominance import SkylineGrid, pareto_front
+from ..measures import MeasureSet
+from ..state import State
+from ..transducer import RunningGraph, Transducer
+
+
+@dataclass(slots=True)
+class SkylineEntry:
+    """One output dataset: its state, performance, and provenance."""
+
+    state: State
+    perf: dict[str, float]
+    output_size: tuple[int, int]
+    description: str
+
+    @property
+    def bits(self) -> int:
+        return self.state.bits
+
+
+@dataclass
+class AlgorithmReport:
+    """Run statistics: budget usage, pruning, wall time."""
+
+    algorithm: str
+    n_valuated: int = 0
+    n_spawned: int = 0
+    n_pruned: int = 0
+    n_levels: int = 0
+    elapsed_seconds: float = 0.0
+    terminated_by: str = "exhausted"
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class DiscoveryResult:
+    """An ε-skyline set of datasets plus the run report."""
+
+    def __init__(
+        self,
+        entries: list[SkylineEntry],
+        measures: MeasureSet,
+        report: AlgorithmReport,
+        running_graph: RunningGraph,
+        epsilon: float,
+    ):
+        self.entries = entries
+        self.measures = measures
+        self.report = report
+        self.running_graph = running_graph
+        self.epsilon = epsilon
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def best_by(self, measure: str) -> SkylineEntry:
+        """The entry with the smallest (best) normalized value of a measure.
+
+        Mirrors the paper's reporting: "we select the table in the Skyline
+        set with the best estimated p_Acc ..." per task.
+        """
+        if not self.entries:
+            raise SearchError("empty skyline set")
+        index = self.measures.index_of(measure)
+        return min(self.entries, key=lambda e: e.state.perf[index])
+
+    def perf_matrix(self) -> np.ndarray:
+        """(n_entries, |P|) matrix of normalized performance vectors."""
+        if not self.entries:
+            return np.zeros((0, len(self.measures)))
+        return np.stack([e.state.perf for e in self.entries])
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Flat rows for printing/benchmark tables."""
+        rows = []
+        for entry in self.entries:
+            row: dict[str, Any] = {"dataset": entry.description}
+            row.update({k: round(v, 4) for k, v in entry.perf.items()})
+            row["output_size"] = entry.output_size
+            rows.append(row)
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscoveryResult({self.report.algorithm}, {len(self.entries)} "
+            f"datasets, N={self.report.n_valuated}, "
+            f"{self.report.elapsed_seconds:.2f}s)"
+        )
+
+
+class SkylineAlgorithm(abc.ABC):
+    """Base class: one ``run()`` producing a :class:`DiscoveryResult`.
+
+    Parameters shared by all variants (Section 5):
+
+    * ``epsilon`` — the ε of the ε-skyline approximation;
+    * ``budget`` — N, the maximum number of states valuated;
+    * ``max_level`` — maxl, the maximum path length explored.
+    """
+
+    name = "base"
+
+    #: Whether _make_result thins the grid to mutually non-dominated states.
+    #: DivMODis turns this off: diversification deliberately retains
+    #: "less optimal but more different" datasets (Section 5.4).
+    thin_front = True
+
+    def __init__(
+        self,
+        config: Configuration,
+        epsilon: float = 0.1,
+        budget: int = 200,
+        max_level: int = 6,
+    ):
+        if epsilon <= 0:
+            raise SearchError("epsilon must be positive")
+        if budget < 1:
+            raise SearchError("budget N must be >= 1")
+        if max_level < 1:
+            raise SearchError("max_level must be >= 1")
+        self.config = config
+        self.epsilon = float(epsilon)
+        self.budget = int(budget)
+        self.max_level = int(max_level)
+        self.transducer = Transducer(config.space)
+        self.grid = SkylineGrid(config.measures, self.epsilon)
+        self.graph = RunningGraph()
+        self.report = AlgorithmReport(algorithm=self.name)
+        self._run_valuated: set[int] = set()
+
+    # -- valuation ---------------------------------------------------------------
+    def _valuate(self, state: State) -> np.ndarray:
+        """Valuate via the estimator, counting budget per distinct state."""
+        fresh = state.bits not in self.config.estimator.store
+        perf = self.config.estimator.valuate(state.bits, self.config.space)
+        state.perf = perf
+        if fresh or state.bits not in self._run_valuated:
+            self._run_valuated.add(state.bits)
+            self.report.n_valuated += 1
+        return perf
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return self.report.n_valuated >= self.budget
+
+    # -- result assembly -----------------------------------------------------------
+    def _make_result(self) -> DiscoveryResult:
+        states = [s for s in self.grid.states if s.perf is not None]
+        # The grid is an ε-cover; thin it to mutually non-dominated members
+        # (removing a dominated member keeps the cover: its dominator stays).
+        if states and self.thin_front:
+            front = pareto_front([s.perf for s in states])
+            states = [states[i] for i in front]
+        entries = []
+        for state in sorted(states, key=lambda s: tuple(s.perf)):
+            entries.append(
+                SkylineEntry(
+                    state=state,
+                    perf=self.config.measures.as_dict(state.perf),
+                    output_size=self.config.space.output_size(state.bits),
+                    description=state.via or "s_U",
+                )
+            )
+        return DiscoveryResult(
+            entries=entries,
+            measures=self.config.measures,
+            report=self.report,
+            running_graph=self.graph,
+            epsilon=self.epsilon,
+        )
+
+    # -- verification -----------------------------------------------------------------
+    def _verification_targets(self) -> list[State]:
+        return self.grid.states
+
+    def _verify(self) -> None:
+        """Re-valuate the output states with the true oracle.
+
+        This is the paper's reporting protocol ("we apply model inference to
+        all the output tables to report actual performance values"): the
+        search navigates on estimates, but the final skyline carries ground
+        truth. Skipped when the configuration has no oracle or a target was
+        already oracle-valuated.
+        """
+        oracle = self.config.oracle
+        if oracle is None:
+            return
+        store = self.config.estimator.store
+        calls = 0
+        for state in self._verification_targets():
+            record = store.get(state.bits)
+            if record is not None and record.source == "oracle":
+                state.perf = record.perf
+                continue
+            raw = oracle(self.config.space.materialize(state.bits))
+            perf = self.config.measures.normalize_raw(raw)
+            state.perf = perf
+            calls += 1
+            from ..estimator import TestRecord
+
+            store.add(
+                TestRecord(
+                    state.bits,
+                    self.config.space.feature_vector(state.bits),
+                    perf,
+                )
+            )
+        self.report.extras["verification_calls"] = calls
+
+    # -- template method ---------------------------------------------------------------
+    def run(self, verify: bool = True) -> DiscoveryResult:
+        """Execute the search; with ``verify`` (default), re-score the final
+        skyline states with real model training before returning."""
+        start = time.perf_counter()
+        self._search()
+        if verify:
+            self._verify()
+        self.report.elapsed_seconds = time.perf_counter() - start
+        return self._make_result()
+
+    @abc.abstractmethod
+    def _search(self) -> None:
+        """Populate the grid/graph; set ``report.terminated_by``."""

@@ -1,0 +1,192 @@
+"""BiMODis — bi-directional search with correlation-based pruning (Alg. 2).
+
+Two frontiers advance level-by-level: a *forward* frontier from the
+universal state applying Reducts, and a *backward* frontier from the
+BackSt seed applying Augments. Both feed the same UPareto ε-grid. The
+search terminates when the frontiers meet (a path is formed), the budget N
+is exhausted, maxl levels are done, or both frontiers die out.
+
+Pruning (Section 5.3 / Lemma 4): before valuating a spawned state, BiMODis
+partially valuates it with the configuration's *cheap oracle* (measures
+computable from the output size alone, e.g. a training-cost proxy), infers
+parameterized ranges ``[p̂_l, p̂_u]`` for the remaining measures from the
+correlation graph G_C over the test set T, and discards the state if an
+already-kept skyline state parameterized-ε-dominates even its optimistic
+bound. ``NOBiMODis`` is the published ablation: identical search, pruning
+off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import Configuration
+from ..correlation import CorrelationGraph, infer_ranges
+from ..state import State
+from .base import SkylineAlgorithm
+
+
+class BiMODis(SkylineAlgorithm):
+    """Algorithm 2 (full version: Algorithm 4 in the appendix)."""
+
+    name = "BiMODis"
+
+    def __init__(
+        self,
+        config: Configuration,
+        epsilon: float = 0.1,
+        budget: int = 200,
+        max_level: int = 6,
+        pruning: bool = True,
+        theta: float = 0.8,
+        corr_refresh: int = 8,
+    ):
+        super().__init__(config, epsilon=epsilon, budget=budget, max_level=max_level)
+        self.pruning = pruning
+        self.theta = theta
+        self.corr_refresh = int(corr_refresh)
+        self.corr = CorrelationGraph(config.measures, theta=theta)
+        self._since_corr_update = 0
+
+    # -- pruning ------------------------------------------------------------------
+    def _cheap_known(self, bits: int) -> dict[int, float]:
+        """Partially valuate a state with the cheap oracle (if any)."""
+        if self.config.cheap_oracle is None:
+            return {}
+        raw = self.config.cheap_oracle(bits)
+        known: dict[int, float] = {}
+        for name, value in raw.items():
+            if name in self.config.measures:
+                measure = self.config.measures[name]
+                known[self.config.measures.index_of(name)] = measure.normalize(value)
+        return known
+
+    def _maybe_refresh_corr(self) -> None:
+        if self._since_corr_update >= self.corr_refresh or self._since_corr_update == 0:
+            self.corr.update(self.config.estimator.store)
+            self._since_corr_update = 1
+        else:
+            self._since_corr_update += 1
+
+    def _can_prune(self, bits: int) -> bool:
+        """canPrune of Algorithm 2: Lemma 4 against the kept skyline states.
+
+        Hot path: the per-anchor case analysis of
+        :func:`monotone_bound_excludes` reduces, for fully-valuated anchors,
+        to one vectorized comparison against the candidate's optimistic
+        bound ``p̂_l`` — prune iff some anchor a has
+        ``a ≤ (1+ε)·p̂_l`` componentwise.
+        """
+        if not self.pruning:
+            return False
+        if len(self.config.estimator.store) < 8:
+            return False  # ranges would be too loose to ever exclude
+        anchors = self.grid.states
+        if not anchors:
+            return False
+        known = self._cheap_known(bits)
+        if not known:
+            return False
+        self._maybe_refresh_corr()
+        low, _high = infer_ranges(
+            known, self.config.measures, self.corr, self.config.estimator.store
+        )
+        anchor_matrix = np.stack([s.perf for s in anchors])
+        ceiling = (1.0 + self.epsilon) * low + 1e-12
+        return bool(np.any(np.all(anchor_matrix <= ceiling, axis=1)))
+
+    # -- search -------------------------------------------------------------------
+    def _seed(self, bits: int, via: str) -> State:
+        state = State(bits=bits, level=0, via=via)
+        self.graph.add_state(state)
+        self._valuate(state)
+        self.grid.update(state)
+        return state
+
+    def _expand(
+        self,
+        frontier: list[State],
+        direction: str,
+        visited: set[int],
+    ) -> list[State]:
+        next_frontier: list[State] = []
+        for parent in frontier:
+            if self.budget_exhausted:
+                self.report.terminated_by = "budget"
+                return next_frontier
+            for child_bits, op in self.transducer.spawn(parent.bits, direction):
+                if child_bits in visited:
+                    continue
+                visited.add(child_bits)
+                self.report.n_spawned += 1
+                if self._can_prune(child_bits):
+                    self.report.n_pruned += 1
+                    continue
+                child = State(
+                    bits=child_bits,
+                    level=parent.level + 1,
+                    via=op,
+                    parent_bits=parent.bits,
+                )
+                self.graph.add_state(child)
+                self.graph.add_transition(parent.bits, child_bits, op)
+                self._valuate(child)
+                self.grid.update(child)
+                next_frontier.append(child)
+                if self.budget_exhausted:
+                    self.report.terminated_by = "budget"
+                    return next_frontier
+        return next_frontier
+
+    def _end_of_level(self, level: int) -> None:
+        """Hook for subclasses (DivMODis diversifies here)."""
+
+    def _search(self) -> None:
+        space = self.config.space
+        forward_seed = self._seed(space.universal_bits, "s_U")
+        backward_bits = space.backward_bits()
+        visited_f: set[int] = {forward_seed.bits}
+        visited_b: set[int] = set()
+        frontier_f = [forward_seed]
+        frontier_b: list[State] = []
+        if backward_bits != forward_seed.bits:
+            backward_seed = self._seed(backward_bits, "s_b")
+            visited_b.add(backward_bits)
+            frontier_b = [backward_seed]
+        for level in range(self.max_level):
+            if self.budget_exhausted:
+                self.report.terminated_by = "budget"
+                break
+            frontier_f = self._expand(frontier_f, "forward", visited_f)
+            frontier_b = self._expand(frontier_b, "backward", visited_b)
+            self.report.n_levels = level + 1
+            self._end_of_level(level)
+            if visited_f & visited_b:
+                self.report.terminated_by = "frontiers_met"
+                break
+            if not frontier_f and not frontier_b:
+                self.report.terminated_by = "exhausted"
+                break
+        self.report.extras["pruned"] = self.report.n_pruned
+        self.report.extras["correlation_edges"] = self.corr.edges()
+
+
+class NOBiMODis(BiMODis):
+    """BiMODis with correlation-based pruning disabled (paper's ablation)."""
+
+    name = "NOBiMODis"
+
+    def __init__(
+        self,
+        config: Configuration,
+        epsilon: float = 0.1,
+        budget: int = 200,
+        max_level: int = 6,
+    ):
+        super().__init__(
+            config,
+            epsilon=epsilon,
+            budget=budget,
+            max_level=max_level,
+            pruning=False,
+        )

@@ -1,0 +1,167 @@
+"""Scalarized Q-learning over bitmap states — the RL alternative of §5.4.
+
+The paper's Remarks position MODis against "reinforcement-learning based
+methods [29]", noting they "are effective for general state exploration
+but require high-quality training samples and may not converge over
+'conflicting' measures". This module implements that comparator so the
+claim is measurable on the same search space and estimator:
+
+* **multi-policy scalarization** — each policy owns a weight vector ``w``
+  on the probability simplex; its scalar return is ``-w·perf`` (all
+  measures are minimize-me). Learning several policies with diverse
+  weights approximates a Pareto front (Liu, Xu & Hu, 2014);
+* **tabular Q-learning** — ε-greedy episodes over single-bit flips
+  (Reducts *and* Augments), standard TD(0) update per policy;
+* every valuated state feeds the shared UPareto ε-grid, so the output is
+  directly comparable with the MODis variants' ε-skyline sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import SearchError
+from ...rng import make_rng
+from ..state import State
+from .base import SkylineAlgorithm
+
+
+class RLMODis(SkylineAlgorithm):
+    """Multi-policy scalarized Q-learning comparator (not a MODis variant).
+
+    ``budget`` caps distinct valuated states exactly as for MODis; episodes
+    stop early once it is exhausted. ``max_level`` bounds episode length,
+    mirroring the maxl path bound of the transducer algorithms.
+    """
+
+    name = "RL-MODis"
+
+    def __init__(
+        self,
+        config,
+        epsilon: float = 0.1,
+        budget: int = 200,
+        max_level: int = 6,
+        n_policies: int = 4,
+        episodes: int = 30,
+        alpha: float = 0.5,
+        gamma: float = 0.9,
+        explore: float = 0.2,
+        seed: int | None = None,
+    ):
+        super().__init__(config, epsilon=epsilon, budget=budget,
+                         max_level=max_level)
+        if n_policies < 1:
+            raise SearchError("n_policies must be >= 1")
+        if episodes < 1:
+            raise SearchError("episodes must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise SearchError("alpha must be in (0, 1]")
+        if not 0.0 <= gamma <= 1.0:
+            raise SearchError("gamma must be in [0, 1]")
+        if not 0.0 <= explore <= 1.0:
+            raise SearchError("explore must be in [0, 1]")
+        self.n_policies = int(n_policies)
+        self.episodes = int(episodes)
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+        self.explore = float(explore)
+        self.seed = config.seed if seed is None else seed
+        #: Q[policy][(bits, action_index)] -> value
+        self._q: list[dict[tuple[int, int], float]] = [
+            {} for _ in range(self.n_policies)
+        ]
+        self.weights = self._make_weights()
+
+    # -- policies -----------------------------------------------------------------
+    def _make_weights(self) -> np.ndarray:
+        """Weight vectors on the simplex; the first is uniform, the rest are
+        a deterministic Dirichlet(1) sample so policies disagree."""
+        k = len(self.config.measures)
+        rng = make_rng(self.seed)
+        rows = [np.full(k, 1.0 / k)]
+        for _ in range(self.n_policies - 1):
+            rows.append(rng.dirichlet(np.ones(k)))
+        return np.stack(rows)
+
+    def _scalar(self, policy: int, perf: np.ndarray) -> float:
+        """The scalarized objective (to minimize) of one policy."""
+        return float(self.weights[policy] @ perf)
+
+    # -- environment --------------------------------------------------------------
+    def _actions(self, bits: int) -> list[int]:
+        """Applicable single-bit flips (both ⊖ and ⊕ directions)."""
+        space = self.config.space
+        return [
+            index
+            for index in range(space.width)
+            if space.valid_flip(bits, index)
+        ]
+
+    def _perf_of(self, bits: int, via: str, level: int,
+                 parent: int | None) -> np.ndarray:
+        state = self.graph.states.get(bits)
+        if state is None:
+            state = State(bits=bits, level=level, via=via, parent_bits=parent)
+            self.graph.add_state(state)
+        perf = self._valuate(state)
+        self.grid.update(state)
+        return perf
+
+    # -- main loop ----------------------------------------------------------------
+    def _search(self) -> None:
+        rng = make_rng(self.seed)
+        space = self.config.space
+        starts = [space.universal_bits, space.backward_bits()]
+        for episode in range(self.episodes):
+            if self.budget_exhausted:
+                self.report.terminated_by = "budget"
+                return
+            policy = episode % self.n_policies
+            q = self._q[policy]
+            bits = starts[episode % len(starts)]
+            perf = self._perf_of(bits, via="rl:start", level=0, parent=None)
+            value = self._scalar(policy, perf)
+            for step in range(self.max_level):
+                if self.budget_exhausted:
+                    self.report.terminated_by = "budget"
+                    return
+                actions = self._actions(bits)
+                if not actions:
+                    break
+                if rng.random() < self.explore:
+                    action = int(actions[rng.integers(len(actions))])
+                else:
+                    action = max(
+                        actions, key=lambda a: (q.get((bits, a), 0.0), -a)
+                    )
+                child_bits = bits ^ (1 << action)
+                op = f"rl:flip[{space.describe_entry(action)}]"
+                child_perf = self._perf_of(
+                    child_bits, via=op, level=step + 1, parent=bits
+                )
+                self.graph.add_transition(bits, child_bits, op)
+                self.report.n_spawned += 1
+                child_value = self._scalar(policy, child_perf)
+                reward = value - child_value  # positive when the child improves
+                future = max(
+                    (
+                        q.get((child_bits, a), 0.0)
+                        for a in self._actions(child_bits)
+                    ),
+                    default=0.0,
+                )
+                old = q.get((bits, action), 0.0)
+                q[(bits, action)] = old + self.alpha * (
+                    reward + self.gamma * future - old
+                )
+                bits, value = child_bits, child_value
+            self.report.n_levels = max(self.report.n_levels, self.max_level)
+        self.report.terminated_by = "episodes"
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def q_table_sizes(self) -> list[int]:
+        """Learned (state, action) pairs per policy — the "training samples"
+        cost the paper's Remarks attribute to RL methods."""
+        return [len(q) for q in self._q]

@@ -1,0 +1,51 @@
+"""Configurations: everything a running of the transducer needs.
+
+Section 3: "A configuration of T, denoted as C = (s_M, O, M, T, E),
+initializes a start state ..., a finite set of operators O, a fixed
+deterministic model M, an estimator E, and a test set T." Here the search
+space fixes s_M and O (the bitmap entries), the performance oracle embodies
+M plus its evaluation protocol, and the estimator carries T in its
+:class:`~repro.core.estimator.TestStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import SearchError
+from .estimator import Estimator, PerformanceOracle
+from .measures import MeasureSet
+from .transducer import SearchSpace
+
+#: Optional cheap valuation: bits -> raw values for a *subset* of measures
+#: (e.g. a training-cost proxy computable from the output size alone).
+#: BiMODis uses it to partially valuate states before deciding whether the
+#: correlation-based pruning rule applies.
+CheapOracle = Callable[[int], dict[str, float]]
+
+
+@dataclass
+class Configuration:
+    """C = (s_M, O, M, T, E) plus the measure set P."""
+
+    space: SearchSpace
+    measures: MeasureSet
+    estimator: Estimator
+    oracle: PerformanceOracle | None = None
+    cheap_oracle: CheapOracle | None = None
+    seed: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.estimator.measures is not self.measures and (
+            self.estimator.measures.names != self.measures.names
+        ):
+            raise SearchError(
+                "estimator and configuration disagree on measure names: "
+                f"{self.estimator.measures.names} vs {self.measures.names}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.space.width

@@ -1,0 +1,191 @@
+"""Correlation graph and parameterized ε-dominance (BiMODis pruning).
+
+Section 5.3: BiMODis "dynamically maintains a correlation graph G_C, where
+each node represents a measure in P, and there is an edge (p_i, p_j) ... if
+p_i and p_j are strongly correlated" (Spearman ρ ≥ θ over the valuated
+tests T). Un-valuated measures of a state are *parameterized* with a range
+``[p̂_l, p̂_u]`` inferred from the most strongly correlated valuated measure
+(the bracketing-records construction of Example 6), and states can then be
+compared by the three-case parameterized dominance relation ``s' ≾_ε s`` of
+Lemma 4 — pruning provably-dominated states without a full valuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import SearchError
+from .estimator import TestStore
+from .measures import MeasureSet
+
+_TIE = 1e-12
+
+
+class CorrelationGraph:
+    """Pairwise Spearman correlations of measures over the test set T."""
+
+    def __init__(self, measures: MeasureSet, theta: float = 0.8):
+        if not 0.0 < theta <= 1.0:
+            raise SearchError("theta must be in (0, 1]")
+        self.measures = measures
+        self.theta = theta
+        self._rho = np.zeros((len(measures), len(measures)))
+        self._n_tests = 0
+
+    def update(self, store: TestStore) -> None:
+        """Recompute ρ from the current test records (≥ 3 needed)."""
+        matrix = store.perf_matrix()
+        self._n_tests = matrix.shape[0]
+        k = len(self.measures)
+        self._rho = np.zeros((k, k))
+        if matrix.shape[0] < 3:
+            return
+        for i in range(k):
+            for j in range(i + 1, k):
+                xi, xj = matrix[:, i], matrix[:, j]
+                if np.ptp(xi) < _TIE or np.ptp(xj) < _TIE:
+                    continue  # constant measure: correlation undefined
+                rho = stats.spearmanr(xi, xj).statistic
+                if np.isnan(rho):
+                    continue
+                self._rho[i, j] = self._rho[j, i] = float(rho)
+
+    def correlation(self, i: int, j: int) -> float:
+        """Spearman coefficient between measures ``i`` and ``j``."""
+        return float(self._rho[i, j])
+
+    def strong_partners(self, i: int) -> list[tuple[int, float]]:
+        """Measures strongly correlated with measure ``i`` (|ρ| ≥ θ),
+        strongest first."""
+        partners = [
+            (j, float(self._rho[i, j]))
+            for j in range(len(self.measures))
+            if j != i and abs(self._rho[i, j]) >= self.theta
+        ]
+        return sorted(partners, key=lambda p: -abs(p[1]))
+
+    def edges(self) -> list[tuple[str, str, float]]:
+        """(measure, measure, ρ) for every strong edge — for inspection."""
+        names = self.measures.names
+        out = []
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                if abs(self._rho[i, j]) >= self.theta:
+                    out.append((names[i], names[j], float(self._rho[i, j])))
+        return out
+
+
+def infer_ranges(
+    known: dict[int, float],
+    measures: MeasureSet,
+    corr: CorrelationGraph,
+    store: TestStore,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Parameterized ranges ``[p̂_l, p̂_u]`` for the un-valuated measures.
+
+    For a missing measure ``p_i`` with a strong partner ``p_j`` whose value
+    ``v_j`` is known: locate the two test records bracketing ``v_j`` on
+    ``p_j`` and return the interval their ``p_i`` values span (Example 6's
+    inference). Measures without usable partners fall back to their user
+    range ``[p_l, p_u]``; known measures get a degenerate [v, v] range.
+    """
+    k = len(measures)
+    low = np.empty(k)
+    high = np.empty(k)
+    matrix = store.perf_matrix()
+    for i, measure in enumerate(measures):
+        if i in known:
+            low[i] = high[i] = known[i]
+            continue
+        low[i], high[i] = measure.lower, measure.upper
+        if matrix.shape[0] < 2:
+            continue
+        for j, _rho in corr.strong_partners(i):
+            if j not in known:
+                continue
+            v_j = known[j]
+            below = matrix[matrix[:, j] <= v_j + _TIE]
+            above = matrix[matrix[:, j] >= v_j - _TIE]
+            anchors = []
+            if below.shape[0]:
+                anchors.append(below[np.argmax(below[:, j])])
+            if above.shape[0]:
+                anchors.append(above[np.argmin(above[:, j])])
+            if not anchors:
+                continue
+            values = [a[i] for a in anchors]
+            inferred_low, inferred_high = min(values), max(values)
+            # Clamp into the user range; keep the interval non-empty.
+            low[i] = float(np.clip(inferred_low, measure.lower, measure.upper))
+            high[i] = float(np.clip(inferred_high, low[i], measure.upper))
+            break
+    return low, high
+
+
+@dataclass(frozen=True, slots=True)
+class RangedPerf:
+    """A (possibly partially valuated) performance with ranges.
+
+    ``value[i]`` is the valuated measure or NaN; ``low``/``high`` bound the
+    un-valuated ones (and equal the value where valuated).
+    """
+
+    value: np.ndarray
+    low: np.ndarray
+    high: np.ndarray
+
+    def is_valuated(self, i: int) -> bool:
+        """Whether measure ``i`` carries a concrete value (not just a range)."""
+        return not np.isnan(self.value[i])
+
+
+def parameterized_dominates(
+    s_prime: RangedPerf, s: RangedPerf, epsilon: float
+) -> bool:
+    """Lemma 4's three-case relation ``s' ≾_ε s``.
+
+    Per measure p: (1) both valuated — ``s'.P(p) ≤ (1+ε) s.P(p)``;
+    (2) neither — ``s'.p̂_u ≤ (1+ε) s.p̂_l``; (3) one valuated — compare the
+    valuated side against the other's conservative bound.
+    """
+    if epsilon < 0:
+        raise SearchError("epsilon must be non-negative")
+    k = len(s_prime.value)
+    factor = 1.0 + epsilon
+    for i in range(k):
+        sp_val, s_val = s_prime.is_valuated(i), s.is_valuated(i)
+        if sp_val and s_val:
+            if s_prime.value[i] > factor * s.value[i] + _TIE:
+                return False
+        elif not sp_val and not s_val:
+            if s_prime.high[i] > factor * s.low[i] + _TIE:
+                return False
+        elif sp_val:  # only s' valuated
+            if s_prime.value[i] > factor * s.low[i] + _TIE:
+                return False
+        else:  # only s valuated
+            if s_prime.high[i] > factor * s.value[i] + _TIE:
+                return False
+    return True
+
+
+def monotone_bound_excludes(
+    candidate: RangedPerf, anchor: RangedPerf, epsilon: float
+) -> bool:
+    """The pruning test: may ``candidate`` be discarded given ``anchor``?
+
+    This is the practical form of Lemma 4: when the anchor (a frontier
+    state already ε-covered by the running skyline) parameterized-ε-
+    dominates the candidate on *every* measure using the candidate's
+    optimistic bounds (its p̂_l), the candidate cannot enter any ε-skyline
+    of the valuated states, so it is pruned before valuation.
+    """
+    optimistic = RangedPerf(
+        value=np.full(len(candidate.value), np.nan),
+        low=candidate.low,
+        high=candidate.low,  # candidate at its best possible performance
+    )
+    return parameterized_dominates(anchor, optimistic, epsilon)

@@ -1,0 +1,210 @@
+"""Dominance relations, exact skylines (Kung's algorithm), and the ε-grid.
+
+Implements Section 4's dominance/skyline definitions and Section 5.1's
+ε-machinery:
+
+* :func:`dominates` — Pareto dominance for minimize-me vectors;
+* :func:`epsilon_dominates` — ``D' ⪰_ε D`` (every measure within a (1+ε)
+  factor, at least one decisively no worse);
+* :func:`pareto_front` — exact maxima via Kung–Luccio–Preparata divide and
+  conquer (reference `[24]` of the paper), used by ExactMODis and by tests
+  as ground truth;
+* :class:`SkylineGrid` — the UPareto procedure of Algorithm 1: one
+  representative state per ε-grid cell (Equation 1), replaced only when a
+  newcomer strictly improves the decisive measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import SearchError
+from .measures import MeasureSet
+from .state import State, grid_position
+
+_TIE = 1e-12
+
+
+def dominates(u: np.ndarray, v: np.ndarray) -> bool:
+    """``u`` dominates ``v``: u ≤ v everywhere and u < v somewhere."""
+    u = np.asarray(u, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if u.shape != v.shape:
+        raise SearchError(f"vector shapes differ: {u.shape} vs {v.shape}")
+    return bool(np.all(u <= v + _TIE) and np.any(u < v - _TIE))
+
+
+def epsilon_dominates(u: np.ndarray, v: np.ndarray, epsilon: float) -> bool:
+    """``u ⪰_ε v``: u ≤ (1+ε)·v for every measure and u ≤ v for at least one
+    (the decisive measure p*, which "can be any p ∈ P", Section 5.1)."""
+    if epsilon < 0:
+        raise SearchError("epsilon must be non-negative")
+    u = np.asarray(u, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if u.shape != v.shape:
+        raise SearchError(f"vector shapes differ: {u.shape} vs {v.shape}")
+    within_factor = np.all(u <= (1.0 + epsilon) * v + _TIE)
+    decisively = np.any(u <= v + _TIE)
+    return bool(within_factor and decisively)
+
+
+# ---------------------------------------------------------------------------
+# Kung's maxima algorithm (exact skyline)
+# ---------------------------------------------------------------------------
+
+
+def _front_2d(order: list[int], vectors: np.ndarray) -> list[int]:
+    """Skyline of presorted points in 2-D: single sweep on the 2nd coord."""
+    best = np.inf
+    front = []
+    for idx in order:
+        second = vectors[idx][1]
+        if second < best - _TIE:
+            front.append(idx)
+            best = second
+    return front
+
+
+def _kung(order: list[int], vectors: np.ndarray) -> list[int]:
+    """Kung's divide & conquer over indices presorted by the first coord."""
+    if len(order) <= 1:
+        return list(order)
+    if vectors.shape[1] == 2:
+        return _front_2d(order, vectors)
+    mid = len(order) // 2
+    top = _kung(order[:mid], vectors)  # better (smaller) on dim 0
+    bottom = _kung(order[mid:], vectors)
+    # Keep bottom points not dominated by any top point.
+    survivors = [
+        b
+        for b in bottom
+        if not any(dominates(vectors[t], vectors[b]) for t in top)
+    ]
+    return top + survivors
+
+
+def pareto_front(vectors: Sequence[np.ndarray]) -> list[int]:
+    """Indices of the Pareto-minimal vectors (exact skyline).
+
+    Duplicates of a skyline vector are all kept (none dominates another);
+    dominated points are excluded. Sorting is stable, so the output order
+    is deterministic.
+    """
+    if len(vectors) == 0:
+        return []
+    matrix = np.asarray([np.asarray(v, dtype=float) for v in vectors])
+    if matrix.ndim != 2:
+        raise SearchError("pareto_front expects same-length vectors")
+    if matrix.shape[1] == 1:
+        best = matrix[:, 0].min()
+        return [i for i in range(len(matrix)) if matrix[i, 0] <= best + _TIE]
+    keys = [tuple(matrix[i]) for i in range(len(matrix))]
+    order = sorted(range(len(matrix)), key=lambda i: keys[i])
+    front = _kung(order, matrix)
+    # Divide and conquer can leave duplicates of the same point; also make
+    # the result order stable by original index.
+    front_set = sorted(set(front))
+    # Re-admit exact duplicates of front vectors (mutual non-dominance).
+    chosen = {keys[i] for i in front_set}
+    result = [i for i in range(len(matrix)) if keys[i] in chosen]
+    # The sweep orders by exact coordinates while dominates() grants a
+    # _TIE tolerance; points whose leading coordinates differ by less than
+    # the tolerance can both survive the sweep even though one
+    # tie-dominates the other. A final tolerant filter restores the
+    # invariant that front members are mutually non-dominated.
+    return [
+        i
+        for i in result
+        if not any(
+            j != i and dominates(matrix[j], matrix[i]) for j in result
+        )
+    ]
+
+
+def is_skyline(vectors: Sequence[np.ndarray], candidate: Sequence[int]) -> bool:
+    """Check the Section 4 skyline conditions for a candidate index set."""
+    candidate = list(candidate)
+    matrix = [np.asarray(v, dtype=float) for v in vectors]
+    for i in candidate:
+        for j in candidate:
+            if i != j and dominates(matrix[i], matrix[j]):
+                return False
+    for i in range(len(matrix)):
+        if i in set(candidate):
+            continue
+        if not any(dominates(matrix[j], matrix[i]) or
+                   np.allclose(matrix[j], matrix[i]) for j in candidate):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# UPareto: the ε-grid with decisive-measure replacement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SkylineGrid:
+    """One representative state per ε-grid cell (Algorithm 1's D_F).
+
+    ``update`` implements UPareto lines 21-29: skip states violating an
+    upper bound; compute pos(s) over the first |P|−1 measures; keep the
+    newcomer only if its cell is empty or it strictly improves the decisive
+    measure.
+    """
+
+    measures: MeasureSet
+    epsilon: float
+    cells: dict[tuple[int, ...], State] = field(default_factory=dict)
+    skipped_out_of_bounds: int = 0
+    replacements: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise SearchError("epsilon must be positive")
+        self._lowers = np.array([m.lower for m in self.measures.grid_measures])
+        self._decisive_idx = len(self.measures) - 1
+
+    def update(self, state: State) -> bool:
+        """Offer a valuated state; returns True if it entered the grid."""
+        if state.perf is None:
+            raise SearchError("cannot add an unvaluated state to the grid")
+        if not self.measures.within_upper_bounds(state.perf):
+            self.skipped_out_of_bounds += 1
+            return False
+        pos = grid_position(state.perf, self._lowers, self.epsilon)
+        state.pos = pos
+        incumbent = self.cells.get(pos)
+        if incumbent is None:
+            self.cells[pos] = state
+            return True
+        if state.perf[self._decisive_idx] < incumbent.perf[self._decisive_idx] - _TIE:
+            self.cells[pos] = state
+            self.replacements += 1
+            return True
+        return False
+
+    def remove(self, state: State) -> None:
+        """Drop a state (used by DivMODis' bounded-k replacement)."""
+        if state.pos is not None and self.cells.get(state.pos) is state:
+            del self.cells[state.pos]
+
+    @property
+    def states(self) -> list[State]:
+        return list(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def covers(self, perf: np.ndarray) -> bool:
+        """Does some grid member ε-dominate this performance vector?
+
+        This is the Lemma 2 invariant integration tests assert: every
+        valuated state must be ε-covered by the output set.
+        """
+        return any(
+            epsilon_dominates(s.perf, perf, self.epsilon) for s in self.cells.values()
+        )

@@ -1,0 +1,107 @@
+"""Persisting the historical test set ``T`` across sessions.
+
+Section 2: "An estimator E makes use of a set of historically observed
+performance of M (denoted as T) to infer its performance over a new
+dataset." Within one running, ``T`` lives in a
+:class:`~repro.core.estimator.TestStore`; this module adds the
+across-sessions half of the story:
+
+* :func:`save_test_store` / :func:`load_test_store` — JSON round-trip of
+  every test record (bitmap, state features, normalized performance
+  vector, oracle/surrogate provenance);
+* a warm-started :class:`~repro.core.estimator.MOGBEstimator` — construct
+  it with a loaded store and it skips the bootstrap oracle calls entirely,
+  exactly the "learn from historical tuning records" usage the paper
+  describes for estimation models.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import EstimatorError
+from .estimator import TestRecord, TestStore
+from .measures import MeasureSet
+
+FORMAT_VERSION = 1
+
+
+def save_test_store(
+    store: TestStore,
+    path: str | Path,
+    measures: MeasureSet | None = None,
+) -> Path:
+    """Write every test record of ``store`` to ``path`` as JSON.
+
+    ``measures`` (optional) embeds the measure names so a later load can
+    refuse a store recorded under a different ``P``.
+    """
+    path = Path(path)
+    payload = {
+        "version": FORMAT_VERSION,
+        "measures": list(measures.names) if measures is not None else None,
+        "records": [
+            {
+                "bits": hex(record.bits),
+                "features": [float(v) for v in record.features],
+                "perf": [float(v) for v in record.perf],
+                "source": record.source,
+            }
+            for record in store.records()
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
+def load_test_store(
+    path: str | Path,
+    measures: MeasureSet | None = None,
+) -> TestStore:
+    """Read a test store back from :func:`save_test_store` output.
+
+    With ``measures`` given, the stored measure names (when present) and
+    every record's vector length must match — loading history recorded
+    under a different ``P`` would silently corrupt estimates otherwise.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise EstimatorError(f"no test-store file at {path}")
+    with path.open() as fh:
+        payload = json.load(fh)
+    if payload.get("version") != FORMAT_VERSION:
+        raise EstimatorError(
+            f"unsupported test-store version {payload.get('version')!r}"
+        )
+    stored_names = payload.get("measures")
+    if (
+        measures is not None
+        and stored_names is not None
+        and tuple(stored_names) != measures.names
+    ):
+        raise EstimatorError(
+            f"test store was recorded for measures {stored_names}, "
+            f"expected {list(measures.names)}"
+        )
+    store = TestStore()
+    for row in payload["records"]:
+        perf = np.asarray(row["perf"], dtype=float)
+        if measures is not None and perf.shape != (len(measures),):
+            raise EstimatorError(
+                f"record {row['bits']} has a {perf.shape[0]}-measure "
+                f"vector, expected {len(measures)}"
+            )
+        store.add(
+            TestRecord(
+                bits=int(row["bits"], 16),
+                features=np.asarray(row["features"], dtype=float),
+                perf=perf,
+                source=row.get("source", "oracle"),
+            )
+        )
+    return store

@@ -1,0 +1,210 @@
+"""Performance measures, normalization, and user-specified ranges.
+
+Section 2 of the paper fixes the conventions this module implements:
+
+1. every measure is *normalized to minimize* with range (0, 1] — measures to
+   be maximized (accuracy, F1, NDCG, ...) are inverted (``1 - value``);
+2. each measure optionally carries a range ``[p_l, p_u] ⊆ (0, 1]``: the
+   upper bound is a tolerance used for early skipping during search, the
+   strictly positive lower bound makes the ε-grid positions
+   ``log_{1+ε}(p / p_l)`` well defined (Equation 1);
+3. cost measures (training time) normalize raw values against a cap, e.g.
+   Example 2 maps "no more than 1800 seconds" to ``T_train ≤ 0.5`` under a
+   3600-second cap.
+
+:class:`Measure` captures one indicator; :class:`MeasureSet` is the ordered
+collection ``P`` with the decisive measure last (Section 5.1: "By default,
+we set the last measure in P as a decisive measure").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..exceptions import MeasureError
+
+#: Smallest normalized value; keeps measures strictly inside (0, 1].
+EPSILON_FLOOR = 1e-3
+
+#: How a raw metric value becomes a normalized minimize-me value.
+KIND_ERROR = "error"  # already a [0, cap] error → divide by cap
+KIND_SCORE = "score"  # a [0, 1] score to maximize → 1 - value
+KIND_COST = "cost"  # non-negative cost → divide by cap
+_VALID_KINDS = (KIND_ERROR, KIND_SCORE, KIND_COST)
+
+
+@dataclass(frozen=True, slots=True)
+class Measure:
+    """One user-defined performance measure.
+
+    ``name`` must match a key produced by the task's performance oracle.
+    ``lower``/``upper`` are the paper's ``p_l``/``p_u`` in normalized space.
+    ``cap`` rescales raw errors/costs before clipping.
+    """
+
+    name: str
+    kind: str = KIND_SCORE
+    cap: float = 1.0
+    lower: float = EPSILON_FLOOR
+    upper: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise MeasureError(
+                f"measure {self.name!r}: kind must be one of {_VALID_KINDS}"
+            )
+        if self.cap <= 0:
+            raise MeasureError(f"measure {self.name!r}: cap must be positive")
+        if not 0.0 < self.lower <= self.upper <= 1.0:
+            raise MeasureError(
+                f"measure {self.name!r}: need 0 < lower <= upper <= 1, got "
+                f"[{self.lower}, {self.upper}]"
+            )
+
+    def normalize(self, raw: float) -> float:
+        """Map a raw oracle value into (0, 1], minimize-me orientation.
+
+        Scores are inverted after rescaling by ``cap`` (cap=1 for metrics
+        already in [0, 1]; unbounded maximize-me scores like Fisher/MI use a
+        task-calibrated cap); errors and costs divide by ``cap``.
+        """
+        if self.kind == KIND_SCORE:
+            value = 1.0 - float(raw) / self.cap
+        else:
+            value = float(raw) / self.cap
+        return float(np.clip(value, EPSILON_FLOOR, 1.0))
+
+    def denormalize(self, value: float) -> float:
+        """Inverse of :meth:`normalize` (up to clipping)."""
+        if self.kind == KIND_SCORE:
+            return (1.0 - float(value)) * self.cap
+        return float(value) * self.cap
+
+    def within_bounds(self, value: float) -> bool:
+        """Is a normalized value inside the user range [p_l, p_u]?"""
+        return self.lower <= value <= self.upper
+
+    @property
+    def ratio(self) -> float:
+        """``p_u / p_l`` — the per-measure factor in the paper's ``p_m``."""
+        return self.upper / self.lower
+
+
+class MeasureSet:
+    """The ordered measure collection ``P`` (decisive measure last)."""
+
+    __slots__ = ("_measures", "_index")
+
+    def __init__(self, measures: Iterable[Measure]):
+        measures = tuple(measures)
+        if not measures:
+            raise MeasureError("P must contain at least one measure")
+        names = [m.name for m in measures]
+        if len(set(names)) != len(names):
+            raise MeasureError(f"duplicate measure names: {names}")
+        self._measures = measures
+        self._index = {m.name: i for i, m in enumerate(measures)}
+
+    # -- protocol -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._measures)
+
+    def __iter__(self):
+        return iter(self._measures)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Measure:
+        if name not in self._index:
+            raise MeasureError(f"unknown measure {name!r}; have {self.names}")
+        return self._measures[self._index[name]]
+
+    def __repr__(self) -> str:
+        return f"MeasureSet({', '.join(self.names)})"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self._measures)
+
+    @property
+    def decisive(self) -> Measure:
+        """The decisive measure ``p_d`` (last by the paper's default)."""
+        return self._measures[-1]
+
+    @property
+    def grid_measures(self) -> tuple[Measure, ...]:
+        """The first |P|-1 measures — the ε-grid dimensions of Equation 1."""
+        return self._measures[:-1]
+
+    def index_of(self, name: str) -> int:
+        """Position of measure ``name`` within P."""
+        if name not in self._index:
+            raise MeasureError(f"unknown measure {name!r}; have {self.names}")
+        return self._index[name]
+
+    # -- vector helpers ---------------------------------------------------------------
+    def normalize_raw(self, raw: Mapping[str, float]) -> np.ndarray:
+        """Normalize an oracle's raw measure dict into a |P|-vector."""
+        missing = [m.name for m in self._measures if m.name not in raw]
+        if missing:
+            raise MeasureError(f"oracle omitted measures: {missing}")
+        return np.array([m.normalize(raw[m.name]) for m in self._measures])
+
+    def as_dict(self, vector: np.ndarray) -> dict[str, float]:
+        """Name → normalized value mapping for a |P|-vector."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(self),):
+            raise MeasureError(
+                f"vector shape {vector.shape} != ({len(self)},)"
+            )
+        return {m.name: float(v) for m, v in zip(self._measures, vector)}
+
+    def within_upper_bounds(self, vector: np.ndarray) -> bool:
+        """UPareto's early-skip test: every value ≤ its p_u (Alg. 1 line 23)."""
+        return all(
+            float(v) <= m.upper for m, v in zip(self._measures, vector)
+        )
+
+    def within_ranges(self, vector: np.ndarray) -> bool:
+        """Full skyline-membership range test (both p_l and p_u)."""
+        return all(
+            m.within_bounds(float(v)) for m, v in zip(self._measures, vector)
+        )
+
+    def max_ratio(self) -> float:
+        """``p_m = max p_u / p_l`` over P (cost analysis, Theorem 1)."""
+        return max(m.ratio for m in self._measures)
+
+
+# -- terse constructors for the paper's common measures -----------------------------
+
+
+def score_measure(
+    name: str,
+    lower: float = EPSILON_FLOOR,
+    upper: float = 1.0,
+    cap: float = 1.0,
+) -> Measure:
+    """A maximize-me score (accuracy, F1, AUC, NDCG, R², Fisher, MI, ...).
+
+    ``cap`` rescales unbounded scores before the ``1 - value`` inversion.
+    """
+    return Measure(name, kind=KIND_SCORE, lower=lower, upper=upper, cap=cap)
+
+
+def error_measure(
+    name: str, cap: float = 1.0, lower: float = EPSILON_FLOOR, upper: float = 1.0
+) -> Measure:
+    """A minimize-me error normalized by ``cap`` (RMSE, MSE, MAE, ...)."""
+    return Measure(name, kind=KIND_ERROR, cap=cap, lower=lower, upper=upper)
+
+
+def cost_measure(
+    name: str, cap: float, lower: float = EPSILON_FLOOR, upper: float = 1.0
+) -> Measure:
+    """A resource cost normalized by ``cap`` (training time, memory, ...)."""
+    return Measure(name, kind=KIND_COST, cap=cap, lower=lower, upper=upper)

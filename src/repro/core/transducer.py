@@ -1,0 +1,482 @@
+"""The skyline data generator as a finite-state transducer.
+
+Section 3 formalizes generation as ``T = (s_M, S, O, S_F, δ)``: states carry
+tables, operators are ⊕/⊖, transitions apply one operator, and a *running*
+of ``T`` unfolds a DAG — the running graph ``G_T``. This module provides:
+
+* :class:`Entry` / :class:`SearchSpace` — the bitmap vocabulary. A search
+  space fixes the ordered entries (attribute bits, domain-cluster bits, or
+  edge-cluster bits) and materializes any bitmap into a concrete artifact
+  (a :class:`~repro.relational.Table` or
+  :class:`~repro.graph.BipartiteGraph`).
+* :class:`TabularSearchSpace` — reduce/augment over a universal table with
+  k-means-compressed domain literals (Section 6's construction of D_U).
+* :class:`GraphSearchSpace` — the T5 counterpart over edge clusters.
+* :class:`Transducer` — OpGen: spawn children by flipping one bit (1→0 is a
+  Reduct for the forward search; 0→1 an Augment for the backward search).
+* :class:`RunningGraph` — the recorded DAG of valuated states.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator, Literal as TypingLiteral, Sequence
+
+import numpy as np
+
+from ..exceptions import SearchError
+from ..graph.bipartite import BipartiteGraph
+from ..graph.operators import EdgeCluster, augment_edges, cluster_edges
+from ..relational.domain import DomainCluster, cluster_all_domains
+from ..relational.table import Table
+from .state import State, bits_to_array, flip_bit, iter_clear_bits, iter_set_bits
+
+Direction = TypingLiteral["forward", "backward"]
+
+ENTRY_ATTRIBUTE = "attribute"
+ENTRY_CLUSTER = "cluster"
+ENTRY_EDGE_CLUSTER = "edge_cluster"
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """One bitmap position: an attribute bit or a value/edge-cluster bit."""
+
+    label: str
+    kind: str
+    attribute: str = ""  # owning attribute for cluster entries
+    payload: Any = None  # DomainCluster / EdgeCluster
+
+
+class SearchSpace(abc.ABC):
+    """The bitmap vocabulary plus a materializer for any bitmap."""
+
+    entries: tuple[Entry, ...]
+
+    # -- geometry ---------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return len(self.entries)
+
+    @property
+    def universal_bits(self) -> int:
+        """All entries active: the universal dataset D_U (forward start)."""
+        return (1 << self.width) - 1
+
+    @abc.abstractmethod
+    def backward_bits(self) -> int:
+        """The backward start state s_b produced by BackSt (Section 5.3)."""
+
+    # -- semantics ---------------------------------------------------------------
+    @abc.abstractmethod
+    def materialize(self, bits: int) -> Any:
+        """The artifact (table/graph) the bitmap denotes."""
+
+    @abc.abstractmethod
+    def output_size(self, bits: int) -> tuple[int, int]:
+        """Paper-style output size: (rows, columns) or (edges, features)."""
+
+    @abc.abstractmethod
+    def feature_vector(self, bits: int) -> np.ndarray:
+        """Estimator features for the state (bitmap + dataset statistics)."""
+
+    def valid_flip(self, bits: int, index: int) -> bool:
+        """May this entry be flipped from the given bitmap? Default: yes."""
+        return True
+
+    def describe_entry(self, index: int) -> str:
+        """Human-readable label of one bitmap entry."""
+        return self.entries[index].label
+
+    def describe(self, bits: int) -> str:
+        """Human-readable set of active entry labels."""
+        active = [self.entries[i].label for i in iter_set_bits(bits)]
+        return "{" + ", ".join(active) + "}"
+
+
+class _LRUCache:
+    """Tiny bounded cache keyed by bitmap (materialization is pure)."""
+
+    def __init__(self, maxsize: int = 512):
+        self.maxsize = maxsize
+        self._store: OrderedDict[int, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: int):
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: int, value: Any) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+
+class TabularSearchSpace(SearchSpace):
+    """Bitmap semantics over a universal table.
+
+    Entry layout (fixed order): for each non-target attribute ``A`` of the
+    universal table — one ``attribute`` entry, then one ``cluster`` entry
+    per k-means domain cluster of ``A``. A bitmap materializes as:
+
+    * columns: the target plus every attribute whose attribute-bit is 1;
+    * rows: a row survives iff, for every *active* attribute, its value is
+      null or belongs to one of the attribute's *active* clusters.
+
+    Flipping an attribute bit 1→0 is the paper's column Reduct; flipping a
+    cluster bit 1→0 is ``⊖_{A ∈ cluster}``; the reverse flips are Augments.
+    """
+
+    def __init__(
+        self,
+        universal: Table,
+        target: str,
+        max_clusters: int = 6,
+        seed: int = 0,
+        cache_size: int = 512,
+    ):
+        if target not in universal.schema:
+            raise SearchError(f"target {target!r} not in universal schema")
+        if universal.num_rows == 0:
+            raise SearchError("universal table has no rows")
+        self.universal = universal
+        self.target = target
+        self.seed = seed
+        clusters = cluster_all_domains(
+            universal, max_clusters=max_clusters, seed=seed, exclude=[target]
+        )
+        entries: list[Entry] = []
+        self._attr_entry: dict[str, int] = {}
+        self._cluster_entries: dict[str, list[int]] = {}
+        for name in universal.schema.names:
+            if name == target:
+                continue
+            self._attr_entry[name] = len(entries)
+            entries.append(Entry(label=f"attr:{name}", kind=ENTRY_ATTRIBUTE,
+                                 attribute=name))
+            self._cluster_entries[name] = []
+            for cluster in clusters.get(name, []):
+                self._cluster_entries[name].append(len(entries))
+                entries.append(
+                    Entry(
+                        label=f"cl:{cluster.label}",
+                        kind=ENTRY_CLUSTER,
+                        attribute=name,
+                        payload=cluster,
+                    )
+                )
+        if not entries:
+            raise SearchError("universal table has no non-target attributes")
+        self.entries = tuple(entries)
+        self._cache = _LRUCache(cache_size)
+        # Precompute row membership per cluster entry for fast materialization.
+        self._row_members: dict[int, np.ndarray] = {}
+        n = universal.num_rows
+        for name, entry_ids in self._cluster_entries.items():
+            col = universal._column_ref(name)
+            for entry_id in entry_ids:
+                cluster: DomainCluster = self.entries[entry_id].payload
+                mask = np.fromiter(
+                    ((v is not None and v in cluster.values) for v in col),
+                    dtype=bool,
+                    count=n,
+                )
+                self._row_members[entry_id] = mask
+        self._null_mask: dict[str, np.ndarray] = {
+            name: np.fromiter(
+                (v is None for v in universal._column_ref(name)), dtype=bool, count=n
+            )
+            for name in self._attr_entry
+        }
+
+    # -- SearchSpace API ----------------------------------------------------------
+    def backward_bits(self) -> int:
+        """BackSt: all attribute bits on, the densest cluster per attribute.
+
+        Gives a small-but-connected seed table that covers every attribute —
+        the tabular analogue of sampling a minimal tuple set that keeps all
+        target classes reachable.
+        """
+        bits = 0
+        for name, attr_idx in self._attr_entry.items():
+            bits |= 1 << attr_idx
+            entry_ids = self._cluster_entries[name]
+            if entry_ids:
+                densest = max(
+                    entry_ids, key=lambda e: int(self._row_members[e].sum())
+                )
+                bits |= 1 << densest
+        return bits
+
+    def row_mask(self, bits: int) -> np.ndarray:
+        """Boolean survival mask over universal-table rows for a bitmap."""
+        keep = np.ones(self.universal.num_rows, dtype=bool)
+        for name, attr_idx in self._attr_entry.items():
+            if not (bits >> attr_idx) & 1:
+                continue  # inactive attribute constrains nothing
+            entry_ids = self._cluster_entries[name]
+            if not entry_ids:
+                continue
+            allowed = self._null_mask[name].copy()
+            for entry_id in entry_ids:
+                if (bits >> entry_id) & 1:
+                    allowed |= self._row_members[entry_id]
+            keep &= allowed
+        return keep
+
+    def active_attributes(self, bits: int) -> list[str]:
+        """Names of attributes whose attribute bit is on."""
+        return [
+            name for name, idx in self._attr_entry.items() if (bits >> idx) & 1
+        ]
+
+    def materialize(self, bits: int) -> Table:
+        cached = self._cache.get(bits)
+        if cached is not None:
+            return cached
+        keep = self.row_mask(bits)
+        columns = self.active_attributes(bits) + [self.target]
+        table = self.universal.project(columns).take(
+            [int(i) for i in np.flatnonzero(keep)]
+        )
+        self._cache.put(bits, table)
+        return table
+
+    def output_size(self, bits: int) -> tuple[int, int]:
+        keep = int(self.row_mask(bits).sum())
+        cols = len(self.active_attributes(bits)) + 1
+        return (keep, cols)
+
+    def feature_vector(self, bits: int) -> np.ndarray:
+        rows, cols = self.output_size(bits)
+        stats = np.array(
+            [
+                rows / max(1, self.universal.num_rows),
+                cols / max(1, self.universal.num_columns),
+            ]
+        )
+        return np.concatenate([bits_to_array(bits, self.width), stats])
+
+    def valid_flip(self, bits: int, index: int) -> bool:
+        """Disallow flips that strand the search in degenerate states.
+
+        * a cluster bit only matters while its attribute is active;
+        * the last active attribute must stay (a model needs ≥1 feature);
+        * the last active cluster of an active attribute must stay (else
+          every non-null row of that attribute dies — drop the attribute
+          bit instead, which is a distinct operator).
+        """
+        entry = self.entries[index]
+        active = (bits >> index) & 1
+        if entry.kind == ENTRY_ATTRIBUTE:
+            if active and len(self.active_attributes(bits)) <= 1:
+                return False
+            return True
+        attr_idx = self._attr_entry[entry.attribute]
+        if not (bits >> attr_idx) & 1:
+            return False
+        if active:
+            siblings = self._cluster_entries[entry.attribute]
+            active_siblings = sum(1 for e in siblings if (bits >> e) & 1)
+            if active_siblings <= 1:
+                return False
+        return True
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return {"hits": self._cache.hits, "misses": self._cache.misses}
+
+
+class GraphSearchSpace(SearchSpace):
+    """Bitmap semantics over a pool bipartite graph (Task T5).
+
+    Entries are edge clusters of the pool graph; a bitmap materializes as
+    the subgraph containing exactly the active clusters' edges. Flipping
+    1→0 deletes a cluster of edges (graph ⊖); 0→1 inserts it (graph ⊕).
+    """
+
+    def __init__(
+        self,
+        pool: BipartiteGraph,
+        n_clusters: int = 12,
+        seed: int = 0,
+        cache_size: int = 256,
+    ):
+        if pool.num_edges == 0:
+            raise SearchError("pool graph has no edges")
+        self.pool = pool
+        self.seed = seed
+        clusters = cluster_edges(pool, n_clusters=n_clusters, seed=seed)
+        if not clusters:
+            raise SearchError("edge clustering produced no clusters")
+        self.entries = tuple(
+            Entry(label=f"ec:{c.label}", kind=ENTRY_EDGE_CLUSTER, payload=c)
+            for c in clusters
+        )
+        self._cache = _LRUCache(cache_size)
+
+    def backward_bits(self) -> int:
+        """The densest single edge cluster — a minimal connected seed."""
+        sizes = [len(e.payload) for e in self.entries]
+        return 1 << int(np.argmax(sizes))
+
+    def materialize(self, bits: int) -> BipartiteGraph:
+        cached = self._cache.get(bits)
+        if cached is not None:
+            return cached
+        empty = BipartiteGraph(self.pool.n_users, self.pool.n_items, (),
+                               name=self.pool.name)
+        graph = empty
+        for index in iter_set_bits(bits):
+            cluster: EdgeCluster = self.entries[index].payload
+            graph = augment_edges(graph, self.pool, cluster)
+        self._cache.put(bits, graph)
+        return graph
+
+    def output_size(self, bits: int) -> tuple[int, int]:
+        edges = sum(len(self.entries[i].payload) for i in iter_set_bits(bits))
+        _, dims = self.pool.shape
+        return (edges, dims)
+
+    def feature_vector(self, bits: int) -> np.ndarray:
+        edges, _ = self.output_size(bits)
+        stats = np.array([edges / max(1, self.pool.num_edges)])
+        return np.concatenate([bits_to_array(bits, self.width), stats])
+
+    def valid_flip(self, bits: int, index: int) -> bool:
+        """Keep at least one active edge cluster (LightGCN needs edges)."""
+        active = (bits >> index) & 1
+        if active and bits.bit_count() <= 1:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One running-graph edge: (s, op, s')."""
+
+    parent_bits: int
+    child_bits: int
+    op: str
+
+
+class RunningGraph:
+    """The DAG ``G_T = (V, δ)`` of spawned-and-valuated states."""
+
+    def __init__(self) -> None:
+        self.states: dict[int, State] = {}
+        self.transitions: list[Transition] = []
+
+    def add_state(self, state: State) -> None:
+        """Record a state node (first writer wins for a given bitmap)."""
+        self.states.setdefault(state.bits, state)
+
+    def add_transition(self, parent: int, child: int, op: str) -> None:
+        """Record one (s, op, s') edge."""
+        self.transitions.append(Transition(parent, child, op))
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_valuated(self) -> int:
+        return sum(1 for s in self.states.values() if s.valuated)
+
+    def to_networkx(self):
+        """Export as a networkx DiGraph for analysis/visualization."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for bits, state in self.states.items():
+            graph.add_node(bits, level=state.level, valuated=state.valuated)
+        for tr in self.transitions:
+            graph.add_edge(tr.parent_bits, tr.child_bits, op=tr.op)
+        return graph
+
+    def path_to(self, bits: int) -> list[tuple[int, str]]:
+        """The operator path from a start state to ``bits``.
+
+        Walks ``parent_bits`` links back to a root and returns
+        ``[(state_bits, via), ...]`` in application order — the narrative
+        provenance that pairs with :func:`repro.sql.state_to_sql`'s
+        declarative form. Unknown states raise :class:`SearchError`.
+        """
+        if bits not in self.states:
+            raise SearchError(f"state {bits:#x} is not in the running graph")
+        path: list[tuple[int, str]] = []
+        current: int | None = bits
+        seen: set[int] = set()
+        while current is not None:
+            if current in seen:
+                raise SearchError("parent links form a cycle")
+            seen.add(current)
+            state = self.states[current]
+            path.append((current, state.via or "start"))
+            current = state.parent_bits
+            if current is not None and current not in self.states:
+                break
+        path.reverse()
+        return path
+
+    def to_dot(self, highlight: set[int] | None = None) -> str:
+        """Graphviz text for the running graph.
+
+        Skyline members passed in ``highlight`` render as doubled circles;
+        un-valuated states are dashed. Paste the output into any dot
+        renderer to inspect which reductions/augmentations a run explored.
+        """
+        highlight = highlight or set()
+        lines = ["digraph G_T {", "  rankdir=TB;"]
+        for bits, state in sorted(self.states.items()):
+            attrs = [f'label="{bits:#x}\\nlevel {state.level}"']
+            if bits in highlight:
+                attrs.append("shape=doublecircle")
+            if not state.valuated:
+                attrs.append("style=dashed")
+            lines.append(f'  n{bits} [{", ".join(attrs)}];')
+        for tr in self.transitions:
+            op = tr.op.replace('"', "'")
+            lines.append(
+                f'  n{tr.parent_bits} -> n{tr.child_bits} [label="{op}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class Transducer:
+    """OpGen over a search space: children differ from the parent in 1 bit."""
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+
+    def spawn(
+        self, bits: int, direction: Direction = "forward"
+    ) -> Iterator[tuple[int, str]]:
+        """Yield (child_bits, operator description).
+
+        Forward = reductions (flip 1→0, from the universal end); backward =
+        augmentations (flip 0→1, from the minimal end), exactly the revised
+        OpGen of Algorithm 2.
+        """
+        if direction == "forward":
+            candidates: Sequence[int] = list(iter_set_bits(bits))
+            symbol = "⊖"
+        elif direction == "backward":
+            candidates = list(iter_clear_bits(bits, self.space.width))
+            symbol = "⊕"
+        else:
+            raise SearchError(f"unknown direction {direction!r}")
+        for index in candidates:
+            if not self.space.valid_flip(bits, index):
+                continue
+            child = flip_bit(bits, index)
+            yield child, f"{symbol}[{self.space.describe_entry(index)}]"

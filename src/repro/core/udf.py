@@ -1,0 +1,256 @@
+"""Task-specific UDF enrichment of the operator set.
+
+Section 3 (Transitions, remarks): "In practice, the operators can be
+enriched by task-specific UDFs that perform additional data imputation, or
+pruning operations, to further improve the quality of datasets." This
+module supplies that hook:
+
+* :class:`UDF` — a named, documented ``Table -> Table`` transform;
+* :class:`UDFRegistry` — a catalogue of UDFs (with the built-ins below
+  pre-registered in :data:`DEFAULT_REGISTRY`);
+* built-ins: mean/mode imputation, duplicate-row pruning, IQR outlier
+  clipping, and all-null column pruning;
+* :class:`UDFSearchSpace` — wraps any search space so every materialized
+  state flows through a UDF pipeline before the model/estimator sees it.
+  The bitmap vocabulary (and hence the running graph) is unchanged; only
+  the artifact each state denotes is refined, exactly the paper's framing
+  of UDFs as quality refinement rather than new transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import SearchError, TableError
+from ..relational.table import Table
+from .transducer import SearchSpace
+
+
+@dataclass(frozen=True, slots=True)
+class UDF:
+    """A named table-to-table transform with a one-line description."""
+
+    name: str
+    fn: Callable[[Table], Table]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SearchError("a UDF needs a non-empty name")
+
+    def __call__(self, table: Table) -> Table:
+        out = self.fn(table)
+        if not isinstance(out, Table):
+            raise SearchError(
+                f"UDF {self.name!r} returned {type(out).__name__}, not Table"
+            )
+        return out
+
+
+class UDFRegistry:
+    """A catalogue of UDFs, addressable by name."""
+
+    def __init__(self, udfs: Iterable[UDF] = ()):
+        self._udfs: dict[str, UDF] = {}
+        for udf in udfs:
+            self.register(udf)
+
+    def register(self, udf: UDF) -> UDF:
+        """Add a UDF under its name; duplicate names are an error."""
+        if udf.name in self._udfs:
+            raise SearchError(f"UDF {udf.name!r} already registered")
+        self._udfs[udf.name] = udf
+        return udf
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._udfs
+
+    def __getitem__(self, name: str) -> UDF:
+        try:
+            return self._udfs[name]
+        except KeyError:
+            raise SearchError(
+                f"unknown UDF {name!r}; registered: {sorted(self._udfs)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[UDF]:
+        return iter(self._udfs.values())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._udfs))
+
+    def pipeline(self, names: Sequence[str]) -> list[UDF]:
+        """Resolve an ordered list of UDF names into callables."""
+        return [self[name] for name in names]
+
+
+# ---------------------------------------------------------------------------
+# Built-in UDFs
+# ---------------------------------------------------------------------------
+
+
+def impute_mean(table: Table, exclude: Sequence[str] = ()) -> Table:
+    """Fill numeric nulls with the column mean (no-op on all-null columns)."""
+    skip = set(exclude)
+    out = table
+    for attr in table.schema:
+        if not attr.is_numeric or attr.name in skip:
+            continue
+        values = out._column_ref(attr.name)
+        known = [float(v) for v in values if v is not None]
+        if not known or len(known) == len(values):
+            continue
+        mean = float(np.mean(known))
+        out = out.replace_column(
+            attr.name, [mean if v is None else v for v in values]
+        )
+    return out
+
+
+def impute_mode(table: Table, exclude: Sequence[str] = ()) -> Table:
+    """Fill categorical nulls with the most frequent value (ties: smallest
+    by repr, for determinism)."""
+    skip = set(exclude)
+    out = table
+    for attr in table.schema:
+        if not attr.is_categorical or attr.name in skip:
+            continue
+        values = out._column_ref(attr.name)
+        counts: dict[Any, int] = {}
+        for v in values:
+            if v is not None:
+                counts[v] = counts.get(v, 0) + 1
+        if not counts or all(v is not None for v in values):
+            continue
+        mode = min(counts, key=lambda v: (-counts[v], repr(v)))
+        out = out.replace_column(
+            attr.name, [mode if v is None else v for v in values]
+        )
+    return out
+
+
+def drop_duplicate_rows(table: Table) -> Table:
+    """Prune exact duplicate tuples (nulls compare equal)."""
+    return table.distinct()
+
+
+def clip_outliers(table: Table, k: float = 3.0, exclude: Sequence[str] = ()) -> Table:
+    """Winsorize numeric columns at ``median ± k·IQR``.
+
+    Pruning-flavoured quality refinement: extreme cells are clamped, not
+    removed, so row counts (and joins downstream) are unaffected.
+    """
+    if k <= 0:
+        raise TableError("clip_outliers needs k > 0")
+    skip = set(exclude)
+    out = table
+    for attr in table.schema:
+        if not attr.is_numeric or attr.name in skip:
+            continue
+        values = out._column_ref(attr.name)
+        known = np.array([float(v) for v in values if v is not None])
+        if known.size < 4:
+            continue
+        q1, median, q3 = np.percentile(known, [25, 50, 75])
+        iqr = q3 - q1
+        if iqr <= 0:
+            continue
+        low, high = median - k * iqr, median + k * iqr
+        clipped = [
+            None if v is None else float(min(max(float(v), low), high))
+            for v in values
+        ]
+        if any(
+            (a is not None) and a != b for a, b in zip(clipped, values)
+        ):
+            out = out.replace_column(attr.name, clipped)
+    return out
+
+
+def drop_all_null_columns(table: Table) -> Table:
+    """Prune attributes whose every cell is null (adom_s(A) = ∅)."""
+    dead = [
+        n
+        for n in table.schema.names
+        if table.num_rows > 0
+        and all(v is None for v in table._column_ref(n))
+    ]
+    return table.drop_columns(dead) if dead else table
+
+
+def make_default_registry() -> UDFRegistry:
+    """A fresh registry holding the built-in UDFs."""
+    return UDFRegistry(
+        [
+            UDF("impute_mean", impute_mean,
+                "fill numeric nulls with the column mean"),
+            UDF("impute_mode", impute_mode,
+                "fill categorical nulls with the most frequent value"),
+            UDF("drop_duplicate_rows", drop_duplicate_rows,
+                "remove exact duplicate tuples"),
+            UDF("clip_outliers", clip_outliers,
+                "winsorize numeric columns at median ± 3·IQR"),
+            UDF("drop_all_null_columns", drop_all_null_columns,
+                "remove attributes with empty active domains"),
+        ]
+    )
+
+
+#: The shared default registry (importers may register additional UDFs).
+DEFAULT_REGISTRY = make_default_registry()
+
+
+# ---------------------------------------------------------------------------
+# Search-space wrapper
+# ---------------------------------------------------------------------------
+
+
+class UDFSearchSpace(SearchSpace):
+    """A search space whose materialized states pass through a UDF pipeline.
+
+    Wraps an inner space without touching its bitmap vocabulary: states,
+    transitions, and the running graph are identical; only ``materialize``
+    (and the size/statistics that depend on it) see refined tables. The
+    pipeline must be deterministic for the search to remain a fixed
+    deterministic process (Section 2).
+    """
+
+    def __init__(self, inner: SearchSpace, pipeline: Sequence[UDF]):
+        if not pipeline:
+            raise SearchError("UDFSearchSpace needs at least one UDF")
+        self.inner = inner
+        self.pipeline = tuple(pipeline)
+        self.entries = inner.entries
+
+    def _apply(self, table: Table) -> Table:
+        for udf in self.pipeline:
+            table = udf(table)
+        return table
+
+    # -- SearchSpace API (delegation + refinement) ----------------------------------
+    def backward_bits(self) -> int:
+        return self.inner.backward_bits()
+
+    def materialize(self, bits: int) -> Table:
+        return self._apply(self.inner.materialize(bits))
+
+    def output_size(self, bits: int) -> tuple[int, int]:
+        return self.materialize(bits).shape
+
+    def feature_vector(self, bits: int) -> np.ndarray:
+        return self.inner.feature_vector(bits)
+
+    def valid_flip(self, bits: int, index: int) -> bool:
+        return self.inner.valid_flip(bits, index)
+
+    def describe_entry(self, index: int) -> str:
+        """Delegate entry labels to the wrapped space."""
+        return self.inner.describe_entry(index)
+
+    @property
+    def pipeline_names(self) -> tuple[str, ...]:
+        return tuple(udf.name for udf in self.pipeline)

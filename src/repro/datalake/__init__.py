@@ -1,0 +1,49 @@
+"""Synthetic data lake: corpora, tasks T1–T5, collection statistics."""
+
+from .corpus import (
+    CorpusStats,
+    all_collection_stats,
+    build_collection,
+    corpus_statistics,
+)
+from .generator import (
+    CorpusSpec,
+    GeneratedCorpus,
+    GraphSpec,
+    generate_bipartite_pool,
+    generate_corpus,
+)
+from .tasks import (
+    TASK_BUILDERS,
+    TASK_MEASURES,
+    DiscoveryTask,
+    make_tabular_oracle,
+    make_task,
+    make_task_t1,
+    make_task_t2,
+    make_task_t3,
+    make_task_t4,
+    make_task_t5,
+)
+
+__all__ = [
+    "CorpusSpec",
+    "CorpusStats",
+    "DiscoveryTask",
+    "GeneratedCorpus",
+    "GraphSpec",
+    "TASK_BUILDERS",
+    "TASK_MEASURES",
+    "all_collection_stats",
+    "build_collection",
+    "corpus_statistics",
+    "generate_bipartite_pool",
+    "generate_corpus",
+    "make_tabular_oracle",
+    "make_task",
+    "make_task_t1",
+    "make_task_t2",
+    "make_task_t3",
+    "make_task_t4",
+    "make_task_t5",
+]

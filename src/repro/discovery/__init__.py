@@ -1,0 +1,39 @@
+"""Data-discovery baselines the paper compares MODis against."""
+
+from .feature_selection import H2OFS, SelectionResult, SkSFM
+from .hydragan import HydraGANLike, HydraGANResult
+from .metam import METAM, METAMMO, METAMResult
+from .runner import (
+    BASELINES,
+    run_baseline,
+    run_h2o,
+    run_hydragan,
+    run_metam,
+    run_metam_mo,
+    run_sksfm,
+    run_starmie,
+)
+from .starmie import ColumnSketch, Starmie, StarmieResult, table_similarity
+
+__all__ = [
+    "BASELINES",
+    "ColumnSketch",
+    "H2OFS",
+    "HydraGANLike",
+    "HydraGANResult",
+    "METAM",
+    "METAMMO",
+    "METAMResult",
+    "SelectionResult",
+    "SkSFM",
+    "Starmie",
+    "StarmieResult",
+    "run_baseline",
+    "run_h2o",
+    "run_hydragan",
+    "run_metam",
+    "run_metam_mo",
+    "run_sksfm",
+    "run_starmie",
+    "table_similarity",
+]

@@ -1,0 +1,129 @@
+"""Feature-selection baselines: SkSFM and the H2O-style linear selector.
+
+* ``SkSFM`` mirrors scikit-learn's ``SelectFromModel``: fit the task's own
+  model once on the full table and keep the features whose importance
+  reaches the mean importance (sklearn's default threshold).
+* ``H2OFS`` mirrors the H2O AutoML feature-selection module the paper uses:
+  "fits features and predictors into a linear model" — we standardize,
+  fit a linear/logistic model, and keep features whose |coefficient| is at
+  least the mean magnitude.
+
+Both output a single column-reduced table: cheaper training, typically at
+an accuracy cost — the opposite corner of the trade-off from the
+augmentation baselines, exactly as the paper's Exp-1 discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DiscoveryError
+from ..ml.base import Classifier, Model
+from ..ml.linear import LinearRegression, LogisticRegression
+from ..ml.preprocessing import TableEncoder
+from ..ml.registry import make_model
+from ..relational.table import Table
+
+
+@dataclass
+class SelectionResult:
+    table: Table
+    kept: list[str] = field(default_factory=list)
+    dropped: list[str] = field(default_factory=list)
+    scores: dict[str, float] = field(default_factory=dict)
+
+
+def _project_selected(table: Table, target: str, kept: list[str]) -> Table:
+    """Project onto kept features + target, preserving schema order."""
+    names = [n for n in table.schema.names if n in set(kept) or n == target]
+    return table.project(names)
+
+
+class SkSFM:
+    """SelectFromModel with the task's own estimator's importances."""
+
+    def __init__(self, model_name: str, threshold: str | float = "mean",
+                 seed: int = 0):
+        self.model_name = model_name
+        self.threshold = threshold
+        self.seed = seed
+
+    def run(self, table: Table, target: str) -> SelectionResult:
+        """Select features by model-importance threshold (SelectFromModel)."""
+        encoder = TableEncoder(target=target)
+        X, y = encoder.fit_transform(table)
+        model: Model = make_model(self.model_name, seed=self.seed)
+        model.fit(X, y)
+        importances = getattr(model, "feature_importances_", None)
+        if importances is None:
+            # SelectFromModel's fallback: |coefficients| for linear models.
+            coef = getattr(model, "coef_", None)
+            if coef is None:
+                raise DiscoveryError(
+                    f"model {self.model_name!r} exposes neither "
+                    "feature_importances_ nor coef_"
+                )
+            coef = np.asarray(coef, dtype=float)
+            importances = np.abs(coef) if coef.ndim == 1 else np.abs(coef).max(axis=1)
+        importances = np.asarray(importances, dtype=float)
+        if self.threshold == "mean":
+            cut = float(importances.mean())
+        elif self.threshold == "median":
+            cut = float(np.median(importances))
+        else:
+            cut = float(self.threshold)
+        names = list(encoder.feature_names_)
+        kept = [n for n, imp in zip(names, importances) if imp >= cut]
+        if not kept:  # never emit a featureless table
+            kept = [names[int(np.argmax(importances))]]
+        dropped = [n for n in names if n not in set(kept)]
+        return SelectionResult(
+            table=_project_selected(table, target, kept),
+            kept=kept,
+            dropped=dropped,
+            scores={n: float(v) for n, v in zip(names, importances)},
+        )
+
+
+class H2OFS:
+    """H2O-style selection: linear model coefficients on standardized data."""
+
+    def __init__(self, task_kind: str = "regression", seed: int = 0,
+                 threshold: str | float = "mean"):
+        if task_kind not in ("regression", "classification"):
+            raise DiscoveryError(f"unknown task kind {task_kind!r}")
+        self.task_kind = task_kind
+        self.seed = seed
+        self.threshold = threshold
+
+    def run(self, table: Table, target: str) -> SelectionResult:
+        """Select features by linear-proxy coefficient magnitude (H2O style)."""
+        encoder = TableEncoder(target=target, standardize=True)
+        X, y = encoder.fit_transform(table)
+        if self.task_kind == "regression":
+            model = LinearRegression(l2=1e-4, seed=self.seed)
+            model.fit(X, y)
+            weights = np.abs(np.asarray(model.coef_, dtype=float))
+        else:
+            model = LogisticRegression(n_iter=200, seed=self.seed)
+            model.fit(X, y)
+            weights = np.abs(np.asarray(model.coef_, dtype=float)).max(axis=1)
+        if self.threshold == "mean":
+            cut = float(weights.mean())
+        elif self.threshold == "median":
+            cut = float(np.median(weights))
+        else:
+            cut = float(self.threshold)
+        names = list(encoder.feature_names_)
+        kept = [n for n, w in zip(names, weights) if w >= cut]
+        if not kept:
+            kept = [names[int(np.argmax(weights))]]
+        dropped = [n for n in names if n not in set(kept)]
+        return SelectionResult(
+            table=_project_selected(table, target, kept),
+            kept=kept,
+            dropped=dropped,
+            scores={n: float(w) for n, w in zip(names, weights)},
+        )

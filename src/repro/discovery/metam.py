@@ -1,0 +1,145 @@
+"""METAM and METAM-MO — goal-oriented data discovery baselines.
+
+METAM (Galhotra et al., ICDE 2023, the paper's reference [14]) performs
+goal-oriented discovery: starting from a base table that carries the
+prediction target, it repeatedly *joins* candidate tables and keeps a join
+exactly when it improves a single downstream utility score. The paper's
+extension METAM-MO folds multiple measures into one linear weighted utility.
+
+Both output a single augmented table (baselines "output a single table",
+Exp-1), never remove rows, and pay training time for every accuracy gain —
+the trade-off the paper contrasts MODis against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..core.measures import MeasureSet
+from ..exceptions import DiscoveryError
+from ..relational.join import left_outer_join
+from ..relational.table import Table
+
+#: table -> raw measure values (the same oracle signature tasks provide).
+Oracle = Callable[[Table], dict[str, float]]
+
+
+@dataclass
+class METAMResult:
+    """Output table plus the audit trail of accepted/rejected joins."""
+
+    table: Table
+    utility: float
+    accepted: list[str] = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+    oracle_calls: int = 0
+
+
+class METAM:
+    """Greedy goal-oriented join discovery on a single utility measure.
+
+    ``utility_measure`` names the measure to optimize; the utility of a
+    table is its *normalized, minimize-me* value, so lower is better and
+    improvements must exceed ``min_gain``.
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        measures: MeasureSet,
+        utility_measure: str,
+        min_gain: float = 1e-4,
+        max_joins: int | None = None,
+    ):
+        if utility_measure not in measures:
+            raise DiscoveryError(
+                f"utility measure {utility_measure!r} not in {measures.names}"
+            )
+        self.oracle = oracle
+        self.measures = measures
+        self.utility_measure = utility_measure
+        self.min_gain = float(min_gain)
+        self.max_joins = max_joins
+
+    def _utility(self, table: Table) -> float:
+        raw = self.oracle(table)
+        return self._combine(raw)
+
+    def _combine(self, raw: Mapping[str, float]) -> float:
+        measure = self.measures[self.utility_measure]
+        return measure.normalize(raw[self.utility_measure])
+
+    def run(self, base: Table, candidates: list[Table]) -> METAMResult:
+        """Greedily join candidates while the utility improves."""
+        current = base
+        result = METAMResult(table=base, utility=0.0)
+        best_utility = self._utility(current)
+        result.oracle_calls += 1
+        remaining = list(candidates)
+        joins_done = 0
+        improved = True
+        while improved and remaining:
+            if self.max_joins is not None and joins_done >= self.max_joins:
+                break
+            improved = False
+            best_candidate = None
+            best_candidate_utility = best_utility
+            best_joined: Table | None = None
+            for candidate in remaining:
+                if not current.schema.intersect_names(candidate.schema):
+                    continue  # not joinable
+                joined = left_outer_join(current, candidate)
+                utility = self._utility(joined)
+                result.oracle_calls += 1
+                if utility < best_candidate_utility - self.min_gain:
+                    best_candidate = candidate
+                    best_candidate_utility = utility
+                    best_joined = joined
+            if best_candidate is not None:
+                current = best_joined
+                best_utility = best_candidate_utility
+                remaining.remove(best_candidate)
+                result.accepted.append(best_candidate.name or "candidate")
+                joins_done += 1
+                improved = True
+        result.rejected = [t.name or "candidate" for t in remaining]
+        result.table = current
+        result.utility = best_utility
+        return result
+
+
+class METAMMO(METAM):
+    """METAM-MO: the paper's multi-objective extension via a linear
+    weighted sum of all normalized measures (uniform weights by default)."""
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        measures: MeasureSet,
+        weights: Mapping[str, float] | None = None,
+        min_gain: float = 1e-4,
+        max_joins: int | None = None,
+    ):
+        super().__init__(
+            oracle,
+            measures,
+            utility_measure=measures.names[0],
+            min_gain=min_gain,
+            max_joins=max_joins,
+        )
+        if weights is None:
+            weights = {name: 1.0 for name in measures.names}
+        unknown = set(weights) - set(measures.names)
+        if unknown:
+            raise DiscoveryError(f"weights for unknown measures: {sorted(unknown)}")
+        total = sum(weights.values())
+        if total <= 0:
+            raise DiscoveryError("weights must sum to a positive value")
+        self.weights = {k: v / total for k, v in weights.items()}
+
+    def _combine(self, raw: Mapping[str, float]) -> float:
+        return sum(
+            self.weights.get(m.name, 0.0) * m.normalize(raw[m.name])
+            for m in self.measures
+        )

@@ -1,0 +1,104 @@
+"""Uniform baseline runner against a :class:`DiscoveryTask`.
+
+The evaluation tables (Tables 4 & 6) compare MODis variants against METAM,
+METAM-MO, Starmie, SkSFM and H2O on the *same* task. This module runs any
+of them from a task object and returns the single output table, so the
+benchmark harness can score every method with the identical oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..datalake.tasks import DiscoveryTask
+from ..exceptions import DiscoveryError
+from ..relational.table import Table
+from .feature_selection import H2OFS, SkSFM
+from .hydragan import HydraGANLike
+from .metam import METAM, METAMMO
+from .starmie import Starmie
+
+
+def _base_and_candidates(task: DiscoveryTask) -> tuple[Table, list[Table]]:
+    """Augmentation starting point and joinable lake candidates.
+
+    Matches the paper's setting: the baselines start from the task's input
+    dataset (the universal table — the 'Original' row of Tables 4/6) and
+    may join additional lake tables that are *not* part of it (the corpus'
+    auxiliary tables). For hand-built tasks without auxiliary tables, fall
+    back to base-table + sibling-sources discovery.
+    """
+    if task.corpus is not None and task.corpus.auxiliary:
+        return task.universal, list(task.corpus.auxiliary)
+    base = None
+    candidates = []
+    for table in task.sources:
+        if task.target in table.schema and base is None:
+            base = table
+        else:
+            candidates.append(table)
+    if base is None:
+        raise DiscoveryError(f"no source of task {task.name} carries the target")
+    return base, candidates
+
+
+def run_metam(task: DiscoveryTask, utility: str | None = None) -> Table:
+    """METAM optimizing a single measure (the task's decisive by default —
+    the paper "choose[s] the same measure for each task as the utility")."""
+    base, candidates = _base_and_candidates(task)
+    method = METAM(
+        task.oracle,
+        task.measures,
+        utility_measure=utility or task.primary or task.measures.decisive.name,
+    )
+    return method.run(base, candidates).table
+
+
+def run_metam_mo(task: DiscoveryTask) -> Table:
+    """METAM-MO with uniform weights over the task's measure set."""
+    base, candidates = _base_and_candidates(task)
+    method = METAMMO(task.oracle, task.measures)
+    return method.run(base, candidates).table
+
+
+def run_starmie(task: DiscoveryTask, top_j: int = 3) -> Table:
+    """Starmie-style union search: augment with the top-j unionable tables."""
+    base, candidates = _base_and_candidates(task)
+    return Starmie(top_j=top_j).run(base, candidates).table
+
+
+def run_sksfm(task: DiscoveryTask) -> Table:
+    """SelectFromModel-style feature selection with the task's model."""
+    method = SkSFM(model_name=task.model_name, seed=task.seed)
+    return method.run(task.universal, task.target).table
+
+
+def run_h2o(task: DiscoveryTask) -> Table:
+    """H2O-style feature selection via a linear proxy model."""
+    kind = task.corpus.spec.task if task.corpus else "regression"
+    method = H2OFS(task_kind=kind, seed=task.seed)
+    return method.run(task.universal, task.target).table
+
+
+def run_hydragan(task: DiscoveryTask, n_rows: int = 100) -> Table:
+    """HydraGAN-style generative augmentation with n_rows synthetic rows."""
+    method = HydraGANLike(n_rows=n_rows, seed=task.seed)
+    return method.run(task.universal, task.target).table
+
+
+BASELINES: dict[str, Callable[[DiscoveryTask], Table]] = {
+    "METAM": run_metam,
+    "METAM-MO": run_metam_mo,
+    "Starmie": run_starmie,
+    "SkSFM": run_sksfm,
+    "H2O": run_h2o,
+}
+
+
+def run_baseline(task: DiscoveryTask, name: str) -> Table:
+    """Run a named baseline (tabular tasks only)."""
+    if task.kind != "tabular":
+        raise DiscoveryError("baselines are defined for tabular tasks only")
+    if name not in BASELINES:
+        raise DiscoveryError(f"unknown baseline {name!r}; have {sorted(BASELINES)}")
+    return BASELINES[name](task)

@@ -1,0 +1,36 @@
+"""Distributed skyline data generation (the paper's stated future work).
+
+Section 7: "Another topic is to extend MODis for distributed Skyline data
+generation." This package implements that extension as a simulated
+shared-nothing runtime:
+
+* :mod:`repro.distributed.partition` — splits the level-1 operator
+  frontier of the universal state across workers (each worker owns the
+  subtrees rooted at its assigned first reductions);
+* :mod:`repro.distributed.worker` — a worker runs a budgeted local
+  reduce-from-universal search over its partition with its *own*
+  estimator and history (no shared state), then ships only its local
+  ε-skyline to the coordinator;
+* :mod:`repro.distributed.coordinator` — :class:`DistributedMODis`
+  executes all workers, merges the local skylines (the skyline of a union
+  equals the skyline of the union of local skylines — the classic
+  distributed-skyline merge property), and reports per-worker statistics,
+  message counts, and the simulated parallel speedup.
+
+The simulation is single-process but preserves the distributed semantics
+that matter: disjoint exploration frontiers, private estimators, and
+communication limited to local skyline sets.
+"""
+
+from .coordinator import DistributedMODis, DistributedReport, merge_skylines
+from .partition import partition_frontier
+from .worker import Worker, WorkerResult
+
+__all__ = [
+    "DistributedMODis",
+    "DistributedReport",
+    "Worker",
+    "WorkerResult",
+    "merge_skylines",
+    "partition_frontier",
+]

@@ -1,0 +1,220 @@
+"""The distributed-MODis coordinator: scatter, search, merge.
+
+:class:`DistributedMODis` drives the whole run:
+
+1. **scatter** — partition the level-1 frontier of ``s_U`` across workers
+   (:func:`~repro.distributed.partition.partition_frontier`), giving each
+   worker an equal share of the global valuation budget;
+2. **search** — every worker runs its budgeted local search with a private
+   configuration built by the caller's factory (private estimator, private
+   history — shared-nothing);
+3. **merge** — local ε-skylines are unioned, deduped by bitmap, pushed
+   through a fresh UPareto grid and thinned to the exact Pareto front.
+   Correctness rests on the classic distributed-skyline identity:
+   ``skyline(∪ᵢ Sᵢ) = skyline(∪ᵢ skyline(Sᵢ))``.
+
+The simulation executes workers sequentially but reports the *simulated*
+parallel makespan (slowest worker + merge) alongside the sequential sum,
+so benchmarks can report speedup without real processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.algorithms.base import DiscoveryResult, AlgorithmReport, SkylineEntry
+from ..core.config import Configuration
+from ..core.dominance import SkylineGrid, pareto_front
+from ..core.state import State
+from ..core.transducer import RunningGraph
+from ..exceptions import SearchError
+from .partition import partition_frontier
+from .worker import ShippedState, Worker, WorkerResult
+
+
+def merge_skylines(
+    shipped: Sequence[Sequence[ShippedState]],
+    measures,
+    epsilon: float,
+) -> list[State]:
+    """Merge workers' local ε-skylines into one global skyline state list.
+
+    Dedupe by bitmap (shared-nothing workers can valuate the same state),
+    re-run UPareto over the union, then thin to the exact Pareto front —
+    the same finishing step every MODis algorithm applies.
+    """
+    by_bits: dict[int, ShippedState] = {}
+    for batch in shipped:
+        for item in batch:
+            by_bits.setdefault(item.bits, item)
+    if not by_bits:
+        return []
+    grid = SkylineGrid(measures, epsilon)
+    for item in by_bits.values():
+        state = State(bits=item.bits, perf=item.perf, via=item.via)
+        grid.update(state)
+    states = [s for s in grid.states if s.perf is not None]
+    front = pareto_front([s.perf for s in states])
+    return [states[i] for i in front]
+
+
+@dataclass
+class DistributedReport:
+    """Cluster-level run statistics."""
+
+    n_workers: int
+    worker_results: list[WorkerResult] = field(default_factory=list)
+    merge_seconds: float = 0.0
+
+    @property
+    def total_valuated(self) -> int:
+        return sum(w.n_valuated for w in self.worker_results)
+
+    @property
+    def distinct_shipped(self) -> int:
+        return len(
+            {s.bits for w in self.worker_results for s in w.shipped}
+        )
+
+    @property
+    def n_messages(self) -> int:
+        return sum(w.n_messages for w in self.worker_results)
+
+    @property
+    def sequential_seconds(self) -> float:
+        return sum(w.elapsed_seconds for w in self.worker_results)
+
+    @property
+    def parallel_seconds(self) -> float:
+        """Simulated makespan: slowest worker plus the merge."""
+        slowest = max(
+            (w.elapsed_seconds for w in self.worker_results), default=0.0
+        )
+        return slowest + self.merge_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_seconds <= 0:
+            return 1.0
+        return self.sequential_seconds / self.parallel_seconds
+
+
+class DistributedMODis:
+    """Distributed skyline data generation over ``n_workers`` partitions.
+
+    ``config_factory`` builds a fresh private configuration per worker
+    (its estimator must not be shared); the coordinator's own
+    configuration (worker id ``None``) is used only for measure metadata
+    and final verification.
+    """
+
+    name = "DistributedMODis"
+
+    def __init__(
+        self,
+        config_factory: Callable[[], Configuration],
+        n_workers: int = 4,
+        epsilon: float = 0.1,
+        budget: int = 200,
+        max_level: int = 6,
+    ):
+        if n_workers < 1:
+            raise SearchError("n_workers must be >= 1")
+        if budget < n_workers:
+            raise SearchError("budget must be at least one state per worker")
+        self.config_factory = config_factory
+        self.n_workers = int(n_workers)
+        self.epsilon = float(epsilon)
+        self.budget = int(budget)
+        self.max_level = int(max_level)
+        self.coordinator_config = config_factory()
+        self.report = DistributedReport(n_workers=self.n_workers)
+
+    # -- run ---------------------------------------------------------------------
+    def run(self, verify: bool = True) -> DiscoveryResult:
+        """Scatter, run every worker, merge, and (optionally) oracle-verify."""
+        start = time.perf_counter()
+        space = self.coordinator_config.space
+        partitions = partition_frontier(space, self.n_workers)
+        per_worker_budget = max(1, self.budget // self.n_workers)
+        shipped: list[list[ShippedState]] = []
+        for worker_id, seeds in enumerate(partitions):
+            if not seeds:
+                continue
+            worker = Worker(
+                worker_id=worker_id,
+                config=self.config_factory(),
+                seeds=seeds,
+                epsilon=self.epsilon,
+                budget=per_worker_budget,
+                max_level=self.max_level,
+            )
+            result = worker.run(verify=False)
+            self.report.worker_results.append(result)
+            shipped.append(result.shipped)
+        merge_start = time.perf_counter()
+        merged = merge_skylines(
+            shipped, self.coordinator_config.measures, self.epsilon
+        )
+        self.report.merge_seconds = time.perf_counter() - merge_start
+        if verify and self.coordinator_config.oracle is not None:
+            merged = self._verify(merged)
+        entries = self._entries(merged)
+        graph = RunningGraph()
+        for state in merged:
+            graph.add_state(state)
+        algo_report = AlgorithmReport(
+            algorithm=self.name,
+            n_valuated=self.report.total_valuated,
+            n_spawned=sum(w.n_spawned for w in self.report.worker_results),
+            n_levels=self.max_level,
+            elapsed_seconds=time.perf_counter() - start,
+            terminated_by="merged",
+            extras={
+                "n_workers": self.n_workers,
+                "n_messages": self.report.n_messages,
+                "sequential_seconds": round(self.report.sequential_seconds, 4),
+                "parallel_seconds": round(self.report.parallel_seconds, 4),
+                "speedup": round(self.report.speedup, 2),
+            },
+        )
+        return DiscoveryResult(
+            entries=entries,
+            measures=self.coordinator_config.measures,
+            report=algo_report,
+            running_graph=graph,
+            epsilon=self.epsilon,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+    def _verify(self, states: list[State]) -> list[State]:
+        """Re-score the merged skyline with the true oracle and re-thin."""
+        oracle = self.coordinator_config.oracle
+        measures = self.coordinator_config.measures
+        space = self.coordinator_config.space
+        for state in states:
+            raw = oracle(space.materialize(state.bits))
+            state.perf = measures.normalize_raw(raw)
+        if not states:
+            return states
+        front = pareto_front([s.perf for s in states])
+        return [states[i] for i in front]
+
+    def _entries(self, states: list[State]) -> list[SkylineEntry]:
+        space = self.coordinator_config.space
+        measures = self.coordinator_config.measures
+        entries = []
+        for state in sorted(states, key=lambda s: tuple(s.perf)):
+            entries.append(
+                SkylineEntry(
+                    state=state,
+                    perf=measures.as_dict(state.perf),
+                    output_size=space.output_size(state.bits),
+                    description=state.via or "s_U",
+                )
+            )
+        return entries

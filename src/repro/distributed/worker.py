@@ -1,0 +1,158 @@
+"""A distributed-MODis worker: budgeted local search over one partition.
+
+Each worker owns a private :class:`~repro.core.config.Configuration`
+(estimator and test history included — nothing is shared), explores only
+the subtrees rooted at its assigned level-1 seeds, and ships its local
+ε-skyline to the coordinator. Deeper states can be reachable from several
+workers' seeds; shared-nothing workers may therefore valuate a state twice
+across the cluster. The coordinator's merge dedupes by bitmap, and the
+duplication shows up honestly in the run statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import Configuration
+from ..core.state import State
+from ..exceptions import SearchError
+from ..core.algorithms.base import SkylineAlgorithm
+
+
+class _SeededApxMODis(SkylineAlgorithm):
+    """Reduce-from-universal search whose level-1 frontier is fixed.
+
+    Identical to ApxMODis except OpGen at the root yields only the
+    worker's seeds; all deeper levels expand normally.
+    """
+
+    name = "SeededApxMODis"
+
+    def __init__(self, config, seeds, **kwargs):
+        super().__init__(config, **kwargs)
+        self.seeds = list(seeds)
+
+    def _search(self) -> None:
+        space = self.config.space
+        start = State(bits=space.universal_bits, level=0, via="s_U")
+        self.graph.add_state(start)
+        self._valuate(start)
+        self.grid.update(start)
+        queue: deque[State] = deque()
+        visited: set[int] = {start.bits}
+        for child_bits, op in self.seeds:
+            if child_bits in visited or self.budget_exhausted:
+                continue
+            visited.add(child_bits)
+            child = State(bits=child_bits, level=1, via=op,
+                          parent_bits=start.bits)
+            self.graph.add_state(child)
+            self.graph.add_transition(start.bits, child_bits, op)
+            self.report.n_spawned += 1
+            self._valuate(child)
+            self.grid.update(child)
+            queue.append(child)
+        while queue:
+            if self.budget_exhausted:
+                self.report.terminated_by = "budget"
+                return
+            parent = queue.popleft()
+            if parent.level >= self.max_level:
+                continue
+            self.report.n_levels = max(self.report.n_levels, parent.level + 1)
+            for child_bits, op in self.transducer.spawn(parent.bits, "forward"):
+                if child_bits in visited:
+                    continue
+                visited.add(child_bits)
+                child = State(
+                    bits=child_bits,
+                    level=parent.level + 1,
+                    via=op,
+                    parent_bits=parent.bits,
+                )
+                self.graph.add_state(child)
+                self.graph.add_transition(parent.bits, child_bits, op)
+                self.report.n_spawned += 1
+                self._valuate(child)
+                self.grid.update(child)
+                queue.append(child)
+                if self.budget_exhausted:
+                    break
+        self.report.terminated_by = "exhausted"
+
+
+@dataclass(slots=True)
+class ShippedState:
+    """One local-skyline member as sent over the (simulated) wire."""
+
+    bits: int
+    perf: np.ndarray
+    via: str
+    output_size: tuple[int, int]
+
+
+@dataclass
+class WorkerResult:
+    """What one worker reports back to the coordinator."""
+
+    worker_id: int
+    shipped: list[ShippedState] = field(default_factory=list)
+    n_valuated: int = 0
+    n_spawned: int = 0
+    elapsed_seconds: float = 0.0
+    terminated_by: str = "exhausted"
+
+    @property
+    def n_messages(self) -> int:
+        """Communication volume: local-skyline states shipped."""
+        return len(self.shipped)
+
+
+class Worker:
+    """One shared-nothing worker of the distributed runtime."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        config: Configuration,
+        seeds,
+        epsilon: float,
+        budget: int,
+        max_level: int,
+    ):
+        if budget < 1:
+            raise SearchError("worker budget must be >= 1")
+        self.worker_id = worker_id
+        self.config = config
+        self.algorithm = _SeededApxMODis(
+            config, seeds, epsilon=epsilon, budget=budget, max_level=max_level
+        )
+
+    def run(self, verify: bool = False) -> WorkerResult:
+        """Execute the local search and package the local ε-skyline."""
+        start = time.perf_counter()
+        self.algorithm.run(verify=verify)
+        elapsed = time.perf_counter() - start
+        shipped = [
+            ShippedState(
+                bits=state.bits,
+                perf=np.asarray(state.perf, dtype=float),
+                via=state.via or "s_U",
+                output_size=self.config.space.output_size(state.bits),
+            )
+            for state in self.algorithm.grid.states
+            if state.perf is not None
+        ]
+        report = self.algorithm.report
+        return WorkerResult(
+            worker_id=self.worker_id,
+            shipped=shipped,
+            n_valuated=report.n_valuated,
+            n_spawned=report.n_spawned,
+            elapsed_seconds=elapsed,
+            terminated_by=report.terminated_by,
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the MODis reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries while tests can assert on precise
+subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema-level violation: unknown attribute, duplicate name,
+    incompatible schemas for a union, and similar structural problems."""
+
+
+class TableError(ReproError):
+    """A table-level violation: ragged columns, bad row index, or an
+    operation applied to a table that cannot support it."""
+
+
+class ExpressionError(ReproError):
+    """An ill-formed predicate or literal (unknown operator, bad arity)."""
+
+
+class JoinError(ReproError):
+    """Join construction failed: no shared keys and none supplied."""
+
+
+class ModelError(ReproError):
+    """An ML model was misused: predicting before fitting, shape
+    mismatches, or unsupported label types."""
+
+
+class EstimatorError(ReproError):
+    """Performance estimator misuse (e.g. valuating before any history
+    exists and no fallback oracle is configured)."""
+
+
+class MeasureError(ReproError):
+    """An invalid performance-measure specification (empty bounds, values
+    outside (0, 1], unknown measure names)."""
+
+
+class SearchError(ReproError):
+    """A skyline-search configuration problem: empty search space,
+    non-positive budgets, or an operator set that cannot progress."""
+
+
+class DiscoveryError(ReproError):
+    """A data-discovery baseline was configured incorrectly."""
+
+
+class DataLakeError(ReproError):
+    """Synthetic corpus/task generation was configured incorrectly."""
+
+
+class SQLError(ReproError):
+    """A SQL string could not be tokenized, parsed, bound, or executed."""

@@ -1,0 +1,27 @@
+"""Bipartite graph substrate for the GNN recommendation task (T5)."""
+
+from .bipartite import BipartiteGraph, Edge, split_edges
+from .evaluation import evaluate_ranking, train_and_evaluate
+from .lightgcn import LightGCN, normalized_adjacency
+from .operators import (
+    EdgeCluster,
+    aggregate_edge_features,
+    augment_edges,
+    cluster_edges,
+    reduct_edges,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "Edge",
+    "EdgeCluster",
+    "LightGCN",
+    "aggregate_edge_features",
+    "augment_edges",
+    "cluster_edges",
+    "evaluate_ranking",
+    "normalized_adjacency",
+    "reduct_edges",
+    "split_edges",
+    "train_and_evaluate",
+]

@@ -1,0 +1,183 @@
+"""Bipartite user–item interaction graphs (Task T5's data substrate).
+
+The paper's T5 "takes as input a bipartite graph between users and products,
+and links indicate their interaction"; augment/reduct become edge insertions
+and deletions. A :class:`BipartiteGraph` is immutable like :class:`Table`:
+edge additions/removals return new graphs, which keeps graph-valued search
+states side-effect free.
+
+Edges carry a feature vector (e.g. rating, recency, channel) used by the
+edge-clustering that derives the graph counterpart of domain literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import TableError
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A user–item interaction with an optional feature vector."""
+
+    user: int
+    item: int
+    features: tuple[float, ...] = ()
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.user, self.item)
+
+
+class BipartiteGraph:
+    """An immutable bipartite graph over ``n_users`` × ``n_items``."""
+
+    __slots__ = ("n_users", "n_items", "_edges", "_edge_index", "name")
+
+    def __init__(
+        self,
+        n_users: int,
+        n_items: int,
+        edges: Iterable[Edge] = (),
+        name: str = "",
+    ):
+        if n_users < 1 or n_items < 1:
+            raise TableError("bipartite graph needs at least one user and item")
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self.name = name
+        unique: dict[tuple[int, int], Edge] = {}
+        for edge in edges:
+            if not (0 <= edge.user < n_users and 0 <= edge.item < n_items):
+                raise TableError(
+                    f"edge {edge.key} outside ({n_users} users, {n_items} items)"
+                )
+            unique[edge.key] = edge
+        self._edges: tuple[Edge, ...] = tuple(unique.values())
+        self._edge_index: frozenset[tuple[int, int]] = frozenset(unique)
+
+    # -- accessors ---------------------------------------------------------------
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(num_edges, num_feature_dims) — mirrors the paper's graph 'size'."""
+        dims = len(self._edges[0].features) if self._edges else 0
+        return (self.num_edges, dims)
+
+    def has_edge(self, user: int, item: int) -> bool:
+        """Whether the (user, item) interaction exists."""
+        return (user, item) in self._edge_index
+
+    def user_items(self, user: int) -> set[int]:
+        """Items this user interacted with."""
+        return {e.item for e in self._edges if e.user == user}
+
+    def adjacency_lists(self) -> tuple[list[list[int]], list[list[int]]]:
+        """(per-user item lists, per-item user lists)."""
+        by_user: list[list[int]] = [[] for _ in range(self.n_users)]
+        by_item: list[list[int]] = [[] for _ in range(self.n_items)]
+        for e in self._edges:
+            by_user[e.user].append(e.item)
+            by_item[e.item].append(e.user)
+        return by_user, by_item
+
+    def edge_feature_matrix(self) -> np.ndarray:
+        """(num_edges, dims) matrix of edge features (zeros if featureless)."""
+        if not self._edges:
+            return np.zeros((0, 0))
+        dims = len(self._edges[0].features)
+        return np.array(
+            [e.features if len(e.features) == dims else (0.0,) * dims
+             for e in self._edges]
+        )
+
+    def degree_stats(self) -> dict[str, float]:
+        """Mean/max degree summaries for both node sides."""
+        by_user, by_item = self.adjacency_lists()
+        user_deg = [len(x) for x in by_user]
+        item_deg = [len(x) for x in by_item]
+        return {
+            "mean_user_degree": float(np.mean(user_deg)),
+            "mean_item_degree": float(np.mean(item_deg)),
+            "isolated_users": int(sum(1 for d in user_deg if d == 0)),
+            "isolated_items": int(sum(1 for d in item_deg if d == 0)),
+        }
+
+    # -- edge algebra (immutable) ---------------------------------------------------
+    def add_edges(self, new_edges: Iterable[Edge]) -> "BipartiteGraph":
+        """Graph with ``new_edges`` inserted (the paper's graph ⊕)."""
+        return BipartiteGraph(
+            self.n_users, self.n_items, list(self._edges) + list(new_edges),
+            name=self.name,
+        )
+
+    def remove_edges(self, keys: Iterable[tuple[int, int]]) -> "BipartiteGraph":
+        """Graph with the listed (user, item) edges removed (graph ⊖)."""
+        gone = set(keys)
+        kept = [e for e in self._edges if e.key not in gone]
+        return BipartiteGraph(self.n_users, self.n_items, kept, name=self.name)
+
+    def subgraph(self, edge_indices: Sequence[int]) -> "BipartiteGraph":
+        """Graph induced by the edges at the given positions."""
+        kept = [self._edges[i] for i in edge_indices]
+        return BipartiteGraph(self.n_users, self.n_items, kept, name=self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return (
+            self.n_users == other.n_users
+            and self.n_items == other.n_items
+            and set(self._edges) == set(other._edges)
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"BipartiteGraph{label}({self.n_users} users x {self.n_items} items, "
+            f"{self.num_edges} edges)"
+        )
+
+
+def split_edges(
+    graph: BipartiteGraph,
+    test_fraction: float,
+    rng: np.random.Generator,
+    min_train_per_user: int = 1,
+) -> tuple[BipartiteGraph, dict[int, set[int]]]:
+    """Hold out ~``test_fraction`` of each user's edges as relevance sets.
+
+    Returns the training graph and a mapping user → held-out item set. Users
+    keep at least ``min_train_per_user`` training edges so every user stays
+    connected during training.
+    """
+    per_user: dict[int, list[Edge]] = {}
+    for e in graph.edges:
+        per_user.setdefault(e.user, []).append(e)
+    held: dict[int, set[int]] = {}
+    kept: list[Edge] = []
+    for user in sorted(per_user):
+        edges = sorted(per_user[user], key=lambda e: e.item)
+        n_test = int(round(test_fraction * len(edges)))
+        n_test = min(n_test, max(0, len(edges) - min_train_per_user))
+        if n_test > 0:
+            chosen = set(
+                int(i) for i in rng.choice(len(edges), size=n_test, replace=False)
+            )
+            held[user] = {edges[i].item for i in chosen}
+            kept.extend(e for i, e in enumerate(edges) if i not in chosen)
+        else:
+            kept.extend(edges)
+    train = BipartiteGraph(graph.n_users, graph.n_items, kept, name=graph.name)
+    return train, held

@@ -1,0 +1,43 @@
+"""Library-wide logging helpers.
+
+The library logs under the ``repro`` namespace and never configures the root
+logger (that is the application's job). ``enable_console_logging`` is a small
+convenience used by the example scripts and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import logging
+
+LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger of the library's namespace logger."""
+    if not name:
+        return logging.getLogger(LIBRARY_LOGGER_NAME)
+    if name.startswith(LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stream handler to the library logger and return it.
+
+    Idempotent: repeated calls reuse the existing handler.
+    """
+    logger = get_logger()
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_console", False):
+            handler.setLevel(level)
+            logger.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler._repro_console = True  # type: ignore[attr-defined]
+    handler.setLevel(level)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

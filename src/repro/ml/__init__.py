@@ -1,0 +1,95 @@
+"""From-scratch ML substrate: models, metrics, preprocessing.
+
+Everything the paper's evaluation trains or measures is implemented here on
+``numpy`` alone — see DESIGN.md §1 for the scikit-learn/LightGBM
+substitution rationale.
+"""
+
+from .base import Classifier, Model, Regressor, sigmoid, softmax
+from .decomposition import PCA, pca_reduce_table, select_features_table
+from .boosting import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    MultiOutputGradientBoosting,
+)
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .histogram_boosting import (
+    HistGradientBoostingClassifier,
+    HistGradientBoostingRegressor,
+)
+from .kmeans import KMeans
+from .linear import BinaryLogisticRegression, LinearRegression, LogisticRegression
+from .metrics import (
+    accuracy,
+    f1_score,
+    fisher_score,
+    fisher_scores,
+    log_loss,
+    mae,
+    mean_ranking_metric,
+    mse,
+    multiclass_auc,
+    mutual_information,
+    mutual_information_scores,
+    ndcg_at_k,
+    precision,
+    precision_at_k,
+    r2_score,
+    recall,
+    recall_at_k,
+    rmse,
+    roc_auc,
+)
+from .preprocessing import TableEncoder, one_hot, split_table, train_test_split
+from .registry import available_models, make_model, register_model
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BinaryLogisticRegression",
+    "Classifier",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "HistGradientBoostingClassifier",
+    "HistGradientBoostingRegressor",
+    "KMeans",
+    "LinearRegression",
+    "LogisticRegression",
+    "Model",
+    "MultiOutputGradientBoosting",
+    "PCA",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "Regressor",
+    "TableEncoder",
+    "accuracy",
+    "available_models",
+    "f1_score",
+    "fisher_score",
+    "fisher_scores",
+    "log_loss",
+    "mae",
+    "make_model",
+    "mean_ranking_metric",
+    "mse",
+    "multiclass_auc",
+    "mutual_information",
+    "mutual_information_scores",
+    "ndcg_at_k",
+    "one_hot",
+    "pca_reduce_table",
+    "precision",
+    "precision_at_k",
+    "r2_score",
+    "recall",
+    "recall_at_k",
+    "register_model",
+    "rmse",
+    "roc_auc",
+    "select_features_table",
+    "sigmoid",
+    "softmax",
+    "split_table",
+    "train_test_split",
+]

@@ -1,0 +1,234 @@
+"""Dimensionality reduction: PCA and score-based feature pruning.
+
+Exp-3's closing remark motivates this module: "high-dimensional datasets
+may present challenges due to the search space growth. Dimensionality
+reduction such as PCA or feature selection, or correlation-based pruning
+... can be tailored to specific tasks to mitigate these challenges."
+
+* :class:`PCA` — from-scratch principal component analysis (SVD on the
+  centered, optionally standardized matrix) with component selection by
+  count or by retained-variance fraction;
+* :func:`pca_reduce_table` — shrink a universal table's numeric attributes
+  into ``k`` principal-component columns (categoricals and the target pass
+  through), so the MODis bitmap has ``O(k)`` instead of ``O(|R_U|)``
+  attribute entries;
+* :func:`select_features_table` — keep only the top-``k`` features by
+  per-feature Fisher score or mutual information (the remark's
+  feature-selection alternative).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError, SchemaError
+from ..relational.schema import Attribute, NUMERIC, Schema
+from ..relational.table import Table
+from .metrics import fisher_scores, mutual_information_scores
+
+
+class PCA:
+    """Principal component analysis via singular value decomposition.
+
+    ``n_components`` may be an integer (keep that many components) or a
+    float in (0, 1) (keep the smallest number of components whose
+    cumulative explained-variance ratio reaches it). Deterministic: sign
+    convention fixes each component's largest-magnitude loading positive.
+    """
+
+    def __init__(self, n_components: int | float = 0.95, standardize: bool = True):
+        if isinstance(n_components, bool) or (
+            isinstance(n_components, int) and n_components < 1
+        ):
+            raise ModelError("integer n_components must be >= 1")
+        if isinstance(n_components, float) and not 0.0 < n_components < 1.0:
+            raise ModelError("fractional n_components must be in (0, 1)")
+        self.n_components = n_components
+        self.standardize = standardize
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None  # (k, n_features)
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    # -- fitting ------------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "PCA":
+        """Learn mean/scale and the top principal directions of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ModelError(f"PCA expects a 2-D matrix, got shape {X.shape}")
+        n, d = X.shape
+        if n < 2:
+            raise ModelError("PCA needs at least 2 samples")
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        if self.standardize:
+            scale = centered.std(axis=0, ddof=1)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+            centered = centered / scale
+        else:
+            self.scale_ = np.ones(d)
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        variance = (singular**2) / (n - 1)
+        total = variance.sum()
+        ratio = variance / total if total > 0 else np.zeros_like(variance)
+        k = self._resolve_k(ratio, max_k=len(variance))
+        components = vt[:k]
+        # Deterministic sign: largest-|loading| coordinate is positive.
+        for row in components:
+            pivot = np.argmax(np.abs(row))
+            if row[pivot] < 0:
+                row *= -1.0
+        self.components_ = components
+        self.explained_variance_ = variance[:k]
+        self.explained_variance_ratio_ = ratio[:k]
+        return self
+
+    def _resolve_k(self, ratio: np.ndarray, max_k: int) -> int:
+        if isinstance(self.n_components, int):
+            return min(self.n_components, max_k)
+        cumulative = np.cumsum(ratio)
+        reached = int(np.searchsorted(cumulative, self.n_components) + 1)
+        return min(reached, max_k)
+
+    # -- transforms ----------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.components_ is None:
+            raise ModelError("PCA is not fitted; call fit() first")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows of ``X`` onto the fitted components."""
+        self._require_fitted()
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_ @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return its projection."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        """Map component scores back to the original feature space."""
+        self._require_fitted()
+        Z = np.asarray(Z, dtype=float)
+        return Z @ self.components_ * self.scale_ + self.mean_
+
+    @property
+    def n_components_(self) -> int:
+        self._require_fitted()
+        return self.components_.shape[0]
+
+
+# ---------------------------------------------------------------------------
+# Table-level reductions
+# ---------------------------------------------------------------------------
+
+
+def _numeric_feature_names(table: Table, target: str) -> list[str]:
+    if target not in table.schema:
+        raise SchemaError(f"target {target!r} not in table schema")
+    return [
+        a.name
+        for a in table.schema
+        if a.is_numeric and a.name != target
+    ]
+
+
+def _numeric_matrix(table: Table, names: Sequence[str]) -> np.ndarray:
+    """Mean-imputed numeric matrix for the named columns."""
+    columns = []
+    for name in names:
+        raw = table._column_ref(name)
+        values = np.array(
+            [np.nan if v is None else float(v) for v in raw], dtype=float
+        )
+        known = values[~np.isnan(values)]
+        fill = float(known.mean()) if known.size else 0.0
+        values = np.where(np.isnan(values), fill, values)
+        columns.append(values)
+    return np.stack(columns, axis=1) if columns else np.zeros((table.num_rows, 0))
+
+
+def pca_reduce_table(
+    table: Table,
+    target: str,
+    n_components: int | float = 0.9,
+    prefix: str = "pc",
+    standardize: bool = True,
+) -> tuple[Table, PCA]:
+    """Replace numeric feature columns by ``k`` principal components.
+
+    Categorical attributes and the target pass through unchanged; numeric
+    nulls are mean-imputed before projection (PCA needs complete rows).
+    Returns the reduced table and the fitted :class:`PCA` so callers can
+    project future data consistently.
+    """
+    numeric = _numeric_feature_names(table, target)
+    if len(numeric) < 2:
+        raise ModelError(
+            "PCA reduction needs at least two numeric feature columns"
+        )
+    X = _numeric_matrix(table, numeric)
+    pca = PCA(n_components=n_components, standardize=standardize)
+    Z = pca.fit_transform(X)
+    keep = [
+        a for a in table.schema
+        if a.name == target or not a.is_numeric
+    ]
+    attrs = [Attribute(f"{prefix}{i + 1}", NUMERIC) for i in range(Z.shape[1])]
+    schema = Schema(attrs + keep)
+    columns = {
+        f"{prefix}{i + 1}": [float(v) for v in Z[:, i]]
+        for i in range(Z.shape[1])
+    }
+    for attr in keep:
+        columns[attr.name] = table.column(attr.name)
+    return Table(schema, columns, name=table.name), pca
+
+
+def select_features_table(
+    table: Table,
+    target: str,
+    k: int,
+    method: str = "fisher",
+    bins: int = 8,
+) -> tuple[Table, dict[str, float]]:
+    """Keep the target plus the top-``k`` numeric features by a filter score.
+
+    ``method`` is ``"fisher"`` (class-separation Fisher score; regression
+    targets are quartile-binned first) or ``"mi"`` (mutual information).
+    Categorical feature columns are dropped — this mirrors SkSFM-style
+    filters, which rank encoded numeric features. Returns the reduced
+    table and the name → score map (descending score order).
+    """
+    if k < 1:
+        raise ModelError("select_features_table needs k >= 1")
+    if method not in ("fisher", "mi"):
+        raise ModelError(f"unknown method {method!r}; use 'fisher' or 'mi'")
+    numeric = _numeric_feature_names(table, target)
+    if not numeric:
+        raise ModelError("no numeric feature columns to select from")
+    X = _numeric_matrix(table, numeric)
+    y_raw = table._column_ref(target)
+    if any(v is None for v in y_raw):
+        raise ModelError("target column must be null-free for scoring")
+    y = np.asarray(
+        [float(v) if isinstance(v, (int, float)) else hash(v) for v in y_raw]
+    )
+    if method == "fisher":
+        distinct = np.unique(y)
+        if len(distinct) > 8:  # regression target: quartile-bin it
+            edges = np.quantile(y, [0.25, 0.5, 0.75])
+            y = np.searchsorted(edges, y)
+        scores = fisher_scores(X, y)
+    else:
+        scores = mutual_information_scores(X, y, bins=bins)
+    ranking = sorted(
+        zip(numeric, scores), key=lambda p: (-p[1], p[0])
+    )
+    chosen = [name for name, _ in ranking[:k]]
+    ordered = [n for n in table.schema.names if n in set(chosen)]
+    reduced = table.project(ordered + [target])
+    return reduced, {name: float(score) for name, score in ranking}

@@ -1,0 +1,112 @@
+"""Random forests (bagged CART with feature subsampling).
+
+Used by the paper as the model for Task T2 (house-price classification) and
+in both case studies. Each tree sees a bootstrap sample and, at every node,
+a ``sqrt(d)`` feature subset; predictions average leaf distributions
+(classification) or leaf means (regression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import spawn_rng
+from .base import Classifier, Regressor, bootstrap_indices
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated classification trees with soft voting."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def _fit(self, X, codes, rng):
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1])
+        labels = self.classes_[codes.astype(int)]  # restore labels per tree fit
+        for t in range(self.n_estimators):
+            tree_rng = spawn_rng(self.seed, "rf-tree", t)
+            idx = bootstrap_indices(X.shape[0], tree_rng)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(tree_rng.integers(2**31)),
+            )
+            tree.fit(X[idx], labels[idx])
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+
+    def _predict_proba(self, X):
+        # Trees may have seen different class subsets in their bootstrap;
+        # re-align each tree's probability columns onto the forest's classes.
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            out[:, cols] += proba
+        return out / len(self.estimators_)
+
+    def _cost(self, n, d):
+        return sum(t.training_cost_ for t in self.estimators_)
+
+
+class RandomForestRegressor(Regressor):
+    """Bootstrap-aggregated regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.estimators_: list[DecisionTreeRegressor] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def _fit(self, X, y, rng):
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1])
+        for t in range(self.n_estimators):
+            tree_rng = spawn_rng(self.seed, "rf-tree", t)
+            idx = bootstrap_indices(X.shape[0], tree_rng)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(tree_rng.integers(2**31)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+
+    def _predict(self, X):
+        preds = np.stack([tree.predict(X) for tree in self.estimators_])
+        return preds.mean(axis=0)
+
+    def _cost(self, n, d):
+        return sum(t.training_cost_ for t in self.estimators_)

@@ -1,0 +1,84 @@
+"""k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Section 6 of the paper uses k-means twice: to compress attribute active
+domains into equality literals (handled 1-D in ``relational.domain``) and to
+cluster universal-table tuples / graph edges for the scalability experiments
+("we perform k-means clustering over the tuples of the universal table with
+k = |adom|"). This module is the general d-dimensional version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import make_rng
+
+
+class KMeans:
+    """Lloyd's algorithm with deterministic k-means++ initialization."""
+
+    def __init__(self, n_clusters: int = 8, n_iter: int = 100, seed: int = 0):
+        if n_clusters < 1:
+            raise ModelError("n_clusters must be >= 1")
+        self.n_clusters = int(n_clusters)
+        self.n_iter = int(n_iter)
+        self.seed = int(seed)
+        self.centers_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+        self.n_iter_run_: int = 0
+
+    def fit(self, X) -> "KMeans":
+        """Run Lloyd's algorithm on the rows of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ModelError("KMeans expects a non-empty 2-D array")
+        rng = make_rng(self.seed)
+        k = min(self.n_clusters, X.shape[0])
+        centers = self._plus_plus_init(X, k, rng)
+        labels = np.zeros(X.shape[0], dtype=int)
+        for iteration in range(self.n_iter):
+            distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            new_labels = distances.argmin(axis=1)
+            if iteration > 0 and np.array_equal(new_labels, labels):
+                break
+            labels = new_labels
+            for j in range(k):
+                members = X[labels == j]
+                if len(members):
+                    centers[j] = members.mean(axis=0)
+            self.n_iter_run_ = iteration + 1
+        self.centers_ = centers
+        self.inertia_ = float(
+            ((X - centers[labels]) ** 2).sum()
+        )
+        return self
+
+    @staticmethod
+    def _plus_plus_init(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centers = [X[int(rng.integers(n))]]
+        for _ in range(1, k):
+            d2 = np.min(
+                ((X[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total == 0:
+                centers.append(X[int(rng.integers(n))])
+                continue
+            probs = d2 / total
+            centers.append(X[int(rng.choice(n, p=probs))])
+        return np.asarray(centers, dtype=float)
+
+    def predict(self, X) -> np.ndarray:
+        """Nearest-centroid cluster index per row."""
+        if self.centers_ is None:
+            raise ModelError("KMeans is not fitted")
+        X = np.asarray(X, dtype=float)
+        distances = ((X[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit on ``X`` and return its row labels."""
+        return self.fit(X).predict(X)

@@ -1,0 +1,142 @@
+"""Linear and logistic regression.
+
+``LinearRegression`` solves the ridge-regularized normal equations in closed
+form; ``LogisticRegression`` runs full-batch gradient descent with a fixed
+iteration budget (deterministic for a fixed input, as the paper's model
+definition requires). Multiclass logistic uses softmax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, Regressor, sigmoid, softmax
+
+
+class LinearRegression(Regressor):
+    """Ordinary least squares with optional L2 regularization.
+
+    ``l2`` defaults to a tiny jitter so collinear feature matrices (common
+    after outer joins introduce constant or duplicated columns) stay
+    solvable.
+    """
+
+    def __init__(self, l2: float = 1e-8, fit_intercept: bool = True, seed: int = 0):
+        super().__init__(seed=seed)
+        self.l2 = float(l2)
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        if self.fit_intercept:
+            return np.hstack([X, np.ones((X.shape[0], 1))])
+        return X
+
+    def _fit(self, X, y, rng):
+        design = self._design(X)
+        gram = design.T @ design
+        reg = self.l2 * np.eye(design.shape[1])
+        if self.fit_intercept:
+            reg[-1, -1] = 0.0  # never regularize the intercept
+        theta = np.linalg.solve(gram + reg, design.T @ y.astype(float))
+        if self.fit_intercept:
+            self.coef_, self.intercept_ = theta[:-1], float(theta[-1])
+        else:
+            self.coef_, self.intercept_ = theta, 0.0
+
+    def _predict(self, X):
+        return X @ self.coef_ + self.intercept_
+
+    def _cost(self, n, d):
+        dim = d + (1 if self.fit_intercept else 0)
+        return n * dim**2 + dim**3
+
+
+class LogisticRegression(Classifier):
+    """Softmax regression trained by full-batch gradient descent.
+
+    Features should be standardized (``TableEncoder`` does this) so the
+    fixed learning rate is well-behaved.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iter: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.learning_rate = float(learning_rate)
+        self.n_iter = int(n_iter)
+        self.l2 = float(l2)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+
+    def _fit(self, X, codes, rng):
+        n, d = X.shape
+        k = len(self.classes_)
+        one_hot = np.zeros((n, k))
+        one_hot[np.arange(n), codes.astype(int)] = 1.0
+        weights = np.zeros((d, k))
+        bias = np.zeros(k)
+        for _ in range(self.n_iter):
+            proba = softmax(X @ weights + bias)
+            grad_raw = (proba - one_hot) / n
+            weights -= self.learning_rate * (X.T @ grad_raw + self.l2 * weights)
+            bias -= self.learning_rate * grad_raw.sum(axis=0)
+        self.coef_, self.intercept_ = weights, bias
+
+    def _predict_proba(self, X):
+        return softmax(X @ self.coef_ + self.intercept_)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw class scores before the softmax."""
+        return np.asarray(X, dtype=float) @ self.coef_ + self.intercept_
+
+    def _cost(self, n, d):
+        return self.n_iter * n * d * len(self.classes_)
+
+
+class BinaryLogisticRegression(Classifier):
+    """Two-class logistic regression with a single weight vector.
+
+    Kept separate from the softmax version both as the textbook formulation
+    and because its probability column is what `roc_auc` consumes directly.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iter: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.learning_rate = float(learning_rate)
+        self.n_iter = int(n_iter)
+        self.l2 = float(l2)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def _fit(self, X, codes, rng):
+        if len(self.classes_) != 2:
+            raise ValueError("BinaryLogisticRegression requires exactly 2 classes")
+        n, d = X.shape
+        target = codes.astype(float)
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.n_iter):
+            proba = sigmoid(X @ weights + bias)
+            error = (proba - target) / n
+            weights -= self.learning_rate * (X.T @ error + self.l2 * weights)
+            bias -= self.learning_rate * float(error.sum())
+        self.coef_, self.intercept_ = weights, bias
+
+    def _predict_proba(self, X):
+        positive = sigmoid(X @ self.coef_ + self.intercept_)
+        return np.column_stack([1.0 - positive, positive])
+
+    def _cost(self, n, d):
+        return self.n_iter * n * d

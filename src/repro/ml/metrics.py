@@ -1,0 +1,294 @@
+"""Model-performance metrics used throughout the paper's evaluation.
+
+Table 3 of the paper assigns these measures to tasks: accuracy, training
+time, F1, AUC, NDCG@n, MAE/MSE, Precision@n / Recall@n, Fisher score and
+mutual information. All are implemented here from scratch on ``numpy``.
+
+Conventions: classification metrics take integer label arrays; ranking
+metrics take, per user, the recommended item list and the relevant item set;
+feature scores return one value per feature column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+# --------------------------------------------------------------------------
+# Regression
+# --------------------------------------------------------------------------
+
+
+def _as_float(y) -> np.ndarray:
+    arr = np.asarray(y, dtype=float).ravel()
+    if arr.size == 0:
+        raise ModelError("metric on empty array")
+    return arr
+
+
+def mse(y_true, y_pred) -> float:
+    """Mean squared error."""
+    t, p = _as_float(y_true), _as_float(y_pred)
+    return float(np.mean((t - p) ** 2))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    t, p = _as_float(y_true), _as_float(y_pred)
+    return float(np.mean(np.abs(t - p)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 0.0 for a constant true vector."""
+    t, p = _as_float(y_true), _as_float(y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+# --------------------------------------------------------------------------
+# Classification
+# --------------------------------------------------------------------------
+
+
+def _as_labels(y) -> np.ndarray:
+    arr = np.asarray(y).ravel()
+    if arr.size == 0:
+        raise ModelError("metric on empty array")
+    return arr
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    t, p = _as_labels(y_true), _as_labels(y_pred)
+    return float(np.mean(t == p))
+
+
+def _binary_counts(t: np.ndarray, p: np.ndarray, positive) -> tuple[int, int, int]:
+    tp = int(np.sum((p == positive) & (t == positive)))
+    fp = int(np.sum((p == positive) & (t != positive)))
+    fn = int(np.sum((p != positive) & (t == positive)))
+    return tp, fp, fn
+
+
+def precision(y_true, y_pred, average: str = "macro") -> float:
+    """Precision; macro-averaged over classes by default."""
+    return _prf(y_true, y_pred, average, "precision")
+
+
+def recall(y_true, y_pred, average: str = "macro") -> float:
+    """Recall; macro-averaged over classes by default."""
+    return _prf(y_true, y_pred, average, "recall")
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """F1; macro-averaged over classes by default."""
+    return _prf(y_true, y_pred, average, "f1")
+
+
+def _prf(y_true, y_pred, average: str, which: str) -> float:
+    t, p = _as_labels(y_true), _as_labels(y_pred)
+    classes = np.unique(t)
+    scores = []
+    for c in classes:
+        tp, fp, fn = _binary_counts(t, p, c)
+        prec = tp / (tp + fp) if (tp + fp) else 0.0
+        rec = tp / (tp + fn) if (tp + fn) else 0.0
+        if which == "precision":
+            scores.append(prec)
+        elif which == "recall":
+            scores.append(rec)
+        else:
+            scores.append(2 * prec * rec / (prec + rec) if (prec + rec) else 0.0)
+    if average == "macro":
+        return float(np.mean(scores))
+    if average == "micro":
+        # micro P == micro R == micro F1 == accuracy for single-label tasks
+        return accuracy(t, p)
+    raise ModelError(f"unknown average {average!r}; use 'macro' or 'micro'")
+
+
+def roc_auc(y_true, scores) -> float:
+    """Binary ROC AUC via the Mann–Whitney rank statistic.
+
+    ``y_true`` must have exactly two label values; the greater one is the
+    positive class. Ties in scores receive mid-ranks.
+    """
+    t = _as_labels(y_true)
+    s = _as_float(scores)
+    classes = np.unique(t)
+    if len(classes) != 2:
+        raise ModelError(f"roc_auc needs exactly 2 classes, got {len(classes)}")
+    positive = classes[-1]
+    pos = s[t == positive]
+    neg = s[t != positive]
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty(len(s), dtype=float)
+    sorted_scores = s[order]
+    i = 0
+    while i < len(s):  # mid-ranks for tied scores
+        j = i
+        while j + 1 < len(s) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum_pos = float(np.sum(ranks[t == positive]))
+    n_pos, n_neg = len(pos), len(neg)
+    u_stat = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_stat / (n_pos * n_neg))
+
+
+def multiclass_auc(y_true, proba, classes: Sequence) -> float:
+    """One-vs-rest macro AUC given per-class probabilities (n, k)."""
+    t = _as_labels(y_true)
+    proba = np.asarray(proba, dtype=float)
+    aucs = []
+    for j, c in enumerate(classes):
+        binary = (t == c).astype(int)
+        if binary.min() == binary.max():
+            continue  # class absent (or universal) in y_true
+        aucs.append(roc_auc(binary, proba[:, j]))
+    if not aucs:
+        raise ModelError("multiclass_auc: no class with both outcomes present")
+    return float(np.mean(aucs))
+
+
+def log_loss(y_true, proba, classes: Sequence, eps: float = 1e-12) -> float:
+    """Cross-entropy of per-class probabilities (n, k)."""
+    t = _as_labels(y_true)
+    proba = np.clip(np.asarray(proba, dtype=float), eps, 1.0)
+    index = {c: j for j, c in enumerate(classes)}
+    picked = np.array([proba[i, index[label]] for i, label in enumerate(t)])
+    return float(-np.mean(np.log(picked)))
+
+
+# --------------------------------------------------------------------------
+# Ranking (Task T5: Precision@n, Recall@n, NDCG@n)
+# --------------------------------------------------------------------------
+
+
+def precision_at_k(recommended: Sequence, relevant: Iterable, k: int) -> float:
+    """|top-k ∩ relevant| / k."""
+    if k <= 0:
+        raise ModelError("k must be positive")
+    rel = set(relevant)
+    top = list(recommended)[:k]
+    return sum(1 for item in top if item in rel) / k
+
+
+def recall_at_k(recommended: Sequence, relevant: Iterable, k: int) -> float:
+    """|top-k ∩ relevant| / |relevant| (0 when nothing is relevant)."""
+    rel = set(relevant)
+    if not rel:
+        return 0.0
+    top = list(recommended)[:k]
+    return sum(1 for item in top if item in rel) / len(rel)
+
+
+def ndcg_at_k(recommended: Sequence, relevant: Iterable, k: int) -> float:
+    """Binary-relevance NDCG@k."""
+    rel = set(relevant)
+    if not rel or k <= 0:
+        return 0.0
+    top = list(recommended)[:k]
+    dcg = sum(
+        1.0 / np.log2(rank + 2.0) for rank, item in enumerate(top) if item in rel
+    )
+    ideal_hits = min(len(rel), k)
+    idcg = sum(1.0 / np.log2(rank + 2.0) for rank in range(ideal_hits))
+    return float(dcg / idcg)
+
+
+def mean_ranking_metric(per_user: Iterable[float]) -> float:
+    """Average a per-user ranking metric over users."""
+    values = list(per_user)
+    if not values:
+        raise ModelError("no users to average over")
+    return float(np.mean(values))
+
+
+# --------------------------------------------------------------------------
+# Feature/dataset scores (Fisher score, mutual information)
+# --------------------------------------------------------------------------
+
+
+def fisher_scores(X, y) -> np.ndarray:
+    """Per-feature Fisher score for a classification target.
+
+    ``sum_c n_c (mu_{c,f} - mu_f)^2 / sum_c n_c sigma^2_{c,f}``; features with
+    zero within-class variance and zero between-class spread score 0.
+    """
+    X = np.asarray(X, dtype=float)
+    t = _as_labels(y)
+    if X.ndim != 2 or len(t) != X.shape[0]:
+        raise ModelError("fisher_scores expects X (n, d) and y (n,)")
+    overall = X.mean(axis=0)
+    numer = np.zeros(X.shape[1])
+    denom = np.zeros(X.shape[1])
+    for c in np.unique(t):
+        block = X[t == c]
+        n_c = block.shape[0]
+        numer += n_c * (block.mean(axis=0) - overall) ** 2
+        denom += n_c * block.var(axis=0)
+    out = np.zeros(X.shape[1])
+    nonzero = denom > 0
+    out[nonzero] = numer[nonzero] / denom[nonzero]
+    return out
+
+
+def fisher_score(X, y) -> float:
+    """Dataset-level Fisher score: the mean per-feature score (paper p_Fsc)."""
+    return float(np.mean(fisher_scores(X, y)))
+
+
+def _discretize(column: np.ndarray, bins: int) -> np.ndarray:
+    """Quantile-bin a numeric column into integer codes."""
+    uniq = np.unique(column)
+    if len(uniq) <= bins:
+        codes = {v: i for i, v in enumerate(uniq)}
+        return np.array([codes[v] for v in column])
+    edges = np.quantile(column, np.linspace(0, 1, bins + 1)[1:-1])
+    return np.searchsorted(edges, column, side="right")
+
+
+def mutual_information_scores(X, y, bins: int = 8) -> np.ndarray:
+    """Per-feature plug-in MI (nats) between quantile-binned features and the
+    (binned, if numeric with many distinct values) target."""
+    X = np.asarray(X, dtype=float)
+    t = _as_labels(y)
+    if np.issubdtype(t.dtype, np.floating) and len(np.unique(t)) > bins:
+        t = _discretize(t.astype(float), bins)
+    scores = np.zeros(X.shape[1])
+    n = X.shape[0]
+    t_vals, t_codes = np.unique(t, return_inverse=True)
+    p_t = np.bincount(t_codes) / n
+    for f in range(X.shape[1]):
+        codes = _discretize(X[:, f], bins)
+        f_vals, f_codes = np.unique(codes, return_inverse=True)
+        joint = np.zeros((len(f_vals), len(t_vals)))
+        np.add.at(joint, (f_codes, t_codes), 1.0)
+        joint /= n
+        p_f = joint.sum(axis=1)
+        mi = 0.0
+        for i in range(len(f_vals)):
+            for j in range(len(t_vals)):
+                pij = joint[i, j]
+                if pij > 0:
+                    mi += pij * np.log(pij / (p_f[i] * p_t[j]))
+        scores[f] = max(mi, 0.0)
+    return scores
+
+
+def mutual_information(X, y, bins: int = 8) -> float:
+    """Dataset-level MI: mean per-feature score (paper p_MI)."""
+    return float(np.mean(mutual_information_scores(X, y, bins=bins)))

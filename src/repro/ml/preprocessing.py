@@ -1,0 +1,213 @@
+"""Table → matrix encoding and dataset splitting.
+
+The skyline search hands the model arbitrary intermediate tables: columns
+appear and disappear, outer joins introduce nulls. ``TableEncoder`` turns
+any such table into the fixed numeric matrix the model was trained against:
+
+* numeric attributes — mean-imputed, optionally standardized;
+* categorical attributes — ordinal codes learned at fit time (unknown
+  values map to -1), mode-imputed;
+* attributes absent from a transformed table are emitted as all-imputed
+  columns, so the model's feature dimensionality never changes while the
+  search drops columns (this realises the paper's ``adom_s(A) = ∅`` masking
+  at the feature-matrix level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError, SchemaError
+from ..relational.schema import Schema
+from ..relational.table import Table
+from ..rng import make_rng
+
+
+@dataclass(slots=True)
+class _ColumnCodec:
+    """Per-attribute encoding state learned at fit time."""
+
+    name: str
+    numeric: bool
+    fill: float  # imputation value in encoded space
+    mean: float = 0.0
+    scale: float = 1.0
+    categories: dict[Any, int] = field(default_factory=dict)
+
+    def encode(self, values: list) -> np.ndarray:
+        if self.numeric:
+            out = np.array(
+                [float(v) if v is not None else self.fill for v in values]
+            )
+            return (out - self.mean) / self.scale
+        out = np.array(
+            [
+                float(self.categories.get(v, -1)) if v is not None else self.fill
+                for v in values
+            ]
+        )
+        return out
+
+
+class TableEncoder:
+    """Fit on a reference table; transform any sub/superset table."""
+
+    def __init__(self, target: str, standardize: bool = True):
+        self.target = target
+        self.standardize = standardize
+        self.codecs_: list[_ColumnCodec] = []
+        self.target_codec_: _ColumnCodec | None = None
+        self.target_classes_: list | None = None
+        self.feature_names_: tuple[str, ...] = ()
+        self._fitted = False
+
+    # -- fitting -------------------------------------------------------------
+    def fit(self, table: Table) -> "TableEncoder":
+        """Learn imputation values and category codes from ``table``."""
+        if self.target not in table.schema:
+            raise SchemaError(
+                f"target {self.target!r} not in schema {table.schema.names}"
+            )
+        self.codecs_ = []
+        names = [n for n in table.schema.names if n != self.target]
+        for name in names:
+            attr = table.schema[name]
+            values = [v for v in table._column_ref(name) if v is not None]
+            if attr.is_numeric:
+                mean = float(np.mean([float(v) for v in values])) if values else 0.0
+                std = float(np.std([float(v) for v in values])) if values else 1.0
+                scale = std if (self.standardize and std > 1e-12) else 1.0
+                center = mean if self.standardize else 0.0
+                self.codecs_.append(
+                    _ColumnCodec(
+                        name=name, numeric=True, fill=mean, mean=center, scale=scale
+                    )
+                )
+            else:
+                cats = {v: i for i, v in enumerate(sorted(set(values), key=repr))}
+                mode = (
+                    max(set(values), key=lambda v: (values.count(v), repr(v)))
+                    if values
+                    else None
+                )
+                fill = float(cats.get(mode, -1))
+                self.codecs_.append(
+                    _ColumnCodec(
+                        name=name, numeric=False, fill=fill, categories=cats
+                    )
+                )
+        self.feature_names_ = tuple(c.name for c in self.codecs_)
+        # target codec
+        t_attr = table.schema[self.target]
+        t_values = [v for v in table._column_ref(self.target) if v is not None]
+        if t_attr.is_numeric:
+            fill = float(np.mean([float(v) for v in t_values])) if t_values else 0.0
+            self.target_codec_ = _ColumnCodec(
+                name=self.target, numeric=True, fill=fill
+            )
+            self.target_classes_ = None
+        else:
+            cats = {v: i for i, v in enumerate(sorted(set(t_values), key=repr))}
+            self.target_codec_ = _ColumnCodec(
+                name=self.target, numeric=False, fill=-1.0, categories=cats
+            )
+            self.target_classes_ = sorted(cats, key=cats.get)
+        self._fitted = True
+        return self
+
+    # -- transforming ----------------------------------------------------------
+    def transform(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
+        """Return (X, y); rows with a null target are dropped."""
+        if not self._fitted:
+            raise ModelError("TableEncoder is not fitted")
+        if self.target not in table.schema:
+            raise SchemaError(f"table lacks target {self.target!r}")
+        raw_target = table._column_ref(self.target)
+        keep = [i for i, v in enumerate(raw_target) if v is not None]
+        if not keep:
+            raise ModelError("no rows with a non-null target")
+        n = len(keep)
+        columns = []
+        for codec in self.codecs_:
+            if codec.name in table.schema:
+                col = table._column_ref(codec.name)
+                values = [col[i] for i in keep]
+            else:
+                values = [None] * n  # masked attribute: all-imputed column
+            columns.append(codec.encode(values))
+        X = (
+            np.column_stack(columns)
+            if columns
+            else np.zeros((n, 0))
+        )
+        t_codec = self.target_codec_
+        if t_codec.numeric:
+            y = np.array([float(raw_target[i]) for i in keep])
+        else:
+            y = np.array(
+                [t_codec.categories.get(raw_target[i], -1) for i in keep],
+                dtype=float,
+            )
+            known = y >= 0
+            X, y = X[known], y[known]
+            if len(y) == 0:
+                raise ModelError("no rows with a known target category")
+        return X, y
+
+    def fit_transform(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
+        """Fit on ``table`` and return its (X, y) encoding."""
+        return self.fit(table).transform(table)
+
+    def decode_target(self, codes: np.ndarray) -> list:
+        """Map integer target codes back to original labels."""
+        if self.target_classes_ is None:
+            raise ModelError("decode_target only applies to categorical targets")
+        return [self.target_classes_[int(c)] for c in codes]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split of (X, y); deterministic for a fixed seed."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != len(y):
+        raise ModelError("X and y disagree on the number of rows")
+    n = X.shape[0]
+    order = make_rng(seed).permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    if n_test >= n:
+        n_test = n - 1
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def split_table(
+    table: Table, test_fraction: float = 0.25, seed: int = 0
+) -> tuple[Table, Table]:
+    """Row-level shuffled split of a table."""
+    if table.num_rows < 2:
+        raise ModelError("cannot split a table with fewer than 2 rows")
+    order = make_rng(seed).permutation(table.num_rows)
+    n_test = max(1, int(round(test_fraction * table.num_rows)))
+    if n_test >= table.num_rows:
+        n_test = table.num_rows - 1
+    test_idx = [int(i) for i in order[:n_test]]
+    train_idx = [int(i) for i in order[n_test:]]
+    return table.take(train_idx), table.take(test_idx)
+
+
+def one_hot(codes: Sequence[int], n_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of integer codes."""
+    codes = np.asarray(codes, dtype=int)
+    out = np.zeros((len(codes), n_classes))
+    out[np.arange(len(codes)), codes] = 1.0
+    return out

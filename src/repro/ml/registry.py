@@ -1,0 +1,72 @@
+"""Named model factories — the paper's per-task model zoo.
+
+Section 6 trains: GBmovie (gradient boosting, T1), RFhouse (random forest,
+T2), LRavocado (linear model, T3), LGCmental (LightGBM-style classifier,
+T4); T5's LightGCN lives in ``repro.graph``. ``make_model`` builds a fresh
+deterministic instance so every state valuation trains the *same* model
+architecture, as the fixed-model setting requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ModelError
+from .base import Model
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .histogram_boosting import (
+    HistGradientBoostingClassifier,
+    HistGradientBoostingRegressor,
+)
+from .linear import BinaryLogisticRegression, LinearRegression, LogisticRegression
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+_REGISTRY: dict[str, Callable[[int], Model]] = {
+    # paper task models
+    "gb_movie": lambda seed: GradientBoostingRegressor(
+        n_estimators=30, max_depth=3, seed=seed
+    ),
+    "rf_house": lambda seed: RandomForestClassifier(
+        n_estimators=15, max_depth=6, seed=seed
+    ),
+    "lr_avocado": lambda seed: LinearRegression(l2=1e-6, seed=seed),
+    "lgc_mental": lambda seed: HistGradientBoostingClassifier(
+        n_estimators=30, max_depth=4, seed=seed
+    ),
+    # generic entries
+    "linear_regression": lambda seed: LinearRegression(seed=seed),
+    "logistic_regression": lambda seed: LogisticRegression(seed=seed),
+    "binary_logistic": lambda seed: BinaryLogisticRegression(seed=seed),
+    "decision_tree_clf": lambda seed: DecisionTreeClassifier(seed=seed),
+    "decision_tree_reg": lambda seed: DecisionTreeRegressor(seed=seed),
+    "random_forest_clf": lambda seed: RandomForestClassifier(seed=seed),
+    "random_forest_reg": lambda seed: RandomForestRegressor(seed=seed),
+    "gradient_boosting_clf": lambda seed: GradientBoostingClassifier(seed=seed),
+    "gradient_boosting_reg": lambda seed: GradientBoostingRegressor(seed=seed),
+    "hist_gb_clf": lambda seed: HistGradientBoostingClassifier(seed=seed),
+    "hist_gb_reg": lambda seed: HistGradientBoostingRegressor(seed=seed),
+}
+
+
+def available_models() -> tuple[str, ...]:
+    """Registered model names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_model(name: str, seed: int = 0) -> Model:
+    """Instantiate a registered model with the given seed."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return factory(seed)
+
+
+def register_model(name: str, factory: Callable[[int], Model]) -> None:
+    """Add a user-defined model constructor to the registry."""
+    if name in _REGISTRY:
+        raise ModelError(f"model {name!r} already registered")
+    _REGISTRY[name] = factory

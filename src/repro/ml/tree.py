@@ -1,0 +1,298 @@
+"""CART decision trees (the base learner for forests and boosting).
+
+Standard top-down induction with exact split search: at each node every
+candidate feature's values are sorted once and prefix statistics give the
+best threshold in one pass — O(d · n log n) per node. Classification splits
+minimize Gini impurity; regression splits minimize within-child variance.
+
+Determinism: ties between equally good splits resolve to the lowest feature
+index / smallest threshold, so a fixed dataset always yields the same tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import Classifier, Model, Regressor, subsample_features
+
+
+@dataclass(slots=True)
+class _Node:
+    """One tree node; leaves carry a prediction vector."""
+
+    prediction: np.ndarray
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    n_samples: int = 0
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass(slots=True)
+class _GrowthStats:
+    """Book-keeping for cost accounting and introspection."""
+
+    node_count: int = 0
+    leaf_count: int = 0
+    max_depth_seen: int = 0
+    split_work: float = 0.0
+    importances: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+def _best_split_regression(
+    x: np.ndarray, y: np.ndarray, min_leaf: int
+) -> tuple[float, float]:
+    """Best (gain, threshold) for one feature under variance reduction."""
+    order = np.argsort(x, kind="mergesort")
+    xs, ys = x[order], y[order]
+    n = len(ys)
+    prefix = np.cumsum(ys)
+    prefix_sq = np.cumsum(ys**2)
+    total, total_sq = prefix[-1], prefix_sq[-1]
+    parent_sse = total_sq - total**2 / n
+    best_gain, best_thr = 0.0, np.nan
+    for i in range(min_leaf, n - min_leaf + 1):
+        if i < 1 or i >= n or xs[i - 1] == xs[i]:
+            continue
+        left_sse = prefix_sq[i - 1] - prefix[i - 1] ** 2 / i
+        right_n = n - i
+        right_sum = total - prefix[i - 1]
+        right_sse = (total_sq - prefix_sq[i - 1]) - right_sum**2 / right_n
+        gain = parent_sse - left_sse - right_sse
+        if gain > best_gain + 1e-12:
+            best_gain = gain
+            best_thr = (xs[i - 1] + xs[i]) / 2.0
+    return best_gain, best_thr
+
+
+def _best_split_classification(
+    x: np.ndarray, codes: np.ndarray, n_classes: int, min_leaf: int
+) -> tuple[float, float]:
+    """Best (gain, threshold) for one feature under Gini impurity."""
+    order = np.argsort(x, kind="mergesort")
+    xs, cs = x[order], codes[order]
+    n = len(cs)
+    one_hot = np.zeros((n, n_classes))
+    one_hot[np.arange(n), cs] = 1.0
+    prefix = np.cumsum(one_hot, axis=0)
+    totals = prefix[-1]
+    parent_gini = 1.0 - np.sum((totals / n) ** 2)
+    best_gain, best_thr = 0.0, np.nan
+    for i in range(min_leaf, n - min_leaf + 1):
+        if i < 1 or i >= n or xs[i - 1] == xs[i]:
+            continue
+        left = prefix[i - 1]
+        right = totals - left
+        gini_l = 1.0 - np.sum((left / i) ** 2)
+        gini_r = 1.0 - np.sum((right / (n - i)) ** 2)
+        gain = parent_gini - (i / n) * gini_l - ((n - i) / n) * gini_r
+        if gain > best_gain + 1e-12:
+            best_gain = gain
+            best_thr = (xs[i - 1] + xs[i]) / 2.0
+    return best_gain, best_thr
+
+
+class _TreeCore:
+    """Shared growth/predict machinery for both tree flavours."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.root_: _Node | None = None
+        self.stats_ = _GrowthStats()
+
+    def grow(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator,
+        classification: bool,
+        n_classes: int = 0,
+    ) -> None:
+        self.stats_ = _GrowthStats(importances=np.zeros(X.shape[1]))
+        self.root_ = self._grow_node(
+            X, y, np.arange(X.shape[0]), 0, rng, classification, n_classes
+        )
+
+    def _leaf_value(
+        self, y: np.ndarray, idx: np.ndarray, classification: bool, n_classes: int
+    ) -> np.ndarray:
+        if classification:
+            counts = np.bincount(y[idx].astype(int), minlength=n_classes)
+            return counts / counts.sum()
+        return np.array([y[idx].mean()])
+
+    def _grow_node(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+        classification: bool,
+        n_classes: int,
+    ) -> _Node:
+        stats = self.stats_
+        stats.node_count += 1
+        stats.max_depth_seen = max(stats.max_depth_seen, depth)
+        node = _Node(
+            prediction=self._leaf_value(y, idx, classification, n_classes),
+            n_samples=len(idx),
+            depth=depth,
+        )
+        if (
+            depth >= self.max_depth
+            or len(idx) < self.min_samples_split
+            or (classification and len(np.unique(y[idx])) == 1)
+            or (not classification and np.ptp(y[idx]) == 0.0)
+        ):
+            stats.leaf_count += 1
+            return node
+        features = subsample_features(X.shape[1], self.max_features, rng)
+        best = (0.0, -1, np.nan)  # (gain, feature, threshold)
+        for f in features:
+            x_col = X[idx, f]
+            stats.split_work += len(idx)
+            if classification:
+                gain, thr = _best_split_classification(
+                    x_col, y[idx].astype(int), n_classes, self.min_samples_leaf
+                )
+            else:
+                gain, thr = _best_split_regression(
+                    x_col, y[idx], self.min_samples_leaf
+                )
+            if gain > best[0] + 1e-12:
+                best = (gain, int(f), thr)
+        gain, feature, threshold = best
+        if feature < 0 or not np.isfinite(threshold):
+            stats.leaf_count += 1
+            return node
+        mask = X[idx, feature] <= threshold
+        left_idx, right_idx = idx[mask], idx[~mask]
+        if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+            stats.leaf_count += 1
+            return node
+        stats.importances[feature] += gain * len(idx)
+        node.feature = feature
+        node.threshold = float(threshold)
+        node.left = self._grow_node(
+            X, y, left_idx, depth + 1, rng, classification, n_classes
+        )
+        node.right = self._grow_node(
+            X, y, right_idx, depth + 1, rng, classification, n_classes
+        )
+        return node
+
+    def predict_values(self, X: np.ndarray) -> np.ndarray:
+        """Per-row leaf prediction vectors, stacked (n, k)."""
+        out = np.empty((X.shape[0], len(self.root_.prediction)))
+        for i in range(X.shape[0]):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if X[i, node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def normalized_importances(self) -> np.ndarray:
+        imp = self.stats_.importances
+        total = imp.sum()
+        return imp / total if total > 0 else imp
+
+
+class DecisionTreeRegressor(Regressor):
+    """CART regression tree with exact variance-reduction splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.feature_importances_: np.ndarray | None = None
+
+    def _fit(self, X, y, rng):
+        self._core_ = _TreeCore(
+            self.max_depth, self.min_samples_split, self.min_samples_leaf,
+            self.max_features,
+        )
+        self._core_.grow(X, y.astype(float), rng, classification=False)
+        self.feature_importances_ = self._core_.normalized_importances()
+
+    def _predict(self, X):
+        return self._core_.predict_values(X)[:, 0]
+
+    def _cost(self, n, d):
+        return self._core_.stats_.split_work * np.log2(max(n, 2))
+
+    @property
+    def node_count(self) -> int:
+        return self._core_.stats_.node_count
+
+    @property
+    def depth(self) -> int:
+        return self._core_.stats_.max_depth_seen
+
+
+class DecisionTreeClassifier(Classifier):
+    """CART classification tree with exact Gini splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.feature_importances_: np.ndarray | None = None
+
+    def _fit(self, X, y, rng):
+        self._core_ = _TreeCore(
+            self.max_depth, self.min_samples_split, self.min_samples_leaf,
+            self.max_features,
+        )
+        self._core_.grow(
+            X, y, rng, classification=True, n_classes=len(self.classes_)
+        )
+        self.feature_importances_ = self._core_.normalized_importances()
+
+    def _predict_proba(self, X):
+        return self._core_.predict_values(X)
+
+    def _cost(self, n, d):
+        return self._core_.stats_.split_work * np.log2(max(n, 2))
+
+    @property
+    def node_count(self) -> int:
+        return self._core_.stats_.node_count
+
+    @property
+    def depth(self) -> int:
+        return self._core_.stats_.max_depth_seen

@@ -1,0 +1,145 @@
+"""The user-facing skyline-query API.
+
+Example 1 of the paper is the intended usage: a team with source tables, a
+model, and per-measure expectations issues a skyline query — "generate a
+dataset for which our random forest model is expected to have a RMSE below
+0.3, R² at least 0.7, and training cost within 5 minutes". Here:
+
+    from repro import SkylineQuery, discover
+    from repro.core import error_measure, score_measure, cost_measure, MeasureSet
+
+    query = SkylineQuery(
+        sources=[water, basin, nitrogen, phosphorus],
+        target="ci_index",
+        model="random_forest_reg",
+        task_kind="regression",
+        measures=MeasureSet([
+            error_measure("rmse", cap=1.0, upper=0.6),
+            score_measure("acc", upper=0.35),      # inverted R²
+            cost_measure("train_cost", cap=1.0, upper=0.5),
+        ]),
+    )
+    result = discover(query, algorithm="bimodis", epsilon=0.1, budget=150)
+    best = result.best_by("rmse")
+
+``discover`` builds the universal dataset (multi-way outer join), compresses
+active domains into cluster literals, calibrates the training-cost cap
+against the universal dataset, and runs the chosen MODis algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .core.algorithms import ALGORITHMS, DiscoveryResult
+from .core.measures import MeasureSet, cost_measure
+from .datalake.tasks import DiscoveryTask, make_tabular_oracle, _calibrate_cost
+from .exceptions import SearchError
+from .relational.join import universal_join
+from .relational.table import Table
+from .rng import derive_seed
+
+
+@dataclass
+class SkylineQuery:
+    """A declarative multi-objective data-generation request."""
+
+    sources: list[Table]
+    target: str
+    model: str
+    measures: MeasureSet
+    task_kind: str = "regression"  # or "classification"
+    max_clusters: int = 5
+    seed: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise SearchError("a skyline query needs at least one source table")
+        if self.task_kind not in ("regression", "classification"):
+            raise SearchError(f"unknown task kind {self.task_kind!r}")
+        if not any(self.target in t.schema for t in self.sources):
+            raise SearchError(
+                f"no source table carries the target {self.target!r}"
+            )
+
+
+def query_to_task(query: SkylineQuery) -> DiscoveryTask:
+    """Compile a query into the task form the algorithms consume."""
+    universal = universal_join(query.sources, name="D_U")
+    oracle = make_tabular_oracle(
+        query.target,
+        query.model,
+        query.measures,
+        query.task_kind,
+        split_seed=derive_seed(query.seed, "split"),
+        model_seed=derive_seed(query.seed, "model"),
+    )
+    task = DiscoveryTask(
+        name=query.metadata.get("name", "query"),
+        kind="tabular",
+        measures=query.measures,
+        oracle=oracle,
+        universal=universal,
+        sources=query.sources,
+        target=query.target,
+        model_name=query.model,
+        max_clusters=query.max_clusters,
+        seed=query.seed,
+    )
+    if "train_cost" in query.measures:
+        cap, per_cell = _calibrate_cost(task)
+        rebuilt = [
+            cost_measure("train_cost", cap=cap, lower=m.lower, upper=m.upper)
+            if m.name == "train_cost"
+            else m
+            for m in query.measures
+        ]
+        task.measures = MeasureSet(rebuilt)
+        task.oracle = make_tabular_oracle(
+            query.target,
+            query.model,
+            task.measures,
+            query.task_kind,
+            split_seed=derive_seed(query.seed, "split"),
+            model_seed=derive_seed(query.seed, "model"),
+        )
+        task.cost_per_cell = per_cell
+    return task
+
+
+def discover(
+    query: SkylineQuery,
+    algorithm: str = "bimodis",
+    epsilon: float = 0.1,
+    budget: int = 150,
+    max_level: int = 6,
+    estimator: str = "mogb",
+    n_bootstrap: int = 20,
+    verify: bool = True,
+    **algorithm_kwargs,
+) -> DiscoveryResult:
+    """Run a skyline query end to end and return the ε-skyline set."""
+    if algorithm not in ALGORITHMS:
+        raise SearchError(
+            f"unknown algorithm {algorithm!r}; have {sorted(ALGORITHMS)}"
+        )
+    task = query_to_task(query)
+    config = task.build_config(estimator=estimator, n_bootstrap=n_bootstrap)
+    algo = ALGORITHMS[algorithm](
+        config,
+        epsilon=epsilon,
+        budget=budget,
+        max_level=max_level,
+        **algorithm_kwargs,
+    )
+    result = algo.run(verify=verify)
+    result.report.extras["task"] = task.name
+    result.report.extras["universal_size"] = task.universal.shape
+    return result
+
+
+def materialize_entry(query: SkylineQuery, result: DiscoveryResult, index: int) -> Table:
+    """Materialize the ``index``-th skyline entry of a query's result."""
+    task = query_to_task(query)
+    return task.space.materialize(result.entries[index].bits)

@@ -1,0 +1,111 @@
+"""In-memory relational engine: the substrate the MODis transducer runs on.
+
+Public surface:
+
+* :class:`Schema`, :class:`Attribute`, :func:`universal_schema`
+* :class:`Table`
+* predicates: :class:`Literal`, :class:`Conjunction`, :func:`equals`,
+  :func:`in_set`, :func:`value_range`
+* SPJ primitives: :func:`select`, :func:`reject`, :func:`project`,
+  :func:`union_all`, :func:`inner_join`, :func:`left_outer_join`,
+  :func:`full_outer_join`, :func:`universal_join`
+* paper operators: :func:`augment` (⊕), :func:`augment_join`,
+  :func:`reduct` (⊖), :func:`reduct_attribute`
+* active domains: :func:`active_domain`, :func:`adom_sizes`,
+  :func:`largest_adom`, :func:`cluster_domain`, :func:`cluster_all_domains`,
+  :class:`DomainCluster`
+* CSV I/O: :func:`read_csv`, :func:`read_csv_text`, :func:`write_csv`,
+  :func:`to_csv_text`
+* spatial joins (Example 3's augmentation): :class:`GridIndex`,
+  :func:`spatial_join`, :func:`nearest_join`, :func:`spatial_augment`
+"""
+
+from .augment import (
+    augment,
+    augment_join,
+    describe_augment,
+    describe_reduct,
+    reduct,
+    reduct_attribute,
+)
+from .csvio import read_csv, read_csv_text, to_csv_text, write_csv
+from .domain import (
+    DomainCluster,
+    active_domain,
+    adom_sizes,
+    cluster_all_domains,
+    cluster_domain,
+    largest_adom,
+)
+from .expressions import (
+    Conjunction,
+    Literal,
+    Predicate,
+    describe,
+    equals,
+    in_set,
+    value_range,
+)
+from .join import full_outer_join, inner_join, left_outer_join, universal_join
+from .operators import project, reject, select, union_all
+from .schema import Attribute, CATEGORICAL, NUMERIC, Schema, universal_schema
+from .spatial import (
+    EUCLIDEAN,
+    GridIndex,
+    HAVERSINE,
+    euclidean_distance,
+    haversine_distance,
+    nearest_join,
+    spatial_augment,
+    spatial_join,
+)
+from .table import Row, Table
+
+__all__ = [
+    "Attribute",
+    "CATEGORICAL",
+    "Conjunction",
+    "DomainCluster",
+    "EUCLIDEAN",
+    "GridIndex",
+    "HAVERSINE",
+    "Literal",
+    "NUMERIC",
+    "Predicate",
+    "Row",
+    "Schema",
+    "Table",
+    "active_domain",
+    "adom_sizes",
+    "augment",
+    "augment_join",
+    "cluster_all_domains",
+    "cluster_domain",
+    "describe",
+    "describe_augment",
+    "describe_reduct",
+    "equals",
+    "euclidean_distance",
+    "full_outer_join",
+    "haversine_distance",
+    "in_set",
+    "inner_join",
+    "largest_adom",
+    "left_outer_join",
+    "nearest_join",
+    "project",
+    "read_csv",
+    "read_csv_text",
+    "reduct",
+    "reduct_attribute",
+    "reject",
+    "select",
+    "spatial_augment",
+    "spatial_join",
+    "to_csv_text",
+    "union_all",
+    "universal_join",
+    "universal_schema",
+    "value_range",
+    "write_csv",
+]

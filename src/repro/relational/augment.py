@@ -1,0 +1,89 @@
+"""The paper's two primitive operators: Augment (⊕) and Reduct (⊖).
+
+Section 3 defines them verbatim:
+
+* ``⊕_c(D_M, D)`` — (a) augment the schema ``R_M`` with attributes of ``D``
+  not already present; (b) augment ``D_M`` with tuples from ``D`` satisfying
+  the literal ``c``; (c) fill remaining cells with null.
+* ``⊖_c(D_M)`` — select the tuples of ``D_M`` satisfying ``c`` and remove
+  them; an attribute whose every value is masked drops out of the schema.
+
+Both are PTIME and expressible as SPJ queries; ``augment_join`` additionally
+offers the join-flavoured enrichment used in Example 3 (spatial-join style
+augmentation) when the two tables share key attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .expressions import Predicate, describe
+from .join import left_outer_join
+from .operators import reject, select
+from .table import Table
+
+
+def augment(dm: Table, d: Table, literal: Predicate | None = None) -> Table:
+    """⊕_c(D_M, D): schema union + c-matching tuples of ``D`` + null fill.
+
+    With ``literal=None`` every tuple of ``D`` is added (the unconditional
+    augmentation used when seeding a backward search).
+    """
+    addition = select(d, literal) if literal is not None else d
+    out = dm.concat_rows(addition)
+    return out.with_name(dm.name or d.name)
+
+
+def augment_join(
+    dm: Table,
+    d: Table,
+    literal: Predicate | None = None,
+    on: Sequence[str] | None = None,
+) -> Table:
+    """Join-flavoured augmentation: left-outer-join the ``c``-filtered ``D``.
+
+    This enriches existing tuples of ``D_M`` with the new attributes of ``D``
+    (tuple-level augmentation à la the paper's spatial-join example) instead
+    of appending rows. Cells without a join partner become null, exactly as
+    step (c) of ⊕ requires.
+    """
+    addition = select(d, literal) if literal is not None else d
+    return left_outer_join(dm, addition, on=on, name=dm.name or d.name)
+
+
+def reduct(dm: Table, literal: Predicate) -> Table:
+    """⊖_c(D_M): remove every tuple satisfying the literal ``c``.
+
+    Attributes that end up entirely null are projected away: the state's
+    ``adom_s(A) = ∅`` encoding means "A is not involved for training or
+    testing M" (Section 3), which the ML layer realises by the column being
+    absent.
+    """
+    kept = reject(dm, literal)
+    dead = [
+        n for n in kept.schema.names
+        if kept.num_rows > 0 and all(v is None for v in kept._column_ref(n))
+    ]
+    if dead:
+        kept = kept.drop_columns(dead)
+    return kept.with_name(dm.name)
+
+
+def reduct_attribute(dm: Table, attribute: str) -> Table:
+    """Attribute-level reduction: mask a whole column (drop it).
+
+    This is the bitmap "schema bit" flip of Algorithm 1 — the operator OpGen
+    generates when it flips the entry recording that ``R_s`` contains ``A``.
+    """
+    return dm.drop_columns([attribute]).with_name(dm.name)
+
+
+def describe_augment(d: Table, literal: Predicate | None) -> str:
+    """Render ⊕ for logs and running-graph edges."""
+    cond = describe(literal) if literal is not None else "true"
+    return f"⊕[{cond}]({d.name or 'D'})"
+
+
+def describe_reduct(literal: Predicate) -> str:
+    """Render ⊖ for logs and running-graph edges."""
+    return f"⊖[{describe(literal)}]"

@@ -1,0 +1,108 @@
+"""CSV round-tripping for tables.
+
+Small, dependency-free I/O so examples can persist discovered skyline
+datasets and users can feed their own tables in. Type inference follows the
+schema when given, otherwise: ints/floats parse as numeric, empty cells are
+nulls, everything else is categorical.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..exceptions import TableError
+from .schema import Attribute, Schema, CATEGORICAL, NUMERIC
+from .table import Table
+
+_NULL_TOKENS = {"", "na", "nan", "null", "none"}
+
+
+def _parse_cell(text: str) -> Any:
+    if text.strip().lower() in _NULL_TOKENS:
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        return text
+    if value.is_integer() and "." not in text and "e" not in text.lower():
+        return int(value)
+    return value
+
+
+def _infer_schema(header: Sequence[str], rows: list[list[Any]]) -> Schema:
+    attrs = []
+    for j, name in enumerate(header):
+        column = [row[j] for row in rows if row[j] is not None]
+        numeric = bool(column) and all(isinstance(v, (int, float)) for v in column)
+        attrs.append(Attribute(name, NUMERIC if numeric else CATEGORICAL))
+    return Schema(attrs)
+
+
+def read_csv(path: str | Path, schema: Schema | None = None, name: str = "") -> Table:
+    """Load a CSV file into a :class:`Table`.
+
+    With an explicit ``schema``, columns are coerced to it (categorical cells
+    stay strings); otherwise both values and dtypes are inferred.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        return read_csv_text(fh.read(), schema=schema, name=name or path.stem)
+
+
+def read_csv_text(text: str, schema: Schema | None = None, name: str = "") -> Table:
+    """Parse CSV from a string (used heavily by tests)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise TableError("CSV input is empty (no header row)") from None
+    raw_rows = [
+        [_parse_cell(cell) for cell in row]
+        for row in reader
+        if row  # skip blank lines
+    ]
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise TableError(
+                f"row width {len(row)} != header width {len(header)}"
+            )
+    if schema is None:
+        schema = _infer_schema(header, raw_rows)
+    else:
+        for column_name in header:
+            schema[column_name]
+    columns: dict[str, list[Any]] = {n: [] for n in header}
+    for row in raw_rows:
+        for attr_name, cell in zip(header, row):
+            if cell is not None and schema[attr_name].dtype == CATEGORICAL:
+                cell = str(cell)
+            columns[attr_name].append(cell)
+    ordered = schema.project([n for n in schema.names if n in set(header)])
+    return Table(ordered, {n: columns[n] for n in ordered.names}, name=name)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV; nulls render as empty cells."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.schema.names)
+        for row in table.rows():
+            writer.writerow(
+                ["" if row[n] is None else row[n] for n in table.schema.names]
+            )
+
+
+def to_csv_text(table: Table) -> str:
+    """Render a table as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.schema.names)
+    for row in table.rows():
+        writer.writerow(
+            ["" if row[n] is None else row[n] for n in table.schema.names]
+        )
+    return buffer.getvalue()

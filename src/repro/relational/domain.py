@@ -1,0 +1,168 @@
+"""Active domains and their compression into cluster literals.
+
+``adom(A)`` is the finite set of distinct values attribute ``A`` takes across
+the sources (Section 2). Section 6 explains how MODis keeps search spaces
+tractable: "we applied k-means clustering over the active domain of each
+attribute (with a maximum k set as 30), and derived equality literals, one
+for each cluster". This module implements that compression:
+
+* numeric attributes → 1-D k-means over distinct values, one
+  :class:`DomainCluster` per non-empty cluster;
+* categorical attributes → frequency-balanced grouping into at most ``k``
+  clusters (k-means over value frequencies degenerates to this at 1-D).
+
+Each cluster yields an ``A ∈ {values}`` literal usable by ⊕/⊖, and the
+cluster count bounds the paper's ``|adom_m|`` factor in the cost analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..exceptions import TableError
+from ..rng import make_rng
+from .expressions import Literal, in_set
+from .table import Table
+
+
+def active_domain(table: Table, attribute: str) -> set[Any]:
+    """Distinct non-null values of ``attribute`` — the paper's adom(A)."""
+    return {v for v in table._column_ref(attribute) if v is not None}
+
+
+def adom_sizes(table: Table) -> dict[str, int]:
+    """|adom(A)| for every attribute of the table."""
+    return {n: len(active_domain(table, n)) for n in table.schema.names}
+
+
+def largest_adom(table: Table) -> int:
+    """``|adom_m|``, the size of the largest active domain (cost analysis)."""
+    sizes = adom_sizes(table)
+    return max(sizes.values()) if sizes else 0
+
+
+@dataclass(frozen=True, slots=True)
+class DomainCluster:
+    """One cluster of an attribute's active domain.
+
+    ``values`` is the set of raw values in the cluster; ``centroid`` is the
+    numeric center (or ``None`` for categorical clusters); ``label`` is a
+    stable human-readable id used in bitmaps and logs.
+    """
+
+    attribute: str
+    label: str
+    values: frozenset
+    centroid: float | None = None
+
+    @property
+    def literal(self) -> Literal:
+        """The equality/cluster literal this cluster contributes to O."""
+        return in_set(self.attribute, self.values)
+
+    def __repr__(self) -> str:
+        return f"DomainCluster({self.label}, |values|={len(self.values)})"
+
+
+def _kmeans_1d(values: np.ndarray, k: int, seed: int) -> np.ndarray:
+    """Lloyd's algorithm in one dimension; returns a label per value.
+
+    Initialized at evenly spaced quantiles, which makes the clustering
+    deterministic for a fixed input (the seed only breaks exact ties).
+    """
+    rng = make_rng(seed)
+    k = min(k, len(np.unique(values)))
+    if k <= 1:
+        return np.zeros(len(values), dtype=int)
+    quantiles = np.linspace(0.0, 1.0, k)
+    centers = np.quantile(values, quantiles)
+    centers = np.unique(centers)
+    while len(centers) < k:  # duplicate quantiles: jitter deterministically
+        centers = np.unique(
+            np.concatenate([centers, centers[-1:] + rng.random(1)])
+        )
+    for _ in range(50):
+        labels = np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = values[labels == j]
+            if len(members):
+                new_centers[j] = members.mean()
+        if np.allclose(new_centers, centers):
+            break
+        centers = new_centers
+    return np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+
+
+def cluster_domain(
+    table: Table,
+    attribute: str,
+    max_clusters: int = 30,
+    seed: int = 0,
+) -> list[DomainCluster]:
+    """Compress ``adom(attribute)`` into at most ``max_clusters`` clusters."""
+    if max_clusters < 1:
+        raise TableError("max_clusters must be >= 1")
+    attr = table.schema[attribute]
+    domain = sorted(active_domain(table, attribute), key=repr)
+    if not domain:
+        return []
+    if attr.is_numeric:
+        values = np.asarray(sorted(float(v) for v in domain))
+        labels = _kmeans_1d(values, max_clusters, seed)
+        clusters: list[DomainCluster] = []
+        raw_sorted = sorted(domain, key=float)
+        for j in sorted(set(int(l) for l in labels)):
+            members = [raw_sorted[i] for i in range(len(values)) if labels[i] == j]
+            clusters.append(
+                DomainCluster(
+                    attribute=attribute,
+                    label=f"{attribute}#c{j}",
+                    values=frozenset(members),
+                    centroid=float(np.mean([float(m) for m in members])),
+                )
+            )
+        return clusters
+    # Categorical: contiguous frequency-balanced groups over sorted values.
+    counts = {v: 0 for v in domain}
+    for v in table._column_ref(attribute):
+        if v is not None:
+            counts[v] += 1
+    ordered = sorted(domain, key=lambda v: (-counts[v], repr(v)))
+    k = min(max_clusters, len(ordered))
+    groups: list[list[Any]] = [[] for _ in range(k)]
+    sizes = [0] * k
+    for v in ordered:  # greedy balance by total frequency
+        j = int(np.argmin(sizes))
+        groups[j].append(v)
+        sizes[j] += counts[v]
+    clusters = []
+    for j, members in enumerate(g for g in groups if g):
+        clusters.append(
+            DomainCluster(
+                attribute=attribute,
+                label=f"{attribute}#c{j}",
+                values=frozenset(members),
+                centroid=None,
+            )
+        )
+    return clusters
+
+
+def cluster_all_domains(
+    table: Table,
+    max_clusters: int = 30,
+    seed: int = 0,
+    exclude: Sequence[str] = (),
+) -> dict[str, list[DomainCluster]]:
+    """Cluster every attribute's domain (skipping ``exclude``, typically the
+    prediction target, which the search must never mask)."""
+    skip = set(exclude)
+    return {
+        name: cluster_domain(table, name, max_clusters=max_clusters, seed=seed)
+        for name in table.schema.names
+        if name not in skip
+    }

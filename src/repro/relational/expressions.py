@@ -1,0 +1,133 @@
+"""Literals and predicates over table rows.
+
+The paper's operators are parameterized by a *literal* ``c`` of the form
+``A = a`` (an equality condition); Section 6 extends the operator set with
+range literals ("extended operators with range queries to control |adom|")
+and cluster literals derived from k-means over active domains. This module
+implements all three as composable predicates with SQL-style null semantics:
+any comparison against a null cell is false, so selections never surface
+unknown values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from ..exceptions import ExpressionError
+
+Row = Mapping[str, Any]
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An atomic condition ``attribute <op> value``.
+
+    Supported operators: ``==, !=, <, <=, >, >=`` plus ``in`` whose value
+    must be a frozenset (used for cluster literals over active domains).
+    """
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op != "in" and self.op not in _OPS:
+            raise ExpressionError(
+                f"unknown operator {self.op!r}; use one of {sorted(_OPS)} or 'in'"
+            )
+        if self.op == "in" and not isinstance(self.value, frozenset):
+            object.__setattr__(self, "value", frozenset(self.value))
+
+    def __call__(self, row: Row) -> bool:
+        cell = row.get(self.attribute)
+        if cell is None:
+            return False
+        if self.op == "in":
+            return cell in self.value
+        try:
+            return _OPS[self.op](cell, self.value)
+        except TypeError:
+            return False
+
+    def negate(self) -> "Literal":
+        """The complementary literal (note: nulls fail both ways)."""
+        flips = {"==": "!=", "!=": "==", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
+        if self.op == "in":
+            raise ExpressionError("'in' literals have no single-literal negation")
+        return Literal(self.attribute, flips[self.op], self.value)
+
+    def describe(self) -> str:
+        """Human-readable rendering of the literal."""
+        if self.op == "in":
+            values = sorted(map(repr, self.value))
+            if len(values) > 4:
+                values = values[:4] + ["..."]
+            return f"{self.attribute} in {{{', '.join(values)}}}"
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+    def __repr__(self) -> str:
+        return f"Literal({self.describe()})"
+
+
+def equals(attribute: str, value: Any) -> Literal:
+    """The paper's canonical literal form ``A = a``."""
+    return Literal(attribute, "==", value)
+
+
+def in_set(attribute: str, values: Iterable[Any]) -> Literal:
+    """Cluster literal: ``A ∈ {values}`` (Section 6 adom compression)."""
+    return Literal(attribute, "in", frozenset(values))
+
+
+def value_range(attribute: str, low: Any, high: Any) -> "Conjunction":
+    """Range literal ``low <= A < high`` (Section 6 extended operators)."""
+    return Conjunction(
+        (Literal(attribute, ">=", low), Literal(attribute, "<", high))
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Conjunction:
+    """A conjunction of literals; true iff every literal holds."""
+
+    literals: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise ExpressionError("a conjunction needs at least one literal")
+        object.__setattr__(self, "literals", tuple(self.literals))
+
+    def __call__(self, row: Row) -> bool:
+        return all(lit(row) for lit in self.literals)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(l.attribute for l in self.literals))
+
+    def describe(self) -> str:
+        """Human-readable rendering of the conjunction."""
+        return " AND ".join(l.describe() for l in self.literals)
+
+    def __repr__(self) -> str:
+        return f"Conjunction({self.describe()})"
+
+
+Predicate = Literal | Conjunction | Callable[[Row], bool]
+
+
+def describe(predicate: Predicate) -> str:
+    """Human-readable rendering of any predicate form."""
+    if isinstance(predicate, (Literal, Conjunction)):
+        return predicate.describe()
+    name = getattr(predicate, "__name__", None)
+    return name or repr(predicate)

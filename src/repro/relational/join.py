@@ -1,0 +1,176 @@
+"""Hash joins and the multi-way universal join.
+
+ApxMODis starts from a *universal dataset* ``D_U`` "populated by joining all
+the tables (with outer join to preserve all the values besides common
+attributes, by default)" (Section 5.2). :func:`universal_join` implements
+exactly that: a left-deep sequence of full outer natural joins over shared
+attribute names.
+
+All joins here are hash equi-joins; null keys never match (SQL semantics).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+from ..exceptions import JoinError
+from .schema import Schema
+from .table import Table
+
+
+def _join_keys(left: Table, right: Table, on: Sequence[str] | None) -> tuple[str, ...]:
+    """Resolve join keys: explicit ``on`` or the shared attribute names."""
+    if on is not None:
+        keys = tuple(on)
+        for key in keys:
+            left.schema[key]
+            right.schema[key]
+        if not keys:
+            raise JoinError("empty join key list")
+        return keys
+    shared = left.schema.intersect_names(right.schema)
+    if not shared:
+        raise JoinError(
+            f"no shared attributes between {left.schema.names} and "
+            f"{right.schema.names}; pass on=[...]"
+        )
+    return shared
+
+
+def _merged_schema(left: Table, right: Table, keys: Sequence[str]) -> Schema:
+    """Left schema followed by the right's non-key, non-duplicate attributes."""
+    extra = [
+        a for a in right.schema
+        if a.name not in set(keys) and a.name not in left.schema
+    ]
+    return Schema(list(left.schema.attributes) + extra)
+
+
+def _build_hash(table: Table, keys: Sequence[str]) -> dict[tuple[Any, ...], list[int]]:
+    index: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+    cols = [table._column_ref(k) for k in keys]
+    for i in range(table.num_rows):
+        key = tuple(col[i] for col in cols)
+        if any(v is None for v in key):
+            continue  # null keys never join
+        index[key].append(i)
+    return index
+
+
+def _emit(
+    left: Table,
+    right: Table,
+    keys: Sequence[str],
+    pairs: list[tuple[int | None, int | None]],
+    name: str,
+) -> Table:
+    """Materialize joined rows given (left_index, right_index) pairs."""
+    schema = _merged_schema(left, right, keys)
+    out: dict[str, list[Any]] = {n: [] for n in schema.names}
+    left_names = set(left.schema.names)
+    right_extra = [
+        n for n in right.schema.names if n not in set(keys) and n not in left_names
+    ]
+    key_cols_r = {k: right._column_ref(k) for k in keys}
+    for li, ri in pairs:
+        for n in left.schema.names:
+            if li is not None:
+                out[n].append(left._column_ref(n)[li])
+            elif n in key_cols_r and ri is not None:
+                # right-only row: keys come from the right side
+                out[n].append(key_cols_r[n][ri])
+            else:
+                out[n].append(None)
+        for n in right_extra:
+            out[n].append(right._column_ref(n)[ri] if ri is not None else None)
+    return Table(schema, out, name=name)
+
+
+def inner_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str = ""
+) -> Table:
+    """Hash equi-join keeping only matching row pairs."""
+    keys = _join_keys(left, right, on)
+    index = _build_hash(right, keys)
+    key_cols = [left._column_ref(k) for k in keys]
+    pairs: list[tuple[int | None, int | None]] = []
+    for i in range(left.num_rows):
+        key = tuple(col[i] for col in key_cols)
+        if any(v is None for v in key):
+            continue
+        for j in index.get(key, ()):
+            pairs.append((i, j))
+    return _emit(left, right, keys, pairs, name or left.name)
+
+
+def left_outer_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str = ""
+) -> Table:
+    """All left rows; right attributes null where no match exists."""
+    keys = _join_keys(left, right, on)
+    index = _build_hash(right, keys)
+    key_cols = [left._column_ref(k) for k in keys]
+    pairs: list[tuple[int | None, int | None]] = []
+    for i in range(left.num_rows):
+        key = tuple(col[i] for col in key_cols)
+        matches = index.get(key, ()) if not any(v is None for v in key) else ()
+        if matches:
+            for j in matches:
+                pairs.append((i, j))
+        else:
+            pairs.append((i, None))
+    return _emit(left, right, keys, pairs, name or left.name)
+
+
+def full_outer_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str = ""
+) -> Table:
+    """All rows of both sides; unmatched attributes become null."""
+    keys = _join_keys(left, right, on)
+    index = _build_hash(right, keys)
+    key_cols = [left._column_ref(k) for k in keys]
+    pairs: list[tuple[int | None, int | None]] = []
+    matched_right: set[int] = set()
+    for i in range(left.num_rows):
+        key = tuple(col[i] for col in key_cols)
+        matches = index.get(key, ()) if not any(v is None for v in key) else ()
+        if matches:
+            for j in matches:
+                pairs.append((i, j))
+                matched_right.add(j)
+        else:
+            pairs.append((i, None))
+    for j in range(right.num_rows):
+        if j not in matched_right:
+            pairs.append((None, j))
+    return _emit(left, right, keys, pairs, name or left.name)
+
+
+def universal_join(tables: Sequence[Table], name: str = "D_U") -> Table:
+    """The paper's universal dataset ``D_U``.
+
+    Sequential full outer natural joins over shared attribute names. Tables
+    sharing no attribute with the accumulated result are deferred and retried
+    after others join (so join order does not silently drop sources); if a
+    table never connects, its rows are appended via outer union, preserving
+    all attribute values as the paper requires.
+    """
+    if not tables:
+        raise JoinError("universal join of zero tables is undefined")
+    remaining = list(tables[1:])
+    result = tables[0]
+    progress = True
+    while remaining and progress:
+        progress = False
+        still: list[Table] = []
+        for table in remaining:
+            if result.schema.intersect_names(table.schema):
+                result = full_outer_join(result, table)
+                progress = True
+            else:
+                still.append(table)
+        remaining = still
+    for table in remaining:  # disconnected sources: outer union
+        result = result.concat_rows(table)
+    return result.with_name(name)

@@ -1,0 +1,48 @@
+"""Select / project / union building blocks (SPJ without the J).
+
+These are the primitive queries the paper's ⊕/⊖ operators compile into
+("These operators can be expressed by SPJ queries", Section 3). Joins live
+in :mod:`repro.relational.join`; the ⊕/⊖ operators themselves in
+:mod:`repro.relational.augment`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import SchemaError
+from .expressions import Predicate
+from .table import Table
+
+
+def select(table: Table, predicate: Predicate) -> Table:
+    """σ_predicate(table): rows satisfying the predicate."""
+    return table.filter(predicate)
+
+
+def reject(table: Table, predicate: Predicate) -> Table:
+    """Rows *not* satisfying the predicate.
+
+    Note the asymmetry with :func:`select` under nulls: a null cell fails
+    the literal, so rows with nulls on the tested attribute are *kept* here.
+    This matches the paper's Reduct, which "selects ... the tuples that
+    satisfy the selection condition ... and removes all such tuples".
+    """
+    return table.filter(lambda row: not predicate(row))
+
+
+def project(table: Table, names: Sequence[str]) -> Table:
+    """π_names(table)."""
+    return table.project(names)
+
+
+def union_all(tables: Sequence[Table], name: str = "") -> Table:
+    """Outer union of all tables under their universal schema."""
+    if not tables:
+        raise SchemaError("union of zero tables is undefined")
+    result = tables[0]
+    for table in tables[1:]:
+        result = result.concat_rows(table)
+    if name:
+        result = result.with_name(name)
+    return result

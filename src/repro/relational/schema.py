@@ -1,0 +1,178 @@
+"""Schemas and attributes for the in-memory relational engine.
+
+A dataset ``D(A1..Am)`` conforms to a local schema ``R_D(A1..Am)``
+(paper, Section 2). The *universal schema* ``R_U`` is the union of the local
+schemas of all source tables. Attributes are typed so the ML layer can tell
+numeric features from categorical ones without sniffing values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..exceptions import SchemaError
+
+#: Allowed attribute type tags.
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+_VALID_DTYPES = (NUMERIC, CATEGORICAL)
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named, typed attribute of a relation.
+
+    ``dtype`` is either :data:`NUMERIC` (values are ints/floats) or
+    :data:`CATEGORICAL` (values are strings or other hashables).
+    """
+
+    name: str
+    dtype: str = NUMERIC
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.dtype not in _VALID_DTYPES:
+            raise SchemaError(
+                f"attribute {self.name!r}: dtype must be one of {_VALID_DTYPES}, "
+                f"got {self.dtype!r}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.dtype == NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.dtype == CATEGORICAL
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = list(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+        self._attributes: tuple[Attribute, ...] = tuple(attrs)
+        self._index: dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def of(cls, *specs: str | tuple[str, str] | Attribute) -> "Schema":
+        """Build a schema from terse specs.
+
+        Each spec is an :class:`Attribute`, a bare name (numeric by default),
+        or a ``(name, dtype)`` pair.
+        """
+        attrs: list[Attribute] = []
+        for spec in specs:
+            if isinstance(spec, Attribute):
+                attrs.append(spec)
+            elif isinstance(spec, str):
+                attrs.append(Attribute(spec))
+            else:
+                name, dtype = spec
+                attrs.append(Attribute(name, dtype))
+        return cls(attrs)
+
+    # -- core protocol ---------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}; have {self.names}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}:{a.dtype[0]}" for a in self._attributes)
+        return f"Schema({parts})"
+
+    def index_of(self, name: str) -> int:
+        """Positional index of ``name`` (raises :class:`SchemaError`)."""
+        if name not in self._index:
+            raise SchemaError(f"unknown attribute {name!r}; have {self.names}")
+        return self._index[name]
+
+    # -- algebra ---------------------------------------------------------------
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names``, preserving the given order."""
+        return Schema([self[name] for name in names])
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Schema with ``names`` removed (unknown names are an error)."""
+        gone = set(names)
+        for name in gone:
+            self[name]  # raise for unknown names
+        return Schema([a for a in self._attributes if a.name not in gone])
+
+    def union(self, other: "Schema") -> "Schema":
+        """Universal-schema union: our attributes followed by the attributes
+        of ``other`` not already present.
+
+        A name that appears in both schemas must have the same dtype.
+        """
+        merged = list(self._attributes)
+        for attr in other:
+            if attr.name in self._index:
+                mine = self[attr.name]
+                if mine.dtype != attr.dtype:
+                    raise SchemaError(
+                        f"attribute {attr.name!r} has conflicting dtypes: "
+                        f"{mine.dtype} vs {attr.dtype}"
+                    )
+            else:
+                merged.append(attr)
+        return Schema(merged)
+
+    def intersect_names(self, other: "Schema") -> tuple[str, ...]:
+        """Names present in both schemas, in this schema's order."""
+        return tuple(n for n in self.names if n in other)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with attributes renamed via ``mapping`` (others kept)."""
+        for name in mapping:
+            self[name]
+        return Schema(
+            [Attribute(mapping.get(a.name, a.name), a.dtype) for a in self._attributes]
+        )
+
+
+def universal_schema(schemas: Iterable[Schema]) -> Schema:
+    """The union of all local schemas — the paper's ``R_U``."""
+    schemas = list(schemas)
+    if not schemas:
+        raise SchemaError("universal schema of zero schemas is undefined")
+    result = schemas[0]
+    for schema in schemas[1:]:
+        result = result.union(schema)
+    return result

@@ -1,0 +1,262 @@
+"""In-memory table instances with null support.
+
+A :class:`Table` is a structured instance conforming to a :class:`Schema`
+(paper, Section 2). Missing cells hold ``None`` (the paper's ``t.A = ∅``).
+Columns are stored as plain Python lists so one table can mix numeric and
+categorical attributes; the ML layer converts to ``numpy`` matrices via
+``repro.ml.preprocessing``.
+
+Tables are *logically immutable*: every operation returns a new table. This
+keeps the skyline search's state materialization side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import SchemaError, TableError
+from .schema import Attribute, Schema
+
+Row = dict[str, Any]
+
+
+class Table:
+    """An immutable relational table: a schema plus equal-length columns."""
+
+    __slots__ = ("schema", "_columns", "name")
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, Sequence[Any]] | None = None,
+        name: str = "",
+    ):
+        self.schema = schema
+        self.name = name
+        cols: dict[str, list[Any]] = {}
+        if columns is None:
+            columns = {}
+        extra = set(columns) - set(schema.names)
+        if extra:
+            raise TableError(f"columns not in schema: {sorted(extra)}")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise TableError(f"ragged columns: lengths {sorted(lengths)}")
+        n_rows = lengths.pop() if lengths else 0
+        for attr in schema:
+            if attr.name in columns:
+                cols[attr.name] = list(columns[attr.name])
+            else:
+                cols[attr.name] = [None] * n_rows
+        self._columns = cols
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Iterable[Mapping[str, Any]], name: str = ""
+    ) -> "Table":
+        """Build a table from row mappings; absent keys become nulls."""
+        cols: dict[str, list[Any]] = {n: [] for n in schema.names}
+        for row in rows:
+            for attr_name in schema.names:
+                cols[attr_name].append(row.get(attr_name))
+        return cls(schema, cols, name=name)
+
+    @classmethod
+    def empty(cls, schema: Schema, name: str = "") -> "Table":
+        return cls(schema, {}, name=name)
+
+    # -- basic accessors ---------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.schema)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) — the paper reports output sizes in this form."""
+        return (self.num_rows, self.num_columns)
+
+    def column(self, name: str) -> list[Any]:
+        """The values of attribute ``name`` (a fresh copy of the list)."""
+        if name not in self.schema:
+            raise SchemaError(f"unknown attribute {name!r}; have {self.schema.names}")
+        return list(self._columns[name])
+
+    def _column_ref(self, name: str) -> list[Any]:
+        """Internal zero-copy column access (callers must not mutate)."""
+        return self._columns[name]
+
+    def row(self, index: int) -> Row:
+        """Row ``index`` as a name -> value mapping."""
+        if not 0 <= index < self.num_rows:
+            raise TableError(f"row index {index} out of range [0, {self.num_rows})")
+        return {n: self._columns[n][index] for n in self.schema.names}
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate rows as name -> value mappings."""
+        names = self.schema.names
+        cols = [self._columns[n] for n in names]
+        for values in zip(*cols):
+            yield dict(zip(names, values))
+        if not names:
+            return
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.schema == other.schema and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Table{label}({self.num_rows} rows x {self.num_columns} cols)"
+
+    # -- null accounting ---------------------------------------------------------
+    def null_count(self, name: str | None = None) -> int:
+        """Number of null cells in column ``name``, or in the whole table."""
+        if name is not None:
+            return sum(1 for v in self.column(name) if v is None)
+        return sum(
+            1 for col in self._columns.values() for v in col if v is None
+        )
+
+    def null_fraction(self) -> float:
+        """Fraction of null cells over the whole table."""
+        total = self.num_rows * self.num_columns
+        if total == 0:
+            return 0.0
+        return self.null_count() / total
+
+    # -- row/column algebra (all return new tables) -------------------------------
+    def with_name(self, name: str) -> "Table":
+        """The same table under a new name."""
+        out = Table(self.schema, self._columns, name=name)
+        return out
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Restrict to ``names`` (relational projection, preserving order)."""
+        schema = self.schema.project(names)
+        return Table(schema, {n: self._columns[n] for n in names}, name=self.name)
+
+    def drop_columns(self, names: Sequence[str]) -> "Table":
+        """Projection complement: every attribute except ``names``."""
+        keep = [n for n in self.schema.names if n not in set(names)]
+        for name in names:
+            self.schema[name]
+        return self.project(keep)
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Table":
+        """Rows where ``predicate(row)`` is truthy."""
+        keep = [i for i, row in enumerate(self.rows()) if predicate(row)]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Rows at ``indices`` in the given order."""
+        n = self.num_rows
+        for i in indices:
+            if not 0 <= i < n:
+                raise TableError(f"row index {i} out of range [0, {n})")
+        cols = {
+            name: [col[i] for i in indices]
+            for name, col in self._columns.items()
+        }
+        return Table(self.schema, cols, name=self.name)
+
+    def head(self, k: int) -> "Table":
+        """The first ``k`` rows."""
+        return self.take(range(min(k, self.num_rows)))
+
+    def with_column(self, attribute: Attribute, values: Sequence[Any]) -> "Table":
+        """Append a new column (errors if the name already exists)."""
+        if attribute.name in self.schema:
+            raise SchemaError(f"attribute {attribute.name!r} already present")
+        if self.num_columns and len(values) != self.num_rows:
+            raise TableError(
+                f"column length {len(values)} != table rows {self.num_rows}"
+            )
+        schema = Schema(list(self.schema.attributes) + [attribute])
+        cols = dict(self._columns)
+        cols[attribute.name] = list(values)
+        return Table(schema, cols, name=self.name)
+
+    def replace_column(self, name: str, values: Sequence[Any]) -> "Table":
+        """Replace the values of an existing column."""
+        self.schema[name]
+        if len(values) != self.num_rows:
+            raise TableError(
+                f"column length {len(values)} != table rows {self.num_rows}"
+            )
+        cols = dict(self._columns)
+        cols[name] = list(values)
+        return Table(self.schema, cols, name=self.name)
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        """Attributes renamed via ``mapping`` (others unchanged)."""
+        schema = self.schema.rename(mapping)
+        cols = {mapping.get(n, n): col for n, col in self._columns.items()}
+        return Table(schema, cols, name=self.name)
+
+    def concat_rows(self, other: "Table") -> "Table":
+        """Outer union: rows of both tables under the union schema, with
+        nulls where one side lacks an attribute (paper's tuple augmentation)."""
+        schema = self.schema.union(other.schema)
+        cols: dict[str, list[Any]] = {}
+        n_self, n_other = self.num_rows, other.num_rows
+        for attr in schema:
+            mine = self._columns.get(attr.name, [None] * n_self)
+            theirs = other._columns.get(attr.name, [None] * n_other)
+            cols[attr.name] = list(mine) + list(theirs)
+        return Table(schema, cols, name=self.name)
+
+    def distinct(self) -> "Table":
+        """Duplicate rows removed (nulls compare equal to each other)."""
+        seen: set[tuple[Any, ...]] = set()
+        keep: list[int] = []
+        names = self.schema.names
+        for i in range(self.num_rows):
+            key = tuple(self._columns[n][i] for n in names)
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        return self.take(keep)
+
+    def sort_by(self, name: str, reverse: bool = False) -> "Table":
+        """Rows sorted by column ``name``; nulls sort last."""
+        col = self.column(name)
+        order = sorted(
+            range(self.num_rows),
+            key=lambda i: (col[i] is None, col[i]),
+            reverse=reverse,
+        )
+        return self.take(order)
+
+    def sample_rows(self, k: int, rng) -> "Table":
+        """``k`` rows drawn without replacement using generator ``rng``."""
+        k = min(k, self.num_rows)
+        indices = rng.choice(self.num_rows, size=k, replace=False)
+        return self.take([int(i) for i in indices])
+
+    # -- summaries -----------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Shape, null fraction and per-column distinct counts."""
+        return {
+            "name": self.name,
+            "rows": self.num_rows,
+            "columns": self.num_columns,
+            "null_fraction": round(self.null_fraction(), 4),
+            "distinct": {
+                n: len({v for v in self._columns[n] if v is not None})
+                for n in self.schema.names
+            },
+        }

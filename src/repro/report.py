@@ -1,0 +1,102 @@
+"""Persisting discovery results: skyline datasets + a JSON report.
+
+The paper's pipeline hands discovered datasets to downstream consumers
+(model fine-tuning, benchmarking). ``save_result`` materializes every
+skyline entry to disk — CSV for tables, an edge-list CSV for bipartite
+graphs — next to a ``report.json`` describing the run (measures, per-entry
+performance, budget usage), so a result can be inspected or re-used without
+re-running the search.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.algorithms import DiscoveryResult
+from .core.transducer import SearchSpace
+from .exceptions import ReproError
+from .graph.bipartite import BipartiteGraph
+from .relational.csvio import write_csv
+from .relational.table import Table
+
+REPORT_NAME = "report.json"
+
+
+def _entry_filename(index: int, artifact: Any) -> str:
+    if isinstance(artifact, BipartiteGraph):
+        return f"entry_{index:02d}.edges.csv"
+    return f"entry_{index:02d}.csv"
+
+
+def _write_graph(graph: BipartiteGraph, path: Path) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        dims = graph.shape[1]
+        writer.writerow(["user", "item"] + [f"f{i}" for i in range(dims)])
+        for edge in graph.edges:
+            writer.writerow([edge.user, edge.item] + list(edge.features))
+
+
+def save_result(
+    result: DiscoveryResult, space: SearchSpace, directory: str | Path
+) -> Path:
+    """Write every skyline dataset and a JSON report to ``directory``.
+
+    Returns the path of the written ``report.json``. The directory is
+    created if missing; existing files of the same names are overwritten.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entries_payload = []
+    for index, entry in enumerate(result.entries):
+        artifact = space.materialize(entry.bits)
+        filename = _entry_filename(index, artifact)
+        if isinstance(artifact, Table):
+            write_csv(artifact, directory / filename)
+        elif isinstance(artifact, BipartiteGraph):
+            _write_graph(artifact, directory / filename)
+        else:
+            raise ReproError(
+                f"cannot persist artifact of type {type(artifact).__name__}"
+            )
+        payload_entry = {
+            "file": filename,
+            "description": entry.description,
+            "bits": hex(entry.bits),
+            "performance": entry.perf,
+            "output_size": list(entry.output_size),
+        }
+        if entry.bits in result.running_graph.states:
+            # Narrative provenance: the operator chain that produced the
+            # dataset (pairs with the declarative SQL form of
+            # repro.sql.state_to_sql).
+            payload_entry["path"] = [
+                op for _, op in result.running_graph.path_to(entry.bits)
+            ]
+        entries_payload.append(payload_entry)
+    payload = {
+        "algorithm": result.report.algorithm,
+        "epsilon": result.epsilon,
+        "measures": list(result.measures.names),
+        "n_valuated": result.report.n_valuated,
+        "n_pruned": result.report.n_pruned,
+        "elapsed_seconds": result.report.elapsed_seconds,
+        "terminated_by": result.report.terminated_by,
+        "entries": entries_payload,
+    }
+    report_path = directory / REPORT_NAME
+    with report_path.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+    return report_path
+
+
+def load_report(directory: str | Path) -> dict:
+    """Read back a saved run's ``report.json``."""
+    path = Path(directory) / REPORT_NAME
+    if not path.exists():
+        raise ReproError(f"no {REPORT_NAME} under {directory}")
+    with path.open() as fh:
+        return json.load(fh)

@@ -1,0 +1,47 @@
+"""Deterministic random-number utilities.
+
+The paper restricts attention to *fixed, deterministic* models (Section 2):
+for a fixed input the computation never changes. Every stochastic component
+in this library therefore draws randomness from an explicitly seeded
+:class:`numpy.random.Generator` created here, and derived streams are spawned
+with stable integer keys so that adding a new consumer never perturbs the
+streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 7
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy`` Generator for ``seed``.
+
+    Accepts ``None`` (library default seed), an integer, or an existing
+    generator (returned unchanged, which lets internal helpers accept either
+    form without re-seeding).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(int(seed))
+
+
+def derive_seed(seed: int, *keys: str | int) -> int:
+    """Derive a stable child seed from ``seed`` and a sequence of keys.
+
+    Uses SHA-256 over the rendered keys, so the mapping is stable across
+    processes and Python versions (unlike ``hash``).
+    """
+    text = repr((int(seed),) + tuple(str(k) for k in keys)).encode()
+    digest = hashlib.sha256(text).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63 - 1)
+
+
+def spawn_rng(seed: int, *keys: str | int) -> np.random.Generator:
+    """Return a generator seeded by :func:`derive_seed` of ``seed`` + keys."""
+    return np.random.default_rng(derive_seed(seed, *keys))

@@ -1,0 +1,52 @@
+"""A miniature SPJ query engine plus a MODis→SQL compiler.
+
+The paper grounds its operator set in relational practice: "These operators
+can be expressed by SPJ (select, project, join) queries, or implemented as
+user-defined functions" (Section 3), and the generation process should work
+"by simple, primitive operators that are well supported by established query
+engines" (Section 1). This package makes both claims executable:
+
+* :mod:`repro.sql.tokens` / :mod:`repro.sql.parser` — a SQL-92-flavoured
+  SELECT subset (projection, DISTINCT, WHERE with three-valued logic,
+  INNER/LEFT/RIGHT/FULL JOIN, UNION [ALL], ORDER BY, LIMIT);
+* :mod:`repro.sql.executor` — evaluates parsed queries against a
+  :class:`Catalog` of :class:`~repro.relational.Table` objects;
+* :mod:`repro.sql.compiler` — renders MODis artifacts as SQL text: literal
+  predicates, the ⊕/⊖ operators, and whole transducer states (the
+  provenance query that re-derives a skyline dataset from ``D_U``).
+
+Tests assert round-trips: executing ``state_to_sql(space, bits)`` over the
+universal table reproduces ``space.materialize(bits)`` exactly.
+"""
+
+from .compiler import (
+    augment_join_to_sql,
+    augment_to_sql,
+    predicate_to_sql,
+    reduct_to_sql,
+    select_to_sql,
+    sql_literal,
+    state_to_sql,
+)
+from .executor import Catalog, execute, query
+from .explain import explain, render_expr
+from .parser import parse
+from .tokens import Token, tokenize
+
+__all__ = [
+    "Catalog",
+    "Token",
+    "augment_join_to_sql",
+    "augment_to_sql",
+    "execute",
+    "explain",
+    "parse",
+    "predicate_to_sql",
+    "query",
+    "reduct_to_sql",
+    "render_expr",
+    "select_to_sql",
+    "sql_literal",
+    "state_to_sql",
+    "tokenize",
+]

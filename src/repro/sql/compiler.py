@@ -1,0 +1,236 @@
+"""Render MODis artifacts as executable SQL text.
+
+Section 3 asserts the operator set is SPJ-expressible; this module is the
+constructive proof. It compiles:
+
+* literal predicates (:class:`~repro.relational.Literal` /
+  :class:`~repro.relational.Conjunction`) into WHERE conditions;
+* the ⊖ operator into the SELECT that keeps the surviving rows, with the
+  engine's null semantics preserved (a null cell never satisfies a
+  literal, so reduction never removes null rows);
+* the ⊕ operator into a null-padded ``UNION ALL`` (row augmentation) or a
+  filtered ``LEFT JOIN`` (join-flavoured augmentation);
+* any transducer state into its **provenance query** — the single SELECT
+  that re-derives the state's dataset from the universal table ``D_U``.
+
+Every emitted string parses and runs on :mod:`repro.sql.executor`; tests
+assert that the provenance query reproduces
+``space.materialize(bits)`` cell for cell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..exceptions import SQLError
+from ..relational.expressions import Conjunction, Literal
+from .tokens import KEYWORDS
+
+_IDENT_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+_OP_TO_SQL = {
+    "==": "=",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+def quote_ident(name: str) -> str:
+    """Quote an identifier when it is not a plain, non-keyword word."""
+    if not name:
+        raise SQLError("cannot quote an empty identifier")
+    plain = (
+        not name[0].isdigit()
+        and all(c in _IDENT_OK for c in name)
+        and name.upper() not in KEYWORDS
+    )
+    if plain:
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def sql_literal(value: Any) -> str:
+    """Render a Python value as a SQL constant (round-trips through the
+    tokenizer: numbers via ``repr``, strings with ``''`` escaping)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise SQLError(f"cannot render {type(value).__name__} as a SQL literal")
+
+
+def _sorted_values(values: Iterable[Any]) -> list[Any]:
+    """Deterministic IN-list order (type name, then repr)."""
+    return sorted(values, key=lambda v: (type(v).__name__, repr(v)))
+
+
+def _literal_to_sql(literal: Literal) -> str:
+    column = quote_ident(literal.attribute)
+    if literal.op == "in":
+        rendered = ", ".join(sql_literal(v) for v in _sorted_values(literal.value))
+        return f"{column} IN ({rendered})"
+    return f"{column} {_OP_TO_SQL[literal.op]} {sql_literal(literal.value)}"
+
+
+def predicate_to_sql(predicate: Literal | Conjunction) -> str:
+    """A WHERE-ready condition string for a literal or conjunction."""
+    if isinstance(predicate, Literal):
+        return _literal_to_sql(predicate)
+    if isinstance(predicate, Conjunction):
+        return " AND ".join(f"({_literal_to_sql(l)})" for l in predicate.literals)
+    raise SQLError(
+        f"cannot compile predicate of type {type(predicate).__name__}"
+    )
+
+
+def select_to_sql(predicate: Literal | Conjunction, table: str = "D_M") -> str:
+    """The σ_c selection: rows of ``table`` satisfying the literal."""
+    return f"SELECT * FROM {quote_ident(table)} WHERE {predicate_to_sql(predicate)}"
+
+
+def _keep_condition(literal: Literal) -> str:
+    """The 3-valued-logic-safe survival test for one reduction literal.
+
+    The engine's ⊖ keeps a row unless the literal is *true*; a null cell
+    never satisfies a literal, so the SQL must keep null rows too:
+    ``c IS NULL OR NOT (cond)`` is exactly "cond is not true".
+    """
+    column = quote_ident(literal.attribute)
+    return f"({column} IS NULL OR NOT ({_literal_to_sql(literal)}))"
+
+
+def reduct_to_sql(predicate: Literal | Conjunction, table: str = "D_M") -> str:
+    """⊖_c: the SELECT producing the rows that *survive* the reduction.
+
+    For a conjunction, a row is removed only when every literal holds, so
+    it survives when any literal fails (or is unknowable on a null cell).
+    """
+    if isinstance(predicate, Literal):
+        condition = _keep_condition(predicate)
+    elif isinstance(predicate, Conjunction):
+        condition = " OR ".join(_keep_condition(l) for l in predicate.literals)
+    else:
+        raise SQLError(
+            f"cannot compile predicate of type {type(predicate).__name__}"
+        )
+    return f"SELECT * FROM {quote_ident(table)} WHERE {condition}"
+
+
+def augment_to_sql(
+    dm_table: str,
+    d_table: str,
+    dm_columns: Sequence[str],
+    d_columns: Sequence[str],
+    predicate: Literal | Conjunction | None = None,
+) -> str:
+    """⊕_c(D_M, D) as a null-padded UNION ALL.
+
+    Output columns are ``dm_columns`` followed by the new attributes of
+    ``D`` (the schema-union order of the engine's ``augment``); each side
+    selects its own values and NULL for the attributes it lacks; the
+    literal filters the tuples taken from ``D``.
+    """
+    if not dm_columns or not d_columns:
+        raise SQLError("augment needs non-empty column lists on both sides")
+    union_columns = list(dm_columns) + [
+        c for c in d_columns if c not in set(dm_columns)
+    ]
+    left_items = [
+        quote_ident(c) if c in set(dm_columns) else f"NULL AS {quote_ident(c)}"
+        for c in union_columns
+    ]
+    right_items = [
+        quote_ident(c) if c in set(d_columns) else f"NULL AS {quote_ident(c)}"
+        for c in union_columns
+    ]
+    left = f"SELECT {', '.join(left_items)} FROM {quote_ident(dm_table)}"
+    right = f"SELECT {', '.join(right_items)} FROM {quote_ident(d_table)}"
+    if predicate is not None:
+        right += f" WHERE {predicate_to_sql(predicate)}"
+    return f"{left} UNION ALL {right}"
+
+
+def augment_join_to_sql(
+    dm_table: str,
+    d_table: str,
+    on: Sequence[str],
+    predicate: Literal | Conjunction | None = None,
+) -> str:
+    """Join-flavoured ⊕: LEFT JOIN the ``c``-filtered ``D`` onto ``D_M``.
+
+    Filtering the right side before an outer join equals folding the
+    filter into the ON clause when it touches only right-side columns —
+    which a MODis literal (defined over ``R_D``) always does.
+    """
+    if not on:
+        raise SQLError("augment join needs at least one key attribute")
+    dm, d = quote_ident(dm_table), quote_ident(d_table)
+    conditions = [f"{dm}.{quote_ident(k)} = {d}.{quote_ident(k)}" for k in on]
+    if predicate is not None:
+        literals = (
+            predicate.literals
+            if isinstance(predicate, Conjunction)
+            else (predicate,)
+        )
+        for literal in literals:
+            column = f"{d}.{quote_ident(literal.attribute)}"
+            if literal.op == "in":
+                values = ", ".join(
+                    sql_literal(v) for v in _sorted_values(literal.value)
+                )
+                conditions.append(f"{column} IN ({values})")
+            else:
+                conditions.append(
+                    f"{column} {_OP_TO_SQL[literal.op]} "
+                    f"{sql_literal(literal.value)}"
+                )
+    return (
+        f"SELECT * FROM {dm} LEFT JOIN {d} ON {' AND '.join(conditions)}"
+    )
+
+
+def state_to_sql(space, bits: int, table: str = "D_U") -> str:
+    """The provenance query of a transducer state.
+
+    Reconstructs exactly ``space.materialize(bits)`` from the universal
+    table: project the active attributes plus the target, and keep a row
+    iff every active attribute is null or falls in one of its active
+    domain clusters (the bitmap row-survival rule of
+    :class:`~repro.core.transducer.TabularSearchSpace`).
+    """
+    columns = space.active_attributes(bits) + [space.target]
+    conditions: list[str] = []
+    for name in space.active_attributes(bits):
+        entry_ids = space._cluster_entries[name]
+        if not entry_ids:
+            continue
+        active = [e for e in entry_ids if (bits >> e) & 1]
+        if len(active) == len(entry_ids):
+            continue  # all clusters active: the constraint is vacuous
+        column = quote_ident(name)
+        if not active:
+            conditions.append(f"{column} IS NULL")
+            continue
+        values: set[Any] = set()
+        for entry_id in active:
+            values |= set(space.entries[entry_id].payload.values)
+        rendered = ", ".join(sql_literal(v) for v in _sorted_values(values))
+        conditions.append(f"({column} IS NULL OR {column} IN ({rendered}))")
+    sql = (
+        f"SELECT {', '.join(quote_ident(c) for c in columns)} "
+        f"FROM {quote_ident(table)}"
+    )
+    if conditions:
+        sql += f" WHERE {' AND '.join(conditions)}"
+    return sql

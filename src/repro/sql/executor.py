@@ -1,0 +1,652 @@
+"""Evaluate parsed SQL against a catalog of in-memory tables.
+
+Semantics follow SQL-92 for the supported subset:
+
+* **three-valued logic** — comparisons over NULL are *unknown* (``None``),
+  Kleene AND/OR/NOT, and WHERE keeps a row only when its condition is
+  strictly true;
+* **joins** — INNER/LEFT/RIGHT/FULL with an arbitrary ON expression; pure
+  equi-join conjunctions take a hash-join fast path, anything else falls
+  back to a nested loop;
+* **UNION [ALL]** — positional alignment, left side names the output;
+* **ORDER BY** — stable multi-key sort, NULLs last in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..exceptions import SQLError
+from ..relational.schema import Attribute, CATEGORICAL, NUMERIC, Schema
+from ..relational.table import Table
+from . import nodes as N
+from .parser import parse
+
+#: A frame is one in-flight joined row: (binding, column) -> value.
+Frame = dict[tuple[str, str], Any]
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Catalog:
+    """A named collection of tables the executor can read from."""
+
+    def __init__(self, tables: Mapping[str, Table] | None = None):
+        self._tables: dict[str, Table] = {}
+        if tables:
+            for name, table in tables.items():
+                self.register(name, table)
+
+    def register(self, name: str, table: Table) -> None:
+        """Add or replace a table under ``name``."""
+        if not name:
+            raise SQLError("catalog entries need a non-empty name")
+        self._tables[name] = table
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __getitem__(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SQLError(
+                f"unknown table {name!r}; catalog has {sorted(self._tables)}"
+            ) from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+
+class _Scope:
+    """Resolved FROM/JOIN bindings: ordered (binding, schema) pairs."""
+
+    def __init__(self) -> None:
+        self.order: list[tuple[str, Schema]] = []
+        self._by_binding: dict[str, Schema] = {}
+
+    def add(self, binding: str, schema: Schema) -> None:
+        if binding in self._by_binding:
+            raise SQLError(f"duplicate table binding {binding!r}")
+        self.order.append((binding, schema))
+        self._by_binding[binding] = schema
+
+    def resolve(self, ref: N.ColumnRef) -> tuple[str, str]:
+        """Map a column reference to its (binding, column) key."""
+        if ref.table is not None:
+            schema = self._by_binding.get(ref.table)
+            if schema is None:
+                raise SQLError(f"unknown table alias {ref.table!r}")
+            if ref.name not in schema:
+                raise SQLError(f"no column {ref.name!r} in {ref.table!r}")
+            return (ref.table, ref.name)
+        owners = [b for b, s in self.order if ref.name in s]
+        if not owners:
+            raise SQLError(f"unknown column {ref.name!r}")
+        if len(owners) > 1:
+            raise SQLError(
+                f"ambiguous column {ref.name!r}: in {owners}; qualify it"
+            )
+        return (owners[0], ref.name)
+
+    def attribute(self, key: tuple[str, str]) -> Attribute:
+        return self._by_binding[key[0]][key[1]]
+
+
+def _kleene_not(value: bool | None) -> bool | None:
+    if value is None:
+        return None
+    return not value
+
+
+def _evaluate(expr: Any, frame: Frame, scope: _Scope) -> Any:
+    """Evaluate a scalar/boolean expression over one frame (3-valued)."""
+    if isinstance(expr, N.Value):
+        return expr.value
+    if isinstance(expr, N.ColumnRef):
+        return frame[scope.resolve(expr)]
+    if isinstance(expr, N.Comparison):
+        left = _evaluate(expr.left, frame, scope)
+        right = _evaluate(expr.right, frame, scope)
+        if left is None or right is None:
+            return None
+        try:
+            return _COMPARATORS[expr.op](left, right)
+        except TypeError:
+            raise SQLError(
+                f"cannot compare {type(left).__name__} with "
+                f"{type(right).__name__} using {expr.op!r}"
+            ) from None
+    if isinstance(expr, N.And):
+        saw_null = False
+        for operand in expr.operands:
+            value = _evaluate(operand, frame, scope)
+            if value is False:
+                return False
+            if value is None:
+                saw_null = True
+        return None if saw_null else True
+    if isinstance(expr, N.Or):
+        saw_null = False
+        for operand in expr.operands:
+            value = _evaluate(operand, frame, scope)
+            if value is True:
+                return True
+            if value is None:
+                saw_null = True
+        return None if saw_null else False
+    if isinstance(expr, N.Not):
+        return _kleene_not(_evaluate(expr.operand, frame, scope))
+    if isinstance(expr, N.IsNull):
+        is_null = _evaluate(expr.operand, frame, scope) is None
+        return not is_null if expr.negated else is_null
+    if isinstance(expr, N.InList):
+        needle = _evaluate(expr.needle, frame, scope)
+        if needle is None:
+            return None
+        saw_null = False
+        hit = False
+        for candidate in expr.values:
+            if candidate.value is None:
+                saw_null = True
+            elif candidate.value == needle:
+                hit = True
+                break
+        result: bool | None = True if hit else (None if saw_null else False)
+        return _kleene_not(result) if expr.negated else result
+    if isinstance(expr, N.Between):
+        value = _evaluate(expr.operand, frame, scope)
+        low = _evaluate(expr.low, frame, scope)
+        high = _evaluate(expr.high, frame, scope)
+        if value is None or low is None or high is None:
+            return None
+        try:
+            result = low <= value <= high
+        except TypeError:
+            raise SQLError("BETWEEN over incomparable types") from None
+        return _kleene_not(result) if expr.negated else result
+    if isinstance(expr, N.Aggregate):
+        raise SQLError(
+            f"{expr.func}(...) is only valid with GROUP BY or as a "
+            "whole-table aggregate"
+        )
+    raise SQLError(f"cannot evaluate node {type(expr).__name__}")
+
+
+# -- aggregation -------------------------------------------------------------------
+
+
+def _has_aggregate(expr: Any) -> bool:
+    if isinstance(expr, N.Aggregate):
+        return True
+    if isinstance(expr, N.Comparison):
+        return _has_aggregate(expr.left) or _has_aggregate(expr.right)
+    if isinstance(expr, (N.And, N.Or)):
+        return any(_has_aggregate(op) for op in expr.operands)
+    if isinstance(expr, N.Not):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, N.IsNull):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, N.InList):
+        return _has_aggregate(expr.needle)
+    if isinstance(expr, N.Between):
+        return any(
+            _has_aggregate(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    return False
+
+
+def _compute_aggregate(
+    agg: N.Aggregate, frames: list[Frame], scope: _Scope
+) -> Any:
+    """One aggregate over one group (SQL null semantics)."""
+    if agg.operand is None:  # COUNT(*)
+        return len(frames)
+    values = [
+        v
+        for v in (_evaluate(agg.operand, f, scope) for f in frames)
+        if v is not None
+    ]
+    if agg.distinct:
+        values = list(dict.fromkeys(values))
+    if agg.func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if agg.func in ("SUM", "AVG"):
+        if not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in values
+        ):
+            raise SQLError(f"{agg.func} needs numeric inputs")
+        total = float(sum(values))
+        return total if agg.func == "SUM" else total / len(values)
+    try:
+        return min(values) if agg.func == "MIN" else max(values)
+    except TypeError:
+        raise SQLError(f"{agg.func} over incomparable types") from None
+
+
+def _rewrite_for_group(
+    expr: Any,
+    frames: list[Frame],
+    scope: _Scope,
+    group_exprs: tuple[Any, ...],
+) -> Any:
+    """Replace aggregates and group keys by constants so the rewritten
+    expression evaluates with the plain scalar evaluator.
+
+    Any other column reference is an error — the SQL rule that every
+    selected column must appear in GROUP BY or inside an aggregate.
+    """
+    for key in group_exprs:
+        if expr == key:
+            return N.Value(_evaluate(expr, frames[0], scope))
+    if isinstance(expr, N.Aggregate):
+        return N.Value(_compute_aggregate(expr, frames, scope))
+    if isinstance(expr, N.Value):
+        return expr
+    if isinstance(expr, N.ColumnRef):
+        raise SQLError(
+            f"column {expr} must appear in GROUP BY or inside an aggregate"
+        )
+    rewrite = lambda e: _rewrite_for_group(e, frames, scope, group_exprs)
+    if isinstance(expr, N.Comparison):
+        return N.Comparison(expr.op, rewrite(expr.left), rewrite(expr.right))
+    if isinstance(expr, N.And):
+        return N.And(tuple(rewrite(op) for op in expr.operands))
+    if isinstance(expr, N.Or):
+        return N.Or(tuple(rewrite(op) for op in expr.operands))
+    if isinstance(expr, N.Not):
+        return N.Not(rewrite(expr.operand))
+    if isinstance(expr, N.IsNull):
+        return N.IsNull(rewrite(expr.operand), expr.negated)
+    if isinstance(expr, N.InList):
+        return N.InList(rewrite(expr.needle), expr.values, expr.negated)
+    if isinstance(expr, N.Between):
+        return N.Between(
+            rewrite(expr.operand), rewrite(expr.low), rewrite(expr.high),
+            expr.negated,
+        )
+    raise SQLError(f"cannot group-evaluate node {type(expr).__name__}")
+
+
+def _eval_in_group(
+    expr: Any,
+    frames: list[Frame],
+    scope: _Scope,
+    group_exprs: tuple[Any, ...],
+) -> Any:
+    rewritten = _rewrite_for_group(expr, frames, scope, group_exprs)
+    return _evaluate(rewritten, {}, scope)
+
+
+# -- join machinery --------------------------------------------------------------
+
+
+def _table_frames(binding: str, table: Table) -> list[Frame]:
+    names = table.schema.names
+    cols = [table._column_ref(n) for n in names]
+    frames = []
+    for values in zip(*cols) if names else ():
+        frames.append({(binding, n): v for n, v in zip(names, values)})
+    if not names:
+        return []
+    return frames
+
+
+def _null_fragment(binding: str, schema: Schema) -> Frame:
+    return {(binding, n): None for n in schema.names}
+
+
+def _equi_keys(
+    on: Any, scope_before: _Scope, new_binding: str, scope_after: _Scope
+) -> tuple[list[tuple[str, str]], list[tuple[str, str]]] | None:
+    """If ``on`` is a pure conjunction of cross-side column equalities,
+    return (left keys, right keys); otherwise ``None`` (nested loop)."""
+    conjuncts = list(on.operands) if isinstance(on, N.And) else [on]
+    left_keys: list[tuple[str, str]] = []
+    right_keys: list[tuple[str, str]] = []
+    for conjunct in conjuncts:
+        if not (
+            isinstance(conjunct, N.Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, N.ColumnRef)
+            and isinstance(conjunct.right, N.ColumnRef)
+        ):
+            return None
+        try:
+            a = scope_after.resolve(conjunct.left)
+            b = scope_after.resolve(conjunct.right)
+        except SQLError:
+            return None
+        if a[0] == new_binding and b[0] != new_binding:
+            a, b = b, a
+        if b[0] != new_binding or a[0] == new_binding:
+            return None
+        left_keys.append(a)
+        right_keys.append(b)
+    return left_keys, right_keys
+
+
+def _join(
+    frames: list[Frame],
+    scope: _Scope,
+    join: N.Join,
+    catalog: Catalog,
+) -> list[Frame]:
+    table = catalog[join.table.name]
+    binding = join.table.binding
+    scope_after = _Scope()
+    for b, s in scope.order:
+        scope_after.add(b, s)
+    scope_after.add(binding, table.schema)
+    right_frames = _table_frames(binding, table)
+    right_null = _null_fragment(binding, table.schema)
+    left_null: Frame = {}
+    for b, s in scope.order:
+        left_null.update(_null_fragment(b, s))
+
+    keys = _equi_keys(join.on, scope, binding, scope_after)
+    out: list[Frame] = []
+    matched_right: set[int] = set()
+    if keys is not None:
+        left_keys, right_keys = keys
+        index: dict[tuple[Any, ...], list[int]] = {}
+        for j, rf in enumerate(right_frames):
+            key = tuple(rf[k] for k in right_keys)
+            if any(v is None for v in key):
+                continue
+            index.setdefault(key, []).append(j)
+        for lf in frames:
+            key = tuple(lf[k] for k in left_keys)
+            hits = index.get(key, []) if not any(v is None for v in key) else []
+            if hits:
+                for j in hits:
+                    matched_right.add(j)
+                    out.append({**lf, **right_frames[j]})
+            elif join.kind in (N.LEFT, N.FULL):
+                out.append({**lf, **right_null})
+    else:
+        for lf in frames:
+            hit = False
+            for j, rf in enumerate(right_frames):
+                merged = {**lf, **rf}
+                if _evaluate(join.on, merged, scope_after) is True:
+                    hit = True
+                    matched_right.add(j)
+                    out.append(merged)
+            if not hit and join.kind in (N.LEFT, N.FULL):
+                out.append({**lf, **right_null})
+    if join.kind in (N.RIGHT, N.FULL):
+        for j, rf in enumerate(right_frames):
+            if j not in matched_right:
+                out.append({**left_null, **rf})
+    scope.order = scope_after.order
+    scope._by_binding = scope_after._by_binding
+    return out
+
+
+# -- projection / ordering ---------------------------------------------------------
+
+
+class _DescKey:
+    """Inverts comparison so a single ascending sort yields DESC order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_DescKey") -> bool:
+        if self.value is None and other.value is None:
+            return False
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _DescKey) and self.value == other.value
+
+
+def _sort_frames(
+    frames: list[Frame], order_by: tuple[N.OrderItem, ...], scope: _Scope
+) -> list[Frame]:
+    out = list(frames)
+    for item in reversed(order_by):
+        def key(frame: Frame, _item=item):
+            value = _evaluate(_item.expr, frame, scope)
+            if _item.descending:
+                return (value is None, _DescKey(value))
+            return (value is None, value)
+
+        try:
+            out.sort(key=key)
+        except TypeError:
+            raise SQLError("ORDER BY over incomparable types") from None
+    return out
+
+
+def _unique_names(raw: list[str]) -> list[str]:
+    seen: dict[str, int] = {}
+    out = []
+    for name in raw:
+        if name not in seen:
+            seen[name] = 1
+            out.append(name)
+        else:
+            seen[name] += 1
+            out.append(f"{name}_{seen[name]}")
+    return out
+
+
+def _project(
+    select: N.Select, frames: list[Frame], scope: _Scope
+) -> Table:
+    if isinstance(select.items, N.Star):
+        keys = [
+            (binding, name)
+            for binding, schema in scope.order
+            for name in schema.names
+        ]
+        bare = [name for _, name in keys]
+        raw_names = [
+            name if bare.count(name) == 1 else f"{binding}.{name}"
+            for (binding, name) in keys
+        ]
+        names = _unique_names(raw_names)
+        attrs = [
+            Attribute(out_name, scope.attribute(key).dtype)
+            for out_name, key in zip(names, keys)
+        ]
+        columns = {
+            out_name: [frame[key] for frame in frames]
+            for out_name, key in zip(names, keys)
+        }
+        return Table(Schema(attrs), columns)
+    raw_names = []
+    exprs = []
+    dtypes = []
+    for i, item in enumerate(select.items):
+        exprs.append(item.expr)
+        if item.alias:
+            raw_names.append(item.alias)
+        elif isinstance(item.expr, N.ColumnRef):
+            raw_names.append(item.expr.name)
+        else:
+            raw_names.append(f"col{i + 1}")
+        if isinstance(item.expr, N.ColumnRef):
+            dtypes.append(scope.attribute(scope.resolve(item.expr)).dtype)
+        elif isinstance(item.expr, N.Value) and isinstance(
+            item.expr.value, (int, float)
+        ) and not isinstance(item.expr.value, bool):
+            dtypes.append(NUMERIC)
+        else:
+            dtypes.append(CATEGORICAL)
+    names = _unique_names(raw_names)
+    columns: dict[str, list[Any]] = {n: [] for n in names}
+    for frame in frames:
+        for name, expr in zip(names, exprs):
+            columns[name].append(_evaluate(expr, frame, scope))
+    schema = Schema([Attribute(n, d) for n, d in zip(names, dtypes)])
+    return Table(schema, columns)
+
+
+def _wants_grouping(select: N.Select) -> bool:
+    if select.group_by or select.having is not None:
+        return True
+    if isinstance(select.items, N.Star):
+        return False
+    if any(_has_aggregate(item.expr) for item in select.items):
+        return True
+    return any(_has_aggregate(item.expr) for item in select.order_by)
+
+
+def _grouped_item_name(item: N.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, N.ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, N.Aggregate):
+        return item.expr.func.lower()
+    return f"col{index + 1}"
+
+
+def _grouped_item_dtype(item: N.SelectItem, scope: _Scope) -> str:
+    expr = item.expr
+    if isinstance(expr, N.ColumnRef):
+        return scope.attribute(scope.resolve(expr)).dtype
+    if isinstance(expr, N.Aggregate):
+        if expr.func in ("COUNT", "SUM", "AVG"):
+            return NUMERIC
+        if isinstance(expr.operand, N.ColumnRef):
+            return scope.attribute(scope.resolve(expr.operand)).dtype
+        return NUMERIC
+    if isinstance(expr, N.Value) and isinstance(
+        expr.value, (int, float)
+    ) and not isinstance(expr.value, bool):
+        return NUMERIC
+    return CATEGORICAL
+
+
+def _execute_grouped(
+    select: N.Select, frames: list[Frame], scope: _Scope
+) -> Table:
+    """GROUP BY / HAVING / whole-table aggregate execution."""
+    if isinstance(select.items, N.Star):
+        raise SQLError("SELECT * cannot be grouped; name the output columns")
+    group_exprs = select.group_by
+    if group_exprs:
+        groups: dict[tuple, list[Frame]] = {}
+        order: list[tuple] = []
+        for frame in frames:
+            key = tuple(_evaluate(g, frame, scope) for g in group_exprs)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(frame)
+        group_list = [groups[k] for k in order]
+    else:
+        group_list = [list(frames)]  # one whole-table group, even when empty
+    if select.having is not None:
+        group_list = [
+            g
+            for g in group_list
+            if _eval_in_group(select.having, g, scope, group_exprs) is True
+        ]
+    if select.order_by:
+        # ORDER BY may reference select-list aliases (standard SQL).
+        aliases = {
+            _grouped_item_name(item, k): item.expr
+            for k, item in enumerate(select.items)
+        }
+        for item in reversed(select.order_by):
+            expr = item.expr
+            if (
+                isinstance(expr, N.ColumnRef)
+                and expr.table is None
+                and expr.name in aliases
+            ):
+                expr = aliases[expr.name]
+
+            def key_fn(group: list[Frame], _expr=expr, _item=item):
+                value = _eval_in_group(_expr, group, scope, group_exprs)
+                if _item.descending:
+                    return (value is None, _DescKey(value))
+                return (value is None, value)
+
+            try:
+                group_list.sort(key=key_fn)
+            except TypeError:
+                raise SQLError("ORDER BY over incomparable types") from None
+    names = _unique_names(
+        [_grouped_item_name(i, k) for k, i in enumerate(select.items)]
+    )
+    dtypes = [_grouped_item_dtype(i, scope) for i in select.items]
+    columns: dict[str, list[Any]] = {n: [] for n in names}
+    for group in group_list:
+        for name, item in zip(names, select.items):
+            columns[name].append(
+                _eval_in_group(item.expr, group, scope, group_exprs)
+            )
+    schema = Schema([Attribute(n, d) for n, d in zip(names, dtypes)])
+    return Table(schema, columns)
+
+
+def _execute_select(select: N.Select, catalog: Catalog) -> Table:
+    source = catalog[select.source.name]
+    scope = _Scope()
+    scope.add(select.source.binding, source.schema)
+    frames = _table_frames(select.source.binding, source)
+    for join in select.joins:
+        frames = _join(frames, scope, join, catalog)
+    if select.where is not None:
+        frames = [
+            f for f in frames if _evaluate(select.where, f, scope) is True
+        ]
+    if _wants_grouping(select):
+        table = _execute_grouped(select, frames, scope)
+    else:
+        if select.order_by:
+            frames = _sort_frames(frames, select.order_by, scope)
+        table = _project(select, frames, scope)
+    if select.distinct:
+        table = table.distinct()
+    if select.limit is not None:
+        table = table.head(select.limit)
+    return table
+
+
+def execute(node: Any, catalog: Catalog | Mapping[str, Table]) -> Table:
+    """Execute a parsed query tree against ``catalog``."""
+    if not isinstance(catalog, Catalog):
+        catalog = Catalog(catalog)
+    if isinstance(node, N.Select):
+        return _execute_select(node, catalog)
+    if isinstance(node, N.Union):
+        left = execute(node.left, catalog)
+        right = execute(node.right, catalog)
+        if left.num_columns != right.num_columns:
+            raise SQLError(
+                f"UNION arity mismatch: {left.num_columns} vs "
+                f"{right.num_columns} columns"
+            )
+        # Positional alignment; the left side names (and types) the output.
+        columns = {
+            name: left.column(name) + right._column_ref(other)
+            for name, other in zip(left.schema.names, right.schema.names)
+        }
+        merged = Table(left.schema, columns, name=left.name)
+        return merged if node.all else merged.distinct()
+    raise SQLError(f"cannot execute node {type(node).__name__}")
+
+
+def query(sql: str, catalog: Catalog | Mapping[str, Table]) -> Table:
+    """Parse and execute ``sql`` in one call."""
+    return execute(parse(sql), catalog)

@@ -1,0 +1,150 @@
+"""EXPLAIN: textual query plans mirroring the executor's decisions.
+
+:func:`explain` renders the plan the executor will follow — scan order,
+hash-join versus nested-loop choice (decided by the same ``_equi_keys``
+test the executor uses), filters, grouping, sorting, and limits — without
+touching any rows. :func:`render_expr` is the matching expression
+deparser; it round-trips through the parser, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..exceptions import SQLError
+from ..relational.table import Table
+from . import nodes as N
+from .compiler import quote_ident, sql_literal
+from .executor import Catalog, _Scope, _equi_keys
+from .parser import parse
+
+
+def render_expr(expr: Any) -> str:
+    """Deparse an expression back to SQL text (parse(render(x)) == x)."""
+    if isinstance(expr, N.Value):
+        return sql_literal(expr.value)
+    if isinstance(expr, N.ColumnRef):
+        if expr.table:
+            return f"{quote_ident(expr.table)}.{quote_ident(expr.name)}"
+        return quote_ident(expr.name)
+    if isinstance(expr, N.Comparison):
+        return (
+            f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+        )
+    if isinstance(expr, N.And):
+        return " AND ".join(_paren(op) for op in expr.operands)
+    if isinstance(expr, N.Or):
+        return " OR ".join(_paren(op) for op in expr.operands)
+    if isinstance(expr, N.Not):
+        return f"NOT {_paren(expr.operand)}"
+    if isinstance(expr, N.IsNull):
+        tail = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{render_expr(expr.operand)} {tail}"
+    if isinstance(expr, N.InList):
+        values = ", ".join(sql_literal(v.value) for v in expr.values)
+        word = "NOT IN" if expr.negated else "IN"
+        return f"{render_expr(expr.needle)} {word} ({values})"
+    if isinstance(expr, N.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{render_expr(expr.operand)} {word} "
+            f"{render_expr(expr.low)} AND {render_expr(expr.high)}"
+        )
+    if isinstance(expr, N.Aggregate):
+        if expr.operand is None:
+            return "COUNT(*)"
+        inner = render_expr(expr.operand)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.func}({inner})"
+    raise SQLError(f"cannot render node {type(expr).__name__}")
+
+
+def _paren(expr: Any) -> str:
+    """Parenthesize composite boolean operands to preserve precedence."""
+    text = render_expr(expr)
+    if isinstance(expr, (N.And, N.Or)):
+        return f"({text})"
+    return text
+
+
+def _scan_line(ref: N.TableRef, catalog: Catalog | None) -> str:
+    label = ref.name if ref.alias is None else f"{ref.name} AS {ref.alias}"
+    if catalog is not None and ref.name in catalog:
+        rows = catalog[ref.name].num_rows
+        return f"Scan {label} [{rows} rows]"
+    return f"Scan {label}"
+
+
+def _explain_select(
+    select: N.Select, catalog: Catalog | None, indent: str
+) -> list[str]:
+    lines = [f"{indent}Select"]
+    inner = indent + "  "
+    lines.append(f"{inner}{_scan_line(select.source, catalog)}")
+    scope = _Scope()
+    if catalog is not None and select.source.name in catalog:
+        scope.add(select.source.binding, catalog[select.source.name].schema)
+    for join in select.joins:
+        strategy = "NestedLoopJoin"
+        if catalog is not None and join.table.name in catalog:
+            after = _Scope()
+            for binding, schema in scope.order:
+                after.add(binding, schema)
+            after.add(join.table.binding, catalog[join.table.name].schema)
+            if _equi_keys(join.on, scope, join.table.binding, after) is not None:
+                strategy = "HashJoin"
+            scope = after
+        lines.append(
+            f"{inner}{strategy} {join.kind.upper()} "
+            f"{_scan_line(join.table, catalog)} ON {render_expr(join.on)}"
+        )
+    if select.where is not None:
+        lines.append(f"{inner}Filter {render_expr(select.where)}")
+    if select.group_by:
+        keys = ", ".join(render_expr(g) for g in select.group_by)
+        lines.append(f"{inner}GroupBy {keys}")
+    if select.having is not None:
+        lines.append(f"{inner}Having {render_expr(select.having)}")
+    if select.order_by:
+        keys = ", ".join(
+            render_expr(o.expr) + (" DESC" if o.descending else " ASC")
+            for o in select.order_by
+        )
+        lines.append(f"{inner}Sort {keys}")
+    if isinstance(select.items, N.Star):
+        lines.append(f"{inner}Project *")
+    else:
+        cols = ", ".join(
+            render_expr(i.expr) + (f" AS {quote_ident(i.alias)}" if i.alias else "")
+            for i in select.items
+        )
+        lines.append(f"{inner}Project {cols}")
+    if select.distinct:
+        lines.append(f"{inner}Distinct")
+    if select.limit is not None:
+        lines.append(f"{inner}Limit {select.limit}")
+    return lines
+
+
+def explain(
+    query: str | N.Select | N.Union,
+    catalog: Catalog | Mapping[str, Table] | None = None,
+) -> str:
+    """A textual plan for ``query`` (SQL string or parsed tree)."""
+    if isinstance(query, str):
+        query = parse(query)
+    if catalog is not None and not isinstance(catalog, Catalog):
+        catalog = Catalog(catalog)
+    if isinstance(query, N.Select):
+        return "\n".join(_explain_select(query, catalog, ""))
+    if isinstance(query, N.Union):
+        word = "UnionAll" if query.all else "Union"
+        lines = [word]
+        for side in (query.left, query.right):
+            if isinstance(side, N.Select):
+                lines.extend(_explain_select(side, catalog, "  "))
+            else:
+                lines.append("  " + explain(side, catalog).replace("\n", "\n  "))
+        return "\n".join(lines)
+    raise SQLError(f"cannot explain node {type(query).__name__}")

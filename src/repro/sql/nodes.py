@@ -1,0 +1,185 @@
+"""AST node types for the SPJ SQL subset.
+
+All nodes are frozen dataclasses so parsed queries are hashable, comparable
+in tests, and safe to share between threads. The grammar (informally):
+
+.. code-block:: text
+
+    query       := select_stmt (UNION [ALL] select_stmt)*
+    select_stmt := SELECT [DISTINCT] select_list FROM table_ref join*
+                   [WHERE expr] [GROUP BY expr (, expr)* [HAVING expr]]
+                   [ORDER BY order_item (, order_item)*] [LIMIT int]
+    select_list := '*' | item (',' item)*         item := expr [AS ident]
+    table_ref   := ident [AS? ident]
+    join        := [INNER|LEFT [OUTER]|RIGHT [OUTER]|FULL [OUTER]] JOIN
+                   table_ref ON expr
+    expr        := Kleene three-valued boolean algebra over comparisons,
+                   IS [NOT] NULL, [NOT] IN (...), [NOT] BETWEEN .. AND ..;
+                   aggregates COUNT(*|[DISTINCT] expr), SUM, AVG, MIN, MAX
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+INNER = "inner"
+LEFT = "left"
+RIGHT = "right"
+FULL = "full"
+JOIN_KINDS = (INNER, LEFT, RIGHT, FULL)
+
+
+# -- scalar expressions ---------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Value:
+    """A constant: number, string, boolean, or NULL (``None``)."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A possibly qualified column reference ``[table.]name``."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """``left <op> right`` with op ∈ {=, !=, <, <=, >, >=}."""
+
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    operands: tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    operands: tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: Any
+
+
+@dataclass(frozen=True, slots=True)
+class IsNull:
+    """``operand IS [NOT] NULL`` — the only two-valued predicate."""
+
+    operand: Any
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class InList:
+    """``needle [NOT] IN (v1, ..., vk)`` over constant values."""
+
+    needle: Any
+    values: tuple[Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Between:
+    """``operand [NOT] BETWEEN low AND high`` (inclusive both ends)."""
+
+    operand: Any
+    low: Any
+    high: Any
+    negated: bool = False
+
+
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """``FUNC(expr)``, ``COUNT(*)``, or ``COUNT(DISTINCT expr)``.
+
+    SQL null semantics: nulls are skipped by every aggregate except
+    ``COUNT(*)``; an empty input yields NULL (0 for the COUNT forms).
+    """
+
+    func: str
+    operand: Any = None  # None means '*' (COUNT only)
+    distinct: bool = False
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One output column: an expression with an optional alias."""
+
+    expr: Any
+    alias: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Star:
+    """The ``*`` select list."""
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A named table with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Join:
+    """One JOIN clause: kind, right table, ON condition."""
+
+    kind: str
+    table: TableRef
+    on: Any
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem:
+    expr: Any
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    """A single SELECT statement."""
+
+    items: tuple[SelectItem, ...] | Star
+    source: TableRef
+    joins: tuple[Join, ...] = ()
+    where: Any = None
+    group_by: tuple[Any, ...] = ()
+    having: Any = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Union:
+    """``left UNION [ALL] right`` — positional column alignment."""
+
+    left: Any
+    right: Any
+    all: bool = False

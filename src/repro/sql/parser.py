@@ -1,0 +1,294 @@
+"""Recursive-descent parser for the SPJ SQL subset.
+
+:func:`parse` turns a SQL string into the :mod:`repro.sql.nodes` AST.
+Errors carry the token position so tests (and users) can pinpoint typos.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SQLError
+from . import nodes as N
+from .tokens import EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.current.kind == KEYWORD and self.current.value in words
+
+    def at_punct(self, value: str) -> bool:
+        return self.current.kind == PUNCT and self.current.value == value
+
+    def accept_keyword(self, *words: str) -> str | None:
+        if self.at_keyword(*words):
+            return self.advance().value  # type: ignore[return-value]
+        return None
+
+    def accept_punct(self, value: str) -> bool:
+        if self.at_punct(value):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SQLError(
+                f"expected {word} at position {self.current.pos}, "
+                f"found {self.current.value!r}"
+            )
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise SQLError(
+                f"expected {value!r} at position {self.current.pos}, "
+                f"found {self.current.value!r}"
+            )
+
+    def expect_ident(self) -> str:
+        if self.current.kind != IDENT:
+            raise SQLError(
+                f"expected identifier at position {self.current.pos}, "
+                f"found {self.current.value!r}"
+            )
+        return self.advance().value  # type: ignore[return-value]
+
+    # -- grammar --------------------------------------------------------------
+    def parse_query(self):
+        node = self.parse_select()
+        while self.accept_keyword("UNION"):
+            keep_all = bool(self.accept_keyword("ALL"))
+            right = self.parse_select()
+            node = N.Union(node, right, all=keep_all)
+        if self.current.kind != EOF:
+            raise SQLError(
+                f"trailing input at position {self.current.pos}: "
+                f"{self.current.value!r}"
+            )
+        return node
+
+    def parse_select(self) -> N.Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = self.parse_select_list()
+        self.expect_keyword("FROM")
+        source = self.parse_table_ref()
+        joins: list[N.Join] = []
+        while True:
+            join = self.parse_join()
+            if join is None:
+                break
+            joins.append(join)
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: list = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+            if self.accept_keyword("HAVING"):
+                having = self.parse_expr()
+        order_by: list[N.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.kind != NUMBER or not isinstance(token.value, int) or token.value < 0:
+                raise SQLError(f"LIMIT needs a non-negative integer at {token.pos}")
+            limit = token.value
+        return N.Select(
+            items=items,
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_select_list(self):
+        if self.accept_punct("*"):
+            return N.Star()
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        return tuple(items)
+
+    def parse_select_item(self) -> N.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == IDENT:
+            alias = self.advance().value  # bare alias
+        return N.SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> N.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == IDENT:
+            alias = self.advance().value
+        return N.TableRef(name, alias)
+
+    def parse_join(self) -> N.Join | None:
+        kind = None
+        if self.accept_keyword("JOIN"):
+            kind = N.INNER
+        elif self.accept_keyword("INNER"):
+            self.expect_keyword("JOIN")
+            kind = N.INNER
+        elif self.at_keyword("LEFT", "RIGHT", "FULL"):
+            word = self.advance().value
+            self.accept_keyword("OUTER")
+            self.expect_keyword("JOIN")
+            kind = {"LEFT": N.LEFT, "RIGHT": N.RIGHT, "FULL": N.FULL}[word]
+        if kind is None:
+            return None
+        table = self.parse_table_ref()
+        self.expect_keyword("ON")
+        on = self.parse_expr()
+        return N.Join(kind, table, on)
+
+    def parse_order_item(self) -> N.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return N.OrderItem(expr, descending)
+
+    # -- expressions (precedence: OR < AND < NOT < predicate) ---------------------
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        operands = [self.parse_and()]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return N.Or(tuple(operands))
+
+    def parse_and(self):
+        operands = [self.parse_not()]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return N.And(tuple(operands))
+
+    def parse_not(self):
+        if self.accept_keyword("NOT"):
+            return N.Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self):
+        left = self.parse_primary()
+        if self.current.kind == OP:
+            op = self.advance().value
+            right = self.parse_primary()
+            return N.Comparison(op, left, right)
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return N.IsNull(left, negated=negated)
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IN"):
+            return self.parse_in(left, negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_primary()
+            self.expect_keyword("AND")
+            high = self.parse_primary()
+            return N.Between(left, low, high, negated=negated)
+        if negated:
+            raise SQLError(
+                f"expected IN or BETWEEN after NOT at position {self.current.pos}"
+            )
+        return left
+
+    def parse_in(self, needle, negated: bool) -> N.InList:
+        self.expect_punct("(")
+        values = [self.parse_constant()]
+        while self.accept_punct(","):
+            values.append(self.parse_constant())
+        self.expect_punct(")")
+        return N.InList(needle, tuple(values), negated=negated)
+
+    def parse_constant(self) -> N.Value:
+        token = self.current
+        if token.kind in (NUMBER, STRING):
+            self.advance()
+            return N.Value(token.value)
+        if self.at_keyword("NULL"):
+            self.advance()
+            return N.Value(None)
+        if self.at_keyword("TRUE"):
+            self.advance()
+            return N.Value(True)
+        if self.at_keyword("FALSE"):
+            self.advance()
+            return N.Value(False)
+        raise SQLError(f"expected a constant at position {token.pos}")
+
+    def parse_primary(self):
+        token = self.current
+        if token.kind in (NUMBER, STRING) or self.at_keyword(
+            "NULL", "TRUE", "FALSE"
+        ):
+            return self.parse_constant()
+        if self.at_keyword(*N.AGGREGATE_FUNCTIONS):
+            return self.parse_aggregate()
+        if self.accept_punct("("):
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if token.kind == IDENT:
+            first = self.advance().value
+            if self.accept_punct("."):
+                second = self.expect_ident()
+                return N.ColumnRef(second, table=first)
+            return N.ColumnRef(first)
+        raise SQLError(
+            f"unexpected token {token.value!r} at position {token.pos}"
+        )
+
+    def parse_aggregate(self) -> N.Aggregate:
+        func = self.advance().value
+        self.expect_punct("(")
+        if func == "COUNT" and self.accept_punct("*"):
+            self.expect_punct(")")
+            return N.Aggregate("COUNT", operand=None)
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        operand = self.parse_expr()
+        self.expect_punct(")")
+        return N.Aggregate(func, operand=operand, distinct=distinct)
+
+
+def parse(sql: str):
+    """Parse ``sql`` into a :class:`~repro.sql.nodes.Select` or
+    :class:`~repro.sql.nodes.Union` tree."""
+    return _Parser(tokenize(sql)).parse_query()

@@ -1,0 +1,213 @@
+"""Tokenizer for the SPJ SQL subset.
+
+Produces a flat list of :class:`Token` objects. Keywords are recognized
+case-insensitively and normalized to upper case; identifiers keep their
+case (and may be double-quoted to escape keywords or unusual characters);
+string literals use single quotes with ``''`` escaping, as in SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SQLError
+
+#: Reserved words of the supported grammar.
+KEYWORDS = frozenset(
+    {
+        "ALL",
+        "AND",
+        "AS",
+        "ASC",
+        "AVG",
+        "BETWEEN",
+        "BY",
+        "COUNT",
+        "DESC",
+        "DISTINCT",
+        "FALSE",
+        "FROM",
+        "FULL",
+        "GROUP",
+        "HAVING",
+        "IN",
+        "INNER",
+        "IS",
+        "JOIN",
+        "LEFT",
+        "LIMIT",
+        "MAX",
+        "MIN",
+        "NOT",
+        "NULL",
+        "ON",
+        "OR",
+        "ORDER",
+        "OUTER",
+        "RIGHT",
+        "SELECT",
+        "SUM",
+        "TRUE",
+        "UNION",
+        "WHERE",
+    }
+)
+
+#: Token kinds.
+KEYWORD = "keyword"
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+OP = "op"
+PUNCT = "punct"
+EOF = "eof"
+
+_PUNCT = {",", "(", ")", ".", "*"}
+_OP_STARTS = {"=", "!", "<", ">"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical unit: kind, normalized value, source position."""
+
+    kind: str
+    value: object
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.pos})"
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted SQL string starting at ``start``; '' escapes."""
+    out: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        else:
+            out.append(ch)
+            i += 1
+    raise SQLError(f"unterminated string literal starting at {start}")
+
+
+def _read_quoted_ident(text: str, start: int) -> tuple[str, int]:
+    """Read a double-quoted identifier; "" escapes."""
+    out: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':
+            if i + 1 < n and text[i + 1] == '"':
+                out.append('"')
+                i += 2
+                continue
+            if not out:
+                raise SQLError(f"empty quoted identifier at {start}")
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SQLError(f"unterminated quoted identifier starting at {start}")
+
+
+def _read_number(text: str, start: int) -> tuple[float | int, int]:
+    i = start
+    n = len(text)
+    seen_dot = seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    raw = text[start:i]
+    try:
+        if seen_dot or seen_exp:
+            return float(raw), i
+        return int(raw), i
+    except ValueError:
+        raise SQLError(f"malformed number {raw!r} at {start}") from None
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; the result always ends with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):  # line comment
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            value, i2 = _read_string(text, i)
+            tokens.append(Token(STRING, value, i))
+            i = i2
+            continue
+        if ch == '"':
+            value, i2 = _read_quoted_ident(text, i)
+            tokens.append(Token(IDENT, value, i))
+            i = i2
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            value, i2 = _read_number(text, i)
+            tokens.append(Token(NUMBER, value, i))
+            i = i2
+            continue
+        if ch == "-" and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == "."):
+            value, i2 = _read_number(text, i + 1)
+            tokens.append(Token(NUMBER, -value, i))
+            i = i2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, i))
+            else:
+                tokens.append(Token(IDENT, word, i))
+            i = j
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(PUNCT, ch, i))
+            i += 1
+            continue
+        if ch in _OP_STARTS:
+            two = text[i : i + 2]
+            if two in ("==", "!=", "<>", "<=", ">="):
+                op = "!=" if two == "<>" else ("=" if two == "==" else two)
+                tokens.append(Token(OP, op, i))
+                i += 2
+                continue
+            if ch == "!":
+                raise SQLError(f"stray '!' at {i}")
+            tokens.append(Token(OP, ch, i))
+            i += 1
+            continue
+        raise SQLError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token(EOF, None, n))
+    return tokens

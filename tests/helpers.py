@@ -1,0 +1,88 @@
+"""Shared test helpers: toy search spaces and deterministic oracles.
+
+``ToySpace`` lets algorithm tests exercise the full search machinery
+without any ML training: the artifact of a state is its bitmap, and toy
+oracles compute performance as a pure function of the bitmap. That makes
+skyline/ε-cover assertions exact and fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.measures import Measure, MeasureSet
+from repro.core.state import bits_to_array
+from repro.core.transducer import Entry, SearchSpace
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class ToySpace(SearchSpace):
+    """A bitmap-only search space; materialize(bits) == bits."""
+
+    def __init__(self, width: int = 6, backward: int | None = None):
+        self.entries = tuple(
+            Entry(label=f"e{i}", kind="attribute") for i in range(width)
+        )
+        self._backward = backward if backward is not None else 1
+
+    def backward_bits(self) -> int:
+        return self._backward
+
+    def materialize(self, bits: int):
+        return bits
+
+    def output_size(self, bits: int) -> tuple[int, int]:
+        return (bits.bit_count(), self.width)
+
+    def feature_vector(self, bits: int) -> np.ndarray:
+        return bits_to_array(bits, self.width)
+
+
+def two_measure_set(upper: float = 1.0) -> MeasureSet:
+    """Two generic error measures m0 (grid) and m1 (decisive)."""
+    return MeasureSet(
+        [
+            Measure("m0", kind="error", cap=1.0, lower=0.01, upper=upper),
+            Measure("m1", kind="error", cap=1.0, lower=0.01, upper=upper),
+        ]
+    )
+
+
+def linear_toy_oracle(width: int):
+    """Performance from the bitmap: m0 rewards clearing high bits, m1
+    rewards keeping them — a genuine trade-off with a non-trivial front."""
+
+    def oracle(bits: int) -> dict[str, float]:
+        ones = bits.bit_count()
+        weighted = sum(
+            (i + 1) for i in range(width) if (bits >> i) & 1
+        )
+        max_weighted = width * (width + 1) / 2
+        m0 = 0.05 + 0.9 * weighted / max_weighted
+        m1 = 0.05 + 0.9 * (1.0 - ones / width)
+        return {"m0": m0, "m1": m1}
+
+    return oracle
+
+
+def small_table(name: str = "t") -> Table:
+    """A 6-row mixed-type table used across relational tests."""
+    return Table(
+        Schema.of("k", ("city", "categorical"), "x", "y"),
+        {
+            "k": [1, 2, 3, 4, 5, 6],
+            "city": ["a", "b", "a", None, "c", "b"],
+            "x": [0.5, None, 2.0, 3.5, 1.0, 2.5],
+            "y": [10, 20, 30, 40, 50, 60],
+        },
+        name=name,
+    )
+
+
+def other_table(name: str = "u") -> Table:
+    return Table(
+        Schema.of("k", "z"),
+        {"k": [2, 3, 4, 7], "z": [200, 300, 400, 700]},
+        name=name,
+    )

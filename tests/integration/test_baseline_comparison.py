@@ -1,0 +1,54 @@
+"""Integration test: the Exp-1 comparison shape on a tabular task.
+
+Checks the qualitative ordering the paper reports, not absolute numbers:
+feature selection wins training cost, augmentation pays cost, and MODis
+produces a dataset at least as good as the original on the decisive
+measure while the baselines bracket it.
+"""
+
+import pytest
+
+from repro.core import BiMODis
+from repro.discovery import BASELINES, run_baseline
+
+
+@pytest.fixture(scope="module")
+def comparison(task_t2_module=None):
+    from repro.datalake import make_task
+
+    task = make_task("T2", scale=0.35)
+    original = task.original_performance()
+    rows = {"Original": original}
+    for name in BASELINES:
+        rows[name] = task.evaluate(run_baseline(task, name))
+    config = task.build_config(estimator="mogb", n_bootstrap=20)
+    result = BiMODis(config, epsilon=0.15, budget=60, max_level=4).run()
+    best = result.best_by(task.primary)
+    rows["BiMODis"] = task.evaluate(task.space.materialize(best.bits))
+    return task, rows
+
+
+class TestComparisonShape:
+    def test_feature_selection_cuts_training_cost(self, comparison):
+        _, rows = comparison
+        assert rows["SkSFM"]["train_cost"] < rows["Original"]["train_cost"]
+        assert rows["H2O"]["train_cost"] < rows["Original"]["train_cost"]
+
+    def test_modis_not_worse_than_original(self, comparison):
+        task, rows = comparison
+        primary = task.primary
+        assert rows["BiMODis"][primary] >= rows["Original"][primary] - 0.02
+
+    def test_modis_beats_or_matches_every_baseline(self, comparison):
+        task, rows = comparison
+        primary = task.primary
+        for name in BASELINES:
+            assert rows["BiMODis"][primary] >= rows[name][primary] - 0.05, (
+                f"{name} unexpectedly beats BiMODis by a wide margin"
+            )
+
+    def test_all_methods_emit_all_measures(self, comparison):
+        task, rows = comparison
+        for name, raw in rows.items():
+            for measure in task.measures:
+                assert measure.name in raw, f"{name} missing {measure.name}"

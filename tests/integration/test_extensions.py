@@ -1,0 +1,138 @@
+"""Integration tests: the extension subsystems on the real tasks.
+
+Each test runs one extension end to end on a (small-scale) paper task:
+RL comparator, distributed runtime, UDF-wrapped search, SQL provenance of
+real skyline outputs, estimator warm-start across simulated sessions, and
+the running-graph exporters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BiMODis, RLMODis
+from repro.core.history import load_test_store, save_test_store
+from repro.core.udf import DEFAULT_REGISTRY, UDFSearchSpace
+from repro.datalake import make_task
+from repro.distributed import DistributedMODis
+from repro.sql import query, state_to_sql
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return make_task("T3", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return make_task("T2", scale=0.3)
+
+
+@pytest.mark.slow
+class TestRLOnRealTask:
+    def test_rl_generates_valid_skyline(self, t3):
+        config = t3.build_config(estimator="mogb", n_bootstrap=12)
+        algo = RLMODis(config, epsilon=0.2, budget=30, max_level=3,
+                       episodes=12, seed=3)
+        result = algo.run()
+        assert len(result.entries) >= 1
+        for entry in result.entries:
+            table = t3.space.materialize(entry.bits)
+            assert table.num_rows >= 1
+        assert sum(algo.q_table_sizes) > 0
+
+
+@pytest.mark.slow
+class TestDistributedOnRealTask:
+    def test_distributed_t3(self, t3):
+        runner = DistributedMODis(
+            lambda: t3.build_config(estimator="mogb", n_bootstrap=12),
+            n_workers=3,
+            epsilon=0.2,
+            budget=36,
+            max_level=3,
+        )
+        result = runner.run(verify=True)
+        assert len(result.entries) >= 1
+        assert runner.report.n_messages >= len(result.entries)
+        # every output materializes to a usable table
+        for entry in result.entries:
+            rows, cols = entry.output_size
+            assert rows > 0 and cols >= 2
+
+
+@pytest.mark.slow
+class TestUDFOnRealTask:
+    def test_udf_wrapped_search_delivers_null_free_tables(self, t3):
+        pipeline = DEFAULT_REGISTRY.pipeline(
+            ["impute_mean", "impute_mode", "drop_duplicate_rows"]
+        )
+        wrapped = UDFSearchSpace(t3.space, pipeline)
+        config = t3.build_config(estimator="mogb", n_bootstrap=12)
+        config = type(config)(
+            space=wrapped,
+            measures=config.measures,
+            estimator=config.estimator,
+            oracle=config.oracle,
+            cheap_oracle=None,
+            seed=config.seed,
+        )
+        result = BiMODis(config, epsilon=0.2, budget=24, max_level=3).run()
+        for entry in result.entries:
+            table = wrapped.materialize(entry.bits)
+            numeric = [a.name for a in table.schema if a.is_numeric]
+            for name in numeric:
+                assert table.null_count(name) == 0
+
+
+@pytest.mark.slow
+class TestSQLProvenanceOnRealTask:
+    def test_every_skyline_entry_round_trips(self, t2):
+        config = t2.build_config(estimator="mogb", n_bootstrap=12)
+        result = BiMODis(config, epsilon=0.2, budget=24, max_level=3).run()
+        catalog = {"D_U": t2.universal}
+        assert result.entries
+        for entry in result.entries:
+            sql = state_to_sql(t2.space, entry.bits)
+            assert query(sql, catalog) == t2.space.materialize(entry.bits)
+
+
+@pytest.mark.slow
+class TestWarmStartAcrossSessions:
+    def test_history_reuse_saves_oracle_calls(self, t3, tmp_path):
+        # Session 1: cold run; persist its T.
+        config1 = t3.build_config(estimator="mogb", n_bootstrap=12)
+        BiMODis(config1, epsilon=0.2, budget=20, max_level=3).run()
+        cold_calls = config1.estimator.oracle_calls
+        path = save_test_store(
+            config1.estimator.store, tmp_path / "T.json", t3.measures
+        )
+
+        # Session 2: same task, warm store.
+        config2 = t3.build_config(estimator="mogb", n_bootstrap=12)
+        config2.estimator.store = load_test_store(path, t3.measures)
+        BiMODis(config2, epsilon=0.2, budget=20, max_level=3).run(
+            verify=False
+        )
+        assert config2.estimator.oracle_calls == 0
+        assert cold_calls > 0
+
+
+class TestRunningGraphExport:
+    def test_dot_export(self, t3):
+        config = t3.build_config(estimator="oracle")
+        algo = BiMODis(config, epsilon=0.25, budget=10, max_level=2)
+        result = algo.run(verify=False)
+        dot = algo.graph.to_dot(
+            highlight={e.bits for e in result.entries}
+        )
+        assert dot.startswith("digraph G_T {")
+        assert "doublecircle" in dot
+        assert dot.count("->") == len(algo.graph.transitions)
+
+    def test_networkx_export_matches(self, t3):
+        config = t3.build_config(estimator="oracle")
+        algo = BiMODis(config, epsilon=0.25, budget=10, max_level=2)
+        algo.run(verify=False)
+        nx_graph = algo.graph.to_networkx()
+        assert nx_graph.number_of_nodes() == len(algo.graph.states)
+        assert nx_graph.number_of_edges() <= len(algo.graph.transitions)

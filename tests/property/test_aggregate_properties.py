@@ -1,0 +1,93 @@
+"""Property-based tests: grouped aggregates agree with manual computation."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.relational import Schema, Table
+from repro.sql import query
+
+groups = st.sampled_from(["a", "b", "c"])
+amounts = st.one_of(
+    st.none(),
+    st.floats(min_value=-100, max_value=100, allow_nan=False,
+              allow_infinity=False),
+)
+
+
+@st.composite
+def grouped_tables(draw):
+    n = draw(st.integers(min_value=0, max_value=20))
+    g = draw(st.lists(groups, min_size=n, max_size=n))
+    v = draw(st.lists(amounts, min_size=n, max_size=n))
+    return Table(
+        Schema.of(("g", "categorical"), "v"), {"g": g, "v": v}
+    )
+
+
+def manual_groups(table):
+    out: dict[str, list[float]] = {}
+    for row in table.rows():
+        out.setdefault(row["g"], [])
+        if row["v"] is not None:
+            out[row["g"]].append(row["v"])
+    return out
+
+
+class TestGroupedAggregates:
+    @given(grouped_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_count_star_covers_all_rows(self, table):
+        result = query(
+            "SELECT g, COUNT(*) n FROM t GROUP BY g", {"t": table}
+        )
+        assert sum(result.column("n")) == table.num_rows
+
+    @given(grouped_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_matches_manual(self, table):
+        result = query(
+            "SELECT g, SUM(v) s FROM t GROUP BY g", {"t": table}
+        )
+        expected = manual_groups(table)
+        for row in result.rows():
+            values = expected[row["g"]]
+            if not values:
+                assert row["s"] is None
+            else:
+                assert row["s"] == np.float64(sum(values))
+
+    @given(grouped_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_min_max_bracket_avg(self, table):
+        result = query(
+            "SELECT g, MIN(v) lo, AVG(v) mid, MAX(v) hi FROM t GROUP BY g",
+            {"t": table},
+        )
+        for row in result.rows():
+            if row["mid"] is not None:
+                assert row["lo"] - 1e-9 <= row["mid"] <= row["hi"] + 1e-9
+
+    @given(grouped_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_having_is_a_group_filter(self, table):
+        unfiltered = query(
+            "SELECT g, COUNT(v) n FROM t GROUP BY g", {"t": table}
+        )
+        filtered = query(
+            "SELECT g, COUNT(v) n FROM t GROUP BY g HAVING COUNT(v) >= 2",
+            {"t": table},
+        )
+        kept = {row["g"] for row in filtered.rows()}
+        for row in unfiltered.rows():
+            assert (row["n"] >= 2) == (row["g"] in kept)
+
+    @given(grouped_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_count_distinct_bounded_by_count(self, table):
+        result = query(
+            "SELECT g, COUNT(v) n, COUNT(DISTINCT v) d FROM t GROUP BY g",
+            {"t": table},
+        )
+        for row in result.rows():
+            assert 0 <= row["d"] <= row["n"]

@@ -1,0 +1,111 @@
+"""Property-based tests: measures, grid positions, bitmaps, diversity."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.diversity import diversification_score, state_distance
+from repro.core.measures import Measure
+from repro.core.state import (
+    State,
+    bits_to_array,
+    flip_bit,
+    grid_position,
+    iter_clear_bits,
+    iter_set_bits,
+)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.sampled_from(["score", "error", "cost"]),
+    st.floats(min_value=0.5, max_value=10.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_normalize_lands_in_unit_interval(raw, kind, cap):
+    measure = Measure("m", kind=kind, cap=cap)
+    value = measure.normalize(raw)
+    assert 0.0 < value <= 1.0
+
+
+@given(
+    st.floats(min_value=0.02, max_value=0.95, allow_nan=False),
+    st.floats(min_value=0.5, max_value=8.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_error_normalize_denormalize_roundtrip(raw_fraction, cap):
+    measure = Measure("m", kind="error", cap=cap)
+    raw = raw_fraction * cap
+    assert measure.denormalize(measure.normalize(raw)) == np.float64(
+        raw
+    ) or abs(measure.denormalize(measure.normalize(raw)) - raw) < 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+@settings(max_examples=150, deadline=None)
+def test_set_and_clear_bits_partition(bits):
+    width = 16
+    set_bits = set(iter_set_bits(bits))
+    clear_bits = set(iter_clear_bits(bits, width))
+    assert set_bits | clear_bits == set(range(width))
+    assert not set_bits & clear_bits
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1),
+       st.integers(min_value=0, max_value=15))
+@settings(max_examples=150, deadline=None)
+def test_flip_bit_changes_exactly_one(bits, index):
+    flipped = flip_bit(bits, index)
+    assert (bits ^ flipped).bit_count() == 1
+    assert bits_to_array(bits, 16).sum() != bits_to_array(flipped, 16).sum()
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.011, max_value=1.0, allow_nan=False),
+        min_size=3, max_size=3,
+    ),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_grid_position_within_cell_bound(perf, epsilon):
+    """Any two vectors in the same cell differ by at most (1+eps) per grid
+    measure — the invariant UPareto's correctness rests on."""
+    lowers = np.array([0.01, 0.01])
+    perf = np.array(perf)
+    pos = grid_position(perf, lowers, epsilon)
+    # reconstruct cell lower edge and check the vector is within (1+eps)
+    for i, cell in enumerate(pos):
+        low_edge = lowers[i] * (1 + epsilon) ** cell
+        high_edge = lowers[i] * (1 + epsilon) ** (cell + 1)
+        assert perf[i] >= low_edge - 1e-9 or perf[i] <= lowers[i]
+        assert perf[i] <= high_edge + 1e-9
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_state_distance_symmetric_nonnegative(bits_a, bits_b, alpha):
+    a = State(bits=bits_a, perf=np.array([0.3, 0.7]))
+    b = State(bits=bits_b, perf=np.array([0.6, 0.2]))
+    d_ab = state_distance(a, b, 8, alpha, 1.0)
+    d_ba = state_distance(b, a, 8, alpha, 1.0)
+    assert abs(d_ab - d_ba) < 1e-12
+    assert d_ab >= 0.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=2, max_size=6,
+                unique=True))
+@settings(max_examples=60, deadline=None)
+def test_diversification_monotone(bit_list):
+    """div(Y) <= div(X) for Y ⊆ X (monotonicity, Appendix A.3)."""
+    states = [
+        State(bits=b, perf=np.array([b / 64, 1 - b / 64])) for b in bit_list
+    ]
+    smaller = states[:-1]
+    assert diversification_score(smaller, 6, 0.5, 1.0) <= diversification_score(
+        states, 6, 0.5, 1.0
+    ) + 1e-12

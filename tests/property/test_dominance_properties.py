@@ -1,0 +1,109 @@
+"""Property-based tests: dominance relations and Kung's skyline."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.dominance import (
+    dominates,
+    epsilon_dominates,
+    pareto_front,
+)
+
+vec = st.lists(
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False), min_size=2,
+    max_size=4,
+)
+
+
+def vectors_of_same_dim(min_count=1, max_count=25):
+    return st.integers(min_value=2, max_value=4).flatmap(
+        lambda d: st.lists(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+                min_size=d,
+                max_size=d,
+            ),
+            min_size=min_count,
+            max_size=max_count,
+        )
+    )
+
+
+@given(vec)
+@settings(max_examples=100, deadline=None)
+def test_dominance_irreflexive(v):
+    assert not dominates(np.array(v), np.array(v))
+
+
+@given(vec, vec)
+@settings(max_examples=100, deadline=None)
+def test_dominance_antisymmetric(u, v):
+    if len(u) != len(v):
+        return
+    u, v = np.array(u), np.array(v)
+    assert not (dominates(u, v) and dominates(v, u))
+
+
+@given(vec)
+@settings(max_examples=100, deadline=None)
+def test_epsilon_dominance_reflexive(v):
+    assert epsilon_dominates(np.array(v), np.array(v), 0.1)
+
+
+@given(vec, vec, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_dominance_implies_epsilon_dominance(u, v, eps):
+    if len(u) != len(v):
+        return
+    u, v = np.array(u), np.array(v)
+    if dominates(u, v):
+        assert epsilon_dominates(u, v, eps)
+
+
+@given(vec, vec, st.floats(min_value=0.0, max_value=0.5),
+       st.floats(min_value=0.0, max_value=0.5))
+@settings(max_examples=100, deadline=None)
+def test_epsilon_dominance_monotone_in_epsilon(u, v, e1, e2):
+    if len(u) != len(v):
+        return
+    u, v = np.array(u), np.array(v)
+    lo, hi = min(e1, e2), max(e1, e2)
+    if epsilon_dominates(u, v, lo):
+        assert epsilon_dominates(u, v, hi)
+
+
+@given(vectors_of_same_dim())
+@settings(max_examples=60, deadline=None)
+def test_pareto_front_matches_brute_force(vectors):
+    matrix = [np.array(v) for v in vectors]
+    expected = sorted(
+        i
+        for i, u in enumerate(matrix)
+        if not any(dominates(w, u) for w in matrix)
+    )
+    assert sorted(pareto_front(matrix)) == expected
+
+
+@given(vectors_of_same_dim())
+@settings(max_examples=60, deadline=None)
+def test_pareto_front_members_mutually_nondominated(vectors):
+    matrix = [np.array(v) for v in vectors]
+    front = pareto_front(matrix)
+    for i in front:
+        for j in front:
+            if i != j:
+                assert not dominates(matrix[i], matrix[j])
+
+
+@given(vectors_of_same_dim())
+@settings(max_examples=60, deadline=None)
+def test_pareto_front_covers_everything(vectors):
+    matrix = [np.array(v) for v in vectors]
+    front = set(pareto_front(matrix))
+    for i, u in enumerate(matrix):
+        if i in front:
+            continue
+        assert any(
+            dominates(matrix[j], u) or np.allclose(matrix[j], u) for j in front
+        )

@@ -1,0 +1,193 @@
+"""Property-based tests for the extension subsystems (UDF, PCA, merge)."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.dominance import epsilon_dominates, pareto_front
+from repro.core.udf import drop_duplicate_rows, impute_mean, impute_mode
+from repro.distributed import merge_skylines
+from repro.distributed.worker import ShippedState
+from repro.ml.decomposition import PCA
+from repro.relational import Schema, Table
+
+from tests.helpers import two_measure_set
+
+cells = st.one_of(
+    st.none(),
+    st.floats(min_value=-50, max_value=50, allow_nan=False,
+              allow_infinity=False),
+)
+
+
+@st.composite
+def numeric_tables(draw):
+    n = draw(st.integers(min_value=0, max_value=15))
+    a = draw(st.lists(cells, min_size=n, max_size=n))
+    b = draw(st.lists(cells, min_size=n, max_size=n))
+    return Table(Schema.of("a", "b"), {"a": a, "b": b})
+
+
+class TestUDFProperties:
+    @given(numeric_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_impute_mean_is_idempotent(self, table):
+        once = impute_mean(table)
+        twice = impute_mean(once)
+        assert once == twice
+
+    @given(numeric_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_impute_mean_leaves_no_fixable_nulls(self, table):
+        out = impute_mean(table)
+        for name in ("a", "b"):
+            values = table.column(name)
+            had_any_known = any(v is not None for v in values)
+            if had_any_known:
+                assert out.null_count(name) == 0
+            else:
+                assert out.column(name) == values
+
+    @given(numeric_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_impute_preserves_known_cells(self, table):
+        out = impute_mean(table)
+        for name in ("a", "b"):
+            for before, after in zip(table.column(name), out.column(name)):
+                if before is not None:
+                    assert after == before
+
+    @given(numeric_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_is_idempotent_and_duplicate_free(self, table):
+        once = drop_duplicate_rows(table)
+        assert drop_duplicate_rows(once) == once
+        seen = set()
+        for row in once.rows():
+            key = tuple(row.items())
+            assert key not in seen
+            seen.add(key)
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.sampled_from(["x", "y", "z"])),
+            min_size=0,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_impute_mode_fills_with_existing_value(self, values):
+        table = Table(Schema.of(("c", "categorical")), {"c": values})
+        out = impute_mode(table)
+        known = {v for v in values if v is not None}
+        if known:
+            assert all(v in known for v in out.column("c"))
+        else:
+            assert out.column("c") == values
+
+
+matrices = st.integers(min_value=2, max_value=30).flatmap(
+    lambda n: st.integers(min_value=2, max_value=6).flatmap(
+        lambda d: st.lists(
+            st.lists(
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+                min_size=d, max_size=d,
+            ),
+            min_size=n, max_size=n,
+        )
+    )
+)
+
+
+class TestPCAProperties:
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_components_always_orthonormal(self, rows):
+        X = np.asarray(rows)
+        pca = PCA(n_components=min(X.shape), standardize=False).fit(X)
+        k = pca.n_components_
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(k), atol=1e-7)
+
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_variance_ratios_are_sorted_and_bounded(self, rows):
+        X = np.asarray(rows)
+        pca = PCA(n_components=min(X.shape), standardize=False).fit(X)
+        ratio = pca.explained_variance_ratio_
+        assert np.all(ratio[:-1] >= ratio[1:] - 1e-12)
+        assert 0.0 <= ratio.sum() <= 1.0 + 1e-9
+
+    @given(matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_full_rank_round_trip(self, rows):
+        X = np.asarray(rows)
+        pca = PCA(n_components=min(X.shape), standardize=False).fit(X)
+        if pca.n_components_ == X.shape[1]:
+            back = pca.inverse_transform(pca.transform(X))
+            assert np.allclose(back, X, atol=1e-6)
+
+
+perf_vectors = st.tuples(
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+)
+
+
+@st.composite
+def shipped_batches(draw):
+    n_workers = draw(st.integers(min_value=1, max_value=4))
+    batches = []
+    bits = 0
+    for _ in range(n_workers):
+        size = draw(st.integers(min_value=0, max_value=8))
+        batch = []
+        for _ in range(size):
+            bits += 1
+            perf = np.array(draw(perf_vectors))
+            batch.append(
+                ShippedState(bits=bits, perf=perf, via=f"s{bits}",
+                             output_size=(1, 1))
+            )
+        batches.append(batch)
+    return batches
+
+
+class TestMergeProperties:
+    @given(shipped_batches(), st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_covers_every_shipped_state(self, batches, epsilon):
+        merged = merge_skylines(batches, two_measure_set(), epsilon)
+        all_states = [s for b in batches for s in b]
+        if not all_states:
+            assert merged == []
+            return
+        for shipped in all_states:
+            assert any(
+                epsilon_dominates(m.perf, shipped.perf, epsilon)
+                for m in merged
+            )
+
+    @given(shipped_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_tiny_epsilon_merge_is_exact_union_front(self, batches):
+        """As ε→0 each distinct vector owns its grid cell, so the merge
+        degenerates to the exact Pareto front of the union."""
+        merged = merge_skylines(batches, two_measure_set(), epsilon=1e-9)
+        union = {s.bits: s.perf for b in batches for s in b}
+        perfs = list(union.values())
+        expected = {tuple(np.round(perfs[i], 12))
+                    for i in pareto_front(perfs)} if perfs else set()
+        got = {tuple(np.round(m.perf, 12)) for m in merged}
+        assert got == expected
+
+    @given(shipped_batches(), st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_members_mutually_nondominated(self, batches, epsilon):
+        from repro.core.dominance import dominates
+
+        merged = merge_skylines(batches, two_measure_set(), epsilon)
+        for i, a in enumerate(merged):
+            for j, b in enumerate(merged):
+                if i != j:
+                    assert not dominates(a.perf, b.perf)

@@ -1,0 +1,114 @@
+"""Property-based tests: metric identities and model invariants."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ml import metrics as M
+from repro.ml.base import sigmoid, softmax
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_perfect_prediction_metrics(values):
+    assert M.mse(values, values) == 0.0
+    assert M.mae(values, values) == 0.0
+    assert M.r2_score(values, values) == 1.0
+
+
+@given(
+    st.lists(finite_floats, min_size=2, max_size=30),
+    st.lists(finite_floats, min_size=2, max_size=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_rmse_is_sqrt_mse(t, p):
+    n = min(len(t), len(p))
+    t, p = t[:n], p[:n]
+    assert M.rmse(t, p) == np.sqrt(M.mse(t, p))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_accuracy_bounds_and_identity(labels):
+    assert M.accuracy(labels, labels) == 1.0
+    shifted = [(l + 1) % 4 for l in labels]
+    assert 0.0 <= M.accuracy(labels, shifted) <= 1.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=40),
+    st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_f1_between_zero_and_one(t, p):
+    n = min(len(t), len(p))
+    score = M.f1_score(t[:n], p[:n])
+    assert 0.0 <= score <= 1.0
+
+
+@given(st.lists(finite_floats, min_size=4, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_auc_complement_symmetry(scores):
+    n = len(scores)
+    y = [0, 1] * (n // 2) + [0] * (n % 2)
+    y = y[:n]
+    if len(set(y)) < 2:
+        return
+    auc = M.roc_auc(y, scores)
+    flipped = M.roc_auc(y, [-s for s in scores])
+    assert abs(auc + flipped - 1.0) < 1e-9
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20,
+             unique=True),
+    st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=100, deadline=None)
+def test_ranking_metric_bounds(recommended, relevant, k):
+    for fn in (M.precision_at_k, M.recall_at_k, M.ndcg_at_k):
+        assert 0.0 <= fn(recommended, relevant, k) <= 1.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20,
+             unique=True),
+    st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_recall_monotone_in_k(recommended, relevant):
+    values = [M.recall_at_k(recommended, relevant, k) for k in range(1, 21)]
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+@given(st.lists(st.lists(finite_floats, min_size=3, max_size=3), min_size=1,
+                max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_softmax_rows_are_distributions(raw):
+    out = softmax(np.array(raw))
+    assert np.allclose(out.sum(axis=1), 1.0)
+    assert (out >= 0).all()
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_sigmoid_bounded_monotone(values)  :
+    arr = np.sort(np.array(values))
+    out = sigmoid(arr)
+    assert ((out > 0) & (out < 1)).all()
+    assert (np.diff(out) >= -1e-12).all()
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=20, max_value=60))
+@settings(max_examples=20, deadline=None)
+def test_fisher_scores_nonnegative(d, n):
+    rng = np.random.default_rng(n * d)
+    X = rng.normal(size=(n, d))
+    y = rng.integers(0, 2, size=n)
+    if len(np.unique(y)) < 2:
+        return
+    assert (M.fisher_scores(X, y) >= 0).all()
+    assert (M.mutual_information_scores(X, y) >= 0).all()

@@ -1,0 +1,72 @@
+"""Property-based tests: the grid index agrees with brute force."""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.relational import GridIndex, euclidean_distance
+
+coords = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+points_strategy = st.lists(st.tuples(coords, coords), min_size=0, max_size=40)
+cell_sizes = st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+
+
+class TestRadiusQueries:
+    @given(points_strategy, st.tuples(coords, coords),
+           st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+           cell_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, points, origin, radius, cell):
+        index = GridIndex(points, cell_size=cell)
+        got = index.query_radius(origin, radius)
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if euclidean_distance(*origin, *p) <= radius
+        )
+        assert got == expected
+
+    @given(points_strategy, st.tuples(coords, coords), cell_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_radius_finds_exact_hits(self, points, origin, cell):
+        index = GridIndex(points, cell_size=cell)
+        got = index.query_radius(origin, 0.0)
+        expected = sorted(
+            i for i, p in enumerate(points)
+            if p == origin or euclidean_distance(*origin, *p) == 0.0
+        )
+        assert got == expected
+
+
+class TestNearestQueries:
+    @given(points_strategy, st.tuples(coords, coords),
+           st.integers(min_value=1, max_value=5), cell_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_nearest_matches_brute_force(self, points, origin, k, cell):
+        index = GridIndex(points, cell_size=cell)
+        got = [i for i, _ in index.nearest(origin, k=k)]
+        expected = sorted(
+            range(len(points)),
+            key=lambda i: (euclidean_distance(*origin, *points[i]), i),
+        )[:k]
+        assert got == expected
+
+    @given(points_strategy, st.tuples(coords, coords), cell_sizes,
+           st.floats(min_value=0.0, max_value=30.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_max_radius_is_a_hard_cutoff(self, points, origin, cell, cap):
+        index = GridIndex(points, cell_size=cell)
+        for _i, dist in index.nearest(origin, k=10, max_radius=cap):
+            assert dist <= cap + 1e-12
+
+    @given(points_strategy, st.tuples(coords, coords), cell_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_distances_are_sorted(self, points, origin, cell):
+        index = GridIndex(points, cell_size=cell)
+        distances = [d for _, d in index.nearest(origin, k=len(points) or 1)]
+        assert distances == sorted(distances)
+        for d in distances:
+            assert math.isfinite(d)

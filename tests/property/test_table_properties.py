@@ -1,0 +1,83 @@
+"""Property-based tests: relational algebra laws on random tables."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.relational.expressions import equals, in_set
+from repro.relational.join import full_outer_join, inner_join
+from repro.relational.operators import reject, select
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+cell = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+
+
+@st.composite
+def tables(draw, columns=("k", "a", "b"), min_rows=0, max_rows=12):
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    data = {c: draw(st.lists(cell, min_size=n, max_size=n)) for c in columns}
+    return Table(Schema.of(*columns), data)
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_select_reject_partition(table):
+    """σ_c(D) and its complement partition D's rows exactly."""
+    predicate = equals("a", 1)
+    kept = select(table, predicate)
+    dropped = reject(table, predicate)
+    assert kept.num_rows + dropped.num_rows == table.num_rows
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_select_idempotent(table):
+    predicate = in_set("a", [0, 1, 2])
+    once = select(table, predicate)
+    twice = select(once, predicate)
+    assert once == twice
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_projection_commutes_with_selection(table):
+    """π(σ(D)) == σ(π(D)) when the predicate's attribute survives."""
+    predicate = equals("a", 2)
+    left = select(table, predicate).project(["a", "b"])
+    right = select(table.project(["a", "b"]), predicate)
+    assert left == right
+
+
+@given(tables(), tables(columns=("k", "z")))
+@settings(max_examples=40, deadline=None)
+def test_inner_join_subset_of_full_outer(left, right):
+    inner = inner_join(left, right, on=["k"])
+    outer = full_outer_join(left, right, on=["k"])
+    assert inner.num_rows <= outer.num_rows
+
+
+@given(tables(columns=("k", "a")))
+@settings(max_examples=40, deadline=None)
+def test_full_outer_join_self_preserves_non_null_keys(table):
+    """Every non-null key row survives a self full-outer-join."""
+    joined = full_outer_join(table, table, on=["k"])
+    non_null = [r for r in table.rows() if r["k"] is not None]
+    null_rows = table.num_rows - len(non_null)
+    # null-key rows appear once from each side
+    assert joined.num_rows >= len(non_null) + null_rows
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_concat_rows_row_count(table):
+    doubled = table.concat_rows(table)
+    assert doubled.num_rows == 2 * table.num_rows
+    assert doubled.schema == table.schema
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_distinct_idempotent_and_bounded(table):
+    d1 = table.distinct()
+    assert d1.distinct() == d1
+    assert d1.num_rows <= table.num_rows

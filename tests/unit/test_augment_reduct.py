@@ -1,0 +1,76 @@
+"""Unit tests for the paper's ⊕/⊖ operators (repro.relational.augment)."""
+
+from repro.relational.augment import (
+    augment,
+    augment_join,
+    describe_augment,
+    describe_reduct,
+    reduct,
+    reduct_attribute,
+)
+from repro.relational.expressions import equals, in_set
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+from tests.helpers import other_table, small_table
+
+
+class TestAugment:
+    def test_adds_matching_tuples_with_null_fill(self):
+        d_m = small_table()
+        result = augment(d_m, other_table(), equals("k", 7))
+        assert result.num_rows == 7
+        added = [r for r in result.rows() if r["k"] == 7][0]
+        assert added["z"] == 700
+        assert added["city"] is None  # step (c): null fill
+
+    def test_schema_union_step(self):
+        result = augment(small_table(), other_table(), equals("k", 2))
+        assert "z" in result.schema  # step (a): schema augment
+
+    def test_unconditional(self):
+        result = augment(small_table(), other_table())
+        assert result.num_rows == 10
+
+    def test_augment_join_enriches_rows(self):
+        result = augment_join(small_table(), other_table(), equals("k", 2))
+        assert result.num_rows == 6  # left join keeps D_M's tuples
+        z = dict(zip(result.column("k"), result.column("z")))
+        assert z[2] == 200 and z[3] is None
+
+
+class TestReduct:
+    def test_removes_matching_tuples(self):
+        result = reduct(small_table(), equals("city", "a"))
+        assert result.column("k") == [2, 4, 5, 6]
+
+    def test_cluster_literal(self):
+        result = reduct(small_table(), in_set("city", ["a", "b"]))
+        assert result.column("k") == [4, 5]
+
+    def test_all_null_column_dropped(self):
+        t = Table(
+            Schema.of("a", "b"),
+            {"a": [1, 2], "b": [None, 5]},
+        )
+        result = reduct(t, equals("b", 5))
+        # after removing the b=5 row, b is entirely null -> dropped
+        assert "b" not in result.schema
+        assert result.column("a") == [1]
+
+    def test_reduct_attribute(self):
+        result = reduct_attribute(small_table(), "x")
+        assert "x" not in result.schema
+        assert result.num_rows == 6
+
+    def test_preserves_name(self):
+        assert reduct(small_table(), equals("k", 1)).name == "t"
+
+
+class TestDescriptions:
+    def test_describe_reduct(self):
+        assert "⊖" in describe_reduct(equals("a", 1))
+
+    def test_describe_augment(self):
+        text = describe_augment(other_table(), equals("k", 2))
+        assert "⊕" in text and "u" in text

@@ -1,0 +1,200 @@
+"""Unit tests for the discovery baselines (METAM, Starmie, SkSFM, H2O,
+HydraGAN) on hand-built fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.core.measures import MeasureSet, error_measure
+from repro.discovery import (
+    H2OFS,
+    METAM,
+    METAMMO,
+    HydraGANLike,
+    SkSFM,
+    Starmie,
+    table_similarity,
+)
+from repro.exceptions import DiscoveryError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.rng import make_rng
+
+
+def base_table(n=60, seed=0):
+    rng = make_rng(seed)
+    x = rng.normal(size=n)
+    y = 2 * x + 0.1 * rng.normal(size=n)
+    return Table(
+        Schema.of("k", "x", "y"),
+        {"k": list(range(n)), "x": x.tolist(), "y": y.tolist()},
+        name="base",
+    )
+
+
+def helpful_candidate(n=60, seed=0):
+    rng = make_rng(seed)
+    base = base_table(n, seed)
+    z = np.array(base.column("y")) * 0.8 + 0.1 * rng.normal(size=n)
+    return Table(
+        Schema.of("k", "z"),
+        {"k": list(range(n)), "z": z.tolist()},
+        name="helpful",
+    )
+
+
+def useless_candidate(n=60, seed=1):
+    rng = make_rng(seed)
+    return Table(
+        Schema.of("k", "junk"),
+        {"k": list(range(n)), "junk": rng.normal(size=n).tolist()},
+        name="useless",
+    )
+
+
+def mse_oracle(table):
+    from repro.ml import LinearRegression, TableEncoder, mse, train_test_split
+
+    encoder = TableEncoder(target="y")
+    X, y = encoder.fit_transform(table)
+    X_tr, X_te, y_tr, y_te = train_test_split(X, y, 0.3, seed=5)
+    model = LinearRegression().fit(X_tr, y_tr)
+    return {"mse": mse(y_te, model.predict(X_te))}
+
+
+MEASURES = MeasureSet([error_measure("mse", cap=10.0)])
+
+
+class TestMETAM:
+    def test_accepts_helpful_rejects_useless(self):
+        metam = METAM(mse_oracle, MEASURES, utility_measure="mse")
+        result = metam.run(base_table(), [helpful_candidate(), useless_candidate()])
+        assert "helpful" in result.accepted
+        assert "useless" in result.rejected
+        assert "z" in result.table.schema
+
+    def test_oracle_call_accounting(self):
+        metam = METAM(mse_oracle, MEASURES, utility_measure="mse")
+        result = metam.run(base_table(), [useless_candidate()])
+        assert result.oracle_calls >= 2
+
+    def test_max_joins(self):
+        metam = METAM(mse_oracle, MEASURES, utility_measure="mse", max_joins=0)
+        result = metam.run(base_table(), [helpful_candidate()])
+        assert result.accepted == []
+
+    def test_unknown_utility(self):
+        with pytest.raises(DiscoveryError):
+            METAM(mse_oracle, MEASURES, utility_measure="nope")
+
+    def test_unjoinable_candidates_skipped(self):
+        lonely = Table(Schema.of("q"), {"q": [1.0] * 60})
+        metam = METAM(mse_oracle, MEASURES, utility_measure="mse")
+        result = metam.run(base_table(), [lonely])
+        assert result.accepted == []
+
+
+class TestMETAMMO:
+    def test_weighted_utility(self):
+        mo = METAMMO(mse_oracle, MEASURES, weights={"mse": 2.0})
+        result = mo.run(base_table(), [helpful_candidate()])
+        assert "helpful" in result.accepted
+
+    def test_weight_validation(self):
+        with pytest.raises(DiscoveryError):
+            METAMMO(mse_oracle, MEASURES, weights={"zz": 1.0})
+        with pytest.raises(DiscoveryError):
+            METAMMO(mse_oracle, MEASURES, weights={"mse": 0.0})
+
+
+class TestStarmie:
+    def test_similarity_prefers_related_tables(self):
+        related = helpful_candidate()
+        unrelated = Table(
+            Schema.of(("words", "categorical")),
+            {"words": ["foo", "bar"] * 30},
+        )
+        assert table_similarity(base_table(), related) > table_similarity(
+            base_table(), unrelated
+        )
+
+    def test_joins_top_candidates(self):
+        starmie = Starmie(top_j=1)
+        result = starmie.run(base_table(), [helpful_candidate(), useless_candidate()])
+        assert len(result.joined) == 1
+        assert result.ranked[0][1] >= result.ranked[1][1]
+
+    def test_validation(self):
+        with pytest.raises(DiscoveryError):
+            Starmie(top_j=0)
+
+
+class TestFeatureSelection:
+    def table_with_noise(self):
+        rng = make_rng(2)
+        t = base_table(80, seed=2)
+        return t.with_column(
+            t.schema["x"].__class__("noise1"), rng.normal(size=80).tolist()
+        ).with_column(t.schema["x"].__class__("noise2"), rng.normal(size=80).tolist())
+
+    def test_sksfm_keeps_signal_feature(self):
+        result = SkSFM(model_name="gradient_boosting_reg").run(
+            self.table_with_noise(), "y"
+        )
+        assert "x" in result.kept
+        assert "y" in result.table.schema
+        assert result.table.num_columns < self.table_with_noise().num_columns
+
+    def test_sksfm_linear_coef_fallback(self):
+        result = SkSFM(model_name="lr_avocado").run(self.table_with_noise(), "y")
+        assert "x" in result.kept
+
+    def test_h2o_keeps_signal_feature(self):
+        result = H2OFS(task_kind="regression").run(self.table_with_noise(), "y")
+        assert "x" in result.kept
+        assert set(result.scores) == {"k", "x", "noise1", "noise2"}
+
+    def test_h2o_classification(self):
+        t = self.table_with_noise()
+        labels = ["hi" if v > 0 else "lo" for v in t.column("y")]
+        t = t.drop_columns(["y"]).with_column(
+            __import__("repro.relational.schema", fromlist=["Attribute"]).Attribute(
+                "y", "categorical"
+            ),
+            labels,
+        )
+        result = H2OFS(task_kind="classification").run(t, "y")
+        assert "x" in result.kept
+
+    def test_h2o_validation(self):
+        with pytest.raises(DiscoveryError):
+            H2OFS(task_kind="clustering")
+
+
+class TestHydraGAN:
+    def test_appends_synthetic_rows(self):
+        gen = HydraGANLike(n_rows=25, seed=0)
+        result = gen.run(base_table(), "y")
+        assert result.table.num_rows == 85
+        assert result.n_synthetic == 25
+
+    def test_synthetic_distribution_roughly_matches(self):
+        table = base_table(200, seed=3)
+        result = HydraGANLike(n_rows=200, seed=0).run(table, "y")
+        original = np.array(table.column("x"))
+        synthetic = np.array(result.table.column("x")[200:])
+        assert abs(original.mean() - synthetic.mean()) < 0.5
+        assert abs(original.std() - synthetic.std()) < 0.5
+
+    def test_categorical_sampling(self):
+        t = Table(
+            Schema.of(("c", "categorical"), "y"),
+            {"c": ["a", "a", "b", "a", "b"], "y": [1, 2, 3, 4, 5]},
+        )
+        result = HydraGANLike(n_rows=20, seed=1).run(t, "y")
+        assert set(result.table.column("c")[5:]) <= {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(DiscoveryError):
+            HydraGANLike(n_rows=0)
+        with pytest.raises(DiscoveryError):
+            HydraGANLike().run(base_table(3), "y")

@@ -1,0 +1,94 @@
+"""Unit tests for the bipartite graph substrate."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.graph import BipartiteGraph, Edge, split_edges
+from repro.rng import make_rng
+
+
+def toy_graph():
+    edges = [Edge(0, 0, (1.0,)), Edge(0, 1, (0.5,)), Edge(1, 1, (0.2,)),
+             Edge(2, 2, (0.9,))]
+    return BipartiteGraph(3, 4, edges, name="g")
+
+
+class TestConstruction:
+    def test_shape_and_counts(self):
+        g = toy_graph()
+        assert g.num_edges == 4
+        assert g.shape == (4, 1)
+
+    def test_duplicate_edges_deduped(self):
+        g = BipartiteGraph(2, 2, [Edge(0, 0), Edge(0, 0)])
+        assert g.num_edges == 1
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(TableError):
+            BipartiteGraph(2, 2, [Edge(5, 0)])
+
+    def test_needs_nodes(self):
+        with pytest.raises(TableError):
+            BipartiteGraph(0, 2)
+
+
+class TestAccessors:
+    def test_has_edge_and_user_items(self):
+        g = toy_graph()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.user_items(0) == {0, 1}
+
+    def test_adjacency_lists(self):
+        by_user, by_item = toy_graph().adjacency_lists()
+        assert sorted(by_user[0]) == [0, 1]
+        assert by_item[1] == [0, 1]
+
+    def test_degree_stats(self):
+        stats = toy_graph().degree_stats()
+        assert stats["isolated_items"] == 1
+        assert stats["mean_user_degree"] == pytest.approx(4 / 3)
+
+    def test_feature_matrix(self):
+        m = toy_graph().edge_feature_matrix()
+        assert m.shape == (4, 1)
+
+
+class TestAlgebra:
+    def test_add_remove_round_trip(self):
+        g = toy_graph()
+        removed = g.remove_edges([(0, 0)])
+        assert removed.num_edges == 3
+        restored = removed.add_edges([Edge(0, 0, (1.0,))])
+        assert restored == g
+
+    def test_immutability(self):
+        g = toy_graph()
+        g.remove_edges([(0, 0)])
+        assert g.num_edges == 4
+
+    def test_subgraph(self):
+        sub = toy_graph().subgraph([0, 2])
+        assert sub.num_edges == 2
+
+
+class TestSplitEdges:
+    def test_holds_out_items_and_keeps_min_train(self):
+        g = toy_graph()
+        train, held = split_edges(g, 0.5, make_rng(0))
+        assert train.num_edges + sum(len(v) for v in held.values()) == g.num_edges
+        # every user with held items still has >= 1 training edge
+        for user in held:
+            assert len(train.user_items(user)) >= 1
+
+    def test_zero_fraction(self):
+        g = toy_graph()
+        train, held = split_edges(g, 0.0, make_rng(0))
+        assert train.num_edges == 4
+        assert not held
+
+    def test_deterministic(self):
+        g = toy_graph()
+        _, a = split_edges(g, 0.5, make_rng(3))
+        _, b = split_edges(g, 0.5, make_rng(3))
+        assert a == b

@@ -1,0 +1,133 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _format_table, build_parser, main
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = _format_table(["a", "bb"], [["x", 1], ["yyy", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert "2.5000" in lines[3]
+
+    def test_empty_rows(self):
+        text = _format_table(["only"], [])
+        assert "only" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_defaults(self):
+        args = build_parser().parse_args(["discover", "--task", "T1"])
+        assert args.algorithm == "bimodis"
+        assert args.epsilon == 0.1
+        assert args.budget == 80
+        assert args.distributed == 0
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover", "--task", "T9"])
+
+
+class TestCommands:
+    def test_tasks_lists_all_five(self, capsys):
+        assert main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("T1", "T2", "T3", "T4", "T5"):
+            assert name in out
+
+    def test_algorithms_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for key in ("apx", "bimodis", "divmodis", "exact", "nsga2", "rl"):
+            assert key in out
+
+    def test_udfs_lists_builtins(self, capsys):
+        assert main(["udfs"]) == 0
+        out = capsys.readouterr().out
+        assert "impute_mean" in out
+        assert "clip_outliers" in out
+
+    def test_corpus_prints_three_collections(self, capsys):
+        assert main(["corpus", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("kaggle", "opendata", "hf"):
+            assert name in out
+
+    def test_unknown_algorithm_is_a_clean_error(self, capsys):
+        code = main(["discover", "--task", "T3", "--algorithm", "wat"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestDiscoverCommand:
+    def test_discover_runs_and_prints_table(self, capsys):
+        code = main(
+            ["discover", "--task", "T3", "--budget", "20", "--scale", "0.25",
+             "--max-level", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skyline dataset(s)" in out
+        assert "mse" in out
+
+    def test_discover_provenance_prints_sql(self, capsys):
+        code = main(
+            ["discover", "--task", "T3", "--budget", "15", "--scale", "0.25",
+             "--max-level", "2", "--provenance"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+        assert "FROM D_U" in out
+
+    def test_discover_distributed(self, capsys):
+        code = main(
+            ["discover", "--task", "T3", "--budget", "30", "--scale", "0.25",
+             "--max-level", "3", "--distributed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DistributedMODis" in out
+        assert "speedup" in out
+
+    def test_discover_output_persists_report(self, capsys, tmp_path):
+        out_dir = tmp_path / "run"
+        code = main(
+            ["discover", "--task", "T3", "--budget", "15", "--scale", "0.25",
+             "--max-level", "2", "--output", str(out_dir)]
+        )
+        assert code == 0
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["measures"] == ["mse", "mae", "train_cost"]
+        assert report["entries"]
+
+    def test_discover_history_warm_start(self, capsys, tmp_path):
+        history = tmp_path / "T.json"
+        base = ["discover", "--task", "T3", "--budget", "12",
+                "--scale", "0.25", "--max-level", "2",
+                "--history", str(history)]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "saved" in first
+        assert history.exists()
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "warm start" in second
+
+    def test_history_rejected_with_distributed(self, capsys, tmp_path):
+        code = main(
+            ["discover", "--task", "T3", "--budget", "12", "--scale", "0.25",
+             "--distributed", "2", "--history", str(tmp_path / "T.json")]
+        )
+        assert code == 2
+        assert "single-node" in capsys.readouterr().err

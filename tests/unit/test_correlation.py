@@ -1,0 +1,165 @@
+"""Unit tests for the correlation graph and parameterized dominance."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    CorrelationGraph,
+    RangedPerf,
+    infer_ranges,
+    monotone_bound_excludes,
+    parameterized_dominates,
+)
+from repro.core.estimator import TestRecord as Record
+from repro.core.estimator import TestStore as RecordStore
+from repro.core.measures import Measure, MeasureSet
+from repro.exceptions import SearchError
+
+
+def measures3():
+    return MeasureSet(
+        [
+            Measure("p1", kind="error", lower=0.01),
+            Measure("p2", kind="error", lower=0.01),
+            Measure("p3", kind="error", lower=0.01),
+        ]
+    )
+
+
+def store_with(vectors):
+    store = RecordStore()
+    for i, vec in enumerate(vectors):
+        store.add(Record(i, np.zeros(1), np.array(vec, dtype=float)))
+    return store
+
+
+class TestCorrelationGraph:
+    def test_detects_strong_positive_correlation(self):
+        # p1 and p2 move together; p3 is independent
+        rng = np.random.default_rng(0)
+        base = rng.random(30)
+        vectors = np.column_stack([base, base * 0.5 + 0.1, rng.random(30)])
+        corr = CorrelationGraph(measures3(), theta=0.8)
+        corr.update(store_with(vectors))
+        partners = corr.strong_partners(0)
+        assert partners and partners[0][0] == 1
+        assert partners[0][1] > 0.99
+
+    def test_negative_correlation_detected(self):
+        base = np.linspace(0.1, 0.9, 20)
+        vectors = np.column_stack([base, 1.0 - base, np.full(20, 0.5)])
+        corr = CorrelationGraph(measures3(), theta=0.8)
+        corr.update(store_with(vectors))
+        assert corr.correlation(0, 1) == pytest.approx(-1.0)
+        assert (0, -1.0) in [(j, round(r)) for j, r in corr.strong_partners(1)]
+
+    def test_constant_measure_no_edge(self):
+        vectors = np.column_stack(
+            [np.linspace(0.1, 0.9, 10), np.full(10, 0.5), np.linspace(0.9, 0.1, 10)]
+        )
+        corr = CorrelationGraph(measures3(), theta=0.5)
+        corr.update(store_with(vectors))
+        assert corr.correlation(0, 1) == 0.0
+
+    def test_too_few_records(self):
+        corr = CorrelationGraph(measures3())
+        corr.update(store_with([[0.1, 0.2, 0.3]]))
+        assert corr.edges() == []
+
+    def test_theta_validation(self):
+        with pytest.raises(SearchError):
+            CorrelationGraph(measures3(), theta=0.0)
+
+    def test_edges_listing(self):
+        base = np.linspace(0.1, 0.9, 15)
+        vectors = np.column_stack([base, base, base])
+        corr = CorrelationGraph(measures3(), theta=0.9)
+        corr.update(store_with(vectors))
+        names = {frozenset((a, b)) for a, b, _ in corr.edges()}
+        assert frozenset(("p1", "p2")) in names
+
+
+class TestInferRanges:
+    def test_bracketing_records_bound_missing_measure(self):
+        # Example 6's construction: p2 inferred from bracketing p1 records
+        vectors = [
+            [0.42, 0.18, 0.9],
+            [0.50, 0.22, 0.8],
+            [0.60, 0.40, 0.3],
+        ]
+        store = store_with(vectors)
+        corr = CorrelationGraph(measures3(), theta=0.8)
+        corr.update(store)
+        low, high = infer_ranges({0: 0.45}, measures3(), corr, store)
+        assert low[0] == high[0] == pytest.approx(0.45)
+        assert low[1] == pytest.approx(0.18)
+        assert high[1] == pytest.approx(0.22)
+
+    def test_no_partner_falls_back_to_user_range(self):
+        vectors = [[0.1, 0.9, 0.5], [0.2, 0.1, 0.5], [0.3, 0.8, 0.5]]
+        store = store_with(vectors)
+        corr = CorrelationGraph(measures3(), theta=0.99)
+        corr.update(store)
+        low, high = infer_ranges({0: 0.15}, measures3(), corr, store)
+        assert low[1] == pytest.approx(0.01)
+        assert high[1] == pytest.approx(1.0)
+
+
+class TestParameterizedDominance:
+    def ranged(self, value=None, low=None, high=None, k=2):
+        value = np.full(k, np.nan) if value is None else np.array(value, float)
+        low = np.zeros(k) if low is None else np.array(low, float)
+        high = np.ones(k) if high is None else np.array(high, float)
+        return RangedPerf(value=value, low=low, high=high)
+
+    def test_case1_both_valuated(self):
+        s_prime = self.ranged(value=[0.1, 0.1])
+        s = self.ranged(value=[0.1, 0.1])
+        assert parameterized_dominates(s_prime, s, 0.1)
+        worse = self.ranged(value=[0.2, 0.1])
+        assert not parameterized_dominates(worse, s, 0.1)
+
+    def test_case2_neither_valuated(self):
+        s_prime = self.ranged(low=[0.1, 0.1], high=[0.2, 0.2])
+        s = self.ranged(low=[0.3, 0.3], high=[0.9, 0.9])
+        assert parameterized_dominates(s_prime, s, 0.0)
+        assert not parameterized_dominates(s, s_prime, 0.0)
+
+    def test_case3_mixed(self):
+        s_prime = self.ranged(value=[0.1, np.nan], low=[0.1, 0.1],
+                              high=[0.1, 0.15])
+        s = self.ranged(value=[np.nan, 0.5], low=[0.2, 0.5], high=[0.9, 0.5])
+        # p0: s' valuated 0.1 <= (1+e)*s.low 0.2 OK; p1: s'.high 0.15 <= (1+e)*0.5 OK
+        assert parameterized_dominates(s_prime, s, 0.1)
+
+    def test_negative_epsilon(self):
+        with pytest.raises(SearchError):
+            parameterized_dominates(self.ranged(), self.ranged(), -1)
+
+
+class TestPruneRule:
+    def test_excludes_clearly_dominated_candidate(self):
+        anchor = RangedPerf(
+            value=np.array([0.1, 0.1]),
+            low=np.array([0.1, 0.1]),
+            high=np.array([0.1, 0.1]),
+        )
+        candidate = RangedPerf(
+            value=np.array([np.nan, 0.9]),
+            low=np.array([0.8, 0.9]),
+            high=np.array([1.0, 0.9]),
+        )
+        assert monotone_bound_excludes(candidate, anchor, 0.1)
+
+    def test_keeps_candidate_with_promising_bound(self):
+        anchor = RangedPerf(
+            value=np.array([0.5, 0.5]),
+            low=np.array([0.5, 0.5]),
+            high=np.array([0.5, 0.5]),
+        )
+        candidate = RangedPerf(
+            value=np.array([np.nan, 0.6]),
+            low=np.array([0.05, 0.6]),  # could be much better than anchor
+            high=np.array([0.9, 0.6]),
+        )
+        assert not monotone_bound_excludes(candidate, anchor, 0.1)

@@ -1,0 +1,63 @@
+"""Unit tests for CSV I/O."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.relational.csvio import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.relational.schema import Schema, CATEGORICAL
+
+from tests.helpers import small_table
+
+
+class TestReadCsvText:
+    def test_type_inference(self):
+        t = read_csv_text("a,b,c\n1,2.5,hello\n2,3.5,world\n")
+        assert t.schema["a"].is_numeric
+        assert t.schema["b"].is_numeric
+        assert t.schema["c"].is_categorical
+        assert t.column("a") == [1, 2]
+
+    def test_null_tokens(self):
+        t = read_csv_text("a,b\n1,\n,na\n")
+        assert t.column("a") == [1, None]
+        assert t.column("b") == [None, None]
+
+    def test_mixed_column_is_categorical(self):
+        t = read_csv_text("a\n1\nx\n")
+        assert t.schema["a"].is_categorical
+
+    def test_explicit_schema_coerces(self):
+        schema = Schema.of(("a", CATEGORICAL), "b")
+        t = read_csv_text("a,b\n1,2\n", schema=schema)
+        assert t.column("a") == ["1"]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TableError):
+            read_csv_text("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(TableError, match="width"):
+            read_csv_text("a,b\n1\n")
+
+    def test_blank_lines_skipped(self):
+        t = read_csv_text("a\n1\n\n2\n")
+        assert t.column("a") == [1, 2]
+
+
+class TestRoundTrip:
+    def test_text_round_trip(self):
+        t = small_table()
+        text = to_csv_text(t)
+        back = read_csv_text(text)
+        assert back.num_rows == t.num_rows
+        assert back.column("k") == t.column("k")
+        assert back.column("city") == t.column("city")
+        # nulls survive
+        assert back.column("x")[1] is None
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(small_table(), path)
+        back = read_csv(path)
+        assert back.name == "t"
+        assert back.num_rows == 6

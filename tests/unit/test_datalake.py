@@ -1,0 +1,171 @@
+"""Unit tests for the synthetic corpus generator and the tasks T1–T5."""
+
+import numpy as np
+import pytest
+
+from repro.datalake import (
+    CorpusSpec,
+    GraphSpec,
+    TASK_MEASURES,
+    all_collection_stats,
+    build_collection,
+    generate_bipartite_pool,
+    generate_corpus,
+    make_task,
+)
+from repro.exceptions import DataLakeError
+from repro.relational.join import universal_join
+
+
+class TestCorpusSpec:
+    def test_validation(self):
+        with pytest.raises(DataLakeError):
+            CorpusSpec(n_rows=5)
+        with pytest.raises(DataLakeError):
+            CorpusSpec(task="clustering")
+        with pytest.raises(DataLakeError):
+            CorpusSpec(n_informative=0)
+        with pytest.raises(DataLakeError):
+            CorpusSpec(n_pollution_clusters=2, polluted_clusters=(5,))
+
+
+class TestGenerateCorpus:
+    def spec(self, **kw):
+        defaults = dict(name="t", n_rows=100, n_informative=3, n_noise=2,
+                        n_feature_tables=2, seed=0)
+        defaults.update(kw)
+        return CorpusSpec(**defaults)
+
+    def test_structure(self):
+        corpus = generate_corpus(self.spec())
+        assert len(corpus.sources) == 3  # base + 2 feature tables
+        assert corpus.sources[0].name == "t_base"
+        assert corpus.target == "target"
+        assert len(corpus.informative) == 3
+        assert len(corpus.auxiliary) == 2
+
+    def test_deterministic(self):
+        a = generate_corpus(self.spec())
+        b = generate_corpus(self.spec())
+        assert a.sources[0] == b.sources[0]
+        assert a.auxiliary[0] == b.auxiliary[0]
+
+    def test_all_tables_joinable_on_key(self):
+        corpus = generate_corpus(self.spec())
+        universal = universal_join(corpus.sources)
+        assert universal.num_rows == 100
+        for name in corpus.informative + corpus.noise:
+            assert name in universal.schema
+
+    def test_classification_target(self):
+        corpus = generate_corpus(self.spec(task="classification", n_classes=3))
+        labels = set(corpus.sources[0].column("target"))
+        assert labels == {"class_0", "class_1", "class_2"}
+
+    def test_pollution_hurts_model_fit(self):
+        """Rows in polluted clusters carry corrupted targets: a model fit on
+        clean rows only must beat one fit on the polluted subset."""
+        corpus = generate_corpus(
+            self.spec(n_rows=300, pollution_scale=5.0, polluted_clusters=(3,))
+        )
+        universal = universal_join(corpus.sources)
+        from repro.ml import LinearRegression, TableEncoder, mse
+
+        clean = universal.filter(lambda r: r["segment"] != 3)
+        dirty = universal.filter(lambda r: r["segment"] == 3)
+        enc = TableEncoder(target="target")
+        Xc, yc = enc.fit_transform(clean)
+        Xd, yd = enc.transform(dirty)
+        model = LinearRegression().fit(Xc, yc)
+        assert mse(yd, model.predict(Xd)) > 2 * mse(yc, model.predict(Xc))
+
+    def test_missing_rate(self):
+        corpus = generate_corpus(self.spec(missing_rate=0.2))
+        feature_table = corpus.sources[1]
+        assert feature_table.null_count() > 0
+
+
+class TestGraphPool:
+    def test_planted_communities(self):
+        pool = generate_bipartite_pool(GraphSpec(n_users=30, n_items=30, seed=0))
+        intra = sum(1 for e in pool.edges if e.features[0] == 1.0)
+        inter = pool.num_edges - intra
+        assert intra > inter
+
+    def test_validation(self):
+        with pytest.raises(DataLakeError):
+            GraphSpec(n_users=1)
+        with pytest.raises(DataLakeError):
+            generate_bipartite_pool(
+                GraphSpec(n_users=2, n_items=2, p_intra=0.0, p_noise=0.0)
+            )
+
+
+class TestTasks:
+    @pytest.mark.parametrize("name", ["T1", "T2", "T3", "T4", "T5"])
+    def test_build_and_oracle(self, name, request):
+        task = request.getfixturevalue(f"task_{name.lower()}")
+        raw = task.original_performance()
+        for measure in task.measures:
+            assert measure.name in raw
+        vec = task.measures.normalize_raw(raw)
+        assert ((vec > 0) & (vec <= 1)).all()
+
+    def test_unknown_task(self):
+        with pytest.raises(DataLakeError):
+            make_task("T9")
+
+    def test_space_cached(self, task_t3):
+        assert task_t3.space is task_t3.space
+
+    def test_cheap_oracle_scales_with_size(self, task_t3):
+        cheap = task_t3.cheap_oracle()
+        assert cheap is not None
+        space = task_t3.space
+        full = cheap(space.universal_bits)["train_cost"]
+        small = cheap(space.backward_bits())["train_cost"]
+        assert full > small >= 0  # backward seed may materialize to 0 rows
+
+    def test_t5_has_no_cheap_oracle(self, task_t5):
+        assert task_t5.cheap_oracle() is None
+
+    def test_degenerate_table_scores_worst(self, task_t3):
+        empty = task_t3.universal.head(2)
+        raw = task_t3.oracle(empty)
+        vec = task_t3.measures.normalize_raw(raw)
+        assert (vec >= 0.99).all()
+
+    def test_relative_improvement_direction(self, task_t3):
+        orig = {"mse": 4.0, "mae": 1.0, "train_cost": 100.0}
+        better = {"mse": 2.0, "mae": 1.0, "train_cost": 100.0}
+        assert task_t3.relative_improvement(orig, better, "mse") > 1.0
+
+    def test_table3_measure_assignment(self):
+        # Table 3 of the paper: which measures appear in which task's P.
+        assert set(TASK_MEASURES["acc"]) == {"T1", "T2", "T4"}
+        assert set(TASK_MEASURES["mse"]) == {"T3"}
+        assert "T5" in TASK_MEASURES["ndcg"]
+
+    def test_estimator_kinds(self, task_t3):
+        from repro.core.estimator import MOGBEstimator, OracleEstimator
+
+        assert isinstance(task_t3.build_estimator("oracle"), OracleEstimator)
+        assert isinstance(task_t3.build_estimator("mogb"), MOGBEstimator)
+        with pytest.raises(DataLakeError):
+            task_t3.build_estimator("magic")
+
+
+class TestCollections:
+    def test_stats_shape(self):
+        stats = all_collection_stats(scale=0.2, seed=0)
+        names = [s.name for s in stats]
+        assert names == ["kaggle", "opendata", "hf"]
+        for s in stats:
+            assert s.n_tables > 0 and s.n_rows > 0 and s.n_columns > 0
+        # opendata-like is the largest collection, as in Table 2
+        by_name = {s.name: s for s in stats}
+        assert by_name["opendata"].n_rows > by_name["kaggle"].n_rows
+
+    def test_build_collection_unknown(self):
+        with pytest.raises(KeyError):
+            build_collection("snowflake")

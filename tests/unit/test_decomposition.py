@@ -1,0 +1,190 @@
+"""PCA and feature-score table reduction (Exp-3's scalability remark)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, SchemaError
+from repro.ml.decomposition import (
+    PCA,
+    pca_reduce_table,
+    select_features_table,
+)
+from repro.relational import Schema, Table
+from repro.rng import make_rng
+
+
+def correlated_matrix(n=200, seed=0):
+    """Three informative directions embedded in six correlated columns."""
+    rng = make_rng(seed)
+    latent = rng.normal(size=(n, 3))
+    mix = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.9, 0.1, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.8, 0.2],
+            [0.0, 0.0, 1.0],
+            [0.1, 0.0, 0.9],
+        ]
+    )
+    return latent @ mix.T + 0.01 * rng.normal(size=(n, 6))
+
+
+class TestPCA:
+    def test_explained_variance_ratio_sums_below_one(self):
+        pca = PCA(n_components=3).fit(correlated_matrix())
+        ratio = pca.explained_variance_ratio_
+        assert ratio.shape == (3,)
+        assert 0.9 < ratio.sum() <= 1.0 + 1e-9
+
+    def test_components_are_orthonormal(self):
+        pca = PCA(n_components=3).fit(correlated_matrix())
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_variance_fraction_selection(self):
+        pca = PCA(n_components=0.95).fit(correlated_matrix())
+        # 3 latent directions: 95% of variance needs exactly 3 components.
+        assert pca.n_components_ == 3
+
+    def test_integer_selection_caps_at_rank(self):
+        pca = PCA(n_components=99).fit(correlated_matrix())
+        assert pca.n_components_ == 6
+
+    def test_transform_shape_and_determinism(self):
+        X = correlated_matrix()
+        a = PCA(n_components=2).fit_transform(X)
+        b = PCA(n_components=2).fit_transform(X)
+        assert a.shape == (200, 2)
+        assert np.allclose(a, b)
+
+    def test_inverse_transform_reconstructs(self):
+        X = correlated_matrix()
+        pca = PCA(n_components=3).fit(X)
+        reconstructed = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(reconstructed, X, atol=0.2)
+
+    def test_full_rank_reconstruction_is_exact(self):
+        X = correlated_matrix()
+        pca = PCA(n_components=6, standardize=False).fit(X)
+        assert np.allclose(pca.inverse_transform(pca.transform(X)), X)
+
+    def test_sign_convention_is_stable(self):
+        pca = PCA(n_components=2).fit(correlated_matrix())
+        for row in pca.components_:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    def test_constant_column_does_not_crash(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        pca = PCA(n_components=1).fit(X)
+        assert pca.n_components_ == 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            PCA(n_components=1).transform(np.zeros((3, 2)))
+
+    def test_bad_n_components(self):
+        with pytest.raises(ModelError):
+            PCA(n_components=0)
+        with pytest.raises(ModelError):
+            PCA(n_components=1.5)
+
+    def test_one_sample_rejected(self):
+        with pytest.raises(ModelError):
+            PCA(n_components=1).fit(np.zeros((1, 3)))
+
+
+class TestPCAReduceTable:
+    @pytest.fixture
+    def table(self):
+        X = correlated_matrix(n=100, seed=3)
+        cols = {f"f{i}": list(X[:, i]) for i in range(6)}
+        cols["label"] = ["a" if x > 0 else "b" for x in X[:, 0]]
+        cols["target"] = list((X[:, 0] + X[:, 2] > 0).astype(float))
+        schema = Schema.of(
+            *[f"f{i}" for i in range(6)], ("label", "categorical"), "target"
+        )
+        return Table(schema, cols, name="wide")
+
+    def test_reduces_width(self, table):
+        reduced, pca = pca_reduce_table(table, "target", n_components=3)
+        assert reduced.schema.names == ("pc1", "pc2", "pc3", "label", "target")
+        assert pca.n_components_ == 3
+
+    def test_rows_and_passthrough_preserved(self, table):
+        reduced, _ = pca_reduce_table(table, "target", n_components=2)
+        assert reduced.num_rows == table.num_rows
+        assert reduced.column("label") == table.column("label")
+        assert reduced.column("target") == table.column("target")
+
+    def test_nulls_are_imputed(self):
+        t = Table(
+            Schema.of("a", "b", "target"),
+            {
+                "a": [1.0, None, 3.0, 5.0],
+                "b": [2.0, 4.0, None, 8.0],
+                "target": [0, 1, 0, 1],
+            },
+        )
+        reduced, _ = pca_reduce_table(t, "target", n_components=1)
+        assert reduced.null_count("pc1") == 0
+
+    def test_needs_two_numeric_features(self):
+        t = Table(Schema.of("a", "target"), {"a": [1.0, 2.0], "target": [0, 1]})
+        with pytest.raises(ModelError):
+            pca_reduce_table(t, "target")
+
+    def test_unknown_target(self, table):
+        with pytest.raises(SchemaError):
+            pca_reduce_table(table, "nope")
+
+
+class TestSelectFeaturesTable:
+    @pytest.fixture
+    def table(self):
+        rng = make_rng(11)
+        n = 160
+        signal = rng.normal(size=n)
+        y = (signal > 0).astype(int)
+        cols = {
+            "signal": list(signal),
+            "weak": list(0.25 * signal + rng.normal(size=n)),
+            "noise1": list(rng.normal(size=n)),
+            "noise2": list(rng.normal(size=n)),
+            "target": list(y),
+        }
+        return Table(
+            Schema.of("signal", "weak", "noise1", "noise2", "target"), cols
+        )
+
+    def test_fisher_picks_signal_first(self, table):
+        reduced, scores = select_features_table(table, "target", k=1)
+        assert reduced.schema.names == ("signal", "target")
+        assert scores["signal"] == max(scores.values())
+
+    def test_mi_picks_signal_first(self, table):
+        reduced, _ = select_features_table(table, "target", k=1, method="mi")
+        assert reduced.schema.names == ("signal", "target")
+
+    def test_k_larger_than_features(self, table):
+        reduced, _ = select_features_table(table, "target", k=99)
+        assert set(reduced.schema.names) == set(table.schema.names)
+
+    def test_column_order_is_source_order(self, table):
+        reduced, _ = select_features_table(table, "target", k=2)
+        assert reduced.schema.names == ("signal", "weak", "target")
+
+    def test_regression_target_is_binned(self, table):
+        cont = table.replace_column(
+            "target", [float(v) + 0.001 * i for i, v in
+                       enumerate(table.column("signal"))]
+        )
+        reduced, scores = select_features_table(cont, "target", k=1)
+        assert "signal" in reduced.schema.names
+        assert len(scores) == 4
+
+    def test_bad_arguments(self, table):
+        with pytest.raises(ModelError):
+            select_features_table(table, "target", k=0)
+        with pytest.raises(ModelError):
+            select_features_table(table, "target", k=1, method="chi2")

@@ -1,0 +1,224 @@
+"""Distributed skyline generation: partitioning, workers, and the merge."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApxMODis
+from repro.core.config import Configuration
+from repro.core.dominance import dominates, pareto_front
+from repro.core.estimator import OracleEstimator
+from repro.distributed import (
+    DistributedMODis,
+    Worker,
+    merge_skylines,
+    partition_frontier,
+)
+from repro.distributed.worker import ShippedState
+from repro.exceptions import SearchError
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+def make_config(width=6):
+    space = ToySpace(width=width)
+    measures = two_measure_set()
+    oracle = linear_toy_oracle(width)
+    return Configuration(
+        space=space,
+        measures=measures,
+        estimator=OracleEstimator(oracle, measures),
+        oracle=oracle,
+    )
+
+
+class TestPartition:
+    def test_partitions_cover_frontier(self):
+        space = ToySpace(width=6)
+        partitions = partition_frontier(space, 3)
+        seeds = [bits for part in partitions for bits, _ in part]
+        assert len(seeds) == 6  # every single-flip child appears once
+        assert len(set(seeds)) == 6
+
+    def test_round_robin_balance(self):
+        space = ToySpace(width=7)
+        partitions = partition_frontier(space, 3)
+        sizes = sorted(len(p) for p in partitions)
+        assert sizes == [2, 2, 3]
+
+    def test_more_workers_than_frontier(self):
+        space = ToySpace(width=2)
+        partitions = partition_frontier(space, 5)
+        non_empty = [p for p in partitions if p]
+        assert len(non_empty) == 2
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(SearchError):
+            partition_frontier(ToySpace(width=4), 0)
+
+    def test_partitions_respect_valid_flip(self):
+        """Seeds come from OpGen, so space-level guard rails apply."""
+
+        class GuardedSpace(ToySpace):
+            def valid_flip(self, bits, index):
+                """Entry 0 is frozen: it may never be reduced."""
+                return index != 0
+
+        partitions = partition_frontier(GuardedSpace(width=5), 2)
+        seeds = [bits for part in partitions for bits, _ in part]
+        universal = (1 << 5) - 1
+        assert universal ^ 1 not in seeds  # flipping entry 0 never offered
+        assert len(seeds) == 4
+
+
+class TestWorker:
+    def test_worker_explores_only_its_subtrees(self):
+        config = make_config()
+        partitions = partition_frontier(config.space, 3)
+        worker = Worker(0, config, partitions[0], epsilon=0.2, budget=50,
+                        max_level=2)
+        result = worker.run()
+        # level-1 states valuated by this worker are exactly its seeds
+        level1 = [
+            s for s in worker.algorithm.graph.states.values() if s.level == 1
+        ]
+        assert {s.bits for s in level1} == {b for b, _ in partitions[0]}
+        assert result.n_valuated >= 1
+
+    def test_worker_ships_its_local_skyline(self):
+        config = make_config()
+        partitions = partition_frontier(config.space, 2)
+        worker = Worker(0, config, partitions[0], epsilon=0.2, budget=40,
+                        max_level=3)
+        result = worker.run()
+        assert result.n_messages == len(result.shipped)
+        grid_bits = {s.bits for s in worker.algorithm.grid.states}
+        assert {s.bits for s in result.shipped} == grid_bits
+
+    def test_worker_budget(self):
+        config = make_config()
+        partitions = partition_frontier(config.space, 1)
+        worker = Worker(0, config, partitions[0], epsilon=0.2, budget=5,
+                        max_level=6)
+        result = worker.run()
+        assert result.n_valuated <= 5
+        assert result.terminated_by == "budget"
+
+    def test_worker_rejects_zero_budget(self):
+        config = make_config()
+        with pytest.raises(SearchError):
+            Worker(0, config, [], epsilon=0.2, budget=0, max_level=3)
+
+
+class TestMerge:
+    def _ship(self, pairs):
+        return [
+            ShippedState(bits=b, perf=np.array(p), via=f"s{b}",
+                         output_size=(1, 1))
+            for b, p in pairs
+        ]
+
+    def test_merge_is_skyline_of_union(self):
+        measures = two_measure_set()
+        batch_a = self._ship([(1, [0.2, 0.8]), (2, [0.5, 0.5])])
+        batch_b = self._ship([(3, [0.8, 0.2]), (4, [0.9, 0.9])])
+        merged = merge_skylines([batch_a, batch_b], measures, epsilon=0.1)
+        bits = {s.bits for s in merged}
+        assert 4 not in bits  # dominated by 2
+        assert {1, 3} <= bits
+
+    def test_merge_dedupes_cross_worker_duplicates(self):
+        measures = two_measure_set()
+        same = [(7, [0.3, 0.3])]
+        merged = merge_skylines(
+            [self._ship(same), self._ship(same)], measures, epsilon=0.1
+        )
+        assert len(merged) == 1
+
+    def test_merge_empty(self):
+        assert merge_skylines([], two_measure_set(), epsilon=0.1) == []
+
+    def test_merged_members_mutually_nondominated(self):
+        rng = np.random.default_rng(4)
+        batches = [
+            self._ship(
+                [(int(i + 10 * w), list(rng.random(2) * 0.9 + 0.05))
+                 for i in range(6)]
+            )
+            for w in range(3)
+        ]
+        merged = merge_skylines(batches, two_measure_set(), epsilon=0.05)
+        perfs = [s.perf for s in merged]
+        for i in range(len(perfs)):
+            for j in range(len(perfs)):
+                if i != j:
+                    assert not dominates(perfs[i], perfs[j])
+
+
+class TestDistributedMODis:
+    def test_end_to_end(self):
+        runner = DistributedMODis(
+            make_config, n_workers=3, epsilon=0.2, budget=90, max_level=4
+        )
+        result = runner.run(verify=False)
+        assert len(result.entries) >= 1
+        assert result.report.extras["n_workers"] == 3
+        assert result.report.extras["speedup"] >= 1.0
+
+    def test_matches_single_node_front_when_exhaustive(self):
+        """With enough budget to exhaust the space, the distributed front
+        equals the single-node ApxMODis front (same oracle, no estimates)."""
+        single = ApxMODis(make_config(), epsilon=0.2, budget=64, max_level=6)
+        single_result = single.run(verify=False)
+        distributed = DistributedMODis(
+            make_config, n_workers=3, epsilon=0.2, budget=192, max_level=6
+        )
+        dist_result = distributed.run(verify=False)
+        single_perfs = np.round(single_result.perf_matrix(), 9)
+        dist_perfs = np.round(dist_result.perf_matrix(), 9)
+        # identical Pareto fronts as sets of performance vectors
+        assert {tuple(p) for p in single_perfs} == {tuple(p) for p in dist_perfs}
+
+    def test_merged_front_covers_all_shipped(self):
+        """The merged output ε-dominates every state any worker shipped
+        (the Lemma 2 cover carries through the distributed merge)."""
+        from repro.core.dominance import epsilon_dominates
+
+        epsilon = 0.15
+        runner = DistributedMODis(
+            make_config, n_workers=2, epsilon=epsilon, budget=60, max_level=5
+        )
+        result = runner.run(verify=False)
+        entries = [e.state.perf for e in result.entries]
+        for w in runner.report.worker_results:
+            for shipped in w.shipped:
+                assert any(
+                    epsilon_dominates(perf, shipped.perf, epsilon)
+                    for perf in entries
+                )
+
+    def test_verify_rescores_with_oracle(self):
+        runner = DistributedMODis(
+            make_config, n_workers=2, epsilon=0.2, budget=40, max_level=3
+        )
+        result = runner.run(verify=True)
+        config = make_config()
+        for entry in result.entries:
+            raw = config.oracle(entry.bits)
+            expected = config.measures.normalize_raw(raw)
+            assert np.allclose(entry.state.perf, expected)
+
+    def test_report_accounting(self):
+        runner = DistributedMODis(
+            make_config, n_workers=3, epsilon=0.2, budget=60, max_level=3
+        )
+        runner.run(verify=False)
+        report = runner.report
+        assert report.total_valuated <= 60 + 3  # +1 root per worker
+        assert report.n_messages >= report.distinct_shipped > 0
+        assert report.sequential_seconds >= report.parallel_seconds - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            DistributedMODis(make_config, n_workers=0)
+        with pytest.raises(SearchError):
+            DistributedMODis(make_config, n_workers=10, budget=5)

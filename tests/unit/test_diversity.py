@@ -1,0 +1,114 @@
+"""Unit tests for the diversification machinery (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversity import (
+    cosine_similarity,
+    diversification_score,
+    greedy_diversify,
+    max_euclidean,
+    state_distance,
+)
+from repro.core.state import State
+from repro.exceptions import SearchError
+
+
+def S(bits, *perf):
+    return State(bits=bits, perf=np.array(perf, dtype=float))
+
+
+class TestDistance:
+    def test_identical_states_zero(self):
+        a = S(0b11, 0.2, 0.3)
+        assert state_distance(a, S(0b11, 0.2, 0.3), 4, 0.5, 1.0) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_disjoint_bitmaps_max_content(self):
+        a, b = S(0b1100, 0.5, 0.5), S(0b0011, 0.5, 0.5)
+        # cosine of disjoint bitmaps = 0 -> content term = alpha * 0.5
+        assert state_distance(a, b, 4, 1.0, 1.0) == pytest.approx(0.5)
+
+    def test_alpha_blends(self):
+        a, b = S(0b1100, 0.1, 0.1), S(0b0011, 0.9, 0.9)
+        content_only = state_distance(a, b, 4, 1.0, 1.0)
+        perf_only = state_distance(a, b, 4, 0.0, 1.0)
+        mixed = state_distance(a, b, 4, 0.5, 1.0)
+        assert mixed == pytest.approx((content_only + perf_only) / 2)
+
+    def test_euc_normalized(self):
+        a, b = S(0b1, 0.0, 0.0), S(0b1, 0.6, 0.8)
+        assert state_distance(a, b, 1, 0.0, 2.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            state_distance(S(1, 0.1), S(2, 0.1), 2, 1.5, 1.0)
+        with pytest.raises(SearchError):
+            state_distance(State(bits=1), S(2, 0.1), 2, 0.5, 1.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 1.0
+
+
+class TestScore:
+    def test_pairwise_sum(self):
+        states = [S(0b1, 0.1, 0.1), S(0b10, 0.5, 0.5), S(0b100, 0.9, 0.9)]
+        total = diversification_score(states, 3, 0.5, 1.0)
+        manual = sum(
+            state_distance(states[i], states[j], 3, 0.5, 1.0)
+            for i in range(3)
+            for j in range(i + 1, 3)
+        )
+        assert total == pytest.approx(manual)
+
+    def test_monotone_in_set_growth(self):
+        # div is monotone: adding a state never decreases the score
+        states = [S(0b1, 0.1, 0.2), S(0b10, 0.4, 0.6)]
+        bigger = states + [S(0b100, 0.8, 0.9)]
+        assert diversification_score(bigger, 3, 0.5, 1.0) >= diversification_score(
+            states, 3, 0.5, 1.0
+        )
+
+    def test_max_euclidean(self):
+        perfs = np.array([[0.0, 0.0], [0.3, 0.4], [1.0, 0.0]])
+        assert max_euclidean(perfs) == pytest.approx(1.0)
+        assert max_euclidean(np.zeros((1, 2))) == 1.0
+
+
+class TestGreedyDiversify:
+    def test_small_input_passthrough(self):
+        states = [S(0b1, 0.1, 0.1)]
+        assert greedy_diversify(states, 3, 2, 0.5, 1.0) == states
+
+    def test_returns_k_states(self):
+        states = [S(1 << i, i / 10, i / 10) for i in range(8)]
+        out = greedy_diversify(states, 3, 8, 0.5, 1.0, seed=0)
+        assert len(out) == 3
+        assert len({s.bits for s in out}) == 3
+
+    def test_improves_over_random_seed_set(self):
+        # clustered states + outliers: greedy should reach at least the
+        # score of the best random k-set it started from
+        states = [S(0b1, 0.1, 0.1), S(0b1, 0.11, 0.1), S(0b1, 0.12, 0.1),
+                  S(0b1110, 0.9, 0.9), S(0b10001, 0.5, 0.9)]
+        out = greedy_diversify(states, 3, 5, 0.5, 1.0, seed=1)
+        score = diversification_score(out, 5, 0.5, 1.0)
+        # brute-force optimum over all 3-subsets
+        from itertools import combinations
+
+        best = max(
+            diversification_score(list(combo), 5, 0.5, 1.0)
+            for combo in combinations(states, 3)
+        )
+        assert score >= 0.25 * best  # Lemma 5's 1/4 bound, loosely
+
+    def test_deterministic(self):
+        states = [S(1 << i, i / 10, 1 - i / 10) for i in range(6)]
+        a = greedy_diversify(states, 2, 6, 0.3, 1.0, seed=5)
+        b = greedy_diversify(states, 2, 6, 0.3, 1.0, seed=5)
+        assert [s.bits for s in a] == [s.bits for s in b]
+
+    def test_k_validation(self):
+        with pytest.raises(SearchError):
+            greedy_diversify([], 0, 1, 0.5, 1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for active domains and cluster-literal compression."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.relational.domain import (
+    active_domain,
+    adom_sizes,
+    cluster_all_domains,
+    cluster_domain,
+    largest_adom,
+)
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+from tests.helpers import small_table
+
+
+class TestActiveDomain:
+    def test_excludes_nulls(self):
+        assert active_domain(small_table(), "city") == {"a", "b", "c"}
+
+    def test_sizes(self):
+        sizes = adom_sizes(small_table())
+        assert sizes["city"] == 3
+        assert sizes["k"] == 6
+
+    def test_largest(self):
+        assert largest_adom(small_table()) == 6
+
+
+class TestClusterDomain:
+    def test_numeric_clusters_partition_domain(self):
+        t = small_table()
+        clusters = cluster_domain(t, "k", max_clusters=3)
+        values = sorted(v for c in clusters for v in c.values)
+        assert values == [1, 2, 3, 4, 5, 6]
+        assert 1 <= len(clusters) <= 3
+        assert all(c.centroid is not None for c in clusters)
+
+    def test_categorical_clusters_partition_domain(self):
+        clusters = cluster_domain(small_table(), "city", max_clusters=2)
+        values = sorted(v for c in clusters for v in c.values)
+        assert values == ["a", "b", "c"]
+        assert all(c.centroid is None for c in clusters)
+
+    def test_single_cluster(self):
+        clusters = cluster_domain(small_table(), "k", max_clusters=1)
+        assert len(clusters) == 1
+        assert len(clusters[0].values) == 6
+
+    def test_more_clusters_than_values(self):
+        clusters = cluster_domain(small_table(), "city", max_clusters=50)
+        assert len(clusters) == 3
+
+    def test_empty_domain(self):
+        t = Table(Schema.of("a"), {"a": [None, None]})
+        assert cluster_domain(t, "a", max_clusters=3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(TableError):
+            cluster_domain(small_table(), "k", max_clusters=0)
+
+    def test_literal_matches_members_only(self):
+        clusters = cluster_domain(small_table(), "k", max_clusters=2)
+        literal = clusters[0].literal
+        member = next(iter(clusters[0].values))
+        outsider = next(iter(clusters[1].values))
+        assert literal({"k": member})
+        assert not literal({"k": outsider})
+
+    def test_deterministic(self):
+        a = cluster_domain(small_table(), "k", max_clusters=3, seed=1)
+        b = cluster_domain(small_table(), "k", max_clusters=3, seed=1)
+        assert [c.values for c in a] == [c.values for c in b]
+
+
+class TestClusterAll:
+    def test_excludes_target(self):
+        clusters = cluster_all_domains(small_table(), exclude=["y"])
+        assert "y" not in clusters
+        assert set(clusters) == {"k", "city", "x"}

@@ -1,0 +1,165 @@
+"""Unit tests for dominance, Kung's skyline, and the UPareto grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import (
+    SkylineGrid,
+    dominates,
+    epsilon_dominates,
+    is_skyline,
+    pareto_front,
+)
+from repro.core.measures import Measure, MeasureSet
+from repro.core.state import State
+from repro.exceptions import SearchError
+
+
+def V(*xs):
+    return np.array(xs, dtype=float)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates(V(0.1, 0.2), V(0.2, 0.2))
+        assert dominates(V(0.1, 0.1), V(0.2, 0.2))
+
+    def test_equal_vectors_no_dominance(self):
+        assert not dominates(V(0.1, 0.2), V(0.1, 0.2))
+
+    def test_incomparable(self):
+        assert not dominates(V(0.1, 0.9), V(0.9, 0.1))
+        assert not dominates(V(0.9, 0.1), V(0.1, 0.9))
+
+    def test_antisymmetry(self):
+        assert dominates(V(0.1), V(0.2)) and not dominates(V(0.2), V(0.1))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SearchError):
+            dominates(V(0.1), V(0.1, 0.2))
+
+
+class TestEpsilonDominates:
+    def test_paper_example4_relations(self):
+        # Example 4's vectors (RMSE, 1-R2, T_train)
+        d1 = V(0.48, 0.33, 0.37)
+        d3 = V(0.26, 0.15, 0.37)
+        d5 = V(0.25, 0.18, 0.35)
+        assert dominates(d3, d1)
+        assert not dominates(d3, d5) and not dominates(d5, d3)
+        # with a large epsilon they epsilon-dominate each other
+        assert epsilon_dominates(d3, d5, 0.5)
+        assert epsilon_dominates(d5, d3, 0.5)
+
+    def test_requires_decisive_measure(self):
+        # u within (1+eps) factor everywhere but better nowhere -> not eps-dom
+        assert not epsilon_dominates(V(0.11, 0.11), V(0.1, 0.1), 0.2)
+        assert epsilon_dominates(V(0.11, 0.09), V(0.1, 0.1), 0.2)
+
+    def test_dominance_implies_epsilon_dominance(self):
+        assert epsilon_dominates(V(0.1, 0.1), V(0.2, 0.2), 0.0)
+
+    def test_negative_epsilon(self):
+        with pytest.raises(SearchError):
+            epsilon_dominates(V(0.1), V(0.1), -0.1)
+
+
+class TestParetoFront:
+    def brute_force(self, vectors):
+        out = []
+        for i, u in enumerate(vectors):
+            if not any(dominates(v, u) for v in vectors):
+                out.append(i)
+        return out
+
+    def test_matches_brute_force_2d(self):
+        rng = np.random.default_rng(0)
+        vectors = [rng.random(2) for _ in range(60)]
+        assert sorted(pareto_front(vectors)) == self.brute_force(vectors)
+
+    def test_matches_brute_force_4d(self):
+        rng = np.random.default_rng(1)
+        vectors = [rng.random(4) for _ in range(80)]
+        assert sorted(pareto_front(vectors)) == self.brute_force(vectors)
+
+    def test_single_dim(self):
+        assert pareto_front([V(0.3), V(0.1), V(0.1), V(0.5)]) == [1, 2]
+
+    def test_duplicates_all_kept(self):
+        vectors = [V(0.1, 0.1), V(0.1, 0.1), V(0.5, 0.5)]
+        assert sorted(pareto_front(vectors)) == [0, 1]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_is_skyline_validator(self):
+        vectors = [V(0.1, 0.9), V(0.9, 0.1), V(0.5, 0.5), V(0.9, 0.9)]
+        front = pareto_front(vectors)
+        assert is_skyline(vectors, front)
+        assert not is_skyline(vectors, [3])  # dominated point
+
+
+class TestSkylineGrid:
+    def make_grid(self, epsilon=0.5, upper=1.0):
+        measures = MeasureSet(
+            [
+                Measure("a", kind="error", lower=0.01, upper=upper),
+                Measure("d", kind="error", lower=0.01, upper=upper),
+            ]
+        )
+        return SkylineGrid(measures, epsilon)
+
+    def state(self, *perf, bits=0):
+        return State(bits=bits, perf=np.array(perf, dtype=float))
+
+    def test_accepts_first_in_cell(self):
+        grid = self.make_grid()
+        assert grid.update(self.state(0.5, 0.5, bits=1))
+        assert len(grid) == 1
+
+    def test_decisive_replacement(self):
+        grid = self.make_grid()
+        grid.update(self.state(0.5, 0.5, bits=1))
+        # same cell (same a), better decisive -> replaces
+        assert grid.update(self.state(0.5, 0.3, bits=2))
+        assert len(grid) == 1
+        assert grid.states[0].bits == 2
+        assert grid.replacements == 1
+
+    def test_worse_decisive_rejected(self):
+        grid = self.make_grid()
+        grid.update(self.state(0.5, 0.3, bits=1))
+        assert not grid.update(self.state(0.5, 0.6, bits=2))
+
+    def test_out_of_bounds_skipped(self):
+        grid = self.make_grid(upper=0.4)
+        assert not grid.update(self.state(0.5, 0.1, bits=1))
+        assert grid.skipped_out_of_bounds == 1
+
+    def test_different_cells_coexist(self):
+        grid = self.make_grid(epsilon=0.1)
+        grid.update(self.state(0.05, 0.9, bits=1))
+        grid.update(self.state(0.9, 0.05, bits=2))
+        assert len(grid) == 2
+
+    def test_covers_epsilon_dominance(self):
+        grid = self.make_grid(epsilon=0.5)
+        grid.update(self.state(0.2, 0.2, bits=1))
+        assert grid.covers(np.array([0.25, 0.25]))
+        assert not grid.covers(np.array([0.05, 0.05]))
+
+    def test_remove(self):
+        grid = self.make_grid()
+        s = self.state(0.5, 0.5, bits=1)
+        grid.update(s)
+        grid.remove(s)
+        assert len(grid) == 0
+
+    def test_unvaluated_rejected(self):
+        grid = self.make_grid()
+        with pytest.raises(SearchError):
+            grid.update(State(bits=1))
+
+    def test_positive_epsilon_required(self):
+        with pytest.raises(SearchError):
+            self.make_grid(epsilon=0.0)

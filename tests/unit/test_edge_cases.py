@@ -1,0 +1,139 @@
+"""Edge cases and failure injection across the core stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApxMODis, BiMODis, SkylineGrid
+from repro.core.config import Configuration
+from repro.core.estimator import MOGBEstimator, OracleEstimator
+from repro.core.measures import Measure, MeasureSet
+from repro.core.state import State
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+def make_config(width=5, oracle=None):
+    space = ToySpace(width=width)
+    measures = two_measure_set()
+    oracle = oracle or linear_toy_oracle(width)
+    return Configuration(
+        space=space,
+        measures=measures,
+        estimator=OracleEstimator(oracle, measures),
+        oracle=oracle,
+    )
+
+
+class TestSingleMeasure:
+    def test_grid_degenerates_to_min_tracking(self):
+        """With |P| = 1 the ε-grid has a 0-dim position: one cell, decisive
+        replacement keeps exactly the best state seen."""
+        measures = MeasureSet([Measure("only", kind="error", lower=0.01)])
+        grid = SkylineGrid(measures, epsilon=0.2)
+        for value, bits in [(0.5, 1), (0.3, 2), (0.7, 3)]:
+            grid.update(State(bits=bits, perf=np.array([value])))
+        assert len(grid) == 1
+        assert grid.states[0].bits == 2
+
+    def test_search_with_single_measure(self):
+        measures = MeasureSet([Measure("m0", kind="error", lower=0.01)])
+        width = 4
+        base = linear_toy_oracle(width)
+
+        def oracle(bits):
+            return {"m0": base(bits)["m0"]}
+
+        space = ToySpace(width=width)
+        config = Configuration(
+            space=space,
+            measures=measures,
+            estimator=OracleEstimator(oracle, measures),
+            oracle=oracle,
+        )
+        result = ApxMODis(config, epsilon=0.2, budget=50, max_level=4).run()
+        assert len(result) == 1  # single objective: one optimum
+
+
+class TestTinyBudgets:
+    def test_budget_one_returns_start_state(self):
+        config = make_config()
+        result = ApxMODis(config, epsilon=0.2, budget=1, max_level=3).run()
+        assert result.report.n_valuated == 1
+        assert len(result) == 1
+        assert result.entries[0].description == "s_U"
+
+    def test_bimodis_budget_two_covers_both_seeds(self):
+        config = make_config()
+        result = BiMODis(config, epsilon=0.2, budget=2, max_level=3).run()
+        assert result.report.n_valuated == 2
+
+
+class TestFailureInjection:
+    def test_oracle_exception_propagates(self):
+        calls = {"n": 0}
+
+        def flaky(bits):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("oracle crashed")
+            return linear_toy_oracle(5)(bits)
+
+        config = make_config(oracle=flaky)
+        algo = ApxMODis(config, epsilon=0.2, budget=20, max_level=3)
+        with pytest.raises(RuntimeError, match="oracle crashed"):
+            algo.run()
+
+    def test_oracle_missing_measure_raises_measure_error(self):
+        from repro.exceptions import MeasureError
+
+        def partial(bits):
+            return {"m0": 0.5}  # m1 missing
+
+        config = make_config(oracle=partial)
+        algo = ApxMODis(config, epsilon=0.2, budget=5, max_level=2)
+        with pytest.raises(MeasureError, match="omitted"):
+            algo.run()
+
+    def test_surrogate_without_bootstrap_records(self):
+        from repro.exceptions import EstimatorError
+
+        est = MOGBEstimator(
+            linear_toy_oracle(4), two_measure_set(), n_bootstrap=2, seed=0
+        )
+        with pytest.raises(EstimatorError, match="too few"):
+            est._refit()
+
+
+class TestQueryMaterialization:
+    def test_materialize_entry_matches_output_size(self):
+        from repro import SkylineQuery, discover
+        from repro.query import materialize_entry
+        from repro.core.measures import cost_measure, score_measure
+        from repro.core.measures import MeasureSet as MSet
+        from repro.relational import Schema, Table
+        from repro.rng import make_rng
+
+        rng = make_rng(2)
+        n = 80
+        x = rng.normal(size=n)
+        labels = ["a" if v > 0 else "b" for v in x]
+        base = Table(
+            Schema.of("k", ("label", "categorical")),
+            {"k": list(range(n)), "label": labels},
+        )
+        feats = Table(
+            Schema.of("k", "x"), {"k": list(range(n)), "x": x.tolist()}
+        )
+        query = SkylineQuery(
+            sources=[base, feats],
+            target="label",
+            model="decision_tree_clf",
+            task_kind="classification",
+            measures=MSet([cost_measure("train_cost", cap=1.0),
+                           score_measure("acc")]),
+            max_clusters=2,
+        )
+        result = discover(query, algorithm="apx", epsilon=0.3, budget=10,
+                          max_level=2, estimator="oracle")
+        table = materialize_entry(query, result, 0)
+        assert (table.num_rows, table.num_columns) == result.entries[0].output_size

@@ -1,0 +1,116 @@
+"""Unit tests for oracles, the test store, and the MO-GBM estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import MOGBEstimator, OracleEstimator
+from repro.core.estimator import TestRecord as Record
+from repro.core.estimator import TestStore as RecordStore
+from repro.exceptions import EstimatorError
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+class TestRecordStoreBehaviour:
+    def test_add_get_contains(self):
+        store = RecordStore()
+        record = Record(5, np.zeros(3), np.array([0.1, 0.2]))
+        store.add(record)
+        assert 5 in store and len(store) == 1
+        assert store.get(5) is record
+        assert store.get(7) is None
+
+    def test_matrices(self):
+        store = RecordStore()
+        store.add(Record(1, np.zeros(2), np.array([0.1, 0.2])))
+        store.add(Record(2, np.ones(2), np.array([0.3, 0.4])))
+        assert store.perf_matrix().shape == (2, 2)
+        assert store.feature_matrix().shape == (2, 2)
+
+    def test_empty_matrices(self):
+        assert RecordStore().perf_matrix().shape == (0, 0)
+
+
+class TestOracleEstimator:
+    def test_valuates_and_records(self):
+        space = ToySpace(width=4)
+        est = OracleEstimator(linear_toy_oracle(4), two_measure_set())
+        perf = est.valuate(space.universal_bits, space)
+        assert perf.shape == (2,)
+        assert est.oracle_calls == 1
+        assert space.universal_bits in est.store
+
+    def test_reload_from_store_is_free(self):
+        space = ToySpace(width=4)
+        est = OracleEstimator(linear_toy_oracle(4), two_measure_set())
+        a = est.valuate(3, space)
+        b = est.valuate(3, space)
+        assert est.oracle_calls == 1
+        assert np.array_equal(a, b)
+
+
+class TestMOGBEstimator:
+    def make(self, width=6, n_bootstrap=10):
+        space = ToySpace(width=width)
+        est = MOGBEstimator(
+            linear_toy_oracle(width),
+            two_measure_set(),
+            n_bootstrap=n_bootstrap,
+            seed=0,
+        )
+        return space, est
+
+    def test_bootstrap_populates_store(self):
+        space, est = self.make()
+        est.bootstrap(space)
+        assert est.oracle_calls >= 3
+        assert len(est.store) == est.oracle_calls
+
+    def test_valuate_uses_surrogate_after_bootstrap(self):
+        space, est = self.make()
+        perf = est.valuate(0b111000, space)
+        assert perf.shape == (2,)
+        assert (perf > 0).all() and (perf <= 1).all()
+        # a state not in the bootstrap is surrogate-estimated
+        fresh = 0b010101
+        if fresh not in est.store:
+            est.valuate(fresh, space)
+            assert est.surrogate_calls >= 1
+
+    def test_surrogate_tracks_truth(self):
+        space, est = self.make(width=6, n_bootstrap=24)
+        est.bootstrap(space)
+        oracle = linear_toy_oracle(6)
+        errors = []
+        for bits in range(1, 2**6, 5):
+            if bits in est.store:
+                continue
+            predicted = est.valuate(bits, space)
+            truth = two_measure_set().normalize_raw(oracle(bits))
+            errors.append(np.mean((predicted - truth) ** 2))
+        assert np.mean(errors) < 0.02  # tight on this smooth toy landscape
+
+    def test_oracle_truth_upgrades_surrogate_record(self):
+        space, est = self.make()
+        bits = 0b101010
+        est.valuate(bits, space)
+        record = est.store.get(bits)
+        if record.source == "surrogate":
+            est.oracle_truth(bits, space)
+            assert est.store.get(bits).source == "oracle"
+
+    def test_surrogate_mse_probe(self):
+        space, est = self.make(n_bootstrap=16)
+        est.bootstrap(space)
+        mse = est.surrogate_mse(space, [0b1, 0b11, 0b111])
+        assert mse >= 0.0
+
+    def test_surrogate_mse_before_fit(self):
+        space, est = self.make()
+        with pytest.raises(EstimatorError):
+            est.surrogate_mse(space, [1])
+
+    def test_total_valuations(self):
+        space, est = self.make()
+        est.valuate(0b110011, space)
+        assert est.total_valuations == est.oracle_calls + est.surrogate_calls

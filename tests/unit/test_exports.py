@@ -1,0 +1,41 @@
+"""Public-surface gate: every ``__all__`` name resolves, everywhere."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def _all_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_every_export_resolves():
+    broken = []
+    for module in _all_modules():
+        for export in getattr(module, "__all__", ()):
+            if not hasattr(module, export):
+                broken.append(f"{module.__name__}.{export}")
+    assert not broken, f"broken __all__ entries: {broken}"
+
+
+def test_all_lists_are_sorted():
+    """Sorted __all__ lists keep diffs reviewable; enforce the convention."""
+    unsorted = []
+    for module in _all_modules():
+        exports = list(getattr(module, "__all__", ()))
+        if exports != sorted(exports):
+            unsorted.append(module.__name__)
+    assert not unsorted, f"unsorted __all__ in: {unsorted}"
+
+
+def test_package_namespaces_expose_their_all():
+    """Star-importable packages: __all__ exists on every package module."""
+    missing = []
+    for module in _all_modules():
+        is_package = hasattr(module, "__path__")
+        if is_package and not hasattr(module, "__all__"):
+            missing.append(module.__name__)
+    assert not missing, f"packages without __all__: {missing}"

@@ -1,0 +1,80 @@
+"""Unit tests for repro.relational.expressions."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.relational.expressions import (
+    Conjunction,
+    Literal,
+    describe,
+    equals,
+    in_set,
+    value_range,
+)
+
+
+class TestLiteral:
+    def test_equality_literal(self):
+        lit = equals("a", 5)
+        assert lit({"a": 5})
+        assert not lit({"a": 6})
+
+    def test_null_fails_all_comparisons(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            assert not Literal("a", op, 5)({"a": None})
+        assert not in_set("a", [1, 2])({"a": None})
+
+    def test_missing_attribute_is_null(self):
+        assert not equals("a", 1)({})
+
+    def test_ordering_ops(self):
+        assert Literal("a", "<", 5)({"a": 4})
+        assert Literal("a", ">=", 5)({"a": 5})
+        assert not Literal("a", ">", 5)({"a": 5})
+
+    def test_in_set_coerces_frozenset(self):
+        lit = Literal("a", "in", [1, 2, 3])
+        assert isinstance(lit.value, frozenset)
+        assert lit({"a": 2})
+
+    def test_type_mismatch_is_false(self):
+        assert not Literal("a", "<", 5)({"a": "text"})
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Literal("a", "~~", 1)
+
+    def test_negate(self):
+        lit = Literal("a", "<", 5)
+        neg = lit.negate()
+        assert neg({"a": 5}) and not neg({"a": 4})
+        with pytest.raises(ExpressionError):
+            in_set("a", [1]).negate()
+
+    def test_describe(self):
+        assert "a == 5" in equals("a", 5).describe()
+        assert "in" in in_set("a", [1]).describe()
+
+
+class TestConjunction:
+    def test_all_must_hold(self):
+        conj = Conjunction((equals("a", 1), equals("b", 2)))
+        assert conj({"a": 1, "b": 2})
+        assert not conj({"a": 1, "b": 3})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            Conjunction(())
+
+    def test_attributes_deduped_ordered(self):
+        conj = Conjunction((equals("b", 1), equals("a", 2), equals("b", 3)))
+        assert conj.attributes == ("b", "a")
+
+    def test_value_range(self):
+        rng = value_range("a", 2, 5)
+        assert rng({"a": 2}) and rng({"a": 4.9})
+        assert not rng({"a": 5}) and not rng({"a": 1})
+
+    def test_describe_callable(self):
+        assert describe(equals("a", 1))
+        assert describe(lambda r: True)

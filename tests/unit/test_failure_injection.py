@@ -1,0 +1,211 @@
+"""Failure injection: how the search machinery behaves when parts break.
+
+A production discovery system meets broken oracles, degenerate candidate
+tables, and misbehaving UDFs. These tests pin down the contracts: hard
+failures propagate (never silently corrupt the skyline), soft failures
+(degenerate datasets) score worst-case and fall out of the search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ApxMODis, Configuration, MeasureSet
+from repro.core.estimator import MOGBEstimator, OracleEstimator
+from repro.core.estimator import TestStore as RecordStore
+from repro.core.measures import error_measure
+from repro.core.udf import UDF, UDFSearchSpace
+from repro.datalake.tasks import make_tabular_oracle
+from repro.distributed import DistributedMODis
+from repro.exceptions import MeasureError
+from repro.relational import Schema, Table
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+class ExplodingOracle:
+    """Fails on a chosen set of states; counts every call."""
+
+    def __init__(self, inner, poison: set[int]):
+        self.inner = inner
+        self.poison = poison
+        self.calls = 0
+
+    def __call__(self, bits):
+        self.calls += 1
+        if bits in self.poison:
+            raise RuntimeError(f"oracle exploded on state {bits:#x}")
+        return self.inner(bits)
+
+
+def toy_config(oracle) -> Configuration:
+    measures = two_measure_set()
+    return Configuration(
+        space=ToySpace(width=4),
+        measures=measures,
+        estimator=OracleEstimator(oracle, measures),
+        oracle=oracle,
+    )
+
+
+class TestOracleFailures:
+    def test_oracle_exception_propagates(self):
+        oracle = ExplodingOracle(linear_toy_oracle(4), poison={0b0111})
+        algo = ApxMODis(toy_config(oracle), budget=30, max_level=3)
+        with pytest.raises(RuntimeError, match="exploded"):
+            algo.run(verify=False)
+
+    def test_no_corrupt_record_after_failure(self):
+        """A failed valuation must not leave a half-written test record."""
+        oracle = ExplodingOracle(linear_toy_oracle(4), poison={0b0111})
+        config = toy_config(oracle)
+        algo = ApxMODis(config, budget=30, max_level=3)
+        with pytest.raises(RuntimeError):
+            algo.run(verify=False)
+        assert 0b0111 not in config.estimator.store
+        for record in config.estimator.store.records():
+            assert np.all(np.isfinite(record.perf))
+
+    def test_missing_measure_is_a_measure_error(self):
+        def partial_oracle(bits):
+            return {"m0": 0.5}  # forgets m1
+
+        config = toy_config(partial_oracle)
+        algo = ApxMODis(config, budget=5, max_level=2)
+        with pytest.raises(MeasureError, match="omitted"):
+            algo.run(verify=False)
+
+    def test_bootstrap_failure_propagates(self):
+        oracle = ExplodingOracle(
+            linear_toy_oracle(4), poison={0b1111}  # the universal state
+        )
+        measures = two_measure_set()
+        estimator = MOGBEstimator(oracle, measures, n_bootstrap=6, seed=0)
+        config = Configuration(
+            space=ToySpace(width=4),
+            measures=measures,
+            estimator=estimator,
+            oracle=oracle,
+        )
+        with pytest.raises(RuntimeError):
+            ApxMODis(config, budget=10, max_level=2).run(verify=False)
+
+
+class TestDegenerateDatasets:
+    @pytest.fixture
+    def measures(self):
+        return MeasureSet(
+            [error_measure("mse", cap=4.0), error_measure("mae", cap=2.0)]
+        )
+
+    @pytest.fixture
+    def oracle(self, measures):
+        return make_tabular_oracle(
+            "target", "linear_regression", measures, "regression",
+            split_seed=1, model_seed=2,
+        )
+
+    def test_too_few_rows_scores_worst_case(self, oracle, measures):
+        tiny = Table(
+            Schema.of("a", "target"), {"a": [1.0, 2.0], "target": [0.1, 0.2]}
+        )
+        raw = oracle(tiny)
+        perf = measures.normalize_raw(raw)
+        assert np.allclose(perf, 1.0)
+
+    def test_no_feature_columns_scores_worst_case(self, oracle, measures):
+        n = 30
+        only_target = Table(
+            Schema.of("target"), {"target": [float(i) for i in range(n)]}
+        )
+        perf = measures.normalize_raw(oracle(only_target))
+        assert np.allclose(perf, 1.0)
+
+    def test_all_null_features_score_worst_case(self, oracle, measures):
+        n = 30
+        table = Table(
+            Schema.of("a", "target"),
+            {"a": [None] * n, "target": [float(i) for i in range(n)]},
+        )
+        perf = measures.normalize_raw(oracle(table))
+        assert np.allclose(perf, 1.0)
+
+    def test_single_class_classification_scores_worst_case(self):
+        from repro.core.measures import score_measure
+
+        measures = MeasureSet([score_measure("acc"), score_measure("f1")])
+        oracle = make_tabular_oracle(
+            "target", "decision_tree_clf", measures, "classification",
+            split_seed=1, model_seed=2,
+        )
+        n = 40
+        table = Table(
+            Schema.of("a", ("target", "categorical")),
+            {"a": [float(i) for i in range(n)], "target": ["x"] * n},
+        )
+        perf = measures.normalize_raw(oracle(table))
+        assert np.allclose(perf, 1.0)
+
+
+class TestUDFFailures:
+    def test_raising_udf_propagates_during_materialization(self):
+        universal = Table(
+            Schema.of("a", "target"),
+            {"a": [1.0, 2.0, 3.0], "target": [0, 1, 0]},
+        )
+        from repro.core.transducer import TabularSearchSpace
+
+        inner = TabularSearchSpace(universal, target="target", max_clusters=2)
+
+        def boom(_table):
+            raise ValueError("udf blew up")
+
+        space = UDFSearchSpace(inner, [UDF("boom", boom)])
+        with pytest.raises(ValueError, match="udf blew up"):
+            space.materialize(inner.universal_bits)
+
+
+class TestDistributedFailures:
+    def test_worker_failure_propagates_to_coordinator(self):
+        calls = {"n": 0}
+        base = linear_toy_oracle(4)
+
+        def factory():
+            def oracle(bits):
+                calls["n"] += 1
+                if calls["n"] > 10:
+                    raise RuntimeError("worker node died")
+                return base(bits)
+
+            measures = two_measure_set()
+            return Configuration(
+                space=ToySpace(width=4),
+                measures=measures,
+                estimator=OracleEstimator(oracle, measures),
+                oracle=oracle,
+            )
+
+        runner = DistributedMODis(factory, n_workers=2, budget=40,
+                                  max_level=4)
+        with pytest.raises(RuntimeError, match="worker node died"):
+            runner.run(verify=False)
+
+
+class TestStoreIntegrity:
+    def test_store_is_idempotent_per_bits(self):
+        store = RecordStore()
+        from repro.core.estimator import TestRecord
+
+        a = TestRecord(5, np.zeros(2), np.array([0.1, 0.2]))
+        b = TestRecord(5, np.zeros(2), np.array([0.3, 0.4]))
+        store.add(a)
+        store.add(b)
+        assert len(store) == 1
+        assert np.allclose(store.get(5).perf, [0.3, 0.4])
+
+    def test_perf_matrix_shape(self):
+        store = RecordStore()
+        from repro.core.estimator import TestRecord
+
+        for bits in range(4):
+            store.add(TestRecord(bits, np.zeros(3), np.array([0.5, 0.5])))
+        assert store.perf_matrix().shape == (4, 2)

@@ -1,0 +1,81 @@
+"""Unit tests for graph edge-cluster operators."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.graph import (
+    BipartiteGraph,
+    Edge,
+    aggregate_edge_features,
+    augment_edges,
+    cluster_edges,
+    reduct_edges,
+)
+
+
+def featured_graph():
+    edges = []
+    for u in range(6):
+        for i in range(6):
+            group = float((u + i) % 2)
+            edges.append(Edge(u, i, (group, group * 2, 1.0 - group)))
+    return BipartiteGraph(6, 6, edges)
+
+
+class TestClusterEdges:
+    def test_partitions_edges(self):
+        g = featured_graph()
+        clusters = cluster_edges(g, 2, seed=0)
+        assert sum(len(c) for c in clusters) == g.num_edges
+        assert len(clusters) == 2
+
+    def test_respects_feature_structure(self):
+        g = featured_graph()
+        clusters = cluster_edges(g, 2, seed=0)
+        # the two feature groups should separate perfectly
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [18, 18]
+
+    def test_featureless_fallback(self):
+        g = BipartiteGraph(3, 3, [Edge(0, 0), Edge(2, 2)])
+        clusters = cluster_edges(g, 2, seed=0)
+        assert sum(len(c) for c in clusters) == 2
+
+    def test_empty_graph(self):
+        assert cluster_edges(BipartiteGraph(2, 2), 3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(TableError):
+            cluster_edges(featured_graph(), 0)
+
+
+class TestReductAugment:
+    def test_round_trip(self):
+        g = featured_graph()
+        clusters = cluster_edges(g, 3, seed=0)
+        smaller = reduct_edges(g, clusters[0])
+        assert smaller.num_edges == g.num_edges - len(clusters[0])
+        restored = augment_edges(smaller, g, clusters[0])
+        assert restored == g
+
+    def test_augment_ignores_existing(self):
+        g = featured_graph()
+        clusters = cluster_edges(g, 2, seed=0)
+        same = augment_edges(g, g, clusters[0])
+        assert same.num_edges == g.num_edges
+
+
+class TestAggregateFeatures:
+    def test_reduces_dims(self):
+        g = featured_graph()
+        smaller = aggregate_edge_features(g, 2)
+        assert smaller.shape == (36, 2)
+        assert smaller.num_edges == g.num_edges
+
+    def test_identity_when_groups_exceed_dims(self):
+        g = featured_graph()
+        assert aggregate_edge_features(g, 10).shape == (36, 3)
+
+    def test_invalid(self):
+        with pytest.raises(TableError):
+            aggregate_edge_features(featured_graph(), 0)

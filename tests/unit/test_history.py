@@ -1,0 +1,152 @@
+"""Persistence of the historical test set T and estimator warm-start."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import MOGBEstimator
+from repro.core.estimator import TestRecord as HistoryRecord
+from repro.core.estimator import TestStore as HistoryStore
+from repro.core.history import load_test_store, save_test_store
+from repro.exceptions import EstimatorError
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+def filled_store(n=8, width=4):
+    store = HistoryStore()
+    oracle = linear_toy_oracle(width)
+    measures = two_measure_set()
+    for bits in range(1, n + 1):
+        perf = measures.normalize_raw(oracle(bits))
+        features = np.array([(bits >> i) & 1 for i in range(width)], float)
+        store.add(HistoryRecord(bits, features, perf))
+    return store
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        store = filled_store()
+        path = save_test_store(store, tmp_path / "T.json",
+                               measures=two_measure_set())
+        loaded = load_test_store(path, measures=two_measure_set())
+        assert len(loaded) == len(store)
+        for record in store.records():
+            back = loaded.get(record.bits)
+            assert back is not None
+            assert np.allclose(back.perf, record.perf)
+            assert np.allclose(back.features, record.features)
+            assert back.source == record.source
+
+    def test_surrogate_provenance_survives(self, tmp_path):
+        store = HistoryStore()
+        store.add(
+            HistoryRecord(3, np.zeros(2), np.array([0.5, 0.5]),
+                       source="surrogate")
+        )
+        path = save_test_store(store, tmp_path / "T.json")
+        loaded = load_test_store(path)
+        assert loaded.get(3).source == "surrogate"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_test_store(filled_store(), tmp_path / "a" / "b" / "T.json")
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EstimatorError, match="no test-store"):
+            load_test_store(tmp_path / "absent.json")
+
+    def test_measure_name_mismatch_rejected(self, tmp_path):
+        from repro.core.measures import Measure, MeasureSet
+
+        path = save_test_store(filled_store(), tmp_path / "T.json",
+                               measures=two_measure_set())
+        other = MeasureSet(
+            [Measure("x", kind="error"), Measure("y", kind="error")]
+        )
+        with pytest.raises(EstimatorError, match="recorded for measures"):
+            load_test_store(path, measures=other)
+
+    def test_vector_length_mismatch_rejected(self, tmp_path):
+        from repro.core.measures import Measure, MeasureSet
+
+        path = save_test_store(filled_store(), tmp_path / "T.json")
+        three = MeasureSet(
+            [Measure(n, kind="error") for n in ("a", "b", "c")]
+        )
+        with pytest.raises(EstimatorError, match="expected 3"):
+            load_test_store(path, measures=three)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "T.json"
+        path.write_text('{"version": 99, "records": []}')
+        with pytest.raises(EstimatorError, match="version"):
+            load_test_store(path)
+
+
+class TestWarmStart:
+    def test_preloaded_store_skips_bootstrap(self, tmp_path):
+        """With enough historical oracle truth, no new oracle calls are
+        needed to start estimating — the paper's 'learn from historical
+        tuning records' usage."""
+        width = 4
+        space = ToySpace(width=width)
+        measures = two_measure_set()
+        oracle = linear_toy_oracle(width)
+
+        # Session 1: run an estimator, persist its T.
+        first = MOGBEstimator(oracle, measures, n_bootstrap=6, seed=0)
+        first.valuate(0b1010, space)
+        path = save_test_store(first.store, tmp_path / "T.json", measures)
+
+        # Session 2: warm-start from disk.
+        loaded = load_test_store(path, measures)
+        calls = {"n": 0}
+
+        def counting_oracle(bits):
+            calls["n"] += 1
+            return oracle(bits)
+
+        second = MOGBEstimator(
+            counting_oracle, measures, store=loaded, n_bootstrap=6, seed=0
+        )
+        perf = second.valuate(0b0101, space)
+        assert calls["n"] == 0  # no bootstrap oracle calls
+        assert perf.shape == (2,)
+
+    def test_insufficient_history_still_bootstraps(self):
+        width = 4
+        space = ToySpace(width=width)
+        measures = two_measure_set()
+        oracle = linear_toy_oracle(width)
+        store = HistoryStore()
+        store.add(
+            HistoryRecord(1, np.zeros(width), np.array([0.5, 0.5]))
+        )
+        calls = {"n": 0}
+
+        def counting_oracle(bits):
+            calls["n"] += 1
+            return oracle(bits)
+
+        estimator = MOGBEstimator(
+            counting_oracle, measures, store=store, n_bootstrap=6, seed=0
+        )
+        estimator.valuate(0b0110, space)
+        assert calls["n"] > 0
+
+    def test_warm_started_estimates_match_cold(self, tmp_path):
+        """Same T → same surrogate → same estimates, warm or cold."""
+        width = 5
+        space = ToySpace(width=width)
+        measures = two_measure_set()
+        oracle = linear_toy_oracle(width)
+        cold = MOGBEstimator(oracle, measures, n_bootstrap=8, seed=3)
+        cold_perf = cold.valuate(0b10110, space)
+        path = save_test_store(cold.store, tmp_path / "T.json", measures)
+
+        warm = MOGBEstimator(
+            oracle, measures, store=load_test_store(path, measures),
+            n_bootstrap=8, seed=3,
+        )
+        warm_perf = warm.valuate(0b10110, space)
+        assert np.allclose(cold_perf, warm_perf)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.relational.join and operators."""
+
+import pytest
+
+from repro.exceptions import JoinError, SchemaError
+from repro.relational.expressions import equals
+from repro.relational.join import (
+    full_outer_join,
+    inner_join,
+    left_outer_join,
+    universal_join,
+)
+from repro.relational.operators import project, reject, select, union_all
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+from tests.helpers import other_table, small_table
+
+
+class TestSelectProject:
+    def test_select_literal(self):
+        t = select(small_table(), equals("city", "a"))
+        assert t.column("k") == [1, 3]
+
+    def test_reject_keeps_null_rows(self):
+        # reduct semantics: rows failing the literal (including nulls) stay
+        t = reject(small_table(), equals("city", "a"))
+        assert t.column("k") == [2, 4, 5, 6]
+
+    def test_project(self):
+        assert project(small_table(), ["k"]).schema.names == ("k",)
+
+    def test_union_all(self):
+        t = union_all([small_table(), small_table()])
+        assert t.num_rows == 12
+        with pytest.raises(SchemaError):
+            union_all([])
+
+
+class TestInnerJoin:
+    def test_matches_only(self):
+        j = inner_join(small_table(), other_table())
+        assert sorted(j.column("k")) == [2, 3, 4]
+        assert j.schema.names == ("k", "city", "x", "y", "z")
+
+    def test_explicit_keys(self):
+        j = inner_join(small_table(), other_table(), on=["k"])
+        assert j.num_rows == 3
+
+    def test_no_shared_keys(self):
+        lonely = Table(Schema.of("q"), {"q": [1]})
+        with pytest.raises(JoinError):
+            inner_join(small_table(), lonely)
+
+    def test_null_keys_never_match(self):
+        left = Table(Schema.of("k", "a"), {"k": [1, None], "a": [10, 20]})
+        right = Table(Schema.of("k", "b"), {"k": [1, None], "b": [1, 2]})
+        j = inner_join(left, right)
+        assert j.num_rows == 1
+        assert j.column("k") == [1]
+
+    def test_duplicate_keys_multiply(self):
+        left = Table(Schema.of("k"), {"k": [1, 1]})
+        right = Table(Schema.of("k", "v"), {"k": [1, 1], "v": [7, 8]})
+        assert inner_join(left, right).num_rows == 4
+
+
+class TestOuterJoins:
+    def test_left_outer_preserves_left(self):
+        j = left_outer_join(small_table(), other_table())
+        assert j.num_rows == 6
+        z = dict(zip(j.column("k"), j.column("z")))
+        assert z[1] is None and z[2] == 200
+
+    def test_full_outer_preserves_both(self):
+        j = full_outer_join(small_table(), other_table())
+        assert sorted(j.column("k")) == [1, 2, 3, 4, 5, 6, 7]
+        row7 = [r for r in j.rows() if r["k"] == 7][0]
+        assert row7["z"] == 700 and row7["city"] is None
+
+
+class TestUniversalJoin:
+    def test_chains_shared_keys(self):
+        a = Table(Schema.of("k", "a"), {"k": [1, 2], "a": [1, 2]}, name="a")
+        b = Table(Schema.of("k", "b"), {"k": [2, 3], "b": [2, 3]}, name="b")
+        c = Table(Schema.of("b", "c"), {"b": [2], "c": [9]}, name="c")
+        u = universal_join([a, b, c])
+        assert set(u.schema.names) == {"k", "a", "b", "c"}
+        assert u.num_rows == 3
+
+    def test_deferred_table_joins_later(self):
+        # c shares nothing with a, but joins once b is in
+        a = Table(Schema.of("k", "a"), {"k": [1], "a": [1]})
+        c = Table(Schema.of("m", "c"), {"m": [5], "c": [9]})
+        b = Table(Schema.of("k", "m"), {"k": [1], "m": [5]})
+        u = universal_join([a, c, b])
+        assert set(u.schema.names) == {"k", "a", "m", "c"}
+        row = next(u.rows())
+        assert row["c"] == 9
+
+    def test_disconnected_appended(self):
+        a = Table(Schema.of("k"), {"k": [1]})
+        lonely = Table(Schema.of("q"), {"q": [7]})
+        u = universal_join([a, lonely])
+        assert u.num_rows == 2
+        assert set(u.schema.names) == {"k", "q"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(JoinError):
+            universal_join([])
+
+    def test_named(self):
+        assert universal_join([small_table()], name="DU").name == "DU"

@@ -1,0 +1,74 @@
+"""Unit tests for KMeans and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml import KMeans, available_models, make_model, register_model
+from repro.ml.base import Model
+from repro.rng import make_rng
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = make_rng(0)
+        blobs = np.vstack(
+            [rng.normal(loc=c, scale=0.2, size=(30, 2)) for c in (-5, 0, 5)]
+        )
+        labels = KMeans(n_clusters=3, seed=0).fit_predict(blobs)
+        # each blob maps to exactly one label
+        for i in range(3):
+            chunk = labels[i * 30 : (i + 1) * 30]
+            assert len(set(chunk)) == 1
+        assert len(set(labels)) == 3
+
+    def test_deterministic(self):
+        rng = make_rng(1)
+        X = rng.normal(size=(50, 3))
+        a = KMeans(n_clusters=4, seed=2).fit_predict(X)
+        b = KMeans(n_clusters=4, seed=2).fit_predict(X)
+        assert np.array_equal(a, b)
+
+    def test_k_larger_than_n(self):
+        X = np.array([[0.0], [1.0]])
+        km = KMeans(n_clusters=10, seed=0).fit(X)
+        assert km.centers_.shape[0] == 2
+
+    def test_inertia_decreases_with_k(self):
+        rng = make_rng(3)
+        X = rng.normal(size=(100, 2))
+        i2 = KMeans(n_clusters=2, seed=0).fit(X).inertia_
+        i8 = KMeans(n_clusters=8, seed=0).fit(X).inertia_
+        assert i8 < i2
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ModelError):
+            KMeans().fit(np.zeros((0, 2)))
+        with pytest.raises(ModelError):
+            KMeans().predict(np.zeros((1, 2)))
+
+
+class TestRegistry:
+    def test_paper_models_present(self):
+        names = available_models()
+        for name in ("gb_movie", "rf_house", "lr_avocado", "lgc_mental"):
+            assert name in names
+
+    def test_make_model_seeded(self):
+        model = make_model("gb_movie", seed=9)
+        assert isinstance(model, Model)
+        assert model.seed == 9
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError, match="unknown model"):
+            make_model("not_a_model")
+
+    def test_register_and_conflict(self):
+        name = "custom_test_model_xyz"
+        if name not in available_models():
+            register_model(name, lambda seed: make_model("lr_avocado", seed))
+        assert name in available_models()
+        with pytest.raises(ModelError, match="already registered"):
+            register_model(name, lambda seed: make_model("lr_avocado", seed))

@@ -1,0 +1,104 @@
+"""Unit tests for LightGCN and the ranking evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.graph import (
+    BipartiteGraph,
+    Edge,
+    LightGCN,
+    evaluate_ranking,
+    normalized_adjacency,
+    split_edges,
+    train_and_evaluate,
+)
+from repro.rng import make_rng
+
+
+def community_graph(seed=1, n_users=30, n_items=40):
+    rng = make_rng(seed)
+    edges = []
+    for u in range(n_users):
+        for i in range(n_items):
+            p = 0.4 if (u % 2) == (i % 2) else 0.02
+            if rng.random() < p:
+                edges.append(Edge(u, i, (float((u % 2) == (i % 2)),)))
+    return BipartiteGraph(n_users, n_items, edges)
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric_and_normalized(self):
+        g = community_graph()
+        adj = normalized_adjacency(g)
+        n = g.n_users + g.n_items
+        assert adj.shape == (n, n)
+        dense = adj.toarray()
+        assert np.allclose(dense, dense.T)
+        # row sums of D^-1/2 A D^-1/2 are <= sqrt(deg) normalized; spectral
+        # radius is at most 1 for this normalization
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+    def test_empty_graph(self):
+        g = BipartiteGraph(2, 2)
+        assert normalized_adjacency(g).nnz == 0
+
+
+class TestLightGCN:
+    def test_beats_random_on_communities(self):
+        g = community_graph()
+        train, held = split_edges(g, 0.3, make_rng(2))
+        model = LightGCN(epochs=25, embedding_dim=16, seed=0).fit(train)
+        metrics = evaluate_ranking(model, held, ks=(5,))
+        random_p5 = np.mean([len(v) for v in held.values()]) / g.n_items
+        assert metrics["precision@5"] > 1.5 * random_p5
+
+    def test_deterministic(self):
+        g = community_graph()
+        a = LightGCN(epochs=5, seed=4).fit(g).recommend(0, 5)
+        b = LightGCN(epochs=5, seed=4).fit(g).recommend(0, 5)
+        assert a == b
+
+    def test_recommend_excludes_training(self):
+        g = community_graph()
+        model = LightGCN(epochs=5, seed=0).fit(g)
+        rec = model.recommend(0, 10)
+        assert not (set(rec) & g.user_items(0))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ModelError):
+            LightGCN().fit(BipartiteGraph(2, 2))
+
+    def test_scores_before_fit(self):
+        with pytest.raises(ModelError):
+            LightGCN().scores(0)
+
+    def test_recommend_all(self):
+        g = community_graph()
+        model = LightGCN(epochs=3, seed=0).fit(g)
+        recs = model.recommend_all(3)
+        assert all(len(v) == 3 for v in recs.values())
+
+
+class TestTrainAndEvaluate:
+    def test_returns_all_ks(self):
+        g = community_graph()
+        train, held = split_edges(g, 0.3, make_rng(5))
+        metrics, cost = train_and_evaluate(train, held, ks=(5, 10), seed=0,
+                                           epochs=5)
+        assert set(metrics) == {
+            "precision@5", "recall@5", "ndcg@5",
+            "precision@10", "recall@10", "ndcg@10",
+        }
+        assert cost > 0
+
+    def test_empty_graph_scores_zero(self):
+        metrics, cost = train_and_evaluate(BipartiteGraph(2, 2), {0: {1}})
+        assert cost == 0.0
+        assert all(v == 0.0 for v in metrics.values())
+
+    def test_empty_heldout(self):
+        g = community_graph()
+        metrics = evaluate_ranking(LightGCN(epochs=2).fit(g), {}, ks=(5,))
+        assert metrics["precision@5"] == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for measures and normalization (Section 2 conventions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measures import (
+    EPSILON_FLOOR,
+    Measure,
+    MeasureSet,
+    cost_measure,
+    error_measure,
+    score_measure,
+)
+from repro.exceptions import MeasureError
+
+
+class TestMeasure:
+    def test_score_inverted(self):
+        m = score_measure("acc")
+        assert m.normalize(0.9) == pytest.approx(0.1)
+        assert m.normalize(1.0) == EPSILON_FLOOR  # clipped into (0, 1]
+
+    def test_score_with_cap(self):
+        m = score_measure("fisher", cap=4.0)
+        assert m.normalize(2.0) == pytest.approx(0.5)
+
+    def test_error_divided_by_cap(self):
+        m = error_measure("mse", cap=10.0)
+        assert m.normalize(2.5) == pytest.approx(0.25)
+        assert m.normalize(100.0) == 1.0  # clipped
+
+    def test_cost_like_example2(self):
+        # Example 2: T_train in (0, 0.5] w.r.t. an upper bound of 3600s
+        m = cost_measure("train", cap=3600.0, upper=0.5)
+        assert m.normalize(1800.0) == pytest.approx(0.5)
+        assert m.within_bounds(m.normalize(1700.0))
+        assert not m.within_bounds(m.normalize(1900.0))
+
+    def test_denormalize_inverse(self):
+        m = error_measure("e", cap=8.0)
+        assert m.denormalize(m.normalize(4.0)) == pytest.approx(4.0)
+        s = score_measure("s")
+        assert s.denormalize(s.normalize(0.7)) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(MeasureError):
+            Measure("x", kind="weird")
+        with pytest.raises(MeasureError):
+            Measure("x", cap=0.0)
+        with pytest.raises(MeasureError):
+            Measure("x", lower=0.0)  # p_l must be > 0
+        with pytest.raises(MeasureError):
+            Measure("x", lower=0.9, upper=0.5)
+
+    def test_ratio(self):
+        m = Measure("x", lower=0.1, upper=0.8)
+        assert m.ratio == pytest.approx(8.0)
+
+
+class TestMeasureSet:
+    def make(self):
+        return MeasureSet(
+            [error_measure("a", upper=0.9), error_measure("b"), score_measure("c")]
+        )
+
+    def test_decisive_is_last(self):
+        assert self.make().decisive.name == "c"
+
+    def test_grid_measures_exclude_decisive(self):
+        assert [m.name for m in self.make().grid_measures] == ["a", "b"]
+
+    def test_duplicate_names(self):
+        with pytest.raises(MeasureError):
+            MeasureSet([error_measure("a"), error_measure("a")])
+
+    def test_empty(self):
+        with pytest.raises(MeasureError):
+            MeasureSet([])
+
+    def test_normalize_raw(self):
+        ms = self.make()
+        vec = ms.normalize_raw({"a": 0.5, "b": 0.2, "c": 0.8, "extra": 99})
+        assert vec.shape == (3,)
+        assert vec[2] == pytest.approx(0.2)
+
+    def test_normalize_raw_missing(self):
+        with pytest.raises(MeasureError, match="omitted"):
+            self.make().normalize_raw({"a": 0.5})
+
+    def test_as_dict_round_trip(self):
+        ms = self.make()
+        d = ms.as_dict(np.array([0.1, 0.2, 0.3]))
+        assert d == {"a": 0.1, "b": 0.2, "c": pytest.approx(0.3)}
+        with pytest.raises(MeasureError):
+            ms.as_dict(np.array([0.1]))
+
+    def test_upper_bounds_check(self):
+        ms = self.make()
+        assert ms.within_upper_bounds(np.array([0.9, 1.0, 1.0]))
+        assert not ms.within_upper_bounds(np.array([0.91, 0.5, 0.5]))
+
+    def test_within_ranges(self):
+        ms = MeasureSet([Measure("a", kind="error", lower=0.2, upper=0.8)])
+        assert ms.within_ranges(np.array([0.5]))
+        assert not ms.within_ranges(np.array([0.1]))
+
+    def test_max_ratio(self):
+        ms = MeasureSet(
+            [Measure("a", kind="error", lower=0.1), Measure("b", kind="error", lower=0.5)]
+        )
+        assert ms.max_ratio() == pytest.approx(10.0)
+
+    def test_index_and_contains(self):
+        ms = self.make()
+        assert "b" in ms and "zz" not in ms
+        assert ms.index_of("b") == 1
+        with pytest.raises(MeasureError):
+            ms.index_of("zz")

@@ -1,0 +1,101 @@
+"""The memory-consumption cost measure (Section 2's third cost kind)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApxMODis, MeasureSet
+from repro.core.measures import cost_measure, score_measure
+from repro.datalake.tasks import make_tabular_oracle
+from repro.relational import Schema, Table
+from repro.rng import make_rng
+
+
+@pytest.fixture
+def table():
+    rng = make_rng(2)
+    n = 120
+    x = rng.normal(size=n)
+    noise = rng.normal(size=n)
+    return Table(
+        Schema.of("x", "noise", "target"),
+        {
+            "x": list(x),
+            "noise": list(noise),
+            "target": [int(v > 0) for v in x],
+        },
+        name="mem",
+    )
+
+
+def make_measures(cap):
+    return MeasureSet(
+        [score_measure("acc"), cost_measure("memory", cap=cap)]
+    )
+
+
+class TestMemoryOracle:
+    def test_memory_is_encoded_cell_count(self, table):
+        measures = make_measures(cap=1000.0)
+        oracle = make_tabular_oracle(
+            "target", "decision_tree_clf", measures, "classification",
+            split_seed=1, model_seed=2,
+        )
+        raw = oracle(table)
+        # 120 rows x (2 features + 1 target) cells
+        assert raw["memory"] == pytest.approx(120 * 3)
+
+    def test_memory_absent_when_not_requested(self, table):
+        measures = MeasureSet([score_measure("acc"),
+                               cost_measure("train_cost", cap=1e6)])
+        oracle = make_tabular_oracle(
+            "target", "decision_tree_clf", measures, "classification",
+            split_seed=1, model_seed=2,
+        )
+        assert "memory" not in oracle(table)
+
+    def test_memory_shrinks_with_reduction(self, table):
+        measures = make_measures(cap=1000.0)
+        oracle = make_tabular_oracle(
+            "target", "decision_tree_clf", measures, "classification",
+            split_seed=1, model_seed=2,
+        )
+        full = oracle(table)["memory"]
+        smaller = oracle(table.head(60))["memory"]
+        assert smaller < full
+
+    def test_degenerate_table_scores_worst_memory(self):
+        measures = make_measures(cap=1000.0)
+        oracle = make_tabular_oracle(
+            "target", "decision_tree_clf", measures, "classification",
+            split_seed=1, model_seed=2,
+        )
+        tiny = Table(Schema.of("x", "target"), {"x": [1.0], "target": [0]})
+        perf = measures.normalize_raw(oracle(tiny))
+        assert np.allclose(perf, 1.0)
+
+
+class TestMemoryInSearch:
+    def test_skyline_trades_accuracy_against_memory(self, table):
+        """With memory in P, the skyline includes smaller datasets even at
+        some accuracy cost — the measure behaves as a real objective."""
+        from repro.core.transducer import TabularSearchSpace
+        from repro.core import Configuration
+        from repro.core.estimator import OracleEstimator
+
+        measures = make_measures(cap=float(table.num_rows * 3))
+        oracle = make_tabular_oracle(
+            "target", "decision_tree_clf", measures, "classification",
+            split_seed=1, model_seed=2,
+        )
+        space = TabularSearchSpace(table, target="target", max_clusters=3)
+        config = Configuration(
+            space=space,
+            measures=measures,
+            estimator=OracleEstimator(oracle, measures),
+            oracle=oracle,
+        )
+        result = ApxMODis(config, epsilon=0.1, budget=40, max_level=3).run()
+        memories = [e.perf["memory"] for e in result.entries]
+        assert len(result.entries) >= 1
+        # at least one entry is strictly smaller than the universal table
+        assert min(memories) < 1.0

@@ -1,0 +1,143 @@
+"""Unit tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml import metrics as M
+
+
+class TestRegressionMetrics:
+    def test_mse_mae_rmse(self):
+        t, p = [1, 2, 3], [1, 2, 5]
+        assert M.mse(t, p) == pytest.approx(4 / 3)
+        assert M.mae(t, p) == pytest.approx(2 / 3)
+        assert M.rmse(t, p) == pytest.approx(np.sqrt(4 / 3))
+
+    def test_perfect_r2(self):
+        assert M.r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_prediction_r2_zero(self):
+        assert M.r2_score([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+    def test_constant_truth(self):
+        assert M.r2_score([2, 2], [2, 2]) == 1.0
+        assert M.r2_score([2, 2], [1, 3]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            M.mse([], [])
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert M.accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_precision_recall_f1_binary(self):
+        t = [1, 1, 0, 0]
+        p = [1, 0, 1, 0]
+        # per class: class 0: tp=1 fp=1 fn=1; class 1 same -> macro P=R=F=0.5
+        assert M.precision(t, p) == pytest.approx(0.5)
+        assert M.recall(t, p) == pytest.approx(0.5)
+        assert M.f1_score(t, p) == pytest.approx(0.5)
+
+    def test_micro_equals_accuracy(self):
+        t = [0, 1, 2, 1]
+        p = [0, 2, 2, 1]
+        assert M.f1_score(t, p, average="micro") == M.accuracy(t, p)
+
+    def test_unknown_average(self):
+        with pytest.raises(ModelError):
+            M.precision([0, 1], [0, 1], average="weighted")
+
+    def test_perfect_f1(self):
+        assert M.f1_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_string_labels(self):
+        assert M.accuracy(["a", "b"], ["a", "b"]) == 1.0
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert M.roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_random_is_half(self):
+        assert M.roc_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_inverted(self):
+        assert M.roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.1, 0.2]) == 0.0
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ModelError):
+            M.roc_auc([1, 1], [0.1, 0.2])
+
+    def test_multiclass_macro(self):
+        y = [0, 1, 2]
+        proba = np.eye(3)
+        assert M.multiclass_auc(y, proba, [0, 1, 2]) == 1.0
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        small = M.log_loss([0, 1], [[0.99, 0.01], [0.01, 0.99]], [0, 1])
+        big = M.log_loss([0, 1], [[0.5, 0.5], [0.5, 0.5]], [0, 1])
+        assert small < big
+
+
+class TestRankingMetrics:
+    def test_precision_at_k(self):
+        assert M.precision_at_k([1, 2, 3], {2, 3}, 2) == 0.5
+        assert M.precision_at_k([1, 2, 3], {2, 3}, 3) == pytest.approx(2 / 3)
+
+    def test_recall_at_k(self):
+        assert M.recall_at_k([1, 2, 3], {2, 9}, 3) == 0.5
+        assert M.recall_at_k([1], set(), 1) == 0.0
+
+    def test_ndcg_bounds(self):
+        assert M.ndcg_at_k([1, 2], {1, 2}, 2) == 1.0
+        assert M.ndcg_at_k([9, 8], {1, 2}, 2) == 0.0
+
+    def test_ndcg_position_sensitivity(self):
+        top = M.ndcg_at_k([1, 9], {1}, 2)
+        bottom = M.ndcg_at_k([9, 1], {1}, 2)
+        assert top > bottom
+
+    def test_k_validation(self):
+        with pytest.raises(ModelError):
+            M.precision_at_k([1], {1}, 0)
+
+    def test_mean_ranking(self):
+        assert M.mean_ranking_metric([0.5, 1.0]) == 0.75
+        with pytest.raises(ModelError):
+            M.mean_ranking_metric([])
+
+
+class TestFeatureScores:
+    def test_fisher_prefers_separating_feature(self):
+        rng = np.random.default_rng(0)
+        y = np.repeat([0, 1], 50)
+        good = np.concatenate([rng.normal(-2, 0.5, 50), rng.normal(2, 0.5, 50)])
+        bad = rng.normal(size=100)
+        scores = M.fisher_scores(np.column_stack([good, bad]), y)
+        assert scores[0] > 10 * scores[1]
+
+    def test_fisher_shape_validation(self):
+        with pytest.raises(ModelError):
+            M.fisher_scores(np.zeros(3), [0, 1, 0])
+
+    def test_mi_prefers_dependent_feature(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        good = y + 0.1 * rng.normal(size=200)
+        bad = rng.normal(size=200)
+        scores = M.mutual_information_scores(np.column_stack([good, bad]), y)
+        assert scores[0] > 3 * scores[1]
+
+    def test_aggregates_are_means(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(int)
+        assert M.fisher_score(X, y) == pytest.approx(M.fisher_scores(X, y).mean())
+        assert M.mutual_information(X, y) == pytest.approx(
+            M.mutual_information_scores(X, y).mean()
+        )

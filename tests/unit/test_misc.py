@@ -1,0 +1,78 @@
+"""Unit tests for rng, logging, and exceptions."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DataLakeError,
+    DiscoveryError,
+    EstimatorError,
+    ExpressionError,
+    JoinError,
+    MeasureError,
+    ModelError,
+    ReproError,
+    SchemaError,
+    SearchError,
+    TableError,
+)
+from repro.logging_util import enable_console_logging, get_logger
+from repro.rng import DEFAULT_SEED, derive_seed, make_rng, spawn_rng
+
+
+class TestRng:
+    def test_make_rng_default(self):
+        a = make_rng()
+        b = make_rng(DEFAULT_SEED)
+        assert a.random() == b.random()
+
+    def test_make_rng_passthrough(self):
+        rng = make_rng(3)
+        assert make_rng(rng) is rng
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_spawn_rng_reproducible(self):
+        a = spawn_rng(1, "x", 2).random(3)
+        b = spawn_rng(1, "x", 2).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.ml").name == "repro.ml"
+
+    def test_console_handler_idempotent(self):
+        h1 = enable_console_logging(logging.WARNING)
+        h2 = enable_console_logging(logging.INFO)
+        assert h1 is h2
+        get_logger().handlers.remove(h1)
+
+
+class TestExceptions:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            TableError,
+            ExpressionError,
+            JoinError,
+            ModelError,
+            EstimatorError,
+            MeasureError,
+            SearchError,
+            DiscoveryError,
+            DataLakeError,
+        ],
+    )
+    def test_hierarchy(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")

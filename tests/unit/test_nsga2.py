@@ -1,0 +1,107 @@
+"""Unit tests for the NSGA-II comparator (Section 5.4 Remarks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.nsga2 import (
+    NSGAIIMODis,
+    crowding_distance,
+    non_dominated_sort,
+)
+from repro.core.config import Configuration
+from repro.core.dominance import dominates
+from repro.core.estimator import OracleEstimator
+from repro.exceptions import SearchError
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+def make_config(width=6):
+    space = ToySpace(width=width)
+    measures = two_measure_set()
+    oracle = linear_toy_oracle(width)
+    return Configuration(
+        space=space,
+        measures=measures,
+        estimator=OracleEstimator(oracle, measures),
+        oracle=oracle,
+    )
+
+
+class TestNonDominatedSort:
+    def test_fronts_partition_population(self):
+        rng = np.random.default_rng(0)
+        perfs = rng.random((30, 3))
+        fronts = non_dominated_sort(perfs)
+        flat = [i for front in fronts for i in front]
+        assert sorted(flat) == list(range(30))
+
+    def test_first_front_is_pareto(self):
+        rng = np.random.default_rng(1)
+        perfs = rng.random((25, 2))
+        first = set(non_dominated_sort(perfs)[0])
+        for i in range(25):
+            nondominated = not any(
+                dominates(perfs[j], perfs[i]) for j in range(25)
+            )
+            assert (i in first) == nondominated
+
+    def test_later_fronts_dominated_by_earlier(self):
+        rng = np.random.default_rng(2)
+        perfs = rng.random((20, 2))
+        fronts = non_dominated_sort(perfs)
+        for r in range(1, len(fronts)):
+            for i in fronts[r]:
+                assert any(
+                    dominates(perfs[j], perfs[i]) for j in fronts[r - 1]
+                )
+
+
+class TestCrowdingDistance:
+    def test_boundary_points_infinite(self):
+        perfs = np.array([[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]])
+        distances = crowding_distance(perfs, [0, 1, 2])
+        assert distances[0] == float("inf")
+        assert distances[2] == float("inf")
+        assert np.isfinite(distances[1])
+
+    def test_small_front_all_infinite(self):
+        perfs = np.array([[0.1, 0.9], [0.9, 0.1]])
+        distances = crowding_distance(perfs, [0, 1])
+        assert all(v == float("inf") for v in distances.values())
+
+
+class TestNSGAII:
+    def test_produces_nondominated_set(self):
+        algo = NSGAIIMODis(make_config(), budget=300, population=12,
+                           generations=4, seed=0)
+        result = algo.run(verify=False)
+        assert len(result) >= 1
+        perfs = result.perf_matrix()
+        for i in range(len(perfs)):
+            for j in range(len(perfs)):
+                if i != j:
+                    assert not dominates(perfs[i], perfs[j])
+
+    def test_respects_budget(self):
+        algo = NSGAIIMODis(make_config(), budget=30, population=10,
+                           generations=50, seed=0)
+        result = algo.run(verify=False)
+        assert result.report.n_valuated <= 30 + 10  # one generation overshoot
+        assert result.report.terminated_by == "budget"
+
+    def test_deterministic(self):
+        a = NSGAIIMODis(make_config(), budget=120, population=10,
+                        generations=3, seed=5).run(verify=False)
+        b = NSGAIIMODis(make_config(), budget=120, population=10,
+                        generations=3, seed=5).run(verify=False)
+        assert [e.bits for e in a.entries] == [e.bits for e in b.entries]
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            NSGAIIMODis(make_config(), population=2)
+
+    def test_registered(self):
+        from repro.core.algorithms import ALGORITHMS
+
+        assert ALGORITHMS["nsga2"] is NSGAIIMODis

@@ -1,0 +1,60 @@
+"""Narrative provenance: reconstructing the operator path to a state."""
+
+import pytest
+
+from repro.core import ApxMODis, Configuration
+from repro.core.estimator import OracleEstimator
+from repro.exceptions import SearchError
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+@pytest.fixture
+def finished_run():
+    width = 5
+    measures = two_measure_set()
+    oracle = linear_toy_oracle(width)
+    config = Configuration(
+        space=ToySpace(width=width),
+        measures=measures,
+        estimator=OracleEstimator(oracle, measures),
+        oracle=oracle,
+    )
+    algo = ApxMODis(config, epsilon=0.2, budget=25, max_level=4)
+    result = algo.run(verify=False)
+    return algo, result
+
+
+class TestPathTo:
+    def test_path_starts_at_universal(self, finished_run):
+        algo, result = finished_run
+        universal = algo.config.space.universal_bits
+        for entry in result.entries:
+            path = algo.graph.path_to(entry.bits)
+            assert path[0][0] == universal
+            assert path[-1][0] == entry.bits
+
+    def test_consecutive_states_differ_by_one_flip(self, finished_run):
+        algo, result = finished_run
+        for entry in result.entries:
+            path = algo.graph.path_to(entry.bits)
+            for (a, _), (b, _) in zip(path, path[1:]):
+                assert (a ^ b).bit_count() == 1
+
+    def test_path_ops_are_reductions(self, finished_run):
+        algo, result = finished_run
+        for entry in result.entries:
+            path = algo.graph.path_to(entry.bits)
+            for _, op in path[1:]:
+                assert op.startswith("⊖")
+
+    def test_path_length_bounded_by_level(self, finished_run):
+        algo, result = finished_run
+        for entry in result.entries:
+            path = algo.graph.path_to(entry.bits)
+            assert len(path) - 1 == entry.state.level
+
+    def test_unknown_state_raises(self, finished_run):
+        algo, _ = finished_run
+        with pytest.raises(SearchError, match="not in the running graph"):
+            algo.graph.path_to(0)

@@ -1,0 +1,118 @@
+"""Unit tests for TableEncoder and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, SchemaError
+from repro.ml.preprocessing import TableEncoder, one_hot, split_table, train_test_split
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+from tests.helpers import small_table
+
+
+def make_table():
+    return Table(
+        Schema.of("num", ("cat", "categorical"), ("label", "categorical")),
+        {
+            "num": [1.0, 2.0, None, 4.0],
+            "cat": ["x", "y", "x", None],
+            "label": ["p", "q", "p", "q"],
+        },
+    )
+
+
+class TestTableEncoder:
+    def test_shapes(self):
+        X, y = TableEncoder(target="label").fit_transform(make_table())
+        assert X.shape == (4, 2)
+        assert y.shape == (4,)
+
+    def test_numeric_standardized(self):
+        X, _ = TableEncoder(target="label").fit_transform(make_table())
+        assert abs(X[:, 0].mean()) < 1e-9
+
+    def test_null_numeric_imputed_with_mean(self):
+        enc = TableEncoder(target="label", standardize=False)
+        X, _ = enc.fit_transform(make_table())
+        assert X[2, 0] == pytest.approx(np.mean([1, 2, 4]))
+
+    def test_categorical_codes_stable(self):
+        enc = TableEncoder(target="label")
+        X, _ = enc.fit_transform(make_table())
+        assert X[0, 1] != X[1, 1]  # x vs y differ
+
+    def test_unknown_category_maps_to_minus_one(self):
+        enc = TableEncoder(target="label", standardize=False)
+        enc.fit(make_table())
+        other = make_table().replace_column("cat", ["zzz"] * 4)
+        X, _ = enc.transform(other)
+        assert (X[:, 1] == -1).all()
+
+    def test_missing_feature_column_imputed(self):
+        enc = TableEncoder(target="label", standardize=False)
+        enc.fit(make_table())
+        reduced = make_table().drop_columns(["num"])
+        X, _ = enc.transform(reduced)
+        assert X.shape[1] == 2  # dimensionality preserved
+        assert np.allclose(X[:, 0], np.mean([1, 2, 4]))
+
+    def test_null_target_rows_dropped(self):
+        t = make_table().replace_column("label", ["p", None, "p", "q"])
+        X, y = TableEncoder(target="label").fit_transform(t)
+        assert X.shape[0] == 3
+
+    def test_categorical_target_codes(self):
+        enc = TableEncoder(target="label")
+        _, y = enc.fit_transform(make_table())
+        assert set(y) == {0.0, 1.0}
+        assert enc.decode_target([0, 1]) == ["p", "q"]
+
+    def test_numeric_target(self):
+        enc = TableEncoder(target="y")
+        X, y = enc.fit_transform(small_table())
+        assert y.tolist() == [10, 20, 30, 40, 50, 60]
+        with pytest.raises(ModelError):
+            enc.decode_target([0])
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SchemaError):
+            TableEncoder(target="nope").fit(make_table())
+
+    def test_transform_before_fit(self):
+        with pytest.raises(ModelError):
+            TableEncoder(target="label").transform(make_table())
+
+
+class TestSplits:
+    def test_train_test_split_sizes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, 0.25, seed=0)
+        assert len(X_te) == 5 and len(X_tr) == 15
+        assert set(y_tr) | set(y_te) == set(range(20))
+
+    def test_split_deterministic(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        a = train_test_split(X, y, 0.3, seed=7)[3]
+        b = train_test_split(X, y, 0.3, seed=7)[3]
+        assert np.array_equal(a, b)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ModelError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 0.0)
+
+    def test_split_table(self):
+        train, test = split_table(small_table(), 0.33, seed=0)
+        assert train.num_rows + test.num_rows == 6
+        assert test.num_rows == 2
+
+    def test_split_table_too_small(self):
+        with pytest.raises(ModelError):
+            split_table(small_table().head(1))
+
+    def test_one_hot(self):
+        out = one_hot([0, 2, 1], 3)
+        assert out.shape == (3, 3)
+        assert out[1, 2] == 1.0 and out[1].sum() == 1.0

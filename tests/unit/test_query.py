@@ -1,0 +1,91 @@
+"""Unit tests for the public SkylineQuery / discover API."""
+
+import pytest
+
+from repro import SkylineQuery, discover, query_to_task
+from repro.core.measures import MeasureSet, cost_measure, score_measure
+from repro.exceptions import SearchError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.rng import make_rng
+
+
+def sources(n=120, seed=0):
+    rng = make_rng(seed)
+    x1 = rng.normal(size=n)
+    x2 = rng.normal(size=n)
+    segment = rng.integers(0, 3, size=n)
+    y = x1 + 0.5 * x2 + 0.2 * rng.normal(size=n)
+    y[segment == 2] += rng.normal(scale=3.0, size=(segment == 2).sum())
+    labels = ["hi" if v > 0 else "lo" for v in y]
+    base = Table(
+        Schema.of("k", "seg", ("label", "categorical")),
+        {"k": list(range(n)), "seg": [int(s) for s in segment], "label": labels},
+        name="base",
+    )
+    feats = Table(
+        Schema.of("k", "x1", "x2"),
+        {"k": list(range(n)), "x1": x1.tolist(), "x2": x2.tolist()},
+        name="feats",
+    )
+    return [base, feats]
+
+
+def measures():
+    return MeasureSet([cost_measure("train_cost", cap=1.0), score_measure("acc")])
+
+
+class TestSkylineQuery:
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            SkylineQuery(sources=[], target="label", model="decision_tree_clf",
+                         measures=measures())
+        with pytest.raises(SearchError):
+            SkylineQuery(sources=sources(), target="nope",
+                         model="decision_tree_clf", measures=measures())
+        with pytest.raises(SearchError):
+            SkylineQuery(sources=sources(), target="label",
+                         model="decision_tree_clf", measures=measures(),
+                         task_kind="clustering")
+
+    def test_query_to_task_calibrates_cost(self):
+        query = SkylineQuery(
+            sources=sources(),
+            target="label",
+            model="decision_tree_clf",
+            task_kind="classification",
+            measures=measures(),
+        )
+        task = query_to_task(query)
+        assert task.measures["train_cost"].cap > 1.0  # calibrated
+        assert task.cost_per_cell > 0
+        raw = task.original_performance()
+        assert 0 <= raw["acc"] <= 1
+
+
+class TestDiscover:
+    def test_end_to_end_small(self):
+        query = SkylineQuery(
+            sources=sources(),
+            target="label",
+            model="decision_tree_clf",
+            task_kind="classification",
+            measures=measures(),
+            max_clusters=3,
+        )
+        result = discover(
+            query, algorithm="apx", epsilon=0.3, budget=25, max_level=2,
+            estimator="oracle",
+        )
+        assert len(result) >= 1
+        assert result.report.n_valuated <= 25
+        for entry in result:
+            assert set(entry.perf) == {"train_cost", "acc"}
+
+    def test_unknown_algorithm(self):
+        query = SkylineQuery(
+            sources=sources(), target="label", model="decision_tree_clf",
+            task_kind="classification", measures=measures(),
+        )
+        with pytest.raises(SearchError, match="unknown algorithm"):
+            discover(query, algorithm="quantum")

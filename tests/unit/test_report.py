@@ -1,0 +1,83 @@
+"""Unit tests for result persistence (repro.report)."""
+
+import pytest
+
+from repro.core import ApxMODis
+from repro.core.config import Configuration
+from repro.core.estimator import OracleEstimator
+from repro.exceptions import ReproError
+from repro.report import load_report, save_result
+from repro.relational.csvio import read_csv
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+def tabular_result(task):
+    config = task.build_config(estimator="oracle")
+    return ApxMODis(config, epsilon=0.3, budget=15, max_level=2).run(
+        verify=False
+    ), task.space
+
+
+class TestSaveTabular:
+    def test_round_trip(self, tmp_path, task_t3):
+        result, space = tabular_result(task_t3)
+        report_path = save_result(result, space, tmp_path)
+        assert report_path.exists()
+        report = load_report(tmp_path)
+        assert report["algorithm"] == "ApxMODis"
+        assert report["measures"] == list(task_t3.measures.names)
+        assert len(report["entries"]) == len(result)
+        for meta in report["entries"]:
+            table = read_csv(tmp_path / meta["file"])
+            assert (table.num_rows, table.num_columns) == tuple(
+                meta["output_size"]
+            )
+
+    def test_overwrites_cleanly(self, tmp_path, task_t3):
+        result, space = tabular_result(task_t3)
+        save_result(result, space, tmp_path)
+        save_result(result, space, tmp_path)  # second write must not fail
+
+    def test_entries_carry_operator_paths(self, tmp_path, task_t3):
+        result, space = tabular_result(task_t3)
+        save_result(result, space, tmp_path)
+        report = load_report(tmp_path)
+        for meta in report["entries"]:
+            assert meta["path"][0] == "s_U"
+            for op in meta["path"][1:]:
+                assert op.startswith("⊖")
+        assert load_report(tmp_path)["n_valuated"] == result.report.n_valuated
+
+
+class TestSaveGraph:
+    def test_graph_entries_as_edge_lists(self, tmp_path, task_t5):
+        config = task_t5.build_config(estimator="mogb", n_bootstrap=8)
+        result = ApxMODis(config, epsilon=0.3, budget=12, max_level=2).run(
+            verify=False
+        )
+        save_result(result, task_t5.space, tmp_path)
+        report = load_report(tmp_path)
+        for meta in report["entries"]:
+            assert meta["file"].endswith(".edges.csv")
+            content = (tmp_path / meta["file"]).read_text().splitlines()
+            assert content[0].startswith("user,item")
+            assert len(content) - 1 == meta["output_size"][0]
+
+
+class TestErrors:
+    def test_missing_report(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_report(tmp_path)
+
+    def test_unpersistable_artifact(self, tmp_path):
+        config = Configuration(
+            space=ToySpace(width=4),
+            measures=two_measure_set(),
+            estimator=OracleEstimator(linear_toy_oracle(4), two_measure_set()),
+        )
+        result = ApxMODis(config, epsilon=0.3, budget=8, max_level=2).run(
+            verify=False
+        )
+        with pytest.raises(ReproError, match="cannot persist"):
+            save_result(result, config.space, tmp_path)  # artifacts are ints

@@ -1,0 +1,124 @@
+"""Unit tests for the scalarized Q-learning comparator (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.rl import RLMODis
+from repro.core.config import Configuration
+from repro.core.dominance import dominates
+from repro.core.estimator import OracleEstimator
+from repro.exceptions import SearchError
+
+from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+
+def make_config(width=6):
+    space = ToySpace(width=width)
+    measures = two_measure_set()
+    oracle = linear_toy_oracle(width)
+    return Configuration(
+        space=space,
+        measures=measures,
+        estimator=OracleEstimator(oracle, measures),
+        oracle=oracle,
+    )
+
+
+class TestPolicies:
+    def test_weights_on_simplex(self):
+        algo = RLMODis(make_config(), n_policies=5, seed=0)
+        assert algo.weights.shape == (5, 2)
+        assert np.allclose(algo.weights.sum(axis=1), 1.0)
+        assert (algo.weights >= 0).all()
+
+    def test_first_policy_uniform(self):
+        algo = RLMODis(make_config(), n_policies=3, seed=0)
+        assert np.allclose(algo.weights[0], [0.5, 0.5])
+
+    def test_policies_disagree(self):
+        algo = RLMODis(make_config(), n_policies=4, seed=0)
+        assert not np.allclose(algo.weights[1], algo.weights[2])
+
+    def test_scalarization(self):
+        algo = RLMODis(make_config(), n_policies=1, seed=0)
+        perf = np.array([0.2, 0.8])
+        assert algo._scalar(0, perf) == pytest.approx(0.5)
+
+
+class TestSearch:
+    def test_produces_nondominated_set(self):
+        algo = RLMODis(make_config(), budget=200, episodes=20, seed=0)
+        result = algo.run(verify=False)
+        assert len(result) >= 1
+        perfs = result.perf_matrix()
+        for i in range(len(perfs)):
+            for j in range(len(perfs)):
+                if i != j:
+                    assert not dominates(perfs[i], perfs[j])
+
+    def test_respects_budget(self):
+        algo = RLMODis(make_config(), budget=15, episodes=100, seed=0)
+        result = algo.run(verify=False)
+        assert result.report.n_valuated <= 15
+        assert result.report.terminated_by == "budget"
+
+    def test_covers_valuated_states(self):
+        """The output ε-grid covers every state the agent valuated."""
+        algo = RLMODis(make_config(), epsilon=0.2, budget=120,
+                       episodes=12, seed=3)
+        algo.run(verify=False)
+        for state in algo.graph.states.values():
+            if state.perf is not None:
+                assert algo.grid.covers(state.perf)
+
+    def test_deterministic(self):
+        a = RLMODis(make_config(), budget=100, episodes=10, seed=7)
+        b = RLMODis(make_config(), budget=100, episodes=10, seed=7)
+        ra, rb = a.run(verify=False), b.run(verify=False)
+        assert [e.bits for e in ra.entries] == [e.bits for e in rb.entries]
+        assert a.q_table_sizes == b.q_table_sizes
+
+    def test_learning_accumulates_q_entries(self):
+        algo = RLMODis(make_config(), budget=150, episodes=15, seed=0)
+        algo.run(verify=False)
+        assert sum(algo.q_table_sizes) > 0
+
+    def test_greedy_improves_on_toy_tradeoff(self):
+        """With a weight fully on m0 (which rewards clearing bits), the
+        learned policy should discover states better than the start."""
+        config = make_config()
+        algo = RLMODis(config, budget=250, episodes=30, n_policies=1,
+                       explore=0.3, seed=1)
+        # Force the single policy to care only about m0.
+        algo.weights = np.array([[1.0, 0.0]])
+        result = algo.run(verify=False)
+        start_perf = config.oracle(config.space.universal_bits)["m0"]
+        best = min(e.perf["m0"] for e in result.entries)
+        assert best < start_perf
+
+    def test_transitions_recorded(self):
+        algo = RLMODis(make_config(), budget=60, episodes=6, seed=0)
+        algo.run(verify=False)
+        assert algo.graph.transitions
+        for tr in algo.graph.transitions:
+            assert (tr.parent_bits ^ tr.child_bits).bit_count() == 1
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        config = make_config()
+        with pytest.raises(SearchError):
+            RLMODis(config, n_policies=0)
+        with pytest.raises(SearchError):
+            RLMODis(config, episodes=0)
+        with pytest.raises(SearchError):
+            RLMODis(config, alpha=0.0)
+        with pytest.raises(SearchError):
+            RLMODis(config, gamma=1.5)
+        with pytest.raises(SearchError):
+            RLMODis(config, explore=-0.1)
+
+    def test_registered(self):
+        from repro.core.algorithms import ALGORITHMS
+
+        assert ALGORITHMS["rl"] is RLMODis

@@ -1,0 +1,107 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import (
+    Attribute,
+    CATEGORICAL,
+    NUMERIC,
+    Schema,
+    universal_schema,
+)
+
+
+class TestAttribute:
+    def test_defaults_numeric(self):
+        assert Attribute("x").dtype == NUMERIC
+        assert Attribute("x").is_numeric
+        assert not Attribute("x").is_categorical
+
+    def test_categorical(self):
+        attr = Attribute("c", CATEGORICAL)
+        assert attr.is_categorical
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "integerish")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Attribute("x").name = "y"
+
+
+class TestSchema:
+    def test_of_terse_specs(self):
+        schema = Schema.of("a", ("b", CATEGORICAL), Attribute("c"))
+        assert schema.names == ("a", "b", "c")
+        assert schema["b"].is_categorical
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of("a", "a")
+
+    def test_contains_and_getitem(self):
+        schema = Schema.of("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema["z"]
+
+    def test_index_of(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.index_of("c") == 2
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+    def test_project_preserves_requested_order(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_drop(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.drop(["b"]).names == ("a", "c")
+        with pytest.raises(SchemaError):
+            schema.drop(["zz"])
+
+    def test_union_dedupes_and_orders(self):
+        left = Schema.of("a", "b")
+        right = Schema.of("b", "c")
+        assert left.union(right).names == ("a", "b", "c")
+
+    def test_union_conflicting_dtypes(self):
+        left = Schema.of(("a", NUMERIC))
+        right = Schema.of(("a", CATEGORICAL))
+        with pytest.raises(SchemaError, match="conflicting"):
+            left.union(right)
+
+    def test_intersect_names(self):
+        left = Schema.of("a", "b", "c")
+        right = Schema.of("c", "b")
+        assert left.intersect_names(right) == ("b", "c")
+
+    def test_rename(self):
+        schema = Schema.of("a", "b")
+        renamed = schema.rename({"a": "alpha"})
+        assert renamed.names == ("alpha", "b")
+        with pytest.raises(SchemaError):
+            schema.rename({"zz": "q"})
+
+    def test_equality_and_hash(self):
+        assert Schema.of("a", "b") == Schema.of("a", "b")
+        assert Schema.of("a") != Schema.of("b")
+        assert hash(Schema.of("a", "b")) == hash(Schema.of("a", "b"))
+
+
+class TestUniversalSchema:
+    def test_union_of_many(self):
+        schemas = [Schema.of("k", "a"), Schema.of("k", "b"), Schema.of("c")]
+        assert universal_schema(schemas).names == ("k", "a", "b", "c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            universal_schema([])

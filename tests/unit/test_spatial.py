@@ -1,0 +1,291 @@
+"""Spatial joins (Example 3's tuple-level similarity augmentation)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import JoinError, SchemaError
+from repro.relational import (
+    GridIndex,
+    Schema,
+    Table,
+    euclidean_distance,
+    haversine_distance,
+    nearest_join,
+    spatial_augment,
+    spatial_join,
+)
+
+
+def make_points_table(points, name="pts", extra=None):
+    """points: (x, y) or (x, y, extra) tuples; extra defaults to x."""
+    schema = Schema.of("x", "y") if extra is None else Schema.of("x", "y", extra)
+    cols = {
+        "x": [p[0] for p in points],
+        "y": [p[1] for p in points],
+    }
+    if extra is not None:
+        cols[extra] = [p[2] if len(p) > 2 else p[0] for p in points]
+    return Table(schema, cols, name=name)
+
+
+class TestDistances:
+    def test_euclidean_basics(self):
+        assert euclidean_distance(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_euclidean_zero(self):
+        assert euclidean_distance(1.5, -2.5, 1.5, -2.5) == 0.0
+
+    def test_haversine_equator_degree(self):
+        # One degree of longitude at the equator is ~111.2 km.
+        d = haversine_distance(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(111.2, rel=0.01)
+
+    def test_haversine_symmetric(self):
+        a = haversine_distance(-81.7, 41.5, -81.6, 41.4)  # around Cleveland
+        b = haversine_distance(-81.6, 41.4, -81.7, 41.5)
+        assert a == pytest.approx(b)
+
+    def test_haversine_antipodal_is_half_circumference(self):
+        d = haversine_distance(0.0, 0.0, 180.0, 0.0)
+        assert d == pytest.approx(math.pi * 6371.0088, rel=1e-6)
+
+
+class TestGridIndex:
+    def test_radius_query_finds_neighbours(self):
+        index = GridIndex([(0, 0), (1, 0), (5, 5)], cell_size=1.0)
+        assert index.query_radius((0.1, 0.0), 1.0) == [0, 1]
+
+    def test_radius_query_is_inclusive(self):
+        index = GridIndex([(2.0, 0.0)], cell_size=1.0)
+        assert index.query_radius((0.0, 0.0), 2.0) == [0]
+
+    def test_radius_query_excludes_far_points(self):
+        index = GridIndex([(10, 10)], cell_size=1.0)
+        assert index.query_radius((0, 0), 3.0) == []
+
+    def test_none_points_are_skipped(self):
+        index = GridIndex([None, (0, 0), None], cell_size=1.0)
+        assert index.num_points == 1
+        assert index.query_radius((0, 0), 0.5) == [1]
+
+    def test_nearest_returns_closest_first(self):
+        index = GridIndex([(5, 0), (1, 0), (3, 0)], cell_size=1.0)
+        hits = index.nearest((0, 0), k=2)
+        assert [i for i, _ in hits] == [1, 2]
+        assert hits[0][1] == pytest.approx(1.0)
+
+    def test_nearest_k_larger_than_population(self):
+        index = GridIndex([(1, 1)], cell_size=1.0)
+        assert len(index.nearest((0, 0), k=5)) == 1
+
+    def test_nearest_respects_max_radius(self):
+        index = GridIndex([(4, 0)], cell_size=1.0)
+        assert index.nearest((0, 0), k=1, max_radius=2.0) == []
+
+    def test_nearest_on_empty_index(self):
+        index = GridIndex([None, None], cell_size=1.0)
+        assert index.nearest((0, 0), k=1) == []
+
+    def test_nearest_crosses_many_rings(self):
+        # Nearest point is 9 cells away: the ring expansion must reach it.
+        index = GridIndex([(9.0, 0.0)], cell_size=1.0)
+        hits = index.nearest((0.0, 0.0), k=1)
+        assert hits == [(0, pytest.approx(9.0))]
+
+    def test_nearest_matches_brute_force(self):
+        points = [(i * 0.7 % 5, (i * 1.3) % 7) for i in range(40)]
+        index = GridIndex(points, cell_size=0.9)
+        query = (2.2, 3.3)
+        brute = sorted(
+            range(len(points)),
+            key=lambda i: (euclidean_distance(*query, *points[i]), i),
+        )[:3]
+        assert [i for i, _ in index.nearest(query, k=3)] == brute
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(JoinError):
+            GridIndex([(0, 0)], cell_size=0.0)
+
+    def test_negative_radius(self):
+        index = GridIndex([(0, 0)], cell_size=1.0)
+        with pytest.raises(JoinError):
+            index.query_radius((0, 0), -1.0)
+
+    def test_bad_k(self):
+        index = GridIndex([(0, 0)], cell_size=1.0)
+        with pytest.raises(JoinError):
+            index.nearest((0, 0), k=0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(JoinError):
+            GridIndex([(0, 0)], cell_size=1.0, metric="manhattan")
+
+
+class TestSpatialJoin:
+    def test_pairs_within_radius(self):
+        left = make_points_table([(0, 0), (10, 10)], extra="a")
+        right = make_points_table([(0.5, 0), (10.2, 10.0)], extra="b")
+        out = spatial_join(left, right, ("x", "y"), radius=1.0)
+        assert out.num_rows == 2
+        pairs = {(row["a"], row["b"]) for row in out.rows()}
+        assert pairs == {(0, 0.5), (10, 10.2)}  # extras are x-values here
+
+    def test_no_matches_yields_empty(self):
+        left = make_points_table([(0, 0)])
+        right = make_points_table([(100, 100)])
+        out = spatial_join(left, right, ("x", "y"), radius=1.0)
+        assert out.num_rows == 0
+
+    def test_collision_suffix(self):
+        left = make_points_table([(0, 0)])
+        right = make_points_table([(0.1, 0.1)])
+        out = spatial_join(left, right, ("x", "y"), radius=1.0)
+        assert set(out.schema.names) == {"x", "y", "x_r", "y_r"}
+
+    def test_distance_column(self):
+        left = make_points_table([(0, 0)])
+        right = make_points_table([(3, 4)])
+        out = spatial_join(
+            left, right, ("x", "y"), radius=10.0, distance_as="dist"
+        )
+        assert out.column("dist") == [pytest.approx(5.0)]
+
+    def test_null_coordinates_never_match(self):
+        left = Table(Schema.of("x", "y"), {"x": [None, 0.0], "y": [0.0, 0.0]})
+        right = make_points_table([(0, 0)])
+        out = spatial_join(left, right, ("x", "y"), radius=5.0)
+        assert out.num_rows == 1
+
+    def test_one_to_many(self):
+        left = make_points_table([(0, 0)])
+        right = make_points_table([(0.1, 0), (0, 0.1), (0.2, 0.2)])
+        out = spatial_join(left, right, ("x", "y"), radius=1.0)
+        assert out.num_rows == 3
+
+    def test_categorical_coordinates_rejected(self):
+        left = Table(
+            Schema.of(("x", "categorical"), "y"), {"x": ["a"], "y": [0.0]}
+        )
+        right = make_points_table([(0, 0)])
+        with pytest.raises(SchemaError):
+            spatial_join(left, right, ("x", "y"), radius=1.0)
+
+    def test_haversine_join(self):
+        # Stations ~15.6 km apart: joined at 20 km, not at 10 km.
+        left = Table(
+            Schema.of("lon", "lat"), {"lon": [-81.70], "lat": [41.50]}
+        )
+        right = Table(
+            Schema.of("lon", "lat"), {"lon": [-81.60], "lat": [41.38]}
+        )
+        near = spatial_join(
+            left, right, ("lon", "lat"), radius=20.0, metric="haversine"
+        )
+        far = spatial_join(
+            left, right, ("lon", "lat"), radius=10.0, metric="haversine"
+        )
+        assert near.num_rows == 1
+        assert far.num_rows == 0
+
+    def test_separate_coordinate_names(self):
+        left = Table(Schema.of("px", "py"), {"px": [0.0], "py": [0.0]})
+        right = Table(Schema.of("qx", "qy"), {"qx": [0.5], "qy": [0.0]})
+        out = spatial_join(
+            left, right, ("px", "py"), right_coords=("qx", "qy"), radius=1.0
+        )
+        assert out.num_rows == 1
+
+
+class TestNearestJoin:
+    def test_each_left_row_gets_nearest(self):
+        left = make_points_table([(0, 0), (10, 0)], extra="tag")
+        right = make_points_table([(1, 0), (9, 0)], extra="val")
+        out = nearest_join(left, right, ("x", "y"), distance_as="d")
+        assert out.num_rows == 2
+        by_tag = {row["tag"]: row for row in out.rows()}
+        assert by_tag[0]["val"] == 1  # extra column holds x-values
+        assert by_tag[10]["val"] == 9
+        assert by_tag[0]["d"] == pytest.approx(1.0)
+
+    def test_k_nearest(self):
+        left = make_points_table([(0, 0)])
+        right = make_points_table([(1, 0), (2, 0), (3, 0)])
+        out = nearest_join(left, right, ("x", "y"), k=2)
+        assert out.num_rows == 2
+        assert sorted(out.column("x_r")) == [1, 2]
+
+    def test_max_radius_drops_unmatched(self):
+        left = make_points_table([(0, 0), (100, 100)])
+        right = make_points_table([(1, 0)])
+        out = nearest_join(left, right, ("x", "y"), max_radius=5.0)
+        assert out.num_rows == 1
+
+    def test_null_left_coordinates_dropped(self):
+        left = Table(Schema.of("x", "y"), {"x": [None], "y": [0.0]})
+        right = make_points_table([(0, 0)])
+        out = nearest_join(left, right, ("x", "y"))
+        assert out.num_rows == 0
+
+
+class TestSpatialAugment:
+    def test_keeps_all_base_rows(self):
+        base = make_points_table([(0, 0), (50, 50)], extra="id")
+        other = make_points_table([(0.5, 0)], extra="chem")
+        out = spatial_augment(base, other, ("x", "y"), radius=2.0)
+        assert out.num_rows == 2
+
+    def test_fills_null_where_nothing_near(self):
+        base = make_points_table([(0, 0), (50, 50)], extra="id")
+        other = make_points_table([(0.5, 0)], extra="chem")
+        out = spatial_augment(base, other, ("x", "y"), radius=2.0)
+        rows = {row["id"]: row for row in out.rows()}
+        assert rows[0]["chem"] == 0.5
+        assert rows[50]["chem"] is None
+
+    def test_null_base_coordinates_survive_unmatched(self):
+        base = Table(Schema.of("x", "y"), {"x": [None], "y": [1.0]})
+        other = make_points_table([(0, 1)], extra="chem")
+        out = spatial_augment(base, other, ("x", "y"), radius=10.0)
+        assert out.num_rows == 1
+        assert out.column("chem") == [None]
+
+    def test_augment_widens_schema(self):
+        base = make_points_table([(0, 0)])
+        other = make_points_table([(0, 0)], extra="nitrogen")
+        out = spatial_augment(base, other, ("x", "y"), radius=1.0)
+        assert "nitrogen" in out.schema
+        assert "x_r" in out.schema
+
+    def test_nearest_of_several_wins(self):
+        base = make_points_table([(0, 0)])
+        other = make_points_table([(2, 0), (1, 0)], extra="v")
+        out = spatial_augment(base, other, ("x", "y"), radius=5.0)
+        assert out.column("v") == [1]
+
+    def test_example3_watershed_scenario(self):
+        """Example 3's shape: water-quality stations augmented with the
+        nearest basin's phosphorus reading within the join radius."""
+        water = Table(
+            Schema.of("lon", "lat", "turbidity"),
+            {
+                "lon": [-81.70, -81.10, -80.50],
+                "lat": [41.50, 41.40, 41.90],
+                "turbidity": [3.2, 5.1, 2.4],
+            },
+            name="D_w",
+        )
+        basin = Table(
+            Schema.of("lon", "lat", "phosphorus"),
+            {"lon": [-81.68, -80.52], "lat": [41.52, 41.88],
+             "phosphorus": [0.9, 0.2]},
+            name="D_P",
+        )
+        out = spatial_augment(
+            water, basin, ("lon", "lat"), radius=10.0, metric="haversine"
+        )
+        assert out.num_rows == 3
+        values = dict(zip(out.column("turbidity"), out.column("phosphorus")))
+        assert values[3.2] == 0.9   # station near the first basin outlet
+        assert values[2.4] == 0.2   # station near the second
+        assert values[5.1] is None  # mid-lake station: nothing within 10 km

@@ -1,0 +1,205 @@
+"""Aggregates, GROUP BY, and HAVING in the SPJ engine."""
+
+import pytest
+
+from repro.exceptions import SQLError
+from repro.relational import Schema, Table
+from repro.sql import Catalog, parse, query
+from repro.sql import nodes as N
+
+
+@pytest.fixture
+def sales():
+    return Table(
+        Schema.of(("region", "categorical"), "amount", "year"),
+        {
+            "region": ["east", "east", "west", "west", "west", None],
+            "amount": [10.0, 20.0, 5.0, None, 15.0, 7.0],
+            "year": [2020, 2021, 2020, 2021, 2021, 2020],
+        },
+        name="sales",
+    )
+
+
+@pytest.fixture
+def catalog(sales):
+    return Catalog({"sales": sales})
+
+
+class TestParsing:
+    def test_count_star(self):
+        node = parse("SELECT COUNT(*) FROM t")
+        agg = node.items[0].expr
+        assert agg == N.Aggregate("COUNT", operand=None)
+
+    def test_count_distinct(self):
+        node = parse("SELECT COUNT(DISTINCT a) FROM t")
+        agg = node.items[0].expr
+        assert agg.func == "COUNT"
+        assert agg.distinct is True
+
+    def test_group_by_and_having(self):
+        node = parse(
+            "SELECT a, SUM(b) FROM t GROUP BY a HAVING COUNT(*) > 1"
+        )
+        assert len(node.group_by) == 1
+        assert node.having is not None
+
+    def test_all_aggregate_functions_parse(self):
+        for func in ("SUM", "AVG", "MIN", "MAX", "COUNT"):
+            node = parse(f"SELECT {func}(x) FROM t")
+            assert node.items[0].expr.func == func
+
+
+class TestWholeTableAggregates:
+    def test_count_star_counts_rows(self, catalog):
+        out = query("SELECT COUNT(*) FROM sales", catalog)
+        assert out.row(0) == {"count": 6}
+
+    def test_count_column_skips_nulls(self, catalog):
+        out = query("SELECT COUNT(amount) AS n FROM sales", catalog)
+        assert out.row(0) == {"n": 5}
+
+    def test_count_distinct(self, catalog):
+        out = query("SELECT COUNT(DISTINCT year) AS y FROM sales", catalog)
+        assert out.row(0) == {"y": 2}
+
+    def test_sum_avg_min_max(self, catalog):
+        out = query(
+            "SELECT SUM(amount) s, AVG(amount) a, MIN(amount) lo, "
+            "MAX(amount) hi FROM sales",
+            catalog,
+        )
+        row = out.row(0)
+        assert row["s"] == pytest.approx(57.0)
+        assert row["a"] == pytest.approx(57.0 / 5)
+        assert row["lo"] == 5.0
+        assert row["hi"] == 20.0
+
+    def test_aggregates_over_empty_input(self, catalog):
+        out = query(
+            "SELECT COUNT(*) c, SUM(amount) s FROM sales WHERE year = 1999",
+            catalog,
+        )
+        assert out.row(0) == {"c": 0, "s": None}
+
+    def test_aggregate_with_where(self, catalog):
+        out = query(
+            "SELECT SUM(amount) s FROM sales WHERE region = 'east'", catalog
+        )
+        assert out.row(0)["s"] == pytest.approx(30.0)
+
+
+class TestGroupBy:
+    def test_group_counts(self, catalog):
+        out = query(
+            "SELECT region, COUNT(*) n FROM sales GROUP BY region "
+            "ORDER BY region",
+            catalog,
+        )
+        rows = list(out.rows())
+        assert rows == [
+            {"region": "east", "n": 2},
+            {"region": "west", "n": 3},
+            {"region": None, "n": 1},  # null keys group together, sort last
+        ]
+
+    def test_group_sum(self, catalog):
+        out = query(
+            "SELECT year, SUM(amount) total FROM sales GROUP BY year "
+            "ORDER BY year",
+            catalog,
+        )
+        assert list(out.rows()) == [
+            {"year": 2020, "total": pytest.approx(22.0)},
+            {"year": 2021, "total": pytest.approx(35.0)},
+        ]
+
+    def test_multi_key_grouping(self, catalog):
+        out = query(
+            "SELECT region, year, COUNT(*) n FROM sales "
+            "GROUP BY region, year ORDER BY region, year",
+            catalog,
+        )
+        assert out.num_rows == 5
+
+    def test_having_filters_groups(self, catalog):
+        out = query(
+            "SELECT region, COUNT(*) n FROM sales GROUP BY region "
+            "HAVING COUNT(*) > 1 ORDER BY region",
+            catalog,
+        )
+        assert out.column("region") == ["east", "west"]
+
+    def test_having_on_aggregate_comparison(self, catalog):
+        out = query(
+            "SELECT region FROM sales GROUP BY region "
+            "HAVING SUM(amount) >= 30",
+            catalog,
+        )
+        assert out.column("region") == ["east"]
+
+    def test_order_by_aggregate_desc(self, catalog):
+        out = query(
+            "SELECT region, SUM(amount) s FROM sales "
+            "WHERE region IS NOT NULL GROUP BY region ORDER BY s DESC",
+            catalog,
+        )
+        assert out.column("region") == ["east", "west"]
+
+    def test_group_key_expression_reuse(self, catalog):
+        out = query(
+            "SELECT year, MIN(amount) lo FROM sales GROUP BY year "
+            "ORDER BY year DESC LIMIT 1",
+            catalog,
+        )
+        assert out.row(0)["year"] == 2021
+
+    def test_empty_table_grouping(self, catalog):
+        out = query(
+            "SELECT region, COUNT(*) n FROM sales WHERE year = 1888 "
+            "GROUP BY region",
+            catalog,
+        )
+        assert out.num_rows == 0
+
+
+class TestErrors:
+    def test_bare_column_outside_group_by(self, catalog):
+        with pytest.raises(SQLError, match="GROUP BY"):
+            query("SELECT amount, COUNT(*) FROM sales GROUP BY region",
+                  catalog)
+
+    def test_star_with_group_by(self, catalog):
+        with pytest.raises(SQLError, match="cannot be grouped"):
+            query("SELECT * FROM sales GROUP BY region", catalog)
+
+    def test_sum_over_strings(self, catalog):
+        with pytest.raises(SQLError, match="numeric"):
+            query("SELECT SUM(region) FROM sales", catalog)
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(SQLError):
+            query("SELECT region FROM sales WHERE COUNT(*) > 1", catalog)
+
+    def test_default_aggregate_column_names(self, catalog):
+        out = query("SELECT COUNT(*), SUM(amount) FROM sales", catalog)
+        assert out.schema.names == ("count", "sum")
+
+
+class TestProfileUseCase:
+    def test_profiling_a_discovered_dataset(self, catalog, sales):
+        """The intended workflow: aggregate QC over a skyline dataset."""
+        out = query(
+            "SELECT region, COUNT(*) n, AVG(amount) mean_amount "
+            "FROM sales WHERE amount IS NOT NULL "
+            "GROUP BY region HAVING COUNT(*) >= 1 ORDER BY n DESC, region",
+            catalog,
+        )
+        assert out.schema.names == ("region", "n", "mean_amount")
+        # after the WHERE, east and west tie at n=2; region breaks the tie
+        assert list(out.rows()) == [
+            {"region": "east", "n": 2, "mean_amount": pytest.approx(15.0)},
+            {"region": "west", "n": 2, "mean_amount": pytest.approx(10.0)},
+            {"region": None, "n": 1, "mean_amount": pytest.approx(7.0)},
+        ]

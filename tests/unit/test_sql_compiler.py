@@ -1,0 +1,222 @@
+"""MODis → SQL compilation, round-tripped through the mini engine."""
+
+import pytest
+
+from repro.core.transducer import TabularSearchSpace
+from repro.exceptions import SQLError
+from repro.relational import (
+    Conjunction,
+    Schema,
+    Table,
+    augment,
+    augment_join,
+    equals,
+    in_set,
+    reduct,
+)
+from repro.relational.expressions import Literal
+from repro.sql import (
+    augment_join_to_sql,
+    augment_to_sql,
+    predicate_to_sql,
+    query,
+    reduct_to_sql,
+    select_to_sql,
+    sql_literal,
+    state_to_sql,
+)
+from repro.sql.compiler import quote_ident
+
+
+@pytest.fixture
+def dm():
+    return Table(
+        Schema.of("year", "flow", ("season", "categorical")),
+        {
+            "year": [2001, 2002, 2003, None],
+            "flow": [1.5, 2.5, 3.5, 4.5],
+            "season": ["spring", "summer", "spring", "fall"],
+        },
+        name="D_M",
+    )
+
+
+@pytest.fixture
+def d_other():
+    return Table(
+        Schema.of("year", ("season", "categorical"), "phosphorus"),
+        {
+            "year": [2002, 2013],
+            "season": ["summer", "spring"],
+            "phosphorus": [0.8, 0.3],
+        },
+        name="D_P",
+    )
+
+
+class TestRendering:
+    def test_sql_literal_kinds(self):
+        assert sql_literal(None) == "NULL"
+        assert sql_literal(True) == "TRUE"
+        assert sql_literal(3) == "3"
+        assert sql_literal(2.5) == "2.5"
+        assert sql_literal("it's") == "'it''s'"
+
+    def test_sql_literal_rejects_exotics(self):
+        with pytest.raises(SQLError):
+            sql_literal([1, 2])
+
+    def test_quote_ident_plain(self):
+        assert quote_ident("flow_rate") == "flow_rate"
+
+    def test_quote_ident_keyword(self):
+        assert quote_ident("select") == '"select"'
+
+    def test_quote_ident_spaces(self):
+        assert quote_ident("year built") == '"year built"'
+
+    def test_equality_literal(self):
+        assert predicate_to_sql(equals("year", 2013)) == "year = 2013"
+
+    def test_in_literal_is_deterministic(self):
+        a = predicate_to_sql(in_set("season", ["fall", "spring"]))
+        b = predicate_to_sql(in_set("season", ["spring", "fall"]))
+        assert a == b == "season IN ('fall', 'spring')"
+
+    def test_conjunction(self):
+        pred = Conjunction((equals("year", 2013), Literal("flow", "<", 3.0)))
+        sql = predicate_to_sql(pred)
+        assert sql == "(year = 2013) AND (flow < 3.0)"
+
+
+class TestSelectRoundTrip:
+    def test_select_matches_engine(self, dm):
+        pred = Literal("year", "<", 2003)
+        out = query(select_to_sql(pred, "D_M"), {"D_M": dm})
+        expected = dm.filter(pred)
+        assert out.column("year") == expected.column("year")
+
+    def test_select_in_literal(self, dm):
+        pred = in_set("season", ["spring"])
+        out = query(select_to_sql(pred, "D_M"), {"D_M": dm})
+        assert out.column("year") == [2001, 2003]
+
+
+class TestReductRoundTrip:
+    def test_reduct_keeps_null_rows(self, dm):
+        """⊖ removes matching rows only; null cells never match."""
+        pred = Literal("year", ">=", 2002)
+        engine = reduct(dm, pred)
+        sql_out = query(reduct_to_sql(pred, "D_M"), {"D_M": dm})
+        assert sql_out.column("year") == engine.column("year") == [2001, None]
+
+    def test_reduct_equality(self, dm):
+        pred = equals("season", "spring")
+        engine = reduct(dm, pred)
+        sql_out = query(reduct_to_sql(pred, "D_M"), {"D_M": dm})
+        assert sorted(sql_out.column("flow")) == sorted(engine.column("flow"))
+
+    def test_reduct_conjunction_survival(self, dm):
+        """A row survives a conjunction-⊖ when any literal is not true."""
+        pred = Conjunction(
+            (equals("season", "spring"), Literal("flow", "<", 2.0))
+        )
+        engine = reduct(dm, pred)
+        sql_out = query(reduct_to_sql(pred, "D_M"), {"D_M": dm})
+        assert sorted(sql_out.column("flow")) == sorted(engine.column("flow"))
+
+    def test_reduct_in_cluster_literal(self, dm):
+        pred = in_set("year", [2001, 2002])
+        engine = reduct(dm, pred)
+        sql_out = query(reduct_to_sql(pred, "D_M"), {"D_M": dm})
+        assert sorted(
+            v for v in sql_out.column("flow")
+        ) == sorted(v for v in engine.column("flow"))
+
+
+class TestAugmentRoundTrip:
+    def test_augment_union_shape(self, dm, d_other):
+        pred = equals("year", 2013)
+        sql = augment_to_sql(
+            "D_M", "D_P", dm.schema.names, d_other.schema.names, pred
+        )
+        out = query(sql, {"D_M": dm, "D_P": d_other})
+        engine = augment(dm, d_other, pred)
+        assert out.schema.names == engine.schema.names
+        assert out.num_rows == engine.num_rows == dm.num_rows + 1
+
+    def test_augment_null_fill(self, dm, d_other):
+        sql = augment_to_sql(
+            "D_M", "D_P", dm.schema.names, d_other.schema.names, None
+        )
+        out = query(sql, {"D_M": dm, "D_P": d_other})
+        # original D_M rows carry NULL for the new phosphorus attribute
+        assert out.column("phosphorus")[: dm.num_rows] == [None] * dm.num_rows
+        # appended D rows carry NULL for D_M-only attributes
+        assert out.column("flow")[dm.num_rows :] == [None] * d_other.num_rows
+
+    def test_augment_empty_columns_rejected(self):
+        with pytest.raises(SQLError):
+            augment_to_sql("a", "b", [], ["x"])
+
+    def test_augment_join_form(self, dm, d_other):
+        sql = augment_join_to_sql("D_M", "D_P", on=["year"],
+                                  predicate=equals("season", "spring"))
+        out = query(sql, {"D_M": dm, "D_P": d_other})
+        assert out.num_rows == dm.num_rows  # left join keeps all D_M rows
+        engine = augment_join(dm, d_other, equals("season", "spring"),
+                              on=["year"])
+        assert engine.num_rows == dm.num_rows
+
+    def test_augment_join_needs_keys(self):
+        with pytest.raises(SQLError):
+            augment_join_to_sql("a", "b", on=[])
+
+
+class TestStateProvenance:
+    @pytest.fixture
+    def space(self):
+        universal = Table(
+            Schema.of("a", ("b", "categorical"), "target"),
+            {
+                "a": [1.0, 2.0, 9.0, 10.0, None, 3.0],
+                "b": ["x", "y", "x", "y", "x", None],
+                "target": [0, 1, 0, 1, 0, 1],
+            },
+            name="D_U",
+        )
+        return TabularSearchSpace(universal, target="target", max_clusters=2)
+
+    def test_universal_state_round_trips(self, space):
+        bits = space.universal_bits
+        sql = state_to_sql(space, bits)
+        out = query(sql, {"D_U": space.universal})
+        assert out == space.materialize(bits)
+
+    def test_every_single_flip_round_trips(self, space):
+        for index in range(space.width):
+            bits = space.universal_bits ^ (1 << index)
+            out = query(state_to_sql(space, bits), {"D_U": space.universal})
+            assert out == space.materialize(bits), (
+                f"mismatch after flipping {space.describe_entry(index)}"
+            )
+
+    def test_deep_states_round_trip(self, space):
+        # Walk a few reduction paths and check at every step.
+        bits = space.universal_bits
+        for index in range(space.width):
+            if not space.valid_flip(bits, index):
+                continue
+            bits ^= 1 << index
+            out = query(state_to_sql(space, bits), {"D_U": space.universal})
+            assert out == space.materialize(bits)
+
+    def test_backward_state_round_trips(self, space):
+        bits = space.backward_bits()
+        out = query(state_to_sql(space, bits), {"D_U": space.universal})
+        assert out == space.materialize(bits)
+
+    def test_provenance_query_is_single_select(self, space):
+        sql = state_to_sql(space, space.backward_bits())
+        assert sql.count("SELECT") == 1
+        assert "JOIN" not in sql

@@ -1,0 +1,309 @@
+"""The SPJ SQL engine: tokenizer, parser, and executor semantics."""
+
+import pytest
+
+from repro.exceptions import SQLError
+from repro.relational import Schema, Table
+from repro.sql import Catalog, parse, query, tokenize
+from repro.sql import nodes as N
+from repro.sql.tokens import IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING
+
+
+@pytest.fixture
+def people():
+    return Table(
+        Schema.of("id", ("name", "categorical"), "age"),
+        {
+            "id": [1, 2, 3, 4],
+            "name": ["ann", "bob", "cher", None],
+            "age": [34, None, 19, 52],
+        },
+        name="people",
+    )
+
+
+@pytest.fixture
+def cities():
+    return Table(
+        Schema.of("id", ("city", "categorical")),
+        {"id": [1, 2, 5], "city": ["akron", "berea", "cleveland"]},
+        name="cities",
+    )
+
+
+@pytest.fixture
+def catalog(people, cities):
+    return Catalog({"people": people, "cities": cities})
+
+
+class TestTokenizer:
+    def test_keywords_normalized(self):
+        kinds = [(t.kind, t.value) for t in tokenize("select From WHERE")[:-1]]
+        assert kinds == [
+            (KEYWORD, "SELECT"),
+            (KEYWORD, "FROM"),
+            (KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        token = tokenize("MyTable")[0]
+        assert (token.kind, token.value) == (IDENT, "MyTable")
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 -4")[:-1]]
+        assert values == [1, 2.5, 1000.0, -4]
+
+    def test_string_escaping(self):
+        token = tokenize("'it''s'")[0]
+        assert (token.kind, token.value) == (STRING, "it's")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"select"')[0]
+        assert (token.kind, token.value) == (IDENT, "select")
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("= == != <> < <= > >=")[:-1]]
+        assert values == ["=", "=", "!=", "!=", "<", "<=", ">", ">="]
+
+    def test_punctuation_and_comments(self):
+        tokens = tokenize("a, b -- a comment\n.c*")
+        values = [(t.kind, t.value) for t in tokens[:-1]]
+        assert (PUNCT, ",") in values
+        assert (PUNCT, "*") in values
+        assert all(v != "comment" for _, v in values)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLError):
+            tokenize("'oops")
+
+    def test_stray_bang(self):
+        with pytest.raises(SQLError):
+            tokenize("a ! b")
+
+
+class TestParser:
+    def test_simple_select(self):
+        node = parse("SELECT a, b FROM t")
+        assert isinstance(node, N.Select)
+        assert [i.expr.name for i in node.items] == ["a", "b"]
+        assert node.source == N.TableRef("t")
+
+    def test_star(self):
+        node = parse("SELECT * FROM t")
+        assert isinstance(node.items, N.Star)
+
+    def test_aliases(self):
+        node = parse("SELECT a AS x, b y FROM t AS u")
+        assert [i.alias for i in node.items] == ["x", "y"]
+        assert node.source.alias == "u"
+
+    def test_where_precedence(self):
+        node = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(node.where, N.Or)
+        assert isinstance(node.where.operands[1], N.And)
+
+    def test_parentheses(self):
+        node = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(node.where, N.And)
+        assert isinstance(node.where.operands[0], N.Or)
+
+    def test_in_between_isnull(self):
+        node = parse(
+            "SELECT * FROM t WHERE a IN (1, 2) AND b BETWEEN 0 AND 5 "
+            "AND c IS NOT NULL"
+        )
+        kinds = [type(op).__name__ for op in node.where.operands]
+        assert kinds == ["InList", "Between", "IsNull"]
+
+    def test_not_in(self):
+        node = parse("SELECT * FROM t WHERE a NOT IN (1)")
+        assert node.where.negated is True
+
+    def test_joins(self):
+        node = parse(
+            "SELECT * FROM a JOIN b ON a.k = b.k LEFT JOIN c ON a.k = c.k"
+        )
+        assert [j.kind for j in node.joins] == [N.INNER, N.LEFT]
+
+    def test_full_outer(self):
+        node = parse("SELECT * FROM a FULL OUTER JOIN b ON a.k = b.k")
+        assert node.joins[0].kind == N.FULL
+
+    def test_order_limit_distinct(self):
+        node = parse("SELECT DISTINCT a FROM t ORDER BY a DESC, b LIMIT 3")
+        assert node.distinct is True
+        assert [o.descending for o in node.order_by] == [True, False]
+        assert node.limit == 3
+
+    def test_union(self):
+        node = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert isinstance(node, N.Union)
+        assert node.all is True
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t extra nonsense stuff")
+
+    def test_negative_limit(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t LIMIT -1")
+
+    def test_missing_from(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a")
+
+
+class TestExecutor:
+    def test_project(self, catalog):
+        out = query("SELECT name, id FROM people", catalog)
+        assert out.schema.names == ("name", "id")
+        assert out.num_rows == 4
+
+    def test_star_preserves_schema(self, catalog, people):
+        out = query("SELECT * FROM people", catalog)
+        assert out.schema.names == people.schema.names
+        assert out.column("age") == people.column("age")
+
+    def test_where_filters(self, catalog):
+        out = query("SELECT id FROM people WHERE age > 20", catalog)
+        assert out.column("id") == [1, 4]
+
+    def test_where_null_is_not_true(self, catalog):
+        # age NULL: both the comparison and its negation drop the row.
+        over = query("SELECT id FROM people WHERE age > 20", catalog)
+        under = query("SELECT id FROM people WHERE NOT (age > 20)", catalog)
+        assert 2 not in over.column("id")
+        assert 2 not in under.column("id")
+
+    def test_is_null(self, catalog):
+        out = query("SELECT id FROM people WHERE age IS NULL", catalog)
+        assert out.column("id") == [2]
+
+    def test_in_list(self, catalog):
+        out = query("SELECT id FROM people WHERE name IN ('ann', 'cher')", catalog)
+        assert out.column("id") == [1, 3]
+
+    def test_between(self, catalog):
+        out = query("SELECT id FROM people WHERE age BETWEEN 19 AND 34", catalog)
+        assert out.column("id") == [1, 3]
+
+    def test_not_in_skips_nulls(self, catalog):
+        out = query("SELECT id FROM people WHERE name NOT IN ('ann')", catalog)
+        assert out.column("id") == [2, 3]  # null name is unknown, dropped
+
+    def test_inner_join(self, catalog):
+        out = query(
+            "SELECT people.id, city FROM people JOIN cities "
+            "ON people.id = cities.id",
+            catalog,
+        )
+        assert sorted(out.column("city")) == ["akron", "berea"]
+
+    def test_left_join_pads_nulls(self, catalog):
+        out = query(
+            "SELECT people.id, city FROM people LEFT JOIN cities "
+            "ON people.id = cities.id ORDER BY people.id",
+            catalog,
+        )
+        assert out.column("city") == ["akron", "berea", None, None]
+
+    def test_right_join(self, catalog):
+        out = query(
+            "SELECT cities.id, name FROM people RIGHT JOIN cities "
+            "ON people.id = cities.id ORDER BY cities.id",
+            catalog,
+        )
+        assert out.column("id") == [1, 2, 5]
+        assert out.column("name") == ["ann", "bob", None]
+
+    def test_full_join(self, catalog):
+        out = query(
+            "SELECT people.id, cities.id FROM people FULL JOIN cities "
+            "ON people.id = cities.id",
+            catalog,
+        )
+        assert out.num_rows == 5  # 2 matches + 2 left-only + 1 right-only
+
+    def test_non_equi_join_nested_loop(self, catalog):
+        out = query(
+            "SELECT people.id FROM people JOIN cities ON people.id < cities.id",
+            catalog,
+        )
+        # pairs with people.id < cities.id: (1,2) (1,5) (2,5) (3,5) (4,5)
+        assert out.num_rows == 5
+
+    def test_order_by_desc_nulls_last(self, catalog):
+        out = query("SELECT age FROM people ORDER BY age DESC", catalog)
+        assert out.column("age") == [52, 34, 19, None]
+
+    def test_order_by_asc_nulls_last(self, catalog):
+        out = query("SELECT age FROM people ORDER BY age", catalog)
+        assert out.column("age") == [19, 34, 52, None]
+
+    def test_limit(self, catalog):
+        out = query("SELECT id FROM people ORDER BY id LIMIT 2", catalog)
+        assert out.column("id") == [1, 2]
+
+    def test_distinct(self, catalog):
+        out = query("SELECT age IS NULL AS missing FROM people", catalog)
+        assert out.num_rows == 4
+        distinct = query(
+            "SELECT DISTINCT age IS NULL AS missing FROM people", catalog
+        )
+        assert distinct.num_rows == 2
+
+    def test_union_all_and_union(self, catalog):
+        all_rows = query(
+            "SELECT id FROM people UNION ALL SELECT id FROM cities", catalog
+        )
+        assert all_rows.num_rows == 7
+        deduped = query(
+            "SELECT id FROM people UNION SELECT id FROM cities", catalog
+        )
+        assert sorted(deduped.column("id")) == [1, 2, 3, 4, 5]
+
+    def test_union_arity_mismatch(self, catalog):
+        with pytest.raises(SQLError):
+            query("SELECT id FROM people UNION SELECT id, city FROM cities",
+                  catalog)
+
+    def test_alias_binding(self, catalog):
+        out = query(
+            "SELECT p.name FROM people p WHERE p.id = 3", catalog
+        )
+        assert out.column("name") == ["cher"]
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(SQLError, match="ambiguous"):
+            query(
+                "SELECT id FROM people JOIN cities ON people.id = cities.id",
+                catalog,
+            )
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SQLError, match="unknown table"):
+            query("SELECT a FROM nope", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SQLError, match="unknown column"):
+            query("SELECT wat FROM people", catalog)
+
+    def test_select_constant(self, catalog):
+        out = query("SELECT 1 AS one, 'x' AS tag FROM people LIMIT 1", catalog)
+        assert out.row(0) == {"one": 1, "tag": "x"}
+
+    def test_incomparable_types(self, catalog):
+        with pytest.raises(SQLError, match="compare"):
+            query("SELECT id FROM people WHERE name > 3", catalog)
+
+    def test_star_join_disambiguates(self, catalog):
+        out = query(
+            "SELECT * FROM people JOIN cities ON people.id = cities.id",
+            catalog,
+        )
+        assert "people.id" in out.schema.names
+        assert "cities.id" in out.schema.names
+
+    def test_plain_dict_catalog(self, people):
+        out = query("SELECT id FROM people", {"people": people})
+        assert out.num_rows == 4

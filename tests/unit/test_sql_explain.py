@@ -1,0 +1,104 @@
+"""EXPLAIN plans and the expression deparser."""
+
+import pytest
+
+from repro.exceptions import SQLError
+from repro.relational import Schema, Table
+from repro.sql import explain, parse, render_expr
+
+
+@pytest.fixture
+def catalog():
+    people = Table(
+        Schema.of("id", ("name", "categorical")),
+        {"id": [1, 2, 3], "name": ["a", "b", "c"]},
+    )
+    cities = Table(Schema.of("id", ("city", "categorical")),
+                   {"id": [1, 2], "city": ["x", "y"]})
+    return {"people": people, "cities": cities}
+
+
+class TestRenderExpr:
+    CASES = [
+        "a = 1",
+        "a != 'it''s'",
+        "a < 2 AND b >= 3",
+        "a = 1 OR b = 2 AND c = 3",
+        "NOT (a = 1 OR b = 2)",
+        "a IS NULL",
+        "a IS NOT NULL",
+        "a IN (1, 2, 3)",
+        "a NOT IN (1)",
+        "a BETWEEN 0 AND 5",
+        "a NOT BETWEEN 0 AND 5",
+        "t.a = u.b",
+        "COUNT(*) > 2",
+        "SUM(x) <= 10",
+        "COUNT(DISTINCT x) = 1",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_round_trips_through_parser(self, sql):
+        node = parse(f"SELECT * FROM t WHERE {sql}").where
+        rendered = render_expr(node)
+        again = parse(f"SELECT * FROM t WHERE {rendered}").where
+        assert again == node
+
+    def test_precedence_preserved(self):
+        node = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").where
+        rendered = render_expr(node)
+        assert parse(f"SELECT * FROM t WHERE {rendered}").where == node
+
+
+class TestExplain:
+    def test_simple_scan_plan(self, catalog):
+        plan = explain("SELECT id FROM people WHERE id > 1", catalog)
+        assert "Scan people [3 rows]" in plan
+        assert "Filter id > 1" in plan
+        assert "Project id" in plan
+
+    def test_hash_join_detected(self, catalog):
+        plan = explain(
+            "SELECT city FROM people JOIN cities ON people.id = cities.id",
+            catalog,
+        )
+        assert "HashJoin INNER" in plan
+
+    def test_nested_loop_for_non_equi(self, catalog):
+        plan = explain(
+            "SELECT city FROM people JOIN cities ON people.id < cities.id",
+            catalog,
+        )
+        assert "NestedLoopJoin INNER" in plan
+
+    def test_group_having_sort_limit(self, catalog):
+        plan = explain(
+            "SELECT name, COUNT(*) n FROM people GROUP BY name "
+            "HAVING COUNT(*) > 0 ORDER BY n DESC LIMIT 2",
+            catalog,
+        )
+        assert "GroupBy name" in plan
+        assert "Having COUNT(*) > 0" in plan
+        assert "Sort n DESC" in plan  # ORDER BY alias, rendered as written
+        assert "Limit 2" in plan
+
+    def test_union_plan(self, catalog):
+        plan = explain(
+            "SELECT id FROM people UNION ALL SELECT id FROM cities", catalog
+        )
+        assert plan.startswith("UnionAll")
+        assert plan.count("Select") == 2
+
+    def test_without_catalog_no_row_counts(self):
+        plan = explain("SELECT a FROM t")
+        assert "Scan t" in plan
+        assert "rows" not in plan
+
+    def test_distinct_and_star(self, catalog):
+        plan = explain("SELECT DISTINCT * FROM people", catalog)
+        assert "Project *" in plan
+        assert "Distinct" in plan
+
+    def test_bad_node(self):
+        with pytest.raises(SQLError):
+            explain(42)  # type: ignore[arg-type]

@@ -1,0 +1,141 @@
+"""Unit tests for repro.relational.table."""
+
+import pytest
+
+from repro.exceptions import SchemaError, TableError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Table
+from repro.rng import make_rng
+
+from tests.helpers import small_table
+
+
+class TestConstruction:
+    def test_shape_and_len(self):
+        t = small_table()
+        assert t.shape == (6, 4)
+        assert len(t) == 6
+        assert t.num_columns == 4
+
+    def test_missing_columns_become_null(self):
+        t = Table(Schema.of("a", "b"), {"a": [1, 2]})
+        assert t.column("b") == [None, None]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(TableError, match="ragged"):
+            Table(Schema.of("a", "b"), {"a": [1], "b": [1, 2]})
+
+    def test_extra_columns_rejected(self):
+        with pytest.raises(TableError, match="not in schema"):
+            Table(Schema.of("a"), {"a": [1], "zz": [2]})
+
+    def test_from_rows_fills_missing_keys(self):
+        t = Table.from_rows(Schema.of("a", "b"), [{"a": 1}, {"b": 2}])
+        assert t.column("a") == [1, None]
+        assert t.column("b") == [None, 2]
+
+    def test_empty(self):
+        t = Table.empty(Schema.of("a"))
+        assert t.num_rows == 0
+
+
+class TestAccessors:
+    def test_row_access_and_bounds(self):
+        t = small_table()
+        assert t.row(0)["k"] == 1
+        with pytest.raises(TableError):
+            t.row(100)
+
+    def test_column_returns_copy(self):
+        t = small_table()
+        col = t.column("k")
+        col[0] = 999
+        assert t.column("k")[0] == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            small_table().column("nope")
+
+    def test_rows_iteration(self):
+        rows = list(small_table().rows())
+        assert len(rows) == 6
+        assert rows[2]["city"] == "a"
+
+    def test_null_accounting(self):
+        t = small_table()
+        assert t.null_count("city") == 1
+        assert t.null_count() == 2
+        assert 0 < t.null_fraction() < 1
+
+
+class TestAlgebra:
+    def test_project(self):
+        t = small_table().project(["y", "k"])
+        assert t.schema.names == ("y", "k")
+        assert t.num_rows == 6
+
+    def test_drop_columns(self):
+        t = small_table().drop_columns(["x"])
+        assert "x" not in t.schema
+
+    def test_filter_and_take(self):
+        t = small_table().filter(lambda r: r["y"] > 30)
+        assert t.column("y") == [40, 50, 60]
+        t2 = small_table().take([5, 0])
+        assert t2.column("k") == [6, 1]
+        with pytest.raises(TableError):
+            small_table().take([99])
+
+    def test_head(self):
+        assert small_table().head(2).num_rows == 2
+        assert small_table().head(100).num_rows == 6
+
+    def test_with_column(self):
+        t = small_table().with_column(Attribute("w"), [0] * 6)
+        assert t.column("w") == [0] * 6
+        with pytest.raises(SchemaError):
+            t.with_column(Attribute("w"), [1] * 6)
+        with pytest.raises(TableError):
+            small_table().with_column(Attribute("v"), [1, 2])
+
+    def test_replace_column(self):
+        t = small_table().replace_column("y", [0, 0, 0, 0, 0, 0])
+        assert t.column("y") == [0] * 6
+        with pytest.raises(TableError):
+            small_table().replace_column("y", [1])
+
+    def test_rename(self):
+        t = small_table().rename({"y": "label"})
+        assert "label" in t.schema and "y" not in t.schema
+
+    def test_concat_rows_outer_union(self):
+        left = Table(Schema.of("a", "b"), {"a": [1], "b": [2]})
+        right = Table(Schema.of("b", "c"), {"b": [3], "c": [4]})
+        merged = left.concat_rows(right)
+        assert merged.schema.names == ("a", "b", "c")
+        assert merged.column("a") == [1, None]
+        assert merged.column("c") == [None, 4]
+
+    def test_distinct(self):
+        t = Table(Schema.of("a"), {"a": [1, 1, 2, None, None]})
+        assert t.distinct().column("a") == [1, 2, None]
+
+    def test_sort_by_nulls_last(self):
+        t = small_table().sort_by("x")
+        assert t.column("x")[-1] is None
+        assert t.column("x")[0] == 0.5
+
+    def test_sample_rows_deterministic(self):
+        t = small_table()
+        a = t.sample_rows(3, make_rng(1)).column("k")
+        b = t.sample_rows(3, make_rng(1)).column("k")
+        assert a == b
+
+    def test_equality(self):
+        assert small_table() == small_table()
+        assert small_table() != small_table().project(["k"])
+
+    def test_summary(self):
+        s = small_table().summary()
+        assert s["rows"] == 6
+        assert s["distinct"]["city"] == 3

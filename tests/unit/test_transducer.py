@@ -1,0 +1,200 @@
+"""Unit tests for search spaces, OpGen, and the running graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import iter_set_bits
+from repro.core.transducer import (
+    GraphSearchSpace,
+    RunningGraph,
+    TabularSearchSpace,
+    Transducer,
+)
+from repro.exceptions import SearchError
+from repro.graph import BipartiteGraph, Edge
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+def universal():
+    return Table(
+        Schema.of("f1", "f2", ("target", "categorical")),
+        {
+            "f1": [1, 2, 3, 4, 5, 6, 7, 8],
+            "f2": [10, 10, 20, 20, 30, 30, None, 40],
+            "target": ["a", "b"] * 4,
+        },
+        name="U",
+    )
+
+
+def tab_space(max_clusters=2):
+    return TabularSearchSpace(universal(), "target", max_clusters=max_clusters)
+
+
+class TestTabularSpace:
+    def test_entry_layout(self):
+        space = tab_space()
+        labels = [e.label for e in space.entries]
+        assert "attr:f1" in labels and "attr:f2" in labels
+        assert not any("target" in l for l in labels)
+        assert any(l.startswith("cl:f1") for l in labels)
+
+    def test_universal_materializes_to_input(self):
+        space = tab_space()
+        table = space.materialize(space.universal_bits)
+        assert table.num_rows == 8
+        assert set(table.schema.names) == {"f1", "f2", "target"}
+
+    def test_target_always_kept(self):
+        space = tab_space()
+        for bits in [space.universal_bits, space.backward_bits()]:
+            assert "target" in space.materialize(bits).schema
+
+    def test_attribute_flip_drops_column(self):
+        space = tab_space()
+        f2_attr = next(
+            i for i, e in enumerate(space.entries) if e.label == "attr:f2"
+        )
+        bits = space.universal_bits ^ (1 << f2_attr)
+        table = space.materialize(bits)
+        assert "f2" not in table.schema
+
+    def test_cluster_flip_removes_rows_not_nulls(self):
+        space = tab_space()
+        cluster_idx = next(
+            i for i, e in enumerate(space.entries)
+            if e.kind == "cluster" and e.attribute == "f2"
+        )
+        bits = space.universal_bits ^ (1 << cluster_idx)
+        table = space.materialize(bits)
+        assert table.num_rows < 8
+        # the null-f2 row always survives cluster masking
+        assert any(v is None for v in table.column("f2"))
+
+    def test_output_size_matches_materialization(self):
+        space = tab_space()
+        for bits in [space.universal_bits, space.backward_bits()]:
+            rows, cols = space.output_size(bits)
+            table = space.materialize(bits)
+            assert (rows, cols) == (table.num_rows, table.num_columns)
+
+    def test_feature_vector_width(self):
+        space = tab_space()
+        vec = space.feature_vector(space.universal_bits)
+        assert vec.shape == (space.width + 2,)
+        assert vec[: space.width].sum() == space.width
+
+    def test_valid_flip_protects_last_attribute(self):
+        space = tab_space()
+        f1_attr = space._attr_entry["f1"]
+        f2_attr = space._attr_entry["f2"]
+        only_f1 = space.universal_bits ^ (1 << f2_attr)
+        assert not space.valid_flip(only_f1, f1_attr)
+
+    def test_valid_flip_protects_last_cluster(self):
+        space = tab_space()
+        entry_ids = space._cluster_entries["f1"]
+        bits = space.universal_bits
+        for idx in entry_ids[1:]:
+            bits ^= 1 << idx  # leave exactly one f1 cluster
+        assert not space.valid_flip(bits, entry_ids[0])
+
+    def test_cluster_flip_invalid_when_attr_inactive(self):
+        space = tab_space()
+        f1_attr = space._attr_entry["f1"]
+        bits = space.universal_bits ^ (1 << f1_attr)
+        for idx in space._cluster_entries["f1"]:
+            assert not space.valid_flip(bits, idx)
+
+    def test_cache_hits(self):
+        space = tab_space()
+        space.materialize(space.universal_bits)
+        space.materialize(space.universal_bits)
+        assert space.cache_stats["hits"] >= 1
+
+    def test_backward_bits_all_attrs_one_cluster(self):
+        space = tab_space()
+        bits = space.backward_bits()
+        assert space.active_attributes(bits) == ["f1", "f2"]
+        table = space.materialize(bits)
+        assert 0 < table.num_rows <= 8
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SearchError):
+            TabularSearchSpace(universal(), "nope")
+
+
+class TestGraphSpace:
+    def pool(self):
+        edges = [
+            Edge(u, i, (float(u % 2),)) for u in range(4) for i in range(4)
+        ]
+        return BipartiteGraph(4, 4, edges)
+
+    def test_materialize_union_of_clusters(self):
+        space = GraphSearchSpace(self.pool(), n_clusters=2, seed=0)
+        full = space.materialize(space.universal_bits)
+        assert full.num_edges == 16
+        one = space.materialize(1)
+        assert 0 < one.num_edges < 16
+
+    def test_output_size(self):
+        space = GraphSearchSpace(self.pool(), n_clusters=2, seed=0)
+        edges, dims = space.output_size(space.universal_bits)
+        assert edges == 16 and dims == 1
+
+    def test_last_cluster_protected(self):
+        space = GraphSearchSpace(self.pool(), n_clusters=2, seed=0)
+        assert not space.valid_flip(0b01, 0)
+        assert space.valid_flip(0b11, 0)
+
+    def test_backward_is_densest(self):
+        space = GraphSearchSpace(self.pool(), n_clusters=3, seed=0)
+        bits = space.backward_bits()
+        assert bits.bit_count() == 1
+        sizes = [len(e.payload) for e in space.entries]
+        chosen = next(iter_set_bits(bits))
+        assert sizes[chosen] == max(sizes)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(SearchError):
+            GraphSearchSpace(BipartiteGraph(2, 2), n_clusters=2)
+
+
+class TestTransducer:
+    def test_forward_children_flip_one_bit_down(self):
+        space = tab_space()
+        td = Transducer(space)
+        parent = space.universal_bits
+        for child, op in td.spawn(parent, "forward"):
+            assert child.bit_count() == parent.bit_count() - 1
+            assert "⊖" in op
+
+    def test_backward_children_flip_one_bit_up(self):
+        space = tab_space()
+        td = Transducer(space)
+        parent = space.backward_bits()
+        for child, op in td.spawn(parent, "backward"):
+            assert child.bit_count() == parent.bit_count() + 1
+            assert "⊕" in op
+
+    def test_bad_direction(self):
+        td = Transducer(tab_space())
+        with pytest.raises(SearchError):
+            list(td.spawn(0, "sideways"))
+
+
+class TestRunningGraph:
+    def test_records_states_and_transitions(self):
+        from repro.core.state import State
+
+        rg = RunningGraph()
+        rg.add_state(State(bits=3))
+        rg.add_state(State(bits=1))
+        rg.add_transition(3, 1, "⊖[e1]")
+        assert rg.num_states == 2
+        assert rg.num_valuated == 0
+        nx_graph = rg.to_networkx()
+        assert nx_graph.number_of_edges() == 1
+        assert nx_graph.has_edge(3, 1)

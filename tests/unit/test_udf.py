@@ -1,0 +1,231 @@
+"""UDF operator enrichment (Section 3's imputation/pruning hook)."""
+
+import pytest
+
+from repro.core.transducer import TabularSearchSpace
+from repro.core.udf import (
+    DEFAULT_REGISTRY,
+    UDF,
+    UDFRegistry,
+    UDFSearchSpace,
+    clip_outliers,
+    drop_all_null_columns,
+    drop_duplicate_rows,
+    impute_mean,
+    impute_mode,
+    make_default_registry,
+)
+from repro.exceptions import SearchError, TableError
+from repro.relational import Schema, Table
+
+
+@pytest.fixture
+def mixed_table():
+    return Table(
+        Schema.of("a", ("c", "categorical"), "b"),
+        {
+            "a": [1.0, None, 3.0, 100.0],
+            "c": ["x", "x", None, "y"],
+            "b": [2.0, 2.0, None, 4.0],
+        },
+        name="mixed",
+    )
+
+
+class TestBuiltins:
+    def test_impute_mean_fills_numeric(self, mixed_table):
+        out = impute_mean(mixed_table)
+        col = out.column("a")
+        assert col[1] == pytest.approx((1.0 + 3.0 + 100.0) / 3)
+        assert None not in col
+
+    def test_impute_mean_respects_exclude(self, mixed_table):
+        out = impute_mean(mixed_table, exclude=["a"])
+        assert out.column("a")[1] is None
+        assert None not in out.column("b")
+
+    def test_impute_mean_skips_categorical(self, mixed_table):
+        out = impute_mean(mixed_table)
+        assert out.column("c")[2] is None
+
+    def test_impute_mean_all_null_column_untouched(self):
+        t = Table(Schema.of("a"), {"a": [None, None]})
+        assert impute_mean(t).column("a") == [None, None]
+
+    def test_impute_mode_fills_categorical(self, mixed_table):
+        out = impute_mode(mixed_table)
+        assert out.column("c") == ["x", "x", "x", "y"]
+
+    def test_impute_mode_tie_breaks_deterministically(self):
+        t = Table(
+            Schema.of(("c", "categorical")), {"c": ["b", "a", None]}
+        )
+        # Tie between 'a' and 'b' (count 1 each): smallest repr wins.
+        assert impute_mode(t).column("c") == ["b", "a", "a"]
+
+    def test_drop_duplicate_rows(self):
+        t = Table(Schema.of("a"), {"a": [1, 1, 2, None, None]})
+        assert drop_duplicate_rows(t).column("a") == [1, 2, None]
+
+    def test_clip_outliers_clamps_extremes(self):
+        values = [10.0, 11.0, 12.0, 13.0, 14.0, 1000.0]
+        t = Table(Schema.of("a"), {"a": values})
+        out = clip_outliers(t, k=2.0)
+        assert max(out.column("a")) < 1000.0
+        assert out.column("a")[:5] == values[:5]
+
+    def test_clip_outliers_preserves_nulls_and_rows(self, mixed_table):
+        out = clip_outliers(mixed_table, k=1.0)
+        assert out.num_rows == mixed_table.num_rows
+        assert out.column("a")[1] is None
+
+    def test_clip_outliers_small_column_untouched(self):
+        t = Table(Schema.of("a"), {"a": [1.0, 500.0]})
+        assert clip_outliers(t).column("a") == [1.0, 500.0]
+
+    def test_clip_outliers_rejects_bad_k(self, mixed_table):
+        with pytest.raises(TableError):
+            clip_outliers(mixed_table, k=0.0)
+
+    def test_drop_all_null_columns(self):
+        t = Table(
+            Schema.of("a", "dead"), {"a": [1, 2], "dead": [None, None]}
+        )
+        out = drop_all_null_columns(t)
+        assert out.schema.names == ("a",)
+
+    def test_drop_all_null_columns_noop(self, mixed_table):
+        assert drop_all_null_columns(mixed_table) is mixed_table
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        assert set(DEFAULT_REGISTRY.names) == {
+            "impute_mean",
+            "impute_mode",
+            "drop_duplicate_rows",
+            "clip_outliers",
+            "drop_all_null_columns",
+        }
+
+    def test_register_and_lookup(self):
+        registry = UDFRegistry()
+        udf = UDF("noop", lambda t: t, "identity")
+        registry.register(udf)
+        assert registry["noop"] is udf
+        assert "noop" in registry
+
+    def test_duplicate_name_rejected(self):
+        registry = make_default_registry()
+        with pytest.raises(SearchError):
+            registry.register(UDF("impute_mean", lambda t: t))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SearchError, match="unknown UDF"):
+            make_default_registry()["nope"]
+
+    def test_pipeline_resolution_order(self):
+        registry = make_default_registry()
+        pipeline = registry.pipeline(["impute_mode", "impute_mean"])
+        assert [u.name for u in pipeline] == ["impute_mode", "impute_mean"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SearchError):
+            UDF("", lambda t: t)
+
+    def test_udf_must_return_table(self, mixed_table):
+        bad = UDF("bad", lambda t: 42)
+        with pytest.raises(SearchError, match="returned int"):
+            bad(mixed_table)
+
+
+class TestUDFSearchSpace:
+    @pytest.fixture
+    def inner(self):
+        universal = Table(
+            Schema.of("a", "b", "target"),
+            {
+                "a": [1.0, 2.0, None, 4.0],
+                "b": [1.0, 1.0, 2.0, 2.0],
+                "target": [0, 1, 0, 1],
+            },
+            name="D_U",
+        )
+        return TabularSearchSpace(universal, target="target", max_clusters=2)
+
+    def test_same_vocabulary(self, inner):
+        wrapped = UDFSearchSpace(inner, [DEFAULT_REGISTRY["impute_mean"]])
+        assert wrapped.width == inner.width
+        assert wrapped.entries is inner.entries
+        assert wrapped.backward_bits() == inner.backward_bits()
+
+    def test_materialize_applies_pipeline(self, inner):
+        wrapped = UDFSearchSpace(inner, [DEFAULT_REGISTRY["impute_mean"]])
+        raw = inner.materialize(inner.universal_bits)
+        refined = wrapped.materialize(inner.universal_bits)
+        assert raw.null_count("a") == 1
+        assert refined.null_count("a") == 0
+
+    def test_pipeline_order_matters(self, inner):
+        dedup_then_impute = UDFSearchSpace(
+            inner,
+            DEFAULT_REGISTRY.pipeline(["drop_duplicate_rows", "impute_mean"]),
+        )
+        out = dedup_then_impute.materialize(inner.universal_bits)
+        assert out.null_count() == 0
+
+    def test_output_size_reflects_refinement(self):
+        universal = Table(
+            Schema.of("a", "target"),
+            {"a": [1.0, 1.0, 2.0], "target": [0, 0, 1]},
+            name="D_U",
+        )
+        inner = TabularSearchSpace(universal, target="target", max_clusters=2)
+        wrapped = UDFSearchSpace(
+            inner, [DEFAULT_REGISTRY["drop_duplicate_rows"]]
+        )
+        rows, _ = wrapped.output_size(inner.universal_bits)
+        assert rows == 2  # the duplicate (1.0, 0) row is pruned
+
+    def test_empty_pipeline_rejected(self, inner):
+        with pytest.raises(SearchError):
+            UDFSearchSpace(inner, [])
+
+    def test_feature_vector_delegates(self, inner):
+        wrapped = UDFSearchSpace(inner, [DEFAULT_REGISTRY["impute_mean"]])
+        bits = inner.universal_bits
+        assert (wrapped.feature_vector(bits) == inner.feature_vector(bits)).all()
+
+    def test_search_runs_end_to_end_with_udfs(self, inner):
+        """A whole ApxMODis run over a UDF-wrapped space stays consistent."""
+        import numpy as np
+
+        from repro.core import ApxMODis, Configuration, MeasureSet
+        from repro.core.estimator import OracleEstimator
+        from repro.core.measures import error_measure
+
+        wrapped = UDFSearchSpace(
+            inner, DEFAULT_REGISTRY.pipeline(["impute_mean"])
+        )
+        measures = MeasureSet([
+            error_measure("nulls"),
+            error_measure("rows", cap=10.0),
+        ])
+
+        def oracle(table):
+            return {
+                "nulls": table.null_fraction(),
+                "rows": float(table.num_rows),
+            }
+
+        config = Configuration(
+            space=wrapped,
+            measures=measures,
+            estimator=OracleEstimator(oracle, measures),
+            oracle=oracle,
+        )
+        result = ApxMODis(config, epsilon=0.2, budget=20, max_level=3).run()
+        assert len(result.entries) >= 1
+        # every output of the imputing pipeline is null-free
+        for entry in result.entries:
+            assert wrapped.materialize(entry.bits).null_count("a") == 0
