@@ -1,0 +1,94 @@
+"""Execution backends — *measured* distributed speedup, not simulated.
+
+The other distributed bench (``bench_ablation_distributed``) reports the
+simulated makespan of shared-nothing workers. This one runs the same
+scatter/search/merge loop through each real execution backend
+(:mod:`repro.exec`) and reports measured wall-clock:
+
+* ``serial`` — the reference; measured wall ≈ sum of worker compute;
+* ``thread`` — GIL-bound for this pure-Python search, so little gain;
+* ``process`` — forked workers; on free cores the measured speedup
+  approaches the simulated ideal.
+
+Two invariants are asserted on every machine: the merged skyline is
+bit-identical across backends (the distributed-skyline merge identity is
+execution-order independent), and every backend's report carries a
+measured wall. The >1.3× process-over-serial speedup assertion only runs
+when ≥4 CPUs are actually available (it is physically impossible on
+fewer; single-core containers still run the identity checks).
+"""
+
+from _harness import bench_task, print_table
+from repro.distributed import DistributedMODis
+from repro.exec import ProcessBackend, resolve_jobs
+
+EPSILON = 0.15
+BUDGET = 96
+MAX_LEVEL = 4
+N_WORKERS = 4
+BACKENDS = ("serial", "thread", "process")
+#: Cores needed before the speedup assertion is meaningful.
+REQUIRED_CPUS = 4
+SPEEDUP_FLOOR = 1.3
+
+
+def test_backend_measured_speedup(benchmark):
+    task = bench_task("T2")
+
+    def run():
+        rows = {}
+        fronts = {}
+        for backend in BACKENDS:
+            runner = DistributedMODis(
+                lambda: task.build_config(estimator="mogb", n_bootstrap=16),
+                n_workers=N_WORKERS,
+                epsilon=EPSILON,
+                budget=BUDGET,
+                max_level=MAX_LEVEL,
+                backend=backend,
+                n_jobs=N_WORKERS,
+            )
+            result = runner.run(verify=False)
+            fronts[backend] = frozenset(e.bits for e in result.entries)
+            report = runner.report
+            rows[backend] = {
+                "skyline": len(result),
+                "valuated": report.total_valuated,
+                "wall_s": round(report.search_wall_seconds, 3),
+                "compute_s": round(report.sequential_seconds, 3),
+                "measured_x": round(report.measured_speedup, 2),
+                "simulated_x": round(report.speedup, 2),
+            }
+        return rows, fronts
+
+    rows, fronts = benchmark.pedantic(run, rounds=1, iterations=1)
+    cpus = resolve_jobs(None)
+    print_table(
+        f"Backend speedup: {N_WORKERS} workers on T2 ({cpus} CPUs)", rows
+    )
+
+    # Identity: the merged skyline must not depend on how workers ran.
+    assert fronts["thread"] == fronts["serial"]
+    assert fronts["process"] == fronts["serial"]
+    # Sanity: every backend did real work and measured a real wall.
+    for row in rows.values():
+        assert row["skyline"] >= 1
+        assert row["wall_s"] > 0
+    process_speedup = (
+        rows["serial"]["wall_s"] / max(rows["process"]["wall_s"], 1e-9)
+    )
+    benchmark.extra_info.update(
+        {"cpus": cpus, "process_over_serial": round(process_speedup, 2)}
+    )
+    if cpus >= REQUIRED_CPUS and ProcessBackend._can_fork():
+        # Real parallelism pays on real cores.
+        assert process_speedup > SPEEDUP_FLOOR, (
+            f"process backend {process_speedup:.2f}x over serial "
+            f"(expected > {SPEEDUP_FLOOR}x on {cpus} CPUs)"
+        )
+    else:
+        print(
+            f"({cpus} CPU(s), fork={ProcessBackend._can_fork()} — "
+            f"skipping the >{SPEEDUP_FLOOR}x assertion, measured "
+            f"{process_speedup:.2f}x)"
+        )

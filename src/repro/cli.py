@@ -25,12 +25,14 @@ import argparse
 import sys
 from typing import Any, Sequence
 
+from . import __version__
 from .core.algorithms import ALGORITHMS, DiscoveryResult
 from .core.transducer import TabularSearchSpace
 from .core.udf import DEFAULT_REGISTRY
 from .datalake.tasks import TASK_BUILDERS, make_task
 from .distributed import DistributedMODis
 from .exceptions import ReproError
+from .exec import BACKENDS
 from .report import save_result
 from .sql import state_to_sql
 
@@ -135,6 +137,11 @@ def cmd_discover(args: argparse.Namespace) -> int:
             f"unknown algorithm {args.algorithm!r}; have {sorted(ALGORITHMS)}"
         )
     task = make_task(args.task, scale=args.scale, seed=args.seed)
+    if not args.distributed and (args.backend != "serial" or args.jobs):
+        raise ReproError(
+            "--backend/--jobs apply to --distributed runs (single-node "
+            "algorithms execute in-process)"
+        )
     if args.distributed:
         if args.history:
             raise ReproError(
@@ -147,6 +154,8 @@ def cmd_discover(args: argparse.Namespace) -> int:
             epsilon=args.epsilon,
             budget=args.budget,
             max_level=args.max_level,
+            backend=args.backend,
+            n_jobs=args.jobs,
         )
         result = runner.run(verify=not args.no_verify)
     else:
@@ -198,6 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="MODis: multi-objective skyline dataset generation",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tasks", help="list the paper's evaluation tasks T1-T5")
@@ -230,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--distributed", type=int, default=0,
                           metavar="WORKERS",
                           help="run the distributed coordinator instead")
+    discover.add_argument("--backend", default="serial",
+                          choices=sorted(BACKENDS),
+                          help="execution backend for --distributed workers")
+    discover.add_argument("--jobs", type=int, default=0, metavar="N",
+                          help="concurrent backend jobs (0 = one per CPU)")
     discover.add_argument("--provenance", action="store_true",
                           help="print the SQL provenance query per entry")
     discover.add_argument("--no-verify", action="store_true",

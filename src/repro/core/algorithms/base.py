@@ -152,13 +152,32 @@ class SkylineAlgorithm(abc.ABC):
     # -- valuation ---------------------------------------------------------------
     def _valuate(self, state: State) -> np.ndarray:
         """Valuate via the estimator, counting budget per distinct state."""
-        fresh = state.bits not in self.config.estimator.store
-        perf = self.config.estimator.valuate(state.bits, self.config.space)
-        state.perf = perf
-        if fresh or state.bits not in self._run_valuated:
-            self._run_valuated.add(state.bits)
-            self.report.n_valuated += 1
-        return perf
+        return self._valuate_batch([state])[0]
+
+    def _valuate_batch(self, states: list[State]) -> np.ndarray:
+        """Valuate many states in one estimator call (row i ↔ states[i]).
+
+        Budget accounting matches the sequential path exactly: a state
+        counts when it was not yet in T (first occurrence only) or has not
+        been valuated by *this* run before.
+        """
+        if not states:
+            return np.zeros((0, len(self.config.measures)))
+        estimator = self.config.estimator
+        fresh = {s.bits for s in states if s.bits not in estimator.store}
+        perfs = estimator.valuate_batch(
+            [s.bits for s in states], self.config.space
+        )
+        for state, perf in zip(states, perfs):
+            state.perf = perf
+            if state.bits in fresh:
+                fresh.discard(state.bits)  # later duplicates hit the memo
+                self._run_valuated.add(state.bits)
+                self.report.n_valuated += 1
+            elif state.bits not in self._run_valuated:
+                self._run_valuated.add(state.bits)
+                self.report.n_valuated += 1
+        return perfs
 
     @property
     def budget_exhausted(self) -> bool:

@@ -14,8 +14,6 @@ selection, uniform crossover and per-bit mutation (respecting the space's
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ...exceptions import SearchError
@@ -128,12 +126,11 @@ class NSGAIIMODis(SkylineAlgorithm):
         return bits
 
     def _evaluate(self, population: list[int]) -> np.ndarray:
-        perfs = []
-        for bits in population:
-            state = State(bits=bits, via="nsga2")
+        """Valuate a whole generation in one batched estimator call."""
+        states = [State(bits=bits, via="nsga2") for bits in population]
+        for state in states:
             self.graph.add_state(state)
-            perfs.append(self._valuate(state))
-        return np.stack(perfs)
+        return self._valuate_batch(states)
 
     # -- main loop ---------------------------------------------------------------
     def _search(self) -> None:

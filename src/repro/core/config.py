@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..exceptions import SearchError
+from ..exceptions import BackendError, SearchError
+from ..exec import BACKENDS
 from .estimator import Estimator, PerformanceOracle
 from .measures import MeasureSet
 from .transducer import SearchSpace
@@ -35,6 +36,10 @@ class Configuration:
     oracle: PerformanceOracle | None = None
     cheap_oracle: CheapOracle | None = None
     seed: int = 0
+    #: Execution backend for parallel stages (see :mod:`repro.exec`).
+    backend: str = "serial"
+    #: Concurrent jobs for the backend; 0 means one per available CPU.
+    n_jobs: int = 0
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -45,6 +50,12 @@ class Configuration:
                 "estimator and configuration disagree on measure names: "
                 f"{self.estimator.measures.names} vs {self.measures.names}"
             )
+        if self.backend not in BACKENDS:
+            raise BackendError(
+                f"unknown backend {self.backend!r}; have {sorted(BACKENDS)}"
+            )
+        if self.n_jobs < 0:
+            raise BackendError("n_jobs must be >= 0 (0 = auto)")
 
     @property
     def width(self) -> int:

@@ -19,8 +19,8 @@ Three players live here:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -111,9 +111,48 @@ class Estimator(abc.ABC):
             return existing.perf
         return self._valuate_new(bits, space)
 
+    def valuate_batch(
+        self, bits_list: Sequence[int], space: SearchSpace
+    ) -> np.ndarray:
+        """Valuate many states at once; row ``i`` answers ``bits_list[i]``.
+
+        The test store is the by-bitmap memo: already-recorded states are
+        answered from T, in-batch duplicates are valuated once, and only
+        the genuinely new bitmaps reach :meth:`_valuate_new_batch` (which
+        surrogate estimators vectorize into one ``predict`` per refit
+        window). Results are bit-identical to calling :meth:`valuate`
+        per state in order.
+        """
+        bits_list = list(bits_list)
+        if not bits_list:
+            return np.zeros((0, len(self.measures)))
+        known: dict[int, np.ndarray] = {}
+        missing: list[int] = []
+        for bits in bits_list:
+            if bits in known or bits in missing:
+                continue
+            record = self.store.get(bits)
+            if record is not None:
+                known[bits] = record.perf
+            else:
+                missing.append(bits)
+        for bits, perf in zip(missing, self._valuate_new_batch(missing, space)):
+            known[bits] = perf
+        return np.stack([known[bits] for bits in bits_list])
+
     @abc.abstractmethod
     def _valuate_new(self, bits: int, space: SearchSpace) -> np.ndarray:
         """Valuate a state not present in T."""
+
+    def _valuate_new_batch(
+        self, missing: Sequence[int], space: SearchSpace
+    ) -> list[np.ndarray]:
+        """Valuate distinct states not present in T, in order.
+
+        Default: loop :meth:`_valuate_new`. Estimators with a vectorized
+        path (the MO-GBM surrogate) override this.
+        """
+        return [self._valuate_new(bits, space) for bits in missing]
 
 
 class OracleEstimator(Estimator):
@@ -235,29 +274,62 @@ class MOGBEstimator(Estimator):
         self._surrogate.fit(self.store.feature_matrix(), self.store.perf_matrix())
         self._records_at_fit = n
 
+    def _ensure_bootstrapped(self, space: SearchSpace) -> None:
+        if self._bootstrapped:
+            return
+        # Warm start: a pre-loaded historical store T with enough truth
+        # already covers what bootstrapping would sample (Section 2's
+        # "historically observed performance of M").
+        oracle_records = sum(
+            1 for r in self.store.records() if r.source == "oracle"
+        )
+        if oracle_records >= max(3, self.n_bootstrap):
+            self._bootstrapped = True
+            self._refit(force=True)
+        else:
+            self.bootstrap(space)
+
     def _valuate_new(self, bits: int, space: SearchSpace) -> np.ndarray:
-        if not self._bootstrapped:
-            # Warm start: a pre-loaded historical store T with enough truth
-            # already covers what bootstrapping would sample (Section 2's
-            # "historically observed performance of M").
-            oracle_records = sum(
-                1 for r in self.store.records() if r.source == "oracle"
-            )
-            if oracle_records >= max(3, self.n_bootstrap):
-                self._bootstrapped = True
-                self._refit(force=True)
+        return self._valuate_new_batch([bits], space)[0]
+
+    def _valuate_new_batch(
+        self, missing: Sequence[int], space: SearchSpace
+    ) -> list[np.ndarray]:
+        """Vectorized surrogate path: one feature matrix and one ``predict``
+        per refit window.
+
+        The refit schedule (every ``refit_every`` new records) is preserved
+        by chunking at the same boundaries the per-state path would hit, so
+        batch answers are bit-identical to sequential ones.
+        """
+        if not missing:
+            return []
+        self._ensure_bootstrapped(space)
+        results: dict[int, np.ndarray] = {}
+        fresh: list[int] = []
+        for bits in missing:
+            record = self.store.get(bits)  # bootstrap may have valuated it
+            if record is not None:
+                results[bits] = record.perf
             else:
-                self.bootstrap(space)
-            existing = self.store.get(bits)
-            if existing is not None:
-                return existing.perf
-        self._refit()
-        features = space.feature_vector(bits)
-        prediction = self._surrogate.predict(features[None, :])[0]
-        perf = np.clip(prediction, EPSILON_FLOOR, 1.0)
-        self.surrogate_calls += 1
-        self.store.add(TestRecord(bits, features, perf, source="surrogate"))
-        return perf
+                fresh.append(bits)
+        index = 0
+        while index < len(fresh):
+            self._refit()
+            room = self.refit_every - (len(self.store) - self._records_at_fit)
+            chunk = fresh[index:index + max(1, room)]
+            features = np.stack(
+                [space.feature_vector(bits) for bits in chunk]
+            )
+            predictions = np.clip(
+                self._surrogate.predict(features), EPSILON_FLOOR, 1.0
+            )
+            for bits, row, perf in zip(chunk, features, predictions):
+                self.surrogate_calls += 1
+                self.store.add(TestRecord(bits, row, perf, source="surrogate"))
+                results[bits] = perf
+            index += len(chunk)
+        return [results[bits] for bits in missing]
 
     # -- introspection ----------------------------------------------------------------
     def surrogate_mse(self, space: SearchSpace, probe_bits: list[int]) -> float:

@@ -14,7 +14,7 @@ BiMODis' correlation pruning, and the level at which it was spawned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np

@@ -19,7 +19,7 @@ module supplies that hook:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import DiscoveryError
-from ..ml.base import Classifier, Model
+from ..ml.base import Model
 from ..ml.linear import LinearRegression, LogisticRegression
 from ..ml.preprocessing import TableEncoder
 from ..ml.registry import make_model

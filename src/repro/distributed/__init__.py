@@ -1,8 +1,8 @@
 """Distributed skyline data generation (the paper's stated future work).
 
 Section 7: "Another topic is to extend MODis for distributed Skyline data
-generation." This package implements that extension as a simulated
-shared-nothing runtime:
+generation." This package implements that extension as a shared-nothing
+runtime:
 
 * :mod:`repro.distributed.partition` — splits the level-1 operator
   frontier of the universal state across workers (each worker owns the
@@ -12,25 +12,30 @@ shared-nothing runtime:
   estimator and history (no shared state), then ships only its local
   ε-skyline to the coordinator;
 * :mod:`repro.distributed.coordinator` — :class:`DistributedMODis`
-  executes all workers, merges the local skylines (the skyline of a union
-  equals the skyline of the union of local skylines — the classic
-  distributed-skyline merge property), and reports per-worker statistics,
-  message counts, and the simulated parallel speedup.
+  executes all workers through a pluggable execution backend
+  (:mod:`repro.exec`: serial, thread pool, or forked processes), merges
+  the local skylines (the skyline of a union equals the skyline of the
+  union of local skylines — the classic distributed-skyline merge
+  property), and reports per-worker statistics, message counts, the
+  *measured* wall-clock speedup of the chosen backend, and the simulated
+  ideal makespan.
 
-The simulation is single-process but preserves the distributed semantics
-that matter: disjoint exploration frontiers, private estimators, and
-communication limited to local skyline sets.
+Whatever the backend, the distributed semantics that matter are
+preserved: disjoint exploration frontiers, private estimators, and
+communication limited to picklable local skyline sets.
 """
 
 from .coordinator import DistributedMODis, DistributedReport, merge_skylines
 from .partition import partition_frontier
-from .worker import Worker, WorkerResult
+from .worker import Worker, WorkerJob, WorkerResult, run_worker_job
 
 __all__ = [
     "DistributedMODis",
     "DistributedReport",
     "Worker",
+    "WorkerJob",
     "WorkerResult",
     "merge_skylines",
     "partition_frontier",
+    "run_worker_job",
 ]

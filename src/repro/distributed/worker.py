@@ -7,6 +7,12 @@ the subtrees rooted at its assigned level-1 seeds, and ships its local
 workers' seeds; shared-nothing workers may therefore valuate a state twice
 across the cluster. The coordinator's merge dedupes by bitmap, and the
 duplication shows up honestly in the run statistics.
+
+Execution-backend contract: a :class:`WorkerJob` closes over the
+configuration *factory* (built fresh inside the worker, so a forked child
+never shares an estimator with its siblings), while everything a worker
+sends back — :class:`ShippedState` and :class:`WorkerResult` — is plain
+picklable data that survives a process-pipe round-trip.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -156,3 +163,33 @@ class Worker:
             elapsed_seconds=elapsed,
             terminated_by=report.terminated_by,
         )
+
+
+@dataclass
+class WorkerJob:
+    """Everything needed to run one worker, deferred until execution.
+
+    The configuration factory is invoked *inside* :func:`run_worker_job`,
+    so with a process backend each forked child builds its own private
+    estimator and test history — shared-nothing by construction.
+    """
+
+    worker_id: int
+    config_factory: Callable[[], Configuration]
+    seeds: list[tuple[int, str]]
+    epsilon: float
+    budget: int
+    max_level: int
+
+
+def run_worker_job(job: WorkerJob) -> WorkerResult:
+    """Backend entry point: build the worker, run it, return plain data."""
+    worker = Worker(
+        worker_id=job.worker_id,
+        config=job.config_factory(),
+        seeds=job.seeds,
+        epsilon=job.epsilon,
+        budget=job.budget,
+        max_level=job.max_level,
+    )
+    return worker.run(verify=False)

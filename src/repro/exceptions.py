@@ -45,6 +45,11 @@ class MeasureError(ReproError):
     outside (0, 1], unknown measure names)."""
 
 
+class BackendError(ReproError):
+    """An execution backend failed: unknown backend name, a worker process
+    died before reporting, or a shipped task raised remotely."""
+
+
 class SearchError(ReproError):
     """A skyline-search configuration problem: empty search space,
     non-positive budgets, or an operator set that cannot progress."""

@@ -1,0 +1,27 @@
+"""Execution-backend subsystem: how embarrassingly parallel work runs.
+
+See :mod:`repro.exec.backends` for the protocol and the three
+implementations (serial / thread / forked process). The distributed
+coordinator selects one via :func:`make_backend`; the CLI exposes the
+choice as ``--backend {serial,thread,process} --jobs N``.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    resolve_jobs,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "make_backend",
+    "resolve_jobs",
+]

@@ -1,0 +1,208 @@
+"""Execution backends: serial, thread-pool, and forked-process pools.
+
+The distributed runtime (and any other embarrassingly parallel stage) asks
+a :class:`Backend` to run a list of zero-argument *thunks* and hand back
+their results in submission order. Three implementations:
+
+* :class:`SerialBackend` — run the thunks inline, one after another. The
+  reference semantics every other backend must reproduce bit-for-bit.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``. Cheap to spin up and
+  shares memory, but CPU-bound search stays GIL-serialized; best when the
+  thunks block on I/O or release the GIL in native code.
+* :class:`ProcessBackend` — one forked child per thunk, at most ``n_jobs``
+  alive at a time. The thunk (and whatever it closes over — configuration
+  factories, search spaces) is inherited through the fork, so it does not
+  need to be picklable; only the **result** crosses the pipe back to the
+  parent, which is why the distributed worker ships plain-data
+  ``ShippedState``/``WorkerResult`` records.
+
+All backends preserve ordering (``results[i]`` belongs to ``thunks[i]``)
+and propagate the first failure: serial/thread re-raise the original
+exception, the process backend re-raises a :class:`BackendError` carrying
+the child's traceback text (the original object may not survive pickling).
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from ..exceptions import BackendError
+
+#: A unit of work: no arguments, returns a (picklable, for processes) value.
+Thunk = Callable[[], Any]
+
+
+def resolve_jobs(n_jobs: int | None) -> int:
+    """Turn a user-facing job count into a concrete worker count.
+
+    ``None`` or ``0`` means "auto": one job per available CPU (respecting
+    the scheduler affinity mask when the platform exposes it, e.g. inside
+    cgroup-limited containers). Negative counts are rejected.
+    """
+    if n_jobs is None or n_jobs == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    if n_jobs < 0:
+        raise BackendError(f"n_jobs must be >= 0 (0 = auto), got {n_jobs}")
+    return int(n_jobs)
+
+
+class Backend(abc.ABC):
+    """Runs a batch of thunks; results come back in submission order."""
+
+    name = "base"
+
+    def __init__(self, n_jobs: int | None = None):
+        self.n_jobs = resolve_jobs(n_jobs)
+
+    @abc.abstractmethod
+    def run(self, thunks: Sequence[Thunk]) -> list[Any]:
+        """Execute every thunk; ``results[i]`` is ``thunks[i]()``."""
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Convenience: apply ``fn`` to each item through :meth:`run`."""
+        return self.run([_BoundCall(fn, item) for item in items])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_jobs={self.n_jobs})"
+
+
+class _BoundCall:
+    """``partial(fn, item)`` that stays introspectable and fork-friendly."""
+
+    __slots__ = ("fn", "item")
+
+    def __init__(self, fn: Callable[[Any], Any], item: Any):
+        self.fn = fn
+        self.item = item
+
+    def __call__(self) -> Any:
+        return self.fn(self.item)
+
+
+class SerialBackend(Backend):
+    """Inline sequential execution — the reference backend."""
+
+    name = "serial"
+
+    def __init__(self, n_jobs: int | None = None):
+        super().__init__(1)
+
+    def run(self, thunks: Sequence[Thunk]) -> list[Any]:
+        return [thunk() for thunk in thunks]
+
+
+class ThreadBackend(Backend):
+    """A thread pool: shared memory, GIL-bound for pure-Python CPU work."""
+
+    name = "thread"
+
+    def run(self, thunks: Sequence[Thunk]) -> list[Any]:
+        if not thunks:
+            return []
+        workers = min(self.n_jobs, len(thunks))
+        if workers == 1:
+            return [thunk() for thunk in thunks]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(thunk) for thunk in thunks]
+            return [future.result() for future in futures]
+
+
+def _child_main(conn, thunk: Thunk) -> None:
+    """Forked-child entry: run the thunk, ship (ok, payload) back."""
+    try:
+        payload = (True, thunk())
+    except BaseException:
+        payload = (False, traceback.format_exc())
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+class ProcessBackend(Backend):
+    """Forked worker processes; results are pickled back over a pipe.
+
+    Requires the ``fork`` start method (Linux/macOS-with-fork): the thunk
+    is inherited by the child, so closures over un-picklable state (model
+    oracles, search spaces) work. Where ``fork`` is unavailable the
+    backend degrades to inline execution rather than failing — callers can
+    still select ``process`` portably and read the measured wall-clock.
+    """
+
+    name = "process"
+
+    def run(self, thunks: Sequence[Thunk]) -> list[Any]:
+        if not thunks:
+            return []
+        if len(thunks) == 1 or self.n_jobs == 1 or not self._can_fork():
+            return [thunk() for thunk in thunks]
+        ctx = multiprocessing.get_context("fork")
+        results: list[Any] = [None] * len(thunks)
+        wave = max(1, self.n_jobs)
+        for base in range(0, len(thunks), wave):
+            running = []
+            for offset, thunk in enumerate(thunks[base:base + wave]):
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main, args=(child_conn, thunk), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                running.append((base + offset, proc, parent_conn))
+            failure: str | None = None
+            for index, proc, conn in running:
+                try:
+                    ok, payload = conn.recv()
+                except EOFError:
+                    ok, payload = False, (
+                        f"worker process for task {index} died before "
+                        "reporting a result"
+                    )
+                finally:
+                    conn.close()
+                proc.join()
+                if ok:
+                    results[index] = payload
+                elif failure is None:
+                    failure = payload
+            if failure is not None:
+                raise BackendError(
+                    f"task failed in {self.name} backend:\n{failure}"
+                )
+        return results
+
+    @staticmethod
+    def _can_fork() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: Registry keyed by the user-facing backend name (CLI ``--backend``).
+BACKENDS: dict[str, type[Backend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def make_backend(
+    backend: str | Backend | None, n_jobs: int | None = None
+) -> Backend:
+    """Resolve a backend name (or pass an instance through) to a Backend."""
+    if isinstance(backend, Backend):
+        return backend
+    name = backend or SerialBackend.name
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; have {sorted(BACKENDS)}"
+        ) from None
+    return cls(n_jobs)

@@ -13,7 +13,7 @@ edge-clustering that derives the graph counterpart of domain literals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

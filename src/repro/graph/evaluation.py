@@ -7,8 +7,6 @@ relevance sets.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..ml.metrics import mean_ranking_metric, ndcg_at_k, precision_at_k, recall_at_k
 from .bipartite import BipartiteGraph
 from .lightgcn import LightGCN

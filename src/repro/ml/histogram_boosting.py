@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..rng import spawn_rng
 from .base import Classifier, Regressor, sigmoid, softmax
 
 

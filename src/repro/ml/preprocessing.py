@@ -21,7 +21,6 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..exceptions import ModelError, SchemaError
-from ..relational.schema import Schema
 from ..relational.table import Table
 from ..rng import make_rng
 

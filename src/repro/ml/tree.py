@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .base import Classifier, Model, Regressor, subsample_features
+from .base import Classifier, Regressor, subsample_features
 
 
 @dataclass(slots=True)

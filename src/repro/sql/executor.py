@@ -14,7 +14,7 @@ Semantics follow SQL-92 for the supported subset:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import Any, Mapping
 
 from ..exceptions import SQLError
 from ..relational.schema import Attribute, CATEGORICAL, NUMERIC, Schema

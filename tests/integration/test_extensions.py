@@ -6,7 +6,6 @@ real skyline outputs, estimator warm-start across simulated sessions, and
 the running-graph exporters.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import BiMODis, RLMODis

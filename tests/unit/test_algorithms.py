@@ -4,7 +4,6 @@ The toy oracle is a pure function of the bitmap, so every assertion about
 budgets, ε-covers, and skyline structure is exact — no ML noise.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.algorithms import (

@@ -131,3 +131,51 @@ class TestDiscoverCommand:
         )
         assert code == 2
         assert "single-node" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert out.startswith("repro ")
+
+    def test_version_via_main(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestBackendFlags:
+    def test_backend_defaults(self):
+        args = build_parser().parse_args(["discover", "--task", "T1"])
+        assert args.backend == "serial"
+        assert args.jobs == 0
+
+    def test_backend_choices(self):
+        for backend in ("serial", "thread", "process"):
+            args = build_parser().parse_args(
+                ["discover", "--task", "T1", "--backend", backend, "--jobs", "2"]
+            )
+            assert args.backend == backend
+            assert args.jobs == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["discover", "--task", "T1", "--backend", "mpi"]
+            )
+
+    def test_backend_requires_distributed(self, capsys):
+        code = main(
+            ["discover", "--task", "T1", "--backend", "process"]
+        )
+        assert code == 2
+        assert "--distributed" in capsys.readouterr().err

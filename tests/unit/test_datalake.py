@@ -1,6 +1,5 @@
 """Unit tests for the synthetic corpus generator and the tasks T1–T5."""
 
-import numpy as np
 import pytest
 
 from repro.datalake import (

@@ -5,16 +5,19 @@ import pytest
 
 from repro.core import ApxMODis
 from repro.core.config import Configuration
-from repro.core.dominance import dominates, pareto_front
+from repro.core.dominance import dominates
 from repro.core.estimator import OracleEstimator
 from repro.distributed import (
     DistributedMODis,
     Worker,
+    WorkerJob,
     merge_skylines,
     partition_frontier,
+    run_worker_job,
 )
 from repro.distributed.worker import ShippedState
-from repro.exceptions import SearchError
+from repro.exceptions import BackendError, SearchError
+from repro.exec import ProcessBackend, ThreadBackend
 
 from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
 
@@ -222,3 +225,85 @@ class TestDistributedMODis:
             DistributedMODis(make_config, n_workers=0)
         with pytest.raises(SearchError):
             DistributedMODis(make_config, n_workers=10, budget=5)
+        with pytest.raises(BackendError):
+            DistributedMODis(make_config, n_workers=2, backend="mpi")
+
+
+def _run_with_backend(backend, n_workers=3, budget=90):
+    runner = DistributedMODis(
+        make_config,
+        n_workers=n_workers,
+        epsilon=0.2,
+        budget=budget,
+        max_level=4,
+        backend=backend,
+        n_jobs=n_workers,
+    )
+    result = runner.run(verify=False)
+    return runner, result
+
+
+class TestExecutionBackends:
+    def test_worker_job_round_trip(self):
+        """run_worker_job builds a private config and returns plain data."""
+        config = make_config()
+        partitions = partition_frontier(config.space, 2)
+        job = WorkerJob(
+            worker_id=0,
+            config_factory=make_config,
+            seeds=partitions[0],
+            epsilon=0.2,
+            budget=30,
+            max_level=3,
+        )
+        result = run_worker_job(job)
+        assert result.worker_id == 0
+        assert result.n_valuated >= 1
+        assert all(isinstance(s.bits, int) for s in result.shipped)
+
+    def test_report_carries_backend_and_measured_wall(self):
+        runner, result = _run_with_backend("serial")
+        extras = result.report.extras
+        assert extras["backend"] == "serial"
+        assert extras["search_wall_seconds"] > 0
+        assert extras["measured_speedup"] > 0
+        assert runner.report.search_wall_seconds > 0
+
+    def test_thread_backend_matches_serial(self):
+        _, serial = _run_with_backend("serial")
+        _, threaded = _run_with_backend("thread")
+        assert {e.bits for e in threaded.entries} == {
+            e.bits for e in serial.entries
+        }
+
+    @pytest.mark.skipif(
+        not ProcessBackend._can_fork(), reason="fork unavailable"
+    )
+    def test_process_backend_bit_identical_to_serial(self):
+        """The acceptance invariant: identical merged skylines, bit for bit."""
+        _, serial = _run_with_backend("serial")
+        _, forked = _run_with_backend("process")
+        assert {e.bits for e in forked.entries} == {
+            e.bits for e in serial.entries
+        }
+        serial_perfs = {
+            e.bits: tuple(e.state.perf) for e in serial.entries
+        }
+        for entry in forked.entries:
+            assert tuple(entry.state.perf) == serial_perfs[entry.bits]
+
+    def test_backend_instance_accepted(self):
+        backend = ThreadBackend(2)
+        runner, _ = _run_with_backend(backend)
+        assert runner.backend is backend
+
+    def test_backend_defaults_from_configuration(self):
+        def factory():
+            config = make_config()
+            config.backend = "thread"
+            config.n_jobs = 2
+            return config
+
+        runner = DistributedMODis(factory, n_workers=2, budget=40)
+        assert runner.backend.name == "thread"
+        assert runner.backend.n_jobs == 2

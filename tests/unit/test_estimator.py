@@ -114,3 +114,77 @@ class TestMOGBEstimator:
         space, est = self.make()
         est.valuate(0b110011, space)
         assert est.total_valuations == est.oracle_calls + est.surrogate_calls
+
+
+class TestBatchValuation:
+    """valuate_batch must agree, bit for bit, with per-state valuate."""
+
+    def seq_and_batch(self, make_estimator, space, bits_list):
+        sequential = make_estimator()
+        seq = np.stack([sequential.valuate(b, space) for b in bits_list])
+        batched = make_estimator()
+        bat = batched.valuate_batch(bits_list, space)
+        return sequential, seq, batched, bat
+
+    def test_oracle_estimator_agrees(self):
+        space = ToySpace(width=6)
+        bits_list = list(range(1, 30))
+        sequential, seq, batched, bat = self.seq_and_batch(
+            lambda: OracleEstimator(linear_toy_oracle(6), two_measure_set()),
+            space,
+            bits_list,
+        )
+        assert np.array_equal(seq, bat)
+        assert batched.oracle_calls == sequential.oracle_calls
+
+    def test_mogb_estimator_agrees(self):
+        space = ToySpace(width=8)
+
+        def make():
+            return MOGBEstimator(
+                linear_toy_oracle(8),
+                two_measure_set(),
+                n_bootstrap=8,
+                refit_every=4,  # several refits inside one batch
+                seed=3,
+            )
+
+        bits_list = list(range(1, 60))
+        sequential, seq, batched, bat = self.seq_and_batch(
+            make, space, bits_list
+        )
+        assert np.array_equal(seq, bat)
+        assert batched.oracle_calls == sequential.oracle_calls
+        assert batched.surrogate_calls == sequential.surrogate_calls
+        assert len(batched.store) == len(sequential.store)
+
+    def test_batch_memoizes_duplicates(self):
+        space = ToySpace(width=5)
+        est = OracleEstimator(linear_toy_oracle(5), two_measure_set())
+        perfs = est.valuate_batch([7, 7, 9, 7], space)
+        assert est.oracle_calls == 2  # 7 valuated once, 9 once
+        assert np.array_equal(perfs[0], perfs[1])
+        assert np.array_equal(perfs[0], perfs[3])
+
+    def test_batch_reuses_store(self):
+        space = ToySpace(width=5)
+        est = OracleEstimator(linear_toy_oracle(5), two_measure_set())
+        est.valuate(7, space)
+        est.valuate_batch([7, 8], space)
+        assert est.oracle_calls == 2  # 7 came from T
+
+    def test_empty_batch(self):
+        space = ToySpace(width=5)
+        est = OracleEstimator(linear_toy_oracle(5), two_measure_set())
+        out = est.valuate_batch([], space)
+        assert out.shape == (0, 2)
+
+    def test_mogb_batch_counts_budget_like_sequential(self):
+        space = ToySpace(width=6)
+        est = MOGBEstimator(
+            linear_toy_oracle(6), two_measure_set(), n_bootstrap=6, seed=0
+        )
+        bits_list = [b for b in range(1, 20)]
+        est.valuate_batch(bits_list, space)
+        assert est.total_valuations == est.oracle_calls + est.surrogate_calls
+        assert all(b in est.store for b in bits_list)

@@ -1,0 +1,172 @@
+"""Execution backends: ordering, concurrency limits, error propagation."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError
+from repro.exec import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    resolve_jobs,
+)
+
+ALL_BACKENDS = [SerialBackend, ThreadBackend, ProcessBackend]
+
+
+def square_thunks(values):
+    return [lambda v=v: v * v for v in values]
+
+
+class TestResolveJobs:
+    def test_auto_uses_available_cpus(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(BackendError):
+            resolve_jobs(-1)
+
+
+class TestMakeBackend:
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"serial", "thread", "process"}
+        for name, cls in BACKENDS.items():
+            backend = make_backend(name, n_jobs=2)
+            assert isinstance(backend, cls)
+            assert backend.name == name
+
+    def test_none_defaults_to_serial(self):
+        assert isinstance(make_backend(None), SerialBackend)
+
+    def test_instance_passes_through(self):
+        backend = ThreadBackend(2)
+        assert make_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(BackendError):
+            make_backend("mpi")
+
+
+class TestBackendSemantics:
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_results_in_submission_order(self, cls):
+        backend = cls(n_jobs=3)
+        assert backend.run(square_thunks(range(10))) == [
+            v * v for v in range(10)
+        ]
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_empty_batch(self, cls):
+        assert cls(n_jobs=2).run([]) == []
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_single_thunk(self, cls):
+        assert cls(n_jobs=4).run([lambda: "only"]) == ["only"]
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_map_applies_function(self, cls):
+        backend = cls(n_jobs=2)
+        assert backend.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_more_thunks_than_jobs(self, cls):
+        backend = cls(n_jobs=2)
+        assert backend.run(square_thunks(range(7))) == [
+            v * v for v in range(7)
+        ]
+
+    @pytest.mark.parametrize("cls", [SerialBackend, ThreadBackend])
+    def test_inline_backends_raise_original_error(self, cls):
+        def boom():
+            raise ValueError("broken thunk")
+
+        with pytest.raises(ValueError, match="broken thunk"):
+            cls(n_jobs=2).run([lambda: 1, boom, lambda: 3])
+
+    def test_all_are_backends(self):
+        for cls in ALL_BACKENDS:
+            assert issubclass(cls, Backend)
+
+    def test_serial_is_single_job(self):
+        assert SerialBackend(n_jobs=8).n_jobs == 1
+
+
+@pytest.mark.skipif(
+    not ProcessBackend._can_fork(), reason="fork start method unavailable"
+)
+class TestProcessBackend:
+    def test_numpy_results_cross_the_pipe(self):
+        backend = ProcessBackend(n_jobs=2)
+        results = backend.run(
+            [lambda i=i: np.full(3, float(i)) for i in range(4)]
+        )
+        for i, arr in enumerate(results):
+            assert np.array_equal(arr, np.full(3, float(i)))
+
+    def test_children_are_isolated(self):
+        """Mutations inside a forked child never leak back to the parent."""
+        box = {"value": 0}
+
+        def mutate(i):
+            box["value"] = i + 1
+            return box["value"]
+
+        results = ProcessBackend(n_jobs=2).map(mutate, range(4))
+        assert results == [1, 2, 3, 4]
+        assert box["value"] == 0
+
+    def test_work_really_runs_in_child_processes(self):
+        parent = os.getpid()
+        pids = ProcessBackend(n_jobs=2).run(
+            [os.getpid, os.getpid, os.getpid]
+        )
+        assert all(pid != parent for pid in pids)
+
+    def test_remote_error_wrapped_with_traceback(self):
+        def boom():
+            raise ValueError("remote failure")
+
+        with pytest.raises(BackendError, match="remote failure"):
+            ProcessBackend(n_jobs=2).run([lambda: 1, boom])
+
+    def test_single_thunk_runs_inline(self):
+        assert ProcessBackend(n_jobs=4).run([os.getpid]) == [os.getpid()]
+
+
+class TestConfigurationKnobs:
+    def test_unknown_backend_on_configuration(self):
+        from repro.core.config import Configuration
+        from repro.core.estimator import OracleEstimator
+        from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+        measures = two_measure_set()
+        with pytest.raises(BackendError):
+            Configuration(
+                space=ToySpace(width=4),
+                measures=measures,
+                estimator=OracleEstimator(linear_toy_oracle(4), measures),
+                backend="mpi",
+            )
+
+    def test_negative_jobs_on_configuration(self):
+        from repro.core.config import Configuration
+        from repro.core.estimator import OracleEstimator
+        from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
+
+        measures = two_measure_set()
+        with pytest.raises(BackendError):
+            Configuration(
+                space=ToySpace(width=4),
+                measures=measures,
+                estimator=OracleEstimator(linear_toy_oracle(4), measures),
+                n_jobs=-1,
+            )

@@ -6,7 +6,7 @@ from repro.exceptions import SQLError
 from repro.relational import Schema, Table
 from repro.sql import Catalog, parse, query, tokenize
 from repro.sql import nodes as N
-from repro.sql.tokens import IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING
+from repro.sql.tokens import IDENT, KEYWORD, PUNCT, STRING
 
 
 @pytest.fixture

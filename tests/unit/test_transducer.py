@@ -1,6 +1,5 @@
 """Unit tests for search spaces, OpGen, and the running graph."""
 
-import numpy as np
 import pytest
 
 from repro.core.state import iter_set_bits

@@ -198,8 +198,6 @@ class TestUDFSearchSpace:
 
     def test_search_runs_end_to_end_with_udfs(self, inner):
         """A whole ApxMODis run over a UDF-wrapped space stays consistent."""
-        import numpy as np
-
         from repro.core import ApxMODis, Configuration, MeasureSet
         from repro.core.estimator import OracleEstimator
         from repro.core.measures import error_measure
