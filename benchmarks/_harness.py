@@ -14,30 +14,34 @@ wall-clock of the discovery call.
 from __future__ import annotations
 
 import time
-from functools import lru_cache
 from typing import Any, Callable
 
-from repro.core import ApxMODis, BiMODis, DivMODis, NOBiMODis
 from repro.core.algorithms import DiscoveryResult
-from repro.datalake import DiscoveryTask, make_task
+from repro.datalake import DiscoveryTask
 from repro.discovery import run_baseline, run_hydragan
+from repro.scenarios.factory import (
+    MODIS_VARIANTS as _VARIANT_TABLE,
+    TASK_CACHE,
+    make_variant,
+)
 
 #: Bench-wide task scale: large enough for stable shapes, small enough for
 #: a laptop-class benchmark run.
 BENCH_SCALE = 0.5
 
+#: The paper's four headline variants, sourced from the scenario factory's
+#: single table (display name → constructor on a configuration) so the
+#: harness and the builtin paper-grid scenarios cannot drift apart.
 MODIS_VARIANTS: dict[str, Callable] = {
-    "ApxMODis": lambda cfg, **kw: ApxMODis(cfg, **kw),
-    "NOBiMODis": lambda cfg, **kw: NOBiMODis(cfg, **kw),
-    "BiMODis": lambda cfg, **kw: BiMODis(cfg, **kw),
-    "DivMODis": lambda cfg, **kw: DivMODis(cfg, k=5, **kw),
+    name: (lambda cfg, _name=name, **kw: make_variant(_name, cfg, **kw))
+    for name in _VARIANT_TABLE
 }
 
 
-@lru_cache(maxsize=None)
 def bench_task(name: str, scale: float = BENCH_SCALE) -> DiscoveryTask:
-    """Session-cached task instances (universal join + cost calibration)."""
-    return make_task(name, scale=scale)
+    """Session-cached task instances (universal join + cost calibration),
+    shared with scenario suites via the factory's process-wide cache."""
+    return TASK_CACHE.get(name, scale=scale)
 
 
 def run_modis(

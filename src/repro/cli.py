@@ -10,9 +10,12 @@ tool:
     python -m repro discover --task T1 --algorithm bimodis --budget 60
     python -m repro discover --task T2 --provenance   # + SQL per entry
     python -m repro discover --task T3 --distributed 4
+    python -m repro discover --task T3 --json   # machine-readable result
     python -m repro corpus                      # Table 2 analogue
     python -m repro udfs                        # registered UDFs
     python -m repro algorithms                  # available algorithms
+    python -m repro suite list                  # registered scenarios
+    python -m repro suite --filter tag:smoke --backend thread --jobs 2
 
 Every command is deterministic for a fixed ``--seed``. Output is plain
 text (tables) so runs can be diffed; ``--output DIR`` additionally writes
@@ -22,6 +25,7 @@ the datasets + ``report.json`` via :func:`repro.report.save_result`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Sequence
 
@@ -33,7 +37,7 @@ from .datalake.tasks import TASK_BUILDERS, make_task
 from .distributed import DistributedMODis
 from .exceptions import ReproError
 from .exec import BACKENDS
-from .report import save_result
+from .report import build_payload, save_result, save_suite_report
 from .sql import state_to_sql
 
 
@@ -136,6 +140,16 @@ def cmd_discover(args: argparse.Namespace) -> int:
         raise ReproError(
             f"unknown algorithm {args.algorithm!r}; have {sorted(ALGORITHMS)}"
         )
+    if args.json and args.provenance:
+        raise ReproError(
+            "--json and --provenance are mutually exclusive (embed SQL "
+            "provenance via the report's per-entry 'path' instead)"
+        )
+    # With --json, stdout carries exactly one JSON document; progress
+    # chatter moves to stderr so shell pipelines stay parseable.
+    info = (
+        (lambda *a: print(*a, file=sys.stderr)) if args.json else print
+    )
     task = make_task(args.task, scale=args.scale, seed=args.seed)
     if not args.distributed and (args.backend != "serial" or args.jobs):
         raise ReproError(
@@ -168,8 +182,8 @@ def cmd_discover(args: argparse.Namespace) -> int:
             config.estimator.store = load_test_store(
                 args.history, task.measures
             )
-            print(f"warm start: {len(config.estimator.store)} historical "
-                  f"tests from {args.history}")
+            info(f"warm start: {len(config.estimator.store)} historical "
+                 f"tests from {args.history}")
         algorithm = ALGORITHMS[args.algorithm](
             config,
             epsilon=args.epsilon,
@@ -180,9 +194,12 @@ def cmd_discover(args: argparse.Namespace) -> int:
         if args.history:
             save_test_store(config.estimator.store, args.history,
                             task.measures)
-            print(f"saved {len(config.estimator.store)} tests to "
-                  f"{args.history}")
-    _print_result(result)
+            info(f"saved {len(config.estimator.store)} tests to "
+                 f"{args.history}")
+    if args.json:
+        print(json.dumps(build_payload(result), indent=2))
+    else:
+        _print_result(result)
     if args.provenance:
         if not isinstance(task.space, TabularSearchSpace):
             print("(provenance SQL is only available for tabular tasks)")
@@ -192,8 +209,54 @@ def cmd_discover(args: argparse.Namespace) -> int:
                 print(state_to_sql(task.space, entry.bits))
     if args.output:
         path = save_result(result, task.space, args.output)
-        print(f"\nwrote datasets and {path}")
+        info(f"\nwrote datasets and {path}")
     return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """``repro suite``: list or batch-run registered scenarios."""
+    from .scenarios import (
+        REGISTRY,
+        ResultCache,
+        SuiteRunner,
+        load_builtin_scenarios,
+    )
+
+    load_builtin_scenarios()
+    selectors = args.filter or []
+    scenarios = REGISTRY.filter(*selectors)
+    if not scenarios:
+        raise ReproError(
+            f"no scenarios match {selectors!r}; "
+            f"{len(REGISTRY)} registered (try: repro suite list)"
+        )
+    if args.action == "list":
+        rows = [tuple(s.to_row().values()) for s in scenarios]
+        print(_format_table(
+            ["scenario", "task", "algorithm", "tags", "eps", "N", "scale"],
+            rows,
+        ))
+        return 0
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir or None)
+    runner = SuiteRunner(
+        registry=REGISTRY, cache=cache, backend=args.backend,
+        n_jobs=args.jobs,
+    )
+    report = runner.run(selectors)
+    print(report.markdown_summary())
+    if cache is not None:
+        print(f"cache: {report.cache_hits}/{report.n_scenarios} hits "
+              f"under {cache.directory}")
+    for outcome in report.failures:
+        print(f"FAILED {outcome.name}: {outcome.error}", file=sys.stderr)
+    if args.output:
+        path = save_suite_report(
+            report.to_payload(), args.output,
+            markdown=report.markdown_summary(),
+        )
+        print(f"wrote {path}")
+    return 1 if report.failures else 0
 
 
 # ---------------------------------------------------------------------------
@@ -256,6 +319,34 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--history", default="",
                           help="JSON test-store path: warm-start from it if "
                                "present, save the run's tests back to it")
+    discover.add_argument("--json", action="store_true",
+                          help="print the machine-readable DiscoveryResult "
+                               "JSON on stdout (progress goes to stderr)")
+
+    suite = sub.add_parser(
+        "suite", help="batch-run registered scenarios (see repro.scenarios)"
+    )
+    suite.add_argument("action", nargs="?", default="run",
+                       choices=("run", "list"),
+                       help="run the selected scenarios (default) or just "
+                            "list them")
+    suite.add_argument("--filter", action="append", default=[],
+                       metavar="SELECTOR",
+                       help="tag:NAME, task:T1, algorithm:KEY, or a name "
+                            "glob; repeat to intersect, comma for OR")
+    suite.add_argument("--backend", default="serial",
+                       choices=sorted(BACKENDS),
+                       help="execution backend fanning scenarios out")
+    suite.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="concurrent scenarios (0 = one per CPU)")
+    suite.add_argument("--cache-dir", default="",
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/scenarios)")
+    suite.add_argument("--no-cache", action="store_true",
+                       help="always re-run; neither read nor write the cache")
+    suite.add_argument("--output", default="",
+                       help="directory for suite_report.json + "
+                            "suite_report.md")
     return parser
 
 
@@ -265,6 +356,7 @@ _COMMANDS = {
     "udfs": cmd_udfs,
     "corpus": cmd_corpus,
     "discover": cmd_discover,
+    "suite": cmd_suite,
 }
 
 

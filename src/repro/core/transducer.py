@@ -20,6 +20,7 @@ of ``T`` unfolds a DAG — the running graph ``G_T``. This module provides:
 from __future__ import annotations
 
 import abc
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterator, Literal as TypingLiteral, Sequence
@@ -97,27 +98,35 @@ class SearchSpace(abc.ABC):
 
 
 class _LRUCache:
-    """Tiny bounded cache keyed by bitmap (materialization is pure)."""
+    """Tiny bounded cache keyed by bitmap (materialization is pure).
+
+    Thread-safe: scenario suites run concurrent searches over one shared
+    search space (see :class:`repro.scenarios.TaskCache`), so lookups and
+    evictions from different threads must not interleave mid-update.
+    """
 
     def __init__(self, maxsize: int = 512):
         self.maxsize = maxsize
         self._store: OrderedDict[int, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: int):
-        if key in self._store:
-            self._store.move_to_end(key)
-            self.hits += 1
-            return self._store[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return self._store[key]
+            self.misses += 1
+            return None
 
     def put(self, key: int, value: Any) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        if len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            if len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
 
 
 class TabularSearchSpace(SearchSpace):

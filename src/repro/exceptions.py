@@ -63,5 +63,10 @@ class DataLakeError(ReproError):
     """Synthetic corpus/task generation was configured incorrectly."""
 
 
+class ScenarioError(ReproError):
+    """A scenario/suite problem: duplicate or unknown scenario names, bad
+    filter selectors, unresolvable specs, or a corrupt result cache."""
+
+
 class SQLError(ReproError):
     """A SQL string could not be tokenized, parsed, bound, or executed."""

@@ -23,6 +23,49 @@ from .relational.csvio import write_csv
 from .relational.table import Table
 
 REPORT_NAME = "report.json"
+SUITE_REPORT_NAME = "suite_report.json"
+SUITE_SUMMARY_NAME = "suite_report.md"
+
+
+def entry_payload(result: DiscoveryResult, index: int) -> dict[str, Any]:
+    """The JSON form of one skyline entry (no file materialization)."""
+    entry = result.entries[index]
+    payload: dict[str, Any] = {
+        "description": entry.description,
+        "bits": hex(entry.bits),
+        "performance": entry.perf,
+        "output_size": list(entry.output_size),
+    }
+    if entry.bits in result.running_graph.states:
+        # Narrative provenance: the operator chain that produced the
+        # dataset (pairs with the declarative SQL form of
+        # repro.sql.state_to_sql).
+        payload["path"] = [
+            op for _, op in result.running_graph.path_to(entry.bits)
+        ]
+    return payload
+
+
+def build_payload(result: DiscoveryResult) -> dict[str, Any]:
+    """The machine-readable form of a :class:`DiscoveryResult`.
+
+    The same dict ``save_result`` writes as ``report.json`` (minus the
+    per-entry ``file`` keys, which only exist once datasets are
+    materialized); also what ``repro discover --json`` prints and what
+    suite runs persist in the result cache.
+    """
+    return {
+        "algorithm": result.report.algorithm,
+        "epsilon": result.epsilon,
+        "measures": list(result.measures.names),
+        "n_valuated": result.report.n_valuated,
+        "n_pruned": result.report.n_pruned,
+        "elapsed_seconds": result.report.elapsed_seconds,
+        "terminated_by": result.report.terminated_by,
+        "entries": [
+            entry_payload(result, i) for i in range(len(result.entries))
+        ],
+    }
 
 
 def _entry_filename(index: int, artifact: Any) -> str:
@@ -50,7 +93,7 @@ def save_result(
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    entries_payload = []
+    payload = build_payload(result)
     for index, entry in enumerate(result.entries):
         artifact = space.materialize(entry.bits)
         filename = _entry_filename(index, artifact)
@@ -62,31 +105,9 @@ def save_result(
             raise ReproError(
                 f"cannot persist artifact of type {type(artifact).__name__}"
             )
-        payload_entry = {
-            "file": filename,
-            "description": entry.description,
-            "bits": hex(entry.bits),
-            "performance": entry.perf,
-            "output_size": list(entry.output_size),
+        payload["entries"][index] = {
+            "file": filename, **payload["entries"][index]
         }
-        if entry.bits in result.running_graph.states:
-            # Narrative provenance: the operator chain that produced the
-            # dataset (pairs with the declarative SQL form of
-            # repro.sql.state_to_sql).
-            payload_entry["path"] = [
-                op for _, op in result.running_graph.path_to(entry.bits)
-            ]
-        entries_payload.append(payload_entry)
-    payload = {
-        "algorithm": result.report.algorithm,
-        "epsilon": result.epsilon,
-        "measures": list(result.measures.names),
-        "n_valuated": result.report.n_valuated,
-        "n_pruned": result.report.n_pruned,
-        "elapsed_seconds": result.report.elapsed_seconds,
-        "terminated_by": result.report.terminated_by,
-        "entries": entries_payload,
-    }
     report_path = directory / REPORT_NAME
     with report_path.open("w") as fh:
         json.dump(payload, fh, indent=2)
@@ -98,5 +119,32 @@ def load_report(directory: str | Path) -> dict:
     path = Path(directory) / REPORT_NAME
     if not path.exists():
         raise ReproError(f"no {REPORT_NAME} under {directory}")
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def save_suite_report(
+    payload: dict, directory: str | Path, markdown: str | None = None
+) -> Path:
+    """Persist a suite run: ``suite_report.json`` (+ optional markdown).
+
+    Returns the JSON path. ``markdown`` (the suite's human summary table)
+    lands next to it as ``suite_report.md`` when given.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / SUITE_REPORT_NAME
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+    if markdown is not None:
+        (directory / SUITE_SUMMARY_NAME).write_text(markdown)
+    return path
+
+
+def load_suite_report(directory: str | Path) -> dict:
+    """Read back a saved suite's ``suite_report.json``."""
+    path = Path(directory) / SUITE_REPORT_NAME
+    if not path.exists():
+        raise ReproError(f"no {SUITE_REPORT_NAME} under {directory}")
     with path.open() as fh:
         return json.load(fh)

@@ -1,0 +1,71 @@
+"""Declarative scenario registry + suite runner with a persistent cache.
+
+The paper evaluates MODis over a fixed grid of tasks, algorithms, and
+measures; this subsystem makes such workloads first-class:
+
+* :class:`Scenario` — a declarative spec (task, algorithm + kwargs,
+  search knobs, scale, seed, optional distributed worker count);
+* :data:`REGISTRY` / :class:`ScenarioRegistry` — named, filterable specs
+  (``tag:smoke``, ``task:T1``, ``algorithm:bimodis``, name globs), with
+  built-ins auto-discovered from :mod:`repro.scenarios.builtin`;
+* :class:`ScenarioFactory` — spec → ready-to-run pipeline (tasks through
+  a shared :class:`TaskCache`, algorithms from ``ALGORITHMS``,
+  ``DistributedMODis`` when requested);
+* :class:`SuiteRunner` / :func:`run_suite` — fan a filtered set over any
+  :mod:`repro.exec` backend and collect a suite report;
+* :class:`ResultCache` — content-addressed on-disk results keyed by the
+  spec fingerprint, so repeated suites skip finished scenarios.
+
+CLI surface: ``repro suite [list|run] --filter ... --backend ... --jobs N
+--cache-dir DIR [--no-cache]``.
+
+Quickstart::
+
+    from repro.scenarios import REGISTRY, load_builtin_scenarios, run_suite
+
+    load_builtin_scenarios()
+    print(REGISTRY.names)
+    report = run_suite(["tag:smoke"], backend="thread", n_jobs=2)
+    print(report.markdown_summary())
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from .factory import (
+    MODIS_VARIANTS,
+    TASK_CACHE,
+    ResolvedScenario,
+    ScenarioFactory,
+    TaskCache,
+    make_variant,
+)
+from .registry import (
+    REGISTRY,
+    ScenarioRegistry,
+    load_builtin_scenarios,
+    register,
+)
+from .spec import CACHE_SCHEMA, Scenario, canonical_json
+from .suite import ScenarioOutcome, SuiteReport, SuiteRunner, run_suite
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "MODIS_VARIANTS",
+    "REGISTRY",
+    "ResolvedScenario",
+    "ResultCache",
+    "Scenario",
+    "ScenarioFactory",
+    "ScenarioOutcome",
+    "ScenarioRegistry",
+    "SuiteReport",
+    "SuiteRunner",
+    "TASK_CACHE",
+    "TaskCache",
+    "canonical_json",
+    "default_cache_dir",
+    "load_builtin_scenarios",
+    "make_variant",
+    "register",
+    "run_suite",
+]

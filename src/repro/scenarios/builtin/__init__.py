@@ -1,0 +1,15 @@
+"""Built-in scenario modules, auto-discovered by the registry.
+
+Every module in this package registers :class:`~repro.scenarios.spec.Scenario`
+specs into the module-level registry at import time;
+:func:`repro.scenarios.load_builtin_scenarios` imports them all (sorted by
+module name, so registration order is deterministic). Add a module here
+and its scenarios ship — no central list to update.
+
+Modules: :mod:`paper_grid` (the paper's T1–T5 × variant evaluation grid),
+:mod:`smoke` (seconds-fast CI scenarios, tag ``smoke``), :mod:`stress`
+(distributed / RL / graph / high-ε variants, tag ``stress``).
+"""
+
+# Scenario modules export nothing; they register specs as a side effect.
+__all__: list[str] = []

@@ -1,0 +1,47 @@
+"""The paper's evaluation grid: T1–T5 × five discovery algorithms.
+
+One scenario per (task, algorithm) cell of the paper's Tables 4–6: the
+four headline MODis variants (via the factory's ``MODIS_VARIANTS`` table,
+so kwargs like DivMODis' ``k`` stay single-sourced) plus the NSGA-II
+comparator of §5.4. Search knobs mirror the benchmark harness defaults
+(ε = 0.15, N = 80, maxl = 5, scale 0.5).
+"""
+
+from __future__ import annotations
+
+from ..factory import MODIS_VARIANTS
+from ..registry import register
+from ..spec import Scenario
+
+_TASKS = ("T1", "T2", "T3", "T4", "T5")
+
+for _task in _TASKS:
+    for _variant, (_key, _kwargs) in MODIS_VARIANTS.items():
+        register(
+            Scenario(
+                name=f"{_task.lower()}-{_key}",
+                task=_task,
+                algorithm=_key,
+                algorithm_kwargs=_kwargs,
+                tags=("paper", "grid", _task.lower(), _key),
+                epsilon=0.15,
+                budget=80,
+                max_level=5,
+                scale=0.5,
+                description=f"{_variant} on {_task} (paper grid)",
+            )
+        )
+    register(
+        Scenario(
+            name=f"{_task.lower()}-nsga2",
+            task=_task,
+            algorithm="nsga2",
+            algorithm_kwargs={"population": 16, "generations": 8},
+            tags=("paper", "grid", _task.lower(), "nsga2"),
+            epsilon=0.15,
+            budget=80,
+            max_level=5,
+            scale=0.5,
+            description=f"NSGA-II comparator on {_task} (paper grid)",
+        )
+    )

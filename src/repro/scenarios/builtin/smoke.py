@@ -1,0 +1,65 @@
+"""Smoke scenarios: seconds-fast, exercised twice by the CI suite job.
+
+Tiny corpora (scale 0.2), small budgets, the exact ``oracle`` estimator
+(cheap at this scale and estimator-noise-free, so cached results are
+stable and byte-identical across backends). Everything here carries the
+``smoke`` tag — ``repro suite --filter tag:smoke`` is the CI invocation.
+"""
+
+from __future__ import annotations
+
+from ..registry import register
+from ..spec import Scenario
+
+_SMOKE = dict(
+    epsilon=0.3, budget=10, max_level=2, scale=0.2, estimator="oracle"
+)
+
+register(
+    Scenario(
+        name="smoke-t3-apx",
+        task="T3",
+        algorithm="apx",
+        tags=("smoke", "t3", "apx"),
+        description="tiny ApxMODis on the linear avocado task",
+        **_SMOKE,
+    )
+)
+
+register(
+    Scenario(
+        name="smoke-t3-bimodis",
+        task="T3",
+        algorithm="bimodis",
+        tags=("smoke", "t3", "bimodis"),
+        description="tiny bi-directional search on T3",
+        **_SMOKE,
+    )
+)
+
+register(
+    Scenario(
+        name="smoke-t3-nsga2",
+        task="T3",
+        algorithm="nsga2",
+        algorithm_kwargs={"population": 6, "generations": 3, "seed": 7},
+        tags=("smoke", "t3", "nsga2"),
+        description="tiny NSGA-II comparator on T3",
+        epsilon=0.3,
+        budget=14,
+        max_level=2,
+        scale=0.2,
+        estimator="oracle",
+    )
+)
+
+register(
+    Scenario(
+        name="smoke-t1-nobimodis",
+        task="T1",
+        algorithm="nobimodis",
+        tags=("smoke", "t1", "nobimodis"),
+        description="tiny non-optimized bi-directional search on T1",
+        **_SMOKE,
+    )
+)

@@ -1,0 +1,85 @@
+"""Stress and diversity scenarios beyond the paper grid.
+
+The ROADMAP's "as many scenarios as you can imagine" direction: the
+distributed coordinator, the RL comparator, graph-task diversification,
+high-ε coarse approximation, and a wide NSGA-II population — each one a
+named, cacheable workload instead of a hand-wired script.
+"""
+
+from __future__ import annotations
+
+from ..registry import register
+from ..spec import Scenario
+
+register(
+    Scenario(
+        name="t3-distributed-3",
+        task="T3",
+        tags=("stress", "distributed", "t3"),
+        distributed=3,
+        epsilon=0.15,
+        budget=60,
+        max_level=4,
+        scale=0.4,
+        description="T3 through DistributedMODis with 3 shared-nothing workers",
+    )
+)
+
+register(
+    Scenario(
+        name="t1-rl",
+        task="T1",
+        algorithm="rl",
+        algorithm_kwargs={"n_policies": 3, "episodes": 20, "seed": 11},
+        tags=("stress", "rl", "t1"),
+        epsilon=0.15,
+        budget=80,
+        max_level=5,
+        scale=0.5,
+        description="RL comparator (multi-policy Q-learning) on T1",
+    )
+)
+
+register(
+    Scenario(
+        name="t2-bimodis-high-eps",
+        task="T2",
+        algorithm="bimodis",
+        tags=("stress", "high-eps", "t2", "bimodis"),
+        epsilon=0.45,
+        budget=80,
+        max_level=5,
+        scale=0.5,
+        description="coarse ε-grid: fewer cells, more aggressive pruning",
+    )
+)
+
+register(
+    Scenario(
+        name="t5-divmodis-graph",
+        task="T5",
+        algorithm="divmodis",
+        algorithm_kwargs={"k": 6, "alpha": 0.4},
+        tags=("stress", "graph", "t5", "divmodis"),
+        epsilon=0.2,
+        budget=60,
+        max_level=4,
+        scale=0.6,
+        description="diversified skyline over the LightGCN bipartite task",
+    )
+)
+
+register(
+    Scenario(
+        name="t4-nsga2-wide",
+        task="T4",
+        algorithm="nsga2",
+        algorithm_kwargs={"population": 30, "generations": 10, "seed": 3},
+        tags=("stress", "nsga2", "t4"),
+        epsilon=0.15,
+        budget=120,
+        max_level=5,
+        scale=0.5,
+        description="wide-population NSGA-II on the six-measure T4",
+    )
+)

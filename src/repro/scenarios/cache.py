@@ -1,0 +1,112 @@
+"""Content-addressed, on-disk cache of scenario results.
+
+The first persistent caching layer in the codebase: a suite run stores
+each scenario's JSON result payload under
+``<directory>/<fingerprint>.json``, where the fingerprint is the SHA-256
+of the scenario's canonical code-relevant spec (see
+:meth:`Scenario.fingerprint`). Re-running a suite therefore skips every
+scenario whose spec (and package version) is unchanged — and *only*
+those: touching any knob that could change the output (budget, ε, seed,
+scale, algorithm kwargs, …) yields a different address, so stale hits are
+structurally impossible rather than policed by TTLs.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent suite
+workers — threads or forked processes sharing the directory — can race
+on the same scenario without ever exposing a torn file. Corrupt or
+foreign files are treated as misses and evicted on read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from .spec import CACHE_SCHEMA, Scenario
+
+#: Default cache root; override with --cache-dir or $REPRO_CACHE_DIR.
+DEFAULT_CACHE_DIR = "~/.cache/repro/scenarios"
+
+
+def default_cache_dir() -> Path:
+    """$REPRO_CACHE_DIR used verbatim (if set), else the per-user default."""
+    root = os.environ.get("REPRO_CACHE_DIR", "")
+    if root:
+        return Path(root).expanduser()
+    return Path(DEFAULT_CACHE_DIR).expanduser()
+
+
+class ResultCache:
+    """Maps scenario fingerprints to stored result payloads on disk."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir()
+        )
+
+    def path_for(self, spec: Scenario) -> Path:
+        """The on-disk entry path a spec addresses (existing or not)."""
+        return self.directory / f"{spec.fingerprint()}.json"
+
+    def get(self, spec: Scenario) -> dict[str, Any] | None:
+        """The stored record for an identical spec, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        try:
+            with path.open() as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn or foreign file: evict and treat as a miss.
+            path.unlink(missing_ok=True)
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != CACHE_SCHEMA
+            or record.get("fingerprint") != spec.fingerprint()
+        ):
+            path.unlink(missing_ok=True)
+            return None
+        return record
+
+    def put(self, spec: Scenario, result: dict[str, Any],
+            elapsed_seconds: float) -> Path:
+        """Store one scenario result atomically; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        record = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": spec.fingerprint(),
+            "scenario": {
+                "name": spec.name,
+                "tags": list(spec.tags),
+                **spec.cache_payload(),
+            },
+            "elapsed_seconds": elapsed_seconds,
+            "cached_at": time.time(),
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w") as fh:
+            json.dump(record, fh, indent=2)
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.directory)!r}, {len(self)} entries)"

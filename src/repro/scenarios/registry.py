@@ -1,0 +1,143 @@
+"""The scenario registry: named specs, filterable, auto-discovered.
+
+Mirrors the registry idiom of large evaluation harnesses (MTEB's task
+registry, task-factory's config table): scenario *modules* under
+:mod:`repro.scenarios.builtin` register plain :class:`Scenario` specs at
+import time, and callers select a working set with composable selectors
+instead of hand-wiring scripts.
+
+Selector syntax (``repro suite --filter``):
+
+* ``tag:smoke``        — scenarios carrying the tag;
+* ``task:T1``          — scenarios of an evaluation task (case-insensitive);
+* ``algorithm:bimodis`` (alias ``algo:``) — scenarios of an algorithm key;
+* anything else        — a :mod:`fnmatch` glob over scenario names
+  (``t3-*``, ``smoke-t?-apx``).
+
+One selector string may hold comma-separated alternatives (OR); passing
+several selectors intersects them (AND). ``filter()`` with no selectors
+returns every registered scenario, sorted by name.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import importlib
+import pkgutil
+
+from ..exceptions import ScenarioError
+from .spec import Scenario
+
+
+def _matches(scenario: Scenario, term: str) -> bool:
+    """One selector term against one scenario."""
+    term = term.strip()
+    if not term:
+        return False
+    key, _, value = term.partition(":")
+    if value:
+        key = key.lower()
+        if key == "tag":
+            return value in scenario.tags
+        if key == "task":
+            return scenario.task.lower() == value.lower()
+        if key in ("algorithm", "algo"):
+            return scenario.algorithm == value
+        raise ScenarioError(
+            f"unknown selector kind {key!r} in {term!r}; "
+            "have tag:, task:, algorithm: or a name glob"
+        )
+    return fnmatch.fnmatchcase(scenario.name, term)
+
+
+class ScenarioRegistry:
+    """An ordered, name-keyed collection of :class:`Scenario` specs."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        """Add a scenario; duplicate names are an error, not an overwrite."""
+        if scenario.name in self._scenarios:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} is already registered"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def remove(self, name: str) -> None:
+        """Drop one scenario (tests and interactive sessions)."""
+        self._scenarios.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop every registered scenario."""
+        self._scenarios.clear()
+
+    def get(self, name: str) -> Scenario:
+        """Look one scenario up by exact name."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown scenario {name!r}; "
+                f"{len(self._scenarios)} registered"
+            ) from None
+
+    def filter(self, *selectors: str) -> list[Scenario]:
+        """AND of selectors; OR of comma-separated terms within each."""
+        chosen = sorted(self._scenarios.values(), key=lambda s: s.name)
+        for selector in selectors:
+            terms = [t for t in selector.split(",") if t.strip()]
+            if not terms:
+                continue
+            chosen = [
+                s for s in chosen if any(_matches(s, t) for t in terms)
+            ]
+        return chosen
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._scenarios)
+
+    def __iter__(self):
+        return iter(sorted(self._scenarios.values(), key=lambda s: s.name))
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __repr__(self) -> str:
+        return f"ScenarioRegistry({len(self)} scenarios)"
+
+
+#: The module-level registry every builtin module and user module targets.
+REGISTRY = ScenarioRegistry()
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Register into the module-level :data:`REGISTRY` (decorator-friendly)."""
+    return REGISTRY.register(scenario)
+
+
+_BUILTINS_LOADED = False
+
+
+def load_builtin_scenarios() -> ScenarioRegistry:
+    """Import every module under :mod:`repro.scenarios.builtin` once.
+
+    Each builtin module registers its specs at import time; discovery is a
+    :func:`pkgutil.iter_modules` walk, so dropping a new module into the
+    ``builtin`` package is all it takes to ship more scenarios.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return REGISTRY
+    from . import builtin as builtin_pkg
+
+    for info in sorted(pkgutil.iter_modules(builtin_pkg.__path__),
+                       key=lambda m: m.name):
+        importlib.import_module(f"{builtin_pkg.__name__}.{info.name}")
+    _BUILTINS_LOADED = True
+    return REGISTRY

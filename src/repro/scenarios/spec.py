@@ -1,0 +1,132 @@
+"""The declarative scenario spec: one named, reproducible workload.
+
+A :class:`Scenario` pins down everything a MODis run depends on — the
+evaluation task, the algorithm and its kwargs, the search knobs (ε, N,
+maxl), corpus scale, seed, estimator, and (optionally) a distributed
+worker count. Specs are plain data: registering one costs nothing, and a
+suite only pays for the scenarios a filter actually selects.
+
+Two derived views matter downstream:
+
+* :meth:`Scenario.cache_payload` — the *code-relevant* subset of the spec
+  (identity fields like ``name``/``tags``/``description`` excluded), in a
+  canonical JSON-serializable form;
+* :meth:`Scenario.fingerprint` — a content-addressed SHA-256 over that
+  payload plus the cache schema version and the package version, used as
+  the key of the persistent result cache. Renaming or re-tagging a
+  scenario keeps its cache entry; changing anything that could change the
+  run's output invalidates it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import ScenarioError
+
+#: Bump when the cached result payload's shape changes incompatibly.
+CACHE_SCHEMA = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative MODis workload.
+
+    ``algorithm_kwargs`` are passed through to the algorithm constructor
+    (e.g. ``{"k": 5}`` for DivMODis, ``{"population": 16}`` for NSGA-II).
+    ``distributed`` > 0 runs the scenario through
+    :class:`~repro.distributed.DistributedMODis` with that many workers
+    instead of a single-node algorithm.
+    """
+
+    name: str
+    task: str
+    algorithm: str = "bimodis"
+    tags: tuple[str, ...] = ()
+    algorithm_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    epsilon: float = 0.15
+    budget: int = 60
+    max_level: int = 4
+    scale: float = 0.5
+    seed: int | None = None
+    estimator: str = "mogb"
+    n_bootstrap: int = 20
+    distributed: int = 0
+    verify: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ScenarioError(
+                f"scenario name must be non-empty and whitespace-free, "
+                f"got {self.name!r}"
+            )
+        if self.epsilon <= 0:
+            raise ScenarioError(f"{self.name}: epsilon must be positive")
+        if self.budget < 1:
+            raise ScenarioError(f"{self.name}: budget must be >= 1")
+        if self.max_level < 1:
+            raise ScenarioError(f"{self.name}: max_level must be >= 1")
+        if self.distributed < 0:
+            raise ScenarioError(f"{self.name}: distributed must be >= 0")
+        object.__setattr__(self, "tags", tuple(self.tags))
+        object.__setattr__(self, "algorithm_kwargs",
+                           dict(self.algorithm_kwargs))
+
+    # -- derived views -----------------------------------------------------------
+    def cache_payload(self) -> dict[str, Any]:
+        """The code-relevant spec fields, canonically ordered.
+
+        Identity/metadata fields (``name``, ``tags``, ``description``) are
+        deliberately excluded: renaming a scenario must not invalidate its
+        cached result, while changing any knob that could change the
+        output must.
+        """
+        return {
+            "task": self.task,
+            "algorithm": self.algorithm,
+            "algorithm_kwargs": dict(sorted(self.algorithm_kwargs.items())),
+            "epsilon": self.epsilon,
+            "budget": self.budget,
+            "max_level": self.max_level,
+            "scale": self.scale,
+            "seed": self.seed,
+            "estimator": self.estimator,
+            "n_bootstrap": self.n_bootstrap,
+            "distributed": self.distributed,
+            "verify": self.verify,
+        }
+
+    def fingerprint(self) -> str:
+        """Content-addressed cache key: SHA-256 over the canonical spec."""
+        from .. import __version__
+
+        material = canonical_json(
+            {
+                "schema": CACHE_SCHEMA,
+                "version": __version__,
+                "spec": self.cache_payload(),
+            }
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def to_row(self) -> dict[str, Any]:
+        """Flat summary row for ``repro suite list`` and suite reports."""
+        return {
+            "name": self.name,
+            "task": self.task,
+            "algorithm": self.algorithm if not self.distributed
+            else f"distributed({self.distributed})",
+            "tags": ",".join(self.tags),
+            "epsilon": self.epsilon,
+            "budget": self.budget,
+            "scale": self.scale,
+        }

@@ -1,0 +1,247 @@
+"""The suite runner: fan a filtered scenario set over an exec backend.
+
+``SuiteRunner`` turns the registry from a catalogue into a workload
+engine: select scenarios with the registry's filter syntax, run each one
+through the factory on any :mod:`repro.exec` backend (serial / thread /
+forked process), and collect per-scenario outcomes — skyline size, budget
+usage, wall-clock, the best decisive-measure value — into one suite
+report (JSON payload + markdown summary table).
+
+With a :class:`~repro.scenarios.cache.ResultCache` attached, every
+completed scenario is persisted content-addressed by its spec
+fingerprint; an immediately repeated run completes via cache with zero
+re-executed scenarios. A failing scenario never aborts the suite: the
+outcome records the error and the suite exit status reflects it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..exec import Backend, make_backend
+from ..report import build_payload
+from .cache import ResultCache
+from .factory import ScenarioFactory
+from .registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
+from .spec import Scenario
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario's run record — plain picklable data."""
+
+    name: str
+    task: str
+    algorithm: str
+    tags: tuple[str, ...]
+    fingerprint: str
+    cached: bool = False
+    run_seconds: float = 0.0
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+    @property
+    def summary(self) -> dict[str, Any]:
+        """Skyline-quality digest of the result payload.
+
+        ``best_decisive`` is on the *normalized minimize* scale every
+        entry's ``performance`` dict carries (lower = better for all
+        measure kinds — the same convention as ``DiscoveryResult.best_by``),
+        so ``min`` picks the best entry for scores and costs alike.
+        """
+        if self.result is None:
+            return {}
+        measures = self.result.get("measures", [])
+        # The paper's default decisive measure is the last one in P.
+        decisive = measures[-1] if measures else ""
+        entries = self.result.get("entries", [])
+        best = min(
+            (e["performance"][decisive] for e in entries
+             if decisive in e.get("performance", {})),
+            default=None,
+        )
+        return {
+            "skyline_size": len(entries),
+            "n_valuated": self.result.get("n_valuated", 0),
+            "terminated_by": self.result.get("terminated_by", ""),
+            "decisive": decisive,
+            "best_decisive": best,
+            "elapsed_seconds": self.result.get("elapsed_seconds", 0.0),
+        }
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON form persisted inside suite reports."""
+        return {
+            "name": self.name,
+            "task": self.task,
+            "algorithm": self.algorithm,
+            "tags": list(self.tags),
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "run_seconds": self.run_seconds,
+            "summary": self.summary,
+            "error": self.error,
+            "result": self.result,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """All outcomes of one suite invocation plus run-wide statistics."""
+
+    outcomes: list[ScenarioOutcome]
+    selectors: tuple[str, ...] = ()
+    backend: str = "serial"
+    n_jobs: int = 1
+    cache_dir: str | None = None
+    wall_seconds: float = 0.0
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def failures(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON form written as ``suite_report.json``."""
+        return {
+            "suite": {
+                "selectors": list(self.selectors),
+                "backend": self.backend,
+                "n_jobs": self.n_jobs,
+                "cache_dir": self.cache_dir,
+                "wall_seconds": self.wall_seconds,
+                "n_scenarios": self.n_scenarios,
+                "cache_hits": self.cache_hits,
+                "n_failures": len(self.failures),
+            },
+            "scenarios": [o.to_payload() for o in self.outcomes],
+        }
+
+    def markdown_summary(self) -> str:
+        """A GitHub-flavored summary table, one row per scenario."""
+        lines = [
+            "| scenario | task | algorithm | skyline | N | "
+            "best (decisive, norm↓) | seconds | cached |",
+            "|---|---|---|---:|---:|---:|---:|:---:|",
+        ]
+        for o in self.outcomes:
+            if o.error is not None:
+                lines.append(
+                    f"| {o.name} | {o.task} | {o.algorithm} "
+                    f"| — | — | error | {o.run_seconds:.2f} | — |"
+                )
+                continue
+            s = o.summary
+            best = (
+                f"{s['best_decisive']:.4f} ({s['decisive']})"
+                if s.get("best_decisive") is not None
+                else "—"
+            )
+            lines.append(
+                f"| {o.name} | {o.task} | {o.algorithm} "
+                f"| {s['skyline_size']} | {s['n_valuated']} | {best} "
+                f"| {s['elapsed_seconds']:.2f} "
+                f"| {'hit' if o.cached else 'miss'} |"
+            )
+        lines.append(
+            f"\n{self.n_scenarios} scenario(s), {self.cache_hits} from "
+            f"cache, {len(self.failures)} failed, "
+            f"{self.wall_seconds:.2f}s wall on "
+            f"{self.backend}×{self.n_jobs}."
+        )
+        return "\n".join(lines)
+
+
+class SuiteRunner:
+    """Run a filtered scenario set over a backend, with optional caching."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry | None = None,
+        factory: ScenarioFactory | None = None,
+        cache: ResultCache | None = None,
+        backend: str | Backend = "serial",
+        n_jobs: int = 0,
+    ):
+        if registry is None:
+            registry = load_builtin_scenarios()
+        self.registry = registry
+        self.factory = factory if factory is not None else ScenarioFactory()
+        self.cache = cache
+        self.backend = make_backend(backend, n_jobs)
+
+    def select(self, selectors: Sequence[str] = ()) -> list[Scenario]:
+        """The scenarios a run with these selectors would execute."""
+        return self.registry.filter(*selectors)
+
+    def run(self, selectors: Sequence[str] = ()) -> SuiteReport:
+        """Resolve, fan out, collect. Specs are validated *before* any
+        scenario runs, so a typo fails the suite instantly."""
+        scenarios = self.select(selectors)
+        for spec in scenarios:
+            self.factory.resolve(spec)
+        start = time.perf_counter()
+        outcomes = self.backend.map(self._run_one, scenarios)
+        return SuiteReport(
+            outcomes=list(outcomes),
+            selectors=tuple(selectors),
+            backend=self.backend.name,
+            n_jobs=self.backend.n_jobs,
+            cache_dir=(
+                str(self.cache.directory) if self.cache is not None else None
+            ),
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    # -- one scenario ------------------------------------------------------------
+    def _run_one(self, spec: Scenario) -> ScenarioOutcome:
+        outcome = ScenarioOutcome(
+            name=spec.name,
+            task=spec.task,
+            algorithm=spec.to_row()["algorithm"],
+            tags=spec.tags,
+            fingerprint=spec.fingerprint(),
+        )
+        start = time.perf_counter()
+        try:
+            if self.cache is not None:
+                record = self.cache.get(spec)
+                if record is not None:
+                    outcome.cached = True
+                    outcome.result = record["result"]
+                    outcome.run_seconds = time.perf_counter() - start
+                    return outcome
+            result, seconds = self.factory.resolve(spec).run()
+            outcome.result = build_payload(result)
+            if self.cache is not None:
+                self.cache.put(spec, outcome.result, seconds)
+        except Exception as exc:  # noqa: BLE001 — suites isolate failures
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.run_seconds = time.perf_counter() - start
+        return outcome
+
+
+def run_suite(
+    selectors: Sequence[str] = (),
+    backend: str = "serial",
+    n_jobs: int = 0,
+    cache: ResultCache | None = None,
+    registry: ScenarioRegistry | None = None,
+) -> SuiteReport:
+    """One-call convenience over :class:`SuiteRunner` (builtins loaded)."""
+    if registry is None:
+        load_builtin_scenarios()
+        registry = REGISTRY
+    runner = SuiteRunner(
+        registry=registry, cache=cache, backend=backend, n_jobs=n_jobs
+    )
+    return runner.run(selectors)

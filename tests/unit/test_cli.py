@@ -153,6 +153,91 @@ class TestVersionFlag:
         assert repro.__version__ in capsys.readouterr().out
 
 
+class TestSuiteParser:
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.action == "run"
+        assert args.filter == []
+        assert args.backend == "serial"
+        assert args.jobs == 0
+        assert args.cache_dir == ""
+        assert args.no_cache is False
+
+    def test_suite_filters_accumulate(self):
+        args = build_parser().parse_args(
+            ["suite", "list", "--filter", "tag:smoke", "--filter", "task:T3"]
+        )
+        assert args.action == "list"
+        assert args.filter == ["tag:smoke", "task:T3"]
+
+    def test_suite_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "explode"])
+
+
+class TestSuiteCommand:
+    def test_list_prints_registered_scenarios(self, capsys):
+        assert main(["suite", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke-t3-apx", "t1-bimodis", "t5-nsga2",
+                     "t3-distributed-3"):
+            assert name in out
+
+    def test_list_respects_filters(self, capsys):
+        assert main(["suite", "list", "--filter", "tag:smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke-t3-apx" in out
+        assert "t1-bimodis" not in out
+
+    def test_unmatched_filter_is_a_clean_error(self, capsys):
+        assert main(["suite", "list", "--filter", "no-such-*"]) == 2
+        assert "no scenarios match" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_run_then_cached_rerun(self, capsys, tmp_path):
+        argv = ["suite", "--filter", "smoke-t3-apx", "--cache-dir",
+                str(tmp_path / "cache"), "--output", str(tmp_path / "out")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache: 0/1 hits" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache: 1/1 hits" in second
+        report = json.loads(
+            (tmp_path / "out" / "suite_report.json").read_text()
+        )
+        assert report["suite"]["cache_hits"] == 1
+        assert report["scenarios"][0]["cached"] is True
+        assert (tmp_path / "out" / "suite_report.md").exists()
+
+
+@pytest.mark.slow
+class TestDiscoverJson:
+    def test_json_stdout_is_a_single_document(self, capsys, tmp_path):
+        history = tmp_path / "T.json"
+        code = main(
+            ["discover", "--task", "T3", "--budget", "10", "--scale", "0.2",
+             "--max-level", "2", "--history", str(history), "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # chatter must be on stderr
+        assert payload["algorithm"] == "BiMODis"
+        assert payload["measures"] == ["mse", "mae", "train_cost"]
+        assert payload["entries"]
+        for entry in payload["entries"]:
+            assert set(entry) >= {"description", "bits", "performance",
+                                  "output_size"}
+        assert "saved" in captured.err
+
+    def test_json_and_provenance_conflict(self, capsys):
+        code = main(
+            ["discover", "--task", "T3", "--json", "--provenance"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
 class TestBackendFlags:
     def test_backend_defaults(self):
         args = build_parser().parse_args(["discover", "--task", "T1"])

@@ -6,7 +6,7 @@ from repro.core import ApxMODis
 from repro.core.config import Configuration
 from repro.core.estimator import OracleEstimator
 from repro.exceptions import ReproError
-from repro.report import load_report, save_result
+from repro.report import build_payload, load_report, save_result
 from repro.relational.csvio import read_csv
 
 from tests.helpers import ToySpace, linear_toy_oracle, two_measure_set
@@ -48,6 +48,35 @@ class TestSaveTabular:
             for op in meta["path"][1:]:
                 assert op.startswith("⊖")
         assert load_report(tmp_path)["n_valuated"] == result.report.n_valuated
+
+
+class TestBuildPayload:
+    def test_save_load_round_trips_the_payload(self, tmp_path, task_t3):
+        """``save_result`` persists exactly ``build_payload`` plus the
+        per-entry ``file`` keys — the contract ``discover --json`` and the
+        scenario result cache rely on."""
+        result, space = tabular_result(task_t3)
+        payload = build_payload(result)
+        save_result(result, space, tmp_path)
+        loaded = load_report(tmp_path)
+        stripped = {
+            "entries": [
+                {k: v for k, v in e.items() if k != "file"}
+                for e in loaded["entries"]
+            ],
+            **{k: v for k, v in loaded.items() if k != "entries"},
+        }
+        assert stripped == payload
+        assert all("file" in e for e in loaded["entries"])
+
+    def test_payload_carries_measures_and_provenance(self, task_t3):
+        result, _space = tabular_result(task_t3)
+        payload = build_payload(result)
+        assert payload["measures"] == list(task_t3.measures.names)
+        assert payload["n_valuated"] == result.report.n_valuated
+        for entry in payload["entries"]:
+            assert entry["bits"].startswith("0x")
+            assert entry["path"][0] == "s_U"
 
 
 class TestSaveGraph:

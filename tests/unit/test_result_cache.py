@@ -1,0 +1,90 @@
+"""The content-addressed on-disk result cache (repro.scenarios.cache)."""
+
+import json
+
+from repro.scenarios import ResultCache, Scenario, default_cache_dir
+
+
+def spec(**overrides) -> Scenario:
+    defaults = dict(name="c1", task="T3", algorithm="apx", epsilon=0.3,
+                    budget=8, max_level=2, scale=0.2)
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+RESULT = {"algorithm": "ApxMODis", "entries": [{"bits": "0xff"}]}
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(spec()) is None
+        assert len(cache) == 0
+
+    def test_put_then_get_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(spec(), RESULT, elapsed_seconds=1.25)
+        assert path.exists() and len(cache) == 1
+        record = cache.get(spec())
+        assert record["result"] == RESULT
+        assert record["elapsed_seconds"] == 1.25
+        assert record["scenario"]["name"] == "c1"
+        assert record["fingerprint"] == spec().fingerprint()
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT, elapsed_seconds=0.1)
+        assert cache.get(spec(budget=9)) is None
+        assert cache.get(spec(seed=42)) is None
+        assert cache.get(spec(algorithm="bimodis")) is None
+        # identity-only changes still hit
+        assert cache.get(spec(name="renamed", tags=("x",))) is not None
+
+    def test_entries_are_independent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT, elapsed_seconds=0.1)
+        cache.put(spec(budget=9), {"other": True}, elapsed_seconds=0.2)
+        assert len(cache) == 2
+        assert cache.get(spec())["result"] == RESULT
+        assert cache.get(spec(budget=9))["result"] == {"other": True}
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_evicted_as_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT, elapsed_seconds=0.1)
+        cache.path_for(spec()).write_text("{not json")
+        assert cache.get(spec()) is None
+        assert not cache.path_for(spec()).exists()
+
+    def test_foreign_fingerprint_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(spec())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"schema": 1, "fingerprint": "bogus"}))
+        assert cache.get(spec()) is None
+        assert not path.exists()
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT, elapsed_seconds=0.1)
+        cache.put(spec(budget=9), RESULT, elapsed_seconds=0.1)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_missing_directory_is_fine(self, tmp_path):
+        cache = ResultCache(tmp_path / "never" / "made")
+        assert cache.get(spec()) is None
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+
+class TestDefaultDirectory:
+    def test_env_var_is_used_verbatim(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "mine"))
+        assert default_cache_dir() == tmp_path / "mine"
+        assert ResultCache().directory == tmp_path / "mine"
+
+    def test_per_user_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "scenarios"

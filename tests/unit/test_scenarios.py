@@ -1,0 +1,194 @@
+"""The scenario spec, registry and factory (repro.scenarios)."""
+
+import pytest
+
+from repro.core.algorithms import ALGORITHMS
+from repro.datalake.tasks import TASK_BUILDERS
+from repro.distributed import DistributedMODis
+from repro.exceptions import ScenarioError
+from repro.scenarios import (
+    MODIS_VARIANTS,
+    Scenario,
+    ScenarioFactory,
+    ScenarioRegistry,
+    TaskCache,
+    load_builtin_scenarios,
+)
+
+
+def spec(name="s1", **overrides) -> Scenario:
+    defaults = dict(task="T3", algorithm="apx", epsilon=0.3, budget=8,
+                    max_level=2, scale=0.2)
+    defaults.update(overrides)
+    return Scenario(name=name, **defaults)
+
+
+class TestSpec:
+    def test_rejects_bad_names(self):
+        with pytest.raises(ScenarioError, match="name"):
+            spec(name="")
+        with pytest.raises(ScenarioError, match="name"):
+            spec(name="has space")
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ScenarioError):
+            spec(epsilon=0.0)
+        with pytest.raises(ScenarioError):
+            spec(budget=0)
+        with pytest.raises(ScenarioError):
+            spec(max_level=0)
+        with pytest.raises(ScenarioError):
+            spec(distributed=-1)
+
+    def test_fingerprint_is_stable_and_code_relevant(self):
+        a = spec(name="one", tags=("x",), description="whatever")
+        b = spec(name="two", tags=("y", "z"))
+        # name/tags/description are identity, not code: same fingerprint.
+        assert a.fingerprint() == b.fingerprint()
+        # any knob that can change the output changes the address
+        assert a.fingerprint() != spec(budget=9).fingerprint()
+        assert a.fingerprint() != spec(epsilon=0.31).fingerprint()
+        assert a.fingerprint() != spec(seed=1).fingerprint()
+        assert a.fingerprint() != spec(
+            algorithm="divmodis", algorithm_kwargs={"k": 3}
+        ).fingerprint()
+
+    def test_kwargs_order_does_not_matter(self):
+        a = spec(algorithm="nsga2",
+                 algorithm_kwargs={"population": 6, "generations": 3})
+        b = spec(algorithm="nsga2",
+                 algorithm_kwargs={"generations": 3, "population": 6})
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestRegistry:
+    def test_register_get_and_duplicate_rejection(self):
+        reg = ScenarioRegistry()
+        reg.register(spec())
+        assert "s1" in reg and reg.get("s1").task == "T3"
+        with pytest.raises(ScenarioError, match="already registered"):
+            reg.register(spec())
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            reg.get("nope")
+
+    def test_filter_by_tag_task_algorithm_and_glob(self):
+        reg = ScenarioRegistry()
+        reg.register(spec(name="a-apx", tags=("smoke",)))
+        reg.register(spec(name="a-div", algorithm="divmodis",
+                          tags=("smoke", "div")))
+        reg.register(spec(name="b-apx", task="T1", seed=1))
+        assert [s.name for s in reg.filter("tag:smoke")] == ["a-apx", "a-div"]
+        assert [s.name for s in reg.filter("task:t1")] == ["b-apx"]
+        assert [s.name for s in reg.filter("algorithm:apx")] == \
+            ["a-apx", "b-apx"]
+        assert [s.name for s in reg.filter("a-*")] == ["a-apx", "a-div"]
+
+    def test_selectors_intersect_and_commas_union(self):
+        reg = ScenarioRegistry()
+        reg.register(spec(name="a-apx", tags=("smoke",)))
+        reg.register(spec(name="a-div", algorithm="divmodis", tags=("big",)))
+        reg.register(spec(name="b-apx", task="T1", seed=1, tags=("big",)))
+        # AND across selectors
+        assert [s.name for s in reg.filter("tag:big", "task:T3")] == ["a-div"]
+        # OR within one selector
+        assert [s.name for s in reg.filter("tag:smoke,tag:big")] == \
+            ["a-apx", "a-div", "b-apx"]
+
+    def test_unknown_selector_kind_rejected(self):
+        reg = ScenarioRegistry()
+        reg.register(spec())
+        with pytest.raises(ScenarioError, match="selector"):
+            reg.filter("flavor:spicy")
+
+    def test_no_selectors_returns_everything_sorted(self):
+        reg = ScenarioRegistry()
+        reg.register(spec(name="zz"))
+        reg.register(spec(name="aa"))
+        assert [s.name for s in reg.filter()] == ["aa", "zz"]
+
+
+class TestFactory:
+    def test_unknown_task_and_algorithm_rejected(self):
+        factory = ScenarioFactory()
+        with pytest.raises(ScenarioError, match="unknown task"):
+            factory.resolve(spec(task="T9"))
+        with pytest.raises(ScenarioError, match="unknown algorithm"):
+            factory.resolve(spec(algorithm="wat"))
+        with pytest.raises(ScenarioError, match="estimator"):
+            factory.resolve(spec(estimator="psychic"))
+
+    def test_unknown_algorithm_kwargs_rejected_early(self):
+        factory = ScenarioFactory()
+        with pytest.raises(ScenarioError, match="does not accept"):
+            factory.resolve(spec(algorithm_kwargs={"warp": 9}))
+
+    def test_distributed_constraints(self):
+        factory = ScenarioFactory()
+        with pytest.raises(ScenarioError, match="algorithm_kwargs"):
+            factory.resolve(
+                spec(distributed=2, algorithm_kwargs={"k": 3},
+                     algorithm="divmodis")
+            )
+        with pytest.raises(ScenarioError, match="budget"):
+            factory.resolve(spec(distributed=9, budget=4))
+
+    def test_resolution_is_lazy_about_tasks(self):
+        cache = TaskCache()
+        factory = ScenarioFactory(task_cache=cache)
+        factory.resolve(spec())
+        assert len(cache) == 0  # validation must not build corpora
+
+    def test_build_returns_the_right_runnable(self, task_t3):
+        cache = TaskCache(builder=lambda name, scale, seed: task_t3)
+        factory = ScenarioFactory(task_cache=cache)
+        resolved = factory.resolve(spec())
+        algo = resolved.build()
+        assert type(algo) is ALGORITHMS["apx"]
+        assert algo.budget == 8 and algo.epsilon == 0.3
+        runner = factory.resolve(spec(name="d", distributed=2)).build()
+        assert isinstance(runner, DistributedMODis)
+        assert runner.n_workers == 2
+
+    def test_task_cache_shares_instances(self, task_t3):
+        calls = []
+
+        def builder(name, scale, seed):
+            calls.append((name, scale, seed))
+            return task_t3
+
+        cache = TaskCache(builder=builder)
+        assert cache.get("T3", 0.2) is cache.get("T3", 0.2)
+        assert len(calls) == 1
+        cache.get("T3", 0.3)
+        assert len(calls) == 2
+
+
+class TestBuiltins:
+    def test_loading_is_idempotent_and_sized(self):
+        reg = load_builtin_scenarios()
+        n = len(reg)
+        assert n >= 20
+        assert load_builtin_scenarios() is reg
+        assert len(reg) == n
+
+    def test_every_builtin_resolves(self):
+        factory = ScenarioFactory(task_cache=TaskCache())
+        for scenario in load_builtin_scenarios():
+            factory.resolve(scenario)
+
+    def test_paper_grid_covers_tasks_times_algorithms(self):
+        reg = load_builtin_scenarios()
+        grid = reg.filter("tag:grid")
+        cells = {(s.task, s.algorithm) for s in grid}
+        variants = {key for key, _ in MODIS_VARIANTS.values()} | {"nsga2"}
+        for task in TASK_BUILDERS:
+            for algorithm in variants:
+                assert (task, algorithm) in cells
+
+    def test_smoke_and_stress_families_exist(self):
+        reg = load_builtin_scenarios()
+        assert len(reg.filter("tag:smoke")) >= 3
+        stress = reg.filter("tag:stress")
+        assert any(s.distributed for s in stress)
+        assert any(s.algorithm == "rl" for s in stress)
+        assert any(s.task == "T5" for s in stress)

@@ -1,0 +1,123 @@
+"""The suite runner: fan-out, caching, determinism (repro.scenarios.suite)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.report import load_suite_report, save_suite_report
+from repro.scenarios import (
+    ResultCache,
+    Scenario,
+    ScenarioFactory,
+    ScenarioRegistry,
+    SuiteRunner,
+    TaskCache,
+)
+
+SMALL = dict(task="T3", epsilon=0.3, budget=8, max_level=2, scale=0.2,
+             estimator="oracle")
+
+
+@pytest.fixture()
+def registry():
+    reg = ScenarioRegistry()
+    reg.register(Scenario(name="tiny-apx", algorithm="apx",
+                          tags=("tiny",), **SMALL))
+    reg.register(Scenario(name="tiny-bimodis", algorithm="bimodis",
+                          tags=("tiny",), **SMALL))
+    return reg
+
+
+@pytest.fixture()
+def factory(task_t3):
+    return ScenarioFactory(
+        task_cache=TaskCache(builder=lambda name, scale, seed: task_t3)
+    )
+
+
+def make_runner(registry, factory, **kwargs):
+    return SuiteRunner(registry=registry, factory=factory, **kwargs)
+
+
+class TestRun:
+    def test_runs_all_selected_scenarios(self, registry, factory):
+        report = make_runner(registry, factory).run(["tag:tiny"])
+        assert report.n_scenarios == 2
+        assert not report.failures
+        for outcome in report.outcomes:
+            assert outcome.error is None and not outcome.cached
+            assert outcome.summary["skyline_size"] >= 1
+            assert outcome.summary["n_valuated"] <= 8
+            assert outcome.result["measures"] == ["mse", "mae", "train_cost"]
+
+    def test_no_match_is_empty_not_an_error(self, registry, factory):
+        report = make_runner(registry, factory).run(["tag:nothing"])
+        assert report.n_scenarios == 0
+
+    def test_invalid_spec_fails_before_anything_runs(self, factory):
+        reg = ScenarioRegistry()
+        reg.register(Scenario(name="bad", algorithm="nsga2",
+                              algorithm_kwargs={"warp": 9}, **SMALL))
+        with pytest.raises(ScenarioError, match="does not accept"):
+            make_runner(reg, factory).run()
+
+    def test_runtime_failure_is_isolated(self, registry, task_t3):
+        def builder(name, scale, seed):
+            raise RuntimeError("corpus exploded")
+
+        broken = ScenarioFactory(task_cache=TaskCache(builder=builder))
+        report = make_runner(registry, broken).run()
+        assert report.n_scenarios == 2
+        assert len(report.failures) == 2
+        assert "corpus exploded" in report.failures[0].error
+
+
+class TestCache:
+    def test_second_run_is_all_hits(self, registry, factory, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = make_runner(registry, factory, cache=cache)
+        first = runner.run()
+        assert first.cache_hits == 0 and len(cache) == 2
+        second = runner.run()
+        assert second.cache_hits == 2
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert a.result == b.result
+            assert b.cached
+
+    def test_no_cache_runner_never_writes(self, registry, factory, tmp_path):
+        runner = make_runner(registry, factory)
+        runner.run()
+        assert not list(tmp_path.iterdir())
+
+
+class TestBackends:
+    def test_thread_backend_matches_serial_byte_for_byte(
+        self, registry, factory
+    ):
+        serial = make_runner(registry, factory, backend="serial").run()
+        threaded = make_runner(
+            registry, factory, backend="thread", n_jobs=2
+        ).run()
+        assert threaded.backend == "thread"
+        for a, b in zip(serial.outcomes, threaded.outcomes):
+            # wall-clock differs; the skyline entries must not
+            assert json.dumps(a.result["entries"], sort_keys=True) == \
+                json.dumps(b.result["entries"], sort_keys=True)
+
+
+class TestReportPayload:
+    def test_payload_and_markdown_round_trip(
+        self, registry, factory, tmp_path
+    ):
+        report = make_runner(registry, factory).run(["tag:tiny"])
+        payload = report.to_payload()
+        assert payload["suite"]["n_scenarios"] == 2
+        assert payload["suite"]["cache_hits"] == 0
+        markdown = report.markdown_summary()
+        assert "tiny-apx" in markdown and "| miss |" in markdown
+        path = save_suite_report(payload, tmp_path, markdown=markdown)
+        assert path.name == "suite_report.json"
+        loaded = load_suite_report(tmp_path)
+        assert loaded == json.loads(json.dumps(payload))
+        assert (tmp_path / "suite_report.md").read_text() == markdown
