@@ -30,7 +30,9 @@ Quickstart::
 Packages: :mod:`repro.relational` (table engine), :mod:`repro.ml` (model
 zoo), :mod:`repro.graph` (bipartite/LightGCN substrate), :mod:`repro.core`
 (measures, transducer, algorithms), :mod:`repro.discovery` (baselines),
-:mod:`repro.datalake` (synthetic corpora and the paper's tasks T1–T5).
+:mod:`repro.datalake` (synthetic corpora and the paper's tasks T1–T5),
+:mod:`repro.scenarios` (declarative suites + the persistent result cache),
+and :mod:`repro.service` (the long-running job-queue serving layer).
 """
 
 from .core.algorithms import (
@@ -48,7 +50,7 @@ from .exceptions import ReproError
 from .query import SkylineQuery, discover, query_to_task
 from .report import load_report, save_result
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALGORITHMS",

@@ -16,6 +16,19 @@ tool:
     python -m repro algorithms                  # available algorithms
     python -m repro suite list                  # registered scenarios
     python -m repro suite --filter tag:smoke --backend thread --jobs 2
+    python -m repro suite cache stats           # result-cache inspection
+    python -m repro suite cache evict --max-age 86400 --max-entries 100
+
+Service mode (see :mod:`repro.service`) keeps tasks and oracle history
+resident between runs:
+
+.. code-block:: text
+
+    python -m repro serve --port 8765 &         # boot the service
+    python -m repro submit --scenario smoke-t3-apx --wait
+    python -m repro submit --task T3 --algorithm bimodis --budget 20
+    python -m repro status                      # jobs + queue metrics
+    python -m repro fetch job-abc123 --output out/
 
 Every command is deterministic for a fixed ``--seed``. Output is plain
 text (tables) so runs can be diffed; ``--output DIR`` additionally writes
@@ -214,7 +227,7 @@ def cmd_discover(args: argparse.Namespace) -> int:
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
-    """``repro suite``: list or batch-run registered scenarios."""
+    """``repro suite``: list/batch-run scenarios, or manage the cache."""
     from .scenarios import (
         REGISTRY,
         ResultCache,
@@ -222,6 +235,8 @@ def cmd_suite(args: argparse.Namespace) -> int:
         load_builtin_scenarios,
     )
 
+    if args.action == "cache":
+        return _suite_cache(args)
     load_builtin_scenarios()
     selectors = args.filter or []
     scenarios = REGISTRY.filter(*selectors)
@@ -257,6 +272,206 @@ def cmd_suite(args: argparse.Namespace) -> int:
         )
         print(f"wrote {path}")
     return 1 if report.failures else 0
+
+
+def _suite_cache(args: argparse.Namespace) -> int:
+    """``repro suite cache [stats|clear|evict]``: result-cache upkeep."""
+    import datetime
+
+    from .scenarios import ResultCache
+
+    cache = ResultCache(args.cache_dir or None)
+
+    def stamp(epoch: float | None) -> str:
+        if epoch is None:
+            return "—"
+        return datetime.datetime.fromtimestamp(epoch).isoformat(
+            sep=" ", timespec="seconds"
+        )
+
+    if args.cache_action == "stats":
+        stats = cache.stats()
+        rows = [
+            ("directory", stats.directory),
+            ("entries", stats.entries),
+            ("total_bytes", stats.total_bytes),
+            ("oldest", stamp(stats.oldest)),
+            ("newest", stamp(stats.newest)),
+        ]
+        print(_format_table(["field", "value"], rows))
+        return 0
+    if args.cache_action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.directory}")
+        return 0
+    # evict
+    if args.max_age is None and args.max_entries is None:
+        raise ReproError(
+            "evict needs --max-age SECONDS and/or --max-entries N "
+            "(use 'clear' to drop everything)"
+        )
+    removed = cache.evict(
+        max_age=args.max_age, max_entries=args.max_entries
+    )
+    stats = cache.stats()
+    print(f"evicted {removed} file(s); {stats.entries} entr"
+          f"{'y' if stats.entries == 1 else 'ies'} remain "
+          f"({stats.total_bytes} bytes)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Service commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the skyline-generation service until killed."""
+    import logging
+
+    from .logging_util import enable_console_logging
+    from .scenarios import ResultCache, load_builtin_scenarios
+    from .service import OracleStore, Scheduler, ServiceServer
+
+    enable_console_logging(logging.INFO)
+    registry = load_builtin_scenarios()
+    cache = None if args.no_cache else ResultCache(args.cache_dir or None)
+    store = (
+        None if args.no_oracle_store
+        else OracleStore(args.oracle_store or None)
+    )
+    scheduler = Scheduler(
+        registry=registry,
+        result_cache=cache,
+        oracle_store=store,
+        backend=args.backend,
+        n_workers=args.workers,
+    )
+    server = ServiceServer(scheduler, host=args.host, port=args.port)
+    print(f"repro service listening on {server.url} "
+          f"({args.workers} worker(s), backend={args.backend}, "
+          f"result cache {'off' if cache is None else cache.directory}, "
+          f"oracle store {'off' if store is None else store.directory})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _job_row(record: dict) -> tuple:
+    summary = record.get("summary") or {}
+    return (
+        record["id"],
+        record["scenario"]["name"],
+        record["state"],
+        record["priority"],
+        "hit" if record.get("cache_hit") else
+        ("warm" if record.get("warm_started") else "cold"),
+        "—" if record.get("oracle_calls") is None
+        else record["oracle_calls"],
+        record.get("oracle_calls_saved", 0),
+        summary.get("skyline_size", "—"),
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: send one job to a running service."""
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.scenario:
+        if args.task:
+            raise ReproError(
+                "--scenario and --task are mutually exclusive "
+                "(a submission is a registry reference or an inline spec)"
+            )
+        record = client.submit(
+            scenario=args.scenario, priority=args.priority
+        )
+    else:
+        if not args.task:
+            raise ReproError("submit needs --scenario NAME or --task TASK")
+        spec: dict[str, Any] = {
+            "task": args.task,
+            "algorithm": args.algorithm,
+            "epsilon": args.epsilon,
+            "budget": args.budget,
+            "max_level": args.max_level,
+            "scale": args.scale,
+            "estimator": args.estimator,
+        }
+        if args.seed is not None:
+            spec["seed"] = args.seed
+        record = client.submit(priority=args.priority, **spec)
+    if args.wait:
+        record = client.wait(record["id"], timeout=args.timeout)
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(_format_table(
+            ["job", "scenario", "state", "pri", "start", "oracle", "saved",
+             "skyline"],
+            [_job_row(record)],
+        ))
+        if record.get("error"):
+            print(f"error: {record['error']}", file=sys.stderr)
+    return 0 if record["state"] not in ("failed",) else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """``repro status``: one job's record, or all jobs + service metrics."""
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        record = client.job(args.job_id)
+        print(json.dumps(record, indent=2))
+        return 0
+    metrics = client.metrics()
+    jobs = client.jobs()
+    if args.json:
+        print(json.dumps({"metrics": metrics, "jobs": jobs}, indent=2))
+        return 0
+    if jobs:
+        print(_format_table(
+            ["job", "scenario", "state", "pri", "start", "oracle", "saved",
+             "skyline"],
+            [_job_row(record) for record in jobs],
+        ))
+    else:
+        print("no jobs submitted yet")
+    states = metrics["jobs"]
+    cache = metrics["result_cache"]
+    oracle = metrics["oracle"]
+    print(
+        f"\nqueue depth {metrics['queue_depth']} | "
+        + " ".join(f"{state}={states[state]}" for state in sorted(states))
+        + f" | cache hit rate {cache['hit_rate']:.0%}"
+        + f" | oracle calls {oracle['calls_total']} "
+        + f"(saved {oracle['calls_saved_total']}, "
+        + f"{oracle['warm_starts']} warm starts)"
+    )
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    """``repro fetch``: download one finished job's full result."""
+    from .report import save_job_record
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.result(args.job_id)
+    if args.output:
+        path = save_job_record(record, args.output)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json or not args.output:
+        print(json.dumps(record, indent=2))
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -327,9 +542,20 @@ def build_parser() -> argparse.ArgumentParser:
         "suite", help="batch-run registered scenarios (see repro.scenarios)"
     )
     suite.add_argument("action", nargs="?", default="run",
-                       choices=("run", "list"),
-                       help="run the selected scenarios (default) or just "
-                            "list them")
+                       choices=("run", "list", "cache"),
+                       help="run the selected scenarios (default), list "
+                            "them, or manage the result cache")
+    suite.add_argument("cache_action", nargs="?", default="stats",
+                       choices=("stats", "clear", "evict"),
+                       help="with 'cache': print stats (default), clear "
+                            "everything, or evict by age/count")
+    suite.add_argument("--max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="evict: drop entries cached longer ago than "
+                            "this many seconds")
+    suite.add_argument("--max-entries", type=int, default=None, metavar="N",
+                       help="evict: keep at most the N newest entries "
+                            "(0 keeps none)")
     suite.add_argument("--filter", action="append", default=[],
                        metavar="SELECTOR",
                        help="tag:NAME, task:T1, algorithm:KEY, or a name "
@@ -347,6 +573,77 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--output", default="",
                        help="directory for suite_report.json + "
                             "suite_report.md")
+
+    serve = sub.add_parser(
+        "serve", help="run the skyline-generation service (see repro.service)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listening port (0 = let the OS pick)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job-worker threads")
+    serve.add_argument("--backend", default="serial",
+                       choices=sorted(BACKENDS),
+                       help="how each worker executes its job ('process' "
+                            "forks a child per job for crash isolation)")
+    serve.add_argument("--cache-dir", default="",
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/scenarios)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable result-cache dedup; every job runs")
+    serve.add_argument("--oracle-store", default="",
+                       help="oracle-store directory (default: "
+                            "$REPRO_ORACLE_STORE_DIR or "
+                            "~/.cache/repro/oracle-stores)")
+    serve.add_argument("--no-oracle-store", action="store_true",
+                       help="disable oracle warm-starts; every job "
+                            "retrains from scratch")
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running service"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
+    submit.add_argument("--scenario", default="",
+                        help="registered scenario name (see: repro suite "
+                             "list); exclusive with --task")
+    submit.add_argument("--task", default="",
+                        help="inline job: task name (T1..T5)")
+    submit.add_argument("--algorithm", default="bimodis")
+    submit.add_argument("--epsilon", type=float, default=0.1)
+    submit.add_argument("--budget", type=int, default=80)
+    submit.add_argument("--max-level", type=int, default=5)
+    submit.add_argument("--scale", type=float, default=0.5)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--estimator", default="mogb",
+                        choices=("mogb", "oracle"))
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs sooner (FIFO within a priority)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal state")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="print the full job record as JSON")
+
+    status = sub.add_parser(
+        "status", help="list service jobs and metrics (or one job's record)"
+    )
+    status.add_argument("job_id", nargs="?", default="",
+                        help="job id for a single-job detail view")
+    status.add_argument("--url", default="http://127.0.0.1:8765")
+    status.add_argument("--json", action="store_true",
+                        help="print metrics + jobs as one JSON document")
+
+    fetch = sub.add_parser(
+        "fetch", help="download a finished job's full result payload"
+    )
+    fetch.add_argument("job_id")
+    fetch.add_argument("--url", default="http://127.0.0.1:8765")
+    fetch.add_argument("--output", default="",
+                       help="directory for job_record.json")
+    fetch.add_argument("--json", action="store_true",
+                       help="also print the record when --output is given")
     return parser
 
 
@@ -357,6 +654,10 @@ _COMMANDS = {
     "corpus": cmd_corpus,
     "discover": cmd_discover,
     "suite": cmd_suite,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "fetch": cmd_fetch,
 }
 
 

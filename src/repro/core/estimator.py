@@ -73,6 +73,77 @@ class TestStore:
         """All records, in insertion order."""
         return list(self._records.values())
 
+    def n_oracle(self) -> int:
+        """How many records carry ground truth (``source == "oracle"``)."""
+        return sum(1 for r in self._records.values() if r.source == "oracle")
+
+    def merge(self, other: TestStore) -> int:
+        """Absorb another store's records; returns how many were taken.
+
+        Oracle truth always wins: a record only replaces an existing one
+        for the same bitmap when the existing record is a surrogate
+        estimate and the incoming one is ground truth. This is what lets
+        concurrent runs of one task pool their histories without an
+        estimate ever shadowing a real training result.
+        """
+        taken = 0
+        for record in other.records():
+            existing = self._records.get(record.bits)
+            if existing is None or (
+                existing.source != "oracle" and record.source == "oracle"
+            ):
+                self._records[record.bits] = record
+                taken += 1
+        return taken
+
+    # -- serialization hooks -----------------------------------------------------
+    def to_payload(self, include_surrogate: bool = True) -> list[dict]:
+        """JSON-serializable rows, one per record (bitmap as hex).
+
+        ``include_surrogate=False`` keeps only ground-truth records — what
+        the service's shared oracle store persists, so one scenario's
+        surrogate estimates never leak into another's history as if they
+        were observed performance.
+        """
+        return [
+            {
+                "bits": hex(record.bits),
+                "features": [float(v) for v in record.features],
+                "perf": [float(v) for v in record.perf],
+                "source": record.source,
+            }
+            for record in self._records.values()
+            if include_surrogate or record.source == "oracle"
+        ]
+
+    @classmethod
+    def from_payload(
+        cls, rows: Sequence[dict], n_measures: int | None = None
+    ) -> TestStore:
+        """Rebuild a store from :meth:`to_payload` rows.
+
+        With ``n_measures`` given, every row's performance vector must have
+        that length — loading history recorded under a different measure
+        set would silently corrupt estimates otherwise.
+        """
+        store = cls()
+        for row in rows:
+            perf = np.asarray(row["perf"], dtype=float)
+            if n_measures is not None and perf.shape != (n_measures,):
+                raise EstimatorError(
+                    f"record {row['bits']} has a {perf.shape[0]}-measure "
+                    f"vector, expected {n_measures}"
+                )
+            store.add(
+                TestRecord(
+                    bits=int(row["bits"], 16),
+                    features=np.asarray(row["features"], dtype=float),
+                    perf=perf,
+                    source=row.get("source", "oracle"),
+                )
+            )
+        return store
+
     def perf_matrix(self) -> np.ndarray:
         """(n_tests, |P|) matrix of valuated performance vectors."""
         if not self._records:
@@ -280,10 +351,7 @@ class MOGBEstimator(Estimator):
         # Warm start: a pre-loaded historical store T with enough truth
         # already covers what bootstrapping would sample (Section 2's
         # "historically observed performance of M").
-        oracle_records = sum(
-            1 for r in self.store.records() if r.source == "oracle"
-        )
-        if oracle_records >= max(3, self.n_bootstrap):
+        if self.store.n_oracle() >= max(3, self.n_bootstrap):
             self._bootstrapped = True
             self._refit(force=True)
         else:

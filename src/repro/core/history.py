@@ -20,10 +20,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-import numpy as np
-
 from ..exceptions import EstimatorError
-from .estimator import TestRecord, TestStore
+from ..ioutil import atomic_write_json
+from .estimator import TestStore
 from .measures import MeasureSet
 
 FORMAT_VERSION = 1
@@ -39,24 +38,12 @@ def save_test_store(
     ``measures`` (optional) embeds the measure names so a later load can
     refuse a store recorded under a different ``P``.
     """
-    path = Path(path)
     payload = {
         "version": FORMAT_VERSION,
         "measures": list(measures.names) if measures is not None else None,
-        "records": [
-            {
-                "bits": hex(record.bits),
-                "features": [float(v) for v in record.features],
-                "perf": [float(v) for v in record.perf],
-                "source": record.source,
-            }
-            for record in store.records()
-        ],
+        "records": store.to_payload(),
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as fh:
-        json.dump(payload, fh, indent=2)
-    return path
+    return atomic_write_json(path, payload, indent=2)
 
 
 def load_test_store(
@@ -88,20 +75,7 @@ def load_test_store(
             f"test store was recorded for measures {stored_names}, "
             f"expected {list(measures.names)}"
         )
-    store = TestStore()
-    for row in payload["records"]:
-        perf = np.asarray(row["perf"], dtype=float)
-        if measures is not None and perf.shape != (len(measures),):
-            raise EstimatorError(
-                f"record {row['bits']} has a {perf.shape[0]}-measure "
-                f"vector, expected {len(measures)}"
-            )
-        store.add(
-            TestRecord(
-                bits=int(row["bits"], 16),
-                features=np.asarray(row["features"], dtype=float),
-                perf=perf,
-                source=row.get("source", "oracle"),
-            )
-        )
-    return store
+    return TestStore.from_payload(
+        payload["records"],
+        n_measures=len(measures) if measures is not None else None,
+    )

@@ -70,3 +70,8 @@ class ScenarioError(ReproError):
 
 class SQLError(ReproError):
     """A SQL string could not be tokenized, parsed, bound, or executed."""
+
+
+class ServiceError(ReproError):
+    """A skyline-service problem: illegal job-state transitions, unknown
+    job ids, malformed submissions, or an unreachable/failing server."""

@@ -66,6 +66,16 @@ class Backend(abc.ABC):
     def run(self, thunks: Sequence[Thunk]) -> list[Any]:
         """Execute every thunk; ``results[i]`` is ``thunks[i]()``."""
 
+    def run_one(self, thunk: Thunk) -> Any:
+        """Execute a single unit of work through the backend's strategy.
+
+        How long-lived callers (the job-queue service) route jobs: each
+        worker drains one job at a time, but still gets the backend's
+        isolation semantics — ``process`` runs the thunk in a forked child,
+        so a crashing job cannot corrupt the serving process.
+        """
+        return self.run([thunk])[0]
+
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Convenience: apply ``fn`` to each item through :meth:`run`."""
         return self.run([_BoundCall(fn, item) for item in items])
@@ -178,6 +188,34 @@ class ProcessBackend(Backend):
                     f"task failed in {self.name} backend:\n{failure}"
                 )
         return results
+
+    def run_one(self, thunk: Thunk) -> Any:
+        """Run one thunk in its own forked child (unlike batched ``run``,
+        which degrades single-thunk batches to inline execution for speed).
+
+        This is the isolation path the service scheduler relies on: a job
+        that segfaults or corrupts interpreter state takes down only its
+        child process, and the failure surfaces as a :class:`BackendError`.
+        """
+        if not self._can_fork():
+            return thunk()
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main, args=(child_conn, thunk), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            ok, payload = parent_conn.recv()
+        except EOFError:
+            ok, payload = False, "worker process died before reporting a result"
+        finally:
+            parent_conn.close()
+        proc.join()
+        if not ok:
+            raise BackendError(f"task failed in {self.name} backend:\n{payload}")
+        return payload
 
     @staticmethod
     def _can_fork() -> bool:

@@ -1,0 +1,43 @@
+"""Small filesystem helpers shared across the persistence layers.
+
+One idiom, one implementation: the result cache, the service's oracle
+store, and the test-store history all persist JSON with the same
+crash-safety contract — write to a same-directory temp file, flush and
+``fsync``, then atomically rename into place. A writer killed at any
+point can only leave a stale temp file behind, never a truncated
+document under the real name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_json(
+    path: str | Path, payload: Any, indent: int | None = None
+) -> Path:
+    """Durably replace ``path`` with ``payload`` serialized as JSON.
+
+    The temp name carries pid *and* thread id so concurrent writers —
+    threads in one service, or processes sharing a cache directory —
+    never truncate or unlink each other's in-flight file. The parent
+    directory is created if missing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(
+        f"{path.suffix}.tmp.{os.getpid()}.{threading.get_ident()}"
+    )
+    try:
+        with tmp.open("w") as fh:
+            json.dump(payload, fh, indent=indent)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path

@@ -25,6 +25,7 @@ from .relational.table import Table
 REPORT_NAME = "report.json"
 SUITE_REPORT_NAME = "suite_report.json"
 SUITE_SUMMARY_NAME = "suite_report.md"
+JOB_RECORD_NAME = "job_record.json"
 
 
 def entry_payload(result: DiscoveryResult, index: int) -> dict[str, Any]:
@@ -146,5 +147,28 @@ def load_suite_report(directory: str | Path) -> dict:
     path = Path(directory) / SUITE_REPORT_NAME
     if not path.exists():
         raise ReproError(f"no {SUITE_REPORT_NAME} under {directory}")
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def save_job_record(payload: dict, directory: str | Path) -> Path:
+    """Persist one service job record (``repro fetch --output``).
+
+    The payload is the API's ``GET /results/{id}`` body: lifecycle fields
+    plus the full result under ``"result"``. Returns the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / JOB_RECORD_NAME
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
+def load_job_record(directory: str | Path) -> dict:
+    """Read back a saved job's ``job_record.json``."""
+    path = Path(directory) / JOB_RECORD_NAME
+    if not path.exists():
+        raise ReproError(f"no {JOB_RECORD_NAME} under {directory}")
     with path.open() as fh:
         return json.load(fh)

@@ -29,7 +29,12 @@ Quickstart::
     print(report.markdown_summary())
 """
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
 from .factory import (
     MODIS_VARIANTS,
     TASK_CACHE,
@@ -49,6 +54,7 @@ from .suite import ScenarioOutcome, SuiteReport, SuiteRunner, run_suite
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CacheStats",
     "DEFAULT_CACHE_DIR",
     "MODIS_VARIANTS",
     "REGISTRY",

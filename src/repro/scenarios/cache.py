@@ -21,10 +21,16 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from ..ioutil import atomic_write_json
 from .spec import CACHE_SCHEMA, Scenario
+
+#: Temp files older than this are considered abandoned by a dead writer
+#: and safe to sweep; younger ones may belong to an in-flight put().
+ORPHAN_TTL_SECONDS = 3600.0
 
 #: Default cache root; override with --cache-dir or $REPRO_CACHE_DIR.
 DEFAULT_CACHE_DIR = "~/.cache/repro/scenarios"
@@ -36,6 +42,27 @@ def default_cache_dir() -> Path:
     if root:
         return Path(root).expanduser()
     return Path(DEFAULT_CACHE_DIR).expanduser()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What ``repro suite cache stats`` prints: size and age extremes."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    oldest: float | None  # epoch seconds of the oldest entry's cached_at
+    newest: float | None
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON form (``repro suite cache stats`` machine output)."""
+        return {
+            "directory": self.directory,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "oldest": self.oldest,
+            "newest": self.newest,
+        }
 
 
 class ResultCache:
@@ -73,9 +100,13 @@ class ResultCache:
 
     def put(self, spec: Scenario, result: dict[str, Any],
             elapsed_seconds: float) -> Path:
-        """Store one scenario result atomically; returns the entry path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(spec)
+        """Store one scenario result atomically; returns the entry path.
+
+        Crash-safe via :func:`repro.ioutil.atomic_write_json`: a worker
+        killed mid-write can only leave a stale ``*.tmp.*`` behind
+        (swept by evict/clear), never a truncated entry under the real
+        name, and racing writers never touch each other's temp file.
+        """
         record = {
             "schema": CACHE_SCHEMA,
             "fingerprint": spec.fingerprint(),
@@ -88,19 +119,120 @@ class ResultCache:
             "cached_at": time.time(),
             "result": result,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w") as fh:
-            json.dump(record, fh, indent=2)
-        os.replace(tmp, path)
-        return path
+        return atomic_write_json(self.path_for(spec), record, indent=2)
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        Also sweeps *all* temp files, live or not (they are not counted —
+        they were never entries): clearing the cache is explicitly
+        destructive, unlike evict's age-guarded sweep.
+        """
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            self._sweep_orphans(max_age=0.0)
+        return removed
+
+    # -- inspection & eviction ---------------------------------------------------
+    def _scan(self, evict_corrupt: bool = False) -> list[tuple[Path, float, int]]:
+        """(path, cached_at, size) per readable entry, oldest first.
+
+        Unreadable or foreign files are skipped — and deleted only when
+        ``evict_corrupt`` is set (the eviction path). Inspection must
+        never destroy files: a mispointed ``--cache-dir`` would otherwise
+        turn ``repro suite cache stats`` into a directory wipe.
+        """
+        rows: list[tuple[Path, float, int]] = []
+        if not self.directory.is_dir():
+            return rows
+        for path in self.directory.glob("*.json"):
+            try:
+                size = path.stat().st_size
+                with path.open() as fh:
+                    record = json.load(fh)
+                cached_at = float(record["cached_at"])
+                if record.get("schema") != CACHE_SCHEMA:
+                    raise ValueError("foreign schema")
+            except (OSError, ValueError, KeyError, TypeError,
+                    json.JSONDecodeError):
+                if evict_corrupt:
+                    path.unlink(missing_ok=True)
+                continue
+            rows.append((path, cached_at, size))
+        rows.sort(key=lambda row: row[1])
+        return rows
+
+    def _sweep_orphans(self, max_age: float = ORPHAN_TTL_SECONDS) -> int:
+        """Remove temp files abandoned by killed writers.
+
+        Only files older than ``max_age`` seconds go: a younger
+        ``*.tmp.*`` may be a concurrent worker's in-flight write, whose
+        ``os.replace`` must not be sabotaged. ``clear()`` passes 0 —
+        dropping everything is its contract.
+        """
+        swept = 0
+        cutoff = time.time() - max_age
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.tmp.*"):
+                try:
+                    if max_age > 0 and path.stat().st_mtime > cutoff:
+                        continue
+                except OSError:
+                    continue
+                path.unlink(missing_ok=True)
+                swept += 1
+        return swept
+
+    def stats(self) -> CacheStats:
+        """Entry count, total bytes, and oldest/newest ``cached_at``.
+
+        Pure inspection: corrupt or foreign files are ignored, never
+        touched.
+        """
+        rows = self._scan()
+        return CacheStats(
+            directory=str(self.directory),
+            entries=len(rows),
+            total_bytes=sum(size for _, _, size in rows),
+            oldest=rows[0][1] if rows else None,
+            newest=rows[-1][1] if rows else None,
+        )
+
+    def evict(
+        self,
+        max_age: float | None = None,
+        max_entries: int | None = None,
+    ) -> int:
+        """Delete entries by age and/or count; returns how many went.
+
+        ``max_age`` (seconds) drops every entry cached longer ago than
+        that; ``max_entries`` then trims the survivors to the newest N
+        (0 keeps none). Eviction is the cache's janitor: corrupt entries
+        and abandoned temp files (older than :data:`ORPHAN_TTL_SECONDS`)
+        are swept too, all counted in the returned total.
+        """
+        removed = self._sweep_orphans()
+        n_json = (
+            sum(1 for _ in self.directory.glob("*.json"))
+            if self.directory.is_dir() else 0
+        )
+        rows = self._scan(evict_corrupt=True)
+        removed += n_json - len(rows)  # corrupt/foreign files deleted
+        doomed: list[Path] = []
+        if max_age is not None:
+            cutoff = time.time() - max_age
+            doomed = [path for path, at, _ in rows if at < cutoff]
+            rows = [row for row in rows if row[1] >= cutoff]
+        if max_entries is not None and max_entries >= 0:
+            excess = len(rows) - max_entries
+            if excess > 0:
+                doomed.extend(path for path, _, _ in rows[:excess])
+        for path in doomed:
+            path.unlink(missing_ok=True)
+            removed += 1
         return removed
 
     def __len__(self) -> int:

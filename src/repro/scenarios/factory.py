@@ -23,6 +23,7 @@ import time
 from typing import Any, Callable
 
 from ..core.algorithms import ALGORITHMS, DiscoveryResult
+from ..core.estimator import TestStore
 from ..datalake.tasks import TASK_BUILDERS, DiscoveryTask, make_task
 from ..distributed import DistributedMODis
 from ..exceptions import ScenarioError
@@ -108,11 +109,24 @@ class ResolvedScenario:
         spec = self.spec
         return self._task_cache.get(spec.task, spec.scale, spec.seed)
 
-    def build(self):
-        """Construct the runnable: an algorithm or a distributed runner."""
+    def build(self, store: TestStore | None = None):
+        """Construct the runnable: an algorithm or a distributed runner.
+
+        ``store`` warm-starts the estimator with a historical test set
+        ``T`` (the service's shared oracle store): recorded states answer
+        from history instead of re-training, and a sufficiently covered
+        history lets :class:`~repro.core.estimator.MOGBEstimator` skip its
+        bootstrap oracle calls entirely. Distributed runs keep per-worker
+        private estimators, so they cannot accept a shared store.
+        """
         spec = self.spec
         task = self.task
         if spec.distributed:
+            if store is not None:
+                raise ScenarioError(
+                    f"{spec.name}: distributed runs keep private per-worker "
+                    "estimators and cannot warm-start from a shared store"
+                )
             return DistributedMODis(
                 lambda: task.build_config(
                     estimator=spec.estimator, n_bootstrap=spec.n_bootstrap
@@ -125,6 +139,8 @@ class ResolvedScenario:
         config = task.build_config(
             estimator=spec.estimator, n_bootstrap=spec.n_bootstrap
         )
+        if store is not None:
+            config.estimator.store = store
         return self.algorithm_cls(
             config,
             epsilon=spec.epsilon,
@@ -133,9 +149,11 @@ class ResolvedScenario:
             **spec.algorithm_kwargs,
         )
 
-    def run(self) -> tuple[DiscoveryResult, float]:
+    def run(
+        self, store: TestStore | None = None
+    ) -> tuple[DiscoveryResult, float]:
         """Build and run the scenario; returns (result, wall seconds)."""
-        runnable = self.build()
+        runnable = self.build(store=store)
         start = time.perf_counter()
         result = runnable.run(verify=self.spec.verify)
         return result, time.perf_counter() - start

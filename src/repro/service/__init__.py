@@ -1,0 +1,75 @@
+"""Long-running skyline-generation service: job queue, HTTP API, oracle store.
+
+The ROADMAP's serving layer: instead of one-shot CLI processes that
+rebuild their task, retrain their oracles, and discard the test store on
+exit, discovery runs as jobs against a persistent service:
+
+* :class:`Job` / :class:`JobState` — one scenario submission with an
+  explicit ``QUEUED → RUNNING → DONE | FAILED | CANCELLED`` state machine;
+* :class:`JobQueue` — thread-safe priority queue (higher first, FIFO ties,
+  lazy cancellation);
+* :class:`Scheduler` — a worker pool draining the queue through the
+  :mod:`repro.exec` backends, with per-job failure isolation, content-hash
+  dedup against the PR-2 :class:`~repro.scenarios.cache.ResultCache`, and
+  estimator warm-starts from the oracle store;
+* :class:`OracleStore` — persistent, task-keyed ground-truth test stores:
+  the first job on a task pays oracle training, every later one inherits
+  it (``oracle_calls_saved`` is measured against that cold baseline);
+* :class:`ServiceServer` / :class:`ServiceClient` — a stdlib-only JSON
+  HTTP API (``POST /jobs``, ``GET /jobs[/{id}]``, ``DELETE /jobs/{id}``,
+  ``GET /results/{id}``, ``GET /healthz``, ``GET /metrics``) and its
+  typed Python client.
+
+CLI surface: ``repro serve`` boots the service; ``repro submit``,
+``repro status``, and ``repro fetch`` talk to it.
+
+Quickstart::
+
+    from repro.service import OracleStore, Scheduler, ServiceClient, ServiceServer
+
+    scheduler = Scheduler(oracle_store=OracleStore("/tmp/oracle-stores"))
+    with ServiceServer(scheduler, port=0) as server:
+        client = ServiceClient(server.url)
+        first = client.run(scenario="smoke-t3-apx")
+        second = client.run(task="T3", algorithm="bimodis", budget=10)
+        print(second["oracle_calls_saved"], "oracle calls saved")
+"""
+
+from .client import DEFAULT_URL, ServiceClient
+from .jobs import (
+    INLINE_SPEC_FIELDS,
+    Job,
+    JobState,
+    new_job_id,
+    scenario_from_request,
+    summarize_result,
+)
+from .queue import JobQueue
+from .scheduler import Scheduler
+from .server import ServiceServer
+from .store import (
+    DEFAULT_ORACLE_STORE_DIR,
+    OracleStore,
+    TaskHistory,
+    default_oracle_store_dir,
+    task_key,
+)
+
+__all__ = [
+    "DEFAULT_ORACLE_STORE_DIR",
+    "DEFAULT_URL",
+    "INLINE_SPEC_FIELDS",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "OracleStore",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceServer",
+    "TaskHistory",
+    "default_oracle_store_dir",
+    "new_job_id",
+    "scenario_from_request",
+    "summarize_result",
+    "task_key",
+]

@@ -1,0 +1,150 @@
+"""A typed, stdlib-only Python client for the skyline service.
+
+Thin ``urllib.request`` wrapper over the JSON API: every method returns
+the decoded payload dict, and every transport or API failure surfaces as
+a :class:`~repro.exceptions.ServiceError` carrying the server's
+``{"error": ...}`` message when one exists. :meth:`ServiceClient.wait`
+polls a job to a terminal state — the blocking convenience the CLI's
+``repro submit --wait`` and the examples build on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..exceptions import ServiceError
+from .jobs import JobState
+
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+class ServiceClient:
+    """Client for one service base URL (``http://host:port``)."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport ---------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get(
+                    "error", ""
+                )
+            except Exception:
+                pass
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else "")
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    # -- API ---------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        scenario: str | None = None,
+        priority: int = 0,
+        **spec_fields: Any,
+    ) -> dict[str, Any]:
+        """``POST /jobs``: a registered scenario by name, or inline fields.
+
+        >>> client.submit(scenario="smoke-t3-apx", priority=5)
+        >>> client.submit(task="T3", algorithm="apx", budget=10)
+        """
+        body: dict[str, Any] = dict(spec_fields)
+        if scenario is not None:
+            body["scenario"] = scenario
+        if priority:
+            body["priority"] = priority
+        return self._request("POST", "/jobs", body=body)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /jobs``: every job record, submission order."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/{id}``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``DELETE /jobs/{id}`` (only queued jobs are cancellable)."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """``GET /results/{id}``: the job record with its full result."""
+        return self._request("GET", f"/results/{job_id}")
+
+    # -- conveniences ------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.25,
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in JobState.TERMINAL:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for job "
+                    f"{job_id} (still {record['state']})"
+                )
+            time.sleep(poll_interval)
+
+    def run(
+        self,
+        scenario: str | None = None,
+        priority: int = 0,
+        timeout: float = 300.0,
+        **spec_fields: Any,
+    ) -> dict[str, Any]:
+        """Submit and wait; raises if the job did not end ``DONE``."""
+        job = self.submit(scenario=scenario, priority=priority, **spec_fields)
+        record = self.wait(job["id"], timeout=timeout)
+        if record["state"] != JobState.DONE:
+            raise ServiceError(
+                f"job {record['id']} ended {record['state']}"
+                + (f": {record['error']}" if record.get("error") else "")
+            )
+        return record
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.url!r})"

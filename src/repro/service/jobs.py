@@ -1,0 +1,222 @@
+"""Job specs and the service's explicit job state machine.
+
+A :class:`Job` wraps one :class:`~repro.scenarios.spec.Scenario` — named
+(a registry reference) or inline (ad-hoc spec fields from an HTTP body) —
+with a priority and the full lifecycle record the service exposes over
+its API: state, timestamps, budget/oracle accounting, and the result.
+
+States move strictly along::
+
+    QUEUED ──► RUNNING ──► DONE
+       │          ├──────► FAILED
+       └──────────┴──────► CANCELLED
+
+``DONE``/``FAILED``/``CANCELLED`` are terminal. Every transition goes
+through :meth:`Job.transition`, which rejects anything else — the
+scheduler never has to reason about half-legal states, and tests can
+assert on the machine directly.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import ServiceError
+from ..scenarios.registry import ScenarioRegistry
+from ..scenarios.spec import Scenario
+
+
+class JobState:
+    """The five job states, as plain strings (JSON- and API-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+#: state → states it may legally move to.
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+#: Scenario constructor fields an inline submission may set.
+INLINE_SPEC_FIELDS = frozenset(
+    {
+        "name",
+        "task",
+        "algorithm",
+        "tags",
+        "algorithm_kwargs",
+        "epsilon",
+        "budget",
+        "max_level",
+        "scale",
+        "seed",
+        "estimator",
+        "n_bootstrap",
+        "distributed",
+        "verify",
+        "description",
+    }
+)
+
+#: Submission keys that are not scenario fields.
+_REQUEST_ONLY_FIELDS = frozenset({"scenario", "priority"})
+
+
+def new_job_id() -> str:
+    """A short, URL-safe, collision-resistant job id."""
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class Job:
+    """One unit of service work: a scenario spec plus its lifecycle record.
+
+    ``priority`` is "higher runs sooner"; ties break by submission order
+    (FIFO). All mutation happens under the scheduler's lock — the dataclass
+    itself carries no synchronization.
+    """
+
+    spec: Scenario
+    priority: int = 0
+    id: str = field(default_factory=new_job_id)
+    state: str = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    run_seconds: float = 0.0
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    #: completed instantly from the content-addressed result cache.
+    cache_hit: bool = False
+    #: estimator was seeded from the persistent shared oracle store.
+    warm_started: bool = False
+    #: how many historical test records the warm start injected.
+    warm_records: int = 0
+    #: real model trainings this job paid (None: unknown, e.g. distributed).
+    oracle_calls: int | None = None
+    #: oracle calls avoided vs the cold run that seeded the task's store.
+    oracle_calls_saved: int = 0
+
+    # -- state machine -----------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def transition(self, new_state: str) -> None:
+        """Move to ``new_state``, stamping timestamps; illegal moves raise."""
+        if new_state not in _TRANSITIONS:
+            raise ServiceError(f"unknown job state {new_state!r}")
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.id}: illegal transition "
+                f"{self.state} -> {new_state}"
+            )
+        self.state = new_state
+        now = time.time()
+        if new_state == JobState.RUNNING:
+            self.started_at = now
+        elif new_state in JobState.TERMINAL:
+            self.finished_at = now
+
+    # -- views -------------------------------------------------------------------
+    def to_payload(self, include_result: bool = False) -> dict[str, Any]:
+        """The JSON form served by ``GET /jobs`` and ``GET /jobs/{id}``."""
+        spec = self.spec
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "priority": self.priority,
+            "scenario": {
+                "name": spec.name,
+                "tags": list(spec.tags),
+                **spec.cache_payload(),
+            },
+            "fingerprint": spec.fingerprint(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "run_seconds": self.run_seconds,
+            "cache_hit": self.cache_hit,
+            "warm_started": self.warm_started,
+            "warm_records": self.warm_records,
+            "oracle_calls": self.oracle_calls,
+            "oracle_calls_saved": self.oracle_calls_saved,
+            "error": self.error,
+            "summary": summarize_result(self.result),
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+def summarize_result(result: Mapping[str, Any] | None) -> dict[str, Any]:
+    """A small quality digest of a result payload (empty dict if none)."""
+    if not result:
+        return {}
+    return {
+        "skyline_size": len(result.get("entries", [])),
+        "n_valuated": result.get("n_valuated", 0),
+        "terminated_by": result.get("terminated_by", ""),
+        "elapsed_seconds": result.get("elapsed_seconds", 0.0),
+    }
+
+
+def scenario_from_request(
+    body: Mapping[str, Any], registry: ScenarioRegistry
+) -> Scenario:
+    """Resolve a submission body into a :class:`Scenario`.
+
+    Two shapes are accepted:
+
+    * ``{"scenario": "<registered name>"}`` — a registry reference;
+    * inline spec fields (``{"task": "T3", "algorithm": "apx", ...}``) —
+      an ad-hoc scenario, auto-named when ``name`` is omitted. Because the
+      result-cache fingerprint excludes identity fields, an inline job
+      identical to a named one still dedups against its cached result.
+
+    Unknown keys are rejected rather than ignored, so a typo ("buget")
+    fails loudly at submission time instead of silently running defaults.
+    """
+    if not isinstance(body, Mapping):
+        raise ServiceError("job submission must be a JSON object")
+    unknown = set(body) - INLINE_SPEC_FIELDS - _REQUEST_ONLY_FIELDS
+    if unknown:
+        raise ServiceError(
+            f"unknown job fields {sorted(unknown)}; accepted: "
+            f"{sorted(INLINE_SPEC_FIELDS | _REQUEST_ONLY_FIELDS)}"
+        )
+    named = body.get("scenario")
+    inline = {k: body[k] for k in INLINE_SPEC_FIELDS if k in body}
+    if named is not None:
+        if inline:
+            raise ServiceError(
+                "a submission is either a scenario reference or inline "
+                f"spec fields, not both (got scenario={named!r} plus "
+                f"{sorted(inline)})"
+            )
+        return registry.get(str(named))
+    if "task" not in inline:
+        raise ServiceError(
+            "inline submissions need at least a 'task' "
+            "(or use {'scenario': '<registered name>'})"
+        )
+    inline.setdefault("name", new_job_id())
+    if isinstance(inline.get("tags"), list):
+        inline["tags"] = tuple(inline["tags"])
+    return Scenario(**inline)

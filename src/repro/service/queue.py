@@ -1,0 +1,96 @@
+"""A thread-safe priority queue of jobs.
+
+A binary heap ordered by ``(-priority, submission sequence)``: higher
+priority pops first, ties are FIFO. Cancellation is *lazy* — a cancelled
+job stays in the heap but is discarded (never returned) at pop time, so
+cancelling is O(1) and needs no heap surgery; the scheduler flips the
+job's state and the queue simply skips anything no longer ``QUEUED``.
+
+``pop`` blocks on a condition variable with an optional timeout and
+returns ``None`` once the queue is closed and drained, which is how the
+scheduler's worker threads learn to exit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from ..exceptions import ServiceError
+from .jobs import Job, JobState
+
+
+class JobQueue:
+    """Priority-ordered, thread-safe, closable queue of :class:`Job`s."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- producers ---------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Enqueue a job; rejects pushes after :meth:`close`."""
+        with self._cond:
+            if self._closed:
+                raise ServiceError("queue is closed; cannot accept jobs")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    # -- consumers ---------------------------------------------------------------
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """The highest-priority queued job, blocking up to ``timeout``.
+
+        Returns ``None`` on timeout, or immediately once the queue is
+        closed and holds no queued work. Jobs whose state is no longer
+        ``QUEUED`` (lazily cancelled) are dropped on the way.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                self._discard_stale()
+                if self._heap:
+                    return heapq.heappop(self._heap)[2]
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return None
+
+    def _discard_stale(self) -> None:
+        """Drop heap heads that were cancelled while queued (lock held)."""
+        while self._heap and self._heap[0][2].state != JobState.QUEUED:
+            heapq.heappop(self._heap)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting pushes and wake every blocked popper."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        """How many genuinely queued (not lazily-cancelled) jobs wait."""
+        with self._cond:
+            return sum(
+                1 for _, _, job in self._heap
+                if job.state == JobState.QUEUED
+            )
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"JobQueue({self.depth} queued, {state})"

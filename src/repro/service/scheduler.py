@@ -1,0 +1,404 @@
+"""The worker pool that drains the job queue.
+
+``Scheduler`` owns the whole serving pipeline: submissions are validated
+fail-fast through the PR-2 :class:`~repro.scenarios.factory.ScenarioFactory`,
+content-hash deduplicated against the persistent
+:class:`~repro.scenarios.cache.ResultCache` (an identical job completes
+instantly, without ever touching the queue), and otherwise pushed onto the
+priority :class:`~repro.service.queue.JobQueue`. Worker threads pop jobs
+and execute each one through a PR-1 :mod:`repro.exec` backend's
+:meth:`~repro.exec.Backend.run_one` — ``serial`` runs in-thread, while
+``process`` forks a child per job so a crashing job cannot take the
+service down. Failures are isolated per job: the job ends ``FAILED`` with
+the error recorded, and the worker moves on.
+
+With an :class:`~repro.service.store.OracleStore` attached, every job on a
+task key warm-starts its estimator from the key's persisted ground truth
+and merges its own new truth back in afterwards, so oracle training cost
+is paid once per task, not once per job. ``oracle_calls_saved`` is
+measured against the cold run that seeded the key's store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping
+
+from ..core.estimator import TestStore
+from ..exceptions import ServiceError
+from ..exec import Backend, make_backend
+from ..logging_util import get_logger
+from ..report import build_payload
+from ..scenarios.cache import ResultCache
+from ..scenarios.factory import ResolvedScenario, ScenarioFactory
+from ..scenarios.registry import ScenarioRegistry, load_builtin_scenarios
+from ..scenarios.spec import Scenario
+from .jobs import Job, JobState, scenario_from_request
+from .queue import JobQueue
+from .store import OracleStore, task_key
+
+logger = get_logger("service.scheduler")
+
+
+class _JobRun:
+    """The unit shipped to a backend: run one resolved scenario.
+
+    Fork-friendly (inherited state, no pickling of the closure) and
+    returns only plain JSON-able data, so the same object works on the
+    serial, thread, and forked-process backends alike.
+    """
+
+    __slots__ = ("resolved", "store")
+
+    def __init__(self, resolved: ResolvedScenario, store: TestStore | None):
+        self.resolved = resolved
+        self.store = store
+
+    def __call__(self) -> dict[str, Any]:
+        runnable = self.resolved.build(store=self.store)
+        start = time.perf_counter()
+        result = runnable.run(verify=self.resolved.spec.verify)
+        seconds = time.perf_counter() - start
+        config = getattr(runnable, "config", None)
+        oracle_calls = None
+        store_rows = None
+        if config is not None:
+            # Single-node algorithms expose their estimator; distributed
+            # runs keep private per-worker estimators and report neither.
+            oracle_calls = config.estimator.oracle_calls
+            store_rows = config.estimator.store.to_payload(
+                include_surrogate=False
+            )
+        return {
+            "result": build_payload(result),
+            "seconds": seconds,
+            "oracle_calls": oracle_calls,
+            "store_rows": store_rows,
+        }
+
+
+class Scheduler:
+    """Thread-pool job scheduler with caching and oracle warm-starts."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry | None = None,
+        factory: ScenarioFactory | None = None,
+        result_cache: ResultCache | None = None,
+        oracle_store: OracleStore | None = None,
+        backend: str | Backend = "serial",
+        n_workers: int = 2,
+        poll_interval: float = 0.2,
+    ):
+        if n_workers < 1:
+            raise ServiceError("n_workers must be >= 1")
+        self.registry = (
+            registry if registry is not None else load_builtin_scenarios()
+        )
+        self.factory = factory if factory is not None else ScenarioFactory()
+        self.result_cache = result_cache
+        self.oracle_store = oracle_store
+        self.backend = make_backend(backend, 1)
+        self.n_workers = int(n_workers)
+        self.queue = JobQueue()
+        self.jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+        self._poll_interval = float(poll_interval)
+        self._started_at = time.time()
+        self._submitted = 0
+        self._cache_hits = 0
+        self._warm_starts = 0
+        self._oracle_calls_total = 0
+        self._oracle_calls_saved_total = 0
+
+    # -- submissions -------------------------------------------------------------
+    def submit(self, spec: Scenario, priority: int = 0) -> Job:
+        """Validate, dedup against the result cache, and enqueue a job.
+
+        Raises :class:`~repro.exceptions.ScenarioError` on an unresolvable
+        spec — *before* a job record is created, so bad submissions never
+        occupy the queue. A spec whose fingerprint already has a cached
+        result completes instantly (``cache_hit=True``) without running.
+        """
+        self.factory.resolve(spec)
+        job = Job(spec=spec, priority=int(priority))
+        record = (
+            self.result_cache.get(spec)
+            if self.result_cache is not None else None
+        )
+        with self._lock:
+            self.jobs[job.id] = job
+            self._submitted += 1
+            if record is not None:
+                job.transition(JobState.RUNNING)
+                job.cache_hit = True
+                job.result = record["result"]
+                job.oracle_calls = 0
+                job.transition(JobState.DONE)
+                self._cache_hits += 1
+                self._cond.notify_all()
+                return job
+        try:
+            self.queue.push(job)
+        except ServiceError:
+            # Submission raced a shutdown: the queue is closed, so no
+            # worker will ever see this job — don't leave it QUEUED.
+            with self._lock:
+                job.transition(JobState.CANCELLED)
+                self._cond.notify_all()
+            raise
+        return job
+
+    def submit_request(self, body: Mapping[str, Any]) -> Job:
+        """Submit from an API body (named scenario ref or inline fields)."""
+        spec = scenario_from_request(body, self.registry)
+        priority = body.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError(
+                f"priority must be an integer, got {priority!r}"
+            )
+        return self.submit(spec, priority=priority)
+
+    # -- lookups -----------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        """Look one job up by id; unknown ids raise ``ServiceError``."""
+        with self._lock:
+            try:
+                return self.jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def list_jobs(self) -> list[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return list(self.jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a *queued* job; running/terminal jobs are not preemptible."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job id {job_id!r}")
+            if job.state != JobState.QUEUED:
+                raise ServiceError(
+                    f"job {job_id} is {job.state}; only queued jobs can "
+                    "be cancelled"
+                )
+            job.transition(JobState.CANCELLED)
+            self._cond.notify_all()
+            return job
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._worker,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, drain: bool = False, timeout: float | None = None) -> None:
+        """Shut the pool down.
+
+        ``drain=True`` lets workers finish every queued job first;
+        otherwise queued jobs are cancelled and only in-flight jobs run to
+        completion (worker threads cannot be preempted mid-job).
+        """
+        if not drain:
+            with self._lock:
+                for job in self.jobs.values():
+                    if job.state == JobState.QUEUED:
+                        job.transition(JobState.CANCELLED)
+                self._cond.notify_all()
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    def __enter__(self) -> Scheduler:
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- waiting -----------------------------------------------------------------
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until a job reaches a terminal state; returns the job."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                job = self.jobs.get(job_id)
+                if job is None:
+                    raise ServiceError(f"unknown job id {job_id!r}")
+                if job.terminal:
+                    return job
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        raise ServiceError(
+                            f"timed out waiting for job {job_id} "
+                            f"(still {job.state})"
+                        )
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no job is queued or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if all(job.terminal for job in self.jobs.values()):
+                    return True
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return False
+
+    # -- execution ---------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self.queue.pop(timeout=self._poll_interval)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            try:
+                self._execute(job)
+            except Exception:  # pragma: no cover - absolute backstop
+                logger.exception("worker crashed executing job %s", job.id)
+
+    def _execute(self, job: Job) -> None:
+        with self._lock:
+            if job.state != JobState.QUEUED:
+                return  # cancelled between pop and execution
+            job.transition(JobState.RUNNING)
+        spec = job.spec
+        start = time.perf_counter()
+        warm = False
+        warm_records = 0
+        try:
+            resolved = self.factory.resolve(spec)
+            key = None
+            history = None
+            warm_store = None
+            if self.oracle_store is not None and not spec.distributed:
+                key = task_key(spec)
+                # resolved.task builds (or reuses) the shared task; its
+                # measure set guards against loading foreign history.
+                history = self.oracle_store.load(key, resolved.task.measures)
+                if history is not None and len(history):
+                    warm_store = history.store
+                    warm = True
+                    warm_records = len(history)
+            outcome = self.backend.run_one(_JobRun(resolved, warm_store))
+            oracle_calls = outcome["oracle_calls"]
+            saved = 0
+            if key is not None and outcome["store_rows"] is not None:
+                # Persistence is best-effort: the discovery already
+                # succeeded, and a full disk or unwritable store must not
+                # turn a computed result into a FAILED job.
+                try:
+                    self.oracle_store.merge(
+                        key,
+                        TestStore.from_payload(outcome["store_rows"]),
+                        resolved.task.measures,
+                        cold_oracle_calls=None if warm else oracle_calls,
+                    )
+                except Exception:
+                    logger.warning(
+                        "job %s: could not persist oracle history for %s",
+                        job.id, key, exc_info=True,
+                    )
+                baseline = (
+                    history.cold_oracle_calls if history is not None else None
+                )
+                if warm and baseline is not None and oracle_calls is not None:
+                    saved = max(0, baseline - oracle_calls)
+            if self.result_cache is not None:
+                try:
+                    self.result_cache.put(
+                        spec, outcome["result"], outcome["seconds"]
+                    )
+                except Exception:
+                    logger.warning(
+                        "job %s: could not write the result cache entry",
+                        job.id, exc_info=True,
+                    )
+            with self._lock:
+                job.result = outcome["result"]
+                job.run_seconds = time.perf_counter() - start
+                job.oracle_calls = oracle_calls
+                job.warm_started = warm
+                job.warm_records = warm_records
+                job.oracle_calls_saved = saved
+                self._oracle_calls_total += oracle_calls or 0
+                self._oracle_calls_saved_total += saved
+                if warm:
+                    self._warm_starts += 1
+                job.transition(JobState.DONE)
+                self._cond.notify_all()
+        except Exception as exc:  # noqa: BLE001 — per-job failure isolation
+            logger.warning("job %s failed: %s", job.id, exc)
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.run_seconds = time.perf_counter() - start
+                job.warm_started = warm
+                job.warm_records = warm_records
+                job.transition(JobState.FAILED)
+                self._cond.notify_all()
+
+    # -- introspection -----------------------------------------------------------
+    def metrics(self) -> dict[str, Any]:
+        """The ``GET /metrics`` payload: queue, jobs, cache, oracle savings."""
+        with self._lock:
+            by_state = {state: 0 for state in JobState.ALL}
+            for job in self.jobs.values():
+                by_state[job.state] += 1
+            lookups = (
+                self._submitted if self.result_cache is not None else 0
+            )
+            metrics: dict[str, Any] = {
+                "uptime_seconds": time.time() - self._started_at,
+                "workers": self.n_workers,
+                "backend": self.backend.name,
+                "queue_depth": self.queue.depth,
+                "jobs_submitted": self._submitted,
+                "jobs": by_state,
+                "result_cache": {
+                    "enabled": self.result_cache is not None,
+                    "lookups": lookups,
+                    "hits": self._cache_hits,
+                    "hit_rate": (
+                        self._cache_hits / lookups if lookups else 0.0
+                    ),
+                },
+                "oracle": {
+                    "warm_starts": self._warm_starts,
+                    "calls_total": self._oracle_calls_total,
+                    "calls_saved_total": self._oracle_calls_saved_total,
+                },
+            }
+        if self.oracle_store is not None:
+            metrics["oracle_store"] = {
+                "enabled": True, **self.oracle_store.stats()
+            }
+        else:
+            metrics["oracle_store"] = {"enabled": False}
+        return metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler({self.n_workers} workers on {self.backend.name}, "
+            f"{len(self.jobs)} jobs, depth {self.queue.depth})"
+        )

@@ -1,0 +1,272 @@
+"""The JSON HTTP API over a :class:`~repro.service.scheduler.Scheduler`.
+
+Pure stdlib (``http.server``) — the service adds no third-party
+dependencies. A ``ThreadingHTTPServer`` keeps request handling off the
+worker pool, so ``GET /metrics`` answers while jobs are running.
+
+Routes::
+
+    POST   /jobs            submit ({"scenario": name} or inline fields,
+                            optional "priority"); 201 + job record
+    GET    /jobs            all jobs, submission order
+    GET    /jobs/{id}       one job record
+    DELETE /jobs/{id}       cancel a queued job (409 when not cancellable)
+    GET    /results/{id}    the full result payload of a DONE job
+    GET    /healthz         liveness + version
+    GET    /metrics         queue depth, jobs by state, cache hit rate,
+                            oracle calls saved by warm-starts
+
+Errors are JSON too: ``{"error": "..."}`` with a 4xx/5xx status.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .. import __version__
+from ..exceptions import ReproError, ServiceError
+from ..logging_util import get_logger
+from .jobs import JobState
+from .scheduler import Scheduler
+
+logger = get_logger("service.server")
+
+#: Submissions larger than this are rejected outright (sanity bound).
+MAX_BODY_BYTES = 1 << 20
+
+_JOB_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
+_RESULT_ROUTE = re.compile(r"^/results/([A-Za-z0-9_.-]+)$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Dispatches requests onto the server's scheduler."""
+
+    server_version = f"repro-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------
+    @property
+    def scheduler(self) -> Scheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set when we refuse to read a request body: the unread bytes
+            # would desynchronize a kept-alive HTTP/1.1 stream.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # Reject without reading — and drop the connection, since the
+            # unread body bytes would be parsed as the next request line.
+            self.close_connection = True
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("empty request body; expected a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
+
+    def _guarded(self, handler) -> None:
+        """Run a route handler, mapping errors to JSON responses."""
+        try:
+            handler()
+        except ServiceError as exc:
+            self._send_error_json(400, str(exc))
+        except ReproError as exc:
+            # Unresolvable scenario, unknown task/algorithm, bad kwargs.
+            self._send_error_json(400, str(exc))
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # pragma: no cover - last-resort 500
+            logger.exception("unhandled error serving %s", self.path)
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    # -- verbs -------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._guarded(self._get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._guarded(self._post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._guarded(self._delete)
+
+    # -- routes ------------------------------------------------------------------
+    def _get(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "uptime_seconds": (
+                        time.time()
+                        - self.server.started_at  # type: ignore[attr-defined]
+                    ),
+                },
+            )
+            return
+        if path == "/metrics":
+            self._send_json(200, self.scheduler.metrics())
+            return
+        if path == "/jobs":
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        job.to_payload()
+                        for job in self.scheduler.list_jobs()
+                    ]
+                },
+            )
+            return
+        match = _JOB_ROUTE.match(path)
+        if match:
+            try:
+                job = self.scheduler.get(match.group(1))
+            except ServiceError as exc:
+                self._send_error_json(404, str(exc))
+                return
+            self._send_json(200, job.to_payload())
+            return
+        match = _RESULT_ROUTE.match(path)
+        if match:
+            try:
+                job = self.scheduler.get(match.group(1))
+            except ServiceError as exc:
+                self._send_error_json(404, str(exc))
+                return
+            if job.state != JobState.DONE or job.result is None:
+                self._send_error_json(
+                    409,
+                    f"job {job.id} is {job.state}; results exist only "
+                    "for done jobs",
+                )
+                return
+            self._send_json(200, job.to_payload(include_result=True))
+            return
+        self._send_error_json(404, f"no route for GET {path}")
+
+    def _post(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._send_error_json(404, f"no route for POST {path}")
+            return
+        body = self._read_body()
+        job = self.scheduler.submit_request(body)
+        self._send_json(201, job.to_payload())
+
+    def _delete(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        match = _JOB_ROUTE.match(path)
+        if not match:
+            self._send_error_json(404, f"no route for DELETE {path}")
+            return
+        job_id = match.group(1)
+        try:
+            job = self.scheduler.cancel(job_id)
+        except ServiceError as exc:
+            message = str(exc)
+            status = 404 if "unknown job id" in message else 409
+            self._send_error_json(status, message)
+            return
+        self._send_json(200, job.to_payload())
+
+
+class ServiceServer:
+    """A scheduler bound to a listening HTTP socket.
+
+    ``port=0`` asks the OS for a free port (tests); :attr:`url` reports
+    the resolved address either way. :meth:`start` serves from a
+    background thread, :meth:`serve_forever` blocks (the CLI path); both
+    are shut down by :meth:`stop`, which also stops the scheduler.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ):
+        self.scheduler = scheduler
+        self._http = ThreadingHTTPServer((host, port), _Handler)
+        self._http.scheduler = scheduler  # type: ignore[attr-defined]
+        self._http.started_at = time.time()  # type: ignore[attr-defined]
+        self._http.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve requests from a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self.scheduler.start()
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        self.scheduler.start()
+        self._http.serve_forever()
+
+    def stop(self, drain: bool = False) -> None:
+        """Stop accepting requests, then stop the worker pool."""
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.scheduler.stop(drain=drain)
+
+    def __enter__(self) -> ServiceServer:
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"ServiceServer({self.url}, {self.scheduler!r})"

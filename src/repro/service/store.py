@@ -1,0 +1,277 @@
+"""The persistent, task-keyed oracle store shared across jobs.
+
+The paper's estimator ``E`` exists because oracle calls — real model
+training — dominate the cost of discovery; its test set ``T`` is
+"historically observed performance of M". Within one process that history
+lives in a :class:`~repro.core.estimator.TestStore`; this module makes it
+*service-owned and persistent*: every finished job's ground-truth records
+are merged into one JSON file per task key, and every later job on the
+same key warm-starts its estimator from that file. Repeat traffic stops
+re-paying oracle training — the first job on a task is the last cold one.
+
+Key = ``(task, scale, seed)``: exactly the tuple that pins the corpus, the
+universal join, and the calibrated oracle, so two scenarios share history
+iff their oracle answers are interchangeable. Only ``source == "oracle"``
+records are persisted — one scenario's surrogate *estimates* must never
+reach another scenario's estimator disguised as observed truth.
+
+Writes are read-merge-write under an in-process lock plus a best-effort
+``flock`` on a sidecar lock file (where the platform provides ``fcntl``),
+with the atomic temp-file + ``os.replace`` idiom: concurrent workers in
+one service never tear or lose records, a crashed job never leaves a
+truncated file, and two *processes* sharing a store directory serialize
+their merges on platforms with ``flock`` (elsewhere a cross-process race
+degrades to last-writer-wins, never to a torn file).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+try:  # Linux/macOS; absent on some platforms — lock degrades gracefully.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+from ..core.estimator import TestStore
+from ..core.measures import MeasureSet
+from ..ioutil import atomic_write_json
+from ..logging_util import get_logger
+from ..scenarios.spec import Scenario
+
+logger = get_logger("service.store")
+
+FORMAT_VERSION = 1
+
+#: Default store root; override with --oracle-store or $REPRO_ORACLE_STORE_DIR.
+DEFAULT_ORACLE_STORE_DIR = "~/.cache/repro/oracle-stores"
+
+
+def default_oracle_store_dir() -> Path:
+    """$REPRO_ORACLE_STORE_DIR used verbatim (if set), else the default."""
+    root = os.environ.get("REPRO_ORACLE_STORE_DIR", "")
+    if root:
+        return Path(root).expanduser()
+    return Path(DEFAULT_ORACLE_STORE_DIR).expanduser()
+
+
+def task_key(spec: Scenario) -> str:
+    """The store key a scenario's oracle history belongs to.
+
+    ``(task, scale, seed)`` pins corpus generation and oracle calibration;
+    anything else (algorithm, ε, budget) changes *which* states get
+    valuated, not what a valuation returns — so histories are shared
+    across all of it.
+    """
+    seed = "auto" if spec.seed is None else str(spec.seed)
+    return f"{spec.task}_scale-{spec.scale:g}_seed-{seed}"
+
+
+@dataclass
+class TaskHistory:
+    """One task key's loaded history: the test set plus its metadata."""
+
+    store: TestStore
+    cold_oracle_calls: int | None = None
+    updated_at: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+
+class OracleStore:
+    """Directory of per-task-key oracle histories (``<key>.json``)."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = (
+            Path(directory) if directory is not None
+            else default_oracle_store_dir()
+        )
+        self._lock = threading.Lock()
+
+    def path_for(self, key: str) -> Path:
+        """The on-disk file a task key's history lives in."""
+        return self.directory / f"{key}.json"
+
+    # -- read --------------------------------------------------------------------
+    def load(
+        self, key: str, measures: MeasureSet | None = None
+    ) -> TaskHistory | None:
+        """The stored history for a key, or ``None`` when absent/unusable.
+
+        A corrupt file or a measure-set mismatch (a store recorded under a
+        different ``P``) reads as "no history" — the job simply runs cold —
+        rather than failing the job; the next merge rewrites the file.
+        """
+        with self._lock:
+            payload = self._read(key)
+        if payload is None:
+            return None
+        if measures is not None:
+            stored = payload.get("measures")
+            if stored is not None and tuple(stored) != measures.names:
+                logger.warning(
+                    "oracle store %s was recorded for measures %s, "
+                    "expected %s; ignoring it", key, stored,
+                    list(measures.names),
+                )
+                return None
+        try:
+            store = TestStore.from_payload(
+                payload["records"],
+                n_measures=len(measures) if measures is not None else None,
+            )
+        except Exception:
+            logger.warning("oracle store %s has unusable records; "
+                           "ignoring it", key)
+            return None
+        return TaskHistory(
+            store=store,
+            cold_oracle_calls=payload.get("cold_oracle_calls"),
+            updated_at=payload.get("updated_at", 0.0),
+        )
+
+    def _read(self, key: str) -> dict[str, Any] | None:
+        """Raw payload for a key (lock held by caller); None on any problem."""
+        path = self.path_for(key)
+        try:
+            with path.open() as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            logger.warning("unreadable oracle store at %s; treating as "
+                           "empty", path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != FORMAT_VERSION
+            or not isinstance(payload.get("records"), list)
+        ):
+            return None
+        return payload
+
+    # -- write -------------------------------------------------------------------
+    def merge(
+        self,
+        key: str,
+        store: TestStore,
+        measures: MeasureSet | None = None,
+        cold_oracle_calls: int | None = None,
+    ) -> int:
+        """Fold a finished job's ground truth into the key's history.
+
+        Read-merge-write under the lock: existing records are kept (oracle
+        truth wins over estimates per :meth:`TestStore.merge`), the job's
+        oracle records are added, and the file is atomically replaced.
+        ``cold_oracle_calls`` is recorded once — by whichever job seeded
+        the store — and then sticks as the key's cold-run baseline.
+        Returns the total number of persisted records.
+        """
+        with self._lock, self._file_lock(key):
+            payload = self._read(key)
+            merged = TestStore()
+            baseline = cold_oracle_calls
+            if payload is not None:
+                stored = payload.get("measures")
+                compatible = (
+                    measures is None or stored is None
+                    or tuple(stored) == measures.names
+                )
+                if compatible:
+                    try:
+                        merged = TestStore.from_payload(payload["records"])
+                    except Exception:
+                        merged = TestStore()
+                    if payload.get("cold_oracle_calls") is not None:
+                        baseline = payload["cold_oracle_calls"]
+            oracle_only = TestStore.from_payload(
+                store.to_payload(include_surrogate=False)
+            )
+            merged.merge(oracle_only)
+            record = {
+                "version": FORMAT_VERSION,
+                "key": key,
+                "measures": (
+                    list(measures.names) if measures is not None else None
+                ),
+                "cold_oracle_calls": baseline,
+                "updated_at": time.time(),
+                "records": merged.to_payload(),
+            }
+            atomic_write_json(self.path_for(key), record)
+            return len(merged)
+
+    @contextlib.contextmanager
+    def _file_lock(self, key: str):
+        """Best-effort cross-process serialization of one key's merge.
+
+        An ``flock`` on a ``<key>.lock`` sidecar: two service processes
+        sharing one store directory read-merge-write in turn instead of
+        overwriting each other's freshly persisted oracle truth. Where
+        ``fcntl`` is unavailable the merge still happens (atomically) —
+        only cross-process concurrency degrades to last-writer-wins.
+        """
+        if fcntl is None:
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock_path = self.directory / f"{key}.lock"
+        with lock_path.open("a") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    # -- maintenance -------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Every task key with a store file on disk, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every store file; returns how many were removed."""
+        removed = 0
+        with self._lock:
+            if self.directory.is_dir():
+                for path in self.directory.glob("*.json"):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Per-directory summary: task keys, record counts, total bytes."""
+        tasks: dict[str, int] = {}
+        total_bytes = 0
+        with self._lock:
+            for key in self.keys():
+                payload = self._read(key)
+                if payload is None:
+                    continue
+                tasks[key] = len(payload["records"])
+                try:
+                    total_bytes += self.path_for(key).stat().st_size
+                except OSError:
+                    pass
+        return {
+            "directory": str(self.directory),
+            "task_keys": len(tasks),
+            "records": tasks,
+            "total_records": sum(tasks.values()),
+            "total_bytes": total_bytes,
+        }
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:
+        return f"OracleStore({str(self.directory)!r}, {len(self)} task keys)"

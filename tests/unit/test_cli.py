@@ -264,3 +264,100 @@ class TestBackendFlags:
         )
         assert code == 2
         assert "--distributed" in capsys.readouterr().err
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.backend == "serial"
+        assert not args.no_cache and not args.no_oracle_store
+
+    def test_submit_named_and_inline(self):
+        args = build_parser().parse_args(
+            ["submit", "--scenario", "smoke-t3-apx", "--priority", "5",
+             "--wait"]
+        )
+        assert args.scenario == "smoke-t3-apx"
+        assert args.priority == 5 and args.wait
+        args = build_parser().parse_args(
+            ["submit", "--task", "T3", "--algorithm", "apx", "--budget", "9"]
+        )
+        assert args.task == "T3" and args.budget == 9
+
+    def test_status_and_fetch(self):
+        args = build_parser().parse_args(["status"])
+        assert args.job_id == ""
+        args = build_parser().parse_args(
+            ["fetch", "job-abc", "--output", "out"]
+        )
+        assert args.job_id == "job-abc" and args.output == "out"
+
+    def test_suite_cache_actions(self):
+        args = build_parser().parse_args(["suite", "cache"])
+        assert args.action == "cache" and args.cache_action == "stats"
+        args = build_parser().parse_args(
+            ["suite", "cache", "evict", "--max-age", "3600",
+             "--max-entries", "10"]
+        )
+        assert args.cache_action == "evict"
+        assert args.max_age == 3600.0 and args.max_entries == 10
+
+
+class TestServiceCommands:
+    def test_submit_without_a_server_is_a_clean_error(self, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:9",
+                     "--scenario", "x"])
+        assert code == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_submit_needs_scenario_or_task(self, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "--scenario NAME or --task" in capsys.readouterr().err
+
+    def test_scenario_and_task_are_exclusive(self, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:9",
+                     "--scenario", "x", "--task", "T3"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestSuiteCacheCommand:
+    def test_stats_clear_evict_round_trip(self, tmp_path, capsys):
+        from repro.scenarios import ResultCache, Scenario
+
+        cache = ResultCache(tmp_path)
+        for budget in (8, 9):
+            cache.put(
+                Scenario(name="s", task="T3", budget=budget), {"ok": 1}, 0.1
+            )
+        assert main(["suite", "cache", "stats",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "2" in out
+        assert main(["suite", "cache", "evict", "--max-entries", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert main(["suite", "cache", "clear",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_evict_requires_a_limit(self, capsys):
+        code = main(["suite", "cache", "evict"])
+        assert code == 2
+        assert "--max-age" in capsys.readouterr().err
+
+
+class TestSuiteCacheEvictZero:
+    def test_max_entries_zero_is_a_real_limit(self, tmp_path, capsys):
+        from repro.scenarios import ResultCache, Scenario
+
+        cache = ResultCache(tmp_path)
+        cache.put(Scenario(name="s", task="T3", budget=8), {"ok": 1}, 0.1)
+        assert main(["suite", "cache", "evict", "--max-entries", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path)) == 0

@@ -188,3 +188,53 @@ class TestBatchValuation:
         est.valuate_batch(bits_list, space)
         assert est.total_valuations == est.oracle_calls + est.surrogate_calls
         assert all(b in est.store for b in bits_list)
+
+
+class TestStoreSerializationHooks:
+    """to_payload / from_payload / merge — what the service's oracle store
+    and repro.core.history are built on."""
+
+    def make_store(self):
+        store = RecordStore()
+        store.add(Record(3, np.zeros(2), np.array([0.1, 0.2])))
+        store.add(
+            Record(5, np.ones(2), np.array([0.3, 0.4]), source="surrogate")
+        )
+        return store
+
+    def test_round_trip(self):
+        store = self.make_store()
+        clone = RecordStore.from_payload(store.to_payload())
+        assert len(clone) == 2
+        assert clone.get(3).source == "oracle"
+        assert clone.get(5).source == "surrogate"
+        assert np.array_equal(clone.get(3).perf, store.get(3).perf)
+        assert np.array_equal(clone.get(5).features, store.get(5).features)
+
+    def test_exclude_surrogate(self):
+        rows = self.make_store().to_payload(include_surrogate=False)
+        assert [row["bits"] for row in rows] == [hex(3)]
+
+    def test_from_payload_checks_measure_width(self):
+        rows = self.make_store().to_payload()
+        assert len(RecordStore.from_payload(rows, n_measures=2)) == 2
+        with pytest.raises(EstimatorError):
+            RecordStore.from_payload(rows, n_measures=3)
+
+    def test_n_oracle(self):
+        assert self.make_store().n_oracle() == 1
+
+    def test_merge_oracle_truth_wins(self):
+        mine = self.make_store()  # 3: oracle, 5: surrogate
+        theirs = RecordStore()
+        theirs.add(Record(5, np.ones(2), np.array([0.9, 0.9])))  # oracle
+        theirs.add(
+            Record(3, np.zeros(2), np.array([0.8, 0.8]), source="surrogate")
+        )
+        theirs.add(Record(7, np.ones(2), np.array([0.5, 0.5])))
+        taken = mine.merge(theirs)
+        assert taken == 2  # oracle 5 upgraded + new 7; surrogate 3 rejected
+        assert mine.get(3).perf[0] == pytest.approx(0.1)
+        assert mine.get(5).source == "oracle"
+        assert mine.get(5).perf[0] == pytest.approx(0.9)
+        assert 7 in mine

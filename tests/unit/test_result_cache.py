@@ -88,3 +88,142 @@ class TestDefaultDirectory:
     def test_per_user_fallback(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert default_cache_dir().name == "scenarios"
+
+
+class TestCrashSafety:
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT, elapsed_seconds=0.1)
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_orphaned_temp_files_are_invisible_and_swept(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT, elapsed_seconds=0.1)
+        # simulate a writer killed between write and rename, long ago
+        orphan = tmp_path / "deadbeef.tmp.12345"
+        orphan.write_text('{"schema": 1, "trunc')
+        stale = time.time() - 7200
+        os.utime(orphan, (stale, stale))
+        # ... and one killed (or still writing) a moment ago
+        live = tmp_path / "cafe.tmp.99999"
+        live.write_text("{")
+        assert len(cache) == 1  # neither counted as an entry
+        assert cache.get(spec()) is not None
+        removed = cache.evict(max_age=None, max_entries=None)
+        assert removed == 1 and not orphan.exists()
+        assert live.exists()  # young temp may be an in-flight writer
+        assert cache.get(spec()) is not None  # real entry untouched
+
+    def test_clear_sweeps_orphans_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT, elapsed_seconds=0.1)
+        (tmp_path / "dead.tmp.1").write_text("x")
+        assert cache.clear() == 1  # one *entry* removed
+        assert list(tmp_path.glob("*")) == []
+
+
+class TestStatsAndEviction:
+    def fill(self, tmp_path, n=3):
+        cache = ResultCache(tmp_path)
+        for budget in range(8, 8 + n):
+            cache.put(spec(budget=budget), RESULT, elapsed_seconds=0.1)
+        return cache
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = self.fill(tmp_path)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes == sum(
+            p.stat().st_size for p in tmp_path.glob("*.json")
+        )
+        assert stats.oldest is not None and stats.newest is not None
+        assert stats.oldest <= stats.newest
+        assert stats.directory == str(tmp_path)
+        assert stats.to_payload()["entries"] == 3
+
+    def test_stats_on_empty_cache(self, tmp_path):
+        stats = ResultCache(tmp_path).stats()
+        assert stats.entries == 0 and stats.total_bytes == 0
+        assert stats.oldest is None and stats.newest is None
+
+    def test_stats_never_deletes_evict_cleans_corrupt(self, tmp_path):
+        cache = self.fill(tmp_path)
+        bad = tmp_path / ("f" * 64 + ".json")
+        bad.write_text("{nope")
+        # inspection skips but never touches unparseable files — a
+        # mispointed --cache-dir must survive `suite cache stats`
+        assert cache.stats().entries == 3
+        assert bad.exists()
+        # eviction is the janitor: the corrupt file goes, and counts
+        assert cache.evict(max_entries=3) == 1
+        assert not bad.exists()
+
+    def test_evict_by_count_keeps_newest(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        now = time.time()
+        for age, budget in ((300, 8), (200, 9), (100, 10)):
+            path = cache.put(spec(budget=budget), RESULT, 0.1)
+            record = json.loads(path.read_text())
+            record["cached_at"] = now - age
+            path.write_text(json.dumps(record))
+            os.utime(path)
+        assert cache.evict(max_entries=1) == 2
+        assert cache.get(spec(budget=10)) is not None  # newest survives
+        assert cache.get(spec(budget=8)) is None
+
+    def test_evict_by_age(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path)
+        old = cache.put(spec(budget=8), RESULT, 0.1)
+        record = json.loads(old.read_text())
+        record["cached_at"] = time.time() - 9999
+        old.write_text(json.dumps(record))
+        cache.put(spec(budget=9), RESULT, 0.1)
+        assert cache.evict(max_age=3600) == 1
+        assert cache.get(spec(budget=8)) is None
+        assert cache.get(spec(budget=9)) is not None
+
+
+    def test_evict_max_entries_zero_drops_all(self, tmp_path):
+        cache = self.fill(tmp_path)
+        assert cache.evict(max_entries=0) == 3
+        assert len(cache) == 0
+
+    def test_evict_noop_when_within_limits(self, tmp_path):
+        cache = self.fill(tmp_path)
+        assert cache.evict(max_age=9999, max_entries=10) == 0
+        assert len(cache) == 3
+
+
+class TestConcurrentWriters:
+    def test_racing_threads_on_one_fingerprint_never_tear(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        errors = []
+
+        def writer(tag):
+            try:
+                for _ in range(25):
+                    cache.put(spec(), {"writer": tag}, elapsed_seconds=0.1)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        record = cache.get(spec())
+        assert record is not None and record["result"]["writer"] in (0, 1)
+        assert list(tmp_path.glob("*.tmp.*")) == []

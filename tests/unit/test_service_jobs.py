@@ -1,0 +1,146 @@
+"""The job spec, its state machine, and submission-body parsing."""
+
+import pytest
+
+from repro.exceptions import ScenarioError, ServiceError
+from repro.scenarios import Scenario, ScenarioRegistry
+from repro.service import Job, JobState, scenario_from_request
+
+
+def spec(**overrides) -> Scenario:
+    defaults = dict(name="j1", task="T3", algorithm="apx", epsilon=0.3,
+                    budget=6, max_level=2, scale=0.2, estimator="oracle")
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+class TestStateMachine:
+    def test_fresh_job_is_queued(self):
+        job = Job(spec=spec())
+        assert job.state == JobState.QUEUED
+        assert not job.terminal
+        assert job.submitted_at > 0
+        assert job.started_at is None and job.finished_at is None
+
+    def test_happy_path_stamps_timestamps(self):
+        job = Job(spec=spec())
+        job.transition(JobState.RUNNING)
+        assert job.started_at is not None
+        job.transition(JobState.DONE)
+        assert job.terminal and job.finished_at >= job.started_at
+
+    @pytest.mark.parametrize("terminal", [
+        JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+    ])
+    def test_terminal_states_are_sinks(self, terminal):
+        job = Job(spec=spec())
+        if terminal != JobState.CANCELLED:
+            job.transition(JobState.RUNNING)
+        job.transition(terminal)
+        for target in JobState.ALL:
+            with pytest.raises(ServiceError):
+                job.transition(target)
+
+    def test_queued_cannot_jump_to_done(self):
+        with pytest.raises(ServiceError):
+            Job(spec=spec()).transition(JobState.DONE)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ServiceError):
+            Job(spec=spec()).transition("paused")
+
+    def test_cancel_from_queued_and_running(self):
+        queued = Job(spec=spec())
+        queued.transition(JobState.CANCELLED)
+        assert queued.terminal
+        running = Job(spec=spec())
+        running.transition(JobState.RUNNING)
+        running.transition(JobState.CANCELLED)
+        assert running.terminal
+
+    def test_ids_are_unique(self):
+        assert Job(spec=spec()).id != Job(spec=spec()).id
+
+
+class TestPayload:
+    def test_payload_shape(self):
+        job = Job(spec=spec(), priority=4)
+        payload = job.to_payload()
+        assert payload["id"] == job.id
+        assert payload["state"] == "queued"
+        assert payload["priority"] == 4
+        assert payload["scenario"]["name"] == "j1"
+        assert payload["scenario"]["task"] == "T3"
+        assert payload["fingerprint"] == spec().fingerprint()
+        assert payload["summary"] == {}
+        assert "result" not in payload
+
+    def test_payload_with_result(self):
+        job = Job(spec=spec())
+        job.result = {"entries": [{"bits": "0x3"}], "n_valuated": 5,
+                      "terminated_by": "budget", "elapsed_seconds": 0.5}
+        payload = job.to_payload(include_result=True)
+        assert payload["summary"]["skyline_size"] == 1
+        assert payload["summary"]["n_valuated"] == 5
+        assert payload["result"]["terminated_by"] == "budget"
+
+
+class TestScenarioFromRequest:
+    def registry(self):
+        registry = ScenarioRegistry()
+        registry.register(spec(name="registered"))
+        return registry
+
+    def test_named_reference(self):
+        got = scenario_from_request(
+            {"scenario": "registered"}, self.registry()
+        )
+        assert got.name == "registered"
+
+    def test_unknown_name(self):
+        with pytest.raises(ScenarioError):
+            scenario_from_request({"scenario": "nope"}, self.registry())
+
+    def test_inline_fields(self):
+        got = scenario_from_request(
+            {"task": "T3", "algorithm": "bimodis", "budget": 9,
+             "tags": ["adhoc"]},
+            self.registry(),
+        )
+        assert got.task == "T3" and got.budget == 9
+        assert got.algorithm == "bimodis"
+        assert got.tags == ("adhoc",)
+        assert got.name.startswith("job-")
+
+    def test_inline_same_fields_share_fingerprint(self):
+        registry = self.registry()
+        body = {"task": "T3", "algorithm": "apx", "epsilon": 0.3,
+                "budget": 6, "max_level": 2, "scale": 0.2,
+                "estimator": "oracle"}
+        a = scenario_from_request(dict(body), registry)
+        b = scenario_from_request(dict(body), registry)
+        assert a.name != b.name
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() == spec().fingerprint()
+
+    def test_named_plus_inline_rejected(self):
+        with pytest.raises(ServiceError):
+            scenario_from_request(
+                {"scenario": "registered", "budget": 5}, self.registry()
+            )
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ServiceError):
+            scenario_from_request(
+                {"task": "T3", "buget": 5}, self.registry()
+            )
+
+    def test_missing_task_rejected(self):
+        with pytest.raises(ServiceError):
+            scenario_from_request({"algorithm": "apx"}, self.registry())
+
+    def test_priority_is_not_a_spec_field(self):
+        got = scenario_from_request(
+            {"task": "T3", "priority": 9}, self.registry()
+        )
+        assert not hasattr(got, "priority")

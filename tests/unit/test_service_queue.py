@@ -1,0 +1,104 @@
+"""The thread-safe priority job queue."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.scenarios import Scenario
+from repro.service import Job, JobQueue, JobState
+
+
+def job(name="q1", priority=0) -> Job:
+    return Job(
+        spec=Scenario(name=name, task="T3", budget=6), priority=priority
+    )
+
+
+class TestOrdering:
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        low, high, mid = job("low", 1), job("high", 9), job("mid", 5)
+        queue.push(low)
+        queue.push(high)
+        queue.push(mid)
+        names = [queue.pop(0).spec.name for _ in range(3)]
+        assert names == ["high", "mid", "low"]
+
+    def test_equal_priority_is_fifo(self):
+        queue = JobQueue()
+        for name in ("a", "b", "c"):
+            queue.push(job(name, priority=3))
+        assert [queue.pop(0).spec.name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_depth_counts_only_queued(self):
+        queue = JobQueue()
+        first, second = job("a"), job("b")
+        queue.push(first)
+        queue.push(second)
+        assert queue.depth == 2 and len(queue) == 2
+        first.transition(JobState.CANCELLED)
+        assert queue.depth == 1
+
+
+class TestCancellation:
+    def test_cancelled_jobs_are_skipped(self):
+        queue = JobQueue()
+        doomed, survivor = job("doomed", 9), job("survivor", 1)
+        queue.push(doomed)
+        queue.push(survivor)
+        doomed.transition(JobState.CANCELLED)
+        assert queue.pop(0).spec.name == "survivor"
+        assert queue.pop(0) is None
+
+    def test_all_cancelled_means_empty(self):
+        queue = JobQueue()
+        one = job()
+        queue.push(one)
+        one.transition(JobState.CANCELLED)
+        assert queue.pop(0) is None
+
+
+class TestBlockingAndClose:
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(timeout=0.05) is None
+
+    def test_pop_wakes_on_push(self):
+        queue = JobQueue()
+        got = []
+
+        def consumer():
+            got.append(queue.pop(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.push(job("wake"))
+        thread.join(timeout=5.0)
+        assert got and got[0].spec.name == "wake"
+
+    def test_close_wakes_blocked_poppers(self):
+        queue = JobQueue()
+        got = []
+
+        def consumer():
+            got.append(queue.pop(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert got == [None]
+        assert queue.closed
+
+    def test_closed_queue_still_drains(self):
+        queue = JobQueue()
+        queue.push(job("pending"))
+        queue.close()
+        assert queue.pop(0).spec.name == "pending"
+        assert queue.pop(0) is None
+
+    def test_push_after_close_rejected(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(ServiceError):
+            queue.push(job())

@@ -1,0 +1,291 @@
+"""The scheduler: priority, cancellation, isolation, dedup, warm-starts.
+
+Lifecycle mechanics run against a stub factory (no corpora, no training),
+so they are fast and deterministic; the warm-start test at the bottom
+drives the real T3 pipeline end to end.
+"""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ScenarioError, ServiceError
+from repro.scenarios import ResultCache, Scenario
+from repro.service import JobState, OracleStore, Scheduler
+
+
+def spec(name="s1", **overrides) -> Scenario:
+    defaults = dict(task="T3", algorithm="apx", epsilon=0.3, budget=6,
+                    max_level=2, scale=0.2, estimator="oracle")
+    defaults.update(overrides)
+    return Scenario(name=name, **defaults)
+
+
+# ---------------------------------------------------------------------------
+# Stub machinery: a factory whose "runs" are arbitrary callables.
+# ---------------------------------------------------------------------------
+
+
+class _StubResult:
+    """Just enough DiscoveryResult surface for ``build_payload``."""
+
+    class _Report:
+        algorithm = "stub"
+        n_valuated = 3
+        n_pruned = 0
+        elapsed_seconds = 0.01
+        terminated_by = "stub"
+
+    class _Measures:
+        names = ("acc",)
+
+    report = _Report()
+    measures = _Measures()
+    epsilon = 0.1
+    entries = []
+
+
+class _StubRunnable:
+    def __init__(self, body):
+        self._body = body
+
+    def run(self, verify=True):
+        self._body()
+        return _StubResult()
+
+
+class _StubResolved:
+    def __init__(self, spec, body):
+        self.spec = spec
+        self._body = body
+
+    def build(self, store=None):
+        return _StubRunnable(self._body)
+
+
+class StubFactory:
+    """resolve() dispatches on scenario name to a registered behavior."""
+
+    def __init__(self):
+        self.behaviors = {}
+
+    def on(self, name, body):
+        self.behaviors[name] = body
+
+    def resolve(self, spec):
+        try:
+            return _StubResolved(spec, self.behaviors[spec.name])
+        except KeyError:
+            raise ScenarioError(f"no stub behavior for {spec.name!r}")
+
+
+def make_scheduler(factory, **kwargs):
+    kwargs.setdefault("n_workers", 1)
+    kwargs.setdefault("poll_interval", 0.02)
+    return Scheduler(registry=object(), factory=factory, **kwargs)
+
+
+class TestPriorityOrdering:
+    def test_high_priority_runs_before_low(self):
+        factory = StubFactory()
+        gate = threading.Event()
+        order = []
+        factory.on("gate", gate.wait)
+        factory.on("low", lambda: order.append("low"))
+        factory.on("high", lambda: order.append("high"))
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            blocker = scheduler.submit(spec("gate"))
+            low = scheduler.submit(spec("low"), priority=1)
+            high = scheduler.submit(spec("high"), priority=9)
+            gate.set()
+            for job in (blocker, low, high):
+                scheduler.wait(job.id, timeout=10.0)
+        assert order == ["high", "low"]
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self):
+        factory = StubFactory()
+        gate = threading.Event()
+        ran = []
+        factory.on("gate", gate.wait)
+        factory.on("victim", lambda: ran.append("victim"))
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            scheduler.submit(spec("gate"))
+            victim = scheduler.submit(spec("victim"))
+            cancelled = scheduler.cancel(victim.id)
+            assert cancelled.state == JobState.CANCELLED
+            gate.set()
+            scheduler.wait_idle(timeout=10.0)
+        assert ran == []
+        assert victim.finished_at is not None
+
+    def test_cancel_is_only_for_queued_jobs(self):
+        factory = StubFactory()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def running_body():
+            started.set()
+            gate.wait()
+
+        factory.on("running", running_body)
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            job = scheduler.submit(spec("running"))
+            assert started.wait(10.0)
+            with pytest.raises(ServiceError):
+                scheduler.cancel(job.id)
+            gate.set()
+            scheduler.wait(job.id, timeout=10.0)
+            with pytest.raises(ServiceError):  # terminal now
+                scheduler.cancel(job.id)
+
+    def test_cancel_unknown_job(self):
+        scheduler = make_scheduler(StubFactory())
+        with pytest.raises(ServiceError):
+            scheduler.cancel("job-nope")
+
+    def test_stop_without_drain_cancels_queued(self):
+        factory = StubFactory()
+        factory.on("never", lambda: None)
+        scheduler = make_scheduler(factory)
+        # never started: submissions stay queued
+        job = scheduler.submit(spec("never"))
+        scheduler.stop()
+        assert job.state == JobState.CANCELLED
+
+
+class TestFailureIsolation:
+    def test_failing_job_leaves_scheduler_healthy(self):
+        factory = StubFactory()
+
+        def boom():
+            raise ValueError("synthetic failure")
+
+        factory.on("boom", boom)
+        factory.on("fine", lambda: None)
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            bad = scheduler.submit(spec("boom"))
+            good = scheduler.submit(spec("fine"))
+            bad = scheduler.wait(bad.id, timeout=10.0)
+            good = scheduler.wait(good.id, timeout=10.0)
+        assert bad.state == JobState.FAILED
+        assert "ValueError: synthetic failure" in bad.error
+        assert good.state == JobState.DONE and good.error is None
+        metrics = scheduler.metrics()
+        assert metrics["jobs"]["failed"] == 1
+        assert metrics["jobs"]["done"] == 1
+
+    def test_unresolvable_spec_fails_at_submit(self):
+        scheduler = make_scheduler(StubFactory())
+        with pytest.raises(ScenarioError):
+            scheduler.submit(spec("unregistered"))
+        assert scheduler.metrics()["jobs_submitted"] == 0
+
+
+class TestCacheDedup:
+    def test_cached_fingerprint_completes_instantly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cached_result = {"entries": [], "n_valuated": 3,
+                         "terminated_by": "budget", "elapsed_seconds": 0.1}
+        cache.put(spec("seed-job"), cached_result, elapsed_seconds=0.1)
+        scheduler = Scheduler(
+            registry=object(),
+            factory=_AnythingFactory(),
+            result_cache=cache,
+            n_workers=1,
+        )
+        # Workers never started: completion must happen at submission.
+        job = scheduler.submit(spec("identical-but-renamed"))
+        assert job.state == JobState.DONE
+        assert job.cache_hit is True
+        assert job.oracle_calls == 0
+        assert job.result == cached_result
+        metrics = scheduler.metrics()
+        assert metrics["result_cache"]["hits"] == 1
+        assert metrics["result_cache"]["hit_rate"] == 1.0
+
+    def test_cache_miss_goes_through_the_queue(self, tmp_path):
+        factory = StubFactory()
+        factory.on("fresh", lambda: None)
+        scheduler = make_scheduler(
+            factory, result_cache=ResultCache(tmp_path)
+        )
+        with scheduler:
+            job = scheduler.submit(spec("fresh"))
+            job = scheduler.wait(job.id, timeout=10.0)
+        assert job.state == JobState.DONE and not job.cache_hit
+        # ... and its result landed in the cache for next time.
+        assert ResultCache(tmp_path).get(spec("fresh")) is not None
+
+
+class _AnythingFactory:
+    """resolve() accepts any spec (dedup tests never run the job)."""
+
+    def resolve(self, spec):
+        return _StubResolved(spec, lambda: None)
+
+
+class TestWarmStart:
+    """The acceptance-criteria path, at the scheduler level."""
+
+    @pytest.mark.slow
+    def test_second_job_on_a_task_warm_starts(self, tmp_path):
+        from repro.scenarios import ScenarioFactory
+
+        store = OracleStore(tmp_path)
+        scheduler = Scheduler(
+            registry=object(),
+            factory=ScenarioFactory(),
+            oracle_store=store,
+            n_workers=1,
+        )
+        with scheduler:
+            first = scheduler.submit(spec("cold-run"))
+            first = scheduler.wait(first.id, timeout=300.0)
+            second = scheduler.submit(spec("warm-run"))
+            second = scheduler.wait(second.id, timeout=300.0)
+        assert first.state == JobState.DONE
+        assert second.state == JobState.DONE
+        assert not first.warm_started and second.warm_started
+        assert second.warm_records > 0
+        # Strictly fewer oracle valuations, identical skyline.
+        assert second.oracle_calls < first.oracle_calls
+        assert second.oracle_calls == 0
+        assert second.oracle_calls_saved == first.oracle_calls
+        first_bits = [e["bits"] for e in first.result["entries"]]
+        second_bits = [e["bits"] for e in second.result["entries"]]
+        assert first_bits == second_bits and first_bits
+        metrics = scheduler.metrics()
+        assert metrics["oracle"]["warm_starts"] == 1
+        assert metrics["oracle"]["calls_saved_total"] == first.oracle_calls
+        assert metrics["oracle_store"]["task_keys"] == 1
+
+    def test_distributed_jobs_skip_the_oracle_store(self, tmp_path):
+        factory = StubFactory()
+        factory.on("dist", lambda: None)
+        store = OracleStore(tmp_path)
+        scheduler = make_scheduler(factory, oracle_store=store)
+        with scheduler:
+            job = scheduler.submit(spec("dist", distributed=2))
+            job = scheduler.wait(job.id, timeout=10.0)
+        assert job.state == JobState.DONE
+        assert job.oracle_calls is None and not job.warm_started
+        assert store.keys() == []
+
+
+class TestShutdownRace:
+    def test_submit_after_queue_close_leaves_no_phantom_job(self):
+        factory = StubFactory()
+        factory.on("late", lambda: None)
+        scheduler = make_scheduler(factory)
+        scheduler.queue.close()  # simulate a racing shutdown
+        with pytest.raises(ServiceError):
+            scheduler.submit(spec("late"))
+        jobs = scheduler.list_jobs()
+        assert len(jobs) == 1
+        assert jobs[0].state == JobState.CANCELLED  # not stuck QUEUED

@@ -1,0 +1,123 @@
+"""The persistent, task-keyed oracle store."""
+
+import json
+
+import numpy as np
+
+from repro.core.estimator import TestRecord as Record
+from repro.core.estimator import TestStore as RecordStore
+from repro.core.measures import MeasureSet, score_measure
+from repro.scenarios import Scenario
+from repro.service import OracleStore, task_key
+
+
+def measures() -> MeasureSet:
+    return MeasureSet([score_measure("acc"), score_measure("f1")])
+
+
+def store_with(*rows) -> RecordStore:
+    store = RecordStore()
+    for bits, value, source in rows:
+        store.add(
+            Record(
+                bits,
+                np.full(2, float(bits)),
+                np.array([value, value]),
+                source=source,
+            )
+        )
+    return store
+
+
+class TestTaskKey:
+    def test_key_pins_task_scale_seed(self):
+        a = Scenario(name="a", task="T3", scale=0.2, seed=7)
+        assert task_key(a) == "T3_scale-0.2_seed-7"
+        auto = Scenario(name="b", task="T3", scale=0.2)
+        assert task_key(auto) == "T3_scale-0.2_seed-auto"
+
+    def test_key_ignores_search_knobs(self):
+        a = Scenario(name="a", task="T3", algorithm="apx", budget=5)
+        b = Scenario(name="b", task="T3", algorithm="bimodis", budget=99,
+                     epsilon=0.4)
+        assert task_key(a) == task_key(b)
+
+
+class TestMergeAndLoad:
+    def test_round_trip(self, tmp_path):
+        store = OracleStore(tmp_path)
+        n = store.merge("k1", store_with((3, 0.5, "oracle")), measures(),
+                        cold_oracle_calls=4)
+        assert n == 1
+        history = store.load("k1", measures())
+        assert len(history) == 1
+        assert history.cold_oracle_calls == 4
+        assert history.store.get(3).source == "oracle"
+
+    def test_missing_key_loads_none(self, tmp_path):
+        assert OracleStore(tmp_path).load("nope") is None
+
+    def test_merge_accumulates_across_jobs(self, tmp_path):
+        store = OracleStore(tmp_path)
+        store.merge("k", store_with((1, 0.1, "oracle")), measures(),
+                    cold_oracle_calls=7)
+        total = store.merge("k", store_with((2, 0.2, "oracle")), measures())
+        assert total == 2
+        history = store.load("k", measures())
+        assert len(history) == 2
+        # The cold baseline sticks with the seeding job.
+        assert history.cold_oracle_calls == 7
+
+    def test_surrogate_records_are_not_persisted(self, tmp_path):
+        store = OracleStore(tmp_path)
+        store.merge(
+            "k",
+            store_with((1, 0.1, "oracle"), (2, 0.2, "surrogate")),
+            measures(),
+        )
+        history = store.load("k", measures())
+        assert len(history) == 1
+        assert history.store.get(2) is None
+
+    def test_measure_mismatch_reads_as_cold(self, tmp_path):
+        store = OracleStore(tmp_path)
+        store.merge("k", store_with((1, 0.1, "oracle")), measures())
+        other = MeasureSet([score_measure("mse")])
+        assert store.load("k", other) is None
+
+    def test_corrupt_file_reads_as_cold(self, tmp_path):
+        store = OracleStore(tmp_path)
+        store.merge("k", store_with((1, 0.1, "oracle")), measures())
+        store.path_for("k").write_text("{broken")
+        assert store.load("k", measures()) is None
+        # and the next merge heals it
+        store.merge("k", store_with((2, 0.2, "oracle")), measures(),
+                    cold_oracle_calls=3)
+        assert store.load("k", measures()).cold_oracle_calls == 3
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = OracleStore(tmp_path)
+        store.merge("k", store_with((1, 0.1, "oracle")), measures())
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        payload = json.loads(store.path_for("k").read_text())
+        assert payload["version"] == 1
+        assert payload["measures"] == ["acc", "f1"]
+
+
+class TestMaintenance:
+    def test_keys_stats_clear(self, tmp_path):
+        store = OracleStore(tmp_path)
+        store.merge("a", store_with((1, 0.1, "oracle")), measures())
+        store.merge("b", store_with((2, 0.2, "oracle")), measures())
+        assert store.keys() == ["a", "b"]
+        assert len(store) == 2
+        stats = store.stats()
+        assert stats["task_keys"] == 2
+        assert stats["total_records"] == 2
+        assert stats["total_bytes"] > 0
+        assert store.clear() == 2
+        assert store.keys() == []
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        stats = OracleStore(tmp_path / "never").stats()
+        assert stats["task_keys"] == 0 and stats["total_records"] == 0
