@@ -1,0 +1,109 @@
+"""Crash recovery: the job journal, replay, retries, and per-job limits.
+
+The scheduler write-ahead-logs every job transition to an append-only
+JSONL journal; a scheduler built on the same journal directory replays
+it — terminal records (and their results) are restored, queued jobs
+re-enter the queue, and crash-interrupted runs are retried within a
+bounded budget. This example:
+
+1. runs a tiny T3 job to completion under a journaled scheduler,
+2. leaves a second job queued and "crashes" (abandons the scheduler
+   without any shutdown — the in-memory state is simply lost),
+3. builds a fresh scheduler on the same journal directory and shows the
+   finished job restored (result intact, no re-run) and the queued job
+   re-executed to the identical skyline,
+4. demonstrates a per-job oracle-call quota failing a job with
+   ``failure_reason="quota"``.
+
+Run:  python examples/service_recovery.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.service import JobJournal, JobState, OracleStore, Scheduler
+
+#: Seconds-fast: tiny corpus, small budget, exact oracle estimator.
+JOB = dict(
+    task="T3",
+    algorithm="apx",
+    epsilon=0.3,
+    budget=8,
+    max_level=2,
+    scale=0.2,
+    seed=11,
+    estimator="oracle",
+)
+
+
+def skyline_bits(job) -> list[int]:
+    return [entry["bits"] for entry in job.result["entries"]]
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-recovery-")
+    print(f"journal directory: {workdir}\n")
+
+    # -- 1+2: one job finishes, one stays queued, then the "crash" ----------
+    from repro.scenarios.spec import Scenario
+
+    first_spec = Scenario(name="recovery-demo-a", **JOB)
+    second_spec = Scenario(name="recovery-demo-b", **{**JOB, "budget": 10})
+    warmup = Scheduler(journal=JobJournal(workdir), n_workers=1)
+    with warmup:
+        finished = warmup.submit(first_spec)
+        finished = warmup.wait(finished.id, timeout=300.0)
+    print(f"[before crash] {finished.id}: {finished.state}, "
+          f"skyline {skyline_bits(finished)}")
+    # A second service process on the same journal accepts a job but is
+    # killed before any worker touches it (its workers never start —
+    # in-memory state is simply abandoned, like a SIGKILL).
+    crashed = Scheduler(journal=JobJournal(workdir), n_workers=1)
+    queued = crashed.submit(second_spec)
+    print(f"[before crash] {queued.id}: {queued.state} "
+          "(and the process dies here — no shutdown, no flush)")
+    # Every byte that matters is already fsync'd in the journal.
+    del crashed
+
+    # -- 3: restart on the same journal directory ---------------------------
+    revived = Scheduler(journal=JobJournal(workdir), n_workers=1)
+    recovery = revived.metrics()["journal"]["recovery"]
+    print(f"\n[after restart] replayed {recovery['replayed']} job(s): "
+          f"{recovery['restored_terminal']} terminal restored, "
+          f"{recovery['requeued']} requeued")
+    restored = revived.get(finished.id)
+    assert restored.state == JobState.DONE
+    assert skyline_bits(restored) == skyline_bits(finished)
+    print(f"[after restart] {restored.id}: {restored.state} — result "
+          "restored from the journal, not re-run")
+    revived.start()
+    resumed = revived.wait(queued.id, timeout=300.0)
+    print(f"[after restart] {resumed.id}: {resumed.state}, "
+          f"skyline {skyline_bits(resumed)} (re-executed after the crash)")
+    revived.stop()
+
+    # -- 4: per-job resource limits -----------------------------------------
+    oracle_store = OracleStore(f"{workdir}/oracle")
+    limited = Scheduler(n_workers=1, oracle_store=oracle_store)
+    limited.start()
+    capped_spec = Scenario(name="recovery-demo-capped",
+                           **{**JOB, "budget": 12, "seed": 12})
+    capped = limited.submit(capped_spec, max_oracle_calls=3)
+    capped = limited.wait(capped.id, timeout=300.0)
+    persisted = oracle_store.stats()["total_records"]
+    print(f"\n[limits] {capped.id}: {capped.state} "
+          f"(failure_reason={capped.failure_reason}, "
+          f"oracle_calls={capped.oracle_calls}) — its {persisted} partial "
+          "oracle record(s) are persisted for the next attempt")
+    assert capped.state == JobState.FAILED
+    assert capped.failure_reason == "quota"
+    assert persisted > 0
+    limited.stop()
+
+    print("\nInspect any journal offline with:\n"
+          f"  python -m repro recover --journal-dir {workdir} --dry-run")
+
+
+if __name__ == "__main__":
+    main()

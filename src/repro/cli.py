@@ -24,11 +24,13 @@ resident between runs:
 
 .. code-block:: text
 
-    python -m repro serve --port 8765 &         # boot the service
+    python -m repro serve --port 8765 --journal-dir .journal &
     python -m repro submit --scenario smoke-t3-apx --wait
-    python -m repro submit --task T3 --algorithm bimodis --budget 20
+    python -m repro submit --task T3 --algorithm bimodis --budget 20 \
+        --timeout 120 --max-oracle-calls 50
     python -m repro status                      # jobs + queue metrics
     python -m repro fetch job-abc123 --output out/
+    python -m repro recover --journal-dir .journal --dry-run
 
 Every command is deterministic for a fixed ``--seed``. Output is plain
 text (tables) so runs can be diffed; ``--output DIR`` additionally writes
@@ -332,7 +334,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .logging_util import enable_console_logging
     from .scenarios import ResultCache, load_builtin_scenarios
-    from .service import OracleStore, Scheduler, ServiceServer
+    from .service import JobJournal, OracleStore, Scheduler, ServiceServer
 
     enable_console_logging(logging.INFO)
     registry = load_builtin_scenarios()
@@ -341,19 +343,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
         None if args.no_oracle_store
         else OracleStore(args.oracle_store or None)
     )
+    journal = JobJournal(args.journal_dir) if args.journal_dir else None
     scheduler = Scheduler(
         registry=registry,
         result_cache=cache,
         oracle_store=store,
+        journal=journal,
         backend=args.backend,
         n_workers=args.workers,
+        max_retries=args.max_retries,
     )
     server = ServiceServer(scheduler, host=args.host, port=args.port)
     print(f"repro service listening on {server.url} "
           f"({args.workers} worker(s), backend={args.backend}, "
           f"result cache {'off' if cache is None else cache.directory}, "
-          f"oracle store {'off' if store is None else store.directory})",
+          f"oracle store {'off' if store is None else store.directory}, "
+          f"journal {'off' if journal is None else journal.directory})",
           flush=True)
+    if journal is not None:
+        recovery = scheduler.metrics()["journal"]["recovery"]
+        if recovery["replayed"]:
+            print(f"journal replay: {recovery['replayed']} job(s) — "
+                  f"{recovery['requeued']} requeued, "
+                  f"{recovery['retried']} retried, "
+                  f"{recovery['failed_retry_budget']} over retry budget, "
+                  f"{recovery['restored_terminal']} terminal restored",
+                  flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -384,6 +399,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from .service import ServiceClient
 
     client = ServiceClient(args.url)
+    limits: dict[str, Any] = {
+        "timeout": args.timeout,
+        "max_oracle_calls": args.max_oracle_calls,
+    }
     if args.scenario:
         if args.task:
             raise ReproError(
@@ -391,7 +410,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 "(a submission is a registry reference or an inline spec)"
             )
         record = client.submit(
-            scenario=args.scenario, priority=args.priority
+            scenario=args.scenario, priority=args.priority, **limits
         )
     else:
         if not args.task:
@@ -407,9 +426,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
         }
         if args.seed is not None:
             spec["seed"] = args.seed
-        record = client.submit(priority=args.priority, **spec)
+        record = client.submit(priority=args.priority, **limits, **spec)
     if args.wait:
-        record = client.wait(record["id"], timeout=args.timeout)
+        record = client.wait(record["id"], timeout=args.wait_timeout)
     if args.json:
         print(json.dumps(record, indent=2))
     else:
@@ -471,6 +490,99 @@ def cmd_fetch(args: argparse.Namespace) -> int:
         print(f"wrote {path}", file=sys.stderr)
     if args.json or not args.output:
         print(json.dumps(record, indent=2))
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``repro recover``: offline journal inspection and compaction.
+
+    Replays a journal directory without booting a service and reports,
+    per job, what a ``repro serve --journal-dir`` restart would do with
+    it; without ``--dry-run`` the journal is also compacted to a single
+    snapshot segment.
+    """
+    from .report import save_recovery_report
+    from .service import JobJournal, JobState
+
+    journal = JobJournal(args.journal_dir)
+    summary = journal.replay()
+    rows = []
+    actions = {"requeue": 0, "retry": 0, "fail-retry-budget": 0, "keep": 0}
+    # Mirrors Scheduler._recover's policy (a crash charges one retry,
+    # over-budget fails). Dedup re-linking of identical fingerprints is
+    # deliberately not modeled offline — a "requeue" here may become a
+    # follower of another requeued job at actual boot.
+    for snapshot in summary.jobs.values():
+        state = snapshot.get("state", "?")
+        retries = snapshot.get("retries", 0) or 0
+        if state == JobState.QUEUED:
+            action = "requeue"
+        elif state == JobState.RUNNING:
+            action = (
+                "retry" if retries + 1 <= args.max_retries
+                else "fail-retry-budget"
+            )
+        else:
+            action = "keep"
+        actions[action] += 1
+        rows.append({
+            "id": snapshot.get("id", "?"),
+            "scenario": snapshot.get("spec", {}).get("name", "?"),
+            "state": state,
+            "retries": retries,
+            "action": action,
+        })
+    report = {
+        "journal": journal.stats(),
+        "records": summary.records,
+        "skipped_lines": summary.skipped,
+        "torn_tail": summary.torn_tail,
+        "orphaned": summary.orphaned,
+        "by_state": summary.by_state(),
+        "actions": actions,
+        "jobs": rows,
+        "max_retries": args.max_retries,
+        "dry_run": bool(args.dry_run),
+    }
+    compacted = None
+    if not args.dry_run:
+        # Offline-only: compaction replays then deletes the old
+        # segments, so a record a *live* service appends in between
+        # would be destroyed. There is no cross-process lock — the
+        # operator must stop the service first (or use --dry-run).
+        print(
+            "warning: compacting rewrites this journal — make sure no "
+            "'repro serve' is using it, or records may be lost",
+            file=sys.stderr,
+        )
+        compacted = journal.compact()
+        report["compacted_records"] = compacted
+    if args.output:
+        path = save_recovery_report(report, args.output)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    if rows:
+        print(_format_table(
+            ["job", "scenario", "state", "retries", "on restart"],
+            [[r["id"], r["scenario"], r["state"], r["retries"], r["action"]]
+             for r in rows],
+        ))
+    else:
+        print(f"no jobs recorded in {journal.directory}")
+    print(
+        f"\n{summary.records} record(s) across "
+        f"{summary.segments} segment(s)"
+        + (f", {summary.skipped} skipped" if summary.skipped else "")
+        + (", torn final line dropped" if summary.torn_tail else "")
+        + (f", {summary.orphaned} orphaned" if summary.orphaned else "")
+        + " | restart would: "
+        + ", ".join(f"{verb} {count}" for verb, count in actions.items()
+                    if count)
+    )
+    if compacted is not None:
+        print(f"compacted journal to 1 segment ({compacted} snapshot(s))")
     return 0
 
 
@@ -598,6 +710,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-oracle-store", action="store_true",
                        help="disable oracle warm-starts; every job "
                             "retrains from scratch")
+    serve.add_argument("--journal-dir", default="",
+                       help="write-ahead journal directory; on boot the "
+                            "scheduler replays it, restoring terminal "
+                            "records and re-queuing interrupted jobs "
+                            "(empty: durability off)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="re-executions granted to a job interrupted "
+                            "by a crash before it fails with "
+                            "reason=retry-budget")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running service"
@@ -621,10 +742,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="higher runs sooner (FIFO within a priority)")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job reaches a terminal state")
-    submit.add_argument("--timeout", type=float, default=600.0,
-                        help="--wait timeout in seconds")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock limit in seconds; the "
+                             "job fails with reason=timeout when exceeded")
+    submit.add_argument("--max-oracle-calls", type=int, default=None,
+                        help="per-job oracle-call quota; the job fails "
+                             "with reason=quota but keeps its partial "
+                             "oracle truth for the next attempt")
+    submit.add_argument("--wait-timeout", type=float, default=600.0,
+                        help="--wait polling timeout in seconds")
     submit.add_argument("--json", action="store_true",
                         help="print the full job record as JSON")
+
+    recover = sub.add_parser(
+        "recover", help="inspect (and optionally compact) a job journal "
+                        "offline — what would a restart restore? "
+                        "Compaction requires the service to be stopped; "
+                        "--dry-run is always safe."
+    )
+    recover.add_argument("--journal-dir", required=True,
+                         help="journal directory written by "
+                              "'repro serve --journal-dir'")
+    recover.add_argument("--max-retries", type=int, default=2,
+                         help="retry budget to evaluate interrupted jobs "
+                              "against (matches the serve flag)")
+    recover.add_argument("--dry-run", action="store_true",
+                         help="read-only: report without compacting the "
+                              "journal")
+    recover.add_argument("--json", action="store_true",
+                         help="print the replay report as JSON")
+    recover.add_argument("--output", default="",
+                         help="directory for recovery_report.json")
 
     status = sub.add_parser(
         "status", help="list service jobs and metrics (or one job's record)"
@@ -658,6 +806,7 @@ _COMMANDS = {
     "submit": cmd_submit,
     "status": cmd_status,
     "fetch": cmd_fetch,
+    "recover": cmd_recover,
 }
 
 

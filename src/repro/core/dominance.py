@@ -57,14 +57,32 @@ def epsilon_dominates(u: np.ndarray, v: np.ndarray, epsilon: float) -> bool:
 
 
 def _front_2d(order: list[int], vectors: np.ndarray) -> list[int]:
-    """Skyline of presorted points in 2-D: single sweep on the 2nd coord."""
+    """Skyline of presorted points in 2-D: single sweep on the 2nd coord.
+
+    Keeps second coordinates *within the tie tolerance* of the best seen
+    — under the tolerant :func:`dominates`, a near-tie is mutual
+    non-dominance, so dropping it here would disagree with the brute
+    force definition. Over-kept points that a predecessor genuinely
+    dominates (strictly better first coordinate) are pruned by
+    :func:`pareto_front`'s final tolerant filter.
+    """
     best = np.inf
+    best_first = np.inf
     front = []
     for idx in order:
-        second = vectors[idx][1]
+        first, second = vectors[idx][0], vectors[idx][1]
         if second < best - _TIE:
             front.append(idx)
-            best = second
+            best, best_first = second, first
+        elif second <= best + _TIE and best_first >= first - _TIE:
+            # Near-tie with the best holder and not strictly worse on
+            # the presorted coordinate: mutual non-dominance. (The
+            # best-holder comparison also prunes the degenerate
+            # constant-second case that would otherwise balloon the
+            # caller's final filter.)
+            front.append(idx)
+            if second < best:
+                best, best_first = second, first
     return front
 
 

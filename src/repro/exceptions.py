@@ -75,3 +75,16 @@ class SQLError(ReproError):
 class ServiceError(ReproError):
     """A skyline-service problem: illegal job-state transitions, unknown
     job ids, malformed submissions, or an unreachable/failing server."""
+
+
+class JobLimitExceeded(ReproError):
+    """A per-job resource limit was hit while the job was running.
+
+    ``reason`` is machine-readable: ``"timeout"`` (wall-clock limit) or
+    ``"quota"`` (oracle-call limit). The scheduler surfaces it as
+    ``FAILED(failure_reason=<reason>)`` on the job record.
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason

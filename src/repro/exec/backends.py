@@ -31,7 +31,7 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
-from ..exceptions import BackendError
+from ..exceptions import BackendError, JobLimitExceeded
 
 #: A unit of work: no arguments, returns a (picklable, for processes) value.
 Thunk = Callable[[], Any]
@@ -66,13 +66,19 @@ class Backend(abc.ABC):
     def run(self, thunks: Sequence[Thunk]) -> list[Any]:
         """Execute every thunk; ``results[i]`` is ``thunks[i]()``."""
 
-    def run_one(self, thunk: Thunk) -> Any:
+    def run_one(self, thunk: Thunk, timeout: float | None = None) -> Any:
         """Execute a single unit of work through the backend's strategy.
 
         How long-lived callers (the job-queue service) route jobs: each
         worker drains one job at a time, but still gets the backend's
         isolation semantics — ``process`` runs the thunk in a forked child,
         so a crashing job cannot corrupt the serving process.
+
+        ``timeout`` is a *hard* wall-clock bound that only preemptive
+        backends can honor: :class:`ProcessBackend` kills the child and
+        raises :class:`~repro.exceptions.JobLimitExceeded`; in-process
+        backends ignore it (threads cannot be killed safely) and rely on
+        the caller's cooperative enforcement instead.
         """
         return self.run([thunk])[0]
 
@@ -189,13 +195,21 @@ class ProcessBackend(Backend):
                 )
         return results
 
-    def run_one(self, thunk: Thunk) -> Any:
+    def run_one(self, thunk: Thunk, timeout: float | None = None) -> Any:
         """Run one thunk in its own forked child (unlike batched ``run``,
         which degrades single-thunk batches to inline execution for speed).
 
         This is the isolation path the service scheduler relies on: a job
         that segfaults or corrupts interpreter state takes down only its
         child process, and the failure surfaces as a :class:`BackendError`.
+
+        With ``timeout``, the parent waits at most that many seconds for
+        the child's result, then SIGKILLs it and raises
+        :class:`~repro.exceptions.JobLimitExceeded` — the hard backstop
+        behind the service's cooperative per-job timeout (a job stuck in
+        native code or a non-cooperating loop still cannot hold a worker
+        hostage). Without ``fork`` the thunk runs inline and the timeout
+        degrades to cooperative-only.
         """
         if not self._can_fork():
             return thunk()
@@ -207,9 +221,20 @@ class ProcessBackend(Backend):
         proc.start()
         child_conn.close()
         try:
-            ok, payload = parent_conn.recv()
-        except EOFError:
-            ok, payload = False, "worker process died before reporting a result"
+            if timeout is not None and not parent_conn.poll(timeout):
+                proc.kill()
+                proc.join()
+                raise JobLimitExceeded(
+                    "timeout",
+                    f"task exceeded its {timeout:g}s wall-clock limit; "
+                    "worker process killed",
+                )
+            try:
+                ok, payload = parent_conn.recv()
+            except EOFError:
+                ok, payload = (
+                    False, "worker process died before reporting a result"
+                )
         finally:
             parent_conn.close()
         proc.join()

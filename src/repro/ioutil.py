@@ -6,6 +6,11 @@ crash-safety contract — write to a same-directory temp file, flush and
 ``fsync``, then atomically rename into place. A writer killed at any
 point can only leave a stale temp file behind, never a truncated
 document under the real name.
+
+The service's write-ahead journal adds the append-only counterpart:
+:func:`append_jsonl` (one fsync'd JSON document per line) and
+:func:`read_jsonl` (line-by-line decode that can tolerate a torn final
+line — the one partial write a crash mid-append legally leaves behind).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import json
 import os
 import threading
 from pathlib import Path
-from typing import Any
+from typing import Any, IO, Iterator
 
 
 def atomic_write_json(
@@ -41,3 +46,69 @@ def atomic_write_json(
     finally:
         tmp.unlink(missing_ok=True)
     return path
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Flush a directory's entry table (best effort, POSIX only).
+
+    After ``os.replace``/``unlink`` the *file* contents are durable but
+    the *rename itself* may still live only in the directory's page
+    cache; journaling layers call this to pin segment rotation and
+    compaction renames down. Platforms that cannot ``open`` a directory
+    simply skip it.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def append_jsonl(fh: IO[str], payload: Any, fsync: bool = True) -> None:
+    """Append one JSON document as a single line to an open text file.
+
+    The line is written in one ``write`` call (newline included) and
+    flushed; with ``fsync`` it is also forced to disk before returning,
+    which is what makes the journal a *write-ahead* log: once the caller
+    proceeds, a crash cannot un-happen the record. A crash mid-append
+    leaves at most one torn final line, which :func:`read_jsonl`
+    tolerates.
+    """
+    fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+    fh.flush()
+    if fsync:
+        os.fsync(fh.fileno())
+
+
+def read_jsonl(
+    path: str | Path, tolerate_torn_tail: bool = True
+) -> Iterator[tuple[Any, bool]]:
+    """Yield ``(document, ok)`` per line of a JSONL file.
+
+    Undecodable lines yield ``(raw_line, False)`` so callers can count
+    corruption without losing their place. A torn *final* line (the only
+    corruption a crashed fsync'd appender can produce) is silently
+    dropped when ``tolerate_torn_tail`` — it is the record whose append
+    never completed, so it never happened.
+    """
+    with Path(path).open("r", encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline of the last complete record
+        torn = False
+    else:
+        torn = tolerate_torn_tail  # file does not end in \n: torn append
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            yield json.loads(line), True
+        except json.JSONDecodeError:
+            if torn and index == len(lines) - 1:
+                return
+            yield line, False

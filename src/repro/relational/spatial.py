@@ -115,13 +115,24 @@ class GridIndex:
             math.floor(point[1] / self.cell_size),
         )
 
-    def _radius_in_grid_units(self, radius: float) -> float:
-        """Convert a query radius to grid-coordinate units."""
+    def _radius_in_grid_units(self, radius: float, lat: float = 0.0) -> float:
+        """Convert a query radius to grid-coordinate units.
+
+        For haversine the grid is in raw degrees while the radius is in
+        km. Longitude degrees *shrink* by cos(lat), so a km buys more
+        longitude-degrees away from the equator — and an in-radius point
+        can sit anywhere inside the disc, so the widening must use the
+        *poleward-most* latitude the disc reaches (its worst shrink),
+        not the query's own. Returns ``inf`` when that latitude is so
+        close to a pole that no per-cell window is safe; the caller then
+        falls back to scanning every occupied cell.
+        """
         if self.metric == HAVERSINE:
-            # 1 degree of latitude ≈ 111.2 km; longitude degrees shrink with
-            # latitude, so treating every km as a latitude-km only widens the
-            # candidate window (safe over-approximation).
-            return radius / 111.2
+            reach_lat = min(90.0, abs(lat) + radius / 111.2)
+            shrink = math.cos(math.radians(reach_lat))
+            if shrink < 0.05:
+                return math.inf
+            return radius / (111.2 * shrink)
         return radius
 
     def _cells_in_ring(self, center: tuple[int, int], ring: int) -> Iterator[tuple[int, int]]:
@@ -145,9 +156,20 @@ class GridIndex:
         """Indices of points within ``radius`` of ``point`` (inclusive)."""
         if radius < 0:
             raise JoinError("radius must be non-negative")
-        reach = self._radius_in_grid_units(radius)
-        rings = math.ceil(reach / self.cell_size)
         center = self._cell_of(point)
+        reach = self._radius_in_grid_units(radius, lat=point[1])
+        if not math.isfinite(reach):
+            # The disc reaches (nearly) a pole, where longitude degrees
+            # degenerate and no per-cell ring bound is safe: scan every
+            # occupied cell and let the exact distance check decide.
+            rings = self._max_ring(center)
+        else:
+            # One ring beyond ceil(reach/cell): the disc is centered on
+            # the query point, not its cell's origin, so it can overlap
+            # one more cell column/row than the cell-count bound
+            # suggests (e.g. an origin just below a cell boundary). The
+            # exact distance check below keeps the answer tight.
+            rings = math.ceil(reach / self.cell_size) + 1
         hits: list[int] = []
         for ring in range(rings + 1):
             for cell in self._cells_in_ring(center, ring):
@@ -186,8 +208,20 @@ class GridIndex:
                 kth = found[k - 1][0]
                 next_ring_bound = ring * self.cell_size
                 if self.metric == HAVERSINE:
-                    next_ring_bound *= 111.2 * math.cos(math.radians(point[1]))
-                    next_ring_bound = max(next_ring_bound, 0.0)
+                    # A farther ring can still hold a nearer point when
+                    # the separation is longitudinal at high latitude:
+                    # convert with the worst longitude shrink reachable
+                    # in the next ring's latitude band (ring cells span
+                    # at most ±(ring+1)·cell of latitude). Near a pole
+                    # the factor hits 0 and the early exit disables for
+                    # that ring — tight at low latitudes, safe at high.
+                    band_lat = min(
+                        90.0,
+                        abs(point[1]) + (ring + 1) * self.cell_size,
+                    )
+                    next_ring_bound *= 111.2 * max(
+                        math.cos(math.radians(band_lat)), 0.0
+                    )
                 if kth <= next_ring_bound:
                     break
         found.sort()

@@ -26,6 +26,7 @@ REPORT_NAME = "report.json"
 SUITE_REPORT_NAME = "suite_report.json"
 SUITE_SUMMARY_NAME = "suite_report.md"
 JOB_RECORD_NAME = "job_record.json"
+RECOVERY_REPORT_NAME = "recovery_report.json"
 
 
 def entry_payload(result: DiscoveryResult, index: int) -> dict[str, Any]:
@@ -170,5 +171,28 @@ def load_job_record(directory: str | Path) -> dict:
     path = Path(directory) / JOB_RECORD_NAME
     if not path.exists():
         raise ReproError(f"no {JOB_RECORD_NAME} under {directory}")
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def save_recovery_report(payload: dict, directory: str | Path) -> Path:
+    """Persist a journal replay report (``repro recover --output``).
+
+    The payload is ``cmd_recover``'s summary: per-job restart actions,
+    segment stats, and corruption counters. Returns the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / RECOVERY_REPORT_NAME
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
+def load_recovery_report(directory: str | Path) -> dict:
+    """Read back a saved ``recovery_report.json``."""
+    path = Path(directory) / RECOVERY_REPORT_NAME
+    if not path.exists():
+        raise ReproError(f"no {RECOVERY_REPORT_NAME} under {directory}")
     with path.open() as fh:
         return json.load(fh)

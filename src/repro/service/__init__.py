@@ -15,6 +15,13 @@ exit, discovery runs as jobs against a persistent service:
 * :class:`OracleStore` — persistent, task-keyed ground-truth test stores:
   the first job on a task pays oracle training, every later one inherits
   it (``oracle_calls_saved`` is measured against that cold baseline);
+* :class:`JobJournal` — an append-only, fsync'd, segment-rotated JSONL
+  write-ahead journal of every job transition; on startup the scheduler
+  replays it, restoring terminal records and re-queuing jobs that were
+  queued or running at crash time (with a bounded retry budget), so a
+  SIGKILL loses no submitted work. Per-job ``timeout`` and
+  ``max_oracle_calls`` limits are enforced cooperatively at the oracle
+  boundary and by hard child kill on the process backend;
 * :class:`ServiceServer` / :class:`ServiceClient` — a stdlib-only JSON
   HTTP API (``POST /jobs``, ``GET /jobs[/{id}]``, ``DELETE /jobs/{id}``,
   ``GET /results/{id}``, ``GET /healthz``, ``GET /metrics``) and its
@@ -40,10 +47,12 @@ from .jobs import (
     INLINE_SPEC_FIELDS,
     Job,
     JobState,
+    limits_from_request,
     new_job_id,
     scenario_from_request,
     summarize_result,
 )
+from .journal import JOURNAL_VERSION, JobJournal, ReplaySummary
 from .queue import JobQueue
 from .scheduler import Scheduler
 from .server import ServiceServer
@@ -59,15 +68,19 @@ __all__ = [
     "DEFAULT_ORACLE_STORE_DIR",
     "DEFAULT_URL",
     "INLINE_SPEC_FIELDS",
+    "JOURNAL_VERSION",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobState",
     "OracleStore",
+    "ReplaySummary",
     "Scheduler",
     "ServiceClient",
     "ServiceServer",
     "TaskHistory",
     "default_oracle_store_dir",
+    "limits_from_request",
     "new_job_id",
     "scenario_from_request",
     "summarize_result",

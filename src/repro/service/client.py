@@ -79,18 +79,28 @@ class ServiceClient:
         self,
         scenario: str | None = None,
         priority: int = 0,
+        timeout: float | None = None,
+        max_oracle_calls: int | None = None,
         **spec_fields: Any,
     ) -> dict[str, Any]:
         """``POST /jobs``: a registered scenario by name, or inline fields.
 
+        ``timeout`` (wall-clock seconds) and ``max_oracle_calls`` are
+        per-job resource limits; a job that exceeds one ends
+        ``FAILED(failure_reason=timeout|quota)``.
+
         >>> client.submit(scenario="smoke-t3-apx", priority=5)
-        >>> client.submit(task="T3", algorithm="apx", budget=10)
+        >>> client.submit(task="T3", algorithm="apx", budget=10, timeout=60)
         """
         body: dict[str, Any] = dict(spec_fields)
         if scenario is not None:
             body["scenario"] = scenario
         if priority:
             body["priority"] = priority
+        if timeout is not None:
+            body["timeout"] = timeout
+        if max_oracle_calls is not None:
+            body["max_oracle_calls"] = max_oracle_calls
         return self._request("POST", "/jobs", body=body)
 
     def jobs(self) -> list[dict[str, Any]]:
@@ -134,10 +144,24 @@ class ServiceClient:
         scenario: str | None = None,
         priority: int = 0,
         timeout: float = 300.0,
+        job_timeout: float | None = None,
+        max_oracle_calls: int | None = None,
         **spec_fields: Any,
     ) -> dict[str, Any]:
-        """Submit and wait; raises if the job did not end ``DONE``."""
-        job = self.submit(scenario=scenario, priority=priority, **spec_fields)
+        """Submit and wait; raises if the job did not end ``DONE``.
+
+        ``timeout`` bounds this client's *wait* (the job keeps running
+        server-side when it expires); ``job_timeout`` and
+        ``max_oracle_calls`` are the server-enforced per-job limits,
+        forwarded to :meth:`submit`.
+        """
+        job = self.submit(
+            scenario=scenario,
+            priority=priority,
+            timeout=job_timeout,
+            max_oracle_calls=max_oracle_calls,
+            **spec_fields,
+        )
         record = self.wait(job["id"], timeout=timeout)
         if record["state"] != JobState.DONE:
             raise ServiceError(

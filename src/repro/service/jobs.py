@@ -19,9 +19,10 @@ assert on the machine directly.
 
 from __future__ import annotations
 
+import math
 import time
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
 from ..exceptions import ServiceError
@@ -75,12 +76,42 @@ INLINE_SPEC_FIELDS = frozenset(
 )
 
 #: Submission keys that are not scenario fields.
-_REQUEST_ONLY_FIELDS = frozenset({"scenario", "priority"})
+_REQUEST_ONLY_FIELDS = frozenset(
+    {"scenario", "priority", "timeout", "max_oracle_calls"}
+)
 
 
 def new_job_id() -> str:
     """A short, URL-safe, collision-resistant job id."""
     return f"job-{uuid.uuid4().hex[:12]}"
+
+
+#: Every plain :class:`Job` attribute serialized verbatim by BOTH the API
+#: payload and the journal snapshot (``spec`` is rendered separately by
+#: each view). One list, three consumers — a new Job field added here is
+#: automatically served, persisted, and replayed; one added to the
+#: dataclass but not here fails the snapshot drift test.
+LIFECYCLE_FIELDS = (
+    "id",
+    "priority",
+    "state",
+    "submitted_at",
+    "started_at",
+    "finished_at",
+    "run_seconds",
+    "result",
+    "error",
+    "cache_hit",
+    "warm_started",
+    "warm_records",
+    "oracle_calls",
+    "oracle_calls_saved",
+    "timeout",
+    "max_oracle_calls",
+    "retries",
+    "failure_reason",
+    "deduped",
+)
 
 
 @dataclass
@@ -112,6 +143,20 @@ class Job:
     oracle_calls: int | None = None
     #: oracle calls avoided vs the cold run that seeded the task's store.
     oracle_calls_saved: int = 0
+    #: wall-clock limit in seconds (None: unlimited). Enforced
+    #: cooperatively at the oracle boundary, and by hard kill on the
+    #: forked-process backend.
+    timeout: float | None = None
+    #: oracle-call quota (None: unlimited); exceeding it fails the job
+    #: with ``failure_reason="quota"`` but keeps its partial oracle truth.
+    max_oracle_calls: int | None = None
+    #: crash-recovery re-executions charged so far (journal replay only).
+    retries: int = 0
+    #: why a FAILED job failed: "timeout" | "quota" | "retry-budget" |
+    #: "error" (an ordinary exception) | None while not failed.
+    failure_reason: str | None = None
+    #: completed by copying an identical in-flight job's result.
+    deduped: bool = False
 
     # -- state machine -----------------------------------------------------------
     @property
@@ -139,30 +184,79 @@ class Job:
         """The JSON form served by ``GET /jobs`` and ``GET /jobs/{id}``."""
         spec = self.spec
         payload: dict[str, Any] = {
-            "id": self.id,
-            "state": self.state,
-            "priority": self.priority,
-            "scenario": {
-                "name": spec.name,
-                "tags": list(spec.tags),
-                **spec.cache_payload(),
-            },
-            "fingerprint": spec.fingerprint(),
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "run_seconds": self.run_seconds,
-            "cache_hit": self.cache_hit,
-            "warm_started": self.warm_started,
-            "warm_records": self.warm_records,
-            "oracle_calls": self.oracle_calls,
-            "oracle_calls_saved": self.oracle_calls_saved,
-            "error": self.error,
-            "summary": summarize_result(self.result),
+            field_name: getattr(self, field_name)
+            for field_name in LIFECYCLE_FIELDS
+            if field_name != "result"
         }
+        payload["scenario"] = {
+            "name": spec.name,
+            "tags": list(spec.tags),
+            **spec.cache_payload(),
+        }
+        payload["fingerprint"] = spec.fingerprint()
+        payload["summary"] = summarize_result(self.result)
         if include_result:
             payload["result"] = self.result
         return payload
+
+    # -- journal round-trip ------------------------------------------------------
+    def to_snapshot(self) -> dict[str, Any]:
+        """The journal form: the full lifecycle record plus enough spec
+        fields to rebuild the :class:`Scenario` on replay.
+
+        Additive by contract (see the journal's versioning rules):
+        :meth:`from_snapshot` must treat missing keys as their dataclass
+        defaults, so old journals replay under newer code.
+        """
+        spec = self.spec
+        snapshot: dict[str, Any] = {
+            field_name: getattr(self, field_name)
+            for field_name in LIFECYCLE_FIELDS
+        }
+        snapshot["spec"] = {
+            "name": spec.name,
+            "tags": list(spec.tags),
+            "description": spec.description,
+            **spec.cache_payload(),
+        }
+        return snapshot
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> Job:
+        """Rebuild a job from its journal snapshot (state set directly —
+        replay restores facts, it does not re-walk the state machine).
+
+        Unknown spec keys are dropped rather than passed to the strict
+        :class:`Scenario` constructor: the journal's versioning rules
+        allow *additive* fields without a version bump, so a journal
+        written by a newer release must still replay (minus the fields
+        this release does not know) instead of raising.
+        """
+        known = {f.name for f in fields(Scenario)}
+        spec_fields = {
+            k: v for k, v in dict(snapshot["spec"]).items() if k in known
+        }
+        if isinstance(spec_fields.get("tags"), list):
+            spec_fields["tags"] = tuple(spec_fields["tags"])
+        spec = Scenario(**spec_fields)
+        state = snapshot.get("state", JobState.QUEUED)
+        if state not in _TRANSITIONS:
+            raise ServiceError(
+                f"snapshot for {snapshot.get('id')!r} carries unknown "
+                f"state {state!r}"
+            )
+        job = cls(
+            spec=spec,
+            priority=int(snapshot.get("priority", 0)),
+            id=str(snapshot["id"]),
+            state=state,
+        )
+        for field_name in LIFECYCLE_FIELDS:
+            if field_name in ("id", "priority", "state"):
+                continue  # constructor-set above (with validation)
+            if field_name in snapshot:
+                setattr(job, field_name, snapshot[field_name])
+        return job
 
 
 def summarize_result(result: Mapping[str, Any] | None) -> dict[str, Any]:
@@ -220,3 +314,33 @@ def scenario_from_request(
     if isinstance(inline.get("tags"), list):
         inline["tags"] = tuple(inline["tags"])
     return Scenario(**inline)
+
+
+def limits_from_request(
+    body: Mapping[str, Any]
+) -> tuple[float | None, int | None]:
+    """Validate and extract ``(timeout, max_oracle_calls)`` from a body.
+
+    Both are optional; ``None`` (or JSON ``null``) means unlimited.
+    Non-numeric or non-positive limits are rejected at submission time.
+    """
+    timeout = body.get("timeout")
+    if timeout is not None:
+        if (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+            or not math.isfinite(timeout)
+            or timeout <= 0
+        ):
+            raise ServiceError(
+                f"timeout must be a positive finite number of seconds, "
+                f"got {timeout!r}"
+            )
+        timeout = float(timeout)
+    quota = body.get("max_oracle_calls")
+    if quota is not None:
+        if isinstance(quota, bool) or not isinstance(quota, int) or quota < 1:
+            raise ServiceError(
+                f"max_oracle_calls must be a positive integer, got {quota!r}"
+            )
+    return timeout, quota

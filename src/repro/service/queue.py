@@ -30,6 +30,7 @@ class JobQueue:
         self._seq = itertools.count()
         self._cond = threading.Condition()
         self._closed = False
+        self._drain_on_close = True
 
     # -- producers ---------------------------------------------------------------
     def push(self, job: Job) -> None:
@@ -45,12 +46,17 @@ class JobQueue:
         """The highest-priority queued job, blocking up to ``timeout``.
 
         Returns ``None`` on timeout, or immediately once the queue is
-        closed and holds no queued work. Jobs whose state is no longer
-        ``QUEUED`` (lazily cancelled) are dropped on the way.
+        closed — after ``close(drain=True)`` only when it also holds no
+        queued work, after ``close(drain=False)`` unconditionally (the
+        remaining jobs stay queued for someone else, e.g. a journal
+        replay). Jobs whose state is no longer ``QUEUED`` (lazily
+        cancelled) are dropped on the way.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
+                if self._closed and not self._drain_on_close:
+                    return None
                 self._discard_stale()
                 if self._heap:
                     return heapq.heappop(self._heap)[2]
@@ -69,10 +75,17 @@ class JobQueue:
             heapq.heappop(self._heap)
 
     # -- lifecycle ---------------------------------------------------------------
-    def close(self) -> None:
-        """Stop accepting pushes and wake every blocked popper."""
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting pushes and wake every blocked popper.
+
+        ``drain=True`` lets poppers keep consuming the remaining queued
+        jobs; ``drain=False`` halts serving immediately — whatever is
+        still queued stays queued (the journal-aware shutdown path, where
+        those jobs must survive for the next boot's replay).
+        """
         with self._cond:
             self._closed = True
+            self._drain_on_close = drain
             self._cond.notify_all()
 
     @property

@@ -4,13 +4,26 @@
 fail-fast through the PR-2 :class:`~repro.scenarios.factory.ScenarioFactory`,
 content-hash deduplicated against the persistent
 :class:`~repro.scenarios.cache.ResultCache` (an identical job completes
-instantly, without ever touching the queue), and otherwise pushed onto the
-priority :class:`~repro.service.queue.JobQueue`. Worker threads pop jobs
-and execute each one through a PR-1 :mod:`repro.exec` backend's
+instantly, without ever touching the queue) *and* against identical
+in-flight jobs (the follower waits and inherits the primary's result
+instead of running twice), and otherwise pushed onto the priority
+:class:`~repro.service.queue.JobQueue`. Worker threads pop jobs and
+execute each one through a PR-1 :mod:`repro.exec` backend's
 :meth:`~repro.exec.Backend.run_one` — ``serial`` runs in-thread, while
 ``process`` forks a child per job so a crashing job cannot take the
 service down. Failures are isolated per job: the job ends ``FAILED`` with
 the error recorded, and the worker moves on.
+
+With a :class:`~repro.service.journal.JobJournal` attached, every
+transition is write-ahead logged: on construction the scheduler replays
+the journal, restores terminal records, re-queues jobs that were
+``QUEUED`` at crash time, and re-queues crash-interrupted ``RUNNING``
+jobs with a retry charged — up to ``max_retries``, after which the job
+fails with ``failure_reason="retry-budget"``. Per-job resource limits
+(``timeout``, ``max_oracle_calls``) are enforced cooperatively at the
+oracle boundary on every backend, and by hard child kill on the
+forked-process backend; a limit-hit job still persists whatever oracle
+truth it computed, so its partial work warm-starts the next attempt.
 
 With an :class:`~repro.service.store.OracleStore` attached, every job on a
 task key warm-starts its estimator from the key's persisted ground truth
@@ -21,12 +34,13 @@ measured against the cold run that seeded the key's store.
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 from typing import Any, Mapping
 
 from ..core.estimator import TestStore
-from ..exceptions import ServiceError
+from ..exceptions import JobLimitExceeded, ServiceError
 from ..exec import Backend, make_backend
 from ..logging_util import get_logger
 from ..report import build_payload
@@ -34,11 +48,51 @@ from ..scenarios.cache import ResultCache
 from ..scenarios.factory import ResolvedScenario, ScenarioFactory
 from ..scenarios.registry import ScenarioRegistry, load_builtin_scenarios
 from ..scenarios.spec import Scenario
-from .jobs import Job, JobState, scenario_from_request
+from .jobs import Job, JobState, limits_from_request, scenario_from_request
+from .journal import JobJournal
 from .queue import JobQueue
 from .store import OracleStore, task_key
 
 logger = get_logger("service.scheduler")
+
+
+class _OracleGuard:
+    """Cooperative per-job limit enforcement at the oracle boundary.
+
+    Wraps the estimator's oracle callable: every real model training
+    first checks the job's wall-clock deadline and oracle-call quota and
+    raises :class:`~repro.exceptions.JobLimitExceeded` when either is
+    spent. Oracle calls are where a job's cost concentrates, so checking
+    here bounds both serial and thread backends without preemption; jobs
+    stuck *between* oracle calls are covered by the process backend's
+    hard kill.
+    """
+
+    __slots__ = ("oracle", "deadline", "max_calls", "calls")
+
+    def __init__(
+        self,
+        oracle,
+        deadline: float | None,
+        max_calls: int | None,
+    ):
+        self.oracle = oracle
+        self.deadline = deadline
+        self.max_calls = max_calls
+        self.calls = 0
+
+    def __call__(self, artifact):
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise JobLimitExceeded(
+                "timeout", "job exceeded its wall-clock limit"
+            )
+        if self.max_calls is not None and self.calls >= self.max_calls:
+            raise JobLimitExceeded(
+                "quota",
+                f"job exceeded its oracle-call quota of {self.max_calls}",
+            )
+        self.calls += 1
+        return self.oracle(artifact)
 
 
 class _JobRun:
@@ -46,21 +100,53 @@ class _JobRun:
 
     Fork-friendly (inherited state, no pickling of the closure) and
     returns only plain JSON-able data, so the same object works on the
-    serial, thread, and forked-process backends alike.
+    serial, thread, and forked-process backends alike. Cooperative limit
+    hits are *returned* (``"limit"``), not raised — the partial test
+    store must cross the process boundary so quota-exhausted work still
+    warm-starts the next attempt.
     """
 
-    __slots__ = ("resolved", "store")
+    __slots__ = ("resolved", "store", "timeout", "max_oracle_calls")
 
-    def __init__(self, resolved: ResolvedScenario, store: TestStore | None):
+    def __init__(
+        self,
+        resolved: ResolvedScenario,
+        store: TestStore | None,
+        timeout: float | None = None,
+        max_oracle_calls: int | None = None,
+    ):
         self.resolved = resolved
         self.store = store
+        self.timeout = timeout
+        self.max_oracle_calls = max_oracle_calls
 
     def __call__(self) -> dict[str, Any]:
+        # The deadline starts BEFORE build: both the cooperative clock
+        # and the parent's hard-kill clock then begin ~at fork, so slow
+        # scenario construction cannot eat the grace margin that lets
+        # the cooperative path report (with its partial store) first.
+        deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None else None
+        )
         runnable = self.resolved.build(store=self.store)
-        start = time.perf_counter()
-        result = runnable.run(verify=self.resolved.spec.verify)
-        seconds = time.perf_counter() - start
         config = getattr(runnable, "config", None)
+        if config is not None and (
+            deadline is not None or self.max_oracle_calls is not None
+        ):
+            oracle = getattr(config.estimator, "oracle", None)
+            if oracle is not None:
+                config.estimator.oracle = _OracleGuard(
+                    oracle, deadline, self.max_oracle_calls
+                )
+        start = time.perf_counter()
+        limit = None
+        result = None
+        try:
+            result = runnable.run(verify=self.resolved.spec.verify)
+        except JobLimitExceeded as exc:
+            limit = exc.reason
+        seconds = time.perf_counter() - start
         oracle_calls = None
         store_rows = None
         if config is not None:
@@ -71,15 +157,16 @@ class _JobRun:
                 include_surrogate=False
             )
         return {
-            "result": build_payload(result),
+            "result": build_payload(result) if result is not None else None,
             "seconds": seconds,
             "oracle_calls": oracle_calls,
             "store_rows": store_rows,
+            "limit": limit,
         }
 
 
 class Scheduler:
-    """Thread-pool job scheduler with caching and oracle warm-starts."""
+    """Thread-pool job scheduler with caching, warm-starts, and a WAL."""
 
     def __init__(
         self,
@@ -87,20 +174,26 @@ class Scheduler:
         factory: ScenarioFactory | None = None,
         result_cache: ResultCache | None = None,
         oracle_store: OracleStore | None = None,
+        journal: JobJournal | None = None,
         backend: str | Backend = "serial",
         n_workers: int = 2,
+        max_retries: int = 2,
         poll_interval: float = 0.2,
     ):
         if n_workers < 1:
             raise ServiceError("n_workers must be >= 1")
+        if max_retries < 0:
+            raise ServiceError("max_retries must be >= 0")
         self.registry = (
             registry if registry is not None else load_builtin_scenarios()
         )
         self.factory = factory if factory is not None else ScenarioFactory()
         self.result_cache = result_cache
         self.oracle_store = oracle_store
+        self.journal = journal
         self.backend = make_backend(backend, 1)
         self.n_workers = int(n_workers)
+        self.max_retries = int(max_retries)
         self.queue = JobQueue()
         self.jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -113,25 +206,198 @@ class Scheduler:
         self._warm_starts = 0
         self._oracle_calls_total = 0
         self._oracle_calls_saved_total = 0
+        self._failed_timeout = 0
+        self._failed_quota = 0
+        self._dedup_hits = 0
+        self._retries_total = 0
+        #: fingerprint → id of the job currently queued/running for it.
+        self._inflight: dict[str, str] = {}
+        #: job id → fingerprint (avoids re-hashing at terminal time).
+        self._fingerprints: dict[str, str] = {}
+        #: primary job id → follower job ids awaiting its result.
+        self._followers: dict[str, list[str]] = {}
+        self._recovery: dict[str, Any] = {
+            "replayed": 0,
+            "requeued": 0,
+            "retried": 0,
+            "refollowed": 0,
+            "failed_retry_budget": 0,
+            "restored_terminal": 0,
+            "unrecoverable": 0,
+            "skipped_lines": 0,
+            "torn_tail": False,
+        }
+        if journal is not None:
+            self._recover(journal)
+
+    # -- crash recovery ----------------------------------------------------------
+    def _recover(self, journal: JobJournal) -> None:
+        """Replay the journal into jobs/queue state, then compact it.
+
+        Terminal snapshots become read-only records (``GET /jobs`` keeps
+        answering for pre-crash work); ``QUEUED`` snapshots re-enter the
+        queue as-is; ``RUNNING`` snapshots were interrupted mid-run, so
+        they re-enter the queue with one retry charged — or fail with
+        ``failure_reason="retry-budget"`` once ``max_retries`` is spent.
+        The post-replay compaction makes the retry accounting durable in
+        one segment before any new work is accepted.
+        """
+        summary = journal.replay()
+        stats = self._recovery
+        stats["skipped_lines"] = summary.skipped
+        stats["torn_tail"] = summary.torn_tail
+        for job_id, snapshot in summary.jobs.items():
+            try:
+                job = Job.from_snapshot(snapshot)
+            except Exception:
+                stats["unrecoverable"] += 1
+                logger.warning(
+                    "journal: cannot reconstruct job %s; dropping it",
+                    job_id, exc_info=True,
+                )
+                continue
+            stats["replayed"] += 1
+            self.jobs[job.id] = job
+            if job.terminal:
+                stats["restored_terminal"] += 1
+                continue
+            interrupted = job.state == JobState.RUNNING
+            if interrupted:
+                # Interrupted mid-run: the crash consumed one attempt.
+                # The retried/terminal record is appended *before* the
+                # compaction below, so even a crash during recovery
+                # cannot forget the charge (no infinite retry loop).
+                job.retries += 1
+                self._retries_total += 1
+                job.started_at = None
+                if job.retries > self.max_retries:
+                    job.state = JobState.FAILED
+                    job.finished_at = time.time()
+                    job.failure_reason = "retry-budget"
+                    job.error = (
+                        f"crashed {job.retries} time(s); retry budget of "
+                        f"{self.max_retries} exhausted"
+                    )
+                    stats["failed_retry_budget"] += 1
+                    journal.record_terminal(job)
+                    continue
+                job.state = JobState.QUEUED
+                stats["retried"] += 1
+                journal.record_retried(job)
+            fingerprint = job.spec.fingerprint()
+            primary_id = self._inflight.get(fingerprint)
+            if primary_id is not None:
+                # Identical content is already being revived: restore the
+                # pre-crash primary/follower relationship instead of
+                # running the same work twice.
+                self._followers.setdefault(primary_id, []).append(job.id)
+                stats["refollowed"] += 1
+                continue
+            if not interrupted:
+                stats["requeued"] += 1
+            self._fingerprints[job.id] = fingerprint
+            self._inflight[fingerprint] = job.id
+            self.queue.push(job)
+        if stats["unrecoverable"]:
+            # Compacting would rewrite the journal from in-memory jobs
+            # only, durably destroying the snapshots this release could
+            # not reconstruct (e.g. after a rollback to code missing a
+            # newer field). Keep the raw segments so a later release can
+            # still recover them.
+            logger.warning(
+                "skipping boot compaction: %d journaled job(s) could not "
+                "be reconstructed and would be erased",
+                stats["unrecoverable"],
+            )
+        else:
+            journal.compact(self.jobs.values())
+        if stats["replayed"]:
+            logger.info(
+                "journal replay: %d job(s) — %d requeued, %d retried, "
+                "%d failed on retry budget, %d terminal restored",
+                stats["replayed"], stats["requeued"], stats["retried"],
+                stats["failed_retry_budget"], stats["restored_terminal"],
+            )
 
     # -- submissions -------------------------------------------------------------
-    def submit(self, spec: Scenario, priority: int = 0) -> Job:
-        """Validate, dedup against the result cache, and enqueue a job.
+    def submit(
+        self,
+        spec: Scenario,
+        priority: int = 0,
+        timeout: float | None = None,
+        max_oracle_calls: int | None = None,
+    ) -> Job:
+        """Validate, dedup, journal, and enqueue a job.
 
         Raises :class:`~repro.exceptions.ScenarioError` on an unresolvable
         spec — *before* a job record is created, so bad submissions never
         occupy the queue. A spec whose fingerprint already has a cached
-        result completes instantly (``cache_hit=True``) without running.
+        result completes instantly (``cache_hit=True``) without running;
+        one whose fingerprint is already queued/running becomes a
+        *follower* of that in-flight job and inherits its result
+        (``deduped=True``) instead of running a second time.
         """
         self.factory.resolve(spec)
-        job = Job(spec=spec, priority=int(priority))
+        timeout, max_oracle_calls = limits_from_request(
+            {"timeout": timeout, "max_oracle_calls": max_oracle_calls}
+        )
+        if spec.distributed:
+            # Distributed runs keep private per-worker estimators, so
+            # the oracle-boundary guard has nothing to wrap: a quota can
+            # never be enforced, and a timeout only via the process
+            # backend's hard kill. Reject what we cannot honor instead
+            # of accepting a limit that silently does nothing.
+            if max_oracle_calls is not None:
+                raise ServiceError(
+                    "max_oracle_calls cannot be enforced on distributed "
+                    "scenarios (per-worker estimators are private)"
+                )
+            if timeout is not None and not (
+                self.backend.name == "process"
+                and "fork" in multiprocessing.get_all_start_methods()
+            ):
+                raise ServiceError(
+                    "a timeout on a distributed scenario needs the "
+                    "process backend with fork available (hard kill); "
+                    f"the {self.backend.name} backend here cannot "
+                    "enforce it"
+                )
+        job = Job(
+            spec=spec,
+            priority=int(priority),
+            timeout=timeout,
+            max_oracle_calls=max_oracle_calls,
+        )
         record = (
             self.result_cache.get(spec)
             if self.result_cache is not None else None
         )
+        fingerprint = spec.fingerprint()
         with self._lock:
             self.jobs[job.id] = job
             self._submitted += 1
+            try:
+                self._journal_submitted(job)
+            except Exception:
+                # Strict WAL: if the submission cannot be made durable it
+                # never happened — unwind the in-memory registration so
+                # no later submission dedups against a phantom job. The
+                # failed append is *indeterminate* (an fsync error can
+                # land after the bytes hit the file), so also try a
+                # compensating cancelled record; if even that fails, the
+                # worst case is one spurious re-run after a restart.
+                del self.jobs[job.id]
+                self._submitted -= 1
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                try:
+                    self.journal.record_terminal(job)
+                except Exception:
+                    logger.warning(
+                        "job %s: compensating cancellation record also "
+                        "failed; the job may replay once", job.id,
+                    )
+                raise
             if record is not None:
                 job.transition(JobState.RUNNING)
                 job.cache_hit = True
@@ -139,15 +405,61 @@ class Scheduler:
                 job.oracle_calls = 0
                 job.transition(JobState.DONE)
                 self._cache_hits += 1
+                self._journal_terminal(job)
                 self._cond.notify_all()
-                return job
+            else:
+                primary_id = self._inflight.get(fingerprint)
+                primary = self.jobs.get(primary_id) if primary_id else None
+                if primary is not None and not primary.terminal:
+                    # Identical work already in flight: don't run it twice.
+                    self._followers.setdefault(primary.id, []).append(job.id)
+                    self._dedup_hits += 1
+                    if (
+                        job.priority > primary.priority
+                        and primary.state == JobState.QUEUED
+                    ):
+                        # The follower's urgency transfers to the work
+                        # that will produce its result. Re-pushing makes
+                        # a higher-priority heap entry; the stale one is
+                        # lazily discarded once the job leaves QUEUED.
+                        previous = primary.priority
+                        primary.priority = job.priority
+                        try:
+                            self.queue.push(primary)
+                        except ServiceError:
+                            # Shutting down: the old entry stands, so
+                            # the record must keep matching the heap.
+                            primary.priority = previous
+                        else:
+                            try:
+                                # Re-journal the primary so the
+                                # escalation survives a crash (a
+                                # submitted record replaces the snapshot
+                                # wholesale on replay).
+                                self._journal_submitted(primary)
+                            except Exception:
+                                logger.warning(
+                                    "job %s: could not journal the "
+                                    "priority escalation",
+                                    primary.id, exc_info=True,
+                                )
+                    return job
+                self._inflight[fingerprint] = job.id
+                self._fingerprints[job.id] = fingerprint
+        if job.terminal:  # cache hit: compact outside the lock if due
+            self._maybe_compact_journal()
+            return job
         try:
             self.queue.push(job)
         except ServiceError:
             # Submission raced a shutdown: the queue is closed, so no
-            # worker will ever see this job — don't leave it QUEUED.
+            # worker will ever see this job — don't leave it QUEUED. The
+            # cancellation is journaled too: the submitter got an error,
+            # so a restart must not resurrect and run this job.
             with self._lock:
                 job.transition(JobState.CANCELLED)
+                self._journal_terminal(job)
+                self._on_terminal(job)
                 self._cond.notify_all()
             raise
         return job
@@ -160,7 +472,122 @@ class Scheduler:
             raise ServiceError(
                 f"priority must be an integer, got {priority!r}"
             )
-        return self.submit(spec, priority=priority)
+        timeout, max_oracle_calls = limits_from_request(body)
+        return self.submit(
+            spec,
+            priority=priority,
+            timeout=timeout,
+            max_oracle_calls=max_oracle_calls,
+        )
+
+    # -- journal hooks (lock held) -----------------------------------------------
+    # Appends (one fsync'd line, single-digit ms) deliberately stay under
+    # the scheduler lock: the WAL record must be durable before anyone
+    # can observe the transition (wait()/GET /jobs answer under the same
+    # lock), and jobs run for seconds-to-minutes, so the sync cost is
+    # noise. Only compaction — an O(retained jobs) rewrite — runs outside
+    # it; an append can briefly queue behind one on the journal's own
+    # lock, bounded by the journal's terminal-retention cap.
+    def _journal_submitted(self, job: Job) -> None:
+        """Strict WAL write: a submission the journal cannot record is a
+        submission durability cannot honor, so the error propagates."""
+        if self.journal is not None:
+            self.journal.record_submitted(job)
+
+    def _journal_started(self, job: Job) -> None:
+        if self.journal is not None:
+            try:
+                self.journal.record_started(job)
+            except Exception:
+                logger.warning(
+                    "job %s: could not journal the started record",
+                    job.id, exc_info=True,
+                )
+
+    def _journal_terminal(self, job: Job) -> None:
+        # Best-effort: the work is already done (or failed) — a journal
+        # I/O error must not corrupt the in-memory lifecycle. Worst case
+        # the record replays as interrupted and the job re-runs once.
+        if self.journal is not None:
+            try:
+                self.journal.record_terminal(job)
+            except Exception:
+                logger.warning(
+                    "job %s: could not journal the %s record",
+                    job.id, job.state, exc_info=True,
+                )
+
+    def _maybe_compact_journal(self) -> None:
+        """Fold the journal once it outgrows its segment budget.
+
+        Deliberately called *outside* the scheduler lock — compaction
+        rewrites every snapshot with fsyncs, far too slow to stall
+        submits, metrics, and every other worker's terminal path — and
+        therefore replay-based: the journal's own lock orders the fold
+        against concurrent appends, so no transition recorded before it
+        can be lost.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.maybe_compact()
+        except Exception:
+            logger.warning("journal compaction failed", exc_info=True)
+
+    # -- dedup bookkeeping (lock held) -------------------------------------------
+    def _on_terminal(self, job: Job) -> None:
+        """Release in-flight dedup state and settle followers.
+
+        A primary that finished ``DONE`` completes its followers by copy
+        (``deduped=True``); one that failed or was cancelled promotes its
+        first still-queued follower into the queue (the work is still
+        owed) and re-chains the rest behind it.
+        """
+        fingerprint = self._fingerprints.pop(job.id, None)
+        if fingerprint is not None and (
+            self._inflight.get(fingerprint) == job.id
+        ):
+            del self._inflight[fingerprint]
+        followers = [
+            self.jobs[fid]
+            for fid in self._followers.pop(job.id, [])
+            if fid in self.jobs
+        ]
+        waiting = [f for f in followers if f.state == JobState.QUEUED]
+        if not waiting:
+            return
+        if job.state == JobState.DONE:
+            for follower in waiting:
+                follower.transition(JobState.RUNNING)
+                follower.deduped = True
+                follower.result = job.result
+                follower.oracle_calls = 0
+                follower.run_seconds = 0.0
+                follower.transition(JobState.DONE)
+                self._journal_terminal(follower)
+            return
+        promoted, rest = waiting[0], waiting[1:]
+        if fingerprint is not None:
+            self._inflight[fingerprint] = promoted.id
+            self._fingerprints[promoted.id] = fingerprint
+        if rest:
+            self._followers[promoted.id] = [f.id for f in rest]
+        try:
+            self.queue.push(promoted)
+        except ServiceError:  # shutting down: nobody left to run it
+            if self.journal is not None:
+                # Journal-aware shutdown keeps queued work: the
+                # followers replay as QUEUED and re-run on next boot.
+                return
+            if fingerprint is not None and (
+                self._inflight.get(fingerprint) == promoted.id
+            ):
+                del self._inflight[fingerprint]
+            self._fingerprints.pop(promoted.id, None)
+            self._followers.pop(promoted.id, None)
+            for follower in waiting:
+                follower.transition(JobState.CANCELLED)
+                self._journal_terminal(follower)
 
     # -- lookups -----------------------------------------------------------------
     def get(self, job_id: str) -> Job:
@@ -188,8 +615,11 @@ class Scheduler:
                     "be cancelled"
                 )
             job.transition(JobState.CANCELLED)
+            self._journal_terminal(job)
+            self._on_terminal(job)
             self._cond.notify_all()
-            return job
+        self._maybe_compact_journal()
+        return job
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
@@ -208,20 +638,30 @@ class Scheduler:
     def stop(self, drain: bool = False, timeout: float | None = None) -> None:
         """Shut the pool down.
 
-        ``drain=True`` lets workers finish every queued job first;
-        otherwise queued jobs are cancelled and only in-flight jobs run to
-        completion (worker threads cannot be preempted mid-job).
+        ``drain=True`` lets workers finish every queued job first. Without
+        it, what happens to queued jobs depends on durability: with a
+        journal attached they are *left queued* — the journal holds them,
+        and the next scheduler on the same directory re-queues them — and
+        without one they are cancelled (nothing would ever remember them).
+        In-flight jobs always run to completion (worker threads cannot be
+        preempted mid-job).
         """
-        if not drain:
+        if not drain and self.journal is None:
             with self._lock:
                 for job in self.jobs.values():
                     if job.state == JobState.QUEUED:
                         job.transition(JobState.CANCELLED)
+                        self._on_terminal(job)
                 self._cond.notify_all()
-        self.queue.close()
+        # Journal-aware non-drain stop must halt the queue outright
+        # (drain=False): the jobs left QUEUED would otherwise still be
+        # served to workers, running the whole backlog during shutdown.
+        self.queue.close(drain=drain or self.journal is None)
         for thread in self._threads:
             thread.join(timeout)
         self._threads = []
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> Scheduler:
         self.start()
@@ -283,6 +723,7 @@ class Scheduler:
             if job.state != JobState.QUEUED:
                 return  # cancelled between pop and execution
             job.transition(JobState.RUNNING)
+            self._journal_started(job)
         spec = job.spec
         start = time.perf_counter()
         warm = False
@@ -301,19 +742,42 @@ class Scheduler:
                     warm_store = history.store
                     warm = True
                     warm_records = len(history)
-            outcome = self.backend.run_one(_JobRun(resolved, warm_store))
+            # The hard kill gets a grace margin over the cooperative
+            # deadline: the cooperative path (which ships the partial
+            # test store back for warm-starting the retry) must get the
+            # first chance to report; the kill is only the backstop for
+            # jobs stuck outside the oracle boundary.
+            hard_timeout = (
+                None if job.timeout is None
+                else job.timeout + max(5.0, 0.25 * job.timeout)
+            )
+            outcome = self.backend.run_one(
+                _JobRun(
+                    resolved,
+                    warm_store,
+                    timeout=job.timeout,
+                    max_oracle_calls=job.max_oracle_calls,
+                ),
+                timeout=hard_timeout,
+            )
             oracle_calls = outcome["oracle_calls"]
+            limit = outcome.get("limit")
             saved = 0
             if key is not None and outcome["store_rows"] is not None:
                 # Persistence is best-effort: the discovery already
-                # succeeded, and a full disk or unwritable store must not
-                # turn a computed result into a FAILED job.
+                # succeeded (or hit its limit with partial truth worth
+                # keeping), and a full disk or unwritable store must not
+                # turn a computed result into a FAILED job. A limited
+                # run never seeds the cold baseline — its call count is
+                # capped, not representative.
                 try:
                     self.oracle_store.merge(
                         key,
                         TestStore.from_payload(outcome["store_rows"]),
                         resolved.task.measures,
-                        cold_oracle_calls=None if warm else oracle_calls,
+                        cold_oracle_calls=(
+                            None if warm or limit else oracle_calls
+                        ),
                     )
                 except Exception:
                     logger.warning(
@@ -325,6 +789,24 @@ class Scheduler:
                 )
                 if warm and baseline is not None and oracle_calls is not None:
                     saved = max(0, baseline - oracle_calls)
+            if limit is not None:
+                self._fail(
+                    job,
+                    start,
+                    warm,
+                    warm_records,
+                    reason=limit,
+                    error=(
+                        f"JobLimitExceeded: job hit its "
+                        + (
+                            f"{job.timeout:g}s wall-clock limit"
+                            if limit == "timeout"
+                            else f"oracle-call quota of {job.max_oracle_calls}"
+                        )
+                    ),
+                    oracle_calls=oracle_calls,
+                )
+                return
             if self.result_cache is not None:
                 try:
                     self.result_cache.put(
@@ -347,20 +829,59 @@ class Scheduler:
                 if warm:
                     self._warm_starts += 1
                 job.transition(JobState.DONE)
+                self._journal_terminal(job)
+                self._on_terminal(job)
                 self._cond.notify_all()
+            self._maybe_compact_journal()
+        except JobLimitExceeded as exc:
+            # Hard kill from the process backend: the child is gone, so
+            # no partial store rows survive — only the failure does.
+            logger.warning("job %s hit its %s limit: %s",
+                           job.id, exc.reason, exc)
+            self._fail(
+                job, start, warm, warm_records,
+                reason=exc.reason, error=f"{type(exc).__name__}: {exc}",
+            )
         except Exception as exc:  # noqa: BLE001 — per-job failure isolation
             logger.warning("job %s failed: %s", job.id, exc)
-            with self._lock:
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.run_seconds = time.perf_counter() - start
-                job.warm_started = warm
-                job.warm_records = warm_records
-                job.transition(JobState.FAILED)
-                self._cond.notify_all()
+            self._fail(
+                job, start, warm, warm_records,
+                reason="error", error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _fail(
+        self,
+        job: Job,
+        start: float,
+        warm: bool,
+        warm_records: int,
+        reason: str,
+        error: str,
+        oracle_calls: int | None = None,
+    ) -> None:
+        with self._lock:
+            job.error = error
+            job.failure_reason = reason
+            job.run_seconds = time.perf_counter() - start
+            job.warm_started = warm
+            job.warm_records = warm_records
+            if oracle_calls is not None:
+                job.oracle_calls = oracle_calls
+                self._oracle_calls_total += oracle_calls
+            if reason == "timeout":
+                self._failed_timeout += 1
+            elif reason == "quota":
+                self._failed_quota += 1
+            job.transition(JobState.FAILED)
+            self._journal_terminal(job)
+            self._on_terminal(job)
+            self._cond.notify_all()
+        self._maybe_compact_journal()
 
     # -- introspection -----------------------------------------------------------
     def metrics(self) -> dict[str, Any]:
-        """The ``GET /metrics`` payload: queue, jobs, cache, oracle savings."""
+        """The ``GET /metrics`` payload: queue, jobs, cache, oracle savings,
+        per-job limit failures, dedup hits, and journal/recovery state."""
         with self._lock:
             by_state = {state: 0 for state in JobState.ALL}
             for job in self.jobs.values():
@@ -383,12 +904,29 @@ class Scheduler:
                         self._cache_hits / lookups if lookups else 0.0
                     ),
                 },
+                "dedup": {"inflight_hits": self._dedup_hits},
+                "limits": {
+                    "failed_timeout": self._failed_timeout,
+                    "failed_quota": self._failed_quota,
+                },
+                "retries": {
+                    "max_per_job": self.max_retries,
+                    "total": self._retries_total,
+                },
                 "oracle": {
                     "warm_starts": self._warm_starts,
                     "calls_total": self._oracle_calls_total,
                     "calls_saved_total": self._oracle_calls_saved_total,
                 },
             }
+        if self.journal is not None:
+            metrics["journal"] = {
+                "enabled": True,
+                **self.journal.stats(),
+                "recovery": dict(self._recovery),
+            }
+        else:
+            metrics["journal"] = {"enabled": False}
         if self.oracle_store is not None:
             metrics["oracle_store"] = {
                 "enabled": True, **self.oracle_store.stats()

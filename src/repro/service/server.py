@@ -131,6 +131,7 @@ class _Handler(BaseHTTPRequestHandler):
                         time.time()
                         - self.server.started_at  # type: ignore[attr-defined]
                     ),
+                    "journal": self.scheduler.journal is not None,
                 },
             )
             return

@@ -1,9 +1,20 @@
-"""Shared test helpers: toy search spaces and deterministic oracles.
+"""Shared test helpers: toy search spaces, deterministic oracles, and
+the service layer's fault-injection harness.
 
 ``ToySpace`` lets algorithm tests exercise the full search machinery
 without any ML training: the artifact of a state is its bitmap, and toy
 oracles compute performance as a pure function of the bitmap. That makes
 skyline/ε-cover assertions exact and fast.
+
+The fault-injection half simulates worker/process death for the crash
+recovery suite: :class:`CrashingBackend` raises :class:`SimulatedCrash`
+(a ``BaseException``, so the scheduler's per-job failure isolation cannot
+catch and "handle" it — exactly like a SIGKILL, the job just never
+finishes) at configurable execution points; :class:`CrashingScheduler`
+wires one in; :func:`torn_write` appends the partial line a crash
+mid-append leaves behind. After an injected crash the scheduler object is
+simply abandoned — recovery is asserted by building a *fresh* scheduler
+on the same journal directory, which is precisely the restart path.
 """
 
 from __future__ import annotations
@@ -13,8 +24,11 @@ import numpy as np
 from repro.core.measures import Measure, MeasureSet
 from repro.core.state import bits_to_array
 from repro.core.transducer import Entry, SearchSpace
+from repro.exec.backends import Backend
 from repro.relational.schema import Schema
 from repro.relational.table import Table
+from repro.scenarios.spec import Scenario
+from repro.service.scheduler import Scheduler
 
 
 class ToySpace(SearchSpace):
@@ -86,3 +100,150 @@ def other_table(name: str = "u") -> Table:
         {"k": [2, 3, 4, 7], "z": [200, 300, 400, 700]},
         name=name,
     )
+
+
+# ---------------------------------------------------------------------------
+# Service-layer stubs and fault injection
+# ---------------------------------------------------------------------------
+
+
+def service_spec(name: str = "s1", **overrides) -> Scenario:
+    """A tiny resolvable scenario for scheduler-level tests."""
+    defaults = dict(task="T3", algorithm="apx", epsilon=0.3, budget=6,
+                    max_level=2, scale=0.2, estimator="oracle")
+    defaults.update(overrides)
+    return Scenario(name=name, **defaults)
+
+
+class StubResult:
+    """Just enough DiscoveryResult surface for ``build_payload``."""
+
+    class _Report:
+        algorithm = "stub"
+        n_valuated = 3
+        n_pruned = 0
+        elapsed_seconds = 0.01
+        terminated_by = "stub"
+
+    class _Measures:
+        names = ("acc",)
+
+    report = _Report()
+    measures = _Measures()
+    epsilon = 0.1
+    entries = []
+
+
+class StubRunnable:
+    def __init__(self, body):
+        self._body = body
+
+    def run(self, verify=True):
+        self._body()
+        return StubResult()
+
+
+class StubResolved:
+    def __init__(self, spec, body):
+        self.spec = spec
+        self._body = body
+
+    def build(self, store=None):
+        return StubRunnable(self._body)
+
+
+class StubFactory:
+    """resolve() dispatches on scenario name to a registered behavior."""
+
+    def __init__(self):
+        self.behaviors = {}
+
+    def on(self, name, body):
+        self.behaviors[name] = body
+
+    def resolve(self, spec):
+        from repro.exceptions import ScenarioError
+
+        try:
+            return StubResolved(spec, self.behaviors[spec.name])
+        except KeyError:
+            raise ScenarioError(f"no stub behavior for {spec.name!r}")
+
+
+class AnythingFactory:
+    """resolve() accepts any spec (for tests whose jobs never run)."""
+
+    def resolve(self, spec):
+        return StubResolved(spec, lambda: None)
+
+
+class SimulatedCrash(BaseException):
+    """An injected worker death.
+
+    Deliberately a ``BaseException``: the scheduler's per-job isolation
+    (``except Exception``) must NOT catch it — like a SIGKILL, the
+    transition journal simply stops mid-job, the worker thread dies, and
+    the in-memory job is never finalized. Recovery assertions then run a
+    fresh scheduler against the same journal directory.
+    """
+
+
+class CrashingBackend(Backend):
+    """A serial backend that dies at configured execution points.
+
+    ``crash_before`` / ``crash_after`` are 1-based job indices (the n-th
+    ``run_one`` call): *before* kills the worker before any work happens
+    (job RUNNING, nothing computed), *after* kills it once the work is
+    done but before the scheduler can record the result — the classic
+    torn window between doing and committing.
+    """
+
+    name = "crashing"
+
+    def __init__(self, crash_before=(), crash_after=()):
+        super().__init__(1)
+        self.crash_before = set(crash_before)
+        self.crash_after = set(crash_after)
+        self.calls = 0
+        self.completed = 0
+
+    def run(self, thunks):
+        return [self.run_one(thunk) for thunk in thunks]
+
+    def run_one(self, thunk, timeout=None):
+        self.calls += 1
+        if self.calls in self.crash_before:
+            raise SimulatedCrash(f"injected crash before job {self.calls}")
+        result = thunk()
+        if self.calls in self.crash_after:
+            raise SimulatedCrash(f"injected crash after job {self.calls}")
+        self.completed += 1
+        return result
+
+
+class CrashingScheduler(Scheduler):
+    """A scheduler wired to a :class:`CrashingBackend`.
+
+    Use as a context manager like the real thing; after the injected
+    crash fires, abandon it (do *not* ``stop`` with drain) and build a
+    plain ``Scheduler`` on the same journal to assert recovery.
+    """
+
+    def __init__(self, *, crash_before=(), crash_after=(), **kwargs):
+        kwargs.setdefault("n_workers", 1)
+        kwargs.setdefault("poll_interval", 0.02)
+        super().__init__(**kwargs)
+        self.backend = CrashingBackend(
+            crash_before=crash_before, crash_after=crash_after
+        )
+
+
+def torn_write(journal_dir, partial: str = '{"v": 1, "type": "sub') -> None:
+    """Append a torn (newline-less, truncated) line to the newest segment
+    — the footprint of a crash mid-append."""
+    from repro.service.journal import JobJournal
+
+    segments = JobJournal(journal_dir).segments()
+    assert segments, f"no journal segments under {journal_dir}"
+    with segments[-1].open("a", encoding="utf-8") as fh:
+        fh.write(partial)

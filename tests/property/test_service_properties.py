@@ -1,0 +1,211 @@
+"""Property-based tests of the journal's replayed state machine.
+
+Hypothesis drives random interleavings of submit / start / finish /
+cancel / retry / crash-reopen / compact against a model kept in plain
+Python, then checks the three recovery invariants on every replay:
+
+* a terminal job is never resurrected (state replays exactly);
+* a queued job is never dropped;
+* retry counts are monotone (replay never forgets a charged retry).
+
+The journal under test runs with ``fsync=False`` — the properties are
+about record *folding*, not disk durability, and Hypothesis runs
+hundreds of interleavings per example budget.
+"""
+
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.service import JobJournal, JobState
+from repro.service.jobs import Job
+from tests.helpers import service_spec
+
+
+# Ops reference jobs by a small index so sequences stay meaningful after
+# shrinking: ("submit", k) creates the k-th job slot if new, later ops
+# target slot k % len(jobs).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["submit", "start", "done", "failed", "cancel", "retry",
+             "crash", "compact"]
+        ),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=40,
+)
+
+
+def _fresh_journal(directory):
+    return JobJournal(directory, fsync=False)
+
+
+def _check_invariants(journal, model):
+    """The replayed machine against the model, after any crash."""
+    summary = journal.replay()
+    for job_id, expected in model.items():
+        snapshot = summary.jobs.get(job_id)
+        assert snapshot is not None, f"{job_id} vanished from the journal"
+        if expected["state"] in JobState.TERMINAL:
+            # Never resurrect a terminal job.
+            assert snapshot["state"] == expected["state"], (
+                f"{job_id} was {expected['state']}, replayed as "
+                f"{snapshot['state']}"
+            )
+        elif expected["state"] == JobState.QUEUED:
+            # Never drop a queued job: it must replay as non-terminal
+            # (queued, or running if a started record was the last word —
+            # either way a recovering scheduler re-queues it).
+            assert snapshot["state"] not in JobState.TERMINAL, (
+                f"queued {job_id} replayed terminal ({snapshot['state']})"
+            )
+        # Retries are monotone: the journal never forgets a charge.
+        assert (snapshot.get("retries", 0) or 0) >= expected["retries"], (
+            f"{job_id} lost retries: model {expected['retries']}, "
+            f"replay {snapshot.get('retries')}"
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_OPS)
+def test_replay_never_resurrects_terminal_or_drops_queued(ops):
+    with tempfile.TemporaryDirectory() as directory:
+        journal = _fresh_journal(directory)
+        jobs: list[Job] = []
+        model: dict[str, dict] = {}
+        counter = 0
+        for verb, k in ops:
+            if verb == "submit":
+                counter += 1
+                job = Job(spec=service_spec(f"p{counter}", budget=counter))
+                jobs.append(job)
+                model[job.id] = {"state": JobState.QUEUED, "retries": 0}
+                journal.record_submitted(job)
+                continue
+            if verb == "crash":
+                # Lose all in-memory state; reopen from disk only.
+                journal.close()
+                journal = _fresh_journal(directory)
+                _check_invariants(journal, model)
+                continue
+            if verb == "compact":
+                journal.compact()
+                _check_invariants(journal, model)
+                continue
+            if not jobs:
+                continue
+            job = jobs[k % len(jobs)]
+            entry = model[job.id]
+            if verb == "start" and job.state == JobState.QUEUED:
+                job.transition(JobState.RUNNING)
+                entry["state"] = JobState.RUNNING
+                journal.record_started(job)
+            elif verb == "done" and job.state == JobState.RUNNING:
+                job.transition(JobState.DONE)
+                entry["state"] = JobState.DONE
+                journal.record_terminal(job)
+            elif verb == "failed" and job.state == JobState.RUNNING:
+                job.transition(JobState.FAILED)
+                entry["state"] = JobState.FAILED
+                journal.record_terminal(job)
+            elif verb == "cancel" and job.state == JobState.QUEUED:
+                job.transition(JobState.CANCELLED)
+                entry["state"] = JobState.CANCELLED
+                journal.record_terminal(job)
+            elif verb == "retry" and job.state == JobState.RUNNING:
+                # What recovery does to a crash-interrupted run.
+                job.retries += 1
+                job.state = JobState.QUEUED
+                job.started_at = None
+                entry["state"] = JobState.QUEUED
+                entry["retries"] = job.retries
+                journal.record_retried(job)
+        _check_invariants(journal, model)
+        journal.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=_OPS, segment_bytes=st.integers(min_value=128, max_value=2048))
+def test_invariants_hold_under_segment_rotation(ops, segment_bytes):
+    """Same machine, tiny segments: rotation boundaries must be invisible
+    to replay."""
+    with tempfile.TemporaryDirectory() as directory:
+        journal = JobJournal(
+            directory, max_segment_bytes=segment_bytes, fsync=False
+        )
+        jobs: list[Job] = []
+        model: dict[str, dict] = {}
+        counter = 0
+        for verb, k in ops:
+            if verb == "submit":
+                counter += 1
+                job = Job(spec=service_spec(f"p{counter}", budget=counter))
+                jobs.append(job)
+                model[job.id] = {"state": JobState.QUEUED, "retries": 0}
+                journal.record_submitted(job)
+            elif verb == "crash":
+                journal.close()
+                journal = JobJournal(
+                    directory,
+                    max_segment_bytes=segment_bytes,
+                    fsync=False,
+                )
+                _check_invariants(journal, model)
+            elif jobs:
+                job = jobs[k % len(jobs)]
+                entry = model[job.id]
+                if verb == "start" and job.state == JobState.QUEUED:
+                    job.transition(JobState.RUNNING)
+                    entry["state"] = JobState.RUNNING
+                    journal.record_started(job)
+                elif verb in ("done", "failed") and (
+                    job.state == JobState.RUNNING
+                ):
+                    target = (
+                        JobState.DONE if verb == "done" else JobState.FAILED
+                    )
+                    job.transition(target)
+                    entry["state"] = target
+                    journal.record_terminal(job)
+                elif verb == "cancel" and job.state == JobState.QUEUED:
+                    job.transition(JobState.CANCELLED)
+                    entry["state"] = JobState.CANCELLED
+                    journal.record_terminal(job)
+                elif verb == "retry" and job.state == JobState.RUNNING:
+                    job.retries += 1
+                    job.state = JobState.QUEUED
+                    job.started_at = None
+                    entry["state"] = JobState.QUEUED
+                    entry["retries"] = job.retries
+                    journal.record_retried(job)
+        _check_invariants(journal, model)
+        journal.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=1, max_value=6),
+    partial=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=40,
+    ),
+)
+def test_torn_tail_never_corrupts_earlier_records(n_jobs, partial):
+    """Whatever prefix a crashed append leaves behind, every *committed*
+    record still replays."""
+    with tempfile.TemporaryDirectory() as directory:
+        journal = _fresh_journal(directory)
+        jobs = []
+        for i in range(n_jobs):
+            job = Job(spec=service_spec(f"p{i}", budget=6 + i))
+            journal.record_submitted(job)
+            jobs.append(job)
+        journal.close()
+        segment = JobJournal(directory).segments()[-1]
+        with segment.open("a", encoding="utf-8") as fh:
+            fh.write(partial)  # no newline: a torn append
+        summary = JobJournal(directory).replay()
+        for job in jobs:
+            assert job.id in summary.jobs
+            assert summary.jobs[job.id]["state"] == JobState.QUEUED

@@ -63,6 +63,29 @@ class TestPlumbing:
         with pytest.raises(ServiceError, match="400"):
             service._request("POST", "/jobs")
 
+    def test_invalid_limits_are_400(self, service):
+        with pytest.raises(ServiceError, match="400"):
+            service.submit(task="T3", max_oracle_calls=0)
+        with pytest.raises(ServiceError, match="400"):
+            service.submit(task="T3", timeout=-5)
+
+    def test_healthz_reports_journal_disabled(self, service):
+        assert service.health()["journal"] is False
+
+
+class TestLimitsOverHTTP:
+    def test_quota_limited_job_fails_with_reason(self, service):
+        job = service.submit(max_oracle_calls=2, **INLINE_SPEC)
+        assert job["max_oracle_calls"] == 2
+        record = service.wait(job["id"], timeout=120.0)
+        assert record["state"] == "failed"
+        assert record["failure_reason"] == "quota"
+        assert record["oracle_calls"] == 2
+        metrics = service.metrics()
+        assert metrics["limits"]["failed_quota"] == 1
+        with pytest.raises(ServiceError, match="409"):
+            service.result(job["id"])  # no result for a limited job
+
 
 @pytest.mark.slow
 class TestEndToEnd:

@@ -10,73 +10,13 @@ import threading
 import pytest
 
 from repro.exceptions import ScenarioError, ServiceError
-from repro.scenarios import ResultCache, Scenario
+from repro.scenarios import ResultCache
 from repro.service import JobState, OracleStore, Scheduler
-
-
-def spec(name="s1", **overrides) -> Scenario:
-    defaults = dict(task="T3", algorithm="apx", epsilon=0.3, budget=6,
-                    max_level=2, scale=0.2, estimator="oracle")
-    defaults.update(overrides)
-    return Scenario(name=name, **defaults)
-
-
-# ---------------------------------------------------------------------------
-# Stub machinery: a factory whose "runs" are arbitrary callables.
-# ---------------------------------------------------------------------------
-
-
-class _StubResult:
-    """Just enough DiscoveryResult surface for ``build_payload``."""
-
-    class _Report:
-        algorithm = "stub"
-        n_valuated = 3
-        n_pruned = 0
-        elapsed_seconds = 0.01
-        terminated_by = "stub"
-
-    class _Measures:
-        names = ("acc",)
-
-    report = _Report()
-    measures = _Measures()
-    epsilon = 0.1
-    entries = []
-
-
-class _StubRunnable:
-    def __init__(self, body):
-        self._body = body
-
-    def run(self, verify=True):
-        self._body()
-        return _StubResult()
-
-
-class _StubResolved:
-    def __init__(self, spec, body):
-        self.spec = spec
-        self._body = body
-
-    def build(self, store=None):
-        return _StubRunnable(self._body)
-
-
-class StubFactory:
-    """resolve() dispatches on scenario name to a registered behavior."""
-
-    def __init__(self):
-        self.behaviors = {}
-
-    def on(self, name, body):
-        self.behaviors[name] = body
-
-    def resolve(self, spec):
-        try:
-            return _StubResolved(spec, self.behaviors[spec.name])
-        except KeyError:
-            raise ScenarioError(f"no stub behavior for {spec.name!r}")
+from tests.helpers import (
+    AnythingFactory as _AnythingFactory,
+    StubFactory,
+    service_spec as spec,
+)
 
 
 def make_scheduler(factory, **kwargs):
@@ -94,10 +34,12 @@ class TestPriorityOrdering:
         factory.on("low", lambda: order.append("low"))
         factory.on("high", lambda: order.append("high"))
         scheduler = make_scheduler(factory)
+        # Distinct budgets: identical fingerprints would in-flight-dedup
+        # low/high into followers of gate instead of queueing them.
         with scheduler:
-            blocker = scheduler.submit(spec("gate"))
-            low = scheduler.submit(spec("low"), priority=1)
-            high = scheduler.submit(spec("high"), priority=9)
+            blocker = scheduler.submit(spec("gate", budget=7))
+            low = scheduler.submit(spec("low", budget=8), priority=1)
+            high = scheduler.submit(spec("high", budget=9), priority=9)
             gate.set()
             for job in (blocker, low, high):
                 scheduler.wait(job.id, timeout=10.0)
@@ -223,11 +165,100 @@ class TestCacheDedup:
         assert ResultCache(tmp_path).get(spec("fresh")) is not None
 
 
-class _AnythingFactory:
-    """resolve() accepts any spec (dedup tests never run the job)."""
+class TestInflightDedup:
+    """Satellite regression: submit-time dedup must also see in-flight
+    jobs, not just the result cache — two concurrent identical
+    submissions may not both run."""
 
-    def resolve(self, spec):
-        return _StubResolved(spec, lambda: None)
+    def test_identical_inflight_submission_runs_once(self):
+        factory = StubFactory()
+        gate = threading.Event()
+        started = threading.Event()
+        runs = []
+
+        def primary_body():
+            runs.append("ran")
+            started.set()
+            gate.wait()
+
+        factory.on("primary", primary_body)
+        factory.on("twin", lambda: runs.append("twin-ran"))
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            primary = scheduler.submit(spec("primary"))
+            assert started.wait(10.0)
+            # Identical content hash (name is excluded from fingerprints).
+            twin = scheduler.submit(spec("twin"))
+            assert scheduler.queue.depth == 0  # twin never entered the queue
+            gate.set()
+            primary = scheduler.wait(primary.id, timeout=10.0)
+            twin = scheduler.wait(twin.id, timeout=10.0)
+        assert runs == ["ran"]  # the twin's behavior never executed
+        assert primary.state == twin.state == JobState.DONE
+        assert not primary.deduped and twin.deduped
+        assert twin.result == primary.result
+        assert twin.oracle_calls == 0
+        assert scheduler.metrics()["dedup"]["inflight_hits"] == 1
+
+    def test_follower_promoted_when_primary_fails(self):
+        factory = StubFactory()
+        gate = threading.Event()
+
+        def boom():
+            gate.wait()
+            raise ValueError("primary dies")
+
+        factory.on("primary", boom)
+        factory.on("twin", lambda: None)
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            primary = scheduler.submit(spec("primary"))
+            twin = scheduler.submit(spec("twin"))
+            gate.set()
+            primary = scheduler.wait(primary.id, timeout=10.0)
+            twin = scheduler.wait(twin.id, timeout=10.0)
+        # The work was still owed: the follower ran it itself.
+        assert primary.state == JobState.FAILED
+        assert twin.state == JobState.DONE and not twin.deduped
+
+    def test_high_priority_follower_escalates_its_primary(self):
+        """A priority-9 duplicate must not wait behind the queue just
+        because identical priority-0 work got there first."""
+        factory = StubFactory()
+        gate = threading.Event()
+        order = []
+        factory.on("gate", gate.wait)
+        factory.on("low", lambda: order.append("low"))
+        factory.on("other", lambda: order.append("other"))
+        factory.on("urgent-twin", lambda: order.append("urgent-twin"))
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            blocker = scheduler.submit(spec("gate", budget=7))
+            low = scheduler.submit(spec("low", budget=8), priority=0)
+            other = scheduler.submit(spec("other", budget=9), priority=5)
+            # Identical to "low" but urgent: must escalate the primary
+            # ahead of "other".
+            twin = scheduler.submit(spec("urgent-twin", budget=8),
+                                    priority=9)
+            gate.set()
+            for job in (blocker, low, other, twin):
+                scheduler.wait(job.id, timeout=10.0)
+        assert order == ["low", "other"]
+        assert twin.deduped and twin.result == low.result
+        assert low.priority == 9  # escalated
+
+    def test_terminal_primary_does_not_dedup(self):
+        factory = StubFactory()
+        factory.on("first", lambda: None)
+        factory.on("second", lambda: None)
+        scheduler = make_scheduler(factory)
+        with scheduler:
+            first = scheduler.submit(spec("first"))
+            scheduler.wait(first.id, timeout=10.0)
+            second = scheduler.submit(spec("second"))
+            second = scheduler.wait(second.id, timeout=10.0)
+        assert second.state == JobState.DONE
+        assert not second.deduped  # no cache, primary finished: it ran
 
 
 class TestWarmStart:

@@ -69,6 +69,59 @@ class TestGridIndex:
         assert index.num_points == 1
         assert index.query_radius((0, 0), 0.5) == [1]
 
+    def test_haversine_radius_widens_window_at_high_latitude(self):
+        # Longitude degrees shrink by cos(lat): at lat 60 a ~50 km
+        # neighbour sits 9 cell columns away — an equator-calibrated
+        # ring bound would never visit its cell.
+        index = GridIndex([(0.9, 60.0)], cell_size=0.1, metric="haversine")
+        d = haversine_distance(0.0, 60.0, 0.9, 60.0)
+        assert d < 55.6
+        assert index.query_radius((0.0, 60.0), 55.6) == [0]
+
+    def test_haversine_widening_uses_the_disc_poleward_edge(self):
+        # The in-radius point lies poleward of the query, where cos(lat)
+        # is smaller than at the query itself — a window widened only by
+        # the query's latitude stops one cell column short of it.
+        index = GridIndex([(18.05, 87.25)], cell_size=0.1,
+                          metric="haversine")
+        d = haversine_distance(0.0, 87.1, 18.05, 87.25)
+        assert d <= 100.0
+        assert index.query_radius((0.0, 87.1), 100.0) == [0]
+
+    def test_haversine_nearest_with_mixed_latitudes(self):
+        # A lone polar point must not poison the early-exit bound for
+        # equatorial queries: the per-ring latitude band stays tight at
+        # the equator regardless of what else the index holds.
+        points = [(0.5, 0.0), (30.0, 0.0), (10.0, 89.5)]
+        index = GridIndex(points, cell_size=1.0, metric="haversine")
+        nearest = index.nearest((0.0, 0.0), k=1)
+        assert [i for i, _ in nearest] == [0]
+
+    def test_haversine_nearest_is_correct_near_the_pole(self):
+        # B is nearer in km but sits ~150 longitude cells away; an
+        # early-exit bound calibrated at the query latitude would stop
+        # after a few rings and wrongly return A.
+        index = GridIndex(
+            [(0.0, 87.5), (150.0, 89.8)], cell_size=1.0,
+            metric="haversine",
+        )
+        d_a = haversine_distance(0.0, 89.0, 0.0, 87.5)
+        d_b = haversine_distance(0.0, 89.0, 150.0, 89.8)
+        assert d_b < d_a
+        nearest = index.nearest((0.0, 89.0), k=1)
+        assert [i for i, _ in nearest] == [1]
+
+    def test_haversine_radius_near_the_pole_scans_everything(self):
+        # Near the pole longitude degrees degenerate entirely: 150
+        # degrees of longitude is only ~43 km at lat 89.8, so no cell
+        # window bound is safe and the index must fall back to scanning
+        # occupied cells.
+        index = GridIndex([(150.0, 89.8)], cell_size=1.0,
+                          metric="haversine")
+        d = haversine_distance(0.0, 89.8, 150.0, 89.8)
+        assert d < 44.0
+        assert index.query_radius((0.0, 89.8), 44.0) == [0]
+
     def test_nearest_returns_closest_first(self):
         index = GridIndex([(5, 0), (1, 0), (3, 0)], cell_size=1.0)
         hits = index.nearest((0, 0), k=2)
