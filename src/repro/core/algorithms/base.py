@@ -225,6 +225,8 @@ class SkylineAlgorithm(abc.ABC):
         oracle = self.config.oracle
         if oracle is None:
             return
+        from ..estimator import oracle_artifact
+
         store = self.config.estimator.store
         calls = 0
         for state in self._verification_targets():
@@ -232,7 +234,7 @@ class SkylineAlgorithm(abc.ABC):
             if record is not None and record.source == "oracle":
                 state.perf = record.perf
                 continue
-            raw = oracle(self.config.space.materialize(state.bits))
+            raw = oracle(oracle_artifact(self.config.space, oracle, state.bits))
             perf = self.config.measures.normalize_raw(raw)
             state.perf = perf
             calls += 1

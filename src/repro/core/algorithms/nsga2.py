@@ -23,18 +23,24 @@ from .base import SkylineAlgorithm
 
 
 def non_dominated_sort(perfs: np.ndarray) -> list[list[int]]:
-    """Deb's fast non-dominated sort: list of fronts (index lists)."""
+    """Deb's fast non-dominated sort: list of fronts (index lists).
+
+    The ``O(n²·d)`` pairwise dominance comparisons are one broadcasted
+    numpy expression (strict dominance, no tie tolerance — NSGA-II's
+    definition); the front peeling then walks the precomputed matrix in
+    the same order as the original per-pair loop, so front membership
+    *and ordering* — which feed tournament selection and therefore the
+    whole evolution — are bit-identical to the scalar implementation.
+    """
     n = perfs.shape[0]
-    dominates_sets: list[list[int]] = [[] for _ in range(n)]
-    dominated_count = np.zeros(n, dtype=int)
-    for i in range(n):
-        for j in range(n):
-            if i == j:
-                continue
-            if np.all(perfs[i] <= perfs[j]) and np.any(perfs[i] < perfs[j]):
-                dominates_sets[i].append(j)
-            elif np.all(perfs[j] <= perfs[i]) and np.any(perfs[j] < perfs[i]):
-                dominated_count[i] += 1
+    if n == 0:
+        return []
+    # dom[i, j] ⇔ individual i dominates individual j.
+    le = np.all(perfs[:, None, :] <= perfs[None, :, :], axis=-1)
+    lt = np.any(perfs[:, None, :] < perfs[None, :, :], axis=-1)
+    dom = le & lt
+    dominates_sets = [np.flatnonzero(dom[i]) for i in range(n)]
+    dominated_count = dom.sum(axis=0).astype(int)
     fronts: list[list[int]] = [[i for i in range(n) if dominated_count[i] == 0]]
     while fronts[-1]:
         next_front: list[int] = []
@@ -42,7 +48,7 @@ def non_dominated_sort(perfs: np.ndarray) -> list[list[int]]:
             for j in dominates_sets[i]:
                 dominated_count[j] -= 1
                 if dominated_count[j] == 0:
-                    next_front.append(j)
+                    next_front.append(int(j))
         fronts.append(next_front)
     return fronts[:-1]
 

@@ -14,6 +14,17 @@ Three players live here:
 * estimators — :class:`OracleEstimator` (always call the oracle; exact) and
   :class:`MOGBEstimator` (bootstrap a few oracle calls, then answer from a
   multi-output GB surrogate over state features; the paper's default ``E``).
+
+Valuation fast path: every oracle invocation goes through
+:func:`oracle_artifact`, which hands the oracle a columnar
+:class:`~repro.relational.columns.MatrixView` (numpy slice of the
+once-encoded universal table) when both sides support it — the oracle
+advertises ``accepts_matrix`` (set by
+:func:`repro.datalake.tasks.make_tabular_oracle`) and the space provides
+``materialize_matrix`` (tabular spaces). Anything else — graph spaces,
+UDF-wrapped spaces, custom oracles — falls back to the legacy
+:meth:`~repro.core.transducer.SearchSpace.materialize` Table path, so the
+fast path is an optimization, never a requirement.
 """
 
 from __future__ import annotations
@@ -30,8 +41,23 @@ from ..rng import make_rng
 from .measures import EPSILON_FLOOR, MeasureSet
 from .transducer import SearchSpace
 
-#: artifact (Table | BipartiteGraph) -> raw measure values by name.
+#: artifact (Table | BipartiteGraph | MatrixView) -> raw values by name.
 PerformanceOracle = Callable[[Any], dict[str, float]]
+
+
+def oracle_artifact(space: SearchSpace, oracle: PerformanceOracle, bits: int):
+    """Materialize ``bits`` in the richest form ``oracle`` accepts.
+
+    The columnar fast path needs opt-in from both ends: the oracle must
+    declare ``accepts_matrix`` and the space must offer
+    ``materialize_matrix``. Everything else gets the compatibility
+    :class:`~repro.relational.Table` / graph artifact.
+    """
+    if getattr(oracle, "accepts_matrix", False):
+        fast = getattr(space, "materialize_matrix", None)
+        if fast is not None:
+            return fast(bits)
+    return space.materialize(bits)
 
 
 @dataclass(slots=True)
@@ -239,7 +265,7 @@ class OracleEstimator(Estimator):
         self.oracle = oracle
 
     def _valuate_new(self, bits: int, space: SearchSpace) -> np.ndarray:
-        raw = self.oracle(space.materialize(bits))
+        raw = self.oracle(oracle_artifact(space, self.oracle, bits))
         perf = self.measures.normalize_raw(raw)
         self.oracle_calls += 1
         self.store.add(TestRecord(bits, space.feature_vector(bits), perf))
@@ -321,7 +347,7 @@ class MOGBEstimator(Estimator):
         existing = self.store.get(bits)
         if existing is not None and existing.source == "oracle":
             return existing.perf
-        raw = self.oracle(space.materialize(bits))
+        raw = self.oracle(oracle_artifact(space, self.oracle, bits))
         perf = self.measures.normalize_raw(raw)
         self.oracle_calls += 1
         self.store.add(TestRecord(bits, space.feature_vector(bits), perf))
@@ -386,9 +412,7 @@ class MOGBEstimator(Estimator):
             self._refit()
             room = self.refit_every - (len(self.store) - self._records_at_fit)
             chunk = fresh[index:index + max(1, room)]
-            features = np.stack(
-                [space.feature_vector(bits) for bits in chunk]
-            )
+            features = space.feature_matrix(chunk)
             predictions = np.clip(
                 self._surrogate.predict(features), EPSILON_FLOOR, 1.0
             )
@@ -414,7 +438,7 @@ class MOGBEstimator(Estimator):
             predicted = np.clip(
                 self._surrogate.predict(features[None, :])[0], EPSILON_FLOOR, 1.0
             )
-            raw = self.oracle(space.materialize(bits))
+            raw = self.oracle(oracle_artifact(space, self.oracle, bits))
             truth = self.measures.normalize_raw(raw)
             errors.append(np.mean((predicted - truth) ** 2))
         return float(np.mean(errors))

@@ -15,6 +15,25 @@ of ``T`` unfolds a DAG — the running graph ``G_T``. This module provides:
 * :class:`Transducer` — OpGen: spawn children by flipping one bit (1→0 is a
   Reduct for the forward search; 0→1 an Augment for the backward search).
 * :class:`RunningGraph` — the recorded DAG of valuated states.
+
+Materialization fast path
+-------------------------
+
+``TabularSearchSpace`` keeps two materializers. :meth:`~TabularSearchSpace.
+materialize` is the compatibility path: a real :class:`Table` built by
+row selection, needed wherever downstream code expects relational form
+(SQL compilation, UDF pipelines, reports, T5 graphs use their own path).
+:meth:`~TabularSearchSpace.materialize_matrix` is the valuation fast path:
+the universal table is encoded into a numpy
+:class:`~repro.relational.columns.ColumnStore` once, and every state is
+served as a :class:`~repro.relational.columns.MatrixView` — ``(X, y)`` by
+boolean-mask slicing, no intermediate Table, no per-call encoder fit. Row
+survival itself is vectorized: per-cluster membership rows are stacked into
+one 2-D bool matrix and reduced with ``np.add.reduceat`` /
+``logical_and.reduce`` instead of the old bit-by-bit Python walk, and one
+mask per bitmap is shared between ``materialize``, ``materialize_matrix``,
+``output_size`` and ``feature_vector`` through a small LRU. Both
+materializers memoize into byte-budgeted LRU caches (see ``cache_stats``).
 """
 
 from __future__ import annotations
@@ -30,6 +49,7 @@ import numpy as np
 from ..exceptions import SearchError
 from ..graph.bipartite import BipartiteGraph
 from ..graph.operators import EdgeCluster, augment_edges, cluster_edges
+from ..relational.columns import ColumnStore, MatrixView
 from ..relational.domain import DomainCluster, cluster_all_domains
 from ..relational.table import Table
 from .state import State, bits_to_array, flip_bit, iter_clear_bits, iter_set_bits
@@ -83,6 +103,20 @@ class SearchSpace(abc.ABC):
     def feature_vector(self, bits: int) -> np.ndarray:
         """Estimator features for the state (bitmap + dataset statistics)."""
 
+    def feature_matrix(self, bits_list: Sequence[int]) -> np.ndarray:
+        """Feature vectors for many states, stacked (row i ↔ bits_list[i]).
+
+        The batch API of the valuation hot loop: surrogate estimators hand
+        a whole refit window here instead of stacking per-state calls.
+        Subclasses with per-state caches (``TabularSearchSpace``) answer
+        repeated bitmaps from the shared mask LRU, so a batch costs one
+        mask computation per *distinct* state.
+        """
+        vectors = [self.feature_vector(bits) for bits in bits_list]
+        if not vectors:
+            return np.zeros((0, 0))
+        return np.stack(vectors)
+
     def valid_flip(self, bits: int, index: int) -> bool:
         """May this entry be flipped from the given bitmap? Default: yes."""
         return True
@@ -97,36 +131,86 @@ class SearchSpace(abc.ABC):
         return "{" + ", ".join(active) + "}"
 
 
-class _LRUCache:
-    """Tiny bounded cache keyed by bitmap (materialization is pure).
+def _estimate_nbytes(value: Any) -> int:
+    """Approximate in-memory size of a cached materialization artifact."""
+    nbytes = getattr(value, "nbytes", None)  # MatrixView / np.ndarray
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, Table):
+        # Python-list cells: ~8 bytes of pointer + a shared-ish boxed value;
+        # 32/cell is a deliberate overestimate so Tables evict first.
+        return value.num_rows * max(value.num_columns, 1) * 32 + 256
+    edges = getattr(value, "num_edges", None)  # BipartiteGraph
+    if edges is not None:
+        return int(edges) * 24 + 256
+    return 1024
+
+
+class _ByteBudgetLRU:
+    """Byte-budgeted LRU cache keyed by bitmap (materialization is pure).
+
+    Replaces the old count-bounded cache (512 whole Tables regardless of
+    size): entries are charged their estimated footprint and evicted
+    least-recently-used until both the byte budget and the entry cap hold.
+    A value larger than the whole budget is never admitted (caching it
+    would just wipe the cache for one state).
 
     Thread-safe: scenario suites run concurrent searches over one shared
     search space (see :class:`repro.scenarios.TaskCache`), so lookups and
     evictions from different threads must not interleave mid-update.
     """
 
-    def __init__(self, maxsize: int = 512):
-        self.maxsize = maxsize
-        self._store: OrderedDict[int, Any] = OrderedDict()
+    def __init__(self, max_bytes: int = 64 << 20, max_entries: int = 4096):
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self._store: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
         self._lock = threading.Lock()
+        self.bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
 
-    def get(self, key: int):
+    def get(self, key: Any):
         with self._lock:
-            if key in self._store:
+            entry = self._store.get(key)
+            if entry is not None:
                 self._store.move_to_end(key)
                 self.hits += 1
-                return self._store[key]
+                return entry[0]
             self.misses += 1
             return None
 
-    def put(self, key: int, value: Any) -> None:
+    def put(self, key: Any, value: Any) -> None:
+        size = _estimate_nbytes(value)
         with self._lock:
-            self._store[key] = value
-            self._store.move_to_end(key)
-            if len(self._store) > self.maxsize:
-                self._store.popitem(last=False)
+            if size > self.max_bytes:
+                self.rejected += 1
+                return
+            old = self._store.pop(key, None)
+            if old is not None:
+                self.bytes -= old[1]
+            self._store[key] = (value, size)
+            self.bytes += size
+            while self._store and (
+                self.bytes > self.max_bytes
+                or len(self._store) > self.max_entries
+            ):
+                _, (_, evicted_size) = self._store.popitem(last=False)
+                self.bytes -= evicted_size
+                self.evictions += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "bytes": self.bytes,
+                "entries": len(self._store),
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "max_bytes": self.max_bytes,
+            }
 
 
 class TabularSearchSpace(SearchSpace):
@@ -150,7 +234,8 @@ class TabularSearchSpace(SearchSpace):
         target: str,
         max_clusters: int = 6,
         seed: int = 0,
-        cache_size: int = 512,
+        cache_size: int = 4096,
+        cache_bytes: int = 64 << 20,
     ):
         if target not in universal.schema:
             raise SearchError(f"target {target!r} not in universal schema")
@@ -185,7 +270,12 @@ class TabularSearchSpace(SearchSpace):
         if not entries:
             raise SearchError("universal table has no non-target attributes")
         self.entries = tuple(entries)
-        self._cache = _LRUCache(cache_size)
+        self._cache = _ByteBudgetLRU(cache_bytes, cache_size)
+        self._matrix_cache = _ByteBudgetLRU(cache_bytes, cache_size)
+        # Row-survival masks are tiny (n bools) but recomputed constantly
+        # (materialize, output_size, feature_vector, the cheap-cost proxy
+        # all need one); share a single computation per bitmap here.
+        self._mask_cache = _ByteBudgetLRU(8 << 20, 65536)
         # Precompute row membership per cluster entry for fast materialization.
         self._row_members: dict[int, np.ndarray] = {}
         n = universal.num_rows
@@ -205,6 +295,41 @@ class TabularSearchSpace(SearchSpace):
             )
             for name in self._attr_entry
         }
+        # Stack the per-cluster membership rows into one 2-D bool matrix so
+        # row_mask reduces with numpy ops instead of a per-entry Python
+        # walk. Cluster entries of one attribute are contiguous in entry
+        # order (the layout interleaves each attribute bit with its own
+        # clusters), so attribute groups are reduceat segments.
+        grouped = [
+            (name, entry_ids)
+            for name, entry_ids in self._cluster_entries.items()
+            if entry_ids
+        ]
+        self._group_attr_ids = np.array(
+            [self._attr_entry[name] for name, _ in grouped], dtype=np.int64
+        )
+        self._cluster_entry_ids = np.array(
+            [e for _, entry_ids in grouped for e in entry_ids], dtype=np.int64
+        )
+        starts, offset = [], 0
+        for _, entry_ids in grouped:
+            starts.append(offset)
+            offset += len(entry_ids)
+        self._group_starts = np.array(starts, dtype=np.int64)
+        if grouped:
+            self._members_matrix = np.stack(
+                [self._row_members[e] for e in self._cluster_entry_ids]
+            )
+            self._group_null_matrix = np.stack(
+                [self._null_mask[name] for name, _ in grouped]
+            )
+        else:
+            self._members_matrix = np.zeros((0, n), dtype=bool)
+            self._group_null_matrix = np.zeros((0, n), dtype=bool)
+        # Columnar fast path: built lazily on first materialize_matrix call
+        # (pure-Table workloads never pay the one-time encode).
+        self._column_store: ColumnStore | None = None
+        self._column_store_lock = threading.Lock()
 
     # -- SearchSpace API ----------------------------------------------------------
     def backward_bits(self) -> int:
@@ -226,19 +351,42 @@ class TabularSearchSpace(SearchSpace):
         return bits
 
     def row_mask(self, bits: int) -> np.ndarray:
-        """Boolean survival mask over universal-table rows for a bitmap."""
-        keep = np.ones(self.universal.num_rows, dtype=bool)
-        for name, attr_idx in self._attr_entry.items():
-            if not (bits >> attr_idx) & 1:
-                continue  # inactive attribute constrains nothing
-            entry_ids = self._cluster_entries[name]
-            if not entry_ids:
-                continue
-            allowed = self._null_mask[name].copy()
-            for entry_id in entry_ids:
-                if (bits >> entry_id) & 1:
-                    allowed |= self._row_members[entry_id]
-            keep &= allowed
+        """Boolean survival mask over universal-table rows for a bitmap.
+
+        Vectorized: active-cluster membership rows are selected from the
+        precomputed stacked matrix, OR-reduced per attribute group with
+        ``np.add.reduceat``, widened by the attribute's null mask (a null
+        never violates a domain constraint), and AND-reduced over the
+        active attributes. One mask per bitmap is memoized and shared by
+        ``materialize`` / ``materialize_matrix`` / ``output_size`` /
+        ``feature_vector``; callers must not mutate the returned array.
+        """
+        cached = self._mask_cache.get(bits)
+        if cached is not None:
+            return cached
+        n = self.universal.num_rows
+        if self._group_starts.size == 0:
+            keep = np.ones(n, dtype=bool)
+        else:
+            active_cluster = (
+                np.array(
+                    [(bits >> int(e)) & 1 for e in self._cluster_entry_ids],
+                    dtype=bool,
+                )
+            )
+            active_attr = np.array(
+                [(bits >> int(a)) & 1 for a in self._group_attr_ids],
+                dtype=bool,
+            )
+            if not active_attr.any():
+                keep = np.ones(n, dtype=bool)
+            else:
+                masked = self._members_matrix & active_cluster[:, None]
+                covered = np.add.reduceat(masked, self._group_starts, axis=0)
+                allowed = covered | self._group_null_matrix
+                keep = np.logical_and.reduce(allowed[active_attr], axis=0)
+        keep.flags.writeable = False
+        self._mask_cache.put(bits, keep)
         return keep
 
     def active_attributes(self, bits: int) -> list[str]:
@@ -248,16 +396,49 @@ class TabularSearchSpace(SearchSpace):
         ]
 
     def materialize(self, bits: int) -> Table:
+        """The compatibility path: a concrete :class:`Table` for a bitmap."""
         cached = self._cache.get(bits)
         if cached is not None:
             return cached
         keep = self.row_mask(bits)
         columns = self.active_attributes(bits) + [self.target]
+        # .tolist() hands Table.take native ints directly — the old
+        # per-element ``int(i)`` comprehension round-tripped every index
+        # through a numpy scalar.
         table = self.universal.project(columns).take(
-            [int(i) for i in np.flatnonzero(keep)]
+            np.flatnonzero(keep).tolist()
         )
         self._cache.put(bits, table)
         return table
+
+    @property
+    def column_store(self) -> ColumnStore:
+        """The lazily built one-time numpy encoding of the universal table."""
+        if self._column_store is None:
+            with self._column_store_lock:
+                if self._column_store is None:
+                    self._column_store = ColumnStore(
+                        self.universal, target=self.target
+                    )
+        return self._column_store
+
+    def materialize_matrix(self, bits: int) -> MatrixView:
+        """The valuation fast path: the state's ``(X, y)`` as a
+        :class:`~repro.relational.columns.MatrixView`.
+
+        Bit-identical to ``TableEncoder(target).fit_transform(
+        materialize(bits))`` (the legacy oracle prologue) but served by
+        boolean-mask slicing of the precomputed columnar encoding — no
+        intermediate Table, no per-call encoder fit.
+        """
+        cached = self._matrix_cache.get(bits)
+        if cached is not None:
+            return cached
+        view = self.column_store.encode_subset(
+            self.row_mask(bits), self.active_attributes(bits)
+        )
+        self._matrix_cache.put(bits, view)
+        return view
 
     def output_size(self, bits: int) -> tuple[int, int]:
         keep = int(self.row_mask(bits).sum())
@@ -273,6 +454,31 @@ class TabularSearchSpace(SearchSpace):
             ]
         )
         return np.concatenate([bits_to_array(bits, self.width), stats])
+
+    def feature_matrix(self, bits_list: Sequence[int]) -> np.ndarray:
+        """Batched feature vectors (bit-identical rows to feature_vector).
+
+        The bitmap block is assembled as one array and the size statistics
+        come from the shared mask cache, so a surrogate refit window costs
+        one vectorized mask per distinct state instead of repeated
+        per-state bookkeeping.
+        """
+        bits_list = list(bits_list)
+        if not bits_list:
+            return np.zeros((0, self.width + 2))
+        bitmap = np.array(
+            [[(bits >> i) & 1 for i in range(self.width)] for bits in bits_list],
+            dtype=float,
+        )
+        n_rows = max(1, self.universal.num_rows)
+        n_cols = max(1, self.universal.num_columns)
+        stats = np.array(
+            [
+                [rows / n_rows, cols / n_cols]
+                for rows, cols in (self.output_size(b) for b in bits_list)
+            ]
+        )
+        return np.concatenate([bitmap, stats], axis=1)
 
     def valid_flip(self, bits: int, index: int) -> bool:
         """Disallow flips that strand the search in degenerate states.
@@ -300,8 +506,25 @@ class TabularSearchSpace(SearchSpace):
         return True
 
     @property
-    def cache_stats(self) -> dict[str, int]:
-        return {"hits": self._cache.hits, "misses": self._cache.misses}
+    def cache_stats(self) -> dict[str, Any]:
+        """Hit/miss/byte accounting for every materialization cache.
+
+        Top-level ``hits``/``misses``/``bytes``/``entries``/``evictions``
+        aggregate the Table, matrix and mask caches; per-cache breakdowns
+        ride along under their own keys (also surfaced by the service's
+        ``GET /metrics`` as the ``materialization`` section).
+        """
+        tables = self._cache.stats()
+        matrices = self._matrix_cache.stats()
+        masks = self._mask_cache.stats()
+        combined: dict[str, Any] = {
+            key: tables[key] + matrices[key] + masks[key]
+            for key in ("hits", "misses", "bytes", "entries", "evictions")
+        }
+        combined["tables"] = tables
+        combined["matrices"] = matrices
+        combined["masks"] = masks
+        return combined
 
 
 class GraphSearchSpace(SearchSpace):
@@ -318,6 +541,7 @@ class GraphSearchSpace(SearchSpace):
         n_clusters: int = 12,
         seed: int = 0,
         cache_size: int = 256,
+        cache_bytes: int = 32 << 20,
     ):
         if pool.num_edges == 0:
             raise SearchError("pool graph has no edges")
@@ -330,7 +554,12 @@ class GraphSearchSpace(SearchSpace):
             Entry(label=f"ec:{c.label}", kind=ENTRY_EDGE_CLUSTER, payload=c)
             for c in clusters
         )
-        self._cache = _LRUCache(cache_size)
+        self._cache = _ByteBudgetLRU(cache_bytes, cache_size)
+
+    @property
+    def cache_stats(self) -> dict[str, Any]:
+        """Hit/miss/byte accounting for the subgraph materialization cache."""
+        return self._cache.stats()
 
     def backward_bits(self) -> int:
         """The densest single edge cluster — a minimal connected seed."""

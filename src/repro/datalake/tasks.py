@@ -42,6 +42,7 @@ from ..graph.evaluation import train_and_evaluate
 from ..ml import metrics as M
 from ..ml.preprocessing import TableEncoder, train_test_split
 from ..ml.registry import make_model
+from ..relational.columns import MatrixView
 from ..relational.join import universal_join
 from ..relational.table import Table
 from ..rng import derive_seed, make_rng
@@ -200,20 +201,37 @@ def make_tabular_oracle(
     split_seed: int,
     model_seed: int,
     test_fraction: float = 0.3,
-) -> Callable[[Table], dict[str, float]]:
+) -> Callable[[Table | MatrixView], dict[str, float]]:
     """Build the ground-truth oracle: train the task's model on the table
     and measure everything the task's P mentions (plus Fisher/MI when
     requested). Degenerate tables (too few rows/features/classes) score
-    worst-case on every measure so bound checks discard them."""
+    worst-case on every measure so bound checks discard them.
 
-    def oracle(table: Table) -> dict[str, float]:
-        if table.num_rows < _MIN_ROWS or table.num_columns < 2:
-            return _degenerate_raw(measures)
-        encoder = TableEncoder(target=target)
-        try:
-            X, y = encoder.fit_transform(table)
-        except Exception:
-            return _degenerate_raw(measures)
+    Accepts either a :class:`Table` (legacy path: fit a fresh
+    ``TableEncoder`` per call) or a columnar
+    :class:`~repro.relational.columns.MatrixView` (fast path: ``(X, y)``
+    pre-encoded by the search space's :class:`ColumnStore`, bit-identical
+    to what the per-call fit would produce). The function advertises the
+    fast path via ``oracle.accepts_matrix`` so
+    :func:`repro.core.estimator.oracle_artifact` can route to it.
+    """
+
+    def oracle(artifact: Table | MatrixView) -> dict[str, float]:
+        if isinstance(artifact, MatrixView):
+            # num_rows/num_columns are the materialized-table shape, so
+            # the degeneracy gates below match the legacy path exactly.
+            if artifact.num_rows < _MIN_ROWS or artifact.num_columns < 2:
+                return _degenerate_raw(measures)
+            X, y = artifact.X, artifact.y
+        else:
+            table = artifact
+            if table.num_rows < _MIN_ROWS or table.num_columns < 2:
+                return _degenerate_raw(measures)
+            encoder = TableEncoder(target=target)
+            try:
+                X, y = encoder.fit_transform(table)
+            except Exception:
+                return _degenerate_raw(measures)
         if X.shape[0] < _MIN_ROWS or X.shape[1] == 0:
             return _degenerate_raw(measures)
         if task_kind == "classification" and len(np.unique(y)) < 2:
@@ -271,6 +289,7 @@ def make_tabular_oracle(
                 raw["mi"] = M.mutual_information(X_train, y_train)
         return raw
 
+    oracle.accepts_matrix = True
     return oracle
 
 

@@ -239,11 +239,13 @@ class DistributedMODis:
     # -- helpers -------------------------------------------------------------------
     def _verify(self, states: list[State]) -> list[State]:
         """Re-score the merged skyline with the true oracle and re-thin."""
+        from ..core.estimator import oracle_artifact
+
         oracle = self.coordinator_config.oracle
         measures = self.coordinator_config.measures
         space = self.coordinator_config.space
         for state in states:
-            raw = oracle(space.materialize(state.bits))
+            raw = oracle(oracle_artifact(space, oracle, state.bits))
             state.perf = measures.normalize_raw(raw)
         if not states:
             return states

@@ -59,17 +59,20 @@ from .spatial import (
     spatial_augment,
     spatial_join,
 )
+from .columns import ColumnStore, MatrixView
 from .table import Row, Table
 
 __all__ = [
     "Attribute",
     "CATEGORICAL",
+    "ColumnStore",
     "Conjunction",
     "DomainCluster",
     "EUCLIDEAN",
     "GridIndex",
     "HAVERSINE",
     "Literal",
+    "MatrixView",
     "NUMERIC",
     "Predicate",
     "Row",

@@ -1,0 +1,251 @@
+"""Columnar materialization: encode the universal table once, slice forever.
+
+The valuation hot loop used to pay for the same work on every oracle call:
+``materialize(bits)`` rebuilt a Python-list :class:`~repro.relational.Table`
+row by row, then the oracle re-fit a fresh
+:class:`~repro.ml.preprocessing.TableEncoder` over those lists. Both passes
+are linear in the data but carry per-cell Python interpreter overhead, which
+dwarfs the actual model training on the small tables the search visits.
+
+:class:`ColumnStore` removes that overhead structurally. At build time each
+attribute of the universal table is converted exactly once into numpy form:
+
+* numeric attributes → a float64 column with ``NaN`` for nulls;
+* categorical attributes → an int64 code column over the *universal*
+  vocabulary (distinct non-null values sorted by ``repr``, matching
+  ``TableEncoder``'s category ordering), with ``-1`` for nulls.
+
+:meth:`ColumnStore.encode_subset` then serves any state as a
+:class:`MatrixView` — the ``(X, y)`` pair plus the materialized shape — by
+boolean-mask slicing of those precomputed columns. The encoding semantics
+are *bit-identical* to fitting a fresh ``TableEncoder`` on the materialized
+sub-table (the legacy oracle path):
+
+* numeric mean/std (population, ddof=0) are computed over the subset's
+  non-null values in row order, so pairwise float summation matches
+  ``np.mean``/``np.std`` over the equivalent Python lists;
+* categorical codes are re-ranked to the subset's vocabulary (the rank of
+  each universal code among the codes present in the subset), which equals
+  ``sorted(set(values), key=repr)`` because the universal vocabulary is
+  itself repr-sorted; mode imputation breaks count ties toward the larger
+  code, i.e. the greater ``repr`` — the exact tiebreak of
+  ``max(set(values), key=lambda v: (values.count(v), repr(v)))``;
+* rows with a null target are dropped from ``(X, y)`` but still count in
+  ``MatrixView.shape`` and still contribute to the fit statistics, exactly
+  as ``TableEncoder.fit`` sees the whole materialized table while
+  ``transform`` drops null-target rows.
+
+The parity suite (``tests/unit/test_columns.py``) asserts this equality
+value-for-value across random bitmaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["ColumnStore", "MatrixView"]
+
+
+@dataclass(frozen=True, slots=True)
+class MatrixView:
+    """One state's dataset in encoded matrix form — no intermediate Table.
+
+    ``shape`` is the *materialized table's* shape (surviving rows including
+    null-target rows, active attributes + target), which is what the
+    oracle's degeneracy checks and the paper-style output sizes use; ``X``
+    and ``y`` carry only the encodable rows.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    #: (rows, columns) of the table this view stands in for.
+    shape: tuple[int, int]
+    #: active (non-target) attribute names, in schema order == X columns.
+    columns: tuple[str, ...]
+    target: str = ""
+    #: subset target vocabulary for categorical targets (code i → label).
+    target_classes: tuple | None = None
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint (cache accounting)."""
+        return int(self.X.nbytes + self.y.nbytes)
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_columns(self) -> int:
+        return self.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixView({self.shape[0]} rows x {self.shape[1]} cols, "
+            f"X{self.X.shape})"
+        )
+
+
+@dataclass(slots=True)
+class _NumericColumn:
+    name: str
+    raw: np.ndarray  # float64, NaN = null
+    null: np.ndarray  # bool
+
+
+@dataclass(slots=True)
+class _CategoricalColumn:
+    name: str
+    codes: np.ndarray  # int64 universal-vocabulary codes, -1 = null
+    null: np.ndarray  # bool
+    vocabulary: tuple = ()  # universal code → raw value (repr-sorted)
+
+
+class ColumnStore:
+    """Per-attribute encoded numpy columns + null masks for one table.
+
+    Fit once over the universal table at search-space build time; serves
+    every bitmap's ``(X, y)`` by masked slicing with per-subset statistics
+    recomputed vectorized (see the module docstring for why the results are
+    bit-identical to the legacy per-call ``TableEncoder`` fit).
+    """
+
+    def __init__(self, table: Table, target: str, standardize: bool = True):
+        if target not in table.schema:
+            raise KeyError(f"target {target!r} not in schema")
+        self.target = target
+        self.standardize = standardize
+        self.n_rows = table.num_rows
+        self._columns: dict[str, _NumericColumn | _CategoricalColumn] = {}
+        for attr in table.schema:
+            column = self._encode_universal(table, attr.name, attr.is_numeric)
+            self._columns[attr.name] = column
+        self._target_numeric = table.schema[target].is_numeric
+
+    @staticmethod
+    def _encode_universal(table: Table, name: str, numeric: bool):
+        values = table._column_ref(name)
+        null = np.fromiter(
+            (v is None for v in values), dtype=bool, count=len(values)
+        )
+        if numeric:
+            raw = np.array(
+                [float(v) if v is not None else np.nan for v in values],
+                dtype=np.float64,
+            )
+            return _NumericColumn(name=name, raw=raw, null=null)
+        vocabulary = tuple(
+            sorted({v for v in values if v is not None}, key=repr)
+        )
+        code_of = {v: i for i, v in enumerate(vocabulary)}
+        codes = np.array(
+            [code_of[v] if v is not None else -1 for v in values],
+            dtype=np.int64,
+        )
+        return _CategoricalColumn(
+            name=name, codes=codes, null=null, vocabulary=vocabulary
+        )
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for col in self._columns.values():
+            data = col.raw if isinstance(col, _NumericColumn) else col.codes
+            total += int(data.nbytes + col.null.nbytes)
+        return total
+
+    # -- subset encoding -------------------------------------------------------
+    def _encode_numeric(
+        self, col: _NumericColumn, fit_mask: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Mirror of the numeric ``_ColumnCodec``: subset mean imputation,
+        optional standardization with the subset's population std."""
+        vals = col.raw[fit_mask & ~col.null]
+        if vals.size:
+            mean = float(vals.mean())
+            std = float(vals.std())
+        else:
+            mean, std = 0.0, 1.0
+        scale = std if (self.standardize and std > 1e-12) else 1.0
+        center = mean if self.standardize else 0.0
+        out = col.raw[rows]
+        out = np.where(col.null[rows], mean, out)
+        return (out - center) / scale
+
+    def _encode_categorical(
+        self, col: _CategoricalColumn, fit_mask: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Mirror of the categorical ``_ColumnCodec``: subset-ranked codes,
+        mode imputation with count ties broken toward the greater repr."""
+        fit_codes = col.codes[fit_mask & ~col.null]
+        present = np.unique(fit_codes)  # ascending == repr order
+        if present.size:
+            counts = np.bincount(fit_codes, minlength=int(present[-1]) + 1)
+            # max by (count, code): the largest code among max-count codes,
+            # i.e. the greater repr — TableEncoder's mode tiebreak.
+            best = counts[present].max()
+            mode_code = int(present[counts[present] == best][-1])
+            fill = float(np.searchsorted(present, mode_code))
+        else:
+            fill = -1.0
+        sub = col.codes[rows]
+        null = col.null[rows]
+        ranked = np.searchsorted(present, sub).astype(np.float64)
+        return np.where(null, fill, ranked)
+
+    def encode_subset(
+        self, row_mask: np.ndarray, attributes: Sequence[str]
+    ) -> MatrixView:
+        """The ``(X, y)`` a fresh ``TableEncoder.fit_transform`` would
+        produce for the sub-table (``row_mask`` rows × ``attributes`` +
+        target), without building it.
+
+        A subset with no non-null target rows yields an empty ``X``/``y``
+        (the legacy path raised mid-encode; the oracle maps both to the
+        degenerate worst-case score).
+        """
+        row_mask = np.asarray(row_mask, dtype=bool)
+        n_materialized = int(row_mask.sum())
+        shape = (n_materialized, len(attributes) + 1)
+        target_col = self._columns[self.target]
+        keep = row_mask & ~target_col.null
+        if self._target_numeric:
+            rows = np.flatnonzero(keep)
+            y = target_col.raw[rows]
+            target_classes = None
+        else:
+            # Subset-ranked target codes; the materialized table's fit sees
+            # exactly the non-null target values, so present == vocabulary.
+            rows = np.flatnonzero(keep)
+            fit_codes = target_col.codes[rows]
+            present = np.unique(fit_codes)
+            y = np.searchsorted(present, fit_codes).astype(np.float64)
+            target_classes = tuple(
+                target_col.vocabulary[int(c)] for c in present
+            )
+        columns = [
+            self._encode_column(name, row_mask, rows) for name in attributes
+        ]
+        n = rows.size
+        X = np.column_stack(columns) if columns else np.zeros((n, 0))
+        return MatrixView(
+            X=X,
+            y=y,
+            shape=shape,
+            columns=tuple(attributes),
+            target=self.target,
+            target_classes=target_classes,
+        )
+
+    def _encode_column(
+        self, name: str, fit_mask: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        col = self._columns[name]
+        if isinstance(col, _NumericColumn):
+            return self._encode_numeric(col, fit_mask, rows)
+        return self._encode_categorical(col, fit_mask, rows)

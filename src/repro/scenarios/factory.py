@@ -87,6 +87,37 @@ class TaskCache:
     def __len__(self) -> int:
         return len(self._tasks)
 
+    def materialization_stats(self) -> dict[str, int]:
+        """Aggregate materialization-cache counters over the built tasks.
+
+        Sums the hit/miss/byte/eviction counters of every cached task's
+        search-space caches (Table, matrix and mask LRUs for tabular
+        spaces; the subgraph LRU for graph spaces) — the payload behind
+        the service's ``GET /metrics`` ``materialization`` section. Jobs
+        run on the process backend valuate in forked children, so their
+        counters die with the child; thread/serial backends aggregate
+        fully here.
+        """
+        totals = {
+            "spaces": 0,
+            "hits": 0,
+            "misses": 0,
+            "bytes": 0,
+            "entries": 0,
+            "evictions": 0,
+        }
+        with self._lock:
+            tasks = list(self._tasks.values())
+        for task in tasks:
+            space = task._space
+            stats = getattr(space, "cache_stats", None) if space else None
+            if not stats:
+                continue
+            totals["spaces"] += 1
+            for key in ("hits", "misses", "bytes", "entries", "evictions"):
+                totals[key] += int(stats.get(key, 0))
+        return totals
+
 
 #: Process-wide default cache (suites, benchmarks, examples all share it).
 TASK_CACHE = TaskCache()

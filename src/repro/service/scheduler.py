@@ -68,7 +68,7 @@ class _OracleGuard:
     hard kill.
     """
 
-    __slots__ = ("oracle", "deadline", "max_calls", "calls")
+    __slots__ = ("oracle", "deadline", "max_calls", "calls", "accepts_matrix")
 
     def __init__(
         self,
@@ -80,6 +80,10 @@ class _OracleGuard:
         self.deadline = deadline
         self.max_calls = max_calls
         self.calls = 0
+        # Forward the columnar fast-path capability of the wrapped oracle
+        # (see repro.core.estimator.oracle_artifact) — guarding must not
+        # silently demote jobs to the legacy Table path.
+        self.accepts_matrix = getattr(oracle, "accepts_matrix", False)
 
     def __call__(self, artifact):
         if self.deadline is not None and time.monotonic() > self.deadline:
@@ -919,6 +923,23 @@ class Scheduler:
                     "calls_saved_total": self._oracle_calls_saved_total,
                 },
             }
+        # Outside the scheduler lock: the task cache has its own lock and
+        # never calls back into the scheduler. Stub factories (tests)
+        # may not carry a task cache; report zeroed counters then.
+        task_cache = getattr(self.factory, "task_cache", None)
+        stats_fn = getattr(task_cache, "materialization_stats", None)
+        metrics["materialization"] = (
+            stats_fn()
+            if stats_fn is not None
+            else {
+                "spaces": 0,
+                "hits": 0,
+                "misses": 0,
+                "bytes": 0,
+                "entries": 0,
+                "evictions": 0,
+            }
+        )
         if self.journal is not None:
             metrics["journal"] = {
                 "enabled": True,

@@ -1,0 +1,286 @@
+"""Parity suite for the columnar materialization engine.
+
+The contract of ``TabularSearchSpace.materialize_matrix`` is *bit-identical*
+equality with the legacy valuation prologue —
+``TableEncoder(target).fit_transform(space.materialize(bits))`` — across
+values, null imputation, standardization and categorical code assignment,
+plus identical oracle outputs and identical skylines end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import ApxMODis, BiMODis
+from repro.core.measures import MeasureSet, cost_measure, score_measure
+from repro.core.transducer import TabularSearchSpace, _ByteBudgetLRU
+from repro.datalake.tasks import make_tabular_oracle
+from repro.ml.preprocessing import TableEncoder
+from repro.relational.columns import ColumnStore, MatrixView
+from repro.relational.schema import Attribute, CATEGORICAL, NUMERIC, Schema
+from repro.relational.table import Table
+from repro.rng import make_rng
+
+
+def _toy_table(n: int = 140, seed: int = 0, target_kind: str = "numeric",
+               null_p: float = 0.18) -> Table:
+    """Mixed numeric/categorical table with nulls everywhere (incl. target)."""
+    rng = make_rng(seed)
+
+    def maybe(value, p=null_p):
+        return None if rng.random() < p else value
+
+    schema = Schema(
+        [
+            Attribute("num_a", NUMERIC),
+            Attribute("cat_b", CATEGORICAL),
+            Attribute("num_c", NUMERIC),
+            Attribute("cat_d", CATEGORICAL),
+            Attribute(
+                "target", NUMERIC if target_kind == "numeric" else CATEGORICAL
+            ),
+        ]
+    )
+    cats_b = ["x", "y", "z", "w"]
+    cats_d = ["p", "q", "r"]
+    columns = {
+        "num_a": [maybe(float(rng.normal())) for _ in range(n)],
+        "cat_b": [maybe(cats_b[int(rng.integers(4))]) for _ in range(n)],
+        "num_c": [maybe(float(rng.integers(12))) for _ in range(n)],
+        "cat_d": [maybe(cats_d[int(rng.integers(3))]) for _ in range(n)],
+        "target": [
+            maybe(
+                float(rng.normal())
+                if target_kind == "numeric"
+                else ["pos", "neg"][int(rng.integers(2))],
+                0.1,
+            )
+            for _ in range(n)
+        ],
+    }
+    return Table(schema, columns, name="toy")
+
+
+def _random_bitmaps(space: TabularSearchSpace, n: int, seed: int) -> list[int]:
+    rng = make_rng(seed)
+    universal = space.universal_bits
+    bitmaps = [universal, space.backward_bits(), 0]
+    bitmaps += [universal ^ (1 << i) for i in range(space.width)]
+    while len(bitmaps) < n + space.width + 3:
+        bitmaps.append(int(rng.integers(0, 2 ** space.width)))
+    return bitmaps
+
+
+@pytest.mark.parametrize("target_kind", ["numeric", "categorical"])
+def test_materialize_matrix_equals_legacy_encoder(target_kind):
+    """(X, y) parity — values, imputation, standardization, codes."""
+    table = _toy_table(target_kind=target_kind)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    for bits in _random_bitmaps(space, 120, seed=1):
+        view = space.materialize_matrix(bits)
+        legacy_table = space.materialize(bits)
+        assert view.shape == legacy_table.shape
+        assert view.columns == tuple(space.active_attributes(bits))
+        try:
+            X, y = TableEncoder(target="target").fit_transform(legacy_table)
+        except Exception:
+            # Legacy raises (no non-null target row / no feature column);
+            # the view expresses the same degeneracy as an empty encoding.
+            assert view.X.shape[0] == 0 or view.X.shape[1] == 0
+            continue
+        assert np.array_equal(view.X, X), f"X mismatch at bits {bits:#x}"
+        assert np.array_equal(view.y, y), f"y mismatch at bits {bits:#x}"
+
+
+def test_matrix_view_target_classes_match_encoder():
+    table = _toy_table(target_kind="categorical", seed=3)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    bits = space.universal_bits
+    view = space.materialize_matrix(bits)
+    encoder = TableEncoder(target="target")
+    encoder.fit(space.materialize(bits))
+    assert list(view.target_classes) == list(encoder.target_classes_)
+
+
+def test_standardization_follows_encoder_flag():
+    """ColumnStore(standardize=False) mirrors TableEncoder(standardize=False)."""
+    table = _toy_table(seed=5)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    store = ColumnStore(table, target="target", standardize=False)
+    for bits in _random_bitmaps(space, 25, seed=6):
+        legacy_table = space.materialize(bits)
+        try:
+            X, y = TableEncoder(
+                target="target", standardize=False
+            ).fit_transform(legacy_table)
+        except Exception:
+            continue
+        view = store.encode_subset(
+            space.row_mask(bits), space.active_attributes(bits)
+        )
+        assert np.array_equal(view.X, X)
+        assert np.array_equal(view.y, y)
+
+
+def test_oracle_accepts_matrix_view_with_identical_raw_values():
+    """The tabular oracle scores a MatrixView exactly like its Table."""
+    table = _toy_table(target_kind="categorical", seed=9, n=160)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    measures = MeasureSet(
+        [
+            score_measure("acc"),
+            score_measure("f1"),
+            cost_measure("train_cost", cap=5.0),
+        ]
+    )
+    oracle = make_tabular_oracle(
+        "target", "rf_house", measures, "classification",
+        split_seed=11, model_seed=22,
+    )
+    assert oracle.accepts_matrix
+    for bits in _random_bitmaps(space, 20, seed=10):
+        raw_table = oracle(space.materialize(bits))
+        raw_view = oracle(space.materialize_matrix(bits))
+        assert raw_table == raw_view, f"raw mismatch at bits {bits:#x}"
+
+
+def test_degenerate_states_score_identically():
+    """Empty/tiny subsets hit the same worst-case branch on both paths."""
+    table = _toy_table(seed=12, n=40)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    measures = MeasureSet(
+        [score_measure("acc"), cost_measure("train_cost", cap=5.0)]
+    )
+    oracle = make_tabular_oracle(
+        "target", "lr_avocado", measures, "regression",
+        split_seed=1, model_seed=2,
+    )
+    # bits == 0 materializes the 1-column (target-only) table.
+    assert oracle(space.materialize(0)) == oracle(space.materialize_matrix(0))
+
+
+def test_skyline_bit_identical_fast_vs_table_path():
+    """End to end: the search over MatrixViews returns the same skyline
+    (same bits, same perf vectors) as the legacy Table path."""
+    from repro.core.config import Configuration
+    from repro.core.estimator import OracleEstimator
+
+    table = _toy_table(seed=20, n=120)
+    space = TabularSearchSpace(table, target="target", max_clusters=2, seed=0)
+    measures = MeasureSet(
+        [
+            score_measure("acc"),
+            cost_measure("train_cost", cap=5.0),
+        ]
+    )
+    oracle = make_tabular_oracle(
+        "target", "lr_avocado", measures, "regression",
+        split_seed=5, model_seed=6,
+    )
+
+    def run(algorithm_cls, fast: bool):
+        use = oracle if fast else (lambda artifact: oracle(artifact))
+        config = Configuration(
+            space=space,
+            measures=measures,
+            estimator=OracleEstimator(use, measures),
+            oracle=use,
+        )
+        result = algorithm_cls(config, epsilon=0.2, budget=30, max_level=3).run()
+        return [(e.bits, tuple(e.state.perf)) for e in result.entries]
+
+    for algorithm_cls in (ApxMODis, BiMODis):
+        assert run(algorithm_cls, fast=True) == run(algorithm_cls, fast=False)
+
+
+def test_matrix_views_are_cached():
+    table = _toy_table(seed=30)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    bits = space.universal_bits
+    first = space.materialize_matrix(bits)
+    second = space.materialize_matrix(bits)
+    assert first is second
+    assert space.cache_stats["matrices"]["hits"] >= 1
+
+
+def test_mask_shared_between_materialize_and_output_size():
+    """The satellite fix: one mask computation serves both calls."""
+    table = _toy_table(seed=31)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    bits = space.universal_bits ^ 1
+    space.materialize(bits)
+    misses_after_materialize = space.cache_stats["masks"]["misses"]
+    space.output_size(bits)
+    space.feature_vector(bits)
+    stats = space.cache_stats["masks"]
+    assert stats["misses"] == misses_after_materialize
+    assert stats["hits"] >= 2
+
+
+def test_byte_budget_lru_evicts_by_bytes():
+    cache = _ByteBudgetLRU(max_bytes=10_000, max_entries=100)
+    a = np.zeros(500)  # 4000 bytes
+    b = np.zeros(500)
+    c = np.zeros(500)
+    cache.put(1, a)
+    cache.put(2, b)
+    cache.put(3, c)  # 12000 bytes > budget: evicts key 1
+    assert cache.get(1) is None
+    assert cache.get(2) is b and cache.get(3) is c
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["bytes"] == 8000
+    assert stats["entries"] == 2
+
+
+def test_byte_budget_lru_rejects_oversized_values():
+    cache = _ByteBudgetLRU(max_bytes=1_000, max_entries=10)
+    cache.put(1, np.zeros(1_000))  # 8000 bytes > whole budget
+    assert cache.get(1) is None
+    assert cache.stats()["rejected"] == 1
+    assert cache.stats()["bytes"] == 0
+
+
+def test_byte_budget_lru_replacement_rebalances_bytes():
+    cache = _ByteBudgetLRU(max_bytes=100_000, max_entries=10)
+    cache.put(1, np.zeros(100))
+    cache.put(1, np.zeros(200))
+    assert cache.stats()["bytes"] == 1600
+    assert cache.stats()["entries"] == 1
+
+
+def test_cache_stats_exposes_combined_and_per_cache_counters():
+    table = _toy_table(seed=33)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    space.materialize(space.universal_bits)
+    space.materialize(space.universal_bits)
+    space.materialize_matrix(space.universal_bits)
+    stats = space.cache_stats
+    for key in ("hits", "misses", "bytes", "entries", "evictions"):
+        assert key in stats
+    for section in ("tables", "matrices", "masks"):
+        assert stats[section]["max_bytes"] > 0
+    assert stats["hits"] >= 1
+    assert stats["bytes"] > 0
+
+
+def test_matrix_view_nbytes_and_shape_accessors():
+    table = _toy_table(seed=34)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    view = space.materialize_matrix(space.universal_bits)
+    assert isinstance(view, MatrixView)
+    assert view.nbytes == view.X.nbytes + view.y.nbytes
+    assert view.num_rows == view.shape[0]
+    assert view.num_columns == view.shape[1]
+
+
+def test_feature_matrix_rows_match_feature_vector():
+    table = _toy_table(seed=35)
+    space = TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+    bitmaps = _random_bitmaps(space, 30, seed=36)
+    matrix = space.feature_matrix(bitmaps)
+    assert matrix.shape == (len(bitmaps), space.width + 2)
+    for row, bits in zip(matrix, bitmaps):
+        assert np.array_equal(row, space.feature_vector(bits))
+    assert space.feature_matrix([]).shape[0] == 0

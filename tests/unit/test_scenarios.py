@@ -162,6 +162,20 @@ class TestFactory:
         cache.get("T3", 0.3)
         assert len(calls) == 2
 
+    def test_task_cache_aggregates_materialization_stats(self, task_t3):
+        cache = TaskCache(builder=lambda name, scale, seed: task_t3)
+        empty = cache.materialization_stats()
+        assert empty["spaces"] == 0 and empty["hits"] == 0
+        task = cache.get("T3", 0.2)
+        task.space.materialize(task.space.universal_bits)
+        task.space.materialize(task.space.universal_bits)
+        stats = cache.materialization_stats()
+        assert stats["spaces"] == 1
+        assert stats["hits"] >= 1
+        assert stats["bytes"] > 0
+        for key in ("misses", "entries", "evictions"):
+            assert key in stats
+
 
 class TestBuiltins:
     def test_loading_is_idempotent_and_sized(self):

@@ -116,6 +116,13 @@ class TestEndToEnd:
         assert metrics["oracle_store"]["enabled"]
         assert metrics["oracle_store"]["task_keys"] == 1
         assert metrics["queue_depth"] == 0
+        # the columnar materialization caches surface through /metrics:
+        # both jobs ran in-process over the shared task cache, so the
+        # task's search space reports real hit/byte counters.
+        materialization = metrics["materialization"]
+        assert materialization["spaces"] >= 1
+        assert materialization["hits"] + materialization["misses"] > 0
+        assert materialization["bytes"] >= 0
 
     def test_cancel_done_job_is_409(self, service):
         record = service.run(**INLINE_SPEC)
