@@ -352,13 +352,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         n_workers=args.workers,
         max_retries=args.max_retries,
+        scheduler_id=args.scheduler_id or None,
+        lease_ttl=args.lease_ttl,
     )
     server = ServiceServer(scheduler, host=args.host, port=args.port)
+    leases = (
+        f"leases on as {scheduler.scheduler_id} "
+        f"(ttl {scheduler.lease_ttl:g}s)"
+        if args.scheduler_id and journal is not None
+        else "leases off"
+    )
     print(f"repro service listening on {server.url} "
           f"({args.workers} worker(s), backend={args.backend}, "
           f"result cache {'off' if cache is None else cache.directory}, "
           f"oracle store {'off' if store is None else store.directory}, "
-          f"journal {'off' if journal is None else journal.directory})",
+          f"journal {'off' if journal is None else journal.directory}, "
+          f"{leases})",
           flush=True)
     if journal is not None:
         recovery = scheduler.metrics()["journal"]["recovery"]
@@ -410,7 +419,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 "(a submission is a registry reference or an inline spec)"
             )
         record = client.submit(
-            scenario=args.scenario, priority=args.priority, **limits
+            scenario=args.scenario,
+            priority=args.priority,
+            shards=args.shards,
+            **limits,
         )
     else:
         if not args.task:
@@ -426,7 +438,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
         }
         if args.seed is not None:
             spec["seed"] = args.seed
-        record = client.submit(priority=args.priority, **limits, **spec)
+        record = client.submit(
+            priority=args.priority, shards=args.shards, **limits, **spec
+        )
     if args.wait:
         record = client.wait(record["id"], timeout=args.wait_timeout)
     if args.json:
@@ -719,6 +733,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-executions granted to a job interrupted "
                             "by a crash before it fails with "
                             "reason=retry-budget")
+    serve.add_argument("--scheduler-id", default="",
+                       help="stable lease identity; set (with "
+                            "--journal-dir) to let several scheduler "
+                            "processes share one journal dir — each "
+                            "claims jobs under a lease and a survivor "
+                            "adopts a dead peer's expired leases "
+                            "(empty: leases off)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="seconds a job lease stays live without "
+                            "renewal; a dead scheduler's jobs become "
+                            "adoptable after this long")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running service"
@@ -749,6 +774,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-job oracle-call quota; the job fails "
                              "with reason=quota but keeps its partial "
                              "oracle truth for the next attempt")
+    submit.add_argument("--shards", type=int, default=None,
+                        help="scatter the search across N shard jobs and "
+                             "merge their skylines into this job's result")
     submit.add_argument("--wait-timeout", type=float, default=600.0,
                         help="--wait polling timeout in seconds")
     submit.add_argument("--json", action="store_true",

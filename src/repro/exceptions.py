@@ -77,6 +77,95 @@ class ServiceError(ReproError):
     job ids, malformed submissions, or an unreachable/failing server."""
 
 
+class ApiError(ServiceError):
+    """A service error with a stable machine-readable ``code`` and HTTP
+    status, served as the v1 error envelope
+    ``{"error": {"code", "message", "detail"}}``.
+
+    Subclasses pin ``code``/``http_status``; ``detail`` carries optional
+    structured context (e.g. the offending state). The HTTP client
+    re-raises the matching subclass from a response envelope, so callers
+    can catch precise classes on both sides of the wire.
+    """
+
+    code = "internal"
+    http_status = 500
+
+    def __init__(self, message: str, detail: dict | None = None):
+        super().__init__(message)
+        self.detail = detail or {}
+
+
+class InvalidRequestError(ApiError):
+    """A malformed submission or query: unknown fields, bad limits, a
+    body that is not valid JSON, or invalid pagination parameters."""
+
+    code = "invalid-request"
+    http_status = 400
+
+
+class InvalidScenarioError(ApiError):
+    """The submitted spec does not resolve: unknown scenario name, task,
+    or algorithm, or an illegal field combination. Raised client-side
+    from the envelope; server-side the source is
+    :class:`ScenarioError` (which the server maps to this code)."""
+
+    code = "invalid-scenario"
+    http_status = 400
+
+
+class UnknownJobError(ApiError):
+    """The referenced job id is not known to the scheduler."""
+
+    code = "unknown-job"
+    http_status = 404
+
+
+class UnknownRouteError(ApiError):
+    """No route matches the request method + path."""
+
+    code = "unknown-route"
+    http_status = 404
+
+
+class NotCancellableError(ApiError):
+    """The job exists but is not in a cancellable state (only queued
+    jobs — and sharded parents with queued children — can be cancelled)."""
+
+    code = "not-cancellable"
+    http_status = 409
+
+
+class ResultNotReadyError(ApiError):
+    """``GET /v1/results/{id}`` on a job that has not finished ``DONE``."""
+
+    code = "result-not-ready"
+    http_status = 409
+
+
+class PayloadTooLargeError(ApiError):
+    """The declared request body exceeds the service's size bound."""
+
+    code = "payload-too-large"
+    http_status = 400
+
+
+#: code → ApiError subclass, for re-raising typed errors client-side.
+API_ERROR_TYPES: dict[str, type] = {
+    cls.code: cls
+    for cls in (
+        ApiError,
+        InvalidRequestError,
+        InvalidScenarioError,
+        UnknownJobError,
+        UnknownRouteError,
+        NotCancellableError,
+        ResultNotReadyError,
+        PayloadTooLargeError,
+    )
+}
+
+
 class JobLimitExceeded(ReproError):
     """A per-job resource limit was hit while the job was running.
 

@@ -22,10 +22,24 @@ exit, discovery runs as jobs against a persistent service:
   SIGKILL loses no submitted work. Per-job ``timeout`` and
   ``max_oracle_calls`` limits are enforced cooperatively at the oracle
   boundary and by hard child kill on the process backend;
-* :class:`ServiceServer` / :class:`ServiceClient` — a stdlib-only JSON
-  HTTP API (``POST /jobs``, ``GET /jobs[/{id}]``, ``DELETE /jobs/{id}``,
-  ``GET /results/{id}``, ``GET /healthz``, ``GET /metrics``) and its
-  typed Python client.
+* :class:`ServiceServer` / :class:`ServiceClient` — a stdlib-only
+  versioned JSON HTTP API (``POST /v1/jobs``, ``GET /v1/jobs[/{id}]``
+  with filtering/pagination/weak ETags, ``DELETE /v1/jobs/{id}``,
+  ``GET /v1/results/{id}``, ``GET /v1/healthz``, ``GET /v1/metrics``;
+  the unversioned paths remain as deprecated aliases) and its typed
+  Python client — API failures raise precise
+  :class:`~repro.exceptions.ApiError` subclasses rebuilt from the
+  ``{"error": {code, message, detail}}`` envelope;
+* sharded jobs — ``shards=N`` submissions scatter the search across N
+  shard children via :class:`ShardRun` (the distributed runtime's
+  partitioned seeded search) and merge their local skylines with
+  :func:`merge_shard_results` into the parent's result, bit-identical
+  to an unsharded run when budgets are exhaustive;
+* journal leases — schedulers constructed with an explicit
+  ``scheduler_id`` claim jobs via lease records in the shared journal,
+  so several scheduler processes can serve one ``--journal-dir``; a
+  survivor's sweep (:meth:`Scheduler.sweep_leases`) adopts the expired
+  leases of a SIGKILLed peer and finishes its jobs.
 
 CLI surface: ``repro serve`` boots the service; ``repro submit``,
 ``repro status``, and ``repro fetch`` talk to it.
@@ -45,17 +59,25 @@ Quickstart::
 from .client import DEFAULT_URL, ServiceClient
 from .jobs import (
     INLINE_SPEC_FIELDS,
+    MAX_SHARDS,
     Job,
     JobState,
     limits_from_request,
     new_job_id,
     scenario_from_request,
+    shards_from_request,
     summarize_result,
 )
 from .journal import JOURNAL_VERSION, JobJournal, ReplaySummary
 from .queue import JobQueue
 from .scheduler import Scheduler
-from .server import ServiceServer
+from .server import ServiceServer, job_etag
+from .sharding import (
+    SHARDED_ALGORITHM,
+    ShardRun,
+    merge_shard_results,
+    shard_budget,
+)
 from .store import (
     DEFAULT_ORACLE_STORE_DIR,
     OracleStore,
@@ -73,16 +95,23 @@ __all__ = [
     "JobJournal",
     "JobQueue",
     "JobState",
+    "MAX_SHARDS",
     "OracleStore",
     "ReplaySummary",
+    "SHARDED_ALGORITHM",
     "Scheduler",
     "ServiceClient",
     "ServiceServer",
+    "ShardRun",
     "TaskHistory",
     "default_oracle_store_dir",
+    "job_etag",
     "limits_from_request",
+    "merge_shard_results",
     "new_job_id",
     "scenario_from_request",
+    "shard_budget",
+    "shards_from_request",
     "summarize_result",
     "task_key",
 ]

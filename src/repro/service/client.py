@@ -1,11 +1,19 @@
 """A typed, stdlib-only Python client for the skyline service.
 
-Thin ``urllib.request`` wrapper over the JSON API: every method returns
-the decoded payload dict, and every transport or API failure surfaces as
-a :class:`~repro.exceptions.ServiceError` carrying the server's
-``{"error": ...}`` message when one exists. :meth:`ServiceClient.wait`
-polls a job to a terminal state — the blocking convenience the CLI's
-``repro submit --wait`` and the examples build on.
+Thin ``urllib.request`` wrapper over the versioned JSON API (every path
+goes through ``/v1``): each method returns the decoded payload dict, and
+every API failure surfaces as the matching typed exception from the v1
+error envelope — ``{"error": {"code", "message", "detail"}}`` maps back
+through :data:`~repro.exceptions.API_ERROR_TYPES`, so a 404 raises
+:class:`~repro.exceptions.UnknownJobError`, a cancel conflict raises
+:class:`~repro.exceptions.NotCancellableError`, and so on. All of them
+subclass :class:`~repro.exceptions.ServiceError`, so existing
+``except ServiceError`` call sites keep working unchanged.
+
+:meth:`ServiceClient.wait` polls a job to a terminal state using the
+server's weak ``ETag``: every unchanged poll is answered ``304 Not
+Modified`` with an empty body, so watching a long job costs headers,
+not repeated job records.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import urllib.error
 import urllib.request
 from typing import Any
 
-from ..exceptions import ServiceError
+from ..exceptions import API_ERROR_TYPES, ServiceError
 from .jobs import JobState
 
 DEFAULT_URL = "http://127.0.0.1:8765"
@@ -30,49 +38,93 @@ class ServiceClient:
         self.timeout = float(timeout)
 
     # -- transport ---------------------------------------------------------------
-    def _request(
+    def _request_full(
         self,
         method: str,
         path: str,
-        body: dict[str, Any] | None = None,
-    ) -> dict[str, Any]:
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], Any]:
+        """One request; returns ``(status, response headers, payload)``.
+
+        A ``304 Not Modified`` returns ``(304, headers, None)``. Error
+        responses raise the typed :class:`~repro.exceptions.ApiError`
+        subclass named by the envelope's ``code`` (plain
+        ``ServiceError`` when the body carries no envelope).
+        """
         data = None
-        headers = {"Accept": "application/json"}
+        request_headers = {"Accept": "application/json"}
+        if headers:
+            request_headers.update(headers)
         if body is not None:
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            request_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
-            f"{self.url}{path}", data=data, headers=headers, method=method
+            f"{self.url}{path}",
+            data=data,
+            headers=request_headers,
+            method=method,
         )
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout
             ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            detail = ""
-            try:
-                detail = json.loads(exc.read().decode("utf-8")).get(
-                    "error", ""
+                raw = response.read()
+                payload = (
+                    json.loads(raw.decode("utf-8")) if raw else None
                 )
-            except Exception:
-                pass
-            raise ServiceError(
-                f"{method} {path} failed with HTTP {exc.code}"
-                + (f": {detail}" if detail else "")
-            ) from None
+                return response.status, dict(response.headers), payload
+        except urllib.error.HTTPError as exc:
+            if exc.code == 304:
+                return 304, dict(exc.headers), None
+            raise self._error_from(method, path, exc) from None
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach service at {self.url}: {exc.reason}"
             ) from None
 
+    @staticmethod
+    def _error_from(
+        method: str, path: str, exc: urllib.error.HTTPError
+    ) -> ServiceError:
+        """The typed exception for one HTTP error response."""
+        code = None
+        message = ""
+        detail: dict[str, Any] = {}
+        try:
+            envelope = json.loads(exc.read().decode("utf-8")).get("error")
+            if isinstance(envelope, dict):  # v1 envelope
+                code = envelope.get("code")
+                message = envelope.get("message", "")
+                detail = envelope.get("detail") or {}
+            elif envelope:  # pre-v1 flat string
+                message = str(envelope)
+        except Exception:
+            pass
+        text = f"{method} {path} failed with HTTP {exc.code}" + (
+            f": {message}" if message else ""
+        )
+        error_type = API_ERROR_TYPES.get(code)
+        if error_type is not None:
+            return error_type(text, detail=detail)
+        return ServiceError(text)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+    ) -> Any:
+        """One request through ``/v1``; returns the decoded payload."""
+        return self._request_full(method, f"/v1{path}", body=body)[2]
+
     # -- API ---------------------------------------------------------------------
     def health(self) -> dict[str, Any]:
-        """``GET /healthz``."""
+        """``GET /v1/healthz``."""
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict[str, Any]:
-        """``GET /metrics``."""
+        """``GET /v1/metrics``."""
         return self._request("GET", "/metrics")
 
     def submit(
@@ -81,16 +133,19 @@ class ServiceClient:
         priority: int = 0,
         timeout: float | None = None,
         max_oracle_calls: int | None = None,
+        shards: int | None = None,
         **spec_fields: Any,
     ) -> dict[str, Any]:
-        """``POST /jobs``: a registered scenario by name, or inline fields.
+        """``POST /v1/jobs``: a registered scenario by name, or inline fields.
 
         ``timeout`` (wall-clock seconds) and ``max_oracle_calls`` are
         per-job resource limits; a job that exceeds one ends
-        ``FAILED(failure_reason=timeout|quota)``.
+        ``FAILED(failure_reason=timeout|quota)``. ``shards=N`` fans the
+        search out across N shard jobs — the returned record is the
+        coordinating parent whose result is the merged skyline.
 
         >>> client.submit(scenario="smoke-t3-apx", priority=5)
-        >>> client.submit(task="T3", algorithm="apx", budget=10, timeout=60)
+        >>> client.submit(task="T3", algorithm="apx", budget=10, shards=4)
         """
         body: dict[str, Any] = dict(spec_fields)
         if scenario is not None:
@@ -101,22 +156,68 @@ class ServiceClient:
             body["timeout"] = timeout
         if max_oracle_calls is not None:
             body["max_oracle_calls"] = max_oracle_calls
+        if shards is not None:
+            body["shards"] = shards
         return self._request("POST", "/jobs", body=body)
 
-    def jobs(self) -> list[dict[str, Any]]:
-        """``GET /jobs``: every job record, submission order."""
-        return self._request("GET", "/jobs")["jobs"]
+    def submit_batch(
+        self, items: list[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """``POST /v1/jobs`` with a list: one outcome per item, in order.
+
+        Each entry is ``{"status": 201, "job": {...}}`` on success or
+        ``{"status": 4xx, "error": {code, message, detail}}`` — a bad
+        item never fails its siblings.
+        """
+        return self._request("POST", "/jobs", body=list(items))["jobs"]
+
+    def jobs_page(
+        self,
+        state: str | None = None,
+        limit: int | None = None,
+        after: str | None = None,
+    ) -> dict[str, Any]:
+        """``GET /v1/jobs``: one page, ``{"jobs": [...], "next": cursor}``.
+
+        ``state`` filters; ``limit`` caps the page; ``after`` resumes
+        from a previously returned ``next`` cursor (a job id). ``next``
+        is ``None`` once the listing is exhausted.
+        """
+        params = []
+        if state is not None:
+            params.append(f"state={state}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        if after is not None:
+            params.append(f"after={after}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/jobs{query}")
+
+    def jobs(self, state: str | None = None) -> list[dict[str, Any]]:
+        """Every job record in submission order (auto-paginating).
+
+        Follows ``next`` cursors until the listing is exhausted; use
+        :meth:`jobs_page` to drive the cursor yourself.
+        """
+        records: list[dict[str, Any]] = []
+        after = None
+        while True:
+            page = self.jobs_page(state=state, after=after)
+            records.extend(page["jobs"])
+            after = page.get("next")
+            if after is None:
+                return records
 
     def job(self, job_id: str) -> dict[str, Any]:
-        """``GET /jobs/{id}``."""
+        """``GET /v1/jobs/{id}``."""
         return self._request("GET", f"/jobs/{job_id}")
 
     def cancel(self, job_id: str) -> dict[str, Any]:
-        """``DELETE /jobs/{id}`` (only queued jobs are cancellable)."""
+        """``DELETE /v1/jobs/{id}`` (only queued jobs are cancellable)."""
         return self._request("DELETE", f"/jobs/{job_id}")
 
     def result(self, job_id: str) -> dict[str, Any]:
-        """``GET /results/{id}``: the job record with its full result."""
+        """``GET /v1/results/{id}``: the job record with its full result."""
         return self._request("GET", f"/results/{job_id}")
 
     # -- conveniences ------------------------------------------------------------
@@ -126,16 +227,30 @@ class ServiceClient:
         timeout: float = 300.0,
         poll_interval: float = 0.25,
     ) -> dict[str, Any]:
-        """Poll until the job is terminal; returns its final record."""
+        """Poll until the job is terminal; returns its final record.
+
+        Conditional polling: after the first fetch, every poll sends the
+        record's weak ``ETag`` via ``If-None-Match``, so unchanged polls
+        cost a ``304`` with no body instead of the full record.
+        """
         deadline = time.monotonic() + timeout
+        record: dict[str, Any] | None = None
+        etag: str | None = None
         while True:
-            record = self.job(job_id)
-            if record["state"] in JobState.TERMINAL:
+            headers = {"If-None-Match": etag} if etag else None
+            status, response_headers, payload = self._request_full(
+                "GET", f"/v1/jobs/{job_id}", headers=headers
+            )
+            if status != 304:
+                record = payload
+                etag = response_headers.get("ETag")
+            if record is not None and record["state"] in JobState.TERMINAL:
                 return record
             if time.monotonic() >= deadline:
+                state = record["state"] if record else "unknown"
                 raise ServiceError(
                     f"timed out after {timeout:.0f}s waiting for job "
-                    f"{job_id} (still {record['state']})"
+                    f"{job_id} (still {state})"
                 )
             time.sleep(poll_interval)
 
@@ -146,6 +261,7 @@ class ServiceClient:
         timeout: float = 300.0,
         job_timeout: float | None = None,
         max_oracle_calls: int | None = None,
+        shards: int | None = None,
         **spec_fields: Any,
     ) -> dict[str, Any]:
         """Submit and wait; raises if the job did not end ``DONE``.
@@ -153,13 +269,14 @@ class ServiceClient:
         ``timeout`` bounds this client's *wait* (the job keeps running
         server-side when it expires); ``job_timeout`` and
         ``max_oracle_calls`` are the server-enforced per-job limits,
-        forwarded to :meth:`submit`.
+        forwarded to :meth:`submit` along with ``shards``.
         """
         job = self.submit(
             scenario=scenario,
             priority=priority,
             timeout=job_timeout,
             max_oracle_calls=max_oracle_calls,
+            shards=shards,
             **spec_fields,
         )
         record = self.wait(job["id"], timeout=timeout)

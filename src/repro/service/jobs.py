@@ -77,8 +77,13 @@ INLINE_SPEC_FIELDS = frozenset(
 
 #: Submission keys that are not scenario fields.
 _REQUEST_ONLY_FIELDS = frozenset(
-    {"scenario", "priority", "timeout", "max_oracle_calls"}
+    {"scenario", "priority", "timeout", "max_oracle_calls", "shards"}
 )
+
+#: Upper bound on ``shards=N`` — far above any useful fan-out (the
+#: level-1 frontier of the paper's tasks is tens of operators), but low
+#: enough that a typo cannot fan one submission into thousands of jobs.
+MAX_SHARDS = 64
 
 
 def new_job_id() -> str:
@@ -111,6 +116,12 @@ LIFECYCLE_FIELDS = (
     "retries",
     "failure_reason",
     "deduped",
+    "shards",
+    "parent_id",
+    "shard_index",
+    "lease_owner",
+    "lease_expires_at",
+    "updated_at",
 )
 
 
@@ -157,6 +168,20 @@ class Job:
     failure_reason: str | None = None
     #: completed by copying an identical in-flight job's result.
     deduped: bool = False
+    #: shard fan-out declared at submission (None: ordinary job). Set on
+    #: both the parent and its shard children.
+    shards: int | None = None
+    #: the parent job id on shard children (None otherwise).
+    parent_id: str | None = None
+    #: this child's partition index in ``range(shards)`` (None on the
+    #: parent and on ordinary jobs).
+    shard_index: int | None = None
+    #: scheduler id currently holding this job's journal lease.
+    lease_owner: str | None = None
+    #: epoch after which the lease is adoptable by a peer scheduler.
+    lease_expires_at: float | None = None
+    #: last lifecycle mutation (feeds the API's weak ETag).
+    updated_at: float = field(default_factory=time.time)
 
     # -- state machine -----------------------------------------------------------
     @property
@@ -174,10 +199,16 @@ class Job:
             )
         self.state = new_state
         now = time.time()
+        self.updated_at = now
         if new_state == JobState.RUNNING:
             self.started_at = now
         elif new_state in JobState.TERMINAL:
             self.finished_at = now
+
+    @property
+    def is_shard_parent(self) -> bool:
+        """True for the coordinating job of a ``shards=N`` submission."""
+        return self.shards is not None and self.shard_index is None
 
     # -- views -------------------------------------------------------------------
     def to_payload(self, include_result: bool = False) -> dict[str, Any]:
@@ -344,3 +375,25 @@ def limits_from_request(
                 f"max_oracle_calls must be a positive integer, got {quota!r}"
             )
     return timeout, quota
+
+
+def shards_from_request(body: Mapping[str, Any]) -> int | None:
+    """Validate and extract the ``shards`` fan-out from a body.
+
+    ``None`` (or JSON ``null``) means an ordinary single-worker job;
+    otherwise an integer in ``1..MAX_SHARDS``. ``shards=1`` still routes
+    through the scatter/merge machinery (a scatter of one), so the two
+    paths stay structurally identical and directly comparable.
+    """
+    shards = body.get("shards")
+    if shards is None:
+        return None
+    if (
+        isinstance(shards, bool)
+        or not isinstance(shards, int)
+        or not 1 <= shards <= MAX_SHARDS
+    ):
+        raise ServiceError(
+            f"shards must be an integer in 1..{MAX_SHARDS}, got {shards!r}"
+        )
+    return shards

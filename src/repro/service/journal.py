@@ -28,6 +28,21 @@ Record grammar (one JSON object per line)::
     {"v": 1, "ts": <epoch>, "type": "done" | "failed" | "cancelled",
      "id": "...", "job": {<snapshot>}}
     {"v": 1, "ts": <epoch>, "type": "snapshot",  "job": {<snapshot>}}
+    {"v": 1, "ts": <epoch>, "type": "lease-acquired" | "lease-renewed",
+     "id": "...", "owner": "sched-...", "ttl": <seconds>}
+    {"v": 1, "ts": <epoch>, "type": "lease-released", "id": "...",
+     "owner": "sched-..."}
+
+Lease records are the multi-scheduler coordination layer: every
+scheduler sharing a journal directory claims each job it works on by
+appending ``lease-acquired`` (and keeps it alive with periodic
+``lease-renewed`` records). Replay folds the latest lease onto the job's
+snapshot as ``lease_owner`` / ``lease_expires_at = ts + ttl`` — expiry
+itself is *evaluated by the reader* against its clock, so a SIGKILLed
+scheduler needs no cleanup: its leases simply stop being renewed and
+peers adopt the jobs once ``lease_expires_at`` passes. Lease records are
+additive (old readers count them as skipped lines), so they do not bump
+:data:`JOURNAL_VERSION`.
 
 where ``<snapshot>`` is :meth:`~repro.service.jobs.Job.to_snapshot` —
 the full lifecycle record plus the spec fields needed to reconstruct the
@@ -263,6 +278,32 @@ class JobJournal:
             {"type": "retried", "id": job.id, "retries": job.retries}
         )
 
+    def record_lease(
+        self,
+        job_id: str,
+        action: str,
+        owner: str,
+        ttl: float | None = None,
+    ) -> None:
+        """WAL one lease event (``acquired`` | ``renewed`` | ``released``).
+
+        ``ttl`` (seconds, required for acquire/renew) sets the adoption
+        horizon: replay computes ``lease_expires_at = ts + ttl``, after
+        which any peer scheduler may claim the job for itself.
+        """
+        if action not in ("acquired", "renewed", "released"):
+            raise ServiceError(f"unknown lease action {action!r}")
+        record: dict[str, Any] = {
+            "type": f"lease-{action}", "id": job_id, "owner": owner,
+        }
+        if action != "released":
+            if ttl is None or ttl <= 0:
+                raise ServiceError(
+                    f"lease-{action} needs a positive ttl, got {ttl!r}"
+                )
+            record["ttl"] = float(ttl)
+        self._append(record)
+
     def record_terminal(self, job: Job) -> None:
         """The full final record — results survive restarts through this."""
         if job.state not in JobState.TERMINAL:
@@ -347,6 +388,20 @@ class JobJournal:
                 )
             snapshot["state"] = JobState.QUEUED
             snapshot["started_at"] = None
+            snapshot["lease_owner"] = None
+            snapshot["lease_expires_at"] = None
+        elif kind in ("lease-acquired", "lease-renewed"):
+            snapshot["lease_owner"] = record.get("owner")
+            ts, ttl = record.get("ts"), record.get("ttl")
+            snapshot["lease_expires_at"] = (
+                float(ts) + float(ttl)
+                if isinstance(ts, (int, float))
+                and isinstance(ttl, (int, float))
+                else None
+            )
+        elif kind == "lease-released":
+            snapshot["lease_owner"] = None
+            snapshot["lease_expires_at"] = None
         else:
             summary.skipped += 1
 

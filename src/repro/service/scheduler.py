@@ -30,6 +30,32 @@ task key warm-starts its estimator from the key's persisted ground truth
 and merges its own new truth back in afterwards, so oracle training cost
 is paid once per task, not once per job. ``oracle_calls_saved`` is
 measured against the cold run that seeded the key's store.
+
+**Sharded jobs.** A ``shards=N`` submission fans out as one coordinating
+*parent* plus ``N`` shard children (see :mod:`repro.service.sharding`):
+each child runs the distributed runtime's seeded reduce-search over its
+slice of the level-1 frontier, and whichever worker completes the last
+child merges every shipped local skyline into the parent's result.
+Sharded jobs bypass the result cache, in-flight dedup, and the oracle
+store — shard results are partial by construction and must never poison
+the caches keyed by the full spec's fingerprint.
+
+**Journal leases.** With a journal attached *and an explicit*
+``scheduler_id``, every job this scheduler works on is claimed under a
+lease (``lease-acquired``/``renewed``/``released`` WAL records carrying
+the id and a TTL). Multiple scheduler processes can then share one
+journal directory: each boots against the same WAL, leaves peers'
+live-leased jobs alone, and — via a periodic sweep that replays the
+journal — adopts jobs whose lease expired (a SIGKILLed peer stops
+renewing), charging the usual crash retry for work that died mid-run.
+A scheduler restarting under its *own* id reclaims its leases
+immediately — expiry only gates takeover by peers. Shared-dir mode is
+opt-in precisely because ids must be stable: an anonymous scheduler
+(the default) cannot tell its own pre-crash leases from a live peer's,
+so it journals no leases and recovers exactly as before. Leases
+*narrow* the double-execution window, they do not eliminate it: jobs
+are deterministic and terminal records are idempotent (last writer
+wins), so the guarantee is at-least-once.
 """
 
 from __future__ import annotations
@@ -37,10 +63,16 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
+import uuid
 from typing import Any, Mapping
 
 from ..core.estimator import TestStore
-from ..exceptions import JobLimitExceeded, ServiceError
+from ..exceptions import (
+    JobLimitExceeded,
+    NotCancellableError,
+    ServiceError,
+    UnknownJobError,
+)
 from ..exec import Backend, make_backend
 from ..logging_util import get_logger
 from ..report import build_payload
@@ -48,9 +80,16 @@ from ..scenarios.cache import ResultCache
 from ..scenarios.factory import ResolvedScenario, ScenarioFactory
 from ..scenarios.registry import ScenarioRegistry, load_builtin_scenarios
 from ..scenarios.spec import Scenario
-from .jobs import Job, JobState, limits_from_request, scenario_from_request
+from .jobs import (
+    Job,
+    JobState,
+    limits_from_request,
+    scenario_from_request,
+    shards_from_request,
+)
 from .journal import JobJournal
 from .queue import JobQueue
+from .sharding import ShardRun, merge_shard_results
 from .store import OracleStore, task_key
 
 logger = get_logger("service.scheduler")
@@ -183,11 +222,16 @@ class Scheduler:
         n_workers: int = 2,
         max_retries: int = 2,
         poll_interval: float = 0.2,
+        scheduler_id: str | None = None,
+        lease_ttl: float = 30.0,
+        lease_sweep_interval: float | None = None,
     ):
         if n_workers < 1:
             raise ServiceError("n_workers must be >= 1")
         if max_retries < 0:
             raise ServiceError("max_retries must be >= 0")
+        if scheduler_id is not None and not str(scheduler_id).strip():
+            raise ServiceError("scheduler_id must be non-empty")
         self.registry = (
             registry if registry is not None else load_builtin_scenarios()
         )
@@ -214,6 +258,37 @@ class Scheduler:
         self._failed_quota = 0
         self._dedup_hits = 0
         self._retries_total = 0
+        #: this process's lease identity in the shared journal.
+        self.scheduler_id = (
+            str(scheduler_id).strip()
+            if scheduler_id is not None
+            else f"sched-{uuid.uuid4().hex[:8]}"
+        )
+        #: seconds a lease stays live without renewal; <= 0 disables leases.
+        self.lease_ttl = float(lease_ttl)
+        # Leases are opt-in (explicit id): an anonymous scheduler cannot
+        # tell its own pre-crash leases from a live peer's after a
+        # restart, so it must not write any.
+        self._leases_enabled = (
+            journal is not None
+            and scheduler_id is not None
+            and self.lease_ttl > 0
+        )
+        self._sweep_interval = (
+            float(lease_sweep_interval)
+            if lease_sweep_interval is not None
+            else max(0.5, self.lease_ttl / 3.0)
+        )
+        self._sweep_stop = threading.Event()
+        self._sweep_thread: threading.Thread | None = None
+        #: parent job id → shard child job ids (in shard_index order).
+        self._shard_children: dict[str, list[str]] = {}
+        self._shards_submitted = 0
+        self._shards_merged = 0
+        self._leases_renewed = 0
+        self._leases_adopted = 0
+        self._leases_expired_seen = 0
+        self._leases_imported = 0
         #: fingerprint → id of the job currently queued/running for it.
         self._inflight: dict[str, str] = {}
         #: job id → fingerprint (avoids re-hashing at terminal time).
@@ -230,6 +305,8 @@ class Scheduler:
             "unrecoverable": 0,
             "skipped_lines": 0,
             "torn_tail": False,
+            "remote_leases": 0,
+            "shard_parents": 0,
         }
         if journal is not None:
             self._recover(journal)
@@ -245,11 +322,18 @@ class Scheduler:
         ``failure_reason="retry-budget"`` once ``max_retries`` is spent.
         The post-replay compaction makes the retry accounting durable in
         one segment before any new work is accepted.
+
+        On a *shared* journal dir, non-terminal jobs under a live foreign
+        lease belong to a peer scheduler: they are registered read-only
+        (so lookups answer) but never queued, never charged a retry, and
+        their presence suppresses compaction — rewriting a WAL a live
+        peer is appending to would destroy the peer's records.
         """
         summary = journal.replay()
         stats = self._recovery
         stats["skipped_lines"] = summary.skipped
         stats["torn_tail"] = summary.torn_tail
+        now = time.time()
         for job_id, snapshot in summary.jobs.items():
             try:
                 job = Job.from_snapshot(snapshot)
@@ -262,8 +346,27 @@ class Scheduler:
                 continue
             stats["replayed"] += 1
             self.jobs[job.id] = job
+            self._register_shard_lineage(job)
             if job.terminal:
                 stats["restored_terminal"] += 1
+                continue
+            if (
+                job.lease_owner not in (None, self.scheduler_id)
+                and self._lease_live(job, now)
+            ):
+                # A live peer owns this job: track it, don't touch it.
+                stats["remote_leases"] += 1
+                continue
+            if job.is_shard_parent:
+                # Parents never enter the queue; merging is re-elected
+                # after replay once every child is terminal. A crash
+                # mid-merge costs a re-merge, not a retry charge — the
+                # merge is a pure function of the children's results.
+                if job.state == JobState.RUNNING:
+                    job.state = JobState.QUEUED
+                    job.started_at = None
+                stats["shard_parents"] += 1
+                self._acquire_lease(job)
                 continue
             interrupted = job.state == JobState.RUNNING
             if interrupted:
@@ -277,6 +380,7 @@ class Scheduler:
                 if job.retries > self.max_retries:
                     job.state = JobState.FAILED
                     job.finished_at = time.time()
+                    job.updated_at = job.finished_at
                     job.failure_reason = "retry-budget"
                     job.error = (
                         f"crashed {job.retries} time(s); retry budget of "
@@ -288,19 +392,24 @@ class Scheduler:
                 job.state = JobState.QUEUED
                 stats["retried"] += 1
                 journal.record_retried(job)
-            fingerprint = job.spec.fingerprint()
-            primary_id = self._inflight.get(fingerprint)
-            if primary_id is not None:
-                # Identical content is already being revived: restore the
-                # pre-crash primary/follower relationship instead of
-                # running the same work twice.
-                self._followers.setdefault(primary_id, []).append(job.id)
-                stats["refollowed"] += 1
-                continue
+            if job.shard_index is None:
+                # Shard children share their parent's spec fingerprint by
+                # construction — content dedup only applies to ordinary
+                # jobs.
+                fingerprint = job.spec.fingerprint()
+                primary_id = self._inflight.get(fingerprint)
+                if primary_id is not None:
+                    # Identical content is already being revived: restore
+                    # the pre-crash primary/follower relationship instead
+                    # of running the same work twice.
+                    self._followers.setdefault(primary_id, []).append(job.id)
+                    stats["refollowed"] += 1
+                    continue
+                self._fingerprints[job.id] = fingerprint
+                self._inflight[fingerprint] = job.id
             if not interrupted:
                 stats["requeued"] += 1
-            self._fingerprints[job.id] = fingerprint
-            self._inflight[fingerprint] = job.id
+            self._acquire_lease(job)
             self.queue.push(job)
         if stats["unrecoverable"]:
             # Compacting would rewrite the journal from in-memory jobs
@@ -313,8 +422,22 @@ class Scheduler:
                 "be reconstructed and would be erased",
                 stats["unrecoverable"],
             )
+        elif self._leases_enabled or stats["remote_leases"]:
+            # Shared-journal mode (or a journal carrying foreign leases):
+            # another scheduler process may be appending to — or boot-
+            # compacting — these very segments right now, and there is no
+            # cross-process lock to order the rewrites. Never compact;
+            # correctness beats reclaiming segment space.
+            logger.info(
+                "skipping boot compaction on a shared journal dir "
+                "(%d live peer lease(s) seen)",
+                stats["remote_leases"],
+            )
         else:
             journal.compact(self.jobs.values())
+        for parent in list(self.jobs.values()):
+            if parent.is_shard_parent and not parent.terminal:
+                self._settle_parent(parent.id)
         if stats["replayed"]:
             logger.info(
                 "journal replay: %d job(s) — %d requeued, %d retried, "
@@ -330,6 +453,7 @@ class Scheduler:
         priority: int = 0,
         timeout: float | None = None,
         max_oracle_calls: int | None = None,
+        shards: int | None = None,
     ) -> Job:
         """Validate, dedup, journal, and enqueue a job.
 
@@ -340,11 +464,38 @@ class Scheduler:
         one whose fingerprint is already queued/running becomes a
         *follower* of that in-flight job and inherits its result
         (``deduped=True``) instead of running a second time.
+
+        ``shards=N`` instead fans the submission out as ``N`` shard
+        children plus a coordinating parent (the returned job); sharded
+        submissions skip the result cache and in-flight dedup entirely.
         """
         self.factory.resolve(spec)
         timeout, max_oracle_calls = limits_from_request(
             {"timeout": timeout, "max_oracle_calls": max_oracle_calls}
         )
+        shards = shards_from_request({"shards": shards})
+        if shards is not None:
+            if spec.distributed:
+                raise ServiceError(
+                    "a submission is sharded either via shards=N or via "
+                    "a distributed spec, not both"
+                )
+            if spec.algorithm_kwargs:
+                raise ServiceError(
+                    "algorithm_kwargs do not apply to sharded jobs (each "
+                    "shard runs the seeded reduce-search)"
+                )
+            if spec.budget < shards:
+                raise ServiceError(
+                    f"budget {spec.budget} cannot cover {shards} shard(s); "
+                    "each shard needs at least one valuation"
+                )
+            if timeout is not None or max_oracle_calls is not None:
+                raise ServiceError(
+                    "per-job limits cannot be enforced on sharded jobs "
+                    "(per-shard estimators are private)"
+                )
+            return self._submit_sharded(spec, int(priority), shards)
         if spec.distributed:
             # Distributed runs keep private per-worker estimators, so
             # the oracle-boundary guard has nothing to wrap: a quota can
@@ -418,6 +569,7 @@ class Scheduler:
                     # Identical work already in flight: don't run it twice.
                     self._followers.setdefault(primary.id, []).append(job.id)
                     self._dedup_hits += 1
+                    self._acquire_lease(job)
                     if (
                         job.priority > primary.priority
                         and primary.state == JobState.QUEUED
@@ -450,6 +602,7 @@ class Scheduler:
                     return job
                 self._inflight[fingerprint] = job.id
                 self._fingerprints[job.id] = fingerprint
+                self._acquire_lease(job)
         if job.terminal:  # cache hit: compact outside the lock if due
             self._maybe_compact_journal()
             return job
@@ -482,7 +635,202 @@ class Scheduler:
             priority=priority,
             timeout=timeout,
             max_oracle_calls=max_oracle_calls,
+            shards=shards_from_request(body),
         )
+
+    # -- sharded jobs ------------------------------------------------------------
+    def _register_shard_lineage(self, job: Job) -> None:
+        """Index a shard child under its parent (lock held or boot)."""
+        if job.parent_id is not None:
+            siblings = self._shard_children.setdefault(job.parent_id, [])
+            if job.id not in siblings:
+                siblings.append(job.id)
+
+    def _submit_sharded(self, spec: Scenario, priority: int, shards: int) -> Job:
+        """Fan one submission out as a parent plus ``shards`` children.
+
+        All ``shards + 1`` records are journaled strictly before any
+        child is queued — a submission that cannot be made durable as a
+        whole never happened (every already-appended record gets a
+        compensating cancel). Returns the parent job.
+        """
+        parent = Job(spec=spec, priority=priority, shards=shards)
+        children = [
+            Job(
+                spec=spec,
+                priority=priority,
+                shards=shards,
+                parent_id=parent.id,
+                shard_index=index,
+            )
+            for index in range(shards)
+        ]
+        with self._lock:
+            self.jobs[parent.id] = parent
+            self._submitted += 1
+            journaled: list[Job] = []
+            try:
+                self._journal_submitted(parent)
+                journaled.append(parent)
+                for child in children:
+                    self.jobs[child.id] = child
+                    self._journal_submitted(child)
+                    journaled.append(child)
+            except Exception:
+                # Strict WAL, all-or-nothing: unwind the whole family and
+                # append compensating cancels for what did get through.
+                for job in (parent, *children):
+                    self.jobs.pop(job.id, None)
+                self._submitted -= 1
+                for job in journaled:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                    try:
+                        self.journal.record_terminal(job)
+                    except Exception:
+                        logger.warning(
+                            "job %s: compensating cancellation record also "
+                            "failed; the job may replay once", job.id,
+                        )
+                raise
+            self._shard_children[parent.id] = [c.id for c in children]
+            self._shards_submitted += 1
+            self._acquire_lease(parent)
+            for child in children:
+                self._acquire_lease(child)
+        closed = False
+        for child in children:
+            try:
+                self.queue.push(child)
+            except ServiceError:
+                closed = True
+                with self._lock:
+                    if child.state == JobState.QUEUED:
+                        child.transition(JobState.CANCELLED)
+                        self._journal_terminal(child)
+                        self._release_lease(child)
+                        self._cond.notify_all()
+        if closed:
+            # Submission raced a shutdown; whatever children did get in
+            # settle the parent (FAILED on the cancelled shards) once
+            # they finish — or right now if none were accepted.
+            self._settle_parent(parent.id)
+            raise ServiceError("queue is closed; cannot accept jobs")
+        return parent
+
+    def _execute_shard(self, job: Job) -> None:
+        """Run one shard child through the backend, then try to settle."""
+        with self._lock:
+            if job.state != JobState.QUEUED:
+                return  # cancelled between pop and execution
+            job.transition(JobState.RUNNING)
+            self._journal_started(job)
+        start = time.perf_counter()
+        try:
+            resolved = self.factory.resolve(job.spec)
+            outcome = self.backend.run_one(
+                ShardRun(resolved, job.shards, job.shard_index)
+            )
+            with self._lock:
+                job.result = outcome
+                job.run_seconds = time.perf_counter() - start
+                job.transition(JobState.DONE)
+                self._journal_terminal(job)
+                self._release_lease(job)
+                self._cond.notify_all()
+        except Exception as exc:  # noqa: BLE001 — per-shard isolation
+            logger.warning(
+                "shard %s/%s of job %s failed: %s",
+                job.shard_index, job.shards, job.parent_id, exc,
+            )
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.failure_reason = "error"
+                job.run_seconds = time.perf_counter() - start
+                job.transition(JobState.FAILED)
+                self._journal_terminal(job)
+                self._release_lease(job)
+                self._cond.notify_all()
+        self._settle_parent(job.parent_id)
+        self._maybe_compact_journal()
+
+    def _settle_parent(self, parent_id: str | None) -> None:
+        """Merge (or fail) a parent once every shard child is terminal.
+
+        Whichever caller finds the parent still ``QUEUED`` with all
+        children terminal wins the merge election (``QUEUED → RUNNING``
+        under the lock); everyone else returns. The merge itself — and
+        its optional oracle re-scoring — runs outside the lock.
+        """
+        if parent_id is None:
+            return
+        with self._lock:
+            parent = self.jobs.get(parent_id)
+            if parent is None or parent.terminal:
+                return
+            child_ids = self._shard_children.get(parent_id, [])
+            children = [
+                self.jobs[cid] for cid in child_ids if cid in self.jobs
+            ]
+            expected = parent.shards or 0
+            if len(children) < expected or not all(
+                c.terminal for c in children
+            ):
+                return
+            if parent.state != JobState.QUEUED:
+                return  # another worker (or scheduler) is already merging
+            children.sort(key=lambda c: c.shard_index or 0)
+            failed = [c for c in children if c.state != JobState.DONE]
+            parent.transition(JobState.RUNNING)
+            self._journal_started(parent)
+            if failed:
+                sample = "; ".join(
+                    f"shard {c.shard_index}: {c.state}"
+                    + (f" ({c.error})" if c.error else "")
+                    for c in failed[:3]
+                )
+                parent.error = (
+                    f"{len(failed)} of {len(children)} shard(s) did not "
+                    f"finish: {sample}"
+                )
+                parent.failure_reason = "shard"
+                parent.transition(JobState.FAILED)
+                self._journal_terminal(parent)
+                self._release_lease(parent)
+                self._on_terminal(parent)
+                self._cond.notify_all()
+                return
+            merge_input = [dict(c.result or {}) for c in children]
+        start = time.perf_counter()
+        try:
+            resolved = self.factory.resolve(parent.spec)
+            payload = merge_shard_results(resolved, merge_input)
+        except Exception as exc:  # noqa: BLE001 — isolate the merge too
+            logger.warning("merge for job %s failed: %s", parent_id, exc)
+            with self._lock:
+                if parent.state != JobState.RUNNING:
+                    return
+                parent.error = f"{type(exc).__name__}: {exc}"
+                parent.failure_reason = "error"
+                parent.run_seconds = time.perf_counter() - start
+                parent.transition(JobState.FAILED)
+                self._journal_terminal(parent)
+                self._release_lease(parent)
+                self._on_terminal(parent)
+                self._cond.notify_all()
+            return
+        with self._lock:
+            if parent.state != JobState.RUNNING:
+                return  # raced by a peer's terminal import
+            parent.result = payload
+            parent.run_seconds = time.perf_counter() - start
+            parent.transition(JobState.DONE)
+            self._journal_terminal(parent)
+            self._release_lease(parent)
+            self._shards_merged += 1
+            self._on_terminal(parent)
+            self._cond.notify_all()
+        self._maybe_compact_journal()
 
     # -- journal hooks (lock held) -----------------------------------------------
     # Appends (one fsync'd line, single-digit ms) deliberately stay under
@@ -533,10 +881,219 @@ class Scheduler:
         """
         if self.journal is None:
             return
+        if self._leases_enabled or self._peer_active():
+            # Shared-journal mode: a peer process may be appending to the
+            # same WAL — compacting here would rewrite it from *this*
+            # process's view only and destroy the peer's records. A peer
+            # that has not leased anything yet is invisible, so an
+            # explicit ``scheduler_id`` disables compaction outright
+            # rather than trusting `_peer_active`. The `_peer_active`
+            # check still protects anonymous schedulers pointed at a
+            # journal that carries foreign leases.
+            return
         try:
             self.journal.maybe_compact()
         except Exception:
             logger.warning("journal compaction failed", exc_info=True)
+
+    # -- journal leases ----------------------------------------------------------
+    def _lease_active(self) -> bool:
+        """Leases exist only with a journal, an explicit id, and a TTL."""
+        return self._leases_enabled
+
+    def _lease_live(self, job: Job, now: float) -> bool:
+        """True while ``job``'s lease has an owner and has not expired."""
+        return (
+            job.lease_owner is not None
+            and job.lease_expires_at is not None
+            and job.lease_expires_at > now
+        )
+
+    def _acquire_lease(self, job: Job, action: str = "acquired") -> None:
+        """Claim (or renew) ``job`` for this scheduler (lock held).
+
+        Best-effort: a lease record that cannot be appended only widens
+        the adoption window for peers — it never blocks the work itself.
+        """
+        if not self._lease_active():
+            return
+        try:
+            self.journal.record_lease(
+                job.id, action, self.scheduler_id, self.lease_ttl
+            )
+        except Exception:
+            logger.warning(
+                "job %s: could not journal the lease-%s record",
+                job.id, action, exc_info=True,
+            )
+        job.lease_owner = self.scheduler_id
+        job.lease_expires_at = time.time() + self.lease_ttl
+
+    def _release_lease(self, job: Job) -> None:
+        """Drop this scheduler's lease at terminal time (lock held)."""
+        if not self._lease_active() or job.lease_owner != self.scheduler_id:
+            return
+        try:
+            self.journal.record_lease(job.id, "released", self.scheduler_id)
+        except Exception:
+            logger.warning(
+                "job %s: could not journal the lease-released record",
+                job.id, exc_info=True,
+            )
+        job.lease_owner = None
+        job.lease_expires_at = None
+
+    def _peer_active(self) -> bool:
+        """True while any tracked non-terminal job is live-leased by a peer.
+
+        Deliberately not gated on leases being enabled *here*: an
+        anonymous scheduler pointed at a shared journal dir must still
+        notice live foreign leases before compacting.
+        """
+        now = time.time()
+        with self._lock:
+            return any(
+                not job.terminal
+                and job.lease_owner not in (None, self.scheduler_id)
+                and self._lease_live(job, now)
+                for job in self.jobs.values()
+            )
+
+    def _adopt_locked(self, job: Job, stats: dict[str, int]) -> None:
+        """Take over an unleased/expired non-terminal job (lock held).
+
+        A ``RUNNING`` orphan died under its previous owner mid-run, so
+        adoption charges the usual crash retry (failing it outright with
+        ``failure_reason="retry-budget"`` once the budget is spent);
+        ``QUEUED`` orphans are simply re-queued under our lease. Parents
+        are never queued — adopting one just claims the merge.
+        """
+        if job.state == JobState.RUNNING and not job.is_shard_parent:
+            job.retries += 1
+            self._retries_total += 1
+            job.started_at = None
+            if job.retries > self.max_retries:
+                job.state = JobState.FAILED
+                job.finished_at = time.time()
+                job.updated_at = job.finished_at
+                job.failure_reason = "retry-budget"
+                job.error = (
+                    f"crashed {job.retries} time(s); retry budget of "
+                    f"{self.max_retries} exhausted"
+                )
+                self.jobs[job.id] = job
+                self._register_shard_lineage(job)
+                self._journal_terminal(job)
+                self._cond.notify_all()
+                return
+            job.state = JobState.QUEUED
+            try:
+                self.journal.record_retried(job)
+            except Exception:
+                logger.warning(
+                    "job %s: could not journal the adoption retry",
+                    job.id, exc_info=True,
+                )
+        elif job.is_shard_parent and job.state == JobState.RUNNING:
+            # The previous owner died mid-merge; merging is a pure
+            # function of the children's results, so just re-elect.
+            job.state = JobState.QUEUED
+            job.started_at = None
+        self.jobs[job.id] = job
+        self._register_shard_lineage(job)
+        self._acquire_lease(job)
+        stats["adopted"] += 1
+        self._leases_adopted += 1
+        if not job.is_shard_parent:
+            try:
+                self.queue.push(job)
+            except ServiceError:
+                pass  # shutting down; the journal still holds the job
+
+    def sweep_leases(self) -> dict[str, int]:
+        """One lease maintenance pass: renew ours, adopt the expired.
+
+        Renews every non-terminal job this scheduler owns, then replays
+        the shared journal to (a) import jobs a peer scheduler created
+        or finished since the last pass, and (b) *adopt* non-terminal
+        jobs whose lease has expired — a SIGKILLed peer stops renewing,
+        so after one TTL its orphans are picked up here, with the usual
+        crash-retry charge for work that died ``RUNNING``. Runs
+        periodically on a background thread (see :meth:`start`); public
+        and synchronous so tests and operators can force a pass.
+        Returns the pass's counts (``renewed``/``imported``/``adopted``/
+        ``expired``).
+        """
+        stats = {"renewed": 0, "imported": 0, "adopted": 0, "expired": 0}
+        if not self._lease_active():
+            return stats
+        with self._lock:
+            for job in self.jobs.values():
+                if not job.terminal and job.lease_owner == self.scheduler_id:
+                    self._acquire_lease(job, action="renewed")
+                    stats["renewed"] += 1
+                    self._leases_renewed += 1
+        try:
+            summary = self.journal.replay()
+        except Exception:
+            logger.warning("lease sweep: journal replay failed",
+                           exc_info=True)
+            return stats
+        now = time.time()
+        with self._lock:
+            for job_id, snapshot in summary.jobs.items():
+                known = self.jobs.get(job_id)
+                if known is not None and (
+                    known.terminal
+                    or known.lease_owner in (None, self.scheduler_id)
+                ):
+                    # Terminal records never change, and jobs we own (or
+                    # that pre-date leases) are authoritative in memory.
+                    continue
+                try:
+                    job = Job.from_snapshot(snapshot)
+                except Exception:
+                    continue
+                if job.terminal:
+                    # A peer finished it: import the outcome wholesale so
+                    # lookups/waits here see the result too.
+                    self.jobs[job_id] = job
+                    self._register_shard_lineage(job)
+                    stats["imported"] += 1
+                    self._leases_imported += 1
+                    self._cond.notify_all()
+                    continue
+                if (
+                    job.lease_owner not in (None, self.scheduler_id)
+                    and self._lease_live(job, now)
+                ):
+                    # Still under a live foreign lease: track read-only.
+                    self.jobs[job_id] = job
+                    self._register_shard_lineage(job)
+                    if known is None:
+                        stats["imported"] += 1
+                        self._leases_imported += 1
+                    continue
+                if job.lease_owner is not None:
+                    stats["expired"] += 1
+                    self._leases_expired_seen += 1
+                self._adopt_locked(job, stats)
+            parents = [
+                p.id
+                for p in self.jobs.values()
+                if p.is_shard_parent and not p.terminal
+            ]
+        for parent_id in parents:
+            self._settle_parent(parent_id)
+        return stats
+
+    def _sweep_loop(self) -> None:
+        """Background lease maintenance until :meth:`stop`."""
+        while not self._sweep_stop.wait(self._sweep_interval):
+            try:
+                self.sweep_leases()
+            except Exception:  # pragma: no cover - absolute backstop
+                logger.exception("lease sweep failed")
 
     # -- dedup bookkeeping (lock held) -------------------------------------------
     def _on_terminal(self, job: Job) -> None:
@@ -595,12 +1152,45 @@ class Scheduler:
 
     # -- lookups -----------------------------------------------------------------
     def get(self, job_id: str) -> Job:
-        """Look one job up by id; unknown ids raise ``ServiceError``."""
+        """Look one job up by id; unknown ids raise ``UnknownJobError``."""
         with self._lock:
             try:
                 return self.jobs[job_id]
             except KeyError:
-                raise ServiceError(f"unknown job id {job_id!r}") from None
+                raise UnknownJobError(
+                    f"unknown job id {job_id!r}"
+                ) from None
+
+    def describe(self, job_id: str, include_result: bool = False) -> dict:
+        """One job's API payload, with shard lineage for parents.
+
+        Parents additionally carry ``shard_jobs`` — id, ``shard_index``,
+        and state per child, in shard order — so ``GET /v1/jobs/{id}``
+        shows scatter progress without N extra lookups.
+        """
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job id {job_id!r}")
+            payload = job.to_payload(include_result=include_result)
+            if job.is_shard_parent:
+                children = sorted(
+                    (
+                        self.jobs[cid]
+                        for cid in self._shard_children.get(job_id, [])
+                        if cid in self.jobs
+                    ),
+                    key=lambda c: c.shard_index or 0,
+                )
+                payload["shard_jobs"] = [
+                    {
+                        "id": c.id,
+                        "shard_index": c.shard_index,
+                        "state": c.state,
+                    }
+                    for c in children
+                ]
+        return payload
 
     def list_jobs(self) -> list[Job]:
         """Every known job, in submission order."""
@@ -608,18 +1198,39 @@ class Scheduler:
             return list(self.jobs.values())
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a *queued* job; running/terminal jobs are not preemptible."""
+        """Cancel a *queued* job; running/terminal jobs are not preemptible.
+
+        Cancelling a sharded parent cascades to its still-queued
+        children (running shards finish, but nobody will merge them);
+        children themselves are not individually cancellable — cancel
+        the parent.
+        """
         with self._lock:
             job = self.jobs.get(job_id)
             if job is None:
-                raise ServiceError(f"unknown job id {job_id!r}")
+                raise UnknownJobError(f"unknown job id {job_id!r}")
+            if job.shard_index is not None:
+                raise NotCancellableError(
+                    f"job {job_id} is shard {job.shard_index} of "
+                    f"{job.parent_id}; cancel the parent job instead",
+                    detail={"parent_id": job.parent_id},
+                )
             if job.state != JobState.QUEUED:
-                raise ServiceError(
+                raise NotCancellableError(
                     f"job {job_id} is {job.state}; only queued jobs can "
-                    "be cancelled"
+                    "be cancelled",
+                    detail={"state": job.state},
                 )
             job.transition(JobState.CANCELLED)
             self._journal_terminal(job)
+            self._release_lease(job)
+            if job.is_shard_parent:
+                for cid in self._shard_children.get(job.id, []):
+                    child = self.jobs.get(cid)
+                    if child is not None and child.state == JobState.QUEUED:
+                        child.transition(JobState.CANCELLED)
+                        self._journal_terminal(child)
+                        self._release_lease(child)
             self._on_terminal(job)
             self._cond.notify_all()
         self._maybe_compact_journal()
@@ -627,7 +1238,7 @@ class Scheduler:
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the worker threads and the lease sweep (idempotent)."""
         if self._threads:
             return
         for index in range(self.n_workers):
@@ -638,6 +1249,14 @@ class Scheduler:
             )
             thread.start()
             self._threads.append(thread)
+        if self._lease_active() and self._sweep_thread is None:
+            self._sweep_stop.clear()
+            self._sweep_thread = threading.Thread(
+                target=self._sweep_loop,
+                name="repro-service-lease-sweep",
+                daemon=True,
+            )
+            self._sweep_thread.start()
 
     def stop(self, drain: bool = False, timeout: float | None = None) -> None:
         """Shut the pool down.
@@ -650,6 +1269,10 @@ class Scheduler:
         In-flight jobs always run to completion (worker threads cannot be
         preempted mid-job).
         """
+        self._sweep_stop.set()
+        if self._sweep_thread is not None:
+            self._sweep_thread.join(timeout)
+            self._sweep_thread = None
         if not drain and self.journal is None:
             with self._lock:
                 for job in self.jobs.values():
@@ -682,7 +1305,7 @@ class Scheduler:
             while True:
                 job = self.jobs.get(job_id)
                 if job is None:
-                    raise ServiceError(f"unknown job id {job_id!r}")
+                    raise UnknownJobError(f"unknown job id {job_id!r}")
                 if job.terminal:
                     return job
                 if deadline is None:
@@ -723,6 +1346,9 @@ class Scheduler:
                 logger.exception("worker crashed executing job %s", job.id)
 
     def _execute(self, job: Job) -> None:
+        if job.shard_index is not None:
+            self._execute_shard(job)
+            return
         with self._lock:
             if job.state != JobState.QUEUED:
                 return  # cancelled between pop and execution
@@ -886,10 +1512,24 @@ class Scheduler:
     def metrics(self) -> dict[str, Any]:
         """The ``GET /metrics`` payload: queue, jobs, cache, oracle savings,
         per-job limit failures, dedup hits, and journal/recovery state."""
+        now = time.time()
         with self._lock:
             by_state = {state: 0 for state in JobState.ALL}
+            parents = children = children_in_flight = leases_held = 0
             for job in self.jobs.values():
                 by_state[job.state] += 1
+                if job.is_shard_parent:
+                    parents += 1
+                elif job.shard_index is not None:
+                    children += 1
+                    if not job.terminal:
+                        children_in_flight += 1
+                if (
+                    not job.terminal
+                    and job.lease_owner == self.scheduler_id
+                    and self._lease_live(job, now)
+                ):
+                    leases_held += 1
             lookups = (
                 self._submitted if self.result_cache is not None else 0
             )
@@ -921,6 +1561,23 @@ class Scheduler:
                     "warm_starts": self._warm_starts,
                     "calls_total": self._oracle_calls_total,
                     "calls_saved_total": self._oracle_calls_saved_total,
+                },
+                "shards": {
+                    "submitted": self._shards_submitted,
+                    "merged": self._shards_merged,
+                    "parents": parents,
+                    "children": children,
+                    "in_flight": children_in_flight,
+                },
+                "leases": {
+                    "enabled": self._lease_active(),
+                    "owner": self.scheduler_id,
+                    "ttl_seconds": self.lease_ttl,
+                    "held": leases_held,
+                    "renewed": self._leases_renewed,
+                    "adopted": self._leases_adopted,
+                    "expired_seen": self._leases_expired_seen,
+                    "imported": self._leases_imported,
                 },
             }
         # Outside the scheduler lock: the task cache has its own lock and

@@ -2,34 +2,79 @@
 
 Pure stdlib (``http.server``) — the service adds no third-party
 dependencies. A ``ThreadingHTTPServer`` keeps request handling off the
-worker pool, so ``GET /metrics`` answers while jobs are running.
+worker pool, so ``GET /v1/metrics`` answers while jobs are running.
 
-Routes::
+Routes (v1)::
 
-    POST   /jobs            submit ({"scenario": name} or inline fields,
-                            optional "priority"); 201 + job record
-    GET    /jobs            all jobs, submission order
-    GET    /jobs/{id}       one job record
-    DELETE /jobs/{id}       cancel a queued job (409 when not cancellable)
-    GET    /results/{id}    the full result payload of a DONE job
-    GET    /healthz         liveness + version
-    GET    /metrics         queue depth, jobs by state, cache hit rate,
-                            oracle calls saved by warm-starts
+    POST   /v1/jobs          submit ({"scenario": name} or inline fields,
+                             optional "priority"/"shards"/limits); 201 +
+                             job record. A JSON *list* submits a batch:
+                             207 + {"jobs": [{"status", "job"|"error"}]}
+                             with one entry per item, in order.
+    GET    /v1/jobs          jobs in submission order; ``?state=`` filters,
+                             ``?limit=`` caps, ``?after=<job id>`` resumes
+                             a page — the response's ``next`` cursor is the
+                             last returned id (null when exhausted).
+    GET    /v1/jobs/{id}     one job record (sharded parents include
+                             ``shard_jobs``). Carries a weak ``ETag``;
+                             ``If-None-Match`` answers ``304 Not Modified``
+                             with an empty body when the job is unchanged.
+    DELETE /v1/jobs/{id}     cancel a queued job (cascades to a sharded
+                             parent's queued children)
+    GET    /v1/results/{id}  the full result payload of a DONE job
+    GET    /v1/healthz       liveness, version, scheduler/lease identity
+    GET    /v1/metrics       queue depth, jobs by state, cache hit rate,
+                             shards in flight, leases held/adopted
 
-Errors are JSON too: ``{"error": "..."}`` with a 4xx/5xx status.
+The original unversioned paths (``/jobs``, ``/results/{id}``,
+``/healthz``, ``/metrics``) remain as deprecated aliases: same handlers,
+same payloads, plus a ``Deprecation: true`` response header.
+
+Every 4xx/5xx body is the error envelope::
+
+    {"error": {"code": "...", "message": "...", "detail": {...}}}
+
+with ``code`` one of (see :mod:`repro.exceptions`):
+
+==================  ======  ====================================================
+code                status  raised when
+==================  ======  ====================================================
+invalid-request     400     malformed body/query: not JSON, unknown or
+                            ill-typed fields, bad limits, bad pagination
+invalid-scenario    400     the spec does not resolve (unknown scenario,
+                            task, algorithm, or illegal field combination)
+payload-too-large   400     declared request body exceeds MAX_BODY_BYTES
+unknown-job         404     the job id is not known to the scheduler
+unknown-route       404     no route matches the method + path
+not-cancellable     409     DELETE on a job that is not queued, or on a
+                            shard child (cancel the parent instead)
+result-not-ready    409     GET /v1/results/{id} before the job is DONE
+internal            500     unhandled server-side failure
+==================  ======  ====================================================
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qsl
 
 from .. import __version__
-from ..exceptions import ReproError, ServiceError
+from ..exceptions import (
+    ApiError,
+    InvalidRequestError,
+    PayloadTooLargeError,
+    ReproError,
+    ResultNotReadyError,
+    ScenarioError,
+    ServiceError,
+    UnknownRouteError,
+)
 from ..logging_util import get_logger
 from .jobs import JobState
 from .scheduler import Scheduler
@@ -39,8 +84,36 @@ logger = get_logger("service.server")
 #: Submissions larger than this are rejected outright (sanity bound).
 MAX_BODY_BYTES = 1 << 20
 
+#: Jobs returned by an unbounded ``GET /v1/jobs`` page.
+MAX_PAGE_SIZE = 1000
+
 _JOB_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
 _RESULT_ROUTE = re.compile(r"^/results/([A-Za-z0-9_.-]+)$")
+
+_LIST_PARAMS = frozenset({"state", "limit", "after"})
+
+
+def job_etag(payload: dict[str, Any]) -> str:
+    """A weak validator for one job record.
+
+    Derived from everything a poller can observe changing — state,
+    ``updated_at``, and (for sharded parents) each child's state — so a
+    ``304`` is guaranteed to mean "nothing you can see moved". Weak
+    (``W/``) because two byte-different renderings of the same lifecycle
+    point share a tag.
+    """
+    token = json.dumps(
+        [
+            payload.get("state"),
+            payload.get("updated_at"),
+            [
+                (c.get("id"), c.get("state"))
+                for c in payload.get("shard_jobs", [])
+            ],
+        ],
+        separators=(",", ":"),
+    )
+    return 'W/"' + hashlib.sha1(token.encode("utf-8")).hexdigest()[:20] + '"'
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -57,11 +130,35 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _split_route(self) -> tuple[str, str]:
+        """Normalize the request path to its unversioned route + query.
+
+        ``/v1/...`` is the current API; bare paths are the deprecated
+        aliases and mark the response (``Deprecation: true``).
+        """
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        if path == "/v1" or path.startswith("/v1/"):
+            self._deprecated = False
+            path = path[len("/v1"):] or "/"
+        else:
+            self._deprecated = True
+        return path, query
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if getattr(self, "_deprecated", False):
+            self.send_header("Deprecation", "true")
         if self.close_connection:
             # Set when we refuse to read a request body: the unread bytes
             # would desynchronize a kept-alive HTTP/1.1 stream.
@@ -69,44 +166,85 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_not_modified(self, etag: str) -> None:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        if getattr(self, "_deprecated", False):
+            self.send_header("Deprecation", "true")
+        self.end_headers()
 
-    def _read_body(self) -> dict[str, Any]:
+    def _send_error_json(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: dict[str, Any] | None = None,
+    ) -> None:
+        self._send_json(
+            status,
+            {
+                "error": {
+                    "code": code,
+                    "message": message,
+                    "detail": detail or {},
+                }
+            },
+        )
+
+    def _read_body(self) -> Any:
+        """The request body as parsed JSON (an object, or a batch list)."""
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
             # Reject without reading — and drop the connection, since the
             # unread body bytes would be parsed as the next request line.
             self.close_connection = True
-            raise ServiceError(
+            raise PayloadTooLargeError(
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit"
+                f"{MAX_BODY_BYTES}-byte limit",
+                detail={"limit_bytes": MAX_BODY_BYTES, "got_bytes": length},
             )
         raw = self.rfile.read(length) if length else b""
         if not raw:
-            raise ServiceError("empty request body; expected a JSON object")
+            raise InvalidRequestError(
+                "empty request body; expected a JSON object"
+            )
         try:
             body = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise ServiceError(f"request body is not valid JSON: {exc}")
-        if not isinstance(body, dict):
-            raise ServiceError("request body must be a JSON object")
+            raise InvalidRequestError(
+                f"request body is not valid JSON: {exc}"
+            )
+        if not isinstance(body, (dict, list)):
+            raise InvalidRequestError(
+                "request body must be a JSON object (or a list of "
+                "objects for a batch submission)"
+            )
         return body
 
     def _guarded(self, handler) -> None:
-        """Run a route handler, mapping errors to JSON responses."""
+        """Run a route handler, mapping errors to envelope responses."""
         try:
             handler()
+        except ApiError as exc:
+            self._send_error_json(
+                exc.http_status, exc.code, str(exc), exc.detail
+            )
+        except ScenarioError as exc:
+            self._send_error_json(400, "invalid-scenario", str(exc))
         except ServiceError as exc:
-            self._send_error_json(400, str(exc))
+            self._send_error_json(400, "invalid-request", str(exc))
         except ReproError as exc:
-            # Unresolvable scenario, unknown task/algorithm, bad kwargs.
-            self._send_error_json(400, str(exc))
+            # Unknown task/algorithm, bad kwargs, and similar spec-level
+            # failures surfacing from below the scenario layer.
+            self._send_error_json(400, "invalid-request", str(exc))
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
         except Exception as exc:  # pragma: no cover - last-resort 500
             logger.exception("unhandled error serving %s", self.path)
-            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            self._send_error_json(
+                500, "internal", f"{type(exc).__name__}: {exc}"
+            )
 
     # -- verbs -------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -120,18 +258,22 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------------
     def _get(self) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, query = self._split_route()
         if path == "/healthz":
+            scheduler = self.scheduler
             self._send_json(
                 200,
                 {
                     "status": "ok",
                     "version": __version__,
+                    "api": "v1",
                     "uptime_seconds": (
                         time.time()
                         - self.server.started_at  # type: ignore[attr-defined]
                     ),
-                    "journal": self.scheduler.journal is not None,
+                    "journal": scheduler.journal is not None,
+                    "scheduler_id": scheduler.scheduler_id,
+                    "leases": scheduler._lease_active(),
                 },
             )
             return
@@ -139,66 +281,150 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self.scheduler.metrics())
             return
         if path == "/jobs":
-            self._send_json(
-                200,
-                {
-                    "jobs": [
-                        job.to_payload()
-                        for job in self.scheduler.list_jobs()
-                    ]
-                },
-            )
+            self._send_json(200, self._list_jobs(query))
             return
         match = _JOB_ROUTE.match(path)
         if match:
-            try:
-                job = self.scheduler.get(match.group(1))
-            except ServiceError as exc:
-                self._send_error_json(404, str(exc))
+            payload = self.scheduler.describe(match.group(1))
+            etag = job_etag(payload)
+            if etag in (self.headers.get("If-None-Match") or ""):
+                self._send_not_modified(etag)
                 return
-            self._send_json(200, job.to_payload())
+            self._send_json(200, payload, headers={"ETag": etag})
             return
         match = _RESULT_ROUTE.match(path)
         if match:
-            try:
-                job = self.scheduler.get(match.group(1))
-            except ServiceError as exc:
-                self._send_error_json(404, str(exc))
-                return
+            job = self.scheduler.get(match.group(1))
             if job.state != JobState.DONE or job.result is None:
-                self._send_error_json(
-                    409,
+                raise ResultNotReadyError(
                     f"job {job.id} is {job.state}; results exist only "
                     "for done jobs",
+                    detail={"state": job.state},
                 )
-                return
-            self._send_json(200, job.to_payload(include_result=True))
+            self._send_json(
+                200, self.scheduler.describe(job.id, include_result=True)
+            )
             return
-        self._send_error_json(404, f"no route for GET {path}")
+        raise UnknownRouteError(f"no route for GET {path}")
+
+    def _list_jobs(self, query: str) -> dict[str, Any]:
+        """The paginated ``GET /v1/jobs`` payload."""
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        unknown = set(params) - _LIST_PARAMS
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown query parameter(s): {', '.join(sorted(unknown))}",
+                detail={"valid": sorted(_LIST_PARAMS)},
+            )
+        state = params.get("state")
+        if state is not None and state not in JobState.ALL:
+            raise InvalidRequestError(
+                f"unknown state filter {state!r}",
+                detail={"valid": sorted(JobState.ALL)},
+            )
+        limit = MAX_PAGE_SIZE
+        if "limit" in params:
+            try:
+                limit = int(params["limit"])
+            except ValueError:
+                limit = -1
+            if not 1 <= limit <= MAX_PAGE_SIZE:
+                raise InvalidRequestError(
+                    f"limit must be an integer in 1..{MAX_PAGE_SIZE}, "
+                    f"got {params['limit']!r}"
+                )
+        jobs = self.scheduler.list_jobs()
+        after = params.get("after")
+        if after is not None:
+            # The cursor is a job id: resume from the position *after* it
+            # in submission order, before any state filtering — so a
+            # filtered walk never skips jobs that changed state between
+            # pages.
+            index = next(
+                (i for i, job in enumerate(jobs) if job.id == after), None
+            )
+            if index is None:
+                raise InvalidRequestError(
+                    f"unknown cursor {after!r}; pass a job id previously "
+                    "returned by this listing"
+                )
+            jobs = jobs[index + 1:]
+        if state is not None:
+            jobs = [job for job in jobs if job.state == state]
+        page = jobs[:limit]
+        return {
+            "jobs": [job.to_payload() for job in page],
+            "next": page[-1].id if len(jobs) > len(page) else None,
+        }
 
     def _post(self) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path, _ = self._split_route()
         if path != "/jobs":
-            self._send_error_json(404, f"no route for POST {path}")
-            return
+            raise UnknownRouteError(f"no route for POST {path}")
         body = self._read_body()
+        if isinstance(body, list):
+            self._post_batch(body)
+            return
         job = self.scheduler.submit_request(body)
         self._send_json(201, job.to_payload())
 
+    def _post_batch(self, items: list[Any]) -> None:
+        """Submit a list of jobs; per-item outcomes, 207 Multi-Status.
+
+        Items are submitted in order, each independently: one bad item
+        reports its own error envelope in place without failing the
+        rest (identical items still dedup against each other through
+        the scheduler, like any other submission).
+        """
+        if not items:
+            raise InvalidRequestError(
+                "batch submission must contain at least one job"
+            )
+        results: list[dict[str, Any]] = []
+        for index, item in enumerate(items):
+            try:
+                if not isinstance(item, dict):
+                    raise InvalidRequestError(
+                        f"batch item {index} must be a JSON object"
+                    )
+                job = self.scheduler.submit_request(item)
+            except ApiError as exc:
+                results.append({
+                    "status": exc.http_status,
+                    "error": {
+                        "code": exc.code,
+                        "message": str(exc),
+                        "detail": exc.detail,
+                    },
+                })
+            except ScenarioError as exc:
+                results.append({
+                    "status": 400,
+                    "error": {
+                        "code": "invalid-scenario",
+                        "message": str(exc),
+                        "detail": {},
+                    },
+                })
+            except ReproError as exc:
+                results.append({
+                    "status": 400,
+                    "error": {
+                        "code": "invalid-request",
+                        "message": str(exc),
+                        "detail": {},
+                    },
+                })
+            else:
+                results.append({"status": 201, "job": job.to_payload()})
+        self._send_json(207, {"jobs": results})
+
     def _delete(self) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path, _ = self._split_route()
         match = _JOB_ROUTE.match(path)
         if not match:
-            self._send_error_json(404, f"no route for DELETE {path}")
-            return
-        job_id = match.group(1)
-        try:
-            job = self.scheduler.cancel(job_id)
-        except ServiceError as exc:
-            message = str(exc)
-            status = 404 if "unknown job id" in message else 409
-            self._send_error_json(status, message)
-            return
+            raise UnknownRouteError(f"no route for DELETE {path}")
+        job = self.scheduler.cancel(match.group(1))
         self._send_json(200, job.to_payload())
 
 
