@@ -1,0 +1,137 @@
+"""Observability overhead gate: instrumentation must be ~free when idle.
+
+PR 7 threads ``repro.obs`` spans through the valuation hot loop
+(``_valuate_batch``, per-level expansion, surrogate refits). Outside the
+service no collector is installed, so every one of those ``span()`` calls
+must take the constant-time fast path — two attribute loads and a
+``None`` check. This benchmark enforces that with a machine-independent
+projection instead of comparing two noisy end-to-end timings:
+
+1. microbenchmark the *disabled* ``span()`` call (no collector) to get a
+   per-call cost in nanoseconds;
+2. run a real search once with a collector to count how many span-manager
+   calls the search actually issues per valuated state (spans recorded +
+   spans attempted — the honest call-site count);
+3. run the same search plainly (no collector) to get the baseline cost
+   per valuated state;
+4. gate: ``calls_per_state x disabled_cost`` must stay under
+   ``OVERHEAD_BUDGET`` (3%) of the per-state baseline.
+
+Both factors are measured on this machine, so the ratio is stable across
+hardware — a slow box inflates numerator and denominator alike.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _harness import bench_task, print_table
+from repro.core.algorithms import ApxMODis
+from repro.obs import SpanCollector, span, use_collector
+
+TASK = "T3"
+SCALE = 0.3
+EPSILON = 0.2
+BUDGET = 60
+MAX_LEVEL = 4
+MICRO_CALLS = 200_000
+REPEATS = 3
+OVERHEAD_BUDGET = 0.03
+OUTPUT = Path("BENCH_obs_overhead.json")
+
+
+def _disabled_span_cost_ns() -> float:
+    """ns per ``with span(...)`` when no collector is installed."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(MICRO_CALLS):
+            with span("bench"):
+                pass
+        best = min(best, time.perf_counter() - start)
+    return best / MICRO_CALLS * 1e9
+
+
+def _run_search(task, collector=None):
+    """One ApxMODis run; returns (result, wall seconds)."""
+    config = task.build_config(estimator="oracle")
+    algo = ApxMODis(
+        config, epsilon=EPSILON, budget=BUDGET, max_level=MAX_LEVEL
+    )
+    start = time.perf_counter()
+    if collector is not None:
+        with use_collector(collector):
+            result = algo.run()
+    else:
+        result = algo.run()
+    return result, time.perf_counter() - start
+
+
+def test_disabled_tracing_overhead_under_budget(benchmark):
+    task = bench_task(TASK, scale=SCALE)
+    _run_search(task)  # warm task caches so the timed run is steady
+
+    def run():
+        per_call_ns = _disabled_span_cost_ns()
+        collector = SpanCollector()
+        traced, _ = _run_search(task, collector)
+        plain, baseline_s = min(
+            (_run_search(task) for _ in range(REPEATS)),
+            key=lambda pair: pair[1],
+        )
+        return per_call_ns, collector, traced, plain, baseline_s
+
+    per_call_ns, collector, traced, plain, baseline_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Ids are allocated per span attempt even when the collector caps
+    # retention, so next(_ids) - 1 counts every call site the search hit.
+    calls_issued = next(collector._ids) - 1
+    n_states = plain.report.n_valuated
+    assert n_states == traced.report.n_valuated  # same search either way
+    calls_per_state = calls_issued / max(n_states, 1)
+    per_state_baseline_ns = baseline_s / max(n_states, 1) * 1e9
+    projected = calls_per_state * per_call_ns / per_state_baseline_ns
+
+    rows = {
+        "disabled span()": {"ns_per_call": round(per_call_ns, 1)},
+        "search baseline": {
+            "ns_per_state": round(per_state_baseline_ns, 1)
+        },
+        "instrumentation": {
+            "span_calls_per_state": round(calls_per_state, 2),
+            "projected_overhead_pct": round(projected * 100, 3),
+        },
+    }
+    print_table(
+        f"Tracing overhead: {TASK} scale {SCALE}, {n_states} states", rows
+    )
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "task": TASK,
+        "scale": SCALE,
+        "n_states": n_states,
+        "disabled_span_ns": per_call_ns,
+        "span_calls_per_state": calls_per_state,
+        "baseline_ns_per_state": per_state_baseline_ns,
+        "projected_overhead": projected,
+        "overhead_budget": OVERHEAD_BUDGET,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT.resolve()}")
+
+    benchmark.extra_info.update(
+        {
+            "projected_overhead_pct": round(projected * 100, 3),
+            "disabled_span_ns": round(per_call_ns, 1),
+        }
+    )
+    assert projected <= OVERHEAD_BUDGET, (
+        f"disabled tracing projects to {projected:.2%} of the valuation "
+        f"hot loop (budget {OVERHEAD_BUDGET:.0%}): {calls_per_state:.1f} "
+        f"span calls/state x {per_call_ns:.0f}ns against "
+        f"{per_state_baseline_ns:.0f}ns/state"
+    )

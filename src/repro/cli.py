@@ -336,7 +336,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .scenarios import ResultCache, load_builtin_scenarios
     from .service import JobJournal, OracleStore, Scheduler, ServiceServer
 
-    enable_console_logging(logging.INFO)
+    enable_console_logging(logging.INFO, json_lines=args.log_json)
     registry = load_builtin_scenarios()
     cache = None if args.no_cache else ResultCache(args.cache_dir or None)
     store = (
@@ -354,6 +354,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         scheduler_id=args.scheduler_id or None,
         lease_ttl=args.lease_ttl,
+        profile_dir=args.profile_dir or None,
     )
     server = ServiceServer(scheduler, host=args.host, port=args.port)
     leases = (
@@ -411,6 +412,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     limits: dict[str, Any] = {
         "timeout": args.timeout,
         "max_oracle_calls": args.max_oracle_calls,
+        "profile": args.profile,
     }
     if args.scenario:
         if args.task:
@@ -489,6 +491,42 @@ def cmd_status(args: argparse.Namespace) -> int:
         + f"(saved {oracle['calls_saved_total']}, "
         + f"{oracle['warm_starts']} warm starts)"
     )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: render a job's span tree as an indented timeline."""
+    from .obs import format_span_tree
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    payload = client.trace(args.job_id)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    queue_wait = payload.get("queue_wait_seconds")
+    run_seconds = payload.get("run_seconds")
+    print(f"job {payload['job_id']}  state={payload['state']}"
+          + (f"  queue-wait={queue_wait * 1000:.1f}ms"
+             if queue_wait is not None else "")
+          + (f"  run={run_seconds:.3f}s"
+             if run_seconds is not None else ""))
+    spans = payload.get("spans")
+    if spans:
+        print(format_span_tree(spans))
+    else:
+        print("(no trace recorded — job predates tracing or has not run)")
+    for shard in payload.get("shards") or []:
+        print(f"\nshard {shard['shard_index']} "
+              f"({shard['job_id']}, {shard['state']}):")
+        if shard.get("spans"):
+            print(format_span_tree(shard["spans"], indent="  "))
+        else:
+            print("  (no trace recorded)")
+    profile = payload.get("profile")
+    if profile:
+        print(f"\nprofile ({profile.get('path', '?')}):")
+        print(profile.get("summary", "").rstrip())
     return 0
 
 
@@ -744,6 +782,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds a job lease stays live without "
                             "renewal; a dead scheduler's jobs become "
                             "adoptable after this long")
+    serve.add_argument("--profile-dir", default="",
+                       help="directory for per-job cProfile dumps; jobs "
+                            "submitted with profile=true store "
+                            "<job-id>.pstats here and surface the summary "
+                            "via GET /v1/jobs/{id}/trace (empty: "
+                            "profiling off)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit one JSON object per log line "
+                            "(ts/level/logger/message + job_id/"
+                            "shard_index/scheduler_id correlation fields)")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running service"
@@ -777,6 +825,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shards", type=int, default=None,
                         help="scatter the search across N shard jobs and "
                              "merge their skylines into this job's result")
+    submit.add_argument("--profile", action="store_true",
+                        help="run the job under cProfile server-side "
+                             "(needs 'repro serve --profile-dir'); see "
+                             "'repro trace' for the summary")
     submit.add_argument("--wait-timeout", type=float, default=600.0,
                         help="--wait polling timeout in seconds")
     submit.add_argument("--json", action="store_true",
@@ -811,6 +863,15 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--json", action="store_true",
                         help="print metrics + jobs as one JSON document")
 
+    trace = sub.add_parser(
+        "trace", help="render a job's lifecycle trace (queue-wait, run, "
+                      "per-phase spans) as an indented duration tree"
+    )
+    trace.add_argument("job_id")
+    trace.add_argument("--url", default="http://127.0.0.1:8765")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw trace payload as JSON")
+
     fetch = sub.add_parser(
         "fetch", help="download a finished job's full result payload"
     )
@@ -833,6 +894,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "submit": cmd_submit,
     "status": cmd_status,
+    "trace": cmd_trace,
     "fetch": cmd_fetch,
     "recover": cmd_recover,
 }

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ...obs import span
 from ..state import State
 from .base import SkylineAlgorithm
 
@@ -28,31 +29,50 @@ class ApxMODis(SkylineAlgorithm):
         self.grid.update(start)
         queue: deque[State] = deque([start])
         visited: set[int] = {start.bits}
-        while queue:
-            if self.budget_exhausted:
-                self.report.terminated_by = "budget"
-                break
-            parent = queue.popleft()
-            if parent.level >= self.max_level:
-                continue
-            self.report.n_levels = max(self.report.n_levels, parent.level + 1)
-            for child_bits, op in self.transducer.spawn(parent.bits, "forward"):
-                if child_bits in visited:
-                    continue
-                visited.add(child_bits)
-                child = State(
-                    bits=child_bits,
-                    level=parent.level + 1,
-                    via=op,
-                    parent_bits=parent.bits,
-                )
-                self.graph.add_state(child)
-                self.graph.add_transition(parent.bits, child_bits, op)
-                self.report.n_spawned += 1
-                self._valuate(child)
-                self.grid.update(child)
-                queue.append(child)
+        # BFS visits parents in level order, so one "level" span brackets
+        # each batch of same-level expansions; opened/closed manually
+        # because the level boundary is only visible at the next popleft.
+        level_span = None
+        current_level = -1
+        try:
+            while queue:
                 if self.budget_exhausted:
+                    self.report.terminated_by = "budget"
                     break
-        else:
-            self.report.terminated_by = "exhausted"
+                parent = queue.popleft()
+                if parent.level >= self.max_level:
+                    continue
+                if parent.level != current_level:
+                    if level_span is not None:
+                        level_span.__exit__(None, None, None)
+                    current_level = parent.level
+                    level_span = span("level", level=parent.level + 1)
+                    level_span.__enter__()
+                self.report.n_levels = max(
+                    self.report.n_levels, parent.level + 1
+                )
+                for child_bits, op in self.transducer.spawn(
+                    parent.bits, "forward"
+                ):
+                    if child_bits in visited:
+                        continue
+                    visited.add(child_bits)
+                    child = State(
+                        bits=child_bits,
+                        level=parent.level + 1,
+                        via=op,
+                        parent_bits=parent.bits,
+                    )
+                    self.graph.add_state(child)
+                    self.graph.add_transition(parent.bits, child_bits, op)
+                    self.report.n_spawned += 1
+                    self._valuate(child)
+                    self.grid.update(child)
+                    queue.append(child)
+                    if self.budget_exhausted:
+                        break
+            else:
+                self.report.terminated_by = "exhausted"
+        finally:
+            if level_span is not None:
+                level_span.__exit__(None, None, None)

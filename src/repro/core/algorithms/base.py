@@ -16,6 +16,7 @@ from typing import Any
 import numpy as np
 
 from ...exceptions import SearchError
+from ...obs import span
 from ..config import Configuration
 from ..dominance import SkylineGrid, pareto_front
 from ..measures import MeasureSet
@@ -165,9 +166,10 @@ class SkylineAlgorithm(abc.ABC):
             return np.zeros((0, len(self.config.measures)))
         estimator = self.config.estimator
         fresh = {s.bits for s in states if s.bits not in estimator.store}
-        perfs = estimator.valuate_batch(
-            [s.bits for s in states], self.config.space
-        )
+        with span("valuate", n_states=len(states), n_fresh=len(fresh)):
+            perfs = estimator.valuate_batch(
+                [s.bits for s in states], self.config.space
+            )
         for state, perf in zip(states, perfs):
             state.perf = perf
             if state.bits in fresh:
@@ -189,8 +191,10 @@ class SkylineAlgorithm(abc.ABC):
         # The grid is an ε-cover; thin it to mutually non-dominated members
         # (removing a dominated member keeps the cover: its dominator stays).
         if states and self.thin_front:
-            front = pareto_front([s.perf for s in states])
-            states = [states[i] for i in front]
+            with span("pareto-thin", n_grid=len(states)) as thin_span:
+                front = pareto_front([s.perf for s in states])
+                states = [states[i] for i in front]
+                thin_span.set_attr(n_front=len(states))
         entries = []
         for state in sorted(states, key=lambda s: tuple(s.perf)):
             entries.append(
@@ -229,24 +233,29 @@ class SkylineAlgorithm(abc.ABC):
 
         store = self.config.estimator.store
         calls = 0
-        for state in self._verification_targets():
-            record = store.get(state.bits)
-            if record is not None and record.source == "oracle":
-                state.perf = record.perf
-                continue
-            raw = oracle(oracle_artifact(self.config.space, oracle, state.bits))
-            perf = self.config.measures.normalize_raw(raw)
-            state.perf = perf
-            calls += 1
-            from ..estimator import TestRecord
-
-            store.add(
-                TestRecord(
-                    state.bits,
-                    self.config.space.feature_vector(state.bits),
-                    perf,
+        targets = self._verification_targets()
+        with span("verify", n_targets=len(targets)) as verify_span:
+            for state in targets:
+                record = store.get(state.bits)
+                if record is not None and record.source == "oracle":
+                    state.perf = record.perf
+                    continue
+                raw = oracle(
+                    oracle_artifact(self.config.space, oracle, state.bits)
                 )
-            )
+                perf = self.config.measures.normalize_raw(raw)
+                state.perf = perf
+                calls += 1
+                from ..estimator import TestRecord
+
+                store.add(
+                    TestRecord(
+                        state.bits,
+                        self.config.space.feature_vector(state.bits),
+                        perf,
+                    )
+                )
+            verify_span.set_attr(oracle_calls=calls)
         self.report.extras["verification_calls"] = calls
 
     # -- template method ---------------------------------------------------------------
@@ -254,7 +263,12 @@ class SkylineAlgorithm(abc.ABC):
         """Execute the search; with ``verify`` (default), re-score the final
         skyline states with real model training before returning."""
         start = time.perf_counter()
-        self._search()
+        with span("search", algorithm=self.name) as search_span:
+            self._search()
+            search_span.set_attr(
+                n_valuated=self.report.n_valuated,
+                terminated_by=self.report.terminated_by,
+            )
         if verify:
             self._verify()
         self.report.elapsed_seconds = time.perf_counter() - start

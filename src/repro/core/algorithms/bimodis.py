@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...obs import span
 from ..config import Configuration
 from ..correlation import CorrelationGraph, infer_ranges
 from ..state import State
@@ -157,8 +158,13 @@ class BiMODis(SkylineAlgorithm):
             if self.budget_exhausted:
                 self.report.terminated_by = "budget"
                 break
-            frontier_f = self._expand(frontier_f, "forward", visited_f)
-            frontier_b = self._expand(frontier_b, "backward", visited_b)
+            with span("level", level=level + 1) as level_span:
+                frontier_f = self._expand(frontier_f, "forward", visited_f)
+                frontier_b = self._expand(frontier_b, "backward", visited_b)
+                level_span.set_attr(
+                    frontier_forward=len(frontier_f),
+                    frontier_backward=len(frontier_b),
+                )
             self.report.n_levels = level + 1
             self._end_of_level(level)
             if visited_f & visited_b:

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..exceptions import EstimatorError
 from ..ml.boosting import MultiOutputGradientBoosting
+from ..obs import span
 from ..rng import make_rng
 from .measures import EPSILON_FLOOR, MeasureSet
 from .transducer import SearchSpace
@@ -331,10 +332,11 @@ class MOGBEstimator(Estimator):
                 if space.valid_flip(bits, index):
                     bits ^= 1 << index
             targets.append(bits)
-        for bits in dict.fromkeys(targets):  # dedupe, keep order
-            if bits in self.store:
-                continue
-            self.oracle_truth(bits, space)
+        with span("bootstrap", n_targets=len(targets)):
+            for bits in dict.fromkeys(targets):  # dedupe, keep order
+                if bits in self.store:
+                    continue
+                self.oracle_truth(bits, space)
         self._bootstrapped = True
         self._refit(force=True)
 
@@ -363,12 +365,15 @@ class MOGBEstimator(Estimator):
         if not force and self._surrogate is not None:
             if n - self._records_at_fit < self.refit_every:
                 return
-        self._surrogate = MultiOutputGradientBoosting(
-            n_estimators=self.n_estimators,
-            max_depth=self.max_depth,
-            seed=self.seed,
-        )
-        self._surrogate.fit(self.store.feature_matrix(), self.store.perf_matrix())
+        with span("oracle-fit", n_records=n):
+            self._surrogate = MultiOutputGradientBoosting(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                seed=self.seed,
+            )
+            self._surrogate.fit(
+                self.store.feature_matrix(), self.store.perf_matrix()
+            )
         self._records_at_fit = n
 
     def _ensure_bootstrapped(self, space: SearchSpace) -> None:

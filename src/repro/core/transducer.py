@@ -48,6 +48,7 @@ import numpy as np
 
 from ..exceptions import SearchError
 from ..graph.bipartite import BipartiteGraph
+from ..obs import Counter
 from ..graph.operators import EdgeCluster, augment_edges, cluster_edges
 from ..relational.columns import ColumnStore, MatrixView
 from ..relational.domain import DomainCluster, cluster_all_domains
@@ -166,26 +167,41 @@ class _ByteBudgetLRU:
         self._store: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
         self._lock = threading.Lock()
         self.bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.rejected = 0
+        # Typed counters (repro.obs) instead of bare ints: same semantics,
+        # but uniform with the service metrics registry. Unregistered —
+        # each cache owns its counters; the scheduler aggregates via
+        # ``stats()`` / ``materialization_stats``.
+        self.hits = Counter(
+            "repro_materialization_cache_hits", "Materialization cache hits."
+        )
+        self.misses = Counter(
+            "repro_materialization_cache_misses",
+            "Materialization cache misses.",
+        )
+        self.evictions = Counter(
+            "repro_materialization_cache_evictions",
+            "Materialization cache LRU evictions.",
+        )
+        self.rejected = Counter(
+            "repro_materialization_cache_rejected",
+            "Values larger than the whole byte budget, never admitted.",
+        )
 
     def get(self, key: Any):
         with self._lock:
             entry = self._store.get(key)
             if entry is not None:
                 self._store.move_to_end(key)
-                self.hits += 1
+                self.hits.inc()
                 return entry[0]
-            self.misses += 1
+            self.misses.inc()
             return None
 
     def put(self, key: Any, value: Any) -> None:
         size = _estimate_nbytes(value)
         with self._lock:
             if size > self.max_bytes:
-                self.rejected += 1
+                self.rejected.inc()
                 return
             old = self._store.pop(key, None)
             if old is not None:
@@ -198,17 +214,17 @@ class _ByteBudgetLRU:
             ):
                 _, (_, evicted_size) = self._store.popitem(last=False)
                 self.bytes -= evicted_size
-                self.evictions += 1
+                self.evictions.inc()
 
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {
-                "hits": self.hits,
-                "misses": self.misses,
+                "hits": int(self.hits.value),
+                "misses": int(self.misses.value),
                 "bytes": self.bytes,
                 "entries": len(self._store),
-                "evictions": self.evictions,
-                "rejected": self.rejected,
+                "evictions": int(self.evictions.value),
+                "rejected": int(self.rejected.value),
                 "max_bytes": self.max_bytes,
             }
 

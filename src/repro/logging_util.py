@@ -2,14 +2,100 @@
 
 The library logs under the ``repro`` namespace and never configures the root
 logger (that is the application's job). ``enable_console_logging`` is a small
-convenience used by the example scripts and the benchmark harness.
+convenience used by the example scripts, the benchmark harness, and
+``repro serve``.
+
+**Log correlation.** Service code wraps job execution in
+:func:`log_context`, which stores ``job_id``/``shard_index``/
+``scheduler_id`` in a :mod:`contextvars` variable; :class:`ContextFilter`
+(attached to every handler this module creates) copies whatever is
+current onto each :class:`logging.LogRecord`, so a multi-scheduler log
+stream is grep-able by job no matter which thread or subsystem emitted
+the line. With ``json_lines=True`` the handler formats records as one
+JSON object per line (``ts``/``level``/``logger``/``message`` plus any
+context fields), ready for ingestion.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
+import json
 import logging
+import time
+from typing import Any, Iterator
 
 LIBRARY_LOGGER_NAME = "repro"
+
+#: Record attributes injected by :class:`ContextFilter` (always present
+#: on filtered records, ``None`` when no context is active).
+CONTEXT_FIELDS = ("job_id", "shard_index", "scheduler_id")
+
+_log_context: contextvars.ContextVar[dict[str, Any]] = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+
+@contextlib.contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Bind correlation fields to every log record in the with-block.
+
+    Nested contexts merge (inner wins per key); fields bound to ``None``
+    are dropped so e.g. ``shard_index=None`` on an ordinary job does not
+    show up in JSON output.
+    """
+    merged = dict(_log_context.get())
+    for key, value in fields.items():
+        if value is None:
+            merged.pop(key, None)
+        else:
+            merged[key] = value
+    token = _log_context.set(merged)
+    try:
+        yield
+    finally:
+        _log_context.reset(token)
+
+
+def current_log_context() -> dict[str, Any]:
+    """The correlation fields currently bound (a copy)."""
+    return dict(_log_context.get())
+
+
+class ContextFilter(logging.Filter):
+    """Copies the current :func:`log_context` fields onto each record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        context = _log_context.get()
+        for field in CONTEXT_FIELDS:
+            if not hasattr(record, field):
+                setattr(record, field, context.get(field))
+        for key, value in context.items():
+            if key not in CONTEXT_FIELDS and not hasattr(record, key):
+                setattr(record, key, value)
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; context fields ride along when bound."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for field in CONTEXT_FIELDS:
+            value = getattr(record, field, None)
+            if value is not None:
+                entry[field] = value
+        if record.exc_info:
+            entry["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(entry, default=str)
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -21,23 +107,33 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(f"{LIBRARY_LOGGER_NAME}.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+def enable_console_logging(
+    level: int = logging.INFO, json_lines: bool = False
+) -> logging.Handler:
     """Attach a stream handler to the library logger and return it.
 
-    Idempotent: repeated calls reuse the existing handler.
+    Idempotent: repeated calls reuse the existing handler (re-formatting
+    it if ``json_lines`` changed). ``json_lines=True`` switches to the
+    :class:`JsonFormatter`; either way the handler carries a
+    :class:`ContextFilter`, so ``%(job_id)s``-style fields are available.
     """
     logger = get_logger()
-    for handler in logger.handlers:
-        if getattr(handler, "_repro_console", False):
-            handler.setLevel(level)
-            logger.setLevel(level)
-            return handler
-    handler = logging.StreamHandler()
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_console", False)),
+        None,
     )
-    handler._repro_console = True  # type: ignore[attr-defined]
+    if handler is None:
+        handler = logging.StreamHandler()
+        handler._repro_console = True  # type: ignore[attr-defined]
+        handler.addFilter(ContextFilter())
+        logger.addHandler(handler)
+    handler.setFormatter(
+        JsonFormatter()
+        if json_lines
+        else logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s: %(message)s"
+        )
+    )
     handler.setLevel(level)
-    logger.addHandler(handler)
     logger.setLevel(level)
     return handler

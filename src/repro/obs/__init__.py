@@ -1,0 +1,37 @@
+"""Observability primitives: typed metrics, span tracing, job profiling.
+
+The package is deliberately dependency-free (stdlib only) and safe to
+import from the hot path: every entry point has a constant-time "am I
+enabled?" guard so instrumented-but-disabled code stays within the CI
+overhead budget (see ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, render_prometheus
+from .tracing import (
+    SpanCollector,
+    current_collector,
+    format_span_tree,
+    set_enabled,
+    span,
+    span_tree,
+    tracing_enabled,
+    use_collector,
+)
+from .profiling import profile_to_file
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanCollector",
+    "current_collector",
+    "format_span_tree",
+    "profile_to_file",
+    "render_prometheus",
+    "set_enabled",
+    "span",
+    "span_tree",
+    "tracing_enabled",
+    "use_collector",
+]

@@ -1,0 +1,414 @@
+"""Typed, thread-safe metrics: Counter / Gauge / Histogram with labels.
+
+The registry replaces the hand-rolled counter dicts that used to live in
+the scheduler, HTTP server and cache layers. Design constraints:
+
+* **JSON byte-compat** — counters count in ints and ``snapshot()`` returns
+  plain ``int``/``float`` values, so the legacy ``GET /v1/metrics`` JSON
+  keeps its exact value types.
+* **Lock-free reads for callers** — each metric series carries its own
+  small lock; snapshotting the registry never touches the scheduler
+  mutex (see the `/v1/metrics` lock-contention fix in the service).
+* **Bounded label cardinality** — a metric accepts at most
+  ``MAX_LABEL_SETS`` distinct label combinations; the overflow bucket
+  folds extras into a single ``{"<label>": "_overflow_"}`` series rather
+  than growing without bound or raising mid-request.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+#: Fixed latency buckets (seconds). Chosen to straddle both sub-ms HTTP
+#: handling and multi-minute discovery jobs.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.025,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+    600.0,
+)
+
+#: Per-metric cap on distinct label combinations.
+MAX_LABEL_SETS = 64
+
+_OVERFLOW = "_overflow_"
+
+
+def _label_key(
+    names: Sequence[str], values: Mapping[str, Any]
+) -> tuple[str, ...]:
+    if set(values) != set(names):
+        raise ValueError(
+            f"labels {sorted(values)} do not match declared {sorted(names)}"
+        )
+    return tuple(str(values[name]) for name in names)
+
+
+class _Metric:
+    """Shared base: name/help/labels, per-series storage, cardinality cap."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], Any] = {}
+
+    def _zero(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _series_for(self, key: tuple[str, ...]) -> Any:
+        """Fetch-or-create the series for ``key``; callers hold ``_lock``."""
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= MAX_LABEL_SETS:
+                key = tuple(_OVERFLOW for _ in key) or key
+                series = self._series.get(key)
+                if series is None:
+                    series = self._zero()
+                    self._series[key] = series
+            else:
+                series = self._zero()
+                self._series[key] = series
+        return series
+
+    def _items(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return list(self._series.items())
+
+
+class Counter(_Metric):
+    """Monotonically increasing integer counter."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        if not self.labelnames:
+            self._series[()] = 0
+
+    def _zero(self) -> int:
+        return 0
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        """Add ``amount`` (>= 0) to the series selected by ``labels``."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series_for(key)
+            # _series_for may have redirected to the overflow bucket;
+            # re-resolve through the dict to hit whichever key exists.
+            if key not in self._series:
+                key = tuple(_OVERFLOW for _ in key)
+            self._series[key] += amount
+
+    @property
+    def value(self) -> int:
+        """Unlabelled value (sum over all series for labelled counters)."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def get(self, **labels: Any) -> int:
+        """Value of one labelled series (0 if never incremented)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return int(self._series.get(key, 0))
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        if not self.labelnames:
+            self._series[()] = 0
+
+    def _zero(self) -> float:
+        return 0
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Replace the series value with ``value``."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series_for(key)
+            if key not in self._series:
+                key = tuple(_OVERFLOW for _ in key)
+            self._series[key] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Move the series by ``amount`` (negative moves it down)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series_for(key)
+            if key not in self._series:
+                key = tuple(_OVERFLOW for _ in key)
+            self._series[key] += amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        """Move the series down by ``amount``."""
+        self.inc(-amount, **labels)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return sum(self._series.values())
+
+    def get(self, **labels: Any) -> float:
+        """Value of one labelled series (0 if never set)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+
+class _HistSeries:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * (n_buckets + 1)  # +1 for +Inf
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative on export, per-bucket inside)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help="",
+        labelnames=(),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        if not self.labelnames:
+            self._series[()] = _HistSeries(len(self.buckets))
+
+    def _zero(self) -> _HistSeries:
+        return _HistSeries(len(self.buckets))
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one sample; bucket upper bounds are inclusive."""
+        key = _label_key(self.labelnames, labels)
+        value = float(value)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            series = self._series_for(key)
+            series.counts[idx] += 1
+            series.total += value
+            series.count += 1
+
+    def get(self, **labels: Any) -> dict[str, Any]:
+        """Snapshot: ``{count, sum, buckets}`` with cumulative, string-keyed
+        bucket counts (``"0.1"`` ... ``"+Inf"``) ready for JSON."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {"count": 0, "sum": 0.0, "buckets": {}}
+            cumulative: dict[str, int] = {}
+            running = 0
+            for bound, n in zip(self.buckets, series.counts):
+                running += n
+                cumulative[repr(bound)] = running
+            cumulative["+Inf"] = series.count
+            return {
+                "count": series.count,
+                "sum": series.total,
+                "buckets": cumulative,
+            }
+
+
+class MetricsRegistry:
+    """Named collection of metrics with JSON + Prometheus export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        """Get-or-create the :class:`Counter` registered under ``name``."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        """Get-or-create the :class:`Gauge` registered under ``name``."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames=(),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create the :class:`Histogram` registered under ``name``.
+
+        ``buckets`` only applies on first creation; a later caller gets
+        the existing histogram with its original bounds."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, labelnames, buckets)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(f"{name} already registered as {metric.kind}")
+            return metric
+
+    def _get_or_create(self, cls, name, help, labelnames):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(f"{name} already registered as {metric.kind}")
+            return metric
+
+    def metrics(self) -> list[_Metric]:
+        """All registered metrics, in registration order."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat ``{metric_name: value}`` dict without labels exploded.
+
+        Labelled metrics export a nested ``{label-values: value}`` dict
+        keyed by the joined label values; unlabelled metrics export the
+        bare number, which keeps single-valued counters byte-compatible
+        with the pre-registry JSON payload.
+        """
+        out: dict[str, Any] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                if metric.labelnames:
+                    out[metric.name] = {
+                        "|".join(key): _hist_view(metric, key)
+                        for key, _ in metric._items()
+                    }
+                else:
+                    out[metric.name] = metric.get()
+            elif metric.labelnames:
+                out[metric.name] = {
+                    "|".join(key): value for key, value in metric._items()
+                }
+            else:
+                out[metric.name] = metric.value
+        return out
+
+
+def _hist_view(metric: Histogram, key: tuple[str, ...]) -> dict[str, Any]:
+    return metric.get(**dict(zip(metric.labelnames, key)))
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def _fmt_labels(names: Iterable[str], values: Iterable[str], extra: str = "") -> str:
+    parts = [
+        '%s="%s"' % (n, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for n, v in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def render_prometheus(
+    registry: MetricsRegistry, extra_gauges: Mapping[str, float] | None = None
+) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4.
+
+    ``extra_gauges`` lets the caller append computed point-in-time values
+    (for example per-state job counts derived from the scheduler's job
+    table) without registering them as long-lived metrics.
+    """
+    lines: list[str] = []
+    for metric in sorted(registry.metrics(), key=lambda m: m.name):
+        name = _sanitize(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key, series in sorted(metric._items()):
+                running = 0
+                for bound, n in zip(metric.buckets, series.counts):
+                    running += n
+                    lines.append(
+                        "%s_bucket%s %d"
+                        % (
+                            name,
+                            _fmt_labels(
+                                metric.labelnames,
+                                key,
+                                extra='le="%s"' % _fmt_value(bound),
+                            ),
+                            running,
+                        )
+                    )
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (
+                        name,
+                        _fmt_labels(metric.labelnames, key, extra='le="+Inf"'),
+                        series.count,
+                    )
+                )
+                labels = _fmt_labels(metric.labelnames, key)
+                lines.append(f"{name}_sum{labels} {_fmt_value(series.total)}")
+                lines.append(f"{name}_count{labels} {series.count}")
+        else:
+            for key, value in sorted(metric._items()):
+                labels = _fmt_labels(metric.labelnames, key)
+                lines.append(f"{name}{labels} {_fmt_value(value)}")
+    for name, value in sorted((extra_gauges or {}).items()):
+        sane = _sanitize(name)
+        lines.append(f"# TYPE {sane} gauge")
+        lines.append(f"{sane} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n"

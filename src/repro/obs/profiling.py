@@ -1,0 +1,51 @@
+"""Per-job cProfile hooks.
+
+Profiles are written as raw ``pstats`` dumps named ``<job_id>.pstats``
+under the server's ``--profile-dir``. The dump happens in whichever
+process executed the job (the fork backend's child shares the
+filesystem), so no profile bytes ever cross the result pipe; the trace
+endpoint reads the file back lazily and renders a top-N text summary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import cProfile
+import io
+import pstats
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["profile_to_file", "summarize_profile"]
+
+
+@contextlib.contextmanager
+def profile_to_file(path: str | Path | None) -> Iterator[None]:
+    """Run the with-block under cProfile, dumping stats to ``path``.
+
+    A ``None`` path makes this a no-op so call sites don't need their own
+    enabled/disabled branch. Dump failures are swallowed: profiling must
+    never fail the job it is observing.
+    """
+    if path is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        try:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(str(path))
+        except OSError:
+            pass
+
+
+def summarize_profile(path: str | Path, top: int = 20) -> str:
+    """Top-``top`` cumulative-time lines from a pstats dump, as text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(str(path), stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()

@@ -118,14 +118,46 @@ class ServiceClient:
         """One request through ``/v1``; returns the decoded payload."""
         return self._request_full(method, f"/v1{path}", body=body)[2]
 
+    def _request_text(self, method: str, path: str) -> str:
+        """One request through ``/v1`` returning the raw response body.
+
+        Used for non-JSON representations (Prometheus text exposition).
+        Error handling matches :meth:`_request_full`.
+        """
+        request = urllib.request.Request(
+            f"{self.url}/v1{path}", method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._error_from(method, path, exc) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
     # -- API ---------------------------------------------------------------------
     def health(self) -> dict[str, Any]:
         """``GET /v1/healthz``."""
         return self._request("GET", "/healthz")
 
-    def metrics(self) -> dict[str, Any]:
-        """``GET /v1/metrics``."""
+    def metrics(self, format: str = "json") -> dict[str, Any] | str:
+        """``GET /v1/metrics``.
+
+        ``format="json"`` (default) returns the decoded legacy payload;
+        ``format="prometheus"`` returns the text exposition body as a
+        string, ready for a scrape check or ``promtool``.
+        """
+        if format == "prometheus":
+            return self._request_text("GET", "/metrics?format=prometheus")
         return self._request("GET", "/metrics")
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}/trace``: the job's span tree payload."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
 
     def submit(
         self,
@@ -134,6 +166,7 @@ class ServiceClient:
         timeout: float | None = None,
         max_oracle_calls: int | None = None,
         shards: int | None = None,
+        profile: bool = False,
         **spec_fields: Any,
     ) -> dict[str, Any]:
         """``POST /v1/jobs``: a registered scenario by name, or inline fields.
@@ -143,6 +176,9 @@ class ServiceClient:
         ``FAILED(failure_reason=timeout|quota)``. ``shards=N`` fans the
         search out across N shard jobs — the returned record is the
         coordinating parent whose result is the merged skyline.
+        ``profile=True`` asks the server to run the job under cProfile
+        (effective when it was started with ``--profile-dir``; the
+        summary comes back via :meth:`trace`).
 
         >>> client.submit(scenario="smoke-t3-apx", priority=5)
         >>> client.submit(task="T3", algorithm="apx", budget=10, shards=4)
@@ -158,6 +194,8 @@ class ServiceClient:
             body["max_oracle_calls"] = max_oracle_calls
         if shards is not None:
             body["shards"] = shards
+        if profile:
+            body["profile"] = True
         return self._request("POST", "/jobs", body=body)
 
     def submit_batch(
@@ -226,12 +264,19 @@ class ServiceClient:
         job_id: str,
         timeout: float = 300.0,
         poll_interval: float = 0.25,
+        timing: bool = True,
     ) -> dict[str, Any]:
         """Poll until the job is terminal; returns its final record.
 
         Conditional polling: after the first fetch, every poll sends the
         record's weak ``ETag`` via ``If-None-Match``, so unchanged polls
         cost a ``304`` with no body instead of the full record.
+
+        With ``timing`` (default), the terminal record carries a
+        ``"timing"`` key split out from the job's trace — how long the
+        job sat queued vs. actually ran::
+
+            {"queue_wait_seconds": 0.01, "run_seconds": 3.2}
         """
         deadline = time.monotonic() + timeout
         record: dict[str, Any] | None = None
@@ -245,6 +290,17 @@ class ServiceClient:
                 record = payload
                 etag = response_headers.get("ETag")
             if record is not None and record["state"] in JobState.TERMINAL:
+                if timing:
+                    try:
+                        trace = self.trace(job_id)
+                        record["timing"] = {
+                            "queue_wait_seconds": trace.get(
+                                "queue_wait_seconds"
+                            ),
+                            "run_seconds": trace.get("run_seconds"),
+                        }
+                    except ServiceError:
+                        pass  # pre-trace server; the record is still good
                 return record
             if time.monotonic() >= deadline:
                 state = record["state"] if record else "unknown"
@@ -262,6 +318,7 @@ class ServiceClient:
         job_timeout: float | None = None,
         max_oracle_calls: int | None = None,
         shards: int | None = None,
+        profile: bool = False,
         **spec_fields: Any,
     ) -> dict[str, Any]:
         """Submit and wait; raises if the job did not end ``DONE``.
@@ -269,7 +326,8 @@ class ServiceClient:
         ``timeout`` bounds this client's *wait* (the job keeps running
         server-side when it expires); ``job_timeout`` and
         ``max_oracle_calls`` are the server-enforced per-job limits,
-        forwarded to :meth:`submit` along with ``shards``.
+        forwarded to :meth:`submit` along with ``shards`` and
+        ``profile``.
         """
         job = self.submit(
             scenario=scenario,
@@ -277,6 +335,7 @@ class ServiceClient:
             timeout=job_timeout,
             max_oracle_calls=max_oracle_calls,
             shards=shards,
+            profile=profile,
             **spec_fields,
         )
         record = self.wait(job["id"], timeout=timeout)

@@ -77,7 +77,7 @@ INLINE_SPEC_FIELDS = frozenset(
 
 #: Submission keys that are not scenario fields.
 _REQUEST_ONLY_FIELDS = frozenset(
-    {"scenario", "priority", "timeout", "max_oracle_calls", "shards"}
+    {"scenario", "priority", "timeout", "max_oracle_calls", "shards", "profile"}
 )
 
 #: Upper bound on ``shards=N`` — far above any useful fan-out (the
@@ -121,6 +121,9 @@ LIFECYCLE_FIELDS = (
     "shard_index",
     "lease_owner",
     "lease_expires_at",
+    "trace",
+    "profile",
+    "profile_path",
     "updated_at",
 )
 
@@ -180,6 +183,15 @@ class Job:
     lease_owner: str | None = None
     #: epoch after which the lease is adoptable by a peer scheduler.
     lease_expires_at: float | None = None
+    #: flat span records of this job's lifecycle (``repro.obs.tracing``
+    #: dicts; None until the job has run). Persisted with the snapshot so
+    #: traces survive journal replay — an *additive* journal field, no
+    #: version bump per the journal's versioning rules.
+    trace: list[dict[str, Any]] | None = None
+    #: cProfile requested at submission (needs the server's --profile-dir).
+    profile: bool = False
+    #: where the pstats dump landed (None: not profiled).
+    profile_path: str | None = None
     #: last lifecycle mutation (feeds the API's weak ETag).
     updated_at: float = field(default_factory=time.time)
 
@@ -217,7 +229,9 @@ class Job:
         payload: dict[str, Any] = {
             field_name: getattr(self, field_name)
             for field_name in LIFECYCLE_FIELDS
-            if field_name != "result"
+            # result and trace can be large; each has a dedicated
+            # endpoint (GET /results/{id}, GET /jobs/{id}/trace).
+            if field_name not in ("result", "trace")
         }
         payload["scenario"] = {
             "name": spec.name,
@@ -375,6 +389,19 @@ def limits_from_request(
                 f"max_oracle_calls must be a positive integer, got {quota!r}"
             )
     return timeout, quota
+
+
+def profile_from_request(body: Mapping[str, Any]) -> bool:
+    """Validate and extract the ``profile`` flag from a submission body.
+
+    Accepting the flag is independent of the server actually having a
+    ``--profile-dir``; without one the flag is recorded but no pstats
+    dump is produced (the trace endpoint reports ``profile: null``).
+    """
+    profile = body.get("profile", False)
+    if not isinstance(profile, bool):
+        raise ServiceError(f"profile must be a boolean, got {profile!r}")
+    return profile
 
 
 def shards_from_request(body: Mapping[str, Any]) -> int | None:

@@ -64,6 +64,7 @@ import multiprocessing
 import threading
 import time
 import uuid
+from pathlib import Path
 from typing import Any, Mapping
 
 from ..core.estimator import TestStore
@@ -74,7 +75,10 @@ from ..exceptions import (
     UnknownJobError,
 )
 from ..exec import Backend, make_backend
-from ..logging_util import get_logger
+from ..logging_util import get_logger, log_context
+from ..obs import MetricsRegistry, SpanCollector, span, use_collector
+from ..obs.metrics import render_prometheus
+from ..obs.profiling import profile_to_file, summarize_profile
 from ..report import build_payload
 from ..scenarios.cache import ResultCache
 from ..scenarios.factory import ResolvedScenario, ScenarioFactory
@@ -84,6 +88,7 @@ from .jobs import (
     Job,
     JobState,
     limits_from_request,
+    profile_from_request,
     scenario_from_request,
     shards_from_request,
 )
@@ -138,6 +143,98 @@ class _OracleGuard:
         return self.oracle(artifact)
 
 
+def _queue_wait_span(job: Job) -> dict[str, Any] | None:
+    """A synthetic span covering submission → first worker pickup.
+
+    The queue wait happens before any collector exists, so it is
+    synthesized from the job's own timestamps. Id 0 is reserved for it
+    (collector-allocated ids start at 1, so they never collide).
+    """
+    if job.started_at is None:
+        return None
+    return {
+        "id": 0,
+        "parent": None,
+        "name": "queue-wait",
+        "start": job.submitted_at,
+        "end": job.started_at,
+        "attrs": {"job_id": job.id},
+    }
+
+
+def _assemble_trace(
+    job: Job, run_spans: list[dict[str, Any]] | None
+) -> list[dict[str, Any]]:
+    """The persisted trace: synthetic queue-wait + the run's collected spans."""
+    spans: list[dict[str, Any]] = []
+    queue_wait = _queue_wait_span(job)
+    if queue_wait is not None:
+        spans.append(queue_wait)
+    if run_spans:
+        spans.extend(run_spans)
+    return spans
+
+
+def _parent_trace(
+    parent: Job,
+    child_meta: list[tuple[str, int | None, float | None, float | None]],
+    merge_start: float,
+    merge_end: float,
+) -> list[dict[str, Any]]:
+    """A shard parent's trace, synthesized at merge time.
+
+    The parent never executes on a backend, so its spans are built from
+    lifecycle timestamps: queue-wait (submission → first shard pickup),
+    a run span covering scatter-to-merge, one linked ``shard`` span per
+    child (carrying the child job id — the cross-journal parent/child
+    link), and the merge itself.
+    """
+    child_starts = [s for _, _, s, _ in child_meta if s is not None]
+    scatter_start = min(child_starts) if child_starts else merge_start
+    spans: list[dict[str, Any]] = [
+        {
+            "id": 0,
+            "parent": None,
+            "name": "queue-wait",
+            "start": parent.submitted_at,
+            "end": scatter_start,
+            "attrs": {"job_id": parent.id},
+        },
+        {
+            "id": 1,
+            "parent": None,
+            "name": "run",
+            "start": scatter_start,
+            "end": merge_end,
+            "attrs": {"job_id": parent.id, "shards": parent.shards},
+        },
+    ]
+    next_id = 2
+    for child_id, shard_index, started, finished in child_meta:
+        spans.append(
+            {
+                "id": next_id,
+                "parent": 1,
+                "name": "shard",
+                "start": started if started is not None else scatter_start,
+                "end": finished if finished is not None else merge_start,
+                "attrs": {"job_id": child_id, "shard_index": shard_index},
+            }
+        )
+        next_id += 1
+    spans.append(
+        {
+            "id": next_id,
+            "parent": 1,
+            "name": "shard-merge",
+            "start": merge_start,
+            "end": merge_end,
+            "attrs": {"n_shards": len(child_meta)},
+        }
+    )
+    return spans
+
+
 class _JobRun:
     """The unit shipped to a backend: run one resolved scenario.
 
@@ -147,9 +244,24 @@ class _JobRun:
     hits are *returned* (``"limit"``), not raised — the partial test
     store must cross the process boundary so quota-exhausted work still
     warm-starts the next attempt.
+
+    Observability: the run installs a fresh span collector, so every
+    ``obs.span`` opened below it (search levels, oracle fits, valuation
+    batches, pareto thinning) lands in the returned ``"spans"`` list —
+    plain dicts, so they cross the process pipe like everything else.
+    With ``profile_path`` set, the whole run is additionally wrapped in
+    cProfile and dumped to that path *from the executing process* (the
+    fork child shares the filesystem; no profile bytes cross the pipe).
     """
 
-    __slots__ = ("resolved", "store", "timeout", "max_oracle_calls")
+    __slots__ = (
+        "resolved",
+        "store",
+        "timeout",
+        "max_oracle_calls",
+        "job_id",
+        "profile_path",
+    )
 
     def __init__(
         self,
@@ -157,11 +269,15 @@ class _JobRun:
         store: TestStore | None,
         timeout: float | None = None,
         max_oracle_calls: int | None = None,
+        job_id: str | None = None,
+        profile_path: str | None = None,
     ):
         self.resolved = resolved
         self.store = store
         self.timeout = timeout
         self.max_oracle_calls = max_oracle_calls
+        self.job_id = job_id
+        self.profile_path = profile_path
 
     def __call__(self) -> dict[str, Any]:
         # The deadline starts BEFORE build: both the cooperative clock
@@ -172,24 +288,28 @@ class _JobRun:
             time.monotonic() + self.timeout
             if self.timeout is not None else None
         )
-        runnable = self.resolved.build(store=self.store)
-        config = getattr(runnable, "config", None)
-        if config is not None and (
-            deadline is not None or self.max_oracle_calls is not None
-        ):
-            oracle = getattr(config.estimator, "oracle", None)
-            if oracle is not None:
-                config.estimator.oracle = _OracleGuard(
-                    oracle, deadline, self.max_oracle_calls
-                )
-        start = time.perf_counter()
+        collector = SpanCollector()
         limit = None
         result = None
-        try:
-            result = runnable.run(verify=self.resolved.spec.verify)
-        except JobLimitExceeded as exc:
-            limit = exc.reason
-        seconds = time.perf_counter() - start
+        with use_collector(collector), profile_to_file(self.profile_path):
+            with span("run", job_id=self.job_id):
+                with span("scenario-build"):
+                    runnable = self.resolved.build(store=self.store)
+                config = getattr(runnable, "config", None)
+                if config is not None and (
+                    deadline is not None or self.max_oracle_calls is not None
+                ):
+                    oracle = getattr(config.estimator, "oracle", None)
+                    if oracle is not None:
+                        config.estimator.oracle = _OracleGuard(
+                            oracle, deadline, self.max_oracle_calls
+                        )
+                start = time.perf_counter()
+                try:
+                    result = runnable.run(verify=self.resolved.spec.verify)
+                except JobLimitExceeded as exc:
+                    limit = exc.reason
+                seconds = time.perf_counter() - start
         oracle_calls = None
         store_rows = None
         if config is not None:
@@ -205,6 +325,7 @@ class _JobRun:
             "oracle_calls": oracle_calls,
             "store_rows": store_rows,
             "limit": limit,
+            "spans": collector.spans,
         }
 
 
@@ -225,6 +346,8 @@ class Scheduler:
         scheduler_id: str | None = None,
         lease_ttl: float = 30.0,
         lease_sweep_interval: float | None = None,
+        profile_dir: str | Path | None = None,
+        metrics_registry: MetricsRegistry | None = None,
     ):
         if n_workers < 1:
             raise ServiceError("n_workers must be >= 1")
@@ -249,15 +372,53 @@ class Scheduler:
         self._threads: list[threading.Thread] = []
         self._poll_interval = float(poll_interval)
         self._started_at = time.time()
-        self._submitted = 0
-        self._cache_hits = 0
-        self._warm_starts = 0
-        self._oracle_calls_total = 0
-        self._oracle_calls_saved_total = 0
-        self._failed_timeout = 0
-        self._failed_quota = 0
-        self._dedup_hits = 0
-        self._retries_total = 0
+        self.profile_dir = Path(profile_dir) if profile_dir else None
+        #: Typed metric series (repro.obs). Each series carries its own
+        #: lock, so incrementing under the scheduler lock is cheap and
+        #: snapshotting for /v1/metrics needs no scheduler lock at all.
+        self.metrics_registry = (
+            metrics_registry if metrics_registry is not None
+            else MetricsRegistry()
+        )
+        registry = self.metrics_registry
+        self._submitted = registry.counter(
+            "repro_jobs_submitted_total", "Jobs accepted by this scheduler"
+        )
+        self._cache_hits = registry.counter(
+            "repro_result_cache_hits_total",
+            "Submissions completed instantly from the result cache",
+        )
+        self._warm_starts = registry.counter(
+            "repro_oracle_warm_starts_total",
+            "Jobs whose estimator was seeded from the oracle store",
+        )
+        self._oracle_calls_total = registry.counter(
+            "repro_oracle_calls_total", "Real model trainings paid by jobs"
+        )
+        self._oracle_calls_saved_total = registry.counter(
+            "repro_oracle_calls_saved_total",
+            "Oracle calls avoided vs each task's cold baseline",
+        )
+        self._failed_limits = registry.counter(
+            "repro_jobs_failed_limit_total",
+            "Jobs failed by a per-job resource limit",
+            labelnames=("reason",),
+        )
+        self._dedup_hits = registry.counter(
+            "repro_dedup_inflight_hits_total",
+            "Submissions deduplicated against an identical in-flight job",
+        )
+        self._retries_total = registry.counter(
+            "repro_job_retries_total",
+            "Crash-recovery re-executions charged across all jobs",
+        )
+        self._queue_wait_hist = registry.histogram(
+            "repro_job_queue_wait_seconds",
+            "Submission-to-first-pickup wait per job",
+        )
+        self._run_hist = registry.histogram(
+            "repro_job_run_seconds", "Backend run time per executed job"
+        )
         #: this process's lease identity in the shared journal.
         self.scheduler_id = (
             str(scheduler_id).strip()
@@ -283,12 +444,19 @@ class Scheduler:
         self._sweep_thread: threading.Thread | None = None
         #: parent job id → shard child job ids (in shard_index order).
         self._shard_children: dict[str, list[str]] = {}
-        self._shards_submitted = 0
-        self._shards_merged = 0
-        self._leases_renewed = 0
-        self._leases_adopted = 0
-        self._leases_expired_seen = 0
-        self._leases_imported = 0
+        self._shards_submitted = registry.counter(
+            "repro_shards_submitted_total",
+            "shards=N submissions fanned out by this scheduler",
+        )
+        self._shards_merged = registry.counter(
+            "repro_shards_merged_total",
+            "Sharded parents merged to a final skyline",
+        )
+        self._lease_events = registry.counter(
+            "repro_lease_events_total",
+            "Journal lease maintenance events",
+            labelnames=("event",),
+        )
         #: fingerprint → id of the job currently queued/running for it.
         self._inflight: dict[str, str] = {}
         #: job id → fingerprint (avoids re-hashing at terminal time).
@@ -375,7 +543,7 @@ class Scheduler:
                 # compaction below, so even a crash during recovery
                 # cannot forget the charge (no infinite retry loop).
                 job.retries += 1
-                self._retries_total += 1
+                self._retries_total.inc()
                 job.started_at = None
                 if job.retries > self.max_retries:
                     job.state = JobState.FAILED
@@ -454,6 +622,7 @@ class Scheduler:
         timeout: float | None = None,
         max_oracle_calls: int | None = None,
         shards: int | None = None,
+        profile: bool = False,
     ) -> Job:
         """Validate, dedup, journal, and enqueue a job.
 
@@ -495,7 +664,9 @@ class Scheduler:
                     "per-job limits cannot be enforced on sharded jobs "
                     "(per-shard estimators are private)"
                 )
-            return self._submit_sharded(spec, int(priority), shards)
+            return self._submit_sharded(
+                spec, int(priority), shards, profile=profile
+            )
         if spec.distributed:
             # Distributed runs keep private per-worker estimators, so
             # the oracle-boundary guard has nothing to wrap: a quota can
@@ -522,6 +693,7 @@ class Scheduler:
             priority=int(priority),
             timeout=timeout,
             max_oracle_calls=max_oracle_calls,
+            profile=bool(profile),
         )
         record = (
             self.result_cache.get(spec)
@@ -530,7 +702,6 @@ class Scheduler:
         fingerprint = spec.fingerprint()
         with self._lock:
             self.jobs[job.id] = job
-            self._submitted += 1
             try:
                 self._journal_submitted(job)
             except Exception:
@@ -542,7 +713,6 @@ class Scheduler:
                 # compensating cancelled record; if even that fails, the
                 # worst case is one spurious re-run after a restart.
                 del self.jobs[job.id]
-                self._submitted -= 1
                 job.state = JobState.CANCELLED
                 job.finished_at = time.time()
                 try:
@@ -553,13 +723,23 @@ class Scheduler:
                         "failed; the job may replay once", job.id,
                     )
                 raise
+            self._submitted.inc()
             if record is not None:
                 job.transition(JobState.RUNNING)
                 job.cache_hit = True
                 job.result = record["result"]
                 job.oracle_calls = 0
                 job.transition(JobState.DONE)
-                self._cache_hits += 1
+                job.trace = _assemble_trace(job, [{
+                    "id": 1,
+                    "parent": None,
+                    "name": "run",
+                    "start": job.started_at,
+                    "end": job.finished_at,
+                    "attrs": {"job_id": job.id, "cache_hit": True},
+                }])
+                self._observe_timing(job)
+                self._cache_hits.inc()
                 self._journal_terminal(job)
                 self._cond.notify_all()
             else:
@@ -568,7 +748,7 @@ class Scheduler:
                 if primary is not None and not primary.terminal:
                     # Identical work already in flight: don't run it twice.
                     self._followers.setdefault(primary.id, []).append(job.id)
-                    self._dedup_hits += 1
+                    self._dedup_hits.inc()
                     self._acquire_lease(job)
                     if (
                         job.priority > primary.priority
@@ -636,6 +816,7 @@ class Scheduler:
             timeout=timeout,
             max_oracle_calls=max_oracle_calls,
             shards=shards_from_request(body),
+            profile=profile_from_request(body),
         )
 
     # -- sharded jobs ------------------------------------------------------------
@@ -646,7 +827,13 @@ class Scheduler:
             if job.id not in siblings:
                 siblings.append(job.id)
 
-    def _submit_sharded(self, spec: Scenario, priority: int, shards: int) -> Job:
+    def _submit_sharded(
+        self,
+        spec: Scenario,
+        priority: int,
+        shards: int,
+        profile: bool = False,
+    ) -> Job:
         """Fan one submission out as a parent plus ``shards`` children.
 
         All ``shards + 1`` records are journaled strictly before any
@@ -654,7 +841,10 @@ class Scheduler:
         whole never happened (every already-appended record gets a
         compensating cancel). Returns the parent job.
         """
-        parent = Job(spec=spec, priority=priority, shards=shards)
+        parent = Job(
+            spec=spec, priority=priority, shards=shards,
+            profile=bool(profile),
+        )
         children = [
             Job(
                 spec=spec,
@@ -662,12 +852,12 @@ class Scheduler:
                 shards=shards,
                 parent_id=parent.id,
                 shard_index=index,
+                profile=bool(profile),
             )
             for index in range(shards)
         ]
         with self._lock:
             self.jobs[parent.id] = parent
-            self._submitted += 1
             journaled: list[Job] = []
             try:
                 self._journal_submitted(parent)
@@ -681,7 +871,6 @@ class Scheduler:
                 # append compensating cancels for what did get through.
                 for job in (parent, *children):
                     self.jobs.pop(job.id, None)
-                self._submitted -= 1
                 for job in journaled:
                     job.state = JobState.CANCELLED
                     job.finished_at = time.time()
@@ -693,8 +882,9 @@ class Scheduler:
                             "failed; the job may replay once", job.id,
                         )
                 raise
+            self._submitted.inc()
             self._shard_children[parent.id] = [c.id for c in children]
-            self._shards_submitted += 1
+            self._shards_submitted.inc()
             self._acquire_lease(parent)
             for child in children:
                 self._acquire_lease(child)
@@ -729,12 +919,22 @@ class Scheduler:
         try:
             resolved = self.factory.resolve(job.spec)
             outcome = self.backend.run_one(
-                ShardRun(resolved, job.shards, job.shard_index)
+                ShardRun(
+                    resolved,
+                    job.shards,
+                    job.shard_index,
+                    job_id=job.id,
+                    profile_path=self._profile_path(job),
+                )
             )
+            spans = outcome.pop("spans", None)
             with self._lock:
                 job.result = outcome
                 job.run_seconds = time.perf_counter() - start
+                job.trace = _assemble_trace(job, spans)
+                self._stamp_profile(job)
                 job.transition(JobState.DONE)
+                self._observe_timing(job)
                 self._journal_terminal(job)
                 self._release_lease(job)
                 self._cond.notify_all()
@@ -801,6 +1001,11 @@ class Scheduler:
                 self._cond.notify_all()
                 return
             merge_input = [dict(c.result or {}) for c in children]
+            child_meta = [
+                (c.id, c.shard_index, c.started_at, c.finished_at)
+                for c in children
+            ]
+        merge_started_at = time.time()
         start = time.perf_counter()
         try:
             resolved = self.factory.resolve(parent.spec)
@@ -819,15 +1024,20 @@ class Scheduler:
                 self._on_terminal(parent)
                 self._cond.notify_all()
             return
+        merge_finished_at = time.time()
         with self._lock:
             if parent.state != JobState.RUNNING:
                 return  # raced by a peer's terminal import
             parent.result = payload
             parent.run_seconds = time.perf_counter() - start
+            parent.trace = _parent_trace(
+                parent, child_meta, merge_started_at, merge_finished_at
+            )
             parent.transition(JobState.DONE)
+            self._observe_timing(parent)
             self._journal_terminal(parent)
             self._release_lease(parent)
-            self._shards_merged += 1
+            self._shards_merged.inc()
             self._on_terminal(parent)
             self._cond.notify_all()
         self._maybe_compact_journal()
@@ -970,7 +1180,7 @@ class Scheduler:
         """
         if job.state == JobState.RUNNING and not job.is_shard_parent:
             job.retries += 1
-            self._retries_total += 1
+            self._retries_total.inc()
             job.started_at = None
             if job.retries > self.max_retries:
                 job.state = JobState.FAILED
@@ -1003,7 +1213,7 @@ class Scheduler:
         self._register_shard_lineage(job)
         self._acquire_lease(job)
         stats["adopted"] += 1
-        self._leases_adopted += 1
+        self._lease_events.inc(event="adopted")
         if not job.is_shard_parent:
             try:
                 self.queue.push(job)
@@ -1032,7 +1242,7 @@ class Scheduler:
                 if not job.terminal and job.lease_owner == self.scheduler_id:
                     self._acquire_lease(job, action="renewed")
                     stats["renewed"] += 1
-                    self._leases_renewed += 1
+                    self._lease_events.inc(event="renewed")
         try:
             summary = self.journal.replay()
         except Exception:
@@ -1060,7 +1270,7 @@ class Scheduler:
                     self.jobs[job_id] = job
                     self._register_shard_lineage(job)
                     stats["imported"] += 1
-                    self._leases_imported += 1
+                    self._lease_events.inc(event="imported")
                     self._cond.notify_all()
                     continue
                 if (
@@ -1072,11 +1282,11 @@ class Scheduler:
                     self._register_shard_lineage(job)
                     if known is None:
                         stats["imported"] += 1
-                        self._leases_imported += 1
+                        self._lease_events.inc(event="imported")
                     continue
                 if job.lease_owner is not None:
                     stats["expired"] += 1
-                    self._leases_expired_seen += 1
+                    self._lease_events.inc(event="expired_seen")
                 self._adopt_locked(job, stats)
             parents = [
                 p.id
@@ -1091,7 +1301,8 @@ class Scheduler:
         """Background lease maintenance until :meth:`stop`."""
         while not self._sweep_stop.wait(self._sweep_interval):
             try:
-                self.sweep_leases()
+                with log_context(scheduler_id=self.scheduler_id):
+                    self.sweep_leases()
             except Exception:  # pragma: no cover - absolute backstop
                 logger.exception("lease sweep failed")
 
@@ -1341,7 +1552,14 @@ class Scheduler:
                     return
                 continue
             try:
-                self._execute(job)
+                # Correlation context for every log line this job emits,
+                # from any subsystem on this thread (see logging_util).
+                with log_context(
+                    job_id=job.id,
+                    shard_index=job.shard_index,
+                    scheduler_id=self.scheduler_id,
+                ):
+                    self._execute(job)
             except Exception:  # pragma: no cover - absolute backstop
                 logger.exception("worker crashed executing job %s", job.id)
 
@@ -1387,11 +1605,14 @@ class Scheduler:
                     warm_store,
                     timeout=job.timeout,
                     max_oracle_calls=job.max_oracle_calls,
+                    job_id=job.id,
+                    profile_path=self._profile_path(job),
                 ),
                 timeout=hard_timeout,
             )
             oracle_calls = outcome["oracle_calls"]
             limit = outcome.get("limit")
+            spans = outcome.get("spans")
             saved = 0
             if key is not None and outcome["store_rows"] is not None:
                 # Persistence is best-effort: the discovery already
@@ -1435,6 +1656,7 @@ class Scheduler:
                         )
                     ),
                     oracle_calls=oracle_calls,
+                    spans=spans,
                 )
                 return
             if self.result_cache is not None:
@@ -1454,11 +1676,14 @@ class Scheduler:
                 job.warm_started = warm
                 job.warm_records = warm_records
                 job.oracle_calls_saved = saved
-                self._oracle_calls_total += oracle_calls or 0
-                self._oracle_calls_saved_total += saved
+                job.trace = _assemble_trace(job, spans)
+                self._stamp_profile(job)
+                self._oracle_calls_total.inc(oracle_calls or 0)
+                self._oracle_calls_saved_total.inc(saved)
                 if warm:
-                    self._warm_starts += 1
+                    self._warm_starts.inc()
                 job.transition(JobState.DONE)
+                self._observe_timing(job)
                 self._journal_terminal(job)
                 self._on_terminal(job)
                 self._cond.notify_all()
@@ -1488,6 +1713,7 @@ class Scheduler:
         reason: str,
         error: str,
         oracle_calls: int | None = None,
+        spans: list[dict[str, Any]] | None = None,
     ) -> None:
         with self._lock:
             job.error = error
@@ -1495,94 +1721,145 @@ class Scheduler:
             job.run_seconds = time.perf_counter() - start
             job.warm_started = warm
             job.warm_records = warm_records
+            job.trace = _assemble_trace(job, spans)
+            self._stamp_profile(job)
             if oracle_calls is not None:
                 job.oracle_calls = oracle_calls
-                self._oracle_calls_total += oracle_calls
+                self._oracle_calls_total.inc(oracle_calls)
             if reason == "timeout":
-                self._failed_timeout += 1
+                self._failed_limits.inc(reason="timeout")
             elif reason == "quota":
-                self._failed_quota += 1
+                self._failed_limits.inc(reason="quota")
             job.transition(JobState.FAILED)
+            self._observe_timing(job)
             self._journal_terminal(job)
             self._on_terminal(job)
             self._cond.notify_all()
         self._maybe_compact_journal()
 
+    # -- observability helpers ---------------------------------------------------
+    def _profile_path(self, job: Job) -> str | None:
+        """Where this job's pstats dump should land (None: not profiled)."""
+        if not job.profile or self.profile_dir is None:
+            return None
+        return str(self.profile_dir / f"{job.id}.pstats")
+
+    def _stamp_profile(self, job: Job) -> None:
+        """Record the profile dump on the job if the run produced one."""
+        path = self._profile_path(job)
+        if path is not None and Path(path).exists():
+            job.profile_path = path
+
+    def _observe_timing(self, job: Job) -> None:
+        """Feed the queue-wait/run-time histograms at terminal time."""
+        if job.submitted_at is not None and job.started_at is not None:
+            self._queue_wait_hist.observe(
+                max(0.0, job.started_at - job.submitted_at)
+            )
+        if job.run_seconds:
+            self._run_hist.observe(job.run_seconds)
+
     # -- introspection -----------------------------------------------------------
-    def metrics(self) -> dict[str, Any]:
-        """The ``GET /metrics`` payload: queue, jobs, cache, oracle savings,
-        per-job limit failures, dedup hits, and journal/recovery state."""
+    def _job_table_snapshot(self) -> dict[str, Any]:
+        """Point-in-time job-table aggregates (by-state counts, shards,
+        leases held).
+
+        The only part of the metrics payload that needs the scheduler
+        lock — and only for a cheap ``list()`` copy of the job dict; the
+        field reads below run lock-free on the copy. Everything else the
+        payload reports lives in the metrics registry (own per-series
+        locks) or in subsystems with their own locks, so a slow metrics
+        scrape can never stall submission or the worker pool.
+        """
         now = time.time()
         with self._lock:
-            by_state = {state: 0 for state in JobState.ALL}
-            parents = children = children_in_flight = leases_held = 0
-            for job in self.jobs.values():
-                by_state[job.state] += 1
-                if job.is_shard_parent:
-                    parents += 1
-                elif job.shard_index is not None:
-                    children += 1
-                    if not job.terminal:
-                        children_in_flight += 1
-                if (
-                    not job.terminal
-                    and job.lease_owner == self.scheduler_id
-                    and self._lease_live(job, now)
-                ):
-                    leases_held += 1
-            lookups = (
-                self._submitted if self.result_cache is not None else 0
-            )
-            metrics: dict[str, Any] = {
-                "uptime_seconds": time.time() - self._started_at,
-                "workers": self.n_workers,
-                "backend": self.backend.name,
-                "queue_depth": self.queue.depth,
-                "jobs_submitted": self._submitted,
-                "jobs": by_state,
-                "result_cache": {
-                    "enabled": self.result_cache is not None,
-                    "lookups": lookups,
-                    "hits": self._cache_hits,
-                    "hit_rate": (
-                        self._cache_hits / lookups if lookups else 0.0
-                    ),
-                },
-                "dedup": {"inflight_hits": self._dedup_hits},
-                "limits": {
-                    "failed_timeout": self._failed_timeout,
-                    "failed_quota": self._failed_quota,
-                },
-                "retries": {
-                    "max_per_job": self.max_retries,
-                    "total": self._retries_total,
-                },
-                "oracle": {
-                    "warm_starts": self._warm_starts,
-                    "calls_total": self._oracle_calls_total,
-                    "calls_saved_total": self._oracle_calls_saved_total,
-                },
-                "shards": {
-                    "submitted": self._shards_submitted,
-                    "merged": self._shards_merged,
-                    "parents": parents,
-                    "children": children,
-                    "in_flight": children_in_flight,
-                },
-                "leases": {
-                    "enabled": self._lease_active(),
-                    "owner": self.scheduler_id,
-                    "ttl_seconds": self.lease_ttl,
-                    "held": leases_held,
-                    "renewed": self._leases_renewed,
-                    "adopted": self._leases_adopted,
-                    "expired_seen": self._leases_expired_seen,
-                    "imported": self._leases_imported,
-                },
-            }
-        # Outside the scheduler lock: the task cache has its own lock and
-        # never calls back into the scheduler. Stub factories (tests)
-        # may not carry a task cache; report zeroed counters then.
+            jobs = list(self.jobs.values())
+        by_state = {state: 0 for state in JobState.ALL}
+        parents = children = children_in_flight = leases_held = 0
+        for job in jobs:
+            state = job.state
+            if state in by_state:
+                by_state[state] += 1
+            if job.is_shard_parent:
+                parents += 1
+            elif job.shard_index is not None:
+                children += 1
+                if state not in JobState.TERMINAL:
+                    children_in_flight += 1
+            if (
+                state not in JobState.TERMINAL
+                and job.lease_owner == self.scheduler_id
+                and self._lease_live(job, now)
+            ):
+                leases_held += 1
+        return {
+            "by_state": by_state,
+            "parents": parents,
+            "children": children,
+            "children_in_flight": children_in_flight,
+            "leases_held": leases_held,
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``GET /metrics`` payload: queue, jobs, cache, oracle savings,
+        per-job limit failures, dedup hits, and journal/recovery state.
+
+        Values come from the typed :mod:`repro.obs` registry plus a brief
+        job-table snapshot — the scheduler lock is held only for that
+        snapshot's dict copy, never while the payload is being built.
+        """
+        table = self._job_table_snapshot()
+        submitted = self._submitted.value
+        cache_hits = self._cache_hits.value
+        lookups = submitted if self.result_cache is not None else 0
+        metrics: dict[str, Any] = {
+            "uptime_seconds": time.time() - self._started_at,
+            "workers": self.n_workers,
+            "backend": self.backend.name,
+            "queue_depth": self.queue.depth,
+            "jobs_submitted": submitted,
+            "jobs": table["by_state"],
+            "result_cache": {
+                "enabled": self.result_cache is not None,
+                "lookups": lookups,
+                "hits": cache_hits,
+                "hit_rate": (cache_hits / lookups if lookups else 0.0),
+            },
+            "dedup": {"inflight_hits": self._dedup_hits.value},
+            "limits": {
+                "failed_timeout": self._failed_limits.get(reason="timeout"),
+                "failed_quota": self._failed_limits.get(reason="quota"),
+            },
+            "retries": {
+                "max_per_job": self.max_retries,
+                "total": self._retries_total.value,
+            },
+            "oracle": {
+                "warm_starts": self._warm_starts.value,
+                "calls_total": self._oracle_calls_total.value,
+                "calls_saved_total": self._oracle_calls_saved_total.value,
+            },
+            "shards": {
+                "submitted": self._shards_submitted.value,
+                "merged": self._shards_merged.value,
+                "parents": table["parents"],
+                "children": table["children"],
+                "in_flight": table["children_in_flight"],
+            },
+            "leases": {
+                "enabled": self._lease_active(),
+                "owner": self.scheduler_id,
+                "ttl_seconds": self.lease_ttl,
+                "held": table["leases_held"],
+                "renewed": self._lease_events.get(event="renewed"),
+                "adopted": self._lease_events.get(event="adopted"),
+                "expired_seen": self._lease_events.get(event="expired_seen"),
+                "imported": self._lease_events.get(event="imported"),
+            },
+        }
+        # The task cache has its own lock and never calls back into the
+        # scheduler. Stub factories (tests) may not carry a task cache;
+        # report zeroed counters then.
         task_cache = getattr(self.factory, "task_cache", None)
         stats_fn = getattr(task_cache, "materialization_stats", None)
         metrics["materialization"] = (
@@ -1612,6 +1889,90 @@ class Scheduler:
         else:
             metrics["oracle_store"] = {"enabled": False}
         return metrics
+
+    def metrics_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Registry counters/histograms export natively; point-in-time
+        values (queue depth, jobs by state, cache/journal stats) ride
+        along as computed gauges. Same locking story as :meth:`metrics`.
+        """
+        table = self._job_table_snapshot()
+        gauges: dict[str, float] = {
+            "repro_uptime_seconds": time.time() - self._started_at,
+            "repro_workers": self.n_workers,
+            "repro_queue_depth": self.queue.depth,
+            "repro_shard_children_in_flight": table["children_in_flight"],
+            "repro_leases_held": table["leases_held"],
+        }
+        for state, count in table["by_state"].items():
+            gauges[f"repro_jobs_{state}"] = count
+        task_cache = getattr(self.factory, "task_cache", None)
+        stats_fn = getattr(task_cache, "materialization_stats", None)
+        if stats_fn is not None:
+            stats = stats_fn()
+            for key in ("hits", "misses", "bytes", "entries", "evictions"):
+                gauges[f"repro_materialization_{key}"] = stats.get(key, 0)
+        if self.journal is not None:
+            for key, value in self.journal.stats().items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    gauges[f"repro_journal_{key}"] = value
+        return render_prometheus(self.metrics_registry, extra_gauges=gauges)
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        """The ``GET /v1/jobs/{id}/trace`` payload: the job's span tree
+        source, shard-child traces (parents), and any profile summary.
+
+        Traces persist with the job snapshot, so this answers for
+        journal-replayed jobs too — including a parent whose children
+        finished under a SIGKILLed peer scheduler.
+        """
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job id {job_id!r}")
+            spans = list(job.trace or [])
+            shard_traces: list[dict[str, Any]] = []
+            if job.is_shard_parent:
+                for child_id in self._shard_children.get(job_id, []):
+                    child = self.jobs.get(child_id)
+                    if child is None:
+                        continue
+                    shard_traces.append(
+                        {
+                            "job_id": child.id,
+                            "shard_index": child.shard_index,
+                            "state": child.state,
+                            "spans": list(child.trace or []),
+                        }
+                    )
+                shard_traces.sort(key=lambda c: c["shard_index"] or 0)
+            payload: dict[str, Any] = {
+                "job_id": job.id,
+                "state": job.state,
+                "parent_id": job.parent_id,
+                "queue_wait_seconds": (
+                    max(0.0, job.started_at - job.submitted_at)
+                    if job.started_at is not None
+                    else None
+                ),
+                "run_seconds": job.run_seconds,
+                "spans": spans,
+                "profile": None,
+            }
+            profile_path = job.profile_path
+        if job.is_shard_parent:
+            payload["shards"] = shard_traces
+        if profile_path is not None:
+            profile: dict[str, Any] = {"path": profile_path}
+            try:
+                profile["summary"] = summarize_profile(profile_path)
+            except Exception:
+                profile["summary"] = None
+            payload["profile"] = profile
+        return payload
 
     def __repr__(self) -> str:
         return (

@@ -22,9 +22,15 @@ Routes (v1)::
     DELETE /v1/jobs/{id}     cancel a queued job (cascades to a sharded
                              parent's queued children)
     GET    /v1/results/{id}  the full result payload of a DONE job
+    GET    /v1/jobs/{id}/trace  the job's span tree (queue-wait, run,
+                             per-phase search spans; sharded parents
+                             include each child's trace) plus any
+                             cProfile summary
     GET    /v1/healthz       liveness, version, scheduler/lease identity
     GET    /v1/metrics       queue depth, jobs by state, cache hit rate,
-                             shards in flight, leases held/adopted
+                             shards in flight, leases held/adopted;
+                             ``?format=prometheus`` renders the same
+                             registry as Prometheus text exposition
 
 The original unversioned paths (``/jobs``, ``/results/{id}``,
 ``/healthz``, ``/metrics``) remain as deprecated aliases: same handlers,
@@ -88,9 +94,13 @@ MAX_BODY_BYTES = 1 << 20
 MAX_PAGE_SIZE = 1000
 
 _JOB_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
+_TRACE_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/trace$")
 _RESULT_ROUTE = re.compile(r"^/results/([A-Za-z0-9_.-]+)$")
 
 _LIST_PARAMS = frozenset({"state", "limit", "after"})
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def job_etag(payload: dict[str, Any]) -> str:
@@ -166,6 +176,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self, status: int, body: str, content_type: str = "text/plain"
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if getattr(self, "_deprecated", False):
+            self.send_header("Deprecation", "true")
+        self.end_headers()
+        self.wfile.write(data)
+
     def _send_not_modified(self, etag: str) -> None:
         self.send_response(304)
         self.send_header("ETag", etag)
@@ -222,8 +244,37 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return body
 
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._status = code
+        super().send_response(code, message)
+
     def _guarded(self, handler) -> None:
-        """Run a route handler, mapping errors to envelope responses."""
+        """Run a route handler, mapping errors to envelope responses.
+
+        Also the HTTP instrumentation point: every request lands in the
+        scheduler registry's ``repro_http_requests_total`` (by method and
+        status) and the ``repro_http_request_seconds`` latency histogram.
+        """
+        registry = self.scheduler.metrics_registry
+        started = time.perf_counter()
+        self._status = 0
+        try:
+            self._guarded_inner(handler)
+        finally:
+            try:
+                registry.counter(
+                    "repro_http_requests_total",
+                    "HTTP requests served",
+                    labelnames=("method", "status"),
+                ).inc(method=self.command, status=str(self._status or 0))
+                registry.histogram(
+                    "repro_http_request_seconds",
+                    "HTTP request handling latency",
+                ).observe(time.perf_counter() - started)
+            except Exception:  # pragma: no cover - metrics must not 500
+                logger.debug("http metrics recording failed", exc_info=True)
+
+    def _guarded_inner(self, handler) -> None:
         try:
             handler()
         except ApiError as exc:
@@ -278,10 +329,28 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         if path == "/metrics":
-            self._send_json(200, self.scheduler.metrics())
+            params = dict(parse_qsl(query, keep_blank_values=True))
+            fmt = params.get("format", "json")
+            if fmt == "prometheus":
+                self._send_text(
+                    200,
+                    self.scheduler.metrics_prometheus(),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            elif fmt == "json":
+                self._send_json(200, self.scheduler.metrics())
+            else:
+                raise InvalidRequestError(
+                    f"unknown metrics format {fmt!r}",
+                    detail={"valid": ["json", "prometheus"]},
+                )
             return
         if path == "/jobs":
             self._send_json(200, self._list_jobs(query))
+            return
+        match = _TRACE_ROUTE.match(path)
+        if match:
+            self._send_json(200, self.scheduler.trace(match.group(1)))
             return
         match = _JOB_ROUTE.match(path)
         if match:

@@ -35,6 +35,8 @@ from ..distributed.coordinator import merge_skylines
 from ..distributed.partition import partition_frontier
 from ..distributed.worker import ShippedState, WorkerJob, run_worker_job
 from ..exceptions import ServiceError
+from ..obs import SpanCollector, span, use_collector
+from ..obs.profiling import profile_to_file
 from ..scenarios.factory import ResolvedScenario
 
 #: ``algorithm`` reported on merged parent results.
@@ -52,13 +54,23 @@ class ShardRun:
     Mirrors the scheduler's ``_JobRun`` contract — fork-friendly and
     returning only JSON-able data — but runs the distributed worker's
     seeded search over partition ``shard_index`` of ``n_shards`` instead
-    of the scenario's single-node algorithm.
+    of the scenario's single-node algorithm. Like ``_JobRun``, it
+    installs a span collector for the duration of the run, so the
+    seeded search's per-phase spans come back as the ``"spans"`` list
+    (which the scheduler persists as the shard child's trace).
     """
 
-    __slots__ = ("resolved", "n_shards", "shard_index")
+    __slots__ = (
+        "resolved", "n_shards", "shard_index", "job_id", "profile_path"
+    )
 
     def __init__(
-        self, resolved: ResolvedScenario, n_shards: int, shard_index: int
+        self,
+        resolved: ResolvedScenario,
+        n_shards: int,
+        shard_index: int,
+        job_id: str | None = None,
+        profile_path: str | None = None,
     ):
         if not 0 <= shard_index < n_shards:
             raise ServiceError(
@@ -67,27 +79,37 @@ class ShardRun:
         self.resolved = resolved
         self.n_shards = n_shards
         self.shard_index = shard_index
+        self.job_id = job_id
+        self.profile_path = profile_path
 
     def __call__(self) -> dict[str, Any]:
         spec = self.resolved.spec
         task = self.resolved.task
-        seeds = partition_frontier(task.space, self.n_shards)[
-            self.shard_index
-        ]
+        collector = SpanCollector()
         start = time.perf_counter()
-        result = run_worker_job(
-            WorkerJob(
-                worker_id=self.shard_index,
-                config_factory=lambda: task.build_config(
-                    estimator=spec.estimator, n_bootstrap=spec.n_bootstrap
-                ),
-                seeds=seeds,
-                epsilon=spec.epsilon,
-                budget=shard_budget(spec.budget, self.n_shards),
-                max_level=spec.max_level,
-            )
-        )
+        with use_collector(collector), profile_to_file(self.profile_path):
+            with span(
+                "run", job_id=self.job_id, shard_index=self.shard_index
+            ):
+                with span("partition-frontier"):
+                    seeds = partition_frontier(task.space, self.n_shards)[
+                        self.shard_index
+                    ]
+                result = run_worker_job(
+                    WorkerJob(
+                        worker_id=self.shard_index,
+                        config_factory=lambda: task.build_config(
+                            estimator=spec.estimator,
+                            n_bootstrap=spec.n_bootstrap,
+                        ),
+                        seeds=seeds,
+                        epsilon=spec.epsilon,
+                        budget=shard_budget(spec.budget, self.n_shards),
+                        max_level=spec.max_level,
+                    )
+                )
         return {
+            "spans": collector.spans,
             "shard_index": self.shard_index,
             "n_shards": self.n_shards,
             "shipped": [

@@ -1,0 +1,290 @@
+"""The observability primitives: metrics registry, span tracing, profiling.
+
+Pure-unit coverage of :mod:`repro.obs` — thread-safety of counters,
+histogram bucket-edge semantics, the label-cardinality cap, Prometheus
+exposition parse-back, span nesting/error capture, and the zero-cost
+disabled paths the CI overhead gate depends on.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanCollector,
+    format_span_tree,
+    render_prometheus,
+    set_enabled,
+    span,
+    span_tree,
+    tracing_enabled,
+    use_collector,
+)
+from repro.obs.metrics import MAX_LABEL_SETS, _OVERFLOW
+from repro.obs.profiling import profile_to_file, summarize_profile
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total", "Requests.")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_negative_increment_rejected(self):
+        c = Counter("requests_total", "Requests.")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_are_independent_series(self):
+        c = Counter("http_total", "HTTP.", labelnames=("method",))
+        c.inc(method="GET")
+        c.inc(2, method="POST")
+        assert c.get(method="GET") == 1
+        assert c.get(method="POST") == 2
+        assert c.get(method="PUT") == 0  # never incremented
+        assert c.value == 3  # sum over series
+
+    def test_concurrent_increments_lose_nothing(self):
+        c = Counter("contended_total", "Contended.")
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+
+    def test_label_cardinality_cap_folds_to_overflow(self):
+        c = Counter("wide_total", "Wide.", labelnames=("user",))
+        for i in range(MAX_LABEL_SETS + 20):
+            c.inc(user=f"u{i}")
+        # No series beyond the cap; every increment still counted.
+        assert c.value == MAX_LABEL_SETS + 20
+        assert c.get(user=_OVERFLOW) >= 20
+        # A pre-cap series keeps answering exactly.
+        assert c.get(user="u0") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "Depth.")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive(self):
+        h = Histogram("lat", "Latency.", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.1)  # exactly on an edge: le=0.1 bucket
+        h.observe(0.11)  # next bucket
+        h.observe(100.0)  # beyond all finite buckets: +Inf only
+        snap = h.get()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(100.21)
+        # Cumulative counts per upper bound (string-keyed for JSON).
+        assert snap["buckets"]["0.1"] == 1
+        assert snap["buckets"]["1.0"] == 2
+        assert snap["buckets"]["10.0"] == 2
+        assert snap["buckets"]["+Inf"] == 3
+
+    def test_bucket_counts_are_monotone(self):
+        h = Histogram("lat", "Latency.")
+        for v in (0.0001, 0.003, 0.02, 0.2, 2.0, 700.0):
+            h.observe(v)
+        counts = list(h.get()["buckets"].values())
+        assert counts == sorted(counts)
+        assert counts[-1] == 6
+
+
+class TestRegistry:
+    def test_get_or_create_by_name(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", "Jobs.")
+        b = reg.counter("jobs_total", "Jobs.")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing", "Thing.")
+        with pytest.raises(TypeError):
+            reg.gauge("thing", "Thing.")
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("plain_total", "Plain.").inc(2)
+        labelled = reg.counter("by_kind_total", "ByKind.", labelnames=("k",))
+        labelled.inc(k="a")
+        snap = reg.snapshot()
+        assert snap["plain_total"] == 2  # bare number: JSON-compatible
+        assert snap["by_kind_total"] == {"a": 1.0}
+
+
+def _parse_prometheus(text):
+    """Tiny exposition parser: {name: {labels-string: value}} + meta."""
+    samples, helps, types = {}, {}, {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+        else:
+            assert not line.startswith("#"), f"unknown comment: {line}"
+            series, value = line.rsplit(" ", 1)
+            samples[series] = float(value)  # must parse as a float
+    return samples, helps, types
+
+
+class TestPrometheusExposition:
+    def test_parse_back(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs submitted.").inc(7)
+        h = reg.histogram("repro_wait_seconds", "Queue wait.")
+        h.observe(0.002)
+        h.observe(3.0)
+        labelled = reg.counter(
+            "repro_events_total", "Events.", labelnames=("event",)
+        )
+        labelled.inc(event="renewed")
+        text = render_prometheus(reg, extra_gauges={"repro_up": 1.0})
+        samples, helps, types = _parse_prometheus(text)
+        assert samples["repro_jobs_total"] == 7
+        assert types["repro_jobs_total"] == "counter"
+        assert "repro_jobs_total" in helps
+        assert samples['repro_events_total{event="renewed"}'] == 1
+        assert samples["repro_wait_seconds_count"] == 2
+        assert samples["repro_wait_seconds_sum"] == pytest.approx(3.002)
+        assert samples['repro_wait_seconds_bucket{le="+Inf"}'] == 2
+        assert samples["repro_up"] == 1.0
+        assert types["repro_up"] == "gauge"
+
+    def test_histogram_buckets_cumulative_in_text(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_x_seconds", "X.", buckets=(0.5, 1.0, 2.0)
+        )
+        for v in (0.2, 0.7, 1.5, 9.0):
+            h.observe(v)
+        samples, _, _ = _parse_prometheus(render_prometheus(reg))
+        buckets = [
+            samples['repro_x_seconds_bucket{le="0.5"}'],
+            samples['repro_x_seconds_bucket{le="1.0"}'],
+            samples['repro_x_seconds_bucket{le="2.0"}'],
+            samples['repro_x_seconds_bucket{le="+Inf"}'],
+        ]
+        assert buckets == [1, 2, 3, 4]
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_odd_total", "Odd.", labelnames=("p",))
+        c.inc(p='say "hi"\\now')
+        text = render_prometheus(reg)
+        assert '\\"hi\\"' in text and "\\\\now" in text
+
+
+class TestTracing:
+    def test_spans_nest_and_record(self):
+        collector = SpanCollector()
+        with use_collector(collector):
+            with span("run", job_id="j1"):
+                with span("search"):
+                    with span("valuate", n=3):
+                        pass
+                with span("verify"):
+                    pass
+        names = {s["name"]: s for s in collector.spans}
+        assert set(names) == {"run", "search", "valuate", "verify"}
+        assert names["run"]["parent"] is None
+        assert names["search"]["parent"] == names["run"]["id"]
+        assert names["valuate"]["parent"] == names["search"]["id"]
+        assert names["verify"]["parent"] == names["run"]["id"]
+        assert names["valuate"]["attrs"]["n"] == 3
+        for s in collector.spans:
+            assert s["end"] >= s["start"]
+
+    def test_exception_recorded_and_propagated(self):
+        collector = SpanCollector()
+        with use_collector(collector):
+            with pytest.raises(RuntimeError):
+                with span("broken"):
+                    raise RuntimeError("boom")
+        (broken,) = collector.spans
+        assert broken["attrs"]["error"] == "RuntimeError"
+
+    def test_noop_without_collector(self):
+        with span("orphan") as s:
+            s.set_attr(ignored=True)  # must not blow up
+
+    def test_noop_when_disabled(self):
+        collector = SpanCollector()
+        previous = set_enabled(False)
+        try:
+            assert not tracing_enabled()
+            with use_collector(collector):
+                with span("invisible"):
+                    pass
+        finally:
+            set_enabled(previous)
+        assert collector.spans == []
+
+    def test_collector_caps_span_count(self):
+        collector = SpanCollector(limit=5)
+        with use_collector(collector):
+            for i in range(9):
+                with span(f"s{i}"):
+                    pass
+        assert len(collector.spans) == 5
+        assert collector.dropped == 4
+
+    def test_span_tree_promotes_orphans(self):
+        spans = [
+            {"id": 2, "parent": 1, "name": "child", "start": 1.0, "end": 2.0},
+            {"id": 3, "parent": 99, "name": "lost", "start": 0.5, "end": 0.6},
+        ]
+        roots = span_tree(spans)
+        assert [r["name"] for r in roots] == ["lost", "child"]
+
+    def test_format_span_tree_indents(self):
+        collector = SpanCollector()
+        with use_collector(collector):
+            with span("run"):
+                with span("search", level=1):
+                    pass
+        text = format_span_tree(collector.spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("run")
+        assert lines[1].startswith("  search")
+        assert "[level=1]" in lines[1]
+
+
+class TestProfiling:
+    def test_none_path_is_noop(self):
+        with profile_to_file(None):
+            pass  # nothing written, nothing raised
+
+    def test_profile_written_and_summarized(self, tmp_path):
+        target = tmp_path / "nested" / "job.pstats"
+        with profile_to_file(target):
+            sum(range(1000))
+        assert target.exists()
+        summary = summarize_profile(target, top=5)
+        assert "function calls" in summary
+
+    def test_unwritable_path_swallowed(self):
+        with profile_to_file("/proc/definitely/not/writable/x.pstats"):
+            pass  # profiling must never fail the job
