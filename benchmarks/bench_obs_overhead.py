@@ -19,6 +19,11 @@ projection instead of comparing two noisy end-to-end timings:
 
 Both factors are measured on this machine, so the ratio is stable across
 hardware — a slow box inflates numerator and denominator alike.
+
+The live-progress events of ``repro.obs.events`` ride the same gate:
+``emit()``/``heartbeat()`` share the two-load fast path, so the budget
+covers the *sum* of disabled span and emit call costs — events compiled
+in must not push idle instrumentation past 3%.
 """
 
 from __future__ import annotations
@@ -29,7 +34,14 @@ from pathlib import Path
 
 from _harness import bench_task, print_table
 from repro.core.algorithms import ApxMODis
-from repro.obs import SpanCollector, span, use_collector
+from repro.obs import (
+    ProgressEmitter,
+    SpanCollector,
+    heartbeat,
+    span,
+    use_collector,
+    use_emitter,
+)
 
 TASK = "T3"
 SCALE = 0.3
@@ -54,7 +66,44 @@ def _disabled_span_cost_ns() -> float:
     return best / MICRO_CALLS * 1e9
 
 
-def _run_search(task, collector=None):
+def _disabled_emit_cost_ns() -> float:
+    """ns per progress-event call when no emitter is installed.
+
+    ``heartbeat`` is the call sitting in the valuation hot loop; its
+    disabled path (module flag + contextvar load + ``None`` check) is
+    identical to ``emit``/``emit_partial``.
+    """
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(MICRO_CALLS):
+            heartbeat(n_valuated=1, budget=1)
+        best = min(best, time.perf_counter() - start)
+    return best / MICRO_CALLS * 1e9
+
+
+class _CountingEmitter(ProgressEmitter):
+    """Counts every progress-event call site hit, writing nothing.
+
+    ``heartbeat`` is counted *before* the rate limiter: the disabled
+    fast path is paid per call, not per line actually shipped, so the
+    honest overhead factor is call sites hit.
+    """
+
+    def __init__(self):
+        super().__init__(fd=-1)
+        self.calls = 0
+
+    def _send(self, kind, data):
+        self.calls += 1
+        return True
+
+    def heartbeat(self, **data):
+        self.calls += 1
+        return True
+
+
+def _run_search(task, collector=None, emitter=None):
     """One ApxMODis run; returns (result, wall seconds)."""
     config = task.build_config(estimator="oracle")
     algo = ApxMODis(
@@ -62,11 +111,20 @@ def _run_search(task, collector=None):
     )
     start = time.perf_counter()
     if collector is not None:
-        with use_collector(collector):
+        emitter_ctx = (
+            use_emitter(emitter) if emitter is not None else _null_ctx()
+        )
+        with use_collector(collector), emitter_ctx:
             result = algo.run()
     else:
         result = algo.run()
     return result, time.perf_counter() - start
+
+
+def _null_ctx():
+    import contextlib
+
+    return contextlib.nullcontext()
 
 
 def test_disabled_tracing_overhead_under_budget(benchmark):
@@ -75,33 +133,41 @@ def test_disabled_tracing_overhead_under_budget(benchmark):
 
     def run():
         per_call_ns = _disabled_span_cost_ns()
+        emit_ns = _disabled_emit_cost_ns()
         collector = SpanCollector()
-        traced, _ = _run_search(task, collector)
+        emitter = _CountingEmitter()
+        traced, _ = _run_search(task, collector, emitter)
         plain, baseline_s = min(
             (_run_search(task) for _ in range(REPEATS)),
             key=lambda pair: pair[1],
         )
-        return per_call_ns, collector, traced, plain, baseline_s
+        return per_call_ns, emit_ns, collector, emitter, traced, plain, \
+            baseline_s
 
-    per_call_ns, collector, traced, plain, baseline_s = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
+    (
+        per_call_ns, emit_ns, collector, emitter, traced, plain, baseline_s
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
     # Ids are allocated per span attempt even when the collector caps
     # retention, so next(_ids) - 1 counts every call site the search hit.
     calls_issued = next(collector._ids) - 1
     n_states = plain.report.n_valuated
     assert n_states == traced.report.n_valuated  # same search either way
     calls_per_state = calls_issued / max(n_states, 1)
+    emit_calls_per_state = emitter.calls / max(n_states, 1)
     per_state_baseline_ns = baseline_s / max(n_states, 1) * 1e9
-    projected = calls_per_state * per_call_ns / per_state_baseline_ns
+    projected = (
+        calls_per_state * per_call_ns + emit_calls_per_state * emit_ns
+    ) / per_state_baseline_ns
 
     rows = {
         "disabled span()": {"ns_per_call": round(per_call_ns, 1)},
+        "disabled emit()": {"ns_per_call": round(emit_ns, 1)},
         "search baseline": {
             "ns_per_state": round(per_state_baseline_ns, 1)
         },
         "instrumentation": {
             "span_calls_per_state": round(calls_per_state, 2),
+            "emit_calls_per_state": round(emit_calls_per_state, 2),
             "projected_overhead_pct": round(projected * 100, 3),
         },
     }
@@ -115,7 +181,9 @@ def test_disabled_tracing_overhead_under_budget(benchmark):
         "scale": SCALE,
         "n_states": n_states,
         "disabled_span_ns": per_call_ns,
+        "disabled_emit_ns": emit_ns,
         "span_calls_per_state": calls_per_state,
+        "emit_calls_per_state": emit_calls_per_state,
         "baseline_ns_per_state": per_state_baseline_ns,
         "projected_overhead": projected,
         "overhead_budget": OVERHEAD_BUDGET,
@@ -127,11 +195,13 @@ def test_disabled_tracing_overhead_under_budget(benchmark):
         {
             "projected_overhead_pct": round(projected * 100, 3),
             "disabled_span_ns": round(per_call_ns, 1),
+            "disabled_emit_ns": round(emit_ns, 1),
         }
     )
     assert projected <= OVERHEAD_BUDGET, (
-        f"disabled tracing projects to {projected:.2%} of the valuation "
-        f"hot loop (budget {OVERHEAD_BUDGET:.0%}): {calls_per_state:.1f} "
-        f"span calls/state x {per_call_ns:.0f}ns against "
-        f"{per_state_baseline_ns:.0f}ns/state"
+        f"disabled instrumentation projects to {projected:.2%} of the "
+        f"valuation hot loop (budget {OVERHEAD_BUDGET:.0%}): "
+        f"{calls_per_state:.1f} span calls/state x {per_call_ns:.0f}ns "
+        f"+ {emit_calls_per_state:.1f} emit calls/state x "
+        f"{emit_ns:.0f}ns against {per_state_baseline_ns:.0f}ns/state"
     )

@@ -29,6 +29,8 @@ resident between runs:
     python -m repro submit --task T3 --algorithm bimodis --budget 20 \
         --timeout 120 --max-oracle-calls 50
     python -m repro status                      # jobs + queue metrics
+    python -m repro top                         # live refreshing dashboard
+    python -m repro watch job-abc123            # follow one job's events
     python -m repro fetch job-abc123 --output out/
     python -m repro recover --journal-dir .journal --dry-run
 
@@ -530,6 +532,188 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_bar(fraction: float, width: int = 20) -> str:
+    """A fixed-width ASCII bar: ``[########............]``."""
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _format_event(event: dict) -> str:
+    """One event as a human-readable ``watch`` line."""
+    import time as _time
+
+    stamp = _time.strftime("%H:%M:%S", _time.localtime(event.get("ts", 0)))
+    data = event.get("data") or {}
+    kind = event.get("type", "?")
+    extra = []
+    if kind == "job.progress":
+        if data.get("generation") is not None:
+            extra.append(f"gen={data['generation']}")
+        elif data.get("level") is not None:
+            extra.append(f"level={data['level']}")
+        if data.get("n_valuated") is not None and data.get("budget"):
+            extra.append(f"valuated={data['n_valuated']}/{data['budget']}")
+        if data.get("front_size") is not None:
+            extra.append(f"front={data['front_size']}")
+    elif kind == "job.partial":
+        extra.append(f"front_size={data.get('front_size')}")
+    elif kind in ("job.done", "job.failed", "job.cancelled"):
+        summary = data.get("summary") or {}
+        if summary.get("skyline_size") is not None:
+            extra.append(f"skyline={summary['skyline_size']}")
+        if data.get("run_seconds"):
+            extra.append(f"run={data['run_seconds']:.2f}s")
+        if data.get("error"):
+            extra.append(f"error={data['error']}")
+    elif kind == "job.submitted":
+        if data.get("shard_index") is not None:
+            extra.append(f"shard={data['shard_index']}")
+        elif data.get("shards"):
+            extra.append(f"shards={data['shards']}")
+    job_id = event.get("job_id", "")
+    suffix = ("  " + " ".join(extra)) if extra else ""
+    return f"{stamp}  {kind:<14} {job_id}{suffix}"
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: follow one job's event stream to its end.
+
+    Prints every event for the job — shard children included — as it
+    lands, long-polling ``GET /v1/events`` between batches. Exits 0 when
+    the job ends DONE, 1 when FAILED/CANCELLED.
+    """
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.job(args.job_id)
+    if record["state"] in ("done", "failed", "cancelled"):
+        print(f"job {args.job_id} already {record['state']}")
+        return 0 if record["state"] == "done" else 1
+    final = None
+    try:
+        for event in client.watch(
+            args.job_id, timeout=args.timeout or None
+        ):
+            if args.json:
+                print(json.dumps(event), flush=True)
+            else:
+                print(_format_event(event), flush=True)
+            if (
+                event.get("type") in ("job.done", "job.failed",
+                                      "job.cancelled")
+                and event.get("job_id") == args.job_id
+            ):
+                final = event["type"]
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+    if final is None:
+        # Stream ended without a terminal event (timeout, or the event
+        # aged out of the ring): the job record is the ground truth.
+        state = client.job(args.job_id)["state"]
+        print(f"stream ended; job {args.job_id} is {state}",
+              file=sys.stderr)
+        return 0 if state == "done" else 1
+    return 0 if final == "job.done" else 1
+
+
+def _top_frame(client, max_rows: int = 15) -> str:
+    """One rendered ``repro top`` frame (dashboard snapshot)."""
+    import time as _time
+
+    from .exceptions import ServiceError
+
+    health = client.health()
+    jobs = client.jobs()
+    workers = health.get("workers") or {}
+    events = health.get("events") or {}
+    lines = [
+        f"repro top — {_time.strftime('%H:%M:%S')}  "
+        f"queue={health.get('queue_depth', '?')}  "
+        f"workers={workers.get('busy', '?')}/{workers.get('total', '?')} "
+        f"({workers.get('saturation', 0.0):.0%} busy)  "
+        f"ready={'yes' if health.get('ready') else 'NO'}",
+        f"events: last_seq={events.get('last_seq', '?')} "
+        f"ring={events.get('size', '?')}/{events.get('capacity', '?')}  "
+        f"journal_lag="
+        + (
+            f"{(health.get('journal_detail') or {}).get('append_lag_seconds'):.1f}s"
+            if (health.get("journal_detail") or {}).get(
+                "append_lag_seconds"
+            ) is not None
+            else "—"
+        ),
+        "",
+    ]
+    rows = []
+    for record in jobs[-max_rows:]:
+        state = record["state"]
+        bar = ""
+        front: Any = ""
+        if state == "running":
+            try:
+                prog = client.progress(record["id"])
+                counters = prog.get("progress") or {}
+                n = counters.get("n_valuated") or 0
+                budget = counters.get("budget") or 0
+                if budget:
+                    bar = _progress_bar(n / budget) + f" {n}/{budget}"
+                front = (
+                    prog.get("partial_front_size")
+                    or counters.get("front_size")
+                    or ""
+                )
+            except ServiceError:
+                pass
+        elif state == "done":
+            bar = _progress_bar(1.0)
+            front = (record.get("summary") or {}).get("skyline_size", "")
+        rows.append([
+            record["id"],
+            record["scenario"]["name"],
+            state,
+            bar,
+            front,
+        ])
+    if rows:
+        lines.append(_format_table(
+            ["job", "scenario", "state", "progress", "front"], rows
+        ))
+    else:
+        lines.append("no jobs submitted yet")
+    if len(jobs) > max_rows:
+        lines.append(f"(… {len(jobs) - max_rows} older jobs not shown)")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: a live, refreshing service dashboard.
+
+    Redraws every ``--interval`` seconds: queue depth, worker occupancy,
+    event-stream cursor, and a per-job table with progress bars for
+    running jobs. ``--iterations N`` stops after N frames (useful in
+    scripts and tests; 0 means run until interrupted).
+    """
+    import time as _time
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    frames = 0
+    try:
+        while True:
+            frame = _top_frame(client)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+
+
 def cmd_fetch(args: argparse.Namespace) -> int:
     """``repro fetch``: download one finished job's full result."""
     from .report import save_job_record
@@ -872,6 +1056,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="print the raw trace payload as JSON")
 
+    watch = sub.add_parser(
+        "watch", help="follow one job's live event stream (progress, "
+                      "partial skylines, shard children) to its end"
+    )
+    watch.add_argument("job_id")
+    watch.add_argument("--url", default="http://127.0.0.1:8765")
+    watch.add_argument("--timeout", type=float, default=300.0,
+                       help="give up after this many seconds "
+                            "(0 = follow forever)")
+    watch.add_argument("--json", action="store_true",
+                       help="print raw events as JSON lines")
+
+    top = sub.add_parser(
+        "top", help="live refreshing dashboard: queue depth, worker "
+                    "occupancy, per-job progress bars"
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8765")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between redraws")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N frames (0 = until interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+
     fetch = sub.add_parser(
         "fetch", help="download a finished job's full result payload"
     )
@@ -895,6 +1103,8 @@ _COMMANDS = {
     "submit": cmd_submit,
     "status": cmd_status,
     "trace": cmd_trace,
+    "watch": cmd_watch,
+    "top": cmd_top,
     "fetch": cmd_fetch,
     "recover": cmd_recover,
 }

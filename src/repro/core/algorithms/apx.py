@@ -45,6 +45,7 @@ class ApxMODis(SkylineAlgorithm):
                 if parent.level != current_level:
                     if level_span is not None:
                         level_span.__exit__(None, None, None)
+                        self._emit_level_progress()
                     current_level = parent.level
                     level_span = span("level", level=parent.level + 1)
                     level_span.__enter__()
@@ -76,3 +77,4 @@ class ApxMODis(SkylineAlgorithm):
         finally:
             if level_span is not None:
                 level_span.__exit__(None, None, None)
+                self._emit_level_progress()

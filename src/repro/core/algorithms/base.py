@@ -16,7 +16,14 @@ from typing import Any
 import numpy as np
 
 from ...exceptions import SearchError
-from ...obs import span
+from ...obs import (
+    current_emitter,
+    emit,
+    emit_partial,
+    events_enabled,
+    heartbeat,
+    span,
+)
 from ..config import Configuration
 from ..dominance import SkylineGrid, pareto_front
 from ..measures import MeasureSet
@@ -179,11 +186,60 @@ class SkylineAlgorithm(abc.ABC):
             elif state.bits not in self._run_valuated:
                 self._run_valuated.add(state.bits)
                 self.report.n_valuated += 1
+        # Liveness tick for the scheduler: rate-limited inside the
+        # emitter, constant-time no-op when none is installed.
+        heartbeat(n_valuated=self.report.n_valuated, budget=self.budget)
         return perfs
 
     @property
     def budget_exhausted(self) -> bool:
         return self.report.n_valuated >= self.budget
+
+    # -- live progress ------------------------------------------------------------
+    def _progress_counters(self) -> dict[str, Any]:
+        """Counters shipped with every progress event."""
+        return {
+            "algorithm": self.name,
+            "level": self.report.n_levels,
+            "n_valuated": self.report.n_valuated,
+            "n_spawned": self.report.n_spawned,
+            "n_pruned": self.report.n_pruned,
+            "budget": self.budget,
+            "front_size": len(self.grid.states),
+        }
+
+    def _partial_entries(self) -> list[dict[str, Any]]:
+        """The current grid as JSON-ready partial-skyline entries.
+
+        Unlike :meth:`_make_result`, the grid is *not* thinned and the
+        perfs are estimates, not verified oracle values — partial results
+        are progress telemetry, documented as such in the service API.
+        """
+        states = [s for s in self.grid.states if s.perf is not None]
+        states.sort(key=lambda s: tuple(s.perf))
+        # Same entry shape as repro.report.entry_payload (minus the
+        # materialization-only keys), so clients render partial and final
+        # skylines with the same code.
+        return [
+            {
+                "description": s.via or "s_U",
+                "bits": hex(s.bits),
+                "performance": self.config.measures.as_dict(s.perf),
+            }
+            for s in states
+        ]
+
+    def _emit_level_progress(self) -> None:
+        """Publish progress counters + a refreshed partial skyline.
+
+        Called by subclasses at each level/generation boundary. Skips the
+        (comparatively expensive) snapshot assembly entirely when no
+        emitter is installed, so library use pays only this guard.
+        """
+        if not events_enabled() or current_emitter() is None:
+            return
+        emit("progress", **self._progress_counters())
+        emit_partial(self._partial_entries())
 
     # -- result assembly -----------------------------------------------------------
     def _make_result(self) -> DiscoveryResult:

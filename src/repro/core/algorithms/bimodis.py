@@ -167,6 +167,7 @@ class BiMODis(SkylineAlgorithm):
                 )
             self.report.n_levels = level + 1
             self._end_of_level(level)
+            self._emit_level_progress()
             if visited_f & visited_b:
                 self.report.terminated_by = "frontiers_met"
                 break

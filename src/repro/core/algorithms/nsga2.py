@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...exceptions import SearchError
+from ...obs import current_emitter, emit, emit_partial, events_enabled
 from ...rng import make_rng
 from ..state import State
 from .base import SkylineAlgorithm
@@ -131,6 +132,34 @@ class NSGAIIMODis(SkylineAlgorithm):
                 bits ^= 1 << index
         return bits
 
+    def _emit_generation_progress(
+        self, generation: int, population: list[int], perfs: np.ndarray
+    ) -> None:
+        """Per-generation progress + partial front.
+
+        Unlike the MODis variants, the grid is only fed *after* the loop
+        (lines below), so the partial skyline is the current population's
+        first non-dominated front — an extra sort paid only when an
+        emitter is actually installed.
+        """
+        if not events_enabled() or current_emitter() is None:
+            return
+        front = non_dominated_sort(perfs)[0] if len(population) else []
+        counters = self._progress_counters()
+        counters["generation"] = generation
+        counters["front_size"] = len(front)
+        emit("progress", **counters)
+        emit_partial(
+            [
+                {
+                    "description": "nsga2",
+                    "bits": hex(population[i]),
+                    "performance": self.config.measures.as_dict(perfs[i]),
+                }
+                for i in sorted(front, key=lambda i: tuple(perfs[i]))
+            ]
+        )
+
     def _evaluate(self, population: list[int]) -> np.ndarray:
         """Valuate a whole generation in one batched estimator call."""
         states = [State(bits=bits, via="nsga2") for bits in population]
@@ -199,6 +228,7 @@ class NSGAIIMODis(SkylineAlgorithm):
                     break
             population = [merged[i] for i in survivors]
             perfs = merged_perfs[survivors]
+            self._emit_generation_progress(generation + 1, population, perfs)
         # feed the final population's non-dominated front into the grid
         fronts = non_dominated_sort(perfs)
         for i in fronts[0]:

@@ -63,13 +63,20 @@ class _SeededApxMODis(SkylineAlgorithm):
             self._valuate(child)
             self.grid.update(child)
             queue.append(child)
+        self.report.n_levels = max(self.report.n_levels, 1 if queue else 0)
+        self._emit_level_progress()
+        current_level = 1
         while queue:
             if self.budget_exhausted:
                 self.report.terminated_by = "budget"
+                self._emit_level_progress()
                 return
             parent = queue.popleft()
             if parent.level >= self.max_level:
                 continue
+            if parent.level != current_level:
+                current_level = parent.level
+                self._emit_level_progress()
             self.report.n_levels = max(self.report.n_levels, parent.level + 1)
             for child_bits, op in self.transducer.spawn(parent.bits, "forward"):
                 if child_bits in visited:
@@ -90,6 +97,7 @@ class _SeededApxMODis(SkylineAlgorithm):
                 if self.budget_exhausted:
                     break
         self.report.terminated_by = "exhausted"
+        self._emit_level_progress()
 
 
 @dataclass(slots=True)

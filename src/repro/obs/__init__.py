@@ -6,6 +6,17 @@ enabled?" guard so instrumented-but-disabled code stays within the CI
 overhead budget (see ``benchmarks/bench_obs_overhead.py``).
 """
 
+from .events import (
+    EventBus,
+    ProgressEmitter,
+    current_emitter,
+    emit,
+    emit_partial,
+    events_enabled,
+    heartbeat,
+    set_events_enabled,
+    use_emitter,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, render_prometheus
 from .tracing import (
     SpanCollector,
@@ -21,17 +32,26 @@ from .profiling import profile_to_file
 
 __all__ = [
     "Counter",
+    "EventBus",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProgressEmitter",
     "SpanCollector",
     "current_collector",
+    "current_emitter",
+    "emit",
+    "emit_partial",
+    "events_enabled",
     "format_span_tree",
+    "heartbeat",
     "profile_to_file",
     "render_prometheus",
     "set_enabled",
+    "set_events_enabled",
     "span",
     "span_tree",
     "tracing_enabled",
     "use_collector",
+    "use_emitter",
 ]

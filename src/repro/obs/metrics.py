@@ -232,14 +232,43 @@ class Histogram(_Metric):
             series.total += value
             series.count += 1
 
+    def _quantile_locked(self, series: _HistSeries, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate (lock held).
+
+        The standard Prometheus ``histogram_quantile`` scheme: find the
+        bucket the rank falls into and interpolate linearly within it.
+        Accuracy is bounded by bucket width; ranks landing in the +Inf
+        bucket clamp to the highest finite bound (the estimate cannot
+        exceed what the buckets can resolve). ``None`` with no samples.
+        """
+        if series.count == 0:
+            return None
+        rank = q * series.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, series.counts):
+            if n and running + n >= rank:
+                within = (rank - running) / n
+                return lower + (bound - lower) * within
+            running += n
+            lower = bound
+        return self.buckets[-1]
+
     def get(self, **labels: Any) -> dict[str, Any]:
-        """Snapshot: ``{count, sum, buckets}`` with cumulative, string-keyed
-        bucket counts (``"0.1"`` ... ``"+Inf"``) ready for JSON."""
+        """Snapshot: ``{count, sum, buckets, quantiles}`` with cumulative,
+        string-keyed bucket counts (``"0.1"`` ... ``"+Inf"``) ready for
+        JSON; ``quantiles`` carries bucket-interpolated p50/p95/p99
+        estimates (``None`` before the first observation)."""
         key = _label_key(self.labelnames, labels)
         with self._lock:
             series = self._series.get(key)
             if series is None:
-                return {"count": 0, "sum": 0.0, "buckets": {}}
+                return {
+                    "count": 0,
+                    "sum": 0.0,
+                    "buckets": {},
+                    "quantiles": {"p50": None, "p95": None, "p99": None},
+                }
             cumulative: dict[str, int] = {}
             running = 0
             for bound, n in zip(self.buckets, series.counts):
@@ -250,6 +279,11 @@ class Histogram(_Metric):
                 "count": series.count,
                 "sum": series.total,
                 "buckets": cumulative,
+                "quantiles": {
+                    "p50": self._quantile_locked(series, 0.50),
+                    "p95": self._quantile_locked(series, 0.95),
+                    "p99": self._quantile_locked(series, 0.99),
+                },
             }
 
 

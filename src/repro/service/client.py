@@ -10,10 +10,16 @@ through :data:`~repro.exceptions.API_ERROR_TYPES`, so a 404 raises
 subclass :class:`~repro.exceptions.ServiceError`, so existing
 ``except ServiceError`` call sites keep working unchanged.
 
-:meth:`ServiceClient.wait` polls a job to a terminal state using the
-server's weak ``ETag``: every unchanged poll is answered ``304 Not
-Modified`` with an empty body, so watching a long job costs headers,
-not repeated job records.
+:meth:`ServiceClient.wait` follows the server's cursor-based event
+stream (``GET /v1/events`` long-poll): the client sleeps inside the
+server until the job's next event instead of polling on an interval.
+Against a pre-events server it falls back transparently to conditional
+``ETag`` polling — every unchanged poll is answered ``304 Not Modified``
+with an empty body, so watching a long job costs headers, not repeated
+job records. :meth:`ServiceClient.watch` exposes the same stream as an
+iterator of raw events; :meth:`ServiceClient.progress` and
+``result(partial=True)`` read a running job's live counters and partial
+skyline.
 """
 
 from __future__ import annotations
@@ -22,9 +28,10 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any
+from typing import Any, Iterator
 
-from ..exceptions import API_ERROR_TYPES, ServiceError
+from ..exceptions import API_ERROR_TYPES, ServiceError, UnknownRouteError
+from ..obs.events import TERMINAL_EVENT_TYPES
 from .jobs import JobState
 
 DEFAULT_URL = "http://127.0.0.1:8765"
@@ -254,9 +261,86 @@ class ServiceClient:
         """``DELETE /v1/jobs/{id}`` (only queued jobs are cancellable)."""
         return self._request("DELETE", f"/jobs/{job_id}")
 
-    def result(self, job_id: str) -> dict[str, Any]:
-        """``GET /v1/results/{id}``: the job record with its full result."""
-        return self._request("GET", f"/results/{job_id}")
+    def result(
+        self, job_id: str, partial: bool = False
+    ) -> dict[str, Any]:
+        """``GET /v1/results/{id}``: the job record with its full result.
+
+        ``partial=True`` asks for ``?partial=1`` instead: a DONE job
+        still answers with its full result (``"partial": false``), a
+        running job answers with its freshest partial skyline — estimated
+        perfs from an unthinned front, in-memory only (empty right after
+        a journal replay), documented telemetry rather than the exact
+        final answer.
+        """
+        query = "?partial=1" if partial else ""
+        return self._request("GET", f"/results/{job_id}{query}")
+
+    def progress(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}/progress``: live counters + heartbeat age.
+
+        Sharded parents include a ``"shards"`` list with the same per
+        child, plus rolled-up totals in ``"progress"``.
+        """
+        return self._request("GET", f"/jobs/{job_id}/progress")
+
+    def events(
+        self,
+        after: int = 0,
+        timeout: float = 0.0,
+        limit: int | None = None,
+        job: str | None = None,
+    ) -> dict[str, Any]:
+        """``GET /v1/events``: events past the ``after`` cursor.
+
+        Returns ``{"events", "next_cursor", "dropped", "last_seq"}``;
+        pass ``next_cursor`` back to receive each later event exactly
+        once (``dropped`` > 0 reports events that aged out of the
+        server's ring before this read). ``timeout`` long-polls
+        server-side; ``job`` filters to one job and its shard children.
+        """
+        params = [f"after={int(after)}"]
+        if timeout:
+            params.append(f"timeout={float(timeout):g}")
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        if job is not None:
+            params.append(f"job={job}")
+        return self._request("GET", "/events?" + "&".join(params))
+
+    def watch(
+        self,
+        job_id: str,
+        after: int = 0,
+        timeout: float | None = None,
+        poll_timeout: float = 10.0,
+    ) -> Iterator[dict[str, Any]]:
+        """Iterate a job's events (shard children included) to terminal.
+
+        Yields raw event dicts in sequence order, long-polling between
+        batches, and returns after yielding the job's own terminal event
+        (``job.done`` / ``job.failed`` / ``job.cancelled``) — or when
+        ``timeout`` seconds pass without one.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        cursor = int(after)
+        while True:
+            poll = poll_timeout
+            if deadline is not None:
+                poll = min(poll, max(0.0, deadline - time.monotonic()))
+            batch = self.events(after=cursor, timeout=poll, job=job_id)
+            cursor = batch["next_cursor"]
+            for event in batch["events"]:
+                yield event
+                if (
+                    event.get("type") in TERMINAL_EVENT_TYPES
+                    and event.get("job_id") == job_id
+                ):
+                    return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
 
     # -- conveniences ------------------------------------------------------------
     def wait(
@@ -266,11 +350,15 @@ class ServiceClient:
         poll_interval: float = 0.25,
         timing: bool = True,
     ) -> dict[str, Any]:
-        """Poll until the job is terminal; returns its final record.
+        """Block until the job is terminal; returns its final record.
 
-        Conditional polling: after the first fetch, every poll sends the
-        record's weak ``ETag`` via ``If-None-Match``, so unchanged polls
-        cost a ``304`` with no body instead of the full record.
+        Rides the server's event stream: between record checks the
+        client long-polls ``GET /v1/events?job=...`` and wakes on the
+        job's next event instead of sleeping a fixed interval. Servers
+        without the events route (404 ``unknown-route``) degrade to the
+        previous behavior — conditional ``ETag`` polling every
+        ``poll_interval`` seconds, where unchanged polls cost a ``304``
+        with no body.
 
         With ``timing`` (default), the terminal record carries a
         ``"timing"`` key split out from the job's trace — how long the
@@ -281,6 +369,8 @@ class ServiceClient:
         deadline = time.monotonic() + timeout
         record: dict[str, Any] | None = None
         etag: str | None = None
+        cursor = 0
+        use_events = True
         while True:
             headers = {"If-None-Match": etag} if etag else None
             status, response_headers, payload = self._request_full(
@@ -302,13 +392,34 @@ class ServiceClient:
                     except ServiceError:
                         pass  # pre-trace server; the record is still good
                 return record
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 state = record["state"] if record else "unknown"
                 raise ServiceError(
                     f"timed out after {timeout:.0f}s waiting for job "
                     f"{job_id} (still {state})"
                 )
-            time.sleep(poll_interval)
+            if use_events:
+                try:
+                    # Wake on the job's next event. The poll is kept
+                    # under the transport timeout; an empty batch (or a
+                    # dropped-events gap) just re-checks the record.
+                    batch = self.events(
+                        after=cursor,
+                        timeout=min(10.0, max(0.1, remaining)),
+                        job=job_id,
+                    )
+                    cursor = batch["next_cursor"]
+                    continue
+                except UnknownRouteError:
+                    use_events = False  # pre-events server: poll instead
+                except ServiceError:
+                    # Transient stream failure (e.g. proxy timeout):
+                    # fall through to one interval sleep, keep streaming.
+                    pass
+            time.sleep(
+                min(poll_interval, max(0.0, deadline - time.monotonic()))
+            )
 
     def run(
         self,

@@ -124,6 +124,7 @@ LIFECYCLE_FIELDS = (
     "trace",
     "profile",
     "profile_path",
+    "progress",
     "updated_at",
 )
 
@@ -192,6 +193,12 @@ class Job:
     profile: bool = False
     #: where the pstats dump landed (None: not profiled).
     profile_path: str | None = None
+    #: latest live-progress counters from the running search (level,
+    #: states valuated vs budget, front size, ...; None before the first
+    #: progress event). Updated in place by the scheduler's drain thread
+    #: WITHOUT touching ``updated_at``, so the lifecycle ETag stays
+    #: stable while a job merely makes progress. Additive journal field.
+    progress: dict[str, Any] | None = None
     #: last lifecycle mutation (feeds the API's weak ETag).
     updated_at: float = field(default_factory=time.time)
 
@@ -229,9 +236,11 @@ class Job:
         payload: dict[str, Any] = {
             field_name: getattr(self, field_name)
             for field_name in LIFECYCLE_FIELDS
-            # result and trace can be large; each has a dedicated
-            # endpoint (GET /results/{id}, GET /jobs/{id}/trace).
-            if field_name not in ("result", "trace")
+            # result, trace and progress have dedicated endpoints
+            # (GET /results/{id}, /jobs/{id}/trace, /jobs/{id}/progress);
+            # keeping progress out also keeps the ETag honest — the job
+            # payload only changes when the lifecycle does.
+            if field_name not in ("result", "trace", "progress")
         }
         payload["scenario"] = {
             "name": spec.name,

@@ -173,6 +173,9 @@ class JobJournal:
         self._lock = threading.Lock()
         self._fh: IO[str] | None = None
         self._fh_path: Path | None = None
+        #: epoch of the last committed append (None before the first);
+        #: ``/v1/healthz`` reports ``now - last_append_at`` as append lag.
+        self.last_append_at: float | None = None
 
     # -- segment bookkeeping -----------------------------------------------------
     def segments(self) -> list[Path]:
@@ -263,6 +266,7 @@ class JobJournal:
         record = {"v": JOURNAL_VERSION, "ts": time.time(), **record}
         with self._lock:
             append_jsonl(self._ensure_open(), record, fsync=self.fsync)
+            self.last_append_at = time.time()
 
     def record_submitted(self, job: Job) -> None:
         """WAL a new submission — call *before* the job enters the queue."""
@@ -520,6 +524,7 @@ class JobJournal:
             "directory": str(self.directory),
             "segments": len(segments),
             "total_bytes": total,
+            "last_append_at": self.last_append_at,
         }
 
     def __repr__(self) -> str:

@@ -60,12 +60,14 @@ wins), so the guarantee is at-least-once.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+import os
 import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Collection, Mapping
 
 from ..core.estimator import TestStore
 from ..exceptions import (
@@ -77,6 +79,19 @@ from ..exceptions import (
 from ..exec import Backend, make_backend
 from ..logging_util import get_logger, log_context
 from ..obs import MetricsRegistry, SpanCollector, span, use_collector
+from ..obs.events import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_PARTIAL,
+    JOB_PROGRESS,
+    JOB_STARTED,
+    JOB_SUBMITTED,
+    EventBus,
+    ProgressEmitter,
+    drain_progress,
+    use_emitter,
+)
 from ..obs.metrics import render_prometheus
 from ..obs.profiling import profile_to_file, summarize_profile
 from ..report import build_payload
@@ -91,6 +106,7 @@ from .jobs import (
     profile_from_request,
     scenario_from_request,
     shards_from_request,
+    summarize_result,
 )
 from .journal import JobJournal
 from .queue import JobQueue
@@ -98,6 +114,13 @@ from .sharding import ShardRun, merge_shard_results
 from .store import OracleStore, task_key
 
 logger = get_logger("service.scheduler")
+
+#: Terminal job state → the event type published for it.
+_TERMINAL_EVENTS = {
+    JobState.DONE: JOB_DONE,
+    JobState.FAILED: JOB_FAILED,
+    JobState.CANCELLED: JOB_CANCELLED,
+}
 
 
 class _OracleGuard:
@@ -261,6 +284,7 @@ class _JobRun:
         "max_oracle_calls",
         "job_id",
         "profile_path",
+        "progress_fd",
     )
 
     def __init__(
@@ -271,6 +295,7 @@ class _JobRun:
         max_oracle_calls: int | None = None,
         job_id: str | None = None,
         profile_path: str | None = None,
+        progress_fd: int | None = None,
     ):
         self.resolved = resolved
         self.store = store
@@ -278,6 +303,11 @@ class _JobRun:
         self.max_oracle_calls = max_oracle_calls
         self.job_id = job_id
         self.profile_path = profile_path
+        #: write end of the scheduler's per-job progress pipe. Inherited
+        #: across the process backend's fork, shared directly on the
+        #: serial/thread backends — the live-progress channel is the same
+        #: either way.
+        self.progress_fd = progress_fd
 
     def __call__(self) -> dict[str, Any]:
         # The deadline starts BEFORE build: both the cooperative clock
@@ -291,7 +321,14 @@ class _JobRun:
         collector = SpanCollector()
         limit = None
         result = None
-        with use_collector(collector), profile_to_file(self.profile_path):
+        emitter_cm = (
+            use_emitter(ProgressEmitter(self.progress_fd))
+            if self.progress_fd is not None
+            else contextlib.nullcontext()
+        )
+        with use_collector(collector), profile_to_file(
+            self.profile_path
+        ), emitter_cm:
             with span("run", job_id=self.job_id):
                 with span("scenario-build"):
                     runnable = self.resolved.build(store=self.store)
@@ -326,6 +363,7 @@ class _JobRun:
             "store_rows": store_rows,
             "limit": limit,
             "spans": collector.spans,
+            "spans_dropped": collector.dropped,
         }
 
 
@@ -348,6 +386,7 @@ class Scheduler:
         lease_sweep_interval: float | None = None,
         profile_dir: str | Path | None = None,
         metrics_registry: MetricsRegistry | None = None,
+        event_capacity: int = EventBus.DEFAULT_CAPACITY,
     ):
         if n_workers < 1:
             raise ServiceError("n_workers must be >= 1")
@@ -419,6 +458,26 @@ class Scheduler:
         self._run_hist = registry.histogram(
             "repro_job_run_seconds", "Backend run time per executed job"
         )
+        self._spans_dropped = registry.counter(
+            "repro_trace_spans_dropped_total",
+            "Spans dropped by per-run collectors past their retention cap",
+        )
+        #: live job events (lifecycle + in-run progress), cursor-addressed.
+        #: With a journal, sequence numbers are reserved through a file in
+        #: the journal directory so cursors survive scheduler restarts.
+        self.event_bus = EventBus(
+            capacity=event_capacity,
+            persist_path=(
+                journal.directory / "events.seq"
+                if journal is not None else None
+            ),
+        )
+        #: job id → latest partial-skyline refresh (in-memory only: a
+        #: replayed running job answers ``?partial=1`` with an empty
+        #: front until its re-run emits a fresh one — degrade, don't 500).
+        self._partials: dict[str, dict[str, Any]] = {}
+        #: job id → epoch of the last progress/heartbeat line received.
+        self._last_event_at: dict[str, float] = {}
         #: this process's lease identity in the shared journal.
         self.scheduler_id = (
             str(scheduler_id).strip()
@@ -724,6 +783,7 @@ class Scheduler:
                     )
                 raise
             self._submitted.inc()
+            self._publish_event(JOB_SUBMITTED, job)
             if record is not None:
                 job.transition(JobState.RUNNING)
                 job.cache_hit = True
@@ -885,6 +945,14 @@ class Scheduler:
             self._submitted.inc()
             self._shard_children[parent.id] = [c.id for c in children]
             self._shards_submitted.inc()
+            self._publish_event(JOB_SUBMITTED, parent, shards=shards)
+            for child in children:
+                self._publish_event(
+                    JOB_SUBMITTED,
+                    child,
+                    parent_id=parent.id,
+                    shard_index=child.shard_index,
+                )
             self._acquire_lease(parent)
             for child in children:
                 self._acquire_lease(child)
@@ -918,16 +986,19 @@ class Scheduler:
         start = time.perf_counter()
         try:
             resolved = self.factory.resolve(job.spec)
-            outcome = self.backend.run_one(
-                ShardRun(
+            outcome = self._run_with_progress(
+                job,
+                lambda wfd: ShardRun(
                     resolved,
                     job.shards,
                     job.shard_index,
                     job_id=job.id,
                     profile_path=self._profile_path(job),
-                )
+                    progress_fd=wfd,
+                ),
             )
             spans = outcome.pop("spans", None)
+            self._spans_dropped.inc(int(outcome.pop("spans_dropped", 0) or 0))
             with self._lock:
                 job.result = outcome
                 job.run_seconds = time.perf_counter() - start
@@ -1065,6 +1136,7 @@ class Scheduler:
                     "job %s: could not journal the started record",
                     job.id, exc_info=True,
                 )
+        self._publish_event(JOB_STARTED, job)
 
     def _journal_terminal(self, job: Job) -> None:
         # Best-effort: the work is already done (or failed) — a journal
@@ -1078,6 +1150,155 @@ class Scheduler:
                     "job %s: could not journal the %s record",
                     job.id, job.state, exc_info=True,
                 )
+        # Every terminal site funnels through here, so this one hook
+        # publishes the terminal event and retires the live-progress
+        # bookkeeping (partials are only meaningful while running).
+        self._partials.pop(job.id, None)
+        self._last_event_at.pop(job.id, None)
+        event_type = _TERMINAL_EVENTS.get(job.state)
+        if event_type is not None:
+            extra: dict[str, Any] = {"run_seconds": job.run_seconds}
+            if job.error:
+                extra["error"] = job.error
+            summary = summarize_result(job.result)
+            if summary:
+                extra["summary"] = summary
+            self._publish_event(event_type, job, **extra)
+
+    # -- event bus ---------------------------------------------------------------
+    def _publish_event(self, type: str, job: Job, **data: Any) -> None:
+        """Best-effort bus publish (safe under the scheduler lock — the
+        bus carries its own lock and never calls back into the scheduler)."""
+        try:
+            self.event_bus.publish(
+                type, job_id=job.id, state=job.state, **data
+            )
+        except Exception:  # pragma: no cover - bus publish is in-memory
+            logger.warning(
+                "could not publish %s for job %s", type, job.id,
+                exc_info=True,
+            )
+
+    def events(
+        self,
+        after: int = 0,
+        timeout: float = 0.0,
+        limit: int = 256,
+        job_id: str | None = None,
+    ) -> dict[str, Any]:
+        """The ``GET /v1/events`` payload: events past a cursor.
+
+        ``timeout > 0`` long-polls until an event lands or the timeout
+        expires. ``job_id`` filters to one job — including, for a shard
+        parent, all of its shard children.
+        """
+        job_ids: Collection[str] | None = None
+        if job_id is not None:
+            with self._lock:
+                if job_id not in self.jobs:
+                    raise UnknownJobError(f"unknown job id {job_id!r}")
+                job_ids = {job_id, *self._shard_children.get(job_id, [])}
+        if timeout > 0:
+            events, next_cursor, dropped = self.event_bus.wait(
+                after, timeout=timeout, limit=limit, job_ids=job_ids
+            )
+        else:
+            events, next_cursor, dropped = self.event_bus.after(
+                after, limit=limit, job_ids=job_ids
+            )
+        return {
+            "events": events,
+            "next_cursor": next_cursor,
+            "dropped": dropped,
+            "last_seq": self.event_bus.last_seq,
+        }
+
+    # -- live progress ingestion ---------------------------------------------------
+    def _drain_progress(self, rfd: int, job_id: str) -> None:
+        """Read one job's progress pipe until EOF (own thread per run)."""
+        try:
+            with os.fdopen(rfd, "r", encoding="utf-8", errors="replace") as fh:
+                drain_progress(
+                    fh,
+                    lambda kind, data: self._ingest_progress(
+                        job_id, kind, data
+                    ),
+                )
+        except Exception:  # pragma: no cover - drain must never crash a worker
+            logger.warning(
+                "progress drain for job %s failed", job_id, exc_info=True
+            )
+
+    def _ingest_progress(
+        self, job_id: str, kind: str, data: dict[str, Any]
+    ) -> None:
+        """Fold one pipe message into job state, then publish it."""
+        now = time.time()
+        front_size = 0
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            self._last_event_at[job_id] = now
+            if kind == "heartbeat":
+                # Liveness only: refresh counters quietly, never publish —
+                # heartbeats would crowd real events out of the ring.
+                if data:
+                    merged = dict(job.progress or {})
+                    merged.update(data)
+                    job.progress = merged
+                return
+            if kind == "progress":
+                merged = dict(job.progress or {})
+                merged.update(data)
+                job.progress = merged
+            elif kind == "partial":
+                entries = data.get("entries") or []
+                front_size = len(entries)
+                self._partials[job_id] = {
+                    "entries": entries,
+                    "n_total": int(data.get("n_total", front_size)),
+                    "truncated": bool(data.get("truncated", False)),
+                    "updated_at": now,
+                }
+            else:
+                return  # unknown kinds are forward-compatible no-ops
+        if kind == "progress":
+            self._publish_event(JOB_PROGRESS, job, **data)
+        elif kind == "partial":
+            self._publish_event(
+                JOB_PARTIAL,
+                job,
+                front_size=front_size,
+                n_total=int(data.get("n_total", front_size)),
+            )
+
+    def _run_with_progress(self, job: Job, make_thunk, timeout=None):
+        """Run a backend thunk with a live progress pipe attached.
+
+        Opens one ``os.pipe()`` per run: the write end goes into the
+        thunk (inherited through the process backend's fork; shared
+        directly in-process otherwise), a drain thread ingests JSON lines
+        from the read end until EOF — which arrives once the run settles
+        and the parent's write end below is closed (the fork child's copy
+        dies with the child).
+        """
+        rfd, wfd = os.pipe()
+        drain = threading.Thread(
+            target=self._drain_progress,
+            args=(rfd, job.id),
+            name=f"repro-progress-{job.id}",
+            daemon=True,
+        )
+        drain.start()
+        try:
+            return self.backend.run_one(make_thunk(wfd), timeout=timeout)
+        finally:
+            try:
+                os.close(wfd)
+            except OSError:  # pragma: no cover - double close cannot happen
+                pass
+            drain.join(timeout=5.0)
 
     def _maybe_compact_journal(self) -> None:
         """Fold the journal once it outgrows its segment budget.
@@ -1599,17 +1820,20 @@ class Scheduler:
                 None if job.timeout is None
                 else job.timeout + max(5.0, 0.25 * job.timeout)
             )
-            outcome = self.backend.run_one(
-                _JobRun(
+            outcome = self._run_with_progress(
+                job,
+                lambda wfd: _JobRun(
                     resolved,
                     warm_store,
                     timeout=job.timeout,
                     max_oracle_calls=job.max_oracle_calls,
                     job_id=job.id,
                     profile_path=self._profile_path(job),
+                    progress_fd=wfd,
                 ),
                 timeout=hard_timeout,
             )
+            self._spans_dropped.inc(int(outcome.get("spans_dropped", 0) or 0))
             oracle_calls = outcome["oracle_calls"]
             limit = outcome.get("limit")
             spans = outcome.get("spans")
@@ -1888,6 +2112,7 @@ class Scheduler:
             }
         else:
             metrics["oracle_store"] = {"enabled": False}
+        metrics["events"] = self.event_bus.stats()
         return metrics
 
     def metrics_prometheus(self) -> str:
@@ -1919,6 +2144,9 @@ class Scheduler:
                     value, bool
                 ):
                     gauges[f"repro_journal_{key}"] = value
+        for key, value in self.event_bus.stats().items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                gauges[f"repro_events_{key}"] = value
         return render_prometheus(self.metrics_registry, extra_gauges=gauges)
 
     def trace(self, job_id: str) -> dict[str, Any]:
@@ -1973,6 +2201,212 @@ class Scheduler:
                 profile["summary"] = None
             payload["profile"] = profile
         return payload
+
+    def _progress_entry_locked(
+        self, job: Job, now: float
+    ) -> dict[str, Any]:
+        """One job's live-progress snapshot (scheduler lock held)."""
+        last = self._last_event_at.get(job.id)
+        snapshot = self._partials.get(job.id)
+        return {
+            "job_id": job.id,
+            "shard_index": job.shard_index,
+            "state": job.state,
+            "progress": dict(job.progress or {}),
+            "last_event_age_seconds": (
+                max(0.0, now - last) if last is not None else None
+            ),
+            "partial_front_size": (
+                len(snapshot["entries"]) if snapshot else 0
+            ),
+        }
+
+    def progress(self, job_id: str) -> dict[str, Any]:
+        """The ``GET /v1/jobs/{id}/progress`` payload.
+
+        Live counters folded from the job's progress pipe, the age of its
+        last sign of life (``last_event_age_seconds`` distinguishes a
+        stalled worker from a slow one), and — for a shard parent — the
+        same per child, in shard order. Progress is in-memory telemetry:
+        after a journal replay it starts empty and refills as the
+        re-queued job runs.
+        """
+        now = time.time()
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job id {job_id!r}")
+            payload = self._progress_entry_locked(job, now)
+            if job.is_shard_parent:
+                children = sorted(
+                    (
+                        self.jobs[cid]
+                        for cid in self._shard_children.get(job_id, [])
+                        if cid in self.jobs
+                    ),
+                    key=lambda c: c.shard_index or 0,
+                )
+                shards = [
+                    self._progress_entry_locked(child, now)
+                    for child in children
+                ]
+                payload["shards"] = shards
+                # Roll the children up so a dashboard can draw one bar
+                # for the whole fan-out without summing client-side.
+                payload["progress"] = {
+                    "n_shards": len(shards),
+                    "shards_terminal": sum(
+                        1 for c in children if c.terminal
+                    ),
+                    "n_valuated": sum(
+                        int(s["progress"].get("n_valuated", 0) or 0)
+                        for s in shards
+                    ),
+                    "budget": sum(
+                        int(s["progress"].get("budget", 0) or 0)
+                        for s in shards
+                    ),
+                    "front_size": sum(
+                        s["partial_front_size"] for s in shards
+                    ),
+                }
+        return payload
+
+    def partial_result(self, job_id: str) -> dict[str, Any]:
+        """The ``GET /v1/results/{id}?partial=1`` payload.
+
+        A DONE job answers with its full result (``"partial": false``);
+        anything else answers with the freshest partial skyline the run
+        has shipped — possibly empty. Partial fronts are estimates from
+        an unthinned grid and live only in scheduler memory: a replayed
+        running job degrades to an empty partial until its re-run emits
+        a fresh one. Parents union their children's fronts (deduped by
+        bitmap) — a superset of the eventual exact merge.
+        """
+        now = time.time()
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job id {job_id!r}")
+            if job.state == JobState.DONE:
+                return {
+                    "job_id": job.id,
+                    "state": job.state,
+                    "partial": False,
+                    "result": job.result,
+                }
+            entries: list[dict[str, Any]] = []
+            n_total = 0
+            truncated = False
+            updated_at: float | None = None
+            if job.is_shard_parent:
+                seen_bits: set[Any] = set()
+                stamps: list[float] = []
+                for cid in self._shard_children.get(job_id, []):
+                    snap = self._partials.get(cid)
+                    if not snap:
+                        continue
+                    stamps.append(snap["updated_at"])
+                    truncated = truncated or snap["truncated"]
+                    n_total += snap["n_total"]
+                    for entry in snap["entries"]:
+                        bits = entry.get("bits")
+                        if bits in seen_bits:
+                            continue
+                        seen_bits.add(bits)
+                        entries.append(entry)
+                entries.sort(
+                    key=lambda e: (
+                        tuple(e.get("performance", {}).values()),
+                        str(e.get("bits") or ""),
+                    )
+                )
+                if stamps:
+                    updated_at = max(stamps)
+            else:
+                snap = self._partials.get(job_id)
+                if snap:
+                    entries = list(snap["entries"])
+                    n_total = snap["n_total"]
+                    truncated = snap["truncated"]
+                    updated_at = snap["updated_at"]
+            progress = dict(job.progress or {})
+            return {
+                "job_id": job.id,
+                "state": job.state,
+                "partial": True,
+                "result": {
+                    "entries": entries,
+                    "n_total": n_total,
+                    "truncated": truncated,
+                    "updated_at": updated_at,
+                    "age_seconds": (
+                        max(0.0, now - updated_at)
+                        if updated_at is not None
+                        else None
+                    ),
+                },
+                "progress": progress,
+            }
+
+    def health(self) -> dict[str, Any]:
+        """The deep ``GET /v1/healthz`` payload: liveness vs. readiness.
+
+        ``live`` means the process answers at all (always true when this
+        method runs); ``ready`` means the worker pool is started and the
+        queue still accepts work. The rest is saturation context: queue
+        depth, busy workers, journal append lag, event-bus state, and a
+        per-running-job heartbeat age (None until the run's first
+        heartbeat lands — or forever, for a worker stuck before its
+        first valuation).
+        """
+        now = time.time()
+        with self._lock:
+            jobs = list(self.jobs.values())
+            running = []
+            busy = 0
+            for job in jobs:
+                if job.state != JobState.RUNNING:
+                    continue
+                busy += 1
+                last = self._last_event_at.get(job.id)
+                running.append(
+                    {
+                        "job_id": job.id,
+                        "shard_index": job.shard_index,
+                        "heartbeat_age_seconds": (
+                            max(0.0, now - last)
+                            if last is not None
+                            else None
+                        ),
+                    }
+                )
+            ready = bool(self._threads) and not self.queue.closed
+        journal_info: dict[str, Any] = {
+            "enabled": self.journal is not None
+        }
+        if self.journal is not None:
+            last_append = self.journal.last_append_at
+            journal_info["append_lag_seconds"] = (
+                max(0.0, now - last_append)
+                if last_append is not None
+                else None
+            )
+        return {
+            "live": True,
+            "ready": ready,
+            "queue_depth": self.queue.depth,
+            "workers": {
+                "total": self.n_workers,
+                "busy": busy,
+                "saturation": (
+                    busy / self.n_workers if self.n_workers else 0.0
+                ),
+            },
+            "journal": journal_info,
+            "events": self.event_bus.stats(),
+            "running_jobs": running,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -26,7 +26,18 @@ Routes (v1)::
                              per-phase search spans; sharded parents
                              include each child's trace) plus any
                              cProfile summary
-    GET    /v1/healthz       liveness, version, scheduler/lease identity
+    GET    /v1/jobs/{id}/progress  live counters + heartbeat age for a
+                             running job (sharded parents roll their
+                             children up)
+    GET    /v1/results/{id}?partial=1  the freshest partial skyline of a
+                             job still running (full result once DONE)
+    GET    /v1/events        cursor-based event feed; ``?after=<seq>``
+                             resumes, ``?timeout=<s>`` long-polls,
+                             ``?job=<id>`` filters to one job (and its
+                             shard children), ``?limit=`` caps the batch
+    GET    /v1/healthz       liveness vs. readiness: queue depth, worker
+                             saturation, journal append lag, per-running-
+                             job heartbeat age, event-bus state
     GET    /v1/metrics       queue depth, jobs by state, cache hit rate,
                              shards in flight, leases held/adopted;
                              ``?format=prometheus`` renders the same
@@ -95,9 +106,18 @@ MAX_PAGE_SIZE = 1000
 
 _JOB_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
 _TRACE_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/trace$")
+_PROGRESS_ROUTE = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/progress$")
 _RESULT_ROUTE = re.compile(r"^/results/([A-Za-z0-9_.-]+)$")
 
 _LIST_PARAMS = frozenset({"state", "limit", "after"})
+_EVENTS_PARAMS = frozenset({"after", "timeout", "limit", "job"})
+
+#: Long-poll waits on ``GET /v1/events`` are clamped to this many seconds
+#: so a handler thread can never be parked indefinitely.
+MAX_EVENT_POLL_SECONDS = 30.0
+
+#: Events returned by one ``GET /v1/events`` batch.
+MAX_EVENT_BATCH = 512
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -312,21 +332,37 @@ class _Handler(BaseHTTPRequestHandler):
         path, query = self._split_route()
         if path == "/healthz":
             scheduler = self.scheduler
-            self._send_json(
-                200,
+            health = scheduler.health()
+            payload = {
+                # Liveness ("the process answers") and readiness ("the
+                # pool accepts and executes work") are distinct signals;
+                # "status" keeps its historic ok-when-alive meaning.
+                "status": "ok" if health["ready"] else "degraded",
+                "version": __version__,
+                "api": "v1",
+                "uptime_seconds": (
+                    time.time()
+                    - self.server.started_at  # type: ignore[attr-defined]
+                ),
+                "journal": scheduler.journal is not None,
+                "scheduler_id": scheduler.scheduler_id,
+                "leases": scheduler._lease_active(),
+            }
+            payload.update(
                 {
-                    "status": "ok",
-                    "version": __version__,
-                    "api": "v1",
-                    "uptime_seconds": (
-                        time.time()
-                        - self.server.started_at  # type: ignore[attr-defined]
-                    ),
-                    "journal": scheduler.journal is not None,
-                    "scheduler_id": scheduler.scheduler_id,
-                    "leases": scheduler._lease_active(),
-                },
+                    "live": health["live"],
+                    "ready": health["ready"],
+                    "queue_depth": health["queue_depth"],
+                    "workers": health["workers"],
+                    "journal_detail": health["journal"],
+                    "events": health["events"],
+                    "running_jobs": health["running_jobs"],
+                }
             )
+            self._send_json(200, payload)
+            return
+        if path == "/events":
+            self._send_json(200, self._events(query))
             return
         if path == "/metrics":
             params = dict(parse_qsl(query, keep_blank_values=True))
@@ -352,6 +388,10 @@ class _Handler(BaseHTTPRequestHandler):
         if match:
             self._send_json(200, self.scheduler.trace(match.group(1)))
             return
+        match = _PROGRESS_ROUTE.match(path)
+        if match:
+            self._send_json(200, self.scheduler.progress(match.group(1)))
+            return
         match = _JOB_ROUTE.match(path)
         if match:
             payload = self.scheduler.describe(match.group(1))
@@ -363,6 +403,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         match = _RESULT_ROUTE.match(path)
         if match:
+            params = dict(parse_qsl(query, keep_blank_values=True))
+            if params.get("partial") in ("1", "true", "yes"):
+                self._send_json(
+                    200, self.scheduler.partial_result(match.group(1))
+                )
+                return
             job = self.scheduler.get(match.group(1))
             if job.state != JobState.DONE or job.result is None:
                 raise ResultNotReadyError(
@@ -425,6 +471,58 @@ class _Handler(BaseHTTPRequestHandler):
             "jobs": [job.to_payload() for job in page],
             "next": page[-1].id if len(jobs) > len(page) else None,
         }
+
+    def _events(self, query: str) -> dict[str, Any]:
+        """The ``GET /v1/events`` payload: events past a cursor.
+
+        ``after`` is the last sequence number the client saw (0 for "from
+        the beginning of the ring"); passing the response's
+        ``next_cursor`` back delivers each event exactly once.
+        ``timeout`` long-polls (clamped to ``MAX_EVENT_POLL_SECONDS``);
+        ``job`` filters to one job id plus its shard children.
+        """
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        unknown = set(params) - _EVENTS_PARAMS
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown query parameter(s): {', '.join(sorted(unknown))}",
+                detail={"valid": sorted(_EVENTS_PARAMS)},
+            )
+        try:
+            after = int(params.get("after", 0))
+        except ValueError:
+            raise InvalidRequestError(
+                f"after must be an integer cursor, got {params['after']!r}"
+            )
+        if after < 0:
+            raise InvalidRequestError(
+                f"after must be >= 0, got {after}"
+            )
+        try:
+            timeout = float(params.get("timeout", 0.0))
+        except ValueError:
+            raise InvalidRequestError(
+                f"timeout must be a number of seconds, "
+                f"got {params['timeout']!r}"
+            )
+        timeout = min(max(0.0, timeout), MAX_EVENT_POLL_SECONDS)
+        limit = MAX_EVENT_BATCH
+        if "limit" in params:
+            try:
+                limit = int(params["limit"])
+            except ValueError:
+                limit = -1
+            if not 1 <= limit <= MAX_EVENT_BATCH:
+                raise InvalidRequestError(
+                    f"limit must be an integer in 1..{MAX_EVENT_BATCH}, "
+                    f"got {params['limit']!r}"
+                )
+        return self.scheduler.events(
+            after=after,
+            timeout=timeout,
+            limit=limit,
+            job_id=params.get("job"),
+        )
 
     def _post(self) -> None:
         path, _ = self._split_route()

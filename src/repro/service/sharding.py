@@ -34,8 +34,10 @@ import numpy as np
 from ..distributed.coordinator import merge_skylines
 from ..distributed.partition import partition_frontier
 from ..distributed.worker import ShippedState, WorkerJob, run_worker_job
+import contextlib
+
 from ..exceptions import ServiceError
-from ..obs import SpanCollector, span, use_collector
+from ..obs import ProgressEmitter, SpanCollector, span, use_collector, use_emitter
 from ..obs.profiling import profile_to_file
 from ..scenarios.factory import ResolvedScenario
 
@@ -61,7 +63,8 @@ class ShardRun:
     """
 
     __slots__ = (
-        "resolved", "n_shards", "shard_index", "job_id", "profile_path"
+        "resolved", "n_shards", "shard_index", "job_id", "profile_path",
+        "progress_fd",
     )
 
     def __init__(
@@ -71,6 +74,7 @@ class ShardRun:
         shard_index: int,
         job_id: str | None = None,
         profile_path: str | None = None,
+        progress_fd: int | None = None,
     ):
         if not 0 <= shard_index < n_shards:
             raise ServiceError(
@@ -81,13 +85,21 @@ class ShardRun:
         self.shard_index = shard_index
         self.job_id = job_id
         self.profile_path = profile_path
+        self.progress_fd = progress_fd
 
     def __call__(self) -> dict[str, Any]:
         spec = self.resolved.spec
         task = self.resolved.task
         collector = SpanCollector()
+        emitter_cm = (
+            use_emitter(ProgressEmitter(self.progress_fd))
+            if self.progress_fd is not None
+            else contextlib.nullcontext()
+        )
         start = time.perf_counter()
-        with use_collector(collector), profile_to_file(self.profile_path):
+        with use_collector(collector), profile_to_file(
+            self.profile_path
+        ), emitter_cm:
             with span(
                 "run", job_id=self.job_id, shard_index=self.shard_index
             ):
@@ -110,6 +122,7 @@ class ShardRun:
                 )
         return {
             "spans": collector.spans,
+            "spans_dropped": collector.dropped,
             "shard_index": self.shard_index,
             "n_shards": self.n_shards,
             "shipped": [

@@ -1,0 +1,167 @@
+"""Property tests for the event bus: cursor delivery under concurrency.
+
+Satellite of the live-progress PR: Hypothesis drives the
+:class:`repro.obs.events.EventBus` ring through arbitrary publish/read
+interleavings and checks the three invariants the service's long-poll
+clients depend on —
+
+* **Cursor monotonicity.** Every batch a reader receives has strictly
+  increasing sequence numbers, all greater than the cursor it passed,
+  and the returned ``next_cursor`` never moves backwards.
+* **No loss below capacity.** As long as fewer events were published
+  than the ring holds, chunked cursor reads of any size reassemble the
+  exact publish sequence with ``dropped == 0``.
+* **Well-defined drops past capacity.** Once publishes exceed capacity,
+  a reader resuming from a stale cursor is told exactly how many events
+  aged out and receives precisely the retained suffix — loss is
+  reported, never silent.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.events import EventBus
+
+
+@st.composite
+def chunk_plans(draw):
+    """A publish count plus a schedule of read-batch limits."""
+    n_events = draw(st.integers(min_value=0, max_value=120))
+    chunks = draw(
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=30)
+    )
+    return n_events, chunks
+
+
+@settings(max_examples=60, deadline=None)
+@given(chunk_plans())
+def test_chunked_reads_below_capacity_lose_nothing(plan):
+    n_events, chunks = plan
+    bus = EventBus(capacity=max(1, n_events + 1))
+    published = [bus.publish("job.progress", job_id=f"j{i % 3}", n=i)
+                 for i in range(n_events)]
+    seen = []
+    cursor = 0
+    chunk_idx = 0
+    while True:
+        limit = chunks[chunk_idx % len(chunks)]
+        chunk_idx += 1
+        events, next_cursor, dropped = bus.after(cursor, limit=limit)
+        assert dropped == 0
+        assert next_cursor >= cursor
+        if not events:
+            assert next_cursor == cursor
+            break
+        assert all(e["seq"] > cursor for e in events)
+        seen.extend(e["seq"] for e in events)
+        cursor = next_cursor
+    assert seen == published  # exactly once, in publish order
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=40),
+    n_events=st.integers(min_value=0, max_value=150),
+)
+def test_drops_past_capacity_are_counted_exactly(capacity, n_events):
+    bus = EventBus(capacity=capacity)
+    for i in range(n_events):
+        bus.publish("job.progress", n=i)
+    events, next_cursor, dropped = bus.after(0, limit=n_events + 1)
+    assert dropped == max(0, n_events - capacity)
+    expected = list(range(max(1, n_events - capacity + 1), n_events + 1))
+    assert [e["seq"] for e in events] == expected
+    assert next_cursor == n_events
+    assert dropped + len(events) == n_events  # every publish accounted for
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("publish"), st.integers(0, 2)),
+            st.tuples(st.just("read"), st.integers(1, 20)),
+        ),
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=16),
+)
+def test_interleaved_ops_keep_cursors_monotonic(ops, capacity):
+    bus = EventBus(capacity=capacity)
+    cursor = 0
+    delivered = set()
+    for op, arg in ops:
+        if op == "publish":
+            bus.publish("job.progress", job_id=f"j{arg}")
+        else:
+            events, next_cursor, dropped = bus.after(cursor, limit=arg)
+            assert next_cursor >= cursor
+            seqs = [e["seq"] for e in events]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+            assert all(s > cursor for s in seqs)
+            assert not delivered.intersection(seqs)  # exactly once
+            delivered.update(seqs)
+            assert dropped >= 0
+            cursor = next_cursor
+    assert cursor <= bus.last_seq
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sampled_from(["a", "b", "c"]), max_size=50),
+    st.sets(st.sampled_from(["a", "b", "c"]), min_size=1),
+)
+def test_job_filter_never_leaks_foreign_events(job_sequence, wanted):
+    bus = EventBus(capacity=len(job_sequence) + 1)
+    for job in job_sequence:
+        bus.publish("job.progress", job_id=job)
+    cursor = 0
+    matched = []
+    while True:
+        events, cursor, dropped = bus.after(cursor, limit=7, job_ids=wanted)
+        assert dropped == 0
+        if not events:
+            break
+        assert all(e["job_id"] in wanted for e in events)
+        matched.extend(e["job_id"] for e in events)
+    # Filtering hides foreign events but never the wanted ones, and the
+    # cursor still drains the whole ring.
+    assert matched == [j for j in job_sequence if j in wanted]
+    assert cursor == bus.last_seq
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_threads=st.integers(min_value=2, max_value=6),
+    per_thread=st.integers(min_value=1, max_value=25),
+)
+def test_concurrent_publishers_below_capacity_exactly_once(
+    n_threads, per_thread
+):
+    total = n_threads * per_thread
+    bus = EventBus(capacity=total + 1)
+    barrier = threading.Barrier(n_threads)
+
+    def publisher(tid):
+        barrier.wait()
+        for i in range(per_thread):
+            bus.publish("job.progress", job_id=f"t{tid}", n=i)
+
+    threads = [
+        threading.Thread(target=publisher, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    events, next_cursor, dropped = bus.after(0, limit=total)
+    assert dropped == 0
+    assert [e["seq"] for e in events] == list(range(1, total + 1))
+    assert next_cursor == total
+    # Each publisher's own messages appear in its program order.
+    for tid in range(n_threads):
+        ns = [e["data"]["n"] for e in events if e["job_id"] == f"t{tid}"]
+        assert ns == list(range(per_thread))
