@@ -864,7 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="task corpus scale factor")
     discover.add_argument("--seed", type=int, default=None)
     discover.add_argument("--estimator", default="mogb",
-                          choices=("mogb", "oracle"))
+                          choices=("mogb", "mogb-hist", "oracle"))
     discover.add_argument("--distributed", type=int, default=0,
                           metavar="WORKERS",
                           help="run the distributed coordinator instead")
@@ -994,7 +994,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--scale", type=float, default=0.5)
     submit.add_argument("--seed", type=int, default=None)
     submit.add_argument("--estimator", default="mogb",
-                        choices=("mogb", "oracle"))
+                        choices=("mogb", "mogb-hist", "oracle"))
     submit.add_argument("--priority", type=int, default=0,
                         help="higher runs sooner (FIFO within a priority)")
     submit.add_argument("--wait", action="store_true",

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..exceptions import EstimatorError
 from ..ml.boosting import MultiOutputGradientBoosting
+from ..ml.histogram_boosting import MultiOutputHistGradientBoosting
 from ..obs import span
 from ..rng import make_rng
 from .measures import EPSILON_FLOOR, MeasureSet
@@ -49,14 +50,18 @@ PerformanceOracle = Callable[[Any], dict[str, float]]
 def oracle_artifact(space: SearchSpace, oracle: PerformanceOracle, bits: int):
     """Materialize ``bits`` in the richest form ``oracle`` accepts.
 
-    The columnar fast path needs opt-in from both ends: the oracle must
-    declare ``accepts_matrix`` and the space must offer
-    ``materialize_matrix``. Everything else gets the compatibility
+    The fast paths need opt-in from both ends: an oracle declaring
+    ``accepts_binned`` (its model trains on pre-binned codes) gets a
+    :class:`~repro.relational.columns.MatrixView` with the state's uint8
+    bin codes attached; ``accepts_matrix`` gets the plain float view.
+    Everything else gets the compatibility
     :class:`~repro.relational.Table` / graph artifact.
     """
-    if getattr(oracle, "accepts_matrix", False):
-        fast = getattr(space, "materialize_matrix", None)
-        if fast is not None:
+    fast = getattr(space, "materialize_matrix", None)
+    if fast is not None:
+        if getattr(oracle, "accepts_binned", False):
+            return fast(bits, include_binned=True)
+        if getattr(oracle, "accepts_matrix", False):
             return fast(bits)
     return space.materialize(bits)
 
@@ -280,6 +285,11 @@ class MOGBEstimator(Estimator):
     the universal state), then answer in a single ``predict`` call per
     state. The surrogate refits lazily whenever enough new oracle truth has
     accumulated.
+
+    ``surrogate`` picks the backbone: ``"gbm"`` (exact-split multi-output
+    gradient boosting, the paper default) or ``"hist"`` (histogram
+    boosting — bins the feature matrix once per refit window and finds
+    splits in O(bins), cheaper on wide feature vectors).
     """
 
     def __init__(
@@ -291,16 +301,25 @@ class MOGBEstimator(Estimator):
         refit_every: int = 16,
         n_estimators: int = 40,
         max_depth: int = 3,
+        surrogate: str = "gbm",
         seed: int = 0,
     ):
         super().__init__(measures, store)
+        if surrogate not in ("gbm", "hist"):
+            raise EstimatorError(
+                f"unknown surrogate backbone {surrogate!r}; "
+                "expected 'gbm' or 'hist'"
+            )
         self.oracle = oracle
         self.n_bootstrap = int(n_bootstrap)
         self.refit_every = int(refit_every)
         self.n_estimators = int(n_estimators)
         self.max_depth = int(max_depth)
+        self.surrogate = surrogate
         self.seed = int(seed)
-        self._surrogate: MultiOutputGradientBoosting | None = None
+        self._surrogate: (
+            MultiOutputGradientBoosting | MultiOutputHistGradientBoosting | None
+        ) = None
         self._records_at_fit = 0
         self._bootstrapped = False
 
@@ -366,7 +385,12 @@ class MOGBEstimator(Estimator):
             if n - self._records_at_fit < self.refit_every:
                 return
         with span("oracle-fit", n_records=n):
-            self._surrogate = MultiOutputGradientBoosting(
+            backbone = (
+                MultiOutputHistGradientBoosting
+                if self.surrogate == "hist"
+                else MultiOutputGradientBoosting
+            )
+            self._surrogate = backbone(
                 n_estimators=self.n_estimators,
                 max_depth=self.max_depth,
                 seed=self.seed,

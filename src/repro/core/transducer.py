@@ -438,7 +438,9 @@ class TabularSearchSpace(SearchSpace):
                     )
         return self._column_store
 
-    def materialize_matrix(self, bits: int) -> MatrixView:
+    def materialize_matrix(
+        self, bits: int, include_binned: bool = False
+    ) -> MatrixView:
         """The valuation fast path: the state's ``(X, y)`` as a
         :class:`~repro.relational.columns.MatrixView`.
 
@@ -446,12 +448,21 @@ class TabularSearchSpace(SearchSpace):
         materialize(bits))`` (the legacy oracle prologue) but served by
         boolean-mask slicing of the precomputed columnar encoding — no
         intermediate Table, no per-call encoder fit.
+
+        ``include_binned=True`` additionally attaches the state's
+        pre-binned uint8 training matrix (``view.binned``) sliced from the
+        universal bin codes; a cached view without codes is upgraded once
+        and re-cached.
         """
         cached = self._matrix_cache.get(bits)
-        if cached is not None:
+        if cached is not None and (
+            not include_binned or cached.binned is not None
+        ):
             return cached
         view = self.column_store.encode_subset(
-            self.row_mask(bits), self.active_attributes(bits)
+            self.row_mask(bits),
+            self.active_attributes(bits),
+            include_binned=include_binned,
         )
         self._matrix_cache.put(bits, view)
         return view

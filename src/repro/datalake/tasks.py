@@ -40,7 +40,8 @@ from ..exceptions import DataLakeError
 from ..graph.bipartite import BipartiteGraph, split_edges
 from ..graph.evaluation import train_and_evaluate
 from ..ml import metrics as M
-from ..ml.preprocessing import TableEncoder, train_test_split
+from ..ml.base import PreBinned
+from ..ml.preprocessing import TableEncoder, split_indices
 from ..ml.registry import make_model
 from ..relational.columns import MatrixView
 from ..relational.join import universal_join
@@ -131,11 +132,17 @@ class DiscoveryTask:
     def build_estimator(
         self, estimator: str = "mogb", n_bootstrap: int = 20, seed: int | None = None
     ) -> Estimator:
-        """Construct the task's estimator ('mogb' surrogate or exact 'oracle')."""
+        """Construct the task's estimator: 'mogb' surrogate (exact-split
+        backbone), 'mogb-hist' (histogram-boosting backbone), or exact
+        'oracle'."""
         seed = self.seed if seed is None else seed
-        if estimator == "mogb":
+        if estimator in ("mogb", "mogb-hist"):
             return MOGBEstimator(
-                self.oracle, self.measures, n_bootstrap=n_bootstrap, seed=seed
+                self.oracle,
+                self.measures,
+                n_bootstrap=n_bootstrap,
+                surrogate="hist" if estimator == "mogb-hist" else "gbm",
+                seed=seed,
             )
         if estimator == "oracle":
             return OracleEstimator(self.oracle, self.measures)
@@ -236,19 +243,30 @@ def make_tabular_oracle(
             return _degenerate_raw(measures)
         if task_kind == "classification" and len(np.unique(y)) < 2:
             return _degenerate_raw(measures)
-        X_train, X_test, y_train, y_test = train_test_split(
-            X, y, test_fraction, seed=split_seed
+        train_idx, test_idx = split_indices(
+            X.shape[0], test_fraction, seed=split_seed
         )
+        X_train, X_test = X[train_idx], X[test_idx]
+        y_train, y_test = y[train_idx], y[test_idx]
         if task_kind == "classification" and (
             len(np.unique(y_train)) < 2 or len(np.unique(y_test)) < 2
         ):
             return _degenerate_raw(measures)
         model = make_model(model_name, seed=model_seed)
+        # Binned fast path: the artifact carries universal uint8 bin codes
+        # (same rows as X) and the model trains on codes directly — zero
+        # per-call quantile work. Fisher/MI and gates still use float X.
+        binned = artifact.binned if isinstance(artifact, MatrixView) else None
+        if binned is not None and getattr(model, "accepts_prebinned", False):
+            fit_X = PreBinned(codes=binned.codes[train_idx])
+            eval_X = PreBinned(codes=binned.codes[test_idx])
+        else:
+            fit_X, eval_X = X_train, X_test
         try:
-            model.fit(X_train, y_train)
+            model.fit(fit_X, y_train)
         except Exception:
             return _degenerate_raw(measures)
-        prediction = model.predict(X_test)
+        prediction = model.predict(eval_X)
         raw: dict[str, float] = {"train_cost": model.training_cost_}
         if "memory" in measures:
             # Section 2 lists memory consumption among the cost measures;
@@ -260,7 +278,7 @@ def make_tabular_oracle(
             raw["precision"] = M.precision(y_test, prediction)
             raw["recall"] = M.recall(y_test, prediction)
             if "auc" in measures:
-                proba = model.predict_proba(X_test)
+                proba = model.predict_proba(eval_X)
                 classes = list(model.classes_)
                 if len(classes) == 2:
                     scores = proba[:, 1]
@@ -290,6 +308,11 @@ def make_tabular_oracle(
         return raw
 
     oracle.accepts_matrix = True
+    # Only request pre-binned artifacts when the task's model can train on
+    # them (the histogram models); other models would just pay the slicing.
+    oracle.accepts_binned = getattr(
+        make_model(model_name, seed=model_seed), "accepts_prebinned", False
+    )
     return oracle
 
 

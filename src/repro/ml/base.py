@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 import time
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
@@ -28,14 +29,58 @@ from ..exceptions import ModelError
 from ..rng import make_rng
 
 
-def check_matrix(X) -> np.ndarray:
-    """Validate and coerce a feature matrix to float64 (n, d)."""
+@dataclass(frozen=True)
+class PreBinned:
+    """A feature matrix already quantized to per-feature integer bin codes.
+
+    The histogram models only ever look at bin codes, so a caller that has
+    binned its data once (the :class:`~repro.relational.ColumnStore` does
+    this for the whole universal table) can hand the codes straight to
+    ``fit``/``predict`` and skip the per-call ``quantile_bin_edges`` /
+    ``apply_bins`` pass entirely. ``edges`` (per-feature, in raw-value
+    space) are optional: without them the fitted model can only predict on
+    other ``PreBinned`` inputs quantized with the same scheme.
+    """
+
+    codes: np.ndarray
+    edges: tuple[np.ndarray, ...] | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.codes.shape
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.codes.nbytes)
+
+
+def check_prebinned(X: PreBinned) -> PreBinned:
+    """Validate a pre-binned code matrix (2-D, non-empty, integer codes)."""
+    codes = X.codes
+    if codes.ndim != 2:
+        raise ModelError(f"binned codes must be 2-D, got shape {codes.shape}")
+    if codes.shape[0] == 0:
+        raise ModelError("binned codes have no rows")
+    if not np.issubdtype(codes.dtype, np.integer):
+        raise ModelError(f"binned codes must be integers, got {codes.dtype}")
+    return X
+
+
+def check_matrix(X, allow_nan: bool = False) -> np.ndarray:
+    """Validate and coerce a feature matrix to float64 (n, d).
+
+    ``allow_nan=True`` (models that route missing values to a dedicated
+    null bin) still rejects infinities.
+    """
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ModelError(f"X must be 2-D, got shape {X.shape}")
     if X.shape[0] == 0:
         raise ModelError("X has no rows")
-    if not np.all(np.isfinite(X)):
+    if allow_nan:
+        if np.isinf(X).any():
+            raise ModelError("X contains inf; impute before fitting")
+    elif not np.all(np.isfinite(X)):
         raise ModelError("X contains NaN/inf; impute before fitting")
     return X
 
@@ -53,6 +98,14 @@ def check_vector(y, n_rows: int) -> np.ndarray:
 class Model(abc.ABC):
     """Base class for every model in the zoo."""
 
+    #: Subclasses that impute/route NaN themselves opt in; inf is always
+    #: rejected.
+    _allow_nan = False
+    #: Subclasses that can train directly on :class:`PreBinned` codes
+    #: (the histogram models) opt in; everyone else rejects them loudly
+    #: rather than silently training on raw bin integers.
+    accepts_prebinned = False
+
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self.training_cost_: float = 0.0
@@ -64,9 +117,19 @@ class Model(abc.ABC):
     def is_fitted(self) -> bool:
         return self._fitted
 
+    def _check_features(self, X):
+        """Validate ``X`` — a raw float matrix or pre-binned codes."""
+        if isinstance(X, PreBinned):
+            if not self.accepts_prebinned:
+                raise ModelError(
+                    f"{type(self).__name__} cannot train on pre-binned codes"
+                )
+            return check_prebinned(X)
+        return check_matrix(X, allow_nan=self._allow_nan)
+
     def fit(self, X, y) -> "Model":
         """Fit on (X, y); subclasses implement ``_fit``."""
-        X = check_matrix(X)
+        X = self._check_features(X)
         y = check_vector(y, X.shape[0])
         rng = make_rng(self.seed)
         start = time.perf_counter()
@@ -80,7 +143,7 @@ class Model(abc.ABC):
         """Predict for the rows of ``X`` (requires a prior ``fit``)."""
         if not self._fitted:
             raise ModelError(f"{type(self).__name__} is not fitted")
-        return self._predict(check_matrix(X))
+        return self._predict(self._check_features(X))
 
     def get_params(self) -> dict[str, Any]:
         """Constructor parameters (anything not ending in ``_``)."""
@@ -136,7 +199,7 @@ class Classifier(Model):
         """Per-class probabilities aligned with ``classes_``."""
         if not self._fitted:
             raise ModelError(f"{type(self).__name__} is not fitted")
-        return self._predict_proba(check_matrix(X))
+        return self._predict_proba(self._check_features(X))
 
     def _predict(self, X: np.ndarray) -> np.ndarray:
         return np.argmax(self._predict_proba(X), axis=1)

@@ -167,6 +167,23 @@ class TableEncoder:
         return [self.target_classes_[int(c)] for c in codes]
 
 
+def split_indices(
+    n: int, test_fraction: float = 0.25, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """The (train, test) row indices :func:`train_test_split` uses.
+
+    Exposed so callers holding several aligned row-wise artifacts (float
+    matrix + pre-binned codes) can split them all identically.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be in (0, 1)")
+    order = make_rng(seed).permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    if n_test >= n:
+        n_test = n - 1
+    return order[n_test:], order[:n_test]
+
+
 def train_test_split(
     X: np.ndarray,
     y: np.ndarray,
@@ -174,18 +191,11 @@ def train_test_split(
     seed: int = 0,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Shuffled split of (X, y); deterministic for a fixed seed."""
-    if not 0.0 < test_fraction < 1.0:
-        raise ModelError("test_fraction must be in (0, 1)")
     X = np.asarray(X)
     y = np.asarray(y)
     if X.shape[0] != len(y):
         raise ModelError("X and y disagree on the number of rows")
-    n = X.shape[0]
-    order = make_rng(seed).permutation(n)
-    n_test = max(1, int(round(test_fraction * n)))
-    if n_test >= n:
-        n_test = n - 1
-    test_idx, train_idx = order[:n_test], order[n_test:]
+    train_idx, test_idx = split_indices(X.shape[0], test_fraction, seed)
     return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
 
 

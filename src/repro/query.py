@@ -119,7 +119,12 @@ def discover(
     verify: bool = True,
     **algorithm_kwargs,
 ) -> DiscoveryResult:
-    """Run a skyline query end to end and return the ε-skyline set."""
+    """Run a skyline query end to end and return the ε-skyline set.
+
+    ``estimator`` is one of ``"mogb"`` (surrogate, paper default),
+    ``"mogb-hist"`` (surrogate with the histogram-boosting backbone), or
+    ``"oracle"`` (exact valuation).
+    """
     if algorithm not in ALGORITHMS:
         raise SearchError(
             f"unknown algorithm {algorithm!r}; have {sorted(ALGORITHMS)}"

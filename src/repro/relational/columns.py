@@ -37,15 +37,30 @@ sub-table (the legacy oracle path):
 
 The parity suite (``tests/unit/test_columns.py``) asserts this equality
 value-for-value across random bitmaps.
+
+**Universal binning.** The histogram models never look at float features —
+only at quantile-bin codes. Quantization is a pure per-column function, so
+the store computes it *once* over the universal table (lazily, on first
+request): numeric columns get ``max_bins``-quantile edges over their finite
+values and a dedicated null bin (``len(edges) + 1``); categorical columns
+reuse their universal vocabulary codes with null mapped to
+``len(vocabulary)``. Codes are uint8 (≤ 64 bins by default). Any state's
+pre-binned training matrix is then just a row-slice + column-stack of the
+shared code columns — :meth:`ColumnStore.binned_matrix`, surfaced as
+``MatrixView.binned``, with *zero* per-state quantile work. The Hypothesis
+suite (``tests/unit/test_binned_matrix.py``) asserts slicing equals
+re-binning the materialized sub-table with the universal edges.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from ..ml.base import PreBinned
+from ..ml.histogram_boosting import apply_bins, quantile_bin_edges
 from .table import Table
 
 __all__ = ["ColumnStore", "MatrixView"]
@@ -70,11 +85,18 @@ class MatrixView:
     target: str = ""
     #: subset target vocabulary for categorical targets (code i → label).
     target_classes: tuple | None = None
+    #: the same rows as ``X`` in universal bin codes (uint8), when the
+    #: caller asked for them — the zero-requantization training matrix for
+    #: histogram models (see :meth:`ColumnStore.binned_matrix`).
+    binned: PreBinned | None = field(default=None, compare=False)
 
     @property
     def nbytes(self) -> int:
         """Approximate in-memory footprint (cache accounting)."""
-        return int(self.X.nbytes + self.y.nbytes)
+        total = int(self.X.nbytes + self.y.nbytes)
+        if self.binned is not None:
+            total += self.binned.nbytes
+        return total
 
     @property
     def num_rows(self) -> int:
@@ -115,17 +137,27 @@ class ColumnStore:
     bit-identical to the legacy per-call ``TableEncoder`` fit).
     """
 
-    def __init__(self, table: Table, target: str, standardize: bool = True):
+    def __init__(
+        self,
+        table: Table,
+        target: str,
+        standardize: bool = True,
+        max_bins: int = 64,
+    ):
         if target not in table.schema:
             raise KeyError(f"target {target!r} not in schema")
         self.target = target
         self.standardize = standardize
+        self.max_bins = int(max_bins)
         self.n_rows = table.num_rows
         self._columns: dict[str, _NumericColumn | _CategoricalColumn] = {}
         for attr in table.schema:
             column = self._encode_universal(table, attr.name, attr.is_numeric)
             self._columns[attr.name] = column
         self._target_numeric = table.schema[target].is_numeric
+        # Universal bin codes + edges, built lazily on first binned request.
+        self._binned_codes: dict[str, np.ndarray] | None = None
+        self._binned_edges: dict[str, np.ndarray | None] = {}
 
     @staticmethod
     def _encode_universal(table: Table, name: str, numeric: bool):
@@ -157,7 +189,74 @@ class ColumnStore:
         for col in self._columns.values():
             data = col.raw if isinstance(col, _NumericColumn) else col.codes
             total += int(data.nbytes + col.null.nbytes)
+        if self._binned_codes is not None:
+            total += sum(int(c.nbytes) for c in self._binned_codes.values())
         return total
+
+    # -- universal binning -------------------------------------------------------
+    def _ensure_binned(self) -> dict[str, np.ndarray]:
+        """Quantize every column once over the universal table.
+
+        Numeric columns: ``max_bins``-quantile edges over finite values
+        (:func:`quantile_bin_edges` is NaN-safe), nulls to the dedicated
+        null bin — exactly :func:`apply_bins` on the raw column, so a row
+        slice of these codes equals re-binning the materialized sub-table
+        with the same edges. Categorical columns reuse the universal
+        vocabulary codes with null mapped to ``len(vocabulary)``. Codes are
+        uint8 whenever they fit (always, for numeric, with ≤ 254 bins).
+        """
+        if self._binned_codes is not None:
+            return self._binned_codes
+        codes_by: dict[str, np.ndarray] = {}
+        edges_by: dict[str, np.ndarray | None] = {}
+        for name, col in self._columns.items():
+            if isinstance(col, _NumericColumn):
+                col_edges = quantile_bin_edges(
+                    col.raw[:, None], self.max_bins
+                )[0]
+                codes = apply_bins(col.raw[:, None], [col_edges])[:, 0]
+                edges_by[name] = col_edges
+            else:
+                codes = np.where(col.null, len(col.vocabulary), col.codes)
+                edges_by[name] = None
+            if codes.max(initial=0) < 256:
+                codes = codes.astype(np.uint8)
+            else:  # huge categorical vocabulary; keep exact codes
+                codes = codes.astype(np.int32)
+            codes_by[name] = codes
+        self._binned_edges = edges_by
+        self._binned_codes = codes_by
+        return codes_by
+
+    def bin_edges(self, name: str) -> np.ndarray | None:
+        """Universal quantile edges for a numeric column (None for
+        categorical columns, whose codes are vocabulary ranks)."""
+        self._ensure_binned()
+        return self._binned_edges[name]
+
+    def _binned_rows(
+        self, rows: np.ndarray, attributes: Sequence[str]
+    ) -> PreBinned:
+        codes_by = self._ensure_binned()
+        cols = [codes_by[name][rows] for name in attributes]
+        if cols:
+            codes = np.column_stack(cols)
+        else:
+            codes = np.zeros((rows.size, 0), dtype=np.uint8)
+        return PreBinned(codes=codes)
+
+    def binned_matrix(
+        self, row_mask: np.ndarray, attributes: Sequence[str]
+    ) -> PreBinned:
+        """One state's pre-binned training matrix by pure slicing.
+
+        Same rows as :meth:`encode_subset`'s ``X`` (null-target rows
+        dropped), same column order, but uint8 universal bin codes —
+        no per-state quantile pass.
+        """
+        row_mask = np.asarray(row_mask, dtype=bool)
+        rows = np.flatnonzero(row_mask & ~self._columns[self.target].null)
+        return self._binned_rows(rows, attributes)
 
     # -- subset encoding -------------------------------------------------------
     def _encode_numeric(
@@ -199,7 +298,10 @@ class ColumnStore:
         return np.where(null, fill, ranked)
 
     def encode_subset(
-        self, row_mask: np.ndarray, attributes: Sequence[str]
+        self,
+        row_mask: np.ndarray,
+        attributes: Sequence[str],
+        include_binned: bool = False,
     ) -> MatrixView:
         """The ``(X, y)`` a fresh ``TableEncoder.fit_transform`` would
         produce for the sub-table (``row_mask`` rows × ``attributes`` +
@@ -233,6 +335,7 @@ class ColumnStore:
         ]
         n = rows.size
         X = np.column_stack(columns) if columns else np.zeros((n, 0))
+        binned = self._binned_rows(rows, attributes) if include_binned else None
         return MatrixView(
             X=X,
             y=y,
@@ -240,6 +343,7 @@ class ColumnStore:
             columns=tuple(attributes),
             target=self.target,
             target_classes=target_classes,
+            binned=binned,
         )
 
     def _encode_column(

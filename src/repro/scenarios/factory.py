@@ -211,7 +211,7 @@ class ScenarioFactory:
                 f"{spec.name}: unknown algorithm {spec.algorithm!r}; "
                 f"have {sorted(ALGORITHMS)}"
             )
-        if spec.estimator not in ("mogb", "oracle"):
+        if spec.estimator not in ("mogb", "mogb-hist", "oracle"):
             raise ScenarioError(
                 f"{spec.name}: unknown estimator {spec.estimator!r}"
             )

@@ -57,7 +57,7 @@ class Scenario:
     max_level: int = 4
     scale: float = 0.5
     seed: int | None = None
-    estimator: str = "mogb"
+    estimator: str = "mogb"  # "mogb" | "mogb-hist" | "oracle"
     n_bootstrap: int = 20
     distributed: int = 0
     verify: bool = True

@@ -66,6 +66,19 @@ Format versioning rules (readers and writers MUST follow these):
   never committed, so replay drops it silently. Torn or foreign lines
   anywhere *else* are counted in :attr:`ReplaySummary.skipped` and
   logged, and replay continues.
+
+Cross-process coordination: every journal instance holds a shared
+``flock`` on ``<dir>/.journal.lock`` for the duration of each append and
+an exclusive one for the duration of a compaction. Appends from many
+processes coexist (shared mode), but a compaction excludes appenders and
+other compactors — so exactly one lease-holding scheduler folds a shared
+directory at a time, and an append can never land in a segment between
+the compactor's snapshot and its unlink of the old segments.
+:meth:`JobJournal.maybe_compact` acquires the exclusive lock
+*non-blocking* and simply skips the fold when a peer holds it. On
+platforms without ``fcntl`` the lock is a no-op and
+:attr:`JobJournal.supports_cross_process_lock` is False — callers in
+shared-journal mode must then refuse to compact (the scheduler does).
 """
 
 from __future__ import annotations
@@ -74,9 +87,15 @@ import os
 import re
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Any, Iterable
+from typing import IO, Any, Iterable, Iterator
+
+try:  # POSIX only; the lock degrades gracefully elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from ..exceptions import ServiceError
 from ..ioutil import append_jsonl, fsync_directory, read_jsonl
@@ -173,9 +192,55 @@ class JobJournal:
         self._lock = threading.Lock()
         self._fh: IO[str] | None = None
         self._fh_path: Path | None = None
+        self._lock_fh: IO[str] | None = None
         #: epoch of the last committed append (None before the first);
         #: ``/v1/healthz`` reports ``now - last_append_at`` as append lag.
         self.last_append_at: float | None = None
+
+    # -- cross-process lock ------------------------------------------------------
+    @property
+    def supports_cross_process_lock(self) -> bool:
+        """Whether appends/compactions are ordered across processes."""
+        return fcntl is not None
+
+    def _lock_file(self) -> IO[str]:
+        """The (lazily opened) handle flock operates on.
+
+        ``flock`` locks belong to the open file description, so two
+        journal instances — even in one process — hold independent,
+        mutually conflicting locks, which is exactly what the two-writer
+        tests exercise.
+        """
+        if self._lock_fh is None or self._lock_fh.closed:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._lock_fh = (self.directory / ".journal.lock").open("a")
+        return self._lock_fh
+
+    @contextmanager
+    def _dir_lock(
+        self, exclusive: bool, blocking: bool = True
+    ) -> Iterator[bool]:
+        """Hold the directory lock; yields False iff a non-blocking
+        acquisition lost the race. No-op (yields True) without fcntl —
+        callers needing true mutual exclusion must check
+        :attr:`supports_cross_process_lock` first.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield True
+            return
+        fh = self._lock_file()
+        flags = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        if not blocking:
+            flags |= fcntl.LOCK_NB
+        try:
+            fcntl.flock(fh.fileno(), flags)
+        except OSError:
+            yield False
+            return
+        try:
+            yield True
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     # -- segment bookkeeping -----------------------------------------------------
     def segments(self) -> list[Path]:
@@ -201,12 +266,15 @@ class JobJournal:
             try:
                 size = self._fh_path.stat().st_size
             except FileNotFoundError:
-                # The segment vanished under us (an operator's rm, or a
-                # second journal instance compacting the directory):
-                # appends to the orphaned inode would be silently lost,
-                # so reopen on a live segment instead.
-                logger.warning(
-                    "journal segment %s disappeared; reopening",
+                # The segment vanished under us: a peer's compaction (its
+                # exclusive directory lock ordered it before this append,
+                # and its snapshot folded everything we ever wrote) or an
+                # operator's rm. Appends to the orphaned inode would be
+                # silently lost, so reopen on a live segment. Benign and
+                # lossless in the compaction case, hence INFO.
+                logger.info(
+                    "journal segment %s was removed (external compaction "
+                    "or cleanup); reopening on the live segment",
                     self._fh_path,
                 )
                 self._close_handle()
@@ -254,6 +322,12 @@ class JobJournal:
         """Release the append handle (the journal can be reopened)."""
         with self._lock:
             self._close_handle()
+            if self._lock_fh is not None:
+                try:
+                    self._lock_fh.close()
+                except OSError:  # pragma: no cover - close on dead handle
+                    pass
+                self._lock_fh = None
 
     def __enter__(self) -> JobJournal:
         return self
@@ -265,7 +339,12 @@ class JobJournal:
     def _append(self, record: dict[str, Any]) -> None:
         record = {"v": JOURNAL_VERSION, "ts": time.time(), **record}
         with self._lock:
-            append_jsonl(self._ensure_open(), record, fsync=self.fsync)
+            # Shared directory lock: peers may append concurrently, but a
+            # compactor (exclusive) is excluded, so the stat-then-write in
+            # `_ensure_open` cannot race a segment unlink and lose the
+            # record to an orphaned inode.
+            with self._dir_lock(exclusive=False):
+                append_jsonl(self._ensure_open(), record, fsync=self.fsync)
             self.last_append_at = time.time()
 
     def record_submitted(self, job: Job) -> None:
@@ -423,19 +502,30 @@ class JobJournal:
 
     # -- compaction --------------------------------------------------------------
     def compact(
-        self, jobs: Iterable[Job] | None = None
+        self, jobs: Iterable[Job] | None = None, blocking: bool = True
     ) -> int:
         """Rewrite the journal as one snapshot line per job.
 
         ``jobs`` (when given — the scheduler's authoritative in-memory
         records) wins over a fresh replay, so retry accounting applied
-        during recovery becomes durable immediately. Returns the number
-        of snapshot records written. Crash-safe: the compacted segment is
-        written to a temp name, fsync'd, renamed into place (with a
-        directory fsync), and only then are the superseded segments
-        removed.
+        during recovery becomes durable immediately; pass ``None`` on a
+        *shared* directory so the replay-based fold preserves peer
+        schedulers' records. Returns the number of snapshot records
+        written, or ``-1`` when ``blocking=False`` and a peer process
+        holds the directory lock (exactly one compactor wins; the losers
+        skip). Crash-safe: the compacted segment is written to a temp
+        name, fsync'd, renamed into place (with a directory fsync), and
+        only then are the superseded segments removed.
         """
-        with self._lock:
+        with self._lock, self._dir_lock(
+            exclusive=True, blocking=blocking
+        ) as held:
+            if not held:
+                logger.info(
+                    "journal compaction skipped: another process holds "
+                    "the directory lock"
+                )
+                return -1
             summary = self.replay()
             if jobs is not None:
                 snapshots = [job.to_snapshot() for job in jobs]
@@ -504,11 +594,15 @@ class JobJournal:
         return [s for s in snapshots if id(s) not in dropped]
 
     def maybe_compact(self, jobs: Iterable[Job] | None = None) -> bool:
-        """Compact iff the journal has grown past ``max_segments``."""
+        """Compact iff the journal has grown past ``max_segments``.
+
+        Non-blocking on the cross-process lock: when a peer is already
+        folding the directory this returns False instead of queueing a
+        redundant second compaction behind it.
+        """
         if len(self.segments()) <= self.max_segments:
             return False
-        self.compact(jobs)
-        return True
+        return self.compact(jobs, blocking=False) >= 0
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> dict[str, Any]:

@@ -135,7 +135,14 @@ class _OracleGuard:
     hard kill.
     """
 
-    __slots__ = ("oracle", "deadline", "max_calls", "calls", "accepts_matrix")
+    __slots__ = (
+        "oracle",
+        "deadline",
+        "max_calls",
+        "calls",
+        "accepts_matrix",
+        "accepts_binned",
+    )
 
     def __init__(
         self,
@@ -147,10 +154,11 @@ class _OracleGuard:
         self.deadline = deadline
         self.max_calls = max_calls
         self.calls = 0
-        # Forward the columnar fast-path capability of the wrapped oracle
+        # Forward the fast-path capabilities of the wrapped oracle
         # (see repro.core.estimator.oracle_artifact) — guarding must not
         # silently demote jobs to the legacy Table path.
         self.accepts_matrix = getattr(oracle, "accepts_matrix", False)
+        self.accepts_binned = getattr(oracle, "accepts_binned", False)
 
     def __call__(self, artifact):
         if self.deadline is not None and time.monotonic() > self.deadline:
@@ -652,14 +660,19 @@ class Scheduler:
         elif self._leases_enabled or stats["remote_leases"]:
             # Shared-journal mode (or a journal carrying foreign leases):
             # another scheduler process may be appending to — or boot-
-            # compacting — these very segments right now, and there is no
-            # cross-process lock to order the rewrites. Never compact;
-            # correctness beats reclaiming segment space.
-            logger.info(
-                "skipping boot compaction on a shared journal dir "
-                "(%d live peer lease(s) seen)",
-                stats["remote_leases"],
-            )
+            # compacting — these very segments right now. With the
+            # journal's cross-process directory lock a replay-based fold
+            # is safe (peer records are preserved, and exactly one
+            # compactor wins the non-blocking exclusive lock); without it
+            # never compact — correctness beats reclaiming segment space.
+            if journal.supports_cross_process_lock:
+                journal.compact(None, blocking=False)
+            else:  # pragma: no cover - non-POSIX platform
+                logger.info(
+                    "skipping boot compaction on a shared journal dir "
+                    "(%d live peer lease(s) seen, no cross-process lock)",
+                    stats["remote_leases"],
+                )
         else:
             journal.compact(self.jobs.values())
         for parent in list(self.jobs.values()):
@@ -1314,14 +1327,17 @@ class Scheduler:
             return
         if self._leases_enabled or self._peer_active():
             # Shared-journal mode: a peer process may be appending to the
-            # same WAL — compacting here would rewrite it from *this*
-            # process's view only and destroy the peer's records. A peer
-            # that has not leased anything yet is invisible, so an
-            # explicit ``scheduler_id`` disables compaction outright
-            # rather than trusting `_peer_active`. The `_peer_active`
-            # check still protects anonymous schedulers pointed at a
-            # journal that carries foreign leases.
-            return
+            # same WAL. The fold below is replay-based (jobs=None), so
+            # peer records are preserved, and the journal's cross-process
+            # directory lock orders it against peer appends and elects
+            # exactly one compactor (losers skip, non-blocking). Without
+            # flock there is no such ordering — never compact then;
+            # correctness beats reclaiming segment space. A peer that has
+            # not leased anything yet is invisible, so an explicit
+            # ``scheduler_id`` takes this gated path outright rather than
+            # trusting `_peer_active` alone.
+            if not self.journal.supports_cross_process_lock:
+                return  # pragma: no cover - non-POSIX platform
         try:
             self.journal.maybe_compact()
         except Exception:

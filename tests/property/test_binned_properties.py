@@ -1,0 +1,136 @@
+"""Property-based parity for the universal binning fast path.
+
+The contract of :meth:`ColumnStore.binned_matrix` (surfaced as
+``MatrixView.binned`` via ``materialize_matrix(bits,
+include_binned=True)``): for *any* bitmap, slicing the shared universal
+code array equals re-binning the materialized sub-table's raw columns
+with the universal quantile edges — numeric columns through
+``apply_bins`` (NaN → null bin), categorical columns through the
+universal vocabulary rank (null → ``len(vocabulary)``). Exercised over
+random bitmaps on a table that includes an all-null numeric column and a
+constant column, the two degenerate binning cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.transducer import TabularSearchSpace
+from repro.ml.histogram_boosting import apply_bins, null_bin
+from repro.relational.columns import _CategoricalColumn, _NumericColumn
+from repro.relational.schema import Attribute, CATEGORICAL, NUMERIC, Schema
+from repro.relational.table import Table
+from repro.rng import make_rng
+
+
+def _space_from_seed(seed: int) -> TabularSearchSpace:
+    """Mixed-type table with nulls, an all-null and a constant column."""
+    rng = make_rng(seed)
+    n = 64
+
+    def maybe(value, p=0.2):
+        return None if rng.random() < p else value
+
+    schema = Schema(
+        [
+            Attribute("a", NUMERIC),
+            Attribute("b", CATEGORICAL),
+            Attribute("c", NUMERIC),
+            Attribute("all_null", NUMERIC),
+            Attribute("constant", NUMERIC),
+            Attribute("target", NUMERIC),
+        ]
+    )
+    columns = {
+        "a": [maybe(float(rng.normal())) for _ in range(n)],
+        "b": [maybe("xyz"[int(rng.integers(3))]) for _ in range(n)],
+        "c": [maybe(float(rng.integers(8))) for _ in range(n)],
+        "all_null": [None] * n,
+        "constant": [1.5] * n,
+        "target": [maybe(float(rng.normal()), 0.1) for _ in range(n)],
+    }
+    table = Table(schema, columns)
+    return TabularSearchSpace(table, target="target", max_clusters=3, seed=0)
+
+
+_SPACES = {seed: _space_from_seed(seed) for seed in range(2)}
+
+
+def _expected_codes(space, bits: int, rows: np.ndarray) -> np.ndarray:
+    """Re-bin the materialized sub-table with the universal edges."""
+    store = space.column_store
+    expected = []
+    for name in space.active_attributes(bits):
+        col = store._columns[name]
+        if isinstance(col, _NumericColumn):
+            edges = store.bin_edges(name)
+            expected.append(apply_bins(col.raw[rows][:, None], [edges])[:, 0])
+        else:
+            assert isinstance(col, _CategoricalColumn)
+            codes = np.where(
+                col.null[rows], len(col.vocabulary), col.codes[rows]
+            )
+            expected.append(codes)
+    if not expected:
+        return np.zeros((rows.size, 0), dtype=np.int64)
+    return np.column_stack(expected)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1),
+    bits=st.integers(min_value=0),
+)
+def test_binned_matrix_equals_rebinning_the_subtable(seed, bits):
+    space = _SPACES[seed]
+    bits = bits % (2 ** space.width)
+    view = space.materialize_matrix(bits, include_binned=True)
+    store = space.column_store
+    target_null = store._columns["target"].null
+    rows = np.flatnonzero(space.row_mask(bits) & ~target_null)
+    binned = view.binned
+    assert binned is not None
+    assert binned.codes.shape == view.X.shape
+    assert np.array_equal(
+        binned.codes.astype(np.int64), _expected_codes(space, bits, rows)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1),
+    bits=st.integers(min_value=0),
+)
+def test_degenerate_columns_bin_to_single_bins(seed, bits):
+    """All-null → every row in the null bin; constant → every row in one
+    non-null bin, whatever the bitmap."""
+    space = _SPACES[seed]
+    bits = bits % (2 ** space.width)
+    view = space.materialize_matrix(bits, include_binned=True)
+    store = space.column_store
+    active = list(space.active_attributes(bits))
+    for name in ("all_null", "constant"):
+        if name not in active or view.X.shape[0] == 0:
+            continue
+        column = view.binned.codes[:, active.index(name)].astype(np.int64)
+        sentinel = null_bin(store.bin_edges(name))
+        assert len(np.unique(column)) == 1
+        if name == "all_null":
+            assert (column == sentinel).all()
+        else:
+            assert (column < sentinel).all()
+
+
+def test_binned_codes_are_uint8_and_cached():
+    space = _SPACES[0]
+    bits = space.universal_bits
+    view = space.materialize_matrix(bits, include_binned=True)
+    assert view.binned.codes.dtype == np.uint8
+    # the cached view is upgraded once and then served with codes attached
+    again = space.materialize_matrix(bits, include_binned=True)
+    assert again.binned is view.binned
+    # plain callers share the same cache entry (codes just come along)
+    plain = space.materialize_matrix(bits)
+    assert plain is again

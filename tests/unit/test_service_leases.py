@@ -130,7 +130,8 @@ class TestOwnershipAcrossRestarts:
         assert observer.queue.depth == 0
         # visible to lookups, owned elsewhere
         assert observer.get(job.id).lease_owner == "sched-a"
-        # and compaction is suppressed while the peer is live
+        # and peer liveness is tracked, which forces any compaction onto
+        # the replay-based, flock-ordered shared path
         assert observer._peer_active() is True
         del peer
 
