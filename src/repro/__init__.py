@@ -50,7 +50,7 @@ from .exceptions import ReproError
 from .query import SkylineQuery, discover, query_to_task
 from .report import load_report, save_result
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ALGORITHMS",

@@ -337,6 +337,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .logging_util import enable_console_logging
     from .scenarios import ResultCache, load_builtin_scenarios
     from .service import JobJournal, OracleStore, Scheduler, ServiceServer
+    from .service.pool import PoolConfig
 
     enable_console_logging(logging.INFO, json_lines=args.log_json)
     registry = load_builtin_scenarios()
@@ -358,7 +359,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         lease_ttl=args.lease_ttl,
         profile_dir=args.profile_dir or None,
     )
-    server = ServiceServer(scheduler, host=args.host, port=args.port)
+    pool = PoolConfig(
+        http_workers=args.http_workers,
+        max_pending=args.max_pending,
+        admission_queue_depth=args.admission_queue_depth,
+    )
+    server = ServiceServer(
+        scheduler, host=args.host, port=args.port, config=pool
+    )
     leases = (
         f"leases on as {scheduler.scheduler_id} "
         f"(ttl {scheduler.lease_ttl:g}s)"
@@ -367,6 +375,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"repro service listening on {server.url} "
           f"({args.workers} worker(s), backend={args.backend}, "
+          f"{pool.http_workers} http worker(s), "
           f"result cache {'off' if cache is None else cache.directory}, "
           f"oracle store {'off' if store is None else store.directory}, "
           f"journal {'off' if journal is None else journal.directory}, "
@@ -976,6 +985,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit one JSON object per log line "
                             "(ts/level/logger/message + job_id/"
                             "shard_index/scheduler_id correlation fields)")
+    serve.add_argument("--http-workers", type=int, default=8,
+                       help="fixed HTTP request-handling threads; "
+                            "connections beyond the pool park in a "
+                            "selector, never a thread each")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="readable connections allowed to wait for an "
+                            "HTTP worker; beyond this the server answers "
+                            "429 and closes (backpressure)")
+    serve.add_argument("--admission-queue-depth", type=int, default=256,
+                       help="job-queue depth at which POST /v1/jobs "
+                            "answers 429 + Retry-After instead of "
+                            "enqueueing (admission control)")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running service"

@@ -150,6 +150,30 @@ class PayloadTooLargeError(ApiError):
     http_status = 400
 
 
+class ServiceOverloadedError(ApiError):
+    """The service refused work to protect itself (admission control).
+
+    Answered ``429 Too Many Requests`` with a ``Retry-After`` header;
+    ``retry_after`` carries the same hint in seconds so clients (and the
+    typed :class:`~repro.service.client.ServiceClient` backoff) can pace
+    their retry without re-parsing headers.
+    """
+
+    code = "overloaded"
+    http_status = 429
+
+    def __init__(
+        self,
+        message: str,
+        detail: dict | None = None,
+        retry_after: int | None = None,
+    ):
+        super().__init__(message, detail=detail)
+        self.retry_after = retry_after
+        if retry_after is not None:
+            self.detail.setdefault("retry_after", int(retry_after))
+
+
 #: code → ApiError subclass, for re-raising typed errors client-side.
 API_ERROR_TYPES: dict[str, type] = {
     cls.code: cls
@@ -162,6 +186,7 @@ API_ERROR_TYPES: dict[str, type] = {
         NotCancellableError,
         ResultNotReadyError,
         PayloadTooLargeError,
+        ServiceOverloadedError,
     )
 }
 

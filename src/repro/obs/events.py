@@ -107,6 +107,7 @@ class EventBus:
         self.capacity = int(capacity)
         self._ring: deque[dict[str, Any]] = deque(maxlen=self.capacity)
         self._cond = threading.Condition()
+        self._closed = False
         self._persist_path = Path(persist_path) if persist_path is not None else None
         floor = self._load_reserved()
         self._next_seq = floor + 1
@@ -224,9 +225,12 @@ class EventBus:
     ) -> tuple[list[dict[str, Any]], int, int]:
         """Long-poll variant of :meth:`after`.
 
-        Blocks until at least one matching event lands past ``cursor`` or
-        ``timeout`` seconds elapse (then returns an empty batch with the
-        advanced cursor).
+        Blocks until at least one matching event lands past ``cursor``,
+        ``timeout`` seconds elapse, or the bus is :meth:`close`-d (then
+        returns an empty batch with the advanced cursor). The wait is
+        sliced into bounded chunks so even a waiter that raced past a
+        missed notify observes ``close()`` within half a second —
+        ``Server.stop()`` never sits out a 30 s poll.
         """
         deadline = time.monotonic() + max(0.0, timeout)
         limit = max(1, int(limit))
@@ -235,13 +239,26 @@ class EventBus:
                 events, next_cursor, dropped = self._after_locked(
                     cursor, limit, job_ids
                 )
-                if events:
+                if events or self._closed:
                     return events, next_cursor, dropped
                 cursor = next_cursor
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return events, next_cursor, dropped
-                self._cond.wait(remaining)
+                self._cond.wait(min(remaining, 0.5))
+
+    def close(self) -> None:
+        """Wake every long-poll waiter and make future waits return
+        immediately. Publishing and cursor reads keep working — closing
+        only disarms the blocking path (used for prompt shutdown)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
 
     def stats(self) -> dict[str, Any]:
         """Ring occupancy and cursor bounds (for healthz / metrics)."""

@@ -25,6 +25,7 @@ skyline.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -36,13 +37,55 @@ from .jobs import JobState
 
 DEFAULT_URL = "http://127.0.0.1:8765"
 
+#: HTTP statuses the client retries with backoff: admission-control
+#: rejections (429, bounded-concurrency serving) and transient
+#: unavailability (503, e.g. a proxy mid-restart).
+RETRYABLE_STATUSES = frozenset({429, 503})
+
 
 class ServiceClient:
-    """Client for one service base URL (``http://host:port``)."""
+    """Client for one service base URL (``http://host:port``).
 
-    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0):
+    Requests answered ``429``/``503`` are retried up to ``retries``
+    times with jittered exponential backoff; a ``Retry-After`` header
+    (the server's admission-control hint) is honored as the floor of
+    each delay. ``retries=0`` disables retrying — the typed
+    :class:`~repro.exceptions.ServiceOverloadedError` surfaces
+    immediately instead.
+    """
+
+    def __init__(
+        self,
+        url: str = DEFAULT_URL,
+        timeout: float = 30.0,
+        retries: int = 4,
+        backoff_base: float = 0.25,
+        backoff_max: float = 8.0,
+    ):
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = max(0, int(retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+
+    def _backoff_delay(
+        self, attempt: int, retry_after: str | None
+    ) -> float:
+        """Delay before retry ``attempt`` (0-based), in seconds.
+
+        Jittered exponential: uniform over ``(0, base * 2**attempt]``,
+        capped at ``backoff_max`` — full jitter desynchronizes a herd of
+        clients all rejected at once. A parseable ``Retry-After`` floors
+        the delay: the server knows its drain rate better than we do.
+        """
+        ceiling = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        delay = random.uniform(0.0, ceiling) or ceiling
+        if retry_after is not None:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        return delay
 
     # -- transport ---------------------------------------------------------------
     def _request_full(
@@ -57,7 +100,8 @@ class ServiceClient:
         A ``304 Not Modified`` returns ``(304, headers, None)``. Error
         responses raise the typed :class:`~repro.exceptions.ApiError`
         subclass named by the envelope's ``code`` (plain
-        ``ServiceError`` when the body carries no envelope).
+        ``ServiceError`` when the body carries no envelope) — after
+        exhausting the backoff retries for 429/503.
         """
         data = None
         request_headers = {"Accept": "application/json"}
@@ -66,29 +110,46 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             request_headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            f"{self.url}{path}",
-            data=data,
-            headers=request_headers,
-            method=method,
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                raw = response.read()
-                payload = (
-                    json.loads(raw.decode("utf-8")) if raw else None
-                )
-                return response.status, dict(response.headers), payload
-        except urllib.error.HTTPError as exc:
-            if exc.code == 304:
-                return 304, dict(exc.headers), None
-            raise self._error_from(method, path, exc) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.url}: {exc.reason}"
-            ) from None
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                f"{self.url}{path}",
+                data=data,
+                headers=request_headers,
+                method=method,
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    raw = response.read()
+                    payload = (
+                        json.loads(raw.decode("utf-8")) if raw else None
+                    )
+                    return (
+                        response.status,
+                        dict(response.headers),
+                        payload,
+                    )
+            except urllib.error.HTTPError as exc:
+                if exc.code == 304:
+                    return 304, dict(exc.headers), None
+                if (
+                    exc.code in RETRYABLE_STATUSES
+                    and attempt < self.retries
+                ):
+                    delay = self._backoff_delay(
+                        attempt, exc.headers.get("Retry-After")
+                    )
+                    exc.close()
+                    attempt += 1
+                    time.sleep(delay)
+                    continue
+                raise self._error_from(method, path, exc) from None
+            except urllib.error.URLError as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.url}: {exc.reason}"
+                ) from None
 
     @staticmethod
     def _error_from(

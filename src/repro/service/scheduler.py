@@ -1717,6 +1717,9 @@ class Scheduler:
         In-flight jobs always run to completion (worker threads cannot be
         preempted mid-job).
         """
+        # Wake long-poll readers first so nothing waits out a 30s poll
+        # while the pool drains (see EventBus.close).
+        self.event_bus.close()
         self._sweep_stop.set()
         if self._sweep_thread is not None:
             self._sweep_thread.join(timeout)

@@ -1,8 +1,10 @@
 """The JSON HTTP API over a :class:`~repro.service.scheduler.Scheduler`.
 
 Pure stdlib (``http.server``) — the service adds no third-party
-dependencies. A ``ThreadingHTTPServer`` keeps request handling off the
-worker pool, so ``GET /v1/metrics`` answers while jobs are running.
+dependencies. A bounded worker pool
+(:class:`~repro.service.pool.PooledHTTPServer`) keeps request handling
+off the scheduler's workers, so ``GET /v1/metrics`` answers while jobs
+are running.
 
 Routes (v1)::
 
@@ -66,8 +68,29 @@ unknown-route       404     no route matches the method + path
 not-cancellable     409     DELETE on a job that is not queued, or on a
                             shard child (cancel the parent instead)
 result-not-ready    409     GET /v1/results/{id} before the job is DONE
+overloaded          429     admission control refused a submission: the
+                            scheduler's job queue is at the configured
+                            depth. Carries a ``Retry-After`` header (and
+                            the same hint in ``detail.retry_after``);
+                            batch submissions report it per item inside
+                            the 207 body. The serving core answers the
+                            same envelope raw when the pending-connection
+                            queue or connection cap overflows
+                            (see :mod:`repro.service.pool`).
 internal            500     unhandled server-side failure
 ==================  ======  ====================================================
+
+Serving model (since the bounded-concurrency rework): requests are
+handled by a fixed pool of ``PoolConfig.http_workers`` threads behind a
+bounded pending queue — never a thread per connection. HTTP/1.1
+keep-alive is fully supported: every response (error envelopes and 304s
+included) carries an exact ``Content-Length``, unread request bodies are
+drained before the next request is parsed, and idle connections park in
+a selector instead of pinning a worker. Long-polls
+(``GET /v1/events?timeout=``) occupy at most
+``PoolConfig.longpoll_slots`` workers; beyond that they answer
+immediately (``timeout=0`` semantics) so they can never exhaust the
+pool.
 """
 
 from __future__ import annotations
@@ -77,7 +100,7 @@ import json
 import re
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler
 from typing import Any
 from urllib.parse import parse_qsl
 
@@ -90,10 +113,12 @@ from ..exceptions import (
     ResultNotReadyError,
     ScenarioError,
     ServiceError,
+    ServiceOverloadedError,
     UnknownRouteError,
 )
 from ..logging_util import get_logger
 from .jobs import JobState
+from .pool import PoolConfig, PooledHTTPServer
 from .scheduler import Scheduler
 
 logger = get_logger("service.server")
@@ -222,6 +247,7 @@ class _Handler(BaseHTTPRequestHandler):
         code: str,
         message: str,
         detail: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
     ) -> None:
         self._send_json(
             status,
@@ -232,10 +258,41 @@ class _Handler(BaseHTTPRequestHandler):
                     "detail": detail or {},
                 }
             },
+            headers=headers,
         )
+
+    def _drain_request_body(self) -> None:
+        """Discard an unread request body so keep-alive stays in sync.
+
+        A handler that answers before calling :meth:`_read_body` (an
+        unknown route, a 429 from admission control) leaves the declared
+        body bytes on the wire; parsed as the next request line they
+        would desynchronize the kept-alive stream. Bodies within
+        ``MAX_BODY_BYTES`` are read and dropped; anything larger closes
+        the connection instead (same policy as :meth:`_read_body`).
+        """
+        if getattr(self, "_body_consumed", True):
+            return
+        self._body_consumed = True
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        while length > 0:
+            chunk = self.rfile.read(min(65536, length))
+            if not chunk:
+                self.close_connection = True
+                return
+            length -= len(chunk)
 
     def _read_body(self) -> Any:
         """The request body as parsed JSON (an object, or a batch list)."""
+        self._body_consumed = True
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
             # Reject without reading — and drop the connection, since the
@@ -268,38 +325,68 @@ class _Handler(BaseHTTPRequestHandler):
         self._status = code
         super().send_response(code, message)
 
+    def end_headers(self) -> None:
+        # Record the request metrics *before* the body flush: once a
+        # client has read this response, a follow-up scrape — possibly
+        # served by another pool worker — must already see the request
+        # counted. Recording after the write loses that ordering.
+        self._record_http_metrics()
+        super().end_headers()
+
+    def _record_http_metrics(self) -> None:
+        """Land this request in ``repro_http_requests_total`` (by method
+        and status) and the ``repro_http_request_seconds`` latency
+        histogram, exactly once per guarded request."""
+        if not getattr(self, "_http_metrics_armed", False):
+            return
+        self._http_metrics_armed = False
+        try:
+            registry = self.scheduler.metrics_registry
+            registry.counter(
+                "repro_http_requests_total",
+                "HTTP requests served",
+                labelnames=("method", "status"),
+            ).inc(method=self.command, status=str(self._status or 0))
+            registry.histogram(
+                "repro_http_request_seconds",
+                "HTTP request handling latency",
+            ).observe(time.perf_counter() - self._http_started)
+        except Exception:  # pragma: no cover - metrics must not 500
+            logger.debug("http metrics recording failed", exc_info=True)
+
     def _guarded(self, handler) -> None:
         """Run a route handler, mapping errors to envelope responses.
 
-        Also the HTTP instrumentation point: every request lands in the
-        scheduler registry's ``repro_http_requests_total`` (by method and
-        status) and the ``repro_http_request_seconds`` latency histogram.
+        Also arms the HTTP instrumentation: the metrics land when the
+        response headers flush (see :meth:`end_headers`), with the
+        ``finally`` below as the fallback for requests that never get a
+        response out (e.g. a torn connection).
         """
-        registry = self.scheduler.metrics_registry
-        started = time.perf_counter()
+        self._http_started = time.perf_counter()
+        self._http_metrics_armed = True
         self._status = 0
+        self._body_consumed = "Content-Length" not in self.headers
         try:
             self._guarded_inner(handler)
         finally:
-            try:
-                registry.counter(
-                    "repro_http_requests_total",
-                    "HTTP requests served",
-                    labelnames=("method", "status"),
-                ).inc(method=self.command, status=str(self._status or 0))
-                registry.histogram(
-                    "repro_http_request_seconds",
-                    "HTTP request handling latency",
-                ).observe(time.perf_counter() - started)
-            except Exception:  # pragma: no cover - metrics must not 500
-                logger.debug("http metrics recording failed", exc_info=True)
+            self._record_http_metrics()
 
     def _guarded_inner(self, handler) -> None:
         try:
-            handler()
+            try:
+                handler()
+            finally:
+                # Error or not, leave no unread body bytes behind: the
+                # next kept-alive request would parse them as its line.
+                self._drain_request_body()
         except ApiError as exc:
+            headers = None
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                headers = {"Retry-After": str(int(retry_after))}
             self._send_error_json(
-                exc.http_status, exc.code, str(exc), exc.detail
+                exc.http_status, exc.code, str(exc), exc.detail,
+                headers=headers,
             )
         except ScenarioError as exc:
             self._send_error_json(400, "invalid-scenario", str(exc))
@@ -347,6 +434,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "journal": scheduler.journal is not None,
                 "scheduler_id": scheduler.scheduler_id,
                 "leases": scheduler._lease_active(),
+                "http": self.server.pool_stats(),  # type: ignore[attr-defined]
             }
             payload.update(
                 {
@@ -517,11 +605,54 @@ class _Handler(BaseHTTPRequestHandler):
                     f"limit must be an integer in 1..{MAX_EVENT_BATCH}, "
                     f"got {params['limit']!r}"
                 )
-        return self.scheduler.events(
-            after=after,
-            timeout=timeout,
-            limit=limit,
-            job_id=params.get("job"),
+        if timeout <= 0:
+            return self.scheduler.events(
+                after=after, limit=limit, job_id=params.get("job")
+            )
+        # Long-polls park this worker thread for up to ``timeout``
+        # seconds; the pool grants only ``longpoll_slots`` of those at
+        # once. With no slot free, degrade to an immediate answer — the
+        # client sees an empty batch and re-polls, and submit/poll
+        # traffic always finds a worker.
+        server = self.server  # type: ignore[assignment]
+        if not server.acquire_longpoll_slot():
+            server.count_rejection("longpoll-slots")
+            return self.scheduler.events(
+                after=after, limit=limit, job_id=params.get("job")
+            )
+        try:
+            return self.scheduler.events(
+                after=after,
+                timeout=timeout,
+                limit=limit,
+                job_id=params.get("job"),
+            )
+        finally:
+            server.release_longpoll_slot()
+
+    def _admit_submission(self) -> None:
+        """Admission control: refuse work the scheduler cannot absorb.
+
+        Raises :class:`~repro.exceptions.ServiceOverloadedError` (429 +
+        ``Retry-After``) when the job queue is at the configured depth —
+        a bounded queue with an explicit refusal beats an unbounded one
+        that accepts everything and serves nothing.
+        """
+        server = self.server  # type: ignore[assignment]
+        retry_after = server.admission_retry_after()
+        if retry_after is None:
+            return
+        server.count_rejection("admission")
+        depth = self.scheduler.queue.depth
+        limit = server.config.admission_queue_depth
+        raise ServiceOverloadedError(
+            f"job queue depth {depth} is at the admission limit "
+            f"({limit}); retry after {retry_after}s",
+            detail={
+                "queue_depth": depth,
+                "admission_queue_depth": limit,
+            },
+            retry_after=retry_after,
         )
 
     def _post(self) -> None:
@@ -532,6 +663,7 @@ class _Handler(BaseHTTPRequestHandler):
         if isinstance(body, list):
             self._post_batch(body)
             return
+        self._admit_submission()
         job = self.scheduler.submit_request(body)
         self._send_json(201, job.to_payload())
 
@@ -541,7 +673,10 @@ class _Handler(BaseHTTPRequestHandler):
         Items are submitted in order, each independently: one bad item
         reports its own error envelope in place without failing the
         rest (identical items still dedup against each other through
-        the scheduler, like any other submission).
+        the scheduler, like any other submission). Admission control is
+        applied per item too — a batch that fills the queue partway
+        through gets ``201`` entries up to that point and ``429``
+        envelopes (with ``detail.retry_after``) for the remainder.
         """
         if not items:
             raise InvalidRequestError(
@@ -554,6 +689,7 @@ class _Handler(BaseHTTPRequestHandler):
                     raise InvalidRequestError(
                         f"batch item {index} must be a JSON object"
                     )
+                self._admit_submission()
                 job = self.scheduler.submit_request(item)
             except ApiError as exc:
                 results.append({
@@ -602,6 +738,11 @@ class ServiceServer:
     the resolved address either way. :meth:`start` serves from a
     background thread, :meth:`serve_forever` blocks (the CLI path); both
     are shut down by :meth:`stop`, which also stops the scheduler.
+
+    Requests are served by a bounded pool
+    (:class:`~repro.service.pool.PooledHTTPServer`) sized by ``config``;
+    the default :class:`~repro.service.pool.PoolConfig` suits tests and
+    small deployments.
     """
 
     def __init__(
@@ -609,12 +750,12 @@ class ServiceServer:
         scheduler: Scheduler,
         host: str = "127.0.0.1",
         port: int = 8765,
+        config: PoolConfig | None = None,
     ):
         self.scheduler = scheduler
-        self._http = ThreadingHTTPServer((host, port), _Handler)
-        self._http.scheduler = scheduler  # type: ignore[attr-defined]
-        self._http.started_at = time.time()  # type: ignore[attr-defined]
-        self._http.daemon_threads = True
+        self._http = PooledHTTPServer(
+            (host, port), _Handler, scheduler, config
+        )
         self._thread: threading.Thread | None = None
 
     @property
@@ -647,9 +788,17 @@ class ServiceServer:
         self._http.serve_forever()
 
     def stop(self, drain: bool = False) -> None:
-        """Stop accepting requests, then stop the worker pool."""
+        """Stop accepting requests, then stop the worker pool.
+
+        Ordering matters for promptness: the event bus is closed first so
+        in-flight ``GET /v1/events`` long-polls wake immediately instead
+        of running out their full timeout, then the HTTP pool drains and
+        joins, then the scheduler's workers stop.
+        """
         self._http.shutdown()
         self._http.server_close()
+        self.scheduler.event_bus.close()
+        self._http.stop_pool()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None

@@ -4,11 +4,15 @@ import numpy as np
 import pytest
 
 from repro.core.dominance import (
+    SFS_MIN_POINTS,
     SkylineGrid,
+    _sfs_front,
+    dominated_mask,
     dominates,
     epsilon_dominates,
     is_skyline,
     pareto_front,
+    pareto_front_reference,
 )
 from repro.core.measures import Measure, MeasureSet
 from repro.core.state import State
@@ -97,6 +101,66 @@ class TestParetoFront:
         front = pareto_front(vectors)
         assert is_skyline(vectors, front)
         assert not is_skyline(vectors, [3])  # dominated point
+
+
+class TestSFSFront:
+    """The sort-first-skyline fast path must be bit-identical to both the
+    plain blocked scan and the Kung reference, including the adversarial
+    cases the sum-presort does not align with: duplicates, ties inside
+    the ``_TIE`` band, and anti-correlated fronts."""
+
+    def plain(self, matrix):
+        return np.flatnonzero(~dominated_mask(matrix)).tolist()
+
+    def test_gated_in_for_large_inputs(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.random((SFS_MIN_POINTS, 3))
+        vectors = list(matrix)
+        assert pareto_front(vectors) == self.plain(matrix)
+        assert pareto_front(vectors) == sorted(
+            pareto_front_reference(vectors)
+        )
+
+    def test_random_matches_plain_scan(self):
+        rng = np.random.default_rng(3)
+        for d in (2, 3, 5):
+            matrix = rng.random((700, d))
+            assert _sfs_front(matrix) == self.plain(matrix)
+
+    def test_heavy_duplicates(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.integers(0, 3, (800, 3)).astype(float)
+        assert _sfs_front(matrix) == self.plain(matrix)
+
+    def test_ties_inside_tolerance_band(self):
+        # Coordinates jittered by less than _TIE: near-equal points are
+        # mutually non-dominated and must all survive, exactly as the
+        # plain scan keeps them.
+        rng = np.random.default_rng(5)
+        matrix = rng.random((600, 3))
+        matrix += rng.choice([0.0, 5e-13, -5e-13], size=matrix.shape)
+        assert _sfs_front(matrix) == self.plain(matrix)
+
+    def test_anti_correlated_large_front(self):
+        # Worst case for the prefilter (everything is on the front): the
+        # exact repair pass must still reproduce the plain scan.
+        rng = np.random.default_rng(6)
+        base = rng.random(600)
+        matrix = np.column_stack([base, 1.0 - base])
+        assert _sfs_front(matrix) == self.plain(matrix)
+
+    def test_small_block_rows_chunk_boundaries(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 5, (530, 4)).astype(float)
+        assert _sfs_front(matrix, block_rows=7) == self.plain(matrix)
+
+    def test_matches_kung_reference(self):
+        rng = np.random.default_rng(8)
+        matrix = rng.integers(0, 6, (520, 3)).astype(float)
+        vectors = list(matrix)
+        assert pareto_front(vectors) == sorted(
+            pareto_front_reference(vectors)
+        )
 
 
 class TestSkylineGrid:

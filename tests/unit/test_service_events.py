@@ -108,15 +108,16 @@ class TestSchedulerEvents:
             with scheduler:
                 job = scheduler.submit(spec("s1"))
                 assert emitted.wait(timeout=30.0)
-                # The drain thread ingests asynchronously; wait for it.
-                progress = poll_until(
-                    lambda: (
-                        scheduler.progress(job.id)
-                        if scheduler.progress(job.id)["progress"]
-                        else None
-                    ),
-                    message="progress ingestion",
-                )
+                # The drain thread ingests asynchronously, one pipe line
+                # at a time; wait for both the progress event and the
+                # partial front that follows it on the next line.
+                def ingested():
+                    snapshot = scheduler.progress(job.id)
+                    if snapshot["progress"] and snapshot["partial_front_size"]:
+                        return snapshot
+                    return None
+
+                progress = poll_until(ingested, message="progress ingestion")
                 assert progress["state"] == "running"
                 assert progress["progress"]["n_valuated"] == 3
                 assert progress["progress"]["budget"] == 10
